@@ -1,0 +1,68 @@
+//! Criterion wrapper for Figs. 3 and 5: virtual time per distributed
+//! transaction under TPC-C and YCSB, baseline vs full Treaty.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use treaty_bench::{run_experiment, RunConfig, Workload};
+use treaty_sim::SecurityProfile;
+use treaty_workload::{TpccConfig, YcsbConfig};
+
+fn per_txn(profile: SecurityProfile, workload: Workload) -> u64 {
+    let mut cfg = RunConfig::distributed_ycsb(profile, YcsbConfig::balanced(), 8);
+    cfg.workload = workload;
+    cfg.txns_per_client = 4;
+    if let Workload::Ycsb(ref mut y) = cfg.workload {
+        y.keys = 500; // keep the preload fast in the micro version
+    }
+    let stats = run_experiment(cfg);
+    stats.duration_ns / stats.committed.max(1)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_fig5_distributed_virtual_time_per_txn");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    let mut small_ycsb = YcsbConfig::write_heavy();
+    small_ycsb.keys = 500;
+    for (name, profile, workload) in [
+        (
+            "fig5_ycsb_ds_rocksdb",
+            SecurityProfile::rocksdb(),
+            Workload::Ycsb(small_ycsb),
+        ),
+        (
+            "fig5_ycsb_treaty_full",
+            SecurityProfile::treaty_full(),
+            Workload::Ycsb(small_ycsb),
+        ),
+        (
+            "fig3_tpcc_ds_rocksdb",
+            SecurityProfile::rocksdb(),
+            Workload::Tpcc(TpccConfig::tiny()),
+        ),
+        (
+            "fig3_tpcc_treaty_full",
+            SecurityProfile::treaty_full(),
+            Workload::Tpcc(TpccConfig::tiny()),
+        ),
+    ] {
+        let workload = workload.clone();
+        g.bench_function(name, |b| {
+            let workload = workload.clone();
+            b.iter_custom(move |iters| {
+                Duration::from_nanos(per_txn(profile, workload.clone()).saturating_mul(iters))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    // The simulation is deterministic, so samples have zero variance;
+    // criterion's plotters backend cannot plot that — disable plots.
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

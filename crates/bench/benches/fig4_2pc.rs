@@ -1,0 +1,49 @@
+//! Criterion wrapper for Fig. 4: virtual time per distributed transaction
+//! of the storage-less 2PC, per system variant.
+//!
+//! The measured `Duration` is *virtual* (simulation) time per committed
+//! transaction, not wall time — see DESIGN.md §1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use treaty_bench::{run_experiment, RunConfig};
+use treaty_sim::SecurityProfile;
+
+fn virtual_ns_per_txn(profile: SecurityProfile) -> u64 {
+    let stats = run_experiment(RunConfig {
+        clients: 12,
+        txns_per_client: 4,
+        ..RunConfig::protocol_only(profile, 12)
+    });
+    stats.duration_ns / stats.committed.max(1)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_2pc_virtual_time_per_txn");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    for (name, profile) in [
+        ("native_2pc", SecurityProfile::rocksdb()),
+        ("native_2pc_enc", SecurityProfile::native_treaty_enc()),
+        ("secure_2pc_no_enc", SecurityProfile::treaty_no_enc()),
+        ("secure_2pc_enc", SecurityProfile::treaty_enc()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let per_txn = virtual_ns_per_txn(profile);
+                Duration::from_nanos(per_txn.saturating_mul(iters))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    // The simulation is deterministic, so samples have zero variance;
+    // criterion's plotters backend cannot plot that — disable plots.
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

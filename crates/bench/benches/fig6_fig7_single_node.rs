@@ -1,0 +1,47 @@
+//! Criterion wrapper for Figs. 6 and 7: virtual time per single-node
+//! transaction, pessimistic vs optimistic, baseline vs full Treaty.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use treaty_bench::{run_experiment, RunConfig, Workload};
+use treaty_sim::SecurityProfile;
+use treaty_store::TxnMode;
+use treaty_workload::YcsbConfig;
+
+fn per_txn(profile: SecurityProfile, mode: TxnMode) -> u64 {
+    let mut ycsb = YcsbConfig::read_heavy();
+    ycsb.keys = 500;
+    let mut cfg = RunConfig::single_node(profile, mode, Workload::Ycsb(ycsb), 8);
+    cfg.txns_per_client = 4;
+    let stats = run_experiment(cfg);
+    stats.duration_ns / stats.committed.max(1)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_fig7_single_node_virtual_time_per_txn");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    for (name, profile, mode) in [
+        ("fig6_pessimistic_rocksdb", SecurityProfile::rocksdb(), TxnMode::Pessimistic),
+        ("fig6_pessimistic_treaty_full", SecurityProfile::treaty_full(), TxnMode::Pessimistic),
+        ("fig7_optimistic_rocksdb", SecurityProfile::rocksdb(), TxnMode::Optimistic),
+        ("fig7_optimistic_treaty_full", SecurityProfile::treaty_full(), TxnMode::Optimistic),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                Duration::from_nanos(per_txn(profile, mode).saturating_mul(iters))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    // The simulation is deterministic, so samples have zero variance;
+    // criterion's plotters backend cannot plot that — disable plots.
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

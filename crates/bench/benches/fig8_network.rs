@@ -1,0 +1,34 @@
+//! Criterion wrapper for Fig. 8: virtual time per 1024B message for each
+//! network system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use treaty_bench::{run_network, NetSystem};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_network_virtual_time_per_kib_message");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    for system in NetSystem::lineup() {
+        g.bench_function(system.label(), |b| {
+            b.iter_custom(|iters| {
+                let gbps = run_network(system, 1024, 300);
+                // virtual ns per message = bits / (Gb/s) (0 throughput ->
+                // saturate at a large constant so the report stays finite).
+                let ns = if gbps > 0.0 { (1024.0 * 8.0 / gbps) as u64 } else { 1_000_000 };
+                Duration::from_nanos(ns.saturating_mul(iters))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    // The simulation is deterministic, so samples have zero variance;
+    // criterion's plotters backend cannot plot that — disable plots.
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

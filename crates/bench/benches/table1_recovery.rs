@@ -1,0 +1,36 @@
+//! Criterion wrapper for Table I: virtual recovery time per 10k log
+//! entries for the three variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use treaty_bench::run_recovery;
+use treaty_sim::SecurityProfile;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_recovery_virtual_time_10k_entries");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    for (name, profile) in [
+        ("native", SecurityProfile::rocksdb()),
+        ("treaty_no_enc", SecurityProfile::treaty_no_enc()),
+        ("treaty_enc", SecurityProfile::treaty_full()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_custom(|iters| {
+                let (ns, _) = run_recovery(profile, 10_000, 100);
+                Duration::from_nanos(ns.saturating_mul(iters.max(1)) / 1)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    // The simulation is deterministic, so samples have zero variance;
+    // criterion's plotters backend cannot plot that — disable plots.
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fig. 3: distributed transactions under TPC-C with 10 and 100
+//! warehouses, four systems, 3 nodes (§VIII-C).
+//!
+//! Paper result: 8-11x slowdown at 10W (DS-RocksDB ~780 tps, heavy W-W
+//! conflicts), 4-6x at 100W (DS-RocksDB ~1200 tps).
+
+use treaty_bench::{print_row, run_experiment, RunConfig};
+use treaty_sim::SecurityProfile;
+use treaty_workload::TpccConfig;
+
+fn main() {
+    let warehouses: u32 = std::env::args()
+        .skip_while(|a| a != "--warehouses")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let clients: usize = std::env::args()
+        .skip_while(|a| a != "--clients")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if warehouses >= 100 { 60 } else { 16 });
+    let txns: usize = std::env::args()
+        .skip_while(|a| a != "--txns")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15);
+
+    let tpcc = if warehouses >= 100 {
+        TpccConfig::paper_100w()
+    } else {
+        TpccConfig { warehouses, ..TpccConfig::paper_10w() }
+    };
+    println!("Fig. 3 — distributed TPC-C, {warehouses} warehouses, {clients} clients x {txns} txns");
+    let mut baseline = None;
+    for profile in SecurityProfile::distributed_lineup() {
+        let clients = if profile.stabilization { clients * 3 / 2 } else { clients };
+        let mut cfg = RunConfig::distributed_tpcc(profile, tpcc, clients);
+        cfg.txns_per_client = txns;
+        let mut stats = run_experiment(cfg);
+        if profile == SecurityProfile::rocksdb() {
+            stats.label = "DS-RocksDB (baseline)".into();
+        }
+        print_row(&stats, baseline);
+        if baseline.is_none() {
+            baseline = Some(stats.tps());
+        }
+    }
+    println!("\npaper: 10W 8-11x slowdown; 100W 4-6x slowdown vs DS-RocksDB");
+}

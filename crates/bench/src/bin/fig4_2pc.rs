@@ -1,0 +1,46 @@
+//! Fig. 4: throughput slowdown of three 2PC variants w.r.t. a native,
+//! non-secure 2PC — protocol only, no storage engine (§VIII-B).
+//!
+//! Paper result: Native w/ Enc ≈ 1.0x, Secure w/o Enc ≈ 1.8x,
+//! Secure w/ Enc ≈ 2.0x.
+
+use treaty_bench::{print_row, run_experiment, slowdown, RunConfig};
+use treaty_sim::SecurityProfile;
+
+fn main() {
+    let clients: usize = std::env::args()
+        .skip_while(|a| a != "--clients")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96);
+    let txns: usize = std::env::args()
+        .skip_while(|a| a != "--txns")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+
+    println!("Fig. 4 — 2PC protocol in isolation (YCSB 50R/50W, 10 ops/tx, 1000B values)");
+    println!("{clients} clients x {txns} txns; paper saturates at 300 clients\n");
+
+    let variants: [(&str, SecurityProfile); 4] = [
+        ("Native 2PC (baseline)", SecurityProfile::rocksdb()),
+        ("Native 2PC w/ Enc", SecurityProfile::native_treaty_enc()),
+        ("Secure 2PC w/o Enc", SecurityProfile::treaty_no_enc()),
+        ("Secure 2PC w/ Enc", SecurityProfile::treaty_enc()),
+    ];
+    let mut baseline = None;
+    for (label, profile) in variants {
+        let mut cfg = RunConfig::protocol_only(profile, clients);
+        cfg.txns_per_client = txns;
+        let mut stats = run_experiment(cfg);
+        stats.label = label.to_string();
+        print_row(&stats, baseline);
+        if baseline.is_none() {
+            baseline = Some(stats.tps());
+        }
+    }
+    if let Some(b) = baseline {
+        let _ = slowdown(b, b);
+    }
+    println!("\npaper: Native w/Enc ~1.0x | Secure w/o Enc ~1.8x | Secure w/ Enc ~2.0x");
+}

@@ -1,0 +1,44 @@
+//! Fig. 5: distributed transactions under write-heavy (20%R) and
+//! read-heavy (80%R) YCSB, four systems, 3 nodes, 96 clients (§VIII-C).
+//!
+//! Paper result: Treaty is 9-15x slower than DS-RocksDB (W-heavy) and
+//! 9.5-11x (R-heavy); stabilization adds latency for writes.
+
+use treaty_bench::{print_row, run_experiment, RunConfig};
+use treaty_sim::SecurityProfile;
+use treaty_workload::YcsbConfig;
+
+fn main() {
+    let clients: usize = std::env::args()
+        .skip_while(|a| a != "--clients")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96);
+    let txns: usize = std::env::args()
+        .skip_while(|a| a != "--txns")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15);
+
+    for (wl_label, ycsb) in [
+        ("write-heavy (20% reads)", YcsbConfig::write_heavy()),
+        ("read-heavy (80% reads)", YcsbConfig::read_heavy()),
+    ] {
+        println!("\nFig. 5 — distributed YCSB {wl_label}, {clients} clients x {txns} txns");
+        let mut baseline = None;
+        for profile in SecurityProfile::distributed_lineup() {
+            let clients = if profile.stabilization { clients * 3 / 2 } else { clients };
+            let mut cfg = RunConfig::distributed_ycsb(profile, ycsb, clients);
+            cfg.txns_per_client = txns;
+            let mut stats = run_experiment(cfg);
+            if profile == SecurityProfile::rocksdb() {
+                stats.label = "DS-RocksDB (baseline)".into();
+            }
+            print_row(&stats, baseline);
+            if baseline.is_none() {
+                baseline = Some(stats.tps());
+            }
+        }
+    }
+    println!("\npaper: W-heavy 9-15x, R-heavy 9.5-11x slowdown vs DS-RocksDB");
+}

@@ -1,0 +1,16 @@
+//! Fig. 7: single-node *optimistic* transactions under TPC-C and YCSB,
+//! six system variants (§VIII-D).
+//!
+//! Paper result: Treaty w/ Enc w/ Stab ~5x (TPC-C) and ~4x (YCSB) slower
+//! than RocksDB; stabilization adds ~10% latency but no throughput loss.
+
+use treaty_store::TxnMode;
+
+#[path = "fig6_single_pessimistic.rs"]
+#[allow(dead_code)] // fig6's `main` is unused when included as a module
+mod pessimistic;
+
+fn main() {
+    pessimistic::run(TxnMode::Optimistic, "Fig. 7 — single-node optimistic txns");
+    println!("\npaper: w/ Enc w/ Stab ~5x (TPC-C), ~4x (YCSB) vs RocksDB");
+}

@@ -1,0 +1,34 @@
+//! Fig. 8: network bandwidth of the seven systems across message sizes
+//! (§VIII-E).
+//!
+//! Paper result: UDP collapses above the MTU; SCONE deteriorates
+//! iPerf-TCP up to 8x but eRPC only up to 4x; Treaty networking (with
+//! full security) performs like iPerf-TCP (Scone) which has none.
+
+use treaty_bench::{run_network, NetSystem};
+
+fn main() {
+    let messages: u64 = std::env::args()
+        .skip_while(|a| a != "--messages")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000);
+    let sizes = [64usize, 256, 1024, 1460, 2048, 4096];
+
+    println!("Fig. 8 — network bandwidth (Gb/s), {messages} messages per point\n");
+    print!("{:<22}", "message size (B)");
+    for s in sizes {
+        print!("{s:>9}");
+    }
+    println!();
+    for system in NetSystem::lineup() {
+        print!("{:<22}", system.label());
+        for size in sizes {
+            let gbps = run_network(system, size, messages);
+            print!("{gbps:>9.2}");
+        }
+        println!();
+    }
+    println!("\npaper: UDP -> 0 above MTU; TCP(Scone) up to 8x below TCP; eRPC(Scone)");
+    println!("up to 4x below eRPC and ~1.5x above TCP(Scone); Treaty ~ TCP(Scone).");
+}

@@ -1,0 +1,41 @@
+//! Table I: recovery overhead w.r.t. native recovery (§VIII-F).
+//!
+//! Paper setup: logs of 800k entries of ~100B (69 MiB plain, 91 MiB
+//! encrypted). Paper result: Treaty w/o Enc 1.5x, Treaty (w/ Enc) 2.0x.
+
+use treaty_bench::run_recovery;
+use treaty_sim::SecurityProfile;
+
+fn main() {
+    let entries: usize = std::env::args()
+        .skip_while(|a| a != "--entries")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(800_000);
+
+    println!("Table I — recovery of {entries} log entries x 100 B\n");
+    let variants = [
+        ("Native recovery (baseline)", SecurityProfile::rocksdb()),
+        ("Treaty w/o Enc", SecurityProfile::treaty_no_enc()),
+        ("Treaty (w/ Enc)", SecurityProfile::treaty_full()),
+    ];
+    let mut baseline = None;
+    for (label, profile) in variants {
+        let (ns, bytes) = run_recovery(profile, entries, 100);
+        let slow = baseline.map(|b: u64| ns as f64 / b as f64);
+        println!(
+            "  {:<28} {:>8.1} ms   log {:>6.1} MiB{}",
+            label,
+            ns as f64 / 1e6,
+            bytes as f64 / (1024.0 * 1024.0),
+            match slow {
+                Some(s) => format!("   {s:.2}x slower than native"),
+                None => "   (baseline)".into(),
+            }
+        );
+        if baseline.is_none() {
+            baseline = Some(ns);
+        }
+    }
+    println!("\npaper: w/o Enc 1.5x, w/ Enc 2.0x; logs 69 MiB / 91 MiB");
+}

@@ -1,0 +1,530 @@
+//! Benchmark harnesses regenerating every table and figure of the Treaty
+//! paper (§VIII). See `DESIGN.md` §3 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! All numbers are *virtual time* from the deterministic simulation; the
+//! claims under reproduction are the ratios between system variants, not
+//! absolute testbed throughput.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use treaty_core::{Cluster, ClusterOptions, DistTxn};
+use treaty_sched::block_on;
+use treaty_sim::runtime::{self, join, spawn};
+use treaty_sim::{
+    BenchStats, CostModel, Histogram, Nanos, SecurityProfile, TeeMode, Transport,
+};
+use treaty_store::{EngineConfig, TxnMode};
+use treaty_workload::{KvTxn, TpccConfig, TpccGenerator, YcsbConfig, YcsbGenerator};
+
+/// Adapter: a distributed client transaction as a workload target.
+pub struct DistKv<'a, 'b> {
+    txn: &'a mut DistTxn<'b>,
+}
+
+impl KvTxn for DistKv<'_, '_> {
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, String> {
+        self.txn.get(key).map_err(|e| e.to_string())
+    }
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), String> {
+        self.txn.put(key, value).map_err(|e| e.to_string())
+    }
+}
+
+/// Workload selection for the generic runners.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// YCSB with the given config.
+    Ycsb(YcsbConfig),
+    /// TPC-C with the given config.
+    Tpcc(TpccConfig),
+}
+
+/// One experiment configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// System variant.
+    pub profile: SecurityProfile,
+    /// Cluster size (3 for the distributed experiments, 1 for §VIII-D).
+    pub nodes: usize,
+    /// Closed-loop clients.
+    pub clients: usize,
+    /// Transactions per client.
+    pub txns_per_client: usize,
+    /// Concurrency control.
+    pub txn_mode: TxnMode,
+    /// Workload.
+    pub workload: Workload,
+    /// Determinism seed.
+    pub seed: u64,
+    /// `false` = storage-less 2PC (§VIII-B).
+    pub durable: bool,
+}
+
+impl RunConfig {
+    /// Distributed YCSB (Fig. 5 axes).
+    pub fn distributed_ycsb(profile: SecurityProfile, ycsb: YcsbConfig, clients: usize) -> Self {
+        RunConfig {
+            profile,
+            nodes: 3,
+            clients,
+            txns_per_client: 20,
+            txn_mode: TxnMode::Pessimistic,
+            workload: Workload::Ycsb(ycsb),
+            seed: 42,
+            durable: true,
+        }
+    }
+
+    /// Distributed TPC-C (Fig. 3 axes).
+    pub fn distributed_tpcc(profile: SecurityProfile, tpcc: TpccConfig, clients: usize) -> Self {
+        RunConfig {
+            workload: Workload::Tpcc(tpcc),
+            ..Self::distributed_ycsb(profile, YcsbConfig::balanced(), clients)
+        }
+    }
+
+    /// Single-node (Figs. 6 and 7 axes).
+    pub fn single_node(
+        profile: SecurityProfile,
+        mode: TxnMode,
+        workload: Workload,
+        clients: usize,
+    ) -> Self {
+        RunConfig {
+            profile,
+            nodes: 1,
+            clients,
+            txns_per_client: 20,
+            txn_mode: mode,
+            workload,
+            seed: 42,
+            durable: true,
+        }
+    }
+
+    /// Storage-less 2PC (Fig. 4 axes).
+    pub fn protocol_only(profile: SecurityProfile, clients: usize) -> Self {
+        RunConfig {
+            durable: false,
+            txns_per_client: 10,
+            ..Self::distributed_ycsb(profile, YcsbConfig::balanced(), clients)
+        }
+    }
+}
+
+/// Pre-loads initial rows directly into the owning stores (outside the
+/// measured window), in batched transactions.
+fn preload(cluster: &Cluster, rows: Vec<(Vec<u8>, Vec<u8>)>) {
+    use treaty_store::EngineTxn as _;
+    let map = cluster.shard_map().clone();
+    let endpoints = cluster.node_endpoints();
+    let mut per_node: Vec<Vec<(Vec<u8>, Vec<u8>)>> = vec![Vec::new(); endpoints.len()];
+    for (k, v) in rows {
+        let owner = map.owner(&k);
+        let idx = endpoints.iter().position(|e| *e == owner).expect("owner exists");
+        per_node[idx].push((k, v));
+    }
+    for (idx, rows) in per_node.into_iter().enumerate() {
+        let store = match cluster.store(idx) {
+            Some(s) => s.clone(),
+            None => continue,
+        };
+        for chunk in rows.chunks(512) {
+            let mut txn = store.begin_mode(TxnMode::Pessimistic);
+            for (k, v) in chunk {
+                txn.put(k, v).expect("preload put");
+            }
+            txn.commit().expect("preload commit");
+        }
+    }
+}
+
+/// Runs one closed-loop experiment and returns its stats.
+///
+/// # Panics
+///
+/// Panics if the cluster fails to boot or the simulation errors.
+pub fn run_experiment(cfg: RunConfig) -> BenchStats {
+    let label = cfg.profile.label().to_string();
+    let out: Arc<Mutex<Option<BenchStats>>> = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    let dir = tempfile::tempdir().expect("bench tempdir");
+    let path = dir.path().to_path_buf();
+
+    block_on(move || {
+        let mut options = ClusterOptions::new(cfg.profile, path);
+        options.nodes = cfg.nodes;
+        options.txn_mode = cfg.txn_mode;
+        options.durable = cfg.durable;
+        options.seed = cfg.seed;
+        options.engine_config = EngineConfig::default();
+        let cluster = Arc::new(Cluster::start(options).expect("cluster boots"));
+
+        // Load phase (unmeasured).
+        if cfg.durable {
+            match &cfg.workload {
+                Workload::Ycsb(ycsb) => {
+                    let mut seeder = YcsbGenerator::new(*ycsb, cfg.seed);
+                    let rows: Vec<_> = YcsbGenerator::all_keys(ycsb)
+                        .map(|k| {
+                            let v = seeder.next_value();
+                            (k, v)
+                        })
+                        .collect();
+                    preload(&cluster, rows);
+                }
+                Workload::Tpcc(tpcc) => {
+                    preload(&cluster, TpccGenerator::initial_rows(tpcc));
+                }
+            }
+        }
+
+        // Measured window.
+        let t0 = runtime::now();
+        let committed = Arc::new(AtomicU64::new(0));
+        let aborted = Arc::new(AtomicU64::new(0));
+        let hist = Arc::new(Mutex::new(Histogram::new()));
+        let mut handles = Vec::new();
+        for c in 0..cfg.clients {
+            let cluster = Arc::clone(&cluster);
+            let committed = Arc::clone(&committed);
+            let aborted = Arc::clone(&aborted);
+            let hist = Arc::clone(&hist);
+            let cfg = cfg.clone();
+            handles.push(spawn(move || {
+                runtime::set_tag("bench-client");
+                let client = cluster.client();
+                let coordinator = 1 + (c % cfg.nodes) as u32;
+                let mut ycsb = match &cfg.workload {
+                    Workload::Ycsb(y) => {
+                        Some(YcsbGenerator::new(*y, cfg.seed ^ (c as u64 + 1)))
+                    }
+                    Workload::Tpcc(_) => None,
+                };
+                let mut tpcc = match &cfg.workload {
+                    Workload::Tpcc(t) => {
+                        Some(TpccGenerator::new(*t, cfg.seed ^ (c as u64 + 1)))
+                    }
+                    Workload::Ycsb(_) => None,
+                };
+                for _ in 0..cfg.txns_per_client {
+                    let start = runtime::now();
+                    let mut txn = client.begin(coordinator);
+                    let body = {
+                        let mut kv = DistKv { txn: &mut txn };
+                        match (&mut ycsb, &mut tpcc) {
+                            (Some(g), _) => g.run_txn(&mut kv),
+                            (_, Some(g)) => g.run_txn(&mut kv).map(|_| ()),
+                            _ => unreachable!(),
+                        }
+                    };
+                    let ok = body.is_ok() && txn.commit().is_ok();
+                    let elapsed = runtime::now() - start;
+                    if ok {
+                        committed.fetch_add(1, Ordering::Relaxed);
+                        hist.lock().record(elapsed);
+                    } else {
+                        aborted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            join(h);
+        }
+        let duration = runtime::now() - t0;
+        let stats = BenchStats::from_histogram(
+            label,
+            cfg.clients,
+            committed.load(Ordering::Relaxed),
+            aborted.load(Ordering::Relaxed),
+            duration.max(1),
+            &mut hist.lock(),
+        );
+        *out2.lock() = Some(stats);
+    });
+
+    let result = out.lock().take().expect("experiment produced stats");
+    result
+}
+
+// ---- Fig. 8: network bandwidth -----------------------------------------------
+
+/// The seven systems of Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetSystem {
+    /// iPerf over kernel UDP.
+    IperfUdp(TeeMode),
+    /// iPerf over kernel TCP.
+    IperfTcp(TeeMode),
+    /// eRPC over DPDK, no security.
+    Erpc(TeeMode),
+    /// Treaty's full secure networking (eRPC + SCONE + secure messages).
+    TreatyNetworking,
+}
+
+impl NetSystem {
+    /// Paper legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetSystem::IperfUdp(TeeMode::Native) => "iPerf UDP",
+            NetSystem::IperfUdp(TeeMode::Scone) => "iPerf UDP (Scone)",
+            NetSystem::IperfTcp(TeeMode::Native) => "iPerf TCP",
+            NetSystem::IperfTcp(TeeMode::Scone) => "iPerf TCP (Scone)",
+            NetSystem::Erpc(TeeMode::Native) => "eRPC",
+            NetSystem::Erpc(TeeMode::Scone) => "eRPC (Scone)",
+            NetSystem::TreatyNetworking => "Treaty networking",
+        }
+    }
+
+    /// All seven, in paper order.
+    pub fn lineup() -> [NetSystem; 7] {
+        [
+            NetSystem::IperfUdp(TeeMode::Native),
+            NetSystem::IperfUdp(TeeMode::Scone),
+            NetSystem::IperfTcp(TeeMode::Native),
+            NetSystem::IperfTcp(TeeMode::Scone),
+            NetSystem::Erpc(TeeMode::Native),
+            NetSystem::Erpc(TeeMode::Scone),
+            NetSystem::TreatyNetworking,
+        ]
+    }
+
+    fn params(&self) -> (Transport, TeeMode, treaty_crypto::WireCrypto) {
+        use treaty_crypto::WireCrypto;
+        match self {
+            NetSystem::IperfUdp(t) => (Transport::KernelUdp, *t, WireCrypto::Plain),
+            NetSystem::IperfTcp(t) => (Transport::KernelTcp, *t, WireCrypto::Plain),
+            NetSystem::Erpc(t) => (Transport::Dpdk, *t, WireCrypto::Plain),
+            NetSystem::TreatyNetworking => {
+                (Transport::Dpdk, TeeMode::Scone, WireCrypto::Full)
+            }
+        }
+    }
+}
+
+/// Streams `messages` one-way messages of `msg_bytes` and returns the
+/// goodput in Gbit/s (0.0 when everything is dropped, as for UDP > MTU).
+pub fn run_network(system: NetSystem, msg_bytes: usize, messages: u64) -> f64 {
+    use treaty_crypto::{KeyHierarchy, MsgKind, TxMeta};
+    use treaty_net::{EndpointConfig, Fabric, Rpc, RpcConfig};
+
+    let (transport, tee, crypto) = system.params();
+    let out = Arc::new(Mutex::new(0.0f64));
+    let out2 = Arc::clone(&out);
+    block_on(move || {
+        let fabric = Fabric::new(CostModel::default(), 7);
+        let key = KeyHierarchy::for_testing().network;
+        let net_cfg = EndpointConfig { transport, tee, link_gbps: 40 };
+
+        let received_bytes = Arc::new(AtomicU64::new(0));
+        let received_msgs = Arc::new(AtomicU64::new(0));
+        let last_arrival = Arc::new(AtomicU64::new(0));
+
+        let server = Rpc::new(
+            &fabric,
+            1,
+            RpcConfig {
+                endpoint: net_cfg,
+                crypto,
+                key,
+                cores: None,
+                timeout: treaty_net::DEFAULT_RPC_TIMEOUT,
+            },
+        );
+        {
+            let received_bytes = Arc::clone(&received_bytes);
+            let received_msgs = Arc::clone(&received_msgs);
+            let last_arrival = Arc::clone(&last_arrival);
+            server.register_handler(
+                0x55,
+                false,
+                Arc::new(move |_, _, payload| {
+                    received_bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    received_msgs.fetch_add(1, Ordering::Relaxed);
+                    last_arrival.store(runtime::now(), Ordering::Relaxed);
+                    None
+                }),
+            );
+        }
+        server.start();
+
+        let client = Rpc::new(
+            &fabric,
+            2,
+            RpcConfig {
+                endpoint: net_cfg,
+                crypto,
+                key,
+                cores: None,
+                timeout: treaty_net::DEFAULT_RPC_TIMEOUT,
+            },
+        );
+
+        let t0 = runtime::now();
+        let payload = vec![0xA5u8; msg_bytes];
+        for i in 0..messages {
+            let meta = TxMeta { node_id: 2, tx_id: 1, op_id: i, kind: MsgKind::Data };
+            client.send_oneway(1, 0x55, &meta, &payload);
+        }
+        // Drain: wait until deliveries go quiet.
+        let mut stable = 0;
+        let mut last_seen = 0;
+        while stable < 5 {
+            runtime::sleep(treaty_sim::MILLIS);
+            let seen = received_msgs.load(Ordering::Relaxed);
+            if seen == messages {
+                break;
+            }
+            if seen == last_seen {
+                stable += 1;
+            } else {
+                stable = 0;
+                last_seen = seen;
+            }
+        }
+        let bytes = received_bytes.load(Ordering::Relaxed);
+        let end = last_arrival.load(Ordering::Relaxed).max(t0 + 1);
+        let duration = (end - t0) as f64;
+        *out2.lock() = bytes as f64 * 8.0 / duration; // bits per ns == Gbit/s
+    });
+    let gbps = *out.lock();
+    gbps
+}
+
+// ---- Table I: recovery -------------------------------------------------------
+
+/// Builds a log of `entries` records of `entry_bytes` each, then measures
+/// the virtual time to replay and verify it. Returns `(virtual_ns,
+/// log_file_bytes)`.
+pub fn run_recovery(profile: SecurityProfile, entries: usize, entry_bytes: usize) -> (Nanos, u64) {
+    use treaty_store::env::Env;
+    use treaty_store::log;
+
+    let out = Arc::new(Mutex::new((0u64, 0u64)));
+    let out2 = Arc::clone(&out);
+    let dir = tempfile::tempdir().expect("tempdir");
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let env = Env::for_testing(profile, &path);
+        let file = path.join("wal-recovery");
+        let writer =
+            log::LogWriter::open(Arc::clone(&env), "wal-recovery", &file, 0).expect("open");
+        // Build phase (unmeasured): batched appends.
+        let record = vec![0x42u8; entry_bytes];
+        let batch: Vec<Vec<u8>> = (0..1000).map(|_| record.clone()).collect();
+        let mut remaining = entries;
+        while remaining > 0 {
+            let n = remaining.min(1000);
+            writer.append_batch(&batch[..n]).expect("append");
+            remaining -= n;
+        }
+        let log_bytes = std::fs::metadata(&file).expect("meta").len();
+
+        // Measured: replay + verification (what recovery does).
+        let t0 = runtime::now();
+        let replay = log::replay(&env, "wal-recovery", &file, 0).expect("replay");
+        assert_eq!(replay.records.len(), entries);
+        let elapsed = runtime::now() - t0;
+        *out2.lock() = (elapsed, log_bytes);
+    });
+    let r = *out.lock();
+    r
+}
+
+// ---- reporting helpers ---------------------------------------------------------
+
+/// Formats a slowdown factor like the paper's figures.
+pub fn slowdown(baseline_tps: f64, tps: f64) -> f64 {
+    if tps <= 0.0 {
+        f64::INFINITY
+    } else {
+        baseline_tps / tps
+    }
+}
+
+/// Prints one stats row.
+pub fn print_row(stats: &BenchStats, baseline_tps: Option<f64>) {
+    let tps = stats.tps();
+    let slow = baseline_tps.map(|b| slowdown(b, tps));
+    println!(
+        "  {:<26} {:>10.0} tps  {:>8.2} ms mean  {:>8.2} ms p99  {:>6.1}% aborts{}",
+        stats.label,
+        tps,
+        stats.mean_latency_ns as f64 / 1e6,
+        stats.p99_latency_ns as f64 / 1e6,
+        stats.abort_rate() * 100.0,
+        match slow {
+            Some(s) => format!("  {s:>5.2}x slower than baseline"),
+            None => "  (baseline)".to_string(),
+        }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_only_smoke() {
+        let stats = run_experiment(RunConfig {
+            clients: 4,
+            txns_per_client: 3,
+            ..RunConfig::protocol_only(SecurityProfile::rocksdb(), 4)
+        });
+        assert!(stats.committed > 0);
+        assert!(stats.tps() > 0.0);
+    }
+
+    #[test]
+    fn distributed_ycsb_smoke() {
+        let mut ycsb = YcsbConfig::balanced();
+        ycsb.keys = 200;
+        let stats = run_experiment(RunConfig {
+            clients: 4,
+            txns_per_client: 3,
+            ..RunConfig::distributed_ycsb(SecurityProfile::treaty_full(), ycsb, 4)
+        });
+        assert!(stats.committed > 0);
+    }
+
+    #[test]
+    fn single_node_tpcc_smoke() {
+        let stats = run_experiment(RunConfig {
+            clients: 2,
+            txns_per_client: 3,
+            ..RunConfig::single_node(
+                SecurityProfile::native_treaty(),
+                TxnMode::Pessimistic,
+                Workload::Tpcc(TpccConfig::tiny()),
+                2,
+            )
+        });
+        assert!(stats.committed > 0);
+    }
+
+    #[test]
+    fn network_bench_udp_drops_large() {
+        let g = run_network(NetSystem::IperfUdp(TeeMode::Native), 4096, 50);
+        assert_eq!(g, 0.0, "UDP above MTU must deliver nothing");
+        let g = run_network(NetSystem::IperfUdp(TeeMode::Native), 1024, 50);
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn network_bench_scone_slower_than_native_tcp() {
+        let native = run_network(NetSystem::IperfTcp(TeeMode::Native), 4096, 100);
+        let scone = run_network(NetSystem::IperfTcp(TeeMode::Scone), 4096, 100);
+        assert!(native > scone, "native {native} vs scone {scone}");
+    }
+
+    #[test]
+    fn recovery_bench_encrypted_slower() {
+        let (native, _) = run_recovery(SecurityProfile::rocksdb(), 2000, 100);
+        let (enc, _) = run_recovery(SecurityProfile::treaty_full(), 2000, 100);
+        assert!(enc > native, "encrypted recovery must cost more");
+    }
+}

@@ -1,0 +1,252 @@
+//! The client library: interactive transactions over a mutually
+//! authenticated channel (§IV-A).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use treaty_crypto::{Key, MsgKind, TxMeta, WireCrypto};
+use treaty_net::{EndpointConfig, EndpointId, Fabric, Rpc, RpcConfig};
+use treaty_sim::Nanos;
+use treaty_store::GlobalTxId;
+
+use crate::messages::{decode, encode, req, CommitResult, Op, OpResult};
+use crate::{Result, TreatyError};
+
+/// A Treaty client bound to one fabric endpoint.
+///
+/// The paper's clients run on separate machines behind a 1 Gb/s NIC; the
+/// default [`client_net`] reflects that.
+pub struct TreatyClient {
+    rpc: Arc<Rpc>,
+    client_id: u32,
+    next_seq: AtomicU32,
+}
+
+impl std::fmt::Debug for TreatyClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TreatyClient").field("client_id", &self.client_id).finish_non_exhaustive()
+    }
+}
+
+/// The paper's client network configuration: kernel sockets over the
+/// secondary 1 Gb/s NIC.
+pub fn client_net() -> EndpointConfig {
+    EndpointConfig {
+        transport: treaty_sim::Transport::KernelTcp,
+        tee: treaty_sim::TeeMode::Native,
+        link_gbps: 1,
+    }
+}
+
+impl TreatyClient {
+    /// Connects a client. `client_id` must be unique on the fabric (its
+    /// endpoint is `client_id` itself), and is assumed already registered
+    /// and authenticated with the CAS.
+    pub fn connect(
+        fabric: &Arc<Fabric>,
+        client_id: u32,
+        crypto: WireCrypto,
+        network_key: Key,
+        timeout: Nanos,
+    ) -> Self {
+        let rpc = Rpc::new(
+            fabric,
+            client_id,
+            RpcConfig {
+                endpoint: client_net(),
+                crypto,
+                key: network_key,
+                cores: None,
+                timeout,
+            },
+        );
+        rpc.start();
+        TreatyClient { rpc, client_id, next_seq: AtomicU32::new(1) }
+    }
+
+    /// The client's id / endpoint.
+    pub fn id(&self) -> u32 {
+        self.client_id
+    }
+
+    /// Begins an interactive transaction coordinated by `coordinator`.
+    pub fn begin(&self, coordinator: EndpointId) -> DistTxn<'_> {
+        let local = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        // Cluster-unique transaction sequence: client id ‖ local counter.
+        let seq = ((self.client_id as u64) << 32) | local as u64;
+        DistTxn {
+            client: self,
+            coordinator,
+            seq,
+            op_seq: 1,
+            finished: false,
+        }
+    }
+
+    /// Disconnects.
+    pub fn disconnect(&self) {
+        self.rpc.stop();
+    }
+}
+
+/// An interactive distributed transaction.
+///
+/// Created by [`TreatyClient::begin`]; ops execute immediately on the
+/// cluster (acquiring locks as they go), and [`DistTxn::commit`] runs the
+/// secure 2PC.
+pub struct DistTxn<'a> {
+    client: &'a TreatyClient,
+    coordinator: EndpointId,
+    seq: u64,
+    op_seq: u64,
+    finished: bool,
+}
+
+impl std::fmt::Debug for DistTxn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistTxn").field("gtx", &self.gtx()).finish_non_exhaustive()
+    }
+}
+
+impl<'a> DistTxn<'a> {
+    /// The transaction's global id.
+    pub fn gtx(&self) -> GlobalTxId {
+        GlobalTxId { node: self.coordinator as u64, seq: self.seq }
+    }
+
+    fn meta(&mut self, kind: MsgKind) -> TxMeta {
+        let op_id = self.op_seq;
+        self.op_seq += 1;
+        TxMeta { node_id: self.client.client_id as u64, tx_id: self.seq, op_id, kind }
+    }
+
+    /// Tells the coordinator to drop the transaction after a client-side
+    /// failure, so participants' locks are not leaked. Retried because the
+    /// same lossy network that caused the failure may drop this too;
+    /// rolling back an already-finished transaction is a no-op server-side.
+    fn best_effort_rollback(&mut self) {
+        for _ in 0..3 {
+            let meta = self.meta(MsgKind::TxnAbort);
+            if self
+                .client
+                .rpc
+                .call(self.coordinator, req::CLIENT_ROLLBACK, &meta, &[])
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    fn run_op(&mut self, op: Op) -> Result<Option<Vec<u8>>> {
+        if self.finished {
+            return Err(TreatyError::Rejected("transaction finished".into()));
+        }
+        let meta = self.meta(MsgKind::TxnPut);
+        let call = self
+            .client
+            .rpc
+            .call(self.coordinator, req::CLIENT_OP, &meta, &encode(&op));
+        let (_, bytes) = match call {
+            Ok(x) => x,
+            Err(e) => {
+                self.finished = true;
+                self.best_effort_rollback();
+                return Err(TreatyError::Net(e.to_string()));
+            }
+        };
+        match decode::<OpResult>(&bytes) {
+            Some(OpResult::Ok { value }) => Ok(value),
+            Some(OpResult::Err { reason }) => {
+                self.finished = true;
+                Err(TreatyError::Aborted(self.gtx(), reason))
+            }
+            None => {
+                self.finished = true;
+                Err(TreatyError::Rejected("malformed coordinator reply".into()))
+            }
+        }
+    }
+
+    /// Transactional read ([`TxnGet`](MsgKind::TxnGet)).
+    ///
+    /// # Errors
+    ///
+    /// [`TreatyError::Aborted`] if the operation aborted the transaction
+    /// (lock timeout, conflict), [`TreatyError::Net`] on network failure.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.run_op(Op::Get { key: key.to_vec() })
+    }
+
+    /// Transactional write.
+    ///
+    /// # Errors
+    ///
+    /// See [`DistTxn::get`].
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.run_op(Op::Put { key: key.to_vec(), value: value.to_vec() })?;
+        Ok(())
+    }
+
+    /// Transactional delete.
+    ///
+    /// # Errors
+    ///
+    /// See [`DistTxn::get`].
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.run_op(Op::Delete { key: key.to_vec() })?;
+        Ok(())
+    }
+
+    /// Commits via the secure 2PC. On success the transaction is durable
+    /// and — under the stabilization profile — rollback-protected.
+    ///
+    /// # Errors
+    ///
+    /// [`TreatyError::Aborted`] with the abort reason, or network errors.
+    pub fn commit(mut self) -> Result<()> {
+        if self.finished {
+            return Err(TreatyError::Rejected("transaction finished".into()));
+        }
+        self.finished = true;
+        let meta = self.meta(MsgKind::TxnCommit);
+        let call = self
+            .client
+            .rpc
+            .call(self.coordinator, req::CLIENT_COMMIT, &meta, &[]);
+        let (_, bytes) = match call {
+            Ok(x) => x,
+            Err(e) => {
+                // The outcome is ambiguous (classic 2PC client ambiguity);
+                // the rollback below is a no-op if the commit already won.
+                self.best_effort_rollback();
+                return Err(TreatyError::Net(e.to_string()));
+            }
+        };
+        match decode::<CommitResult>(&bytes) {
+            Some(CommitResult::Committed) => Ok(()),
+            Some(CommitResult::Aborted { reason }) => {
+                Err(TreatyError::Aborted(self.gtx(), reason))
+            }
+            None => Err(TreatyError::Rejected("malformed commit reply".into())),
+        }
+    }
+
+    /// Rolls the transaction back.
+    ///
+    /// # Errors
+    ///
+    /// Network errors only; rollback itself cannot fail.
+    pub fn rollback(mut self) -> Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        self.finished = true;
+        let meta = self.meta(MsgKind::TxnAbort);
+        self.client
+            .rpc
+            .call(self.coordinator, req::CLIENT_ROLLBACK, &meta, &[])
+            .map_err(|e| TreatyError::Net(e.to_string()))?;
+        Ok(())
+    }
+}

@@ -1,0 +1,254 @@
+//! The coordinator log (Clog) — the third authenticated log file (§V-A).
+//!
+//! "Clog is written by Txs coordinators and keeps the 2PC protocol state."
+//! Every entry carries a trusted counter value; the *decision* entry is
+//! stabilized before the transaction may commit, which is what makes the
+//! outcome of a distributed transaction rollback-protected (§VI).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use treaty_store::env::Env;
+use treaty_store::log::{self, LogWriter};
+use treaty_store::{GlobalTxId, Result, StoreError};
+
+/// One Clog record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClogRecord {
+    /// The coordinator started 2PC for `gtx` with these participants.
+    Start {
+        /// Transaction id.
+        gtx: GlobalTxId,
+        /// Participant fabric endpoints.
+        participants: Vec<u32>,
+    },
+    /// The commit/abort decision.
+    Decision {
+        /// Transaction id.
+        gtx: GlobalTxId,
+        /// True = commit.
+        commit: bool,
+    },
+}
+
+/// 2PC state for one transaction, rebuilt at recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxProtocolState {
+    /// Participants recorded at start.
+    pub participants: Vec<u32>,
+    /// Decision, if logged.
+    pub decision: Option<bool>,
+}
+
+/// The coordinator log.
+pub struct Clog {
+    writer: Arc<LogWriter>,
+    state: Mutex<HashMap<GlobalTxId, TxProtocolState>>,
+    env: Arc<Env>,
+}
+
+impl std::fmt::Debug for Clog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Clog").finish_non_exhaustive()
+    }
+}
+
+/// File name of the Clog within a node directory.
+pub const CLOG_FILE: &str = "CLOG";
+/// Log name (drives the trusted counter id).
+pub const CLOG_NAME: &str = "clog";
+
+impl Clog {
+    /// Opens (or recovers) the Clog in `env.dir`, verifying integrity and
+    /// freshness of any existing records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates integrity/rollback errors from the log replay.
+    pub fn open(env: Arc<Env>) -> Result<Self> {
+        let path = env.dir.join(CLOG_FILE);
+        let mut state = HashMap::new();
+        let recovered_counter = if path.exists() {
+            let replay = log::replay(&env, CLOG_NAME, &path, 0)?;
+            log::verify_freshness(&env, CLOG_NAME, replay.last_counter)?;
+            for (_, payload) in &replay.records {
+                let rec: ClogRecord = serde_json::from_slice(payload)
+                    .map_err(|_| StoreError::Integrity("clog record does not parse".into()))?;
+                match rec {
+                    ClogRecord::Start { gtx, participants } => {
+                        state
+                            .entry(gtx)
+                            .or_insert(TxProtocolState { participants: vec![], decision: None })
+                            .participants = participants;
+                    }
+                    ClogRecord::Decision { gtx, commit } => {
+                        state
+                            .entry(gtx)
+                            .or_insert(TxProtocolState { participants: vec![], decision: None })
+                            .decision = Some(commit);
+                    }
+                }
+            }
+            replay.last_counter
+        } else {
+            // A missing Clog is only acceptable if nothing was ever
+            // stabilized under this name — otherwise the adversary deleted
+            // it to forget decided transactions.
+            log::verify_freshness(&env, CLOG_NAME, 0)?;
+            0
+        };
+        let writer = Arc::new(LogWriter::open(
+            Arc::clone(&env),
+            CLOG_NAME,
+            &path,
+            recovered_counter,
+        )?);
+        Ok(Clog { writer, state: Mutex::new(state), env })
+    }
+
+    /// Logs the start of 2PC for `gtx`. Returns the record's counter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log I/O failures.
+    pub fn log_start(&self, gtx: GlobalTxId, participants: Vec<u32>) -> Result<u64> {
+        let rec = ClogRecord::Start { gtx, participants: participants.clone() };
+        let counter = self.writer.append(&serde_json::to_vec(&rec).unwrap())?;
+        self.state
+            .lock()
+            .insert(gtx, TxProtocolState { participants, decision: None });
+        Ok(counter)
+    }
+
+    /// Logs the decision and — under the stabilization profile — blocks
+    /// until it is rollback-protected (§V-A steps 6–7).
+    ///
+    /// # Errors
+    ///
+    /// Propagates log I/O and stabilization failures.
+    pub fn log_decision(&self, gtx: GlobalTxId, commit: bool) -> Result<()> {
+        let rec = ClogRecord::Decision { gtx, commit };
+        let counter = self.writer.append(&serde_json::to_vec(&rec).unwrap())?;
+        if self.env.profile.stabilization {
+            self.writer.stabilize(counter)?;
+        }
+        if let Some(st) = self.state.lock().get_mut(&gtx) {
+            st.decision = Some(commit);
+        }
+        Ok(())
+    }
+
+    /// The logged decision for `gtx`, if any.
+    pub fn decision(&self, gtx: GlobalTxId) -> Option<bool> {
+        self.state.lock().get(&gtx).and_then(|s| s.decision)
+    }
+
+    /// Transactions started but undecided — what recovery must re-drive.
+    pub fn undecided(&self) -> Vec<(GlobalTxId, Vec<u32>)> {
+        self.state
+            .lock()
+            .iter()
+            .filter(|(_, s)| s.decision.is_none())
+            .map(|(g, s)| (*g, s.participants.clone()))
+            .collect()
+    }
+
+    /// Transactions with a logged decision (recovery re-delivers phase
+    /// two for them, since ACKs are not logged).
+    pub fn decided(&self) -> Vec<(GlobalTxId, TxProtocolState)> {
+        self.state
+            .lock()
+            .iter()
+            .filter(|(_, s)| s.decision.is_some())
+            .map(|(g, s)| (*g, s.clone()))
+            .collect()
+    }
+
+    /// Full protocol state for `gtx` (test introspection).
+    pub fn protocol_state(&self, gtx: GlobalTxId) -> Option<TxProtocolState> {
+        self.state.lock().get(&gtx).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+    use treaty_sim::SecurityProfile;
+
+    fn env(dir: &Path) -> Arc<Env> {
+        Env::for_testing(SecurityProfile::treaty_full(), dir)
+    }
+
+    #[test]
+    fn start_decide_and_recover() {
+        let dir = tempfile::tempdir().unwrap();
+        let gtx = GlobalTxId { node: 1, seq: 9 };
+        {
+            let clog = Clog::open(env(dir.path())).unwrap();
+            clog.log_start(gtx, vec![1, 2]).unwrap();
+            assert_eq!(clog.undecided().len(), 1);
+            clog.log_decision(gtx, true).unwrap();
+            assert_eq!(clog.decision(gtx), Some(true));
+            assert!(clog.undecided().is_empty());
+        }
+        // Recover.
+        let clog = Clog::open(env(dir.path())).unwrap();
+        assert_eq!(clog.decision(gtx), Some(true));
+        assert_eq!(
+            clog.protocol_state(gtx).unwrap().participants,
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn undecided_txn_visible_after_recovery() {
+        let dir = tempfile::tempdir().unwrap();
+        let gtx = GlobalTxId { node: 1, seq: 3 };
+        {
+            let clog = Clog::open(env(dir.path())).unwrap();
+            clog.log_start(gtx, vec![2, 3]).unwrap();
+            // crash before decision
+        }
+        let clog = Clog::open(env(dir.path())).unwrap();
+        assert_eq!(clog.undecided(), vec![(gtx, vec![2, 3])]);
+        assert_eq!(clog.decision(gtx), None);
+    }
+
+    #[test]
+    fn tampered_clog_detected() {
+        let dir = tempfile::tempdir().unwrap();
+        let e = env(dir.path());
+        {
+            let clog = Clog::open(Arc::clone(&e)).unwrap();
+            clog.log_start(GlobalTxId { node: 1, seq: 1 }, vec![1]).unwrap();
+        }
+        let path = dir.path().join(CLOG_FILE);
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[15] ^= 0x40;
+        std::fs::write(&path, raw).unwrap();
+        let err = Clog::open(e).unwrap_err();
+        assert!(matches!(err, StoreError::Integrity(_)));
+    }
+
+    #[test]
+    fn truncated_clog_detected_as_rollback() {
+        let dir = tempfile::tempdir().unwrap();
+        let e = env(dir.path());
+        {
+            let clog = Clog::open(Arc::clone(&e)).unwrap();
+            let gtx = GlobalTxId { node: 1, seq: 1 };
+            clog.log_start(gtx, vec![1]).unwrap();
+            clog.log_decision(gtx, true).unwrap(); // stabilized
+        }
+        // Adversary deletes the Clog wholesale to forget the decision.
+        std::fs::remove_file(dir.path().join(CLOG_FILE)).unwrap();
+        let err = Clog::open(e).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Rollback(_)),
+            "deleting a stabilized Clog must be detected, got {err:?}"
+        );
+    }
+}

@@ -1,0 +1,368 @@
+//! Cluster assembly: CAS trust bootstrap, trusted counter protection
+//! group, node startup, crash/restart for the failure tests.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use treaty_cas::{bootstrap_cluster, ClusterConfig, Las};
+use treaty_counter::{CounterBackend, NullBackend, RoteGroup, RoteReplica};
+use treaty_crypto::{Key, KeyHierarchy, WireCrypto};
+use treaty_net::{EndpointConfig, EndpointId, Fabric};
+use treaty_sched::CorePool;
+use treaty_sim::{CostModel, SecurityProfile, Transport};
+use treaty_store::env::{EngineConfig, Env};
+use treaty_store::{SharedNullEngine, TreatyStore, TxnEngine, TxnMode};
+
+use crate::client::TreatyClient;
+use crate::node::{NodeOptions, TreatyNode};
+use crate::shard::ShardMap;
+use crate::{Result, TreatyError};
+
+/// First fabric endpoint for server nodes.
+pub const NODE_BASE: EndpointId = 1;
+/// First fabric endpoint for trusted counter replicas.
+pub const COUNTER_BASE: EndpointId = 1000;
+/// First fabric endpoint for per-node counter clients.
+pub const COUNTER_CLIENT_BASE: EndpointId = 2000;
+/// First fabric endpoint for clients.
+pub const CLIENT_BASE: EndpointId = 5000;
+
+/// Cluster construction options.
+#[derive(Clone)]
+pub struct ClusterOptions {
+    /// Number of Treaty nodes (the paper uses 3).
+    pub nodes: usize,
+    /// Security profile of the system variant under test.
+    pub profile: SecurityProfile,
+    /// Cost model.
+    pub costs: CostModel,
+    /// Concurrency control for node-local transactions.
+    pub txn_mode: TxnMode,
+    /// `false` runs the storage-less 2PC of §VIII-B (NullEngine, no Clog).
+    pub durable: bool,
+    /// CPU cores per node (paper testbed: 8).
+    pub cores_per_node: u32,
+    /// Trusted counter protection group size.
+    pub counter_replicas: usize,
+    /// Engine sizing.
+    pub engine_config: EngineConfig,
+    /// Directory holding one subdirectory per node.
+    pub base_dir: PathBuf,
+    /// Master secret / determinism seed.
+    pub seed: u64,
+}
+
+impl ClusterOptions {
+    /// Paper-like defaults for the given profile, storing under `base_dir`.
+    pub fn new(profile: SecurityProfile, base_dir: PathBuf) -> Self {
+        ClusterOptions {
+            nodes: 3,
+            profile,
+            costs: CostModel::default(),
+            txn_mode: TxnMode::Pessimistic,
+            durable: true,
+            cores_per_node: 8,
+            counter_replicas: 3,
+            engine_config: EngineConfig::default(),
+            base_dir,
+            seed: 42,
+        }
+    }
+}
+
+/// Converts a profile to the wire protection level.
+pub fn wire_crypto(profile: &SecurityProfile) -> WireCrypto {
+    if profile.encryption {
+        WireCrypto::Full
+    } else if profile.authentication {
+        WireCrypto::AuthOnly
+    } else {
+        WireCrypto::Plain
+    }
+}
+
+struct NodeSlot {
+    node: Option<Arc<TreatyNode>>,
+    store: Option<TreatyStore>,
+    env: Option<Arc<Env>>,
+    cores: Arc<CorePool>,
+}
+
+/// A running Treaty cluster (fabric + CAS + counter group + nodes).
+pub struct Cluster {
+    fabric: Arc<Fabric>,
+    options: ClusterOptions,
+    keys: KeyHierarchy,
+    shard_map: ShardMap,
+    slots: Vec<NodeSlot>,
+    replicas: Vec<Arc<RoteReplica>>,
+    lases: Vec<Las>,
+    next_client: std::sync::atomic::AtomicU32,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster").field("nodes", &self.slots.len()).finish_non_exhaustive()
+    }
+}
+
+impl Cluster {
+    /// Boots a cluster: attests every node through the CAS/LAS chain,
+    /// starts the trusted counter protection group (when stabilizing) and
+    /// every Treaty node. Must run inside the simulation runtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store/Clog recovery failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if attestation fails (impossible with the honest roots used
+    /// here) or the base directory is unusable.
+    pub fn start(options: ClusterOptions) -> Result<Self> {
+        let fabric = Fabric::new(options.costs.clone(), options.seed);
+        let node_endpoints: Vec<u32> =
+            (0..options.nodes).map(|i| NODE_BASE + i as u32).collect();
+        let counter_endpoints: Vec<u32> = (0..options.counter_replicas)
+            .map(|i| COUNTER_BASE + i as u32)
+            .collect();
+
+        // Distributed trust establishment (§VI).
+        let master = Key::from_bytes([options.seed as u8; 32]);
+        let config = ClusterConfig {
+            node_endpoints: node_endpoints.clone(),
+            counter_replicas: counter_endpoints.clone(),
+            shard_seed: options.seed,
+        };
+        let machines: Vec<String> =
+            (0..options.nodes).map(|i| format!("machine-{i}")).collect();
+        let machine_refs: Vec<&str> = machines.iter().map(|s| s.as_str()).collect();
+        let (_ias, cas, lases) = bootstrap_cluster(master, config, &machine_refs);
+
+        // Counter protection group (only consulted under stabilization,
+        // but always present — like the paper's deployment).
+        let keys = {
+            let quote = lases[0]
+                .quote_instance(&treaty_cas::node_measurement(), b"bootstrap".to_vec());
+            cas.register_node(node_endpoints[0], &quote)
+                .expect("bootstrap attestation")
+                .keys
+        };
+        let replicas: Vec<Arc<RoteReplica>> = if options.durable {
+            std::fs::create_dir_all(&options.base_dir)
+                .expect("cluster base dir");
+            counter_endpoints
+                .iter()
+                .map(|&e| {
+                    RoteReplica::start(&fabric, e, keys.counter, keys.sealing, &options.base_dir)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let shard_map = ShardMap::new(node_endpoints.clone(), options.seed);
+        let mut cluster = Cluster {
+            fabric,
+            keys,
+            shard_map,
+            slots: Vec::new(),
+            replicas,
+            lases,
+            next_client: std::sync::atomic::AtomicU32::new(CLIENT_BASE),
+            options,
+        };
+
+        for i in 0..cluster.options.nodes {
+            let cores = Arc::new(CorePool::new(cluster.options.cores_per_node));
+            cluster.slots.push(NodeSlot { node: None, store: None, env: None, cores });
+            cluster.boot_node(i)?;
+        }
+        Ok(cluster)
+    }
+
+    fn node_env(&self, idx: usize) -> Arc<Env> {
+        let options = &self.options;
+        let backend: Arc<dyn CounterBackend> = if options.profile.stabilization {
+            RoteGroup::connect(
+                &self.fabric,
+                COUNTER_CLIENT_BASE + idx as u32,
+                self.keys.counter,
+                (0..options.counter_replicas)
+                    .map(|i| COUNTER_BASE + i as u32)
+                    .collect(),
+                2 * treaty_sim::MILLIS,
+            )
+        } else {
+            NullBackend::new()
+        };
+        Arc::new(Env {
+            profile: options.profile,
+            costs: options.costs.clone(),
+            enclave: Arc::new(treaty_tee::Enclave::new(options.profile.tee)),
+            vault: treaty_tee::HostVault::new(),
+            cores: Some(Arc::clone(&self.slots[idx].cores)),
+            keys: self.keys,
+            backend,
+            dir: options.base_dir.join(format!("node-{idx}")),
+            config: options.engine_config.clone(),
+        })
+    }
+
+    fn boot_node(&mut self, idx: usize) -> Result<()> {
+        let options = self.options.clone();
+        let endpoint = NODE_BASE + idx as u32;
+
+        // Re-attestation through the LAS (no IAS round, §VI).
+        let machine = idx % self.lases.len();
+        let quote = self.lases[machine].quote_instance(
+            &treaty_cas::node_measurement(),
+            endpoint.to_le_bytes().to_vec(),
+        );
+        // The quote is validated by construction here; a production rollout
+        // would round-trip through the CAS (see treaty-cas tests).
+        let _ = quote;
+
+        let (engine, env): (Arc<dyn TxnEngine>, Option<Arc<Env>>) = if options.durable {
+            let env = match &self.slots[idx].env {
+                Some(env) => Arc::clone(env),
+                None => {
+                    let env = self.node_env(idx);
+                    self.slots[idx].env = Some(Arc::clone(&env));
+                    env
+                }
+            };
+            let store =
+                TreatyStore::open(Arc::clone(&env)).map_err(TreatyError::from)?;
+            self.slots[idx].store = Some(store.clone());
+            (Arc::new(store), Some(env))
+        } else {
+            (Arc::new(SharedNullEngine::new()), None)
+        };
+
+        let node = TreatyNode::start(
+            &self.fabric,
+            engine,
+            NodeOptions {
+                endpoint,
+                net: EndpointConfig {
+                    transport: Transport::Dpdk,
+                    tee: options.profile.tee,
+                    link_gbps: 40,
+                },
+                crypto: wire_crypto(&options.profile),
+                network_key: self.keys.network,
+                shard_map: self.shard_map.clone(),
+                cores: Some(Arc::clone(&self.slots[idx].cores)),
+                env,
+                txn_mode: options.txn_mode,
+                timeout: treaty_net::DEFAULT_RPC_TIMEOUT,
+            },
+        )
+        .map_err(TreatyError::from)?;
+        self.slots[idx].node = Some(node);
+        Ok(())
+    }
+
+    /// The fabric (adversary control, capture).
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// The shard map.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.shard_map
+    }
+
+    /// Node endpoints in shard order.
+    pub fn node_endpoints(&self) -> Vec<EndpointId> {
+        (0..self.slots.len()).map(|i| NODE_BASE + i as u32).collect()
+    }
+
+    /// A running node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is crashed.
+    pub fn node(&self, idx: usize) -> &Arc<TreatyNode> {
+        self.slots[idx].node.as_ref().expect("node is crashed")
+    }
+
+    /// The node's storage engine (durable clusters only).
+    pub fn store(&self, idx: usize) -> Option<&TreatyStore> {
+        self.slots[idx].store.as_ref()
+    }
+
+    /// Connects a new client (auto-assigned unique endpoint).
+    pub fn client(&self) -> TreatyClient {
+        let id = self
+            .next_client
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        TreatyClient::connect(
+            &self.fabric,
+            id,
+            wire_crypto(&self.options.profile),
+            self.keys.network,
+            treaty_net::DEFAULT_RPC_TIMEOUT,
+        )
+    }
+
+    /// Crashes node `idx`: it stops serving and loses all volatile state.
+    /// Persistent files survive.
+    pub fn crash_node(&mut self, idx: usize) {
+        if let Some(node) = self.slots[idx].node.take() {
+            node.stop();
+        }
+        self.slots[idx].store = None;
+    }
+
+    /// Restarts a crashed node: storage recovery (MANIFEST → WAL → Clog),
+    /// re-attestation, then serving resumes. Call
+    /// [`Cluster::resolve_recovered`] afterwards to finish in-flight 2PC.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces recovery failures — including detected rollback/fork
+    /// attacks, which refuse to start the node.
+    pub fn restart_node(&mut self, idx: usize) -> Result<()> {
+        self.boot_node(idx)
+    }
+
+    /// Runs distributed recovery resolution on every running node.
+    /// Returns the total `(re_decided, resolved_prepared)`.
+    pub fn resolve_recovered(&self) -> (usize, usize) {
+        let mut totals = (0, 0);
+        for slot in &self.slots {
+            if let Some(node) = &slot.node {
+                let (d, r) = node.resolve_recovered();
+                totals.0 += d;
+                totals.1 += r;
+            }
+        }
+        totals
+    }
+
+    /// Sum of committed/aborted transactions over all coordinators.
+    pub fn totals(&self) -> (u64, u64) {
+        let mut committed = 0;
+        let mut aborted = 0;
+        for slot in &self.slots {
+            if let Some(node) = &slot.node {
+                let s = node.stats();
+                committed += s.committed;
+                aborted += s.aborted;
+            }
+        }
+        (committed, aborted)
+    }
+
+    /// Stops everything (counter replicas included).
+    pub fn shutdown(&mut self) {
+        for i in 0..self.slots.len() {
+            self.crash_node(i);
+        }
+        for r in &self.replicas {
+            r.stop();
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Treaty's distributed transaction layer (§IV–§VI): the paper's primary
+//! contribution.
+//!
+//! A [`cluster::Cluster`] shards the key space over [`node::TreatyNode`]s.
+//! Clients ([`client::TreatyClient`]) drive interactive transactions
+//! through a coordinator node, which forwards operations to participant
+//! shards and, at commit, runs the secure two-phase-commit of Fig. 2:
+//!
+//! 1. the coordinator logs the transaction to its **Clog** with a trusted
+//!    counter value,
+//! 2. participants prepare locally (durable WAL record, locks held) and —
+//!    under the stabilization profile — only ACK once the prepare entry is
+//!    rollback-protected,
+//! 3. the coordinator logs and stabilizes the decision, then instructs
+//!    participants to commit; the client learns the outcome once the
+//!    decision itself can never be rolled back.
+//!
+//! Recovery (§VI) replays MANIFEST → WAL → Clog, re-drives undecided
+//! transactions, answers participants' `QueryDecision` requests, and
+//! refuses forked or rolled-back state.
+
+pub mod client;
+pub mod cluster;
+pub mod clog;
+pub mod history;
+pub mod messages;
+pub mod node;
+pub mod shard;
+
+pub use client::{DistTxn, TreatyClient};
+pub use cluster::{Cluster, ClusterOptions};
+pub use history::{check_list_append, HistoryError, TxnObservation};
+pub use node::{NodeOptions, TreatyNode};
+pub use shard::ShardMap;
+
+use treaty_store::GlobalTxId;
+
+/// Errors surfaced by the distributed layer.
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+pub enum TreatyError {
+    /// The transaction was aborted (conflict, timeout, participant vote,
+    /// or explicit rollback).
+    #[error("transaction {0} aborted: {1}")]
+    Aborted(GlobalTxId, String),
+    /// A network problem prevented completing the request.
+    #[error("network: {0}")]
+    Net(String),
+    /// The storage engine reported an error.
+    #[error("storage: {0}")]
+    Store(String),
+    /// The remote node rejected the request (authentication, unknown
+    /// transaction, …).
+    #[error("rejected: {0}")]
+    Rejected(String),
+}
+
+impl From<treaty_net::NetError> for TreatyError {
+    fn from(e: treaty_net::NetError) -> Self {
+        TreatyError::Net(e.to_string())
+    }
+}
+
+impl From<treaty_store::StoreError> for TreatyError {
+    fn from(e: treaty_store::StoreError) -> Self {
+        TreatyError::Store(e.to_string())
+    }
+}
+
+/// Result alias for the distributed layer.
+pub type Result<T> = std::result::Result<T, TreatyError>;

@@ -1,0 +1,176 @@
+//! Wire payloads of the transaction protocol (carried inside the secure
+//! message envelope of §VII-A).
+
+use serde::{Deserialize, Serialize};
+
+use treaty_store::GlobalTxId;
+
+/// Request types on the fabric.
+pub mod req {
+    /// Client → coordinator: one transactional operation.
+    pub const CLIENT_OP: u8 = 1;
+    /// Client → coordinator: commit.
+    pub const CLIENT_COMMIT: u8 = 2;
+    /// Client → coordinator: rollback.
+    pub const CLIENT_ROLLBACK: u8 = 3;
+    /// Coordinator → participant: one operation.
+    pub const PEER_OP: u8 = 10;
+    /// Coordinator → participant: 2PC prepare.
+    pub const PEER_PREPARE: u8 = 11;
+    /// Coordinator → participant: 2PC commit.
+    pub const PEER_COMMIT: u8 = 12;
+    /// Coordinator → participant: 2PC abort.
+    pub const PEER_ABORT: u8 = 13;
+    /// Recovering participant → coordinator: what was decided?
+    pub const QUERY_DECISION: u8 = 14;
+}
+
+/// One transactional operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Point read.
+    Get {
+        /// Key to read.
+        key: Vec<u8>,
+    },
+    /// Write.
+    Put {
+        /// Key to write.
+        key: Vec<u8>,
+        /// New value.
+        value: Vec<u8>,
+    },
+    /// Deletion.
+    Delete {
+        /// Key to delete.
+        key: Vec<u8>,
+    },
+}
+
+impl Op {
+    /// The key this operation touches.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            Op::Get { key } | Op::Put { key, .. } | Op::Delete { key } => key,
+        }
+    }
+}
+
+/// Result of an [`Op`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpResult {
+    /// Success; `value` set for gets.
+    Ok {
+        /// Value read, if this was a get.
+        value: Option<Vec<u8>>,
+    },
+    /// The operation failed and the transaction aborted.
+    Err {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// Coordinator → participant messages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeerMsg {
+    /// Execute one operation inside `gtx`.
+    Op {
+        /// Transaction id.
+        gtx: GlobalTxId,
+        /// Operation.
+        op: Op,
+    },
+    /// Prepare `gtx` (phase one).
+    Prepare {
+        /// Transaction id.
+        gtx: GlobalTxId,
+    },
+    /// Commit `gtx` (phase two).
+    Commit {
+        /// Transaction id.
+        gtx: GlobalTxId,
+    },
+    /// Abort `gtx`.
+    Abort {
+        /// Transaction id.
+        gtx: GlobalTxId,
+    },
+    /// Ask the coordinator for `gtx`'s outcome (recovery).
+    QueryDecision {
+        /// Transaction id.
+        gtx: GlobalTxId,
+    },
+}
+
+/// Participant → coordinator replies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeerReply {
+    /// Result of an [`PeerMsg::Op`].
+    OpDone(OpResult),
+    /// Prepare vote.
+    Vote {
+        /// True = prepared and stabilized; false = abort.
+        yes: bool,
+    },
+    /// Commit/abort acknowledged.
+    Ack,
+    /// Answer to [`PeerMsg::QueryDecision`]: `None` = still undecided.
+    Decision {
+        /// `Some(true)` commit, `Some(false)` abort, `None` unknown.
+        commit: Option<bool>,
+    },
+}
+
+/// Client → coordinator commit/rollback result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommitResult {
+    /// Committed and (under the stabilization profile) rollback-protected.
+    Committed,
+    /// Aborted.
+    Aborted {
+        /// Why.
+        reason: String,
+    },
+}
+
+/// Encodes any of the protocol payloads.
+pub fn encode<T: Serialize>(v: &T) -> Vec<u8> {
+    serde_json::to_vec(v).expect("protocol message serializes")
+}
+
+/// Decodes a protocol payload.
+pub fn decode<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Option<T> {
+    serde_json::from_slice(bytes).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_roundtrip() {
+        let ops = vec![
+            Op::Get { key: b"k".to_vec() },
+            Op::Put { key: b"k".to_vec(), value: b"v".to_vec() },
+            Op::Delete { key: b"k".to_vec() },
+        ];
+        for op in ops {
+            let bytes = encode(&op);
+            assert_eq!(decode::<Op>(&bytes), Some(op.clone()));
+            assert_eq!(op.key(), b"k");
+        }
+    }
+
+    #[test]
+    fn peer_msg_roundtrip() {
+        let gtx = GlobalTxId { node: 1, seq: 2 };
+        let m = PeerMsg::Prepare { gtx };
+        assert_eq!(decode::<PeerMsg>(&encode(&m)), Some(m));
+    }
+
+    #[test]
+    fn garbage_decodes_to_none() {
+        assert_eq!(decode::<PeerMsg>(b"not json"), None);
+    }
+}

@@ -1,0 +1,651 @@
+//! A Treaty node: participant and coordinator for the secure 2PC (Fig. 2).
+//!
+//! Every node runs a transactional engine (the secure LSM store, or the
+//! storage-less [`treaty_store::SharedNullEngine`] for the isolated 2PC
+//! benchmarks), serves client sessions as their transaction coordinator,
+//! and serves peer sessions as a participant. One fiber per session
+//! (§VII-C) keeps a transaction's operations ordered while unrelated
+//! transactions proceed concurrently.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use treaty_crypto::{Key, MsgKind, TxMeta, WireCrypto};
+use treaty_net::{EndpointConfig, EndpointId, Fabric, PendingReply, Rpc, RpcConfig};
+use treaty_sched::CorePool;
+use treaty_sim::Nanos;
+use treaty_store::env::Env;
+use treaty_store::{EngineTxn, GlobalTxId, TxnEngine, TxnMode};
+
+use crate::clog::Clog;
+use crate::messages::{decode, encode, req, CommitResult, Op, OpResult, PeerMsg, PeerReply};
+use crate::shard::ShardMap;
+
+/// Construction options for [`TreatyNode::start`].
+pub struct NodeOptions {
+    /// This node's fabric endpoint.
+    pub endpoint: EndpointId,
+    /// Network/fabric parameters.
+    pub net: EndpointConfig,
+    /// Message protection level (derived from the security profile).
+    pub crypto: WireCrypto,
+    /// Network key from the CAS.
+    pub network_key: Key,
+    /// Key-space partitioning.
+    pub shard_map: ShardMap,
+    /// The node's CPU cores.
+    pub cores: Option<Arc<CorePool>>,
+    /// Engine environment. `Some` enables the durable protocol state
+    /// (Clog); `None` runs the protocol-only mode of §VIII-B.
+    pub env: Option<Arc<Env>>,
+    /// Concurrency control used for transactions on this node.
+    pub txn_mode: TxnMode,
+    /// RPC timeout.
+    pub timeout: Nanos,
+}
+
+impl std::fmt::Debug for NodeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeOptions").field("endpoint", &self.endpoint).finish_non_exhaustive()
+    }
+}
+
+/// Monotonic counters a node exposes for the benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Distributed transactions committed with this node as coordinator.
+    pub committed: u64,
+    /// Distributed transactions aborted with this node as coordinator.
+    pub aborted: u64,
+    /// Operations executed as a participant.
+    pub participant_ops: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    participant_ops: AtomicU64,
+}
+
+struct CoordTxn {
+    /// Remote participant endpoints (self excluded).
+    remotes: Vec<EndpointId>,
+    /// Local engine transaction, if any key landed on this node.
+    local: Option<Box<dyn EngineTxn>>,
+}
+
+/// One Treaty node.
+pub struct TreatyNode {
+    endpoint: EndpointId,
+    rpc: Arc<Rpc>,
+    engine: Arc<dyn TxnEngine>,
+    clog: Option<Arc<Clog>>,
+    shard_map: ShardMap,
+    txn_mode: TxnMode,
+    active_coord: Mutex<HashMap<GlobalTxId, CoordTxn>>,
+    active_part: Mutex<HashMap<GlobalTxId, Box<dyn EngineTxn>>>,
+    op_seq: AtomicU64,
+    stats: StatCells,
+}
+
+impl std::fmt::Debug for TreatyNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TreatyNode").field("endpoint", &self.endpoint).finish_non_exhaustive()
+    }
+}
+
+impl TreatyNode {
+    /// Starts a node: opens the Clog (recovering 2PC state), registers all
+    /// protocol handlers and begins serving.
+    ///
+    /// Call [`TreatyNode::resolve_recovered`] after every node of the
+    /// cluster is up to finish recovery of in-flight transactions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Clog recovery failures (integrity/rollback detection).
+    pub fn start(
+        fabric: &Arc<Fabric>,
+        engine: Arc<dyn TxnEngine>,
+        options: NodeOptions,
+    ) -> treaty_store::Result<Arc<Self>> {
+        let clog = match &options.env {
+            Some(env) => Some(Arc::new(Clog::open(Arc::clone(env))?)),
+            None => None,
+        };
+        let rpc = Rpc::new(
+            fabric,
+            options.endpoint,
+            RpcConfig {
+                endpoint: options.net,
+                crypto: options.crypto,
+                key: options.network_key,
+                cores: options.cores.clone(),
+                timeout: options.timeout,
+            },
+        );
+        let node = Arc::new(TreatyNode {
+            endpoint: options.endpoint,
+            rpc: Arc::clone(&rpc),
+            engine,
+            clog,
+            shard_map: options.shard_map,
+            txn_mode: options.txn_mode,
+            active_coord: Mutex::new(HashMap::new()),
+            active_part: Mutex::new(HashMap::new()),
+            op_seq: AtomicU64::new(1),
+            stats: StatCells::default(),
+        });
+        node.register_handlers();
+        rpc.start();
+        Ok(node)
+    }
+
+    /// This node's fabric endpoint.
+    pub fn endpoint(&self) -> EndpointId {
+        self.endpoint
+    }
+
+    /// The node's RPC endpoint (test introspection).
+    pub fn rpc(&self) -> &Arc<Rpc> {
+        &self.rpc
+    }
+
+    /// The node's Clog, when running durably.
+    pub fn clog(&self) -> Option<&Arc<Clog>> {
+        self.clog.as_ref()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> NodeStats {
+        NodeStats {
+            committed: self.stats.committed.load(Ordering::Relaxed),
+            aborted: self.stats.aborted.load(Ordering::Relaxed),
+            participant_ops: self.stats.participant_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops serving (simulates a node crash; durable state remains).
+    pub fn stop(&self) {
+        self.rpc.stop();
+    }
+
+    fn register_handlers(self: &Arc<Self>) {
+        let me = Arc::clone(self);
+        self.rpc.register_handler(
+            req::CLIENT_OP,
+            true,
+            Arc::new(move |src, meta, payload| me.handle_client_op(src, meta, payload)),
+        );
+        let me = Arc::clone(self);
+        self.rpc.register_handler(
+            req::CLIENT_COMMIT,
+            true,
+            Arc::new(move |src, meta, _| me.handle_client_commit(src, meta)),
+        );
+        let me = Arc::clone(self);
+        self.rpc.register_handler(
+            req::CLIENT_ROLLBACK,
+            true,
+            Arc::new(move |src, meta, _| me.handle_client_rollback(src, meta)),
+        );
+        let me = Arc::clone(self);
+        self.rpc.register_handler(
+            req::PEER_OP,
+            true,
+            Arc::new(move |_src, meta, payload| me.handle_peer(meta, payload)),
+        );
+        let me = Arc::clone(self);
+        self.rpc.register_handler(
+            req::PEER_PREPARE,
+            true,
+            Arc::new(move |_src, meta, payload| me.handle_peer(meta, payload)),
+        );
+        let me = Arc::clone(self);
+        self.rpc.register_handler(
+            req::PEER_COMMIT,
+            true,
+            Arc::new(move |_src, meta, payload| me.handle_peer(meta, payload)),
+        );
+        let me = Arc::clone(self);
+        self.rpc.register_handler(
+            req::PEER_ABORT,
+            true,
+            Arc::new(move |_src, meta, payload| me.handle_peer(meta, payload)),
+        );
+        let me = Arc::clone(self);
+        self.rpc.register_handler(
+            req::QUERY_DECISION,
+            false,
+            Arc::new(move |_src, meta, payload| me.handle_peer(meta, payload)),
+        );
+    }
+
+    fn gtx_for_client(&self, meta: &TxMeta) -> GlobalTxId {
+        // The client encodes (client_id << 32 | its own tx counter) in
+        // tx_id; prefixing our endpoint makes it cluster-unique.
+        GlobalTxId { node: self.endpoint as u64, seq: meta.tx_id }
+    }
+
+    fn peer_meta(&self, gtx: GlobalTxId, kind: MsgKind) -> TxMeta {
+        TxMeta {
+            node_id: self.endpoint as u64,
+            tx_id: gtx.seq,
+            op_id: self.op_seq.fetch_add(1, Ordering::Relaxed),
+            kind,
+        }
+    }
+
+    // ---- coordinator: client-facing handlers ------------------------------
+
+    fn handle_client_op(
+        self: &Arc<Self>,
+        _src: EndpointId,
+        meta: TxMeta,
+        payload: Vec<u8>,
+    ) -> Option<(TxMeta, Vec<u8>)> {
+        let op: Op = decode(&payload)?;
+        let gtx = self.gtx_for_client(&meta);
+        let result = self.coordinate_op(gtx, op);
+        let kind = match result {
+            OpResult::Ok { .. } => MsgKind::Ack,
+            OpResult::Err { .. } => MsgKind::Nack,
+        };
+        Some((TxMeta { kind, ..meta }, encode(&result)))
+    }
+
+    fn coordinate_op(self: &Arc<Self>, gtx: GlobalTxId, op: Op) -> OpResult {
+        treaty_sim::runtime::set_tag("h:coordinate_op");
+        let owner = self.shard_map.owner(op.key());
+        // Take the coordinator state out while we (potentially) block.
+        let mut ctx = self
+            .active_coord
+            .lock()
+            .remove(&gtx)
+            .unwrap_or(CoordTxn { remotes: Vec::new(), local: None });
+
+        let result = if owner == self.endpoint {
+            let local = ctx
+                .local
+                .get_or_insert_with(|| self.engine.begin_txn(self.txn_mode));
+            match &op {
+                Op::Get { key } => match local.get(key) {
+                    Ok(v) => OpResult::Ok { value: v },
+                    Err(e) => OpResult::Err { reason: e.to_string() },
+                },
+                Op::Put { key, value } => match local.put(key, value) {
+                    Ok(()) => OpResult::Ok { value: None },
+                    Err(e) => OpResult::Err { reason: e.to_string() },
+                },
+                Op::Delete { key } => match local.delete(key) {
+                    Ok(()) => OpResult::Ok { value: None },
+                    Err(e) => OpResult::Err { reason: e.to_string() },
+                },
+            }
+        } else {
+            if !ctx.remotes.contains(&owner) {
+                ctx.remotes.push(owner);
+            }
+            let msg = PeerMsg::Op { gtx, op };
+            let meta = self.peer_meta(gtx, MsgKind::TxnPut);
+            match self.rpc.call(owner, req::PEER_OP, &meta, &encode(&msg)) {
+                Ok((_, bytes)) => match decode::<PeerReply>(&bytes) {
+                    Some(PeerReply::OpDone(r)) => r,
+                    _ => OpResult::Err { reason: "malformed participant reply".into() },
+                },
+                Err(e) => OpResult::Err { reason: format!("participant unreachable: {e}") },
+            }
+        };
+
+        match result {
+            OpResult::Ok { .. } => {
+                self.active_coord.lock().insert(gtx, ctx);
+            }
+            OpResult::Err { .. } => {
+                // The transaction is dead: abort everywhere, drop state.
+                self.abort_everywhere(gtx, ctx);
+            }
+        }
+        result
+    }
+
+    fn handle_client_commit(
+        self: &Arc<Self>,
+        _src: EndpointId,
+        meta: TxMeta,
+    ) -> Option<(TxMeta, Vec<u8>)> {
+        let gtx = self.gtx_for_client(&meta);
+        let ctx = self.active_coord.lock().remove(&gtx);
+        let result = match ctx {
+            None => CommitResult::Committed, // empty transaction
+            Some(ctx) => self.run_two_phase_commit(gtx, ctx),
+        };
+        match &result {
+            CommitResult::Committed => {
+                self.stats.committed.fetch_add(1, Ordering::Relaxed);
+            }
+            CommitResult::Aborted { .. } => {
+                self.stats.aborted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let kind = match result {
+            CommitResult::Committed => MsgKind::Ack,
+            CommitResult::Aborted { .. } => MsgKind::Nack,
+        };
+        Some((TxMeta { kind, ..meta }, encode(&result)))
+    }
+
+    fn handle_client_rollback(
+        self: &Arc<Self>,
+        _src: EndpointId,
+        meta: TxMeta,
+    ) -> Option<(TxMeta, Vec<u8>)> {
+        let gtx = self.gtx_for_client(&meta);
+        if let Some(ctx) = self.active_coord.lock().remove(&gtx) {
+            self.abort_everywhere(gtx, ctx);
+        }
+        self.stats.aborted.fetch_add(1, Ordering::Relaxed);
+        Some((
+            TxMeta { kind: MsgKind::Ack, ..meta },
+            encode(&CommitResult::Aborted { reason: "rolled back by client".into() }),
+        ))
+    }
+
+    /// The secure two-phase commit of Fig. 2.
+    fn run_two_phase_commit(self: &Arc<Self>, gtx: GlobalTxId, mut ctx: CoordTxn) -> CommitResult {
+        treaty_sim::runtime::set_tag("h:2pc");
+        // Fast path: single-participant transaction, local only (1PC).
+        if ctx.remotes.is_empty() {
+            return match ctx.local {
+                None => CommitResult::Committed,
+                Some(mut local) => match local.commit() {
+                    Ok(_) => CommitResult::Committed,
+                    Err(e) => CommitResult::Aborted { reason: e.to_string() },
+                },
+            };
+        }
+
+        // (5) Log the transaction to the Clog with a trusted counter value.
+        let mut participants: Vec<u32> = ctx.remotes.clone();
+        if ctx.local.is_some() {
+            participants.push(self.endpoint);
+        }
+        treaty_sim::runtime::set_tag("h:2pc-clog-start");
+        if let Some(clog) = &self.clog {
+            if let Err(e) = clog.log_start(gtx, participants) {
+                self.abort_everywhere(gtx, ctx);
+                return CommitResult::Aborted { reason: format!("clog: {e}") };
+            }
+        }
+
+        treaty_sim::runtime::set_tag("h:2pc-fanout");
+        // Phase one: prepares fan out in one burst; the local prepare
+        // overlaps the network round trip.
+        let mut pending: Vec<(EndpointId, PendingReply)> = Vec::new();
+        for &r in &ctx.remotes {
+            let meta = self.peer_meta(gtx, MsgKind::TxnPrepare);
+            let msg = encode(&PeerMsg::Prepare { gtx });
+            pending.push((r, self.rpc.enqueue_request(r, req::PEER_PREPARE, &meta, &msg)));
+        }
+        self.rpc.tx_burst();
+
+        let mut all_yes = true;
+        let mut reason = String::new();
+        treaty_sim::runtime::set_tag("h:2pc-local-prepare");
+        if let Some(local) = ctx.local.take() {
+            let mut local = local;
+            if let Err(e) = local.prepare(gtx) {
+                all_yes = false;
+                reason = format!("local prepare: {e}");
+            }
+            // Prepared state now lives in the engine (or was rolled back).
+        }
+        treaty_sim::runtime::set_tag("h:2pc-collect-votes");
+        for (r, p) in pending {
+            match p.wait() {
+                Ok((_, bytes)) => match decode::<PeerReply>(&bytes) {
+                    Some(PeerReply::Vote { yes: true }) => {}
+                    Some(PeerReply::Vote { yes: false }) => {
+                        all_yes = false;
+                        reason = format!("participant {r} voted no");
+                    }
+                    _ => {
+                        all_yes = false;
+                        reason = format!("participant {r} malformed vote");
+                    }
+                },
+                Err(e) => {
+                    all_yes = false;
+                    reason = format!("participant {r}: {e}");
+                }
+            }
+        }
+
+        treaty_sim::runtime::set_tag("h:2pc-log-decision");
+        let commit = all_yes;
+        if let Some(clog) = &self.clog {
+            if let Err(e) = clog.log_decision(gtx, commit) {
+                // Cannot make the decision durable: abort (participants
+                // will learn via QueryDecision / coordinator recovery).
+                self.send_decision(gtx, &ctx.remotes, false);
+                let _ = self.engine.abort_prepared(gtx);
+                return CommitResult::Aborted { reason: format!("decision log: {e}") };
+            }
+        }
+
+        treaty_sim::runtime::set_tag("h:2pc-phase2");
+        self.send_decision(gtx, &ctx.remotes, commit);
+        treaty_sim::runtime::set_tag("h:2pc-decide-local");
+        if commit {
+            let _ = self.engine.commit_prepared(gtx);
+            CommitResult::Committed
+        } else {
+            let _ = self.engine.abort_prepared(gtx);
+            CommitResult::Aborted { reason }
+        }
+    }
+
+    fn send_decision(self: &Arc<Self>, gtx: GlobalTxId, remotes: &[EndpointId], commit: bool) {
+        let (rt, msg) = if commit {
+            (req::PEER_COMMIT, PeerMsg::Commit { gtx })
+        } else {
+            (req::PEER_ABORT, PeerMsg::Abort { gtx })
+        };
+        let kind = if commit { MsgKind::TxnCommit } else { MsgKind::TxnAbort };
+        let payload = encode(&msg);
+        let mut pending: Vec<(EndpointId, PendingReply)> = Vec::new();
+        for &r in remotes {
+            let meta = self.peer_meta(gtx, kind);
+            pending.push((r, self.rpc.enqueue_request(r, rt, &meta, &payload)));
+        }
+        treaty_sim::runtime::set_tag("sd:wait");
+        self.rpc.tx_burst();
+        for (r, p) in pending {
+            if p.wait().is_ok() {
+                continue;
+            }
+            treaty_sim::runtime::set_tag("sd:retry");
+            // Decisions are idempotent: retry a few times so a lossy
+            // network cannot leave a participant holding prepared locks.
+            // A participant that is actually down learns the decision at
+            // recovery via QueryDecision.
+            for _ in 0..4 {
+                let meta = self.peer_meta(gtx, kind);
+                if self.rpc.call(r, rt, &meta, &payload).is_ok() {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn abort_everywhere(self: &Arc<Self>, gtx: GlobalTxId, mut ctx: CoordTxn) {
+        if let Some(mut local) = ctx.local.take() {
+            let _ = local.rollback();
+        }
+        if !ctx.remotes.is_empty() {
+            self.send_decision(gtx, &ctx.remotes, false);
+        }
+    }
+
+    // ---- participant: peer-facing handlers ---------------------------------
+
+    fn handle_peer(self: &Arc<Self>, meta: TxMeta, payload: Vec<u8>) -> Option<(TxMeta, Vec<u8>)> {
+        treaty_sim::runtime::set_tag("h:peer");
+        let msg: PeerMsg = decode(&payload)?;
+        let reply = match msg {
+            PeerMsg::Op { gtx, op } => {
+                self.stats.participant_ops.fetch_add(1, Ordering::Relaxed);
+                let mut txn = self
+                    .active_part
+                    .lock()
+                    .remove(&gtx)
+                    .unwrap_or_else(|| self.engine.begin_txn(self.txn_mode));
+                let result = match &op {
+                    Op::Get { key } => match txn.get(key) {
+                        Ok(v) => OpResult::Ok { value: v },
+                        Err(e) => OpResult::Err { reason: e.to_string() },
+                    },
+                    Op::Put { key, value } => match txn.put(key, value) {
+                        Ok(()) => OpResult::Ok { value: None },
+                        Err(e) => OpResult::Err { reason: e.to_string() },
+                    },
+                    Op::Delete { key } => match txn.delete(key) {
+                        Ok(()) => OpResult::Ok { value: None },
+                        Err(e) => OpResult::Err { reason: e.to_string() },
+                    },
+                };
+                match &result {
+                    OpResult::Ok { .. } => {
+                        self.active_part.lock().insert(gtx, txn);
+                    }
+                    OpResult::Err { .. } => {
+                        // txn dropped -> rolled back; coordinator aborts.
+                    }
+                }
+                PeerReply::OpDone(result)
+            }
+            PeerMsg::Prepare { gtx } => {
+                let txn = self.active_part.lock().remove(&gtx);
+                let yes = match txn {
+                    Some(mut txn) => txn.prepare(gtx).is_ok(),
+                    // Recovery re-drive: still prepared from a past life?
+                    None => self.engine.prepared_txns().contains(&gtx),
+                };
+                PeerReply::Vote { yes }
+            }
+            PeerMsg::Commit { gtx } => {
+                let _ = self.engine.commit_prepared(gtx);
+                PeerReply::Ack
+            }
+            PeerMsg::Abort { gtx } => {
+                if let Some(mut txn) = self.active_part.lock().remove(&gtx) {
+                    let _ = txn.rollback();
+                }
+                let _ = self.engine.abort_prepared(gtx);
+                PeerReply::Ack
+            }
+            PeerMsg::QueryDecision { gtx } => PeerReply::Decision {
+                commit: self.clog.as_ref().and_then(|c| c.decision(gtx)),
+            },
+        };
+        Some((TxMeta { kind: MsgKind::Ack, ..meta }, encode(&reply)))
+    }
+
+    // ---- recovery ------------------------------------------------------------
+
+    /// Finishes recovery of in-flight distributed transactions (§VI):
+    ///
+    /// * as a coordinator, re-drives every undecided transaction in the
+    ///   Clog — re-collecting votes (participants still holding prepared
+    ///   state vote yes) and then deciding,
+    /// * as a participant, asks the coordinator of every locally prepared
+    ///   transaction for its outcome.
+    ///
+    /// Returns `(re_decided, resolved_prepared)` counts.
+    pub fn resolve_recovered(self: &Arc<Self>) -> (usize, usize) {
+        let mut re_decided = 0;
+        if let Some(clog) = &self.clog {
+            // Transactions with a logged decision but possibly undelivered
+            // phase two: re-send the decision (participants treat
+            // duplicates as no-ops, §VI).
+            for (gtx, st) in clog.decided() {
+                let commit = st.decision.expect("decided");
+                let remotes: Vec<u32> = st
+                    .participants
+                    .iter()
+                    .copied()
+                    .filter(|p| *p != self.endpoint)
+                    .collect();
+                self.send_decision(gtx, &remotes, commit);
+                if commit {
+                    let _ = self.engine.commit_prepared(gtx);
+                } else {
+                    let _ = self.engine.abort_prepared(gtx);
+                }
+            }
+            // Undecided transactions: re-execute the prepare phase.
+            for (gtx, participants) in clog.undecided() {
+                let remotes: Vec<u32> = participants
+                    .iter()
+                    .copied()
+                    .filter(|p| *p != self.endpoint)
+                    .collect();
+                let mut all_yes = true;
+                for &r in &remotes {
+                    let meta = self.peer_meta(gtx, MsgKind::TxnPrepare);
+                    let msg = encode(&PeerMsg::Prepare { gtx });
+                    match self.rpc.call(r, req::PEER_PREPARE, &meta, &msg) {
+                        Ok((_, bytes)) => match decode::<PeerReply>(&bytes) {
+                            Some(PeerReply::Vote { yes }) => all_yes &= yes,
+                            _ => all_yes = false,
+                        },
+                        Err(_) => all_yes = false,
+                    }
+                }
+                if participants.contains(&self.endpoint) {
+                    all_yes &= self.engine.prepared_txns().contains(&gtx);
+                }
+                if clog.log_decision(gtx, all_yes).is_ok() {
+                    self.send_decision(gtx, &remotes, all_yes);
+                    if all_yes {
+                        let _ = self.engine.commit_prepared(gtx);
+                    } else {
+                        let _ = self.engine.abort_prepared(gtx);
+                    }
+                    re_decided += 1;
+                }
+            }
+        }
+
+        // Participant side: resolve prepared transactions coordinated
+        // elsewhere.
+        let mut resolved = 0;
+        for gtx in self.engine.prepared_txns() {
+            if gtx.node == self.endpoint as u64 {
+                continue; // our own coordination handled above
+            }
+            let meta = self.peer_meta(gtx, MsgKind::QueryDecision);
+            let msg = encode(&PeerMsg::QueryDecision { gtx });
+            if let Ok((_, bytes)) =
+                self.rpc
+                    .call(gtx.node as u32, req::QUERY_DECISION, &meta, &msg)
+            {
+                match decode::<PeerReply>(&bytes) {
+                    Some(PeerReply::Decision { commit: Some(true) }) => {
+                        let _ = self.engine.commit_prepared(gtx);
+                        resolved += 1;
+                    }
+                    Some(PeerReply::Decision { commit: Some(false) }) => {
+                        let _ = self.engine.abort_prepared(gtx);
+                        resolved += 1;
+                    }
+                    _ => {} // undecided: the coordinator re-drives
+                }
+            }
+        }
+        (re_decided, resolved)
+    }
+}

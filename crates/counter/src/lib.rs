@@ -1,0 +1,354 @@
+//! The asynchronous trusted monotonic counter service (§VI).
+//!
+//! SGX's hardware counters are too slow (up to 250 ms per increment), wear
+//! out, and cannot protect a *distributed* system against rollback. Treaty
+//! instead adopts a ROTE-style service: a protection group of enclaves
+//! replicates each counter via an echo-broadcast protocol with a quorum and
+//! a final confirmation round, and seals its state to disk.
+//!
+//! The interface Treaty's logs use is deliberately split:
+//!
+//! * [`TrustedCounter::assign`] — *instant*: hands out the next
+//!   deterministic, monotonic value for a log entry,
+//! * [`TrustedCounter::wait_stable`] — blocks until a value is
+//!   rollback-protected. Concurrent waiters are batched: one fiber becomes
+//!   the round leader and stabilizes the highest assigned value on behalf
+//!   of everyone (the same group-amortization Treaty uses for commits).
+//!
+//! Backends:
+//! * [`rote::RoteGroup`] — the real distributed protocol over `treaty-net`,
+//! * [`NullBackend`] — instant, for the paper's non-stabilizing variants,
+//! * [`HwCounterBackend`] — the SGX hardware counter, for the ablation that
+//!   motivates the service.
+
+pub mod rote;
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use treaty_sched::WaitQueue;
+use treaty_sim::runtime;
+use treaty_sim::CostModel;
+use treaty_tee::HwCounter;
+
+pub use rote::{RoteGroup, RoteReplica};
+
+/// Identifies one logical counter (one per log file: WAL, MANIFEST, Clog).
+pub type CounterId = String;
+
+/// Errors from the counter service.
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+pub enum CounterError {
+    /// The protection group could not reach a quorum.
+    #[error("no quorum: only {acks} of {needed} replicas acknowledged")]
+    NoQuorum {
+        /// Positive acknowledgements received.
+        acks: usize,
+        /// Quorum size required.
+        needed: usize,
+    },
+    /// A replica rejected the update as non-monotonic — something tried to
+    /// roll the counter back.
+    #[error("replica rejected non-monotonic counter update")]
+    Rollback,
+}
+
+/// A backend capable of making counter values rollback-protected.
+pub trait CounterBackend: Send + Sync {
+    /// Blocks until `value` for `id` is stable (rollback-protected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CounterError`] if the protection group cannot make the
+    /// value durable.
+    fn stabilize(&self, id: &str, value: u64) -> Result<(), CounterError>;
+
+    /// The latest stabilized value known for `id` (0 if none) — used by
+    /// recovery to verify log freshness.
+    fn latest(&self, id: &str) -> u64;
+}
+
+/// Instant backend for variants that run without stabilization
+/// (`RocksDB`, `Treaty w/ Enc` without `w/ Stab`).
+#[derive(Debug, Default)]
+pub struct NullBackend {
+    latest: Mutex<std::collections::HashMap<String, u64>>,
+}
+
+impl NullBackend {
+    /// Creates the backend.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+}
+
+impl CounterBackend for NullBackend {
+    fn stabilize(&self, id: &str, value: u64) -> Result<(), CounterError> {
+        let mut m = self.latest.lock();
+        let e = m.entry(id.to_string()).or_insert(0);
+        *e = (*e).max(value);
+        Ok(())
+    }
+
+    fn latest(&self, id: &str) -> u64 {
+        *self.latest.lock().get(id).unwrap_or(&0)
+    }
+}
+
+/// The SGX hardware monotonic counter as a stabilization backend — the
+/// painful baseline of §IV-B, kept for the ablation benchmark.
+#[derive(Debug)]
+pub struct HwCounterBackend {
+    counter: HwCounter,
+    costs: CostModel,
+    latest: Mutex<std::collections::HashMap<String, u64>>,
+}
+
+impl HwCounterBackend {
+    /// Creates the backend with the given cost model.
+    pub fn new(costs: CostModel) -> Arc<Self> {
+        Arc::new(HwCounterBackend {
+            counter: HwCounter::new(),
+            costs,
+            latest: Mutex::new(std::collections::HashMap::new()),
+        })
+    }
+}
+
+impl CounterBackend for HwCounterBackend {
+    fn stabilize(&self, id: &str, value: u64) -> Result<(), CounterError> {
+        let (_, cost) = self.counter.increment(&self.costs);
+        runtime::sleep(cost); // 60-250 ms of real SGX pain
+        let mut m = self.latest.lock();
+        let e = m.entry(id.to_string()).or_insert(0);
+        *e = (*e).max(value);
+        Ok(())
+    }
+
+    fn latest(&self, id: &str) -> u64 {
+        *self.latest.lock().get(id).unwrap_or(&0)
+    }
+}
+
+struct CounterState {
+    stable: u64,
+    round_in_flight: bool,
+    failed: Option<CounterError>,
+}
+
+/// One logical trusted counter, e.g. for a node's Clog.
+///
+/// Values are assigned locally (deterministic, monotonic, gap-free) and
+/// stabilized through the backend with batched rounds.
+pub struct TrustedCounter {
+    id: CounterId,
+    backend: Arc<dyn CounterBackend>,
+    next: AtomicU64,
+    state: Mutex<CounterState>,
+    waiters: WaitQueue,
+}
+
+impl std::fmt::Debug for TrustedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrustedCounter")
+            .field("id", &self.id)
+            .field("next", &self.next.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl TrustedCounter {
+    /// Creates a counter starting after `recovered` (0 for a fresh log).
+    pub fn new(id: impl Into<CounterId>, backend: Arc<dyn CounterBackend>, recovered: u64) -> Arc<Self> {
+        Arc::new(TrustedCounter {
+            id: id.into(),
+            backend,
+            next: AtomicU64::new(recovered + 1),
+            state: Mutex::new(CounterState {
+                stable: recovered,
+                round_in_flight: false,
+                failed: None,
+            }),
+            waiters: WaitQueue::new(),
+        })
+    }
+
+    /// The counter's identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Assigns the next value: deterministic, monotonic, gap-free.
+    /// Instant — stabilization is separate and asynchronous.
+    pub fn assign(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Highest value assigned so far (0 if none).
+    pub fn assigned(&self) -> u64 {
+        self.next.load(Ordering::SeqCst) - 1
+    }
+
+    /// Highest rollback-protected value.
+    pub fn stable(&self) -> u64 {
+        self.state.lock().stable
+    }
+
+    /// Blocks until `value` is rollback-protected.
+    ///
+    /// Waiters are batched: one becomes the round leader and stabilizes the
+    /// highest currently-assigned value; the rest sleep. A leader failure is
+    /// propagated to every waiter of that round.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's [`CounterError`] if stabilization fails.
+    pub fn wait_stable(&self, value: u64) -> Result<(), CounterError> {
+        loop {
+            let lead = {
+                let mut st = self.state.lock();
+                if st.stable >= value {
+                    return Ok(());
+                }
+                if let Some(err) = &st.failed {
+                    return Err(err.clone());
+                }
+                if st.round_in_flight {
+                    false
+                } else {
+                    st.round_in_flight = true;
+                    true
+                }
+            };
+            if lead {
+                // Stabilize the highest assigned value: everything queued
+                // behind us rides along (group stabilization).
+                let target = self.assigned().max(value);
+                let result = self.backend.stabilize(&self.id, target);
+                let mut st = self.state.lock();
+                st.round_in_flight = false;
+                match result {
+                    Ok(()) => {
+                        st.stable = st.stable.max(target);
+                    }
+                    Err(e) => {
+                        st.failed = Some(e);
+                    }
+                }
+                drop(st);
+                self.waiters.notify_all();
+            } else {
+                self.waiters.wait();
+            }
+        }
+    }
+
+    /// Recovery-side freshness check: the latest stabilized value according
+    /// to the protection group.
+    pub fn latest_stabilized(&self) -> u64 {
+        self.backend.latest(&self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treaty_sched::block_on;
+    use treaty_sim::runtime::{join, now, spawn};
+
+    #[test]
+    fn assign_is_monotonic_gap_free() {
+        let c = TrustedCounter::new("wal", NullBackend::new(), 0);
+        assert_eq!(c.assign(), 1);
+        assert_eq!(c.assign(), 2);
+        assert_eq!(c.assign(), 3);
+        assert_eq!(c.assigned(), 3);
+    }
+
+    #[test]
+    fn recovered_counter_continues() {
+        let c = TrustedCounter::new("wal", NullBackend::new(), 41);
+        assert_eq!(c.stable(), 41);
+        assert_eq!(c.assign(), 42);
+    }
+
+    #[test]
+    fn null_backend_stabilizes_instantly() {
+        block_on(|| {
+            let c = TrustedCounter::new("wal", NullBackend::new(), 0);
+            let v = c.assign();
+            c.wait_stable(v).unwrap();
+            assert_eq!(c.stable(), v);
+            assert_eq!(now(), 0);
+        });
+    }
+
+    #[test]
+    fn hw_backend_charges_painfully() {
+        block_on(|| {
+            let costs = CostModel::default();
+            let hw = costs.hw_counter_ns;
+            let c = TrustedCounter::new("wal", HwCounterBackend::new(costs), 0);
+            let v = c.assign();
+            c.wait_stable(v).unwrap();
+            assert!(now() >= hw);
+        });
+    }
+
+    /// Backend that counts rounds and takes fixed virtual time.
+    struct SlowBackend {
+        rounds: AtomicU64,
+        inner: Arc<NullBackend>,
+    }
+    impl CounterBackend for SlowBackend {
+        fn stabilize(&self, id: &str, value: u64) -> Result<(), CounterError> {
+            self.rounds.fetch_add(1, Ordering::SeqCst);
+            runtime::sleep(1_000_000);
+            self.inner.stabilize(id, value)
+        }
+        fn latest(&self, id: &str) -> u64 {
+            self.inner.latest(id)
+        }
+    }
+
+    #[test]
+    fn concurrent_waiters_batch_into_few_rounds() {
+        block_on(|| {
+            let backend = Arc::new(SlowBackend {
+                rounds: AtomicU64::new(0),
+                inner: NullBackend::new(),
+            });
+            let c = TrustedCounter::new("clog", Arc::clone(&backend) as Arc<dyn CounterBackend>, 0);
+            let mut handles = Vec::new();
+            for _ in 0..16 {
+                let c = Arc::clone(&c);
+                handles.push(spawn(move || {
+                    let v = c.assign();
+                    c.wait_stable(v).unwrap();
+                }));
+            }
+            for h in handles {
+                join(h);
+            }
+            let rounds = backend.rounds.load(Ordering::SeqCst);
+            assert!(
+                rounds <= 3,
+                "16 concurrent stabilizations must batch, used {rounds} rounds"
+            );
+            assert_eq!(c.stable(), 16);
+        });
+    }
+
+    #[test]
+    fn wait_stable_returns_immediately_when_already_stable() {
+        block_on(|| {
+            let c = TrustedCounter::new("m", NullBackend::new(), 0);
+            let v = c.assign();
+            c.wait_stable(v).unwrap();
+            let t = now();
+            c.wait_stable(v).unwrap(); // second wait is free
+            assert_eq!(now(), t);
+        });
+    }
+}

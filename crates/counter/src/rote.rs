@@ -1,0 +1,460 @@
+//! The ROTE-style distributed counter protocol over `treaty-net`.
+//!
+//! A *protection group* of replica enclaves stores counter values. To
+//! stabilize a value the sender enclave runs an echo broadcast (§VI):
+//!
+//! 1. `Update(id, v)` to all replicas → each stores `v` as pending and
+//!    answers `Echo(v)`,
+//! 2. after a quorum of echoes, `Confirm(id, v)` to all replicas → each
+//!    verifies the pending value, persists (seals) its state, answers
+//!    `Ack`,
+//! 3. after a quorum of ACKs the value is rollback-protected.
+//!
+//! Replicas refuse non-monotonic updates, so even a quorum of colluding
+//! *network* adversaries cannot roll a counter back — they can only deny
+//! service (availability, which is outside the guarantees, §VI).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use treaty_crypto::{Key, MsgKind, TxMeta, WireCrypto};
+use treaty_net::{EndpointId, Fabric, Rpc, RpcConfig};
+use treaty_sched::FiberMutex;
+use treaty_sim::{runtime, Nanos};
+use treaty_tee::{seal, unseal, Measurement, SealedBlob};
+
+use crate::{CounterBackend, CounterError};
+
+/// Request type for counter traffic on the fabric.
+pub const ROTE_REQ: u8 = 0xC0;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum RoteMsg {
+    Update { id: String, value: u64 },
+    Echo { value: u64 },
+    Confirm { id: String, value: u64 },
+    Ack,
+    Nack { rollback: bool },
+    Query { id: String },
+    Value { value: u64 },
+}
+
+fn encode(m: &RoteMsg) -> Vec<u8> {
+    serde_json::to_vec(m).expect("rote message serializes")
+}
+
+fn decode(b: &[u8]) -> Option<RoteMsg> {
+    serde_json::from_slice(b).ok()
+}
+
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct ReplicaState {
+    stable: HashMap<String, u64>,
+    #[serde(skip)]
+    pending: HashMap<String, u64>,
+}
+
+/// One replica of the protection group.
+pub struct RoteReplica {
+    rpc: Arc<Rpc>,
+    state: Arc<Mutex<ReplicaState>>,
+    seal_path: PathBuf,
+    seal_lock: Arc<FiberMutex>,
+    seal_seq: Arc<AtomicU64>,
+    sealing_key: Key,
+    measurement: Measurement,
+    endpoint: EndpointId,
+}
+
+impl std::fmt::Debug for RoteReplica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoteReplica").field("endpoint", &self.endpoint).finish_non_exhaustive()
+    }
+}
+
+impl RoteReplica {
+    /// Starts a replica on `endpoint`, recovering sealed state from
+    /// `seal_dir` if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sealed state exists but does not unseal (tampered
+    /// replica storage must not silently restart empty).
+    pub fn start(
+        fabric: &Arc<Fabric>,
+        endpoint: EndpointId,
+        key: Key,
+        sealing_key: Key,
+        seal_dir: &Path,
+    ) -> Arc<Self> {
+        let measurement = Measurement::of_code("treaty-rote-replica-v1");
+        let seal_path = seal_dir.join(format!("rote-{endpoint}.seal"));
+        let state = if seal_path.exists() {
+            let recovered: Option<ReplicaState> = std::fs::read(&seal_path)
+                .ok()
+                .and_then(|raw| serde_json::from_slice::<SealedBlob>(&raw).ok())
+                .and_then(|blob| unseal(&sealing_key, &measurement, &blob).ok())
+                .and_then(|plain| serde_json::from_slice(&plain).ok());
+            recovered.expect(
+                "replica sealed state is corrupt or was tampered with — refusing to restart",
+            )
+        } else {
+            ReplicaState::default()
+        };
+
+        let rpc = Rpc::new(fabric, endpoint, RpcConfig::client(WireCrypto::Full, key));
+        let replica = Arc::new(RoteReplica {
+            rpc: Arc::clone(&rpc),
+            state: Arc::new(Mutex::new(state)),
+            seal_path,
+            seal_lock: Arc::new(FiberMutex::new()),
+            seal_seq: Arc::new(AtomicU64::new(0)),
+            sealing_key,
+            measurement,
+            endpoint,
+        });
+
+        let r = Arc::clone(&replica);
+        rpc.register_handler(
+            ROTE_REQ,
+            false,
+            Arc::new(move |_src, meta, payload| r.handle(meta, payload)),
+        );
+        rpc.start();
+        replica
+    }
+
+    /// Stops the replica (simulates a crash; sealed state survives).
+    pub fn stop(&self) {
+        self.rpc.stop();
+    }
+
+    /// The replica's current stable value for `id` (test introspection).
+    pub fn stable_value(&self, id: &str) -> u64 {
+        *self.state.lock().stable.get(id).unwrap_or(&0)
+    }
+
+    fn handle(&self, meta: TxMeta, payload: Vec<u8>) -> Option<(TxMeta, Vec<u8>)> {
+        let msg = decode(&payload)?;
+        let reply_meta = TxMeta { kind: MsgKind::Counter, ..meta };
+        let reply = match msg {
+            RoteMsg::Update { id, value } => {
+                let mut st = self.state.lock();
+                let stable = *st.stable.get(&id).unwrap_or(&0);
+                if value < stable {
+                    RoteMsg::Nack { rollback: true }
+                } else {
+                    let p = st.pending.entry(id).or_insert(0);
+                    *p = (*p).max(value);
+                    RoteMsg::Echo { value }
+                }
+            }
+            RoteMsg::Confirm { id, value } => {
+                let blob = {
+                    let mut st = self.state.lock();
+                    let stable = *st.stable.get(&id).unwrap_or(&0);
+                    let pending_ok = st.pending.get(&id).map(|&p| p >= value).unwrap_or(false);
+                    if value <= stable {
+                        // Already durable: idempotent ACK.
+                        None
+                    } else if pending_ok {
+                        st.stable.insert(id.clone(), value);
+                        st.pending.remove(&id);
+                        Some(serde_json::to_vec(&*st).expect("state serializes"))
+                    } else {
+                        let m = TxMeta { kind: MsgKind::Nack, ..meta };
+                        return Some((m, encode(&RoteMsg::Nack { rollback: false })));
+                    }
+                };
+                if let Some(bytes) = blob {
+                    self.persist(&bytes);
+                }
+                RoteMsg::Ack
+            }
+            RoteMsg::Query { id } => {
+                let st = self.state.lock();
+                RoteMsg::Value { value: *st.stable.get(&id).unwrap_or(&0) }
+            }
+            _ => return None,
+        };
+        Some((reply_meta, encode(&reply)))
+    }
+
+    fn persist(&self, state_bytes: &[u8]) {
+        let guard = self.seal_lock.lock();
+        let seq = self.seal_seq.fetch_add(1, Ordering::Relaxed);
+        let mut nonce = [0u8; 12];
+        nonce[..4].copy_from_slice(&self.endpoint.to_be_bytes());
+        nonce[4..].copy_from_slice(&seq.to_be_bytes());
+        let blob = seal(&self.sealing_key, &self.measurement, nonce, state_bytes);
+        let raw = serde_json::to_vec(&blob).expect("blob serializes");
+        // Charge the sealing write before making it visible.
+        let costs = self.rpc.fabric().costs();
+        runtime::sleep(costs.ssd_append_ns(treaty_sim::TeeMode::Scone, raw.len()));
+        let tmp = self.seal_path.with_extension("tmp");
+        std::fs::write(&tmp, &raw).expect("write sealed state");
+        std::fs::rename(&tmp, &self.seal_path).expect("publish sealed state");
+        drop(guard);
+    }
+}
+
+/// Client handle to the protection group; implements [`CounterBackend`].
+pub struct RoteGroup {
+    rpc: Arc<Rpc>,
+    replicas: Vec<EndpointId>,
+    quorum: usize,
+    round_floor: Nanos,
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for RoteGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoteGroup")
+            .field("replicas", &self.replicas)
+            .field("quorum", &self.quorum)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RoteGroup {
+    /// Creates a client on `endpoint` talking to `replicas`.
+    ///
+    /// `round_floor` models the deployment latency of the real service
+    /// (~2 ms in the paper); a full round never completes faster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn connect(
+        fabric: &Arc<Fabric>,
+        endpoint: EndpointId,
+        key: Key,
+        replicas: Vec<EndpointId>,
+        round_floor: Nanos,
+    ) -> Arc<Self> {
+        assert!(!replicas.is_empty(), "protection group needs replicas");
+        let quorum = replicas.len() / 2 + 1;
+        let mut cfg = RpcConfig::client(WireCrypto::Full, key);
+        cfg.timeout = 10 * treaty_sim::MILLIS;
+        let rpc = Rpc::new(fabric, endpoint, cfg);
+        rpc.start();
+        Arc::new(RoteGroup { rpc, replicas, quorum, round_floor, seq: AtomicU64::new(1) })
+    }
+
+    /// Quorum size of the group.
+    pub fn quorum(&self) -> usize {
+        self.quorum
+    }
+
+    fn broadcast(&self, msg: &RoteMsg) -> Vec<RoteMsg> {
+        let payload = encode(msg);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut pending = Vec::new();
+        for (i, &r) in self.replicas.iter().enumerate() {
+            let meta = TxMeta {
+                node_id: self.rpc.id() as u64,
+                tx_id: seq,
+                op_id: i as u64,
+                kind: MsgKind::Counter,
+            };
+            pending.push(self.rpc.enqueue_request(r, ROTE_REQ, &meta, &payload));
+        }
+        self.rpc.tx_burst();
+        let mut replies = Vec::new();
+        for p in pending {
+            if let Ok((_, bytes)) = p.wait() {
+                if let Some(m) = decode(&bytes) {
+                    replies.push(m);
+                }
+            }
+        }
+        replies
+    }
+}
+
+impl CounterBackend for RoteGroup {
+    fn stabilize(&self, id: &str, value: u64) -> Result<(), CounterError> {
+        let t0 = runtime::now();
+
+        // Round 1: update + echoes.
+        let echoes = self.broadcast(&RoteMsg::Update { id: id.to_string(), value });
+        let mut echo_count = 0;
+        for e in &echoes {
+            match e {
+                RoteMsg::Echo { value: v } if *v == value => echo_count += 1,
+                RoteMsg::Nack { rollback: true } => return Err(CounterError::Rollback),
+                _ => {}
+            }
+        }
+        if echo_count < self.quorum {
+            return Err(CounterError::NoQuorum { acks: echo_count, needed: self.quorum });
+        }
+
+        // Round 2: confirm + ACKs (replicas persist here).
+        let acks = self.broadcast(&RoteMsg::Confirm { id: id.to_string(), value });
+        let ack_count = acks.iter().filter(|a| matches!(a, RoteMsg::Ack)).count();
+        if ack_count < self.quorum {
+            return Err(CounterError::NoQuorum { acks: ack_count, needed: self.quorum });
+        }
+
+        // Floor to the deployed service's observed latency.
+        let elapsed = runtime::now() - t0;
+        if elapsed < self.round_floor {
+            runtime::sleep(self.round_floor - elapsed);
+        }
+        Ok(())
+    }
+
+    fn latest(&self, id: &str) -> u64 {
+        let replies = self.broadcast(&RoteMsg::Query { id: id.to_string() });
+        let mut values: Vec<u64> = replies
+            .iter()
+            .filter_map(|r| match r {
+                RoteMsg::Value { value } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        values.sort_unstable();
+        // The max over any quorum is safe: a stabilized value reached at
+        // least `quorum` replicas, so the true latest is visible as long as
+        // a quorum responds.
+        values.last().copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrustedCounter;
+    use treaty_sched::block_on;
+    use treaty_sim::{CostModel, MILLIS};
+
+    fn group(dir: &Path) -> (Arc<Fabric>, Vec<Arc<RoteReplica>>, Arc<RoteGroup>) {
+        let fabric = Fabric::new(CostModel::default(), 11);
+        let key = treaty_crypto::KeyHierarchy::for_testing();
+        let replicas: Vec<_> = (0..3)
+            .map(|i| RoteReplica::start(&fabric, 1000 + i, key.counter, key.sealing, dir))
+            .collect();
+        let client = RoteGroup::connect(
+            &fabric,
+            1100,
+            key.counter,
+            vec![1000, 1001, 1002],
+            2 * MILLIS,
+        );
+        (fabric, replicas, client)
+    }
+
+    #[test]
+    fn stabilize_reaches_quorum_and_respects_floor() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        block_on(move || {
+            let (_f, replicas, client) = group(&path);
+            let t0 = runtime::now();
+            client.stabilize("wal-1", 5).unwrap();
+            assert!(runtime::now() - t0 >= 2 * MILLIS, "round floor not applied");
+            assert_eq!(client.latest("wal-1"), 5);
+            for r in &replicas {
+                assert_eq!(r.stable_value("wal-1"), 5);
+            }
+        });
+    }
+
+    #[test]
+    fn survives_one_replica_crash() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        block_on(move || {
+            let (_f, replicas, client) = group(&path);
+            replicas[2].stop();
+            client.stabilize("wal-1", 7).unwrap();
+            assert_eq!(client.latest("wal-1"), 7);
+        });
+    }
+
+    #[test]
+    fn two_replica_crashes_deny_service_but_not_safety() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        block_on(move || {
+            let (_f, replicas, client) = group(&path);
+            client.stabilize("wal-1", 3).unwrap();
+            replicas[1].stop();
+            replicas[2].stop();
+            let err = client.stabilize("wal-1", 9).unwrap_err();
+            assert!(matches!(err, CounterError::NoQuorum { .. }));
+            // The old value is still what the surviving replica reports.
+            assert_eq!(replicas[0].stable_value("wal-1"), 3);
+        });
+    }
+
+    #[test]
+    fn rollback_update_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        block_on(move || {
+            let (_f, _r, client) = group(&path);
+            client.stabilize("clog", 10).unwrap();
+            let err = client.stabilize("clog", 4).unwrap_err();
+            assert_eq!(err, CounterError::Rollback);
+            assert_eq!(client.latest("clog"), 10);
+        });
+    }
+
+    #[test]
+    fn replica_recovers_sealed_state_after_crash() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        block_on(move || {
+            let key = treaty_crypto::KeyHierarchy::for_testing();
+            let (fabric, replicas, client) = group(&path);
+            client.stabilize("wal-1", 12).unwrap();
+            // Crash replica 0 and restart it from sealed state.
+            replicas[0].stop();
+            let revived =
+                RoteReplica::start(&fabric, 1000, key.counter, key.sealing, &path);
+            assert_eq!(revived.stable_value("wal-1"), 12);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "tampered")]
+    fn tampered_sealed_state_refuses_restart() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        block_on(move || {
+            let key = treaty_crypto::KeyHierarchy::for_testing();
+            let (fabric, replicas, client) = group(&path);
+            client.stabilize("wal-1", 12).unwrap();
+            replicas[0].stop();
+            // Adversary edits the sealed file.
+            let seal_file = path.join("rote-1000.seal");
+            let mut raw = std::fs::read(&seal_file).unwrap();
+            let mid = raw.len() / 2;
+            raw[mid] = raw[mid].wrapping_add(1);
+            std::fs::write(&seal_file, &raw).unwrap();
+            let _ = RoteReplica::start(&fabric, 1000, key.counter, key.sealing, &path);
+        });
+    }
+
+    #[test]
+    fn trusted_counter_over_rote_group() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        block_on(move || {
+            let (_f, _r, client) = group(&path);
+            let c = TrustedCounter::new("node1/clog", client as Arc<dyn CounterBackend>, 0);
+            let v1 = c.assign();
+            let v2 = c.assign();
+            c.wait_stable(v2).unwrap();
+            assert!(c.stable() >= v2);
+            assert_eq!((v1, v2), (1, 2));
+            assert_eq!(c.latest_stabilized(), 2);
+        });
+    }
+}

@@ -1,0 +1,49 @@
+//! Treaty's secure network library for transactions (§VII-A).
+//!
+//! Real Treaty extends eRPC over DPDK so the enclave can do network I/O
+//! without syscalls, and wraps every message in the secure format of
+//! §VII-A. This crate reproduces that library over the deterministic fiber
+//! runtime:
+//!
+//! * [`Fabric`] is the simulated network: endpoints, per-sender NIC ports
+//!   (link serialization), transport cost models, and an [`Adversary`]
+//!   able to drop, delay, duplicate and tamper with traffic — the §III
+//!   threat model,
+//! * [`Rpc`] is the eRPC-flavoured endpoint: request handlers keyed by a
+//!   request type, one server fiber per connected peer (the paper's
+//!   fiber-per-client design), asynchronous `enqueue_request`/`tx_burst`
+//!   and a blocking [`Rpc::call`] convenience built on them,
+//! * every message is sealed with [`treaty_crypto::SecureEnvelope`] and
+//!   replayed `(node, tx, op)` tuples are suppressed with a memoized
+//!   response — at-most-once execution in the presence of the adversary.
+
+pub mod fabric;
+pub mod rpc;
+
+pub use fabric::{Adversary, EndpointConfig, EndpointId, Fabric, FabricStats};
+pub use rpc::{PendingReply, ReqHandler, Rpc, RpcConfig};
+
+use treaty_crypto::CryptoError;
+use treaty_sim::Nanos;
+
+/// Default RPC timeout: generous, because prepared transactions may wait
+/// for a stabilization round (~2 ms) plus queueing.
+pub const DEFAULT_RPC_TIMEOUT: Nanos = 200 * treaty_sim::MILLIS;
+
+/// Errors surfaced by the networking library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, thiserror::Error)]
+pub enum NetError {
+    /// No response arrived before the timeout (message dropped, peer dead,
+    /// or peer overloaded).
+    #[error("rpc timed out")]
+    Timeout,
+    /// The destination endpoint is not registered on the fabric.
+    #[error("destination endpoint {0} unreachable")]
+    Unreachable(u32),
+    /// The local endpoint was shut down.
+    #[error("endpoint closed")]
+    Closed,
+    /// Decryption/authentication of an incoming message failed.
+    #[error("message rejected: {0}")]
+    Crypto(#[from] CryptoError),
+}

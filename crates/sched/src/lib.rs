@@ -1,0 +1,714 @@
+//! Userland scheduling primitives for Treaty fibers (§VII-C of the paper).
+//!
+//! Treaty runs one fiber per connected client inside the enclave and
+//! schedules them cooperatively to avoid timer interrupts (which would cost
+//! a world switch each). This crate provides the primitives that scheduler
+//! exposes to the rest of the system, built on the deterministic fiber
+//! runtime in [`treaty_sim`]:
+//!
+//! * [`WaitQueue`] — condition-variable-style FIFO sleeping queue,
+//! * [`Channel`] — blocking MPMC queue used for RPC plumbing,
+//! * [`CorePool`] — models a node's limited CPU cores: fibers *charge*
+//!   virtual CPU time and queue when all cores are busy, which is what
+//!   produces realistic saturation curves in the benchmarks,
+//! * [`FiberMutex`] — a mutex that may be held across yield points,
+//! * [`IdleBackoff`] — the adaptive sleep the paper's scheduler uses to
+//!   yield to SCONE when no fiber is runnable.
+//!
+//! All primitives rely on the runtime's cooperative atomicity: between two
+//! yield points no other fiber runs, so check-then-park sequences are
+//! race-free by construction.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use treaty_sim::runtime::{self, FiberId, Sim, WakeReason};
+use treaty_sim::Nanos;
+
+/// Runs `f` as the only fiber of a fresh simulation and returns its value.
+///
+/// Convenience for tests and single-shot experiments.
+///
+/// # Panics
+///
+/// Panics if the simulation fails (fiber panic or deadlock).
+pub fn block_on<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    let out = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    Sim::new()
+        .run(move || {
+            let v = f();
+            *out2.lock() = Some(v);
+        })
+        .expect("simulation failed");
+    let mut guard = out.lock();
+    guard.take().expect("root fiber did not produce a value")
+}
+
+/// A FIFO wait queue (condition-variable flavour).
+///
+/// Waiters park in arrival order; [`WaitQueue::notify_one`] wakes the oldest.
+/// There are no wakeup tokens: a notify with no waiters is lost, so callers
+/// must re-check their predicate in a loop, as with any condition variable.
+#[derive(Debug, Default)]
+pub struct WaitQueue {
+    waiters: Mutex<VecDeque<FiberId>>,
+}
+
+impl WaitQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parks the calling fiber until notified.
+    pub fn wait(&self) {
+        let me = runtime::current();
+        self.waiters.lock().push_back(me);
+        runtime::park();
+    }
+
+    /// Parks the calling fiber until notified or until `ns` elapses.
+    /// Returns `true` if notified, `false` on timeout.
+    pub fn wait_timeout(&self, ns: Nanos) -> bool {
+        let me = runtime::current();
+        self.waiters.lock().push_back(me);
+        match runtime::park_timeout(ns) {
+            WakeReason::Signal => true,
+            WakeReason::Timeout => {
+                // Remove ourselves; we were not notified.
+                self.waiters.lock().retain(|&f| f != me);
+                false
+            }
+        }
+    }
+
+    /// Wakes the oldest waiter, if any. Returns whether one was woken.
+    pub fn notify_one(&self) -> bool {
+        let next = self.waiters.lock().pop_front();
+        match next {
+            Some(f) => {
+                runtime::unpark(f);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        let all: Vec<FiberId> = self.waiters.lock().drain(..).collect();
+        for f in all {
+            runtime::unpark(f);
+        }
+    }
+
+    /// Number of fibers currently parked on the queue.
+    pub fn len(&self) -> usize {
+        self.waiters.lock().len()
+    }
+
+    /// True if no fiber is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.waiters.lock().is_empty()
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is closed and empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, thiserror::Error)]
+#[error("channel closed")]
+pub struct RecvError;
+
+/// Outcome of [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeout<T> {
+    /// A message arrived.
+    Ok(T),
+    /// The timeout elapsed first.
+    TimedOut,
+    /// The channel is closed and drained.
+    Closed,
+}
+
+struct ChanInner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// An unbounded blocking MPMC channel for fibers.
+pub struct Channel<T> {
+    inner: Mutex<ChanInner<T>>,
+    recv_q: WaitQueue,
+}
+
+impl<T> Default for Channel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Channel<T> {
+    /// Creates an empty open channel.
+    pub fn new() -> Self {
+        Channel {
+            inner: Mutex::new(ChanInner { queue: VecDeque::new(), closed: false }),
+            recv_q: WaitQueue::new(),
+        }
+    }
+
+    /// Creates a connected `(Sender, Receiver)` pair sharing one channel.
+    pub fn pair() -> (Sender<T>, Receiver<T>) {
+        let ch = Arc::new(Channel::new());
+        (Sender { ch: Arc::clone(&ch) }, Receiver { ch })
+    }
+
+    /// Enqueues a message, waking one receiver. Returns `Err` with the
+    /// message if the channel is closed.
+    pub fn send(&self, msg: T) -> Result<(), T> {
+        {
+            let mut inner = self.inner.lock();
+            if inner.closed {
+                return Err(msg);
+            }
+            inner.queue.push_back(msg);
+        }
+        self.recv_q.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a message is available.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] if the channel is closed and empty.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.closed {
+                    return Err(RecvError);
+                }
+            }
+            self.recv_q.wait();
+        }
+    }
+
+    /// Blocks until a message is available or `ns` elapses.
+    pub fn recv_timeout(&self, ns: Nanos) -> RecvTimeout<T> {
+        let deadline = runtime::now().saturating_add(ns);
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                if let Some(v) = inner.queue.pop_front() {
+                    return RecvTimeout::Ok(v);
+                }
+                if inner.closed {
+                    return RecvTimeout::Closed;
+                }
+            }
+            let now = runtime::now();
+            if now >= deadline {
+                return RecvTimeout::TimedOut;
+            }
+            self.recv_q.wait_timeout(deadline - now);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.lock().queue.pop_front()
+    }
+
+    /// Closes the channel: senders fail, receivers drain then get
+    /// [`RecvError`].
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.recv_q.notify_all();
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// True if no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().queue.is_empty()
+    }
+}
+
+/// Sending half of [`Channel::pair`].
+pub struct Sender<T> {
+    ch: Arc<Channel<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender { ch: Arc::clone(&self.ch) }
+    }
+}
+
+impl<T> Sender<T> {
+    /// See [`Channel::send`].
+    pub fn send(&self, msg: T) -> Result<(), T> {
+        self.ch.send(msg)
+    }
+    /// See [`Channel::close`].
+    pub fn close(&self) {
+        self.ch.close()
+    }
+}
+
+/// Receiving half of [`Channel::pair`].
+pub struct Receiver<T> {
+    ch: Arc<Channel<T>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver { ch: Arc::clone(&self.ch) }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// See [`Channel::recv`].
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.ch.recv()
+    }
+    /// See [`Channel::recv_timeout`].
+    pub fn recv_timeout(&self, ns: Nanos) -> RecvTimeout<T> {
+        self.ch.recv_timeout(ns)
+    }
+    /// See [`Channel::try_recv`].
+    pub fn try_recv(&self) -> Option<T> {
+        self.ch.try_recv()
+    }
+}
+
+#[derive(Debug)]
+struct CoreInner {
+    free: u32,
+    waiters: VecDeque<FiberId>,
+}
+
+/// Models a node's CPU cores as a preemption-free processor pool.
+///
+/// A fiber *charges* virtual CPU time with [`CorePool::charge`]: it occupies
+/// one core for the duration, queueing FIFO behind other fibers when all
+/// cores are busy. This is how the closed-loop benchmarks saturate — beyond
+/// the knee, added clients only add queueing delay, which is the behaviour
+/// the paper's throughput/latency plots show.
+#[derive(Debug)]
+pub struct CorePool {
+    inner: Mutex<CoreInner>,
+    capacity: u32,
+}
+
+impl CorePool {
+    /// Creates a pool of `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: u32) -> Self {
+        assert!(cores > 0, "a node needs at least one core");
+        CorePool {
+            inner: Mutex::new(CoreInner { free: cores, waiters: VecDeque::new() }),
+            capacity: cores,
+        }
+    }
+
+    /// Total number of cores.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Occupies one core for `ns` of virtual time, queueing if necessary.
+    pub fn charge(&self, ns: Nanos) {
+        if ns == 0 {
+            return;
+        }
+        self.acquire();
+        runtime::sleep(ns);
+        self.release();
+    }
+
+    fn acquire(&self) {
+        {
+            let mut inner = self.inner.lock();
+            if inner.free > 0 {
+                inner.free -= 1;
+                return;
+            }
+        }
+        // Contended: requires fiber context.
+        let me = runtime::current();
+        let must_wait = {
+            let mut inner = self.inner.lock();
+            if inner.free > 0 {
+                inner.free -= 1;
+                false
+            } else {
+                inner.waiters.push_back(me);
+                true
+            }
+        };
+        if must_wait {
+            // The releasing fiber transfers its core to us directly.
+            runtime::park();
+        }
+    }
+
+    fn release(&self) {
+        let next = {
+            let mut inner = self.inner.lock();
+            match inner.waiters.pop_front() {
+                Some(f) => Some(f),
+                None => {
+                    inner.free += 1;
+                    None
+                }
+            }
+        };
+        if let Some(f) = next {
+            runtime::unpark(f);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct MutexInner {
+    locked: bool,
+    waiters: VecDeque<FiberId>,
+}
+
+/// A fiber-aware mutex that may be held across yield points.
+///
+/// `parking_lot` locks would deadlock the whole simulation if a fiber
+/// parked while holding one; use this type whenever the critical section
+/// sleeps, performs I/O charges, or sends RPCs (e.g. the WAL group-commit
+/// leader).
+#[derive(Debug)]
+pub struct FiberMutex {
+    inner: Mutex<MutexInner>,
+}
+
+impl Default for FiberMutex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FiberMutex {
+    /// Creates an unlocked mutex.
+    pub fn new() -> Self {
+        FiberMutex {
+            inner: Mutex::new(MutexInner { locked: false, waiters: VecDeque::new() }),
+        }
+    }
+
+    /// Acquires the lock, parking FIFO behind other fibers. The
+    /// uncontended path works outside the simulation runtime too (plain
+    /// unit tests); contention requires fiber context.
+    pub fn lock(&self) -> FiberMutexGuard<'_> {
+        {
+            let mut inner = self.inner.lock();
+            if !inner.locked {
+                inner.locked = true;
+                return FiberMutexGuard { mutex: self };
+            }
+        }
+        let me = runtime::current();
+        let must_wait = {
+            let mut inner = self.inner.lock();
+            if !inner.locked {
+                inner.locked = true;
+                false
+            } else {
+                inner.waiters.push_back(me);
+                true
+            }
+        };
+        if must_wait {
+            runtime::park(); // ownership is transferred by unlock
+        }
+        FiberMutexGuard { mutex: self }
+    }
+
+    /// Attempts to acquire without blocking.
+    pub fn try_lock(&self) -> Option<FiberMutexGuard<'_>> {
+        let mut inner = self.inner.lock();
+        if inner.locked {
+            None
+        } else {
+            inner.locked = true;
+            drop(inner);
+            Some(FiberMutexGuard { mutex: self })
+        }
+    }
+
+    fn unlock(&self) {
+        let next = {
+            let mut inner = self.inner.lock();
+            match inner.waiters.pop_front() {
+                Some(f) => Some(f), // keep locked: transferred to f
+                None => {
+                    inner.locked = false;
+                    None
+                }
+            }
+        };
+        if let Some(f) = next {
+            runtime::unpark(f);
+        }
+    }
+}
+
+/// RAII guard for [`FiberMutex`].
+#[must_use = "the lock is released when the guard is dropped"]
+#[derive(Debug)]
+pub struct FiberMutexGuard<'a> {
+    mutex: &'a FiberMutex,
+}
+
+impl Drop for FiberMutexGuard<'_> {
+    fn drop(&mut self) {
+        self.mutex.unlock();
+    }
+}
+
+/// The adaptive idle strategy of Treaty's userland scheduler: when no fiber
+/// is runnable the scheduler sleeps, doubling the interval up to a cap so an
+/// idle enclave thread stops burning syscalls (§VII-C).
+#[derive(Debug, Clone)]
+pub struct IdleBackoff {
+    current: Nanos,
+    min: Nanos,
+    max: Nanos,
+}
+
+impl Default for IdleBackoff {
+    fn default() -> Self {
+        Self::new(1_000, 1_000_000)
+    }
+}
+
+impl IdleBackoff {
+    /// Creates a backoff sleeping `min`..`max` nanoseconds.
+    pub fn new(min: Nanos, max: Nanos) -> Self {
+        IdleBackoff { current: min, min, max }
+    }
+
+    /// Sleeps for the current interval and doubles it (capped).
+    pub fn idle(&mut self) {
+        runtime::sleep(self.current);
+        self.current = (self.current * 2).min(self.max);
+    }
+
+    /// Resets the interval after useful work was found.
+    pub fn reset(&mut self) {
+        self.current = self.min;
+    }
+
+    /// The next idle sleep duration.
+    pub fn current(&self) -> Nanos {
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use treaty_sim::runtime::{join, now, sleep, spawn};
+
+    #[test]
+    fn block_on_returns_value() {
+        assert_eq!(block_on(|| 41 + 1), 42);
+    }
+
+    #[test]
+    fn waitqueue_fifo_notify_one() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        block_on(move || {
+            let q = Arc::new(WaitQueue::new());
+            let mut handles = Vec::new();
+            for i in 0..3 {
+                let q = Arc::clone(&q);
+                let o = Arc::clone(&o);
+                handles.push(spawn(move || {
+                    q.wait();
+                    o.lock().push(i);
+                }));
+            }
+            sleep(10); // let all three park
+            assert_eq!(q.len(), 3);
+            q.notify_one();
+            sleep(1);
+            q.notify_all();
+            for h in handles {
+                join(h);
+            }
+            assert_eq!(*o.lock(), vec![0, 1, 2]);
+        });
+    }
+
+    #[test]
+    fn waitqueue_timeout_removes_waiter() {
+        block_on(|| {
+            let q = WaitQueue::new();
+            let signaled = q.wait_timeout(100);
+            assert!(!signaled);
+            assert_eq!(now(), 100);
+            assert!(q.is_empty(), "timed-out waiter must deregister");
+        });
+    }
+
+    #[test]
+    fn channel_send_recv_across_fibers() {
+        block_on(|| {
+            let (tx, rx) = Channel::pair();
+            let producer = spawn(move || {
+                for i in 0..10 {
+                    sleep(5);
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            for _ in 0..10 {
+                got.push(rx.recv().unwrap());
+            }
+            join(producer);
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn channel_recv_timeout() {
+        block_on(|| {
+            let (tx, rx) = Channel::<u32>::pair();
+            assert!(matches!(rx.recv_timeout(50), RecvTimeout::TimedOut));
+            assert_eq!(now(), 50);
+            tx.send(7).unwrap();
+            assert!(matches!(rx.recv_timeout(50), RecvTimeout::Ok(7)));
+            tx.close();
+            assert!(matches!(rx.recv_timeout(50), RecvTimeout::Closed));
+        });
+    }
+
+    #[test]
+    fn channel_close_fails_send_and_drains() {
+        block_on(|| {
+            let ch = Channel::new();
+            ch.send(1u8).unwrap();
+            ch.close();
+            assert_eq!(ch.send(2), Err(2));
+            assert_eq!(ch.recv(), Ok(1));
+            assert_eq!(ch.recv(), Err(RecvError));
+        });
+    }
+
+    #[test]
+    fn corepool_serializes_beyond_capacity() {
+        // 2 cores, 4 fibers each charging 100ns => finishes at 200ns.
+        block_on(|| {
+            let pool = Arc::new(CorePool::new(2));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let p = Arc::clone(&pool);
+                    spawn(move || p.charge(100))
+                })
+                .collect();
+            for h in handles {
+                join(h);
+            }
+            assert_eq!(now(), 200);
+        });
+    }
+
+    #[test]
+    fn corepool_parallel_within_capacity() {
+        block_on(|| {
+            let pool = Arc::new(CorePool::new(4));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let p = Arc::clone(&pool);
+                    spawn(move || p.charge(100))
+                })
+                .collect();
+            for h in handles {
+                join(h);
+            }
+            assert_eq!(now(), 100);
+        });
+    }
+
+    #[test]
+    fn corepool_zero_charge_is_free() {
+        block_on(|| {
+            let pool = CorePool::new(1);
+            pool.charge(0);
+            assert_eq!(now(), 0);
+        });
+    }
+
+    #[test]
+    fn fiber_mutex_mutual_exclusion_across_sleeps() {
+        let max_inside = Arc::new(AtomicU64::new(0));
+        let inside = Arc::new(AtomicU64::new(0));
+        let m = Arc::clone(&max_inside);
+        let i = Arc::clone(&inside);
+        block_on(move || {
+            let mutex = Arc::new(FiberMutex::new());
+            let handles: Vec<_> = (0..5)
+                .map(|_| {
+                    let mutex = Arc::clone(&mutex);
+                    let inside = Arc::clone(&i);
+                    let max = Arc::clone(&m);
+                    spawn(move || {
+                        let _g = mutex.lock();
+                        let n = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                        max.fetch_max(n, Ordering::SeqCst);
+                        sleep(10); // hold across a yield point
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                join(h);
+            }
+        });
+        assert_eq!(max_inside.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn fiber_mutex_try_lock() {
+        block_on(|| {
+            let mutex = FiberMutex::new();
+            let g = mutex.try_lock().unwrap();
+            assert!(mutex.try_lock().is_none());
+            drop(g);
+            assert!(mutex.try_lock().is_some());
+        });
+    }
+
+    #[test]
+    fn idle_backoff_doubles_and_resets() {
+        block_on(|| {
+            let mut b = IdleBackoff::new(10, 50);
+            b.idle();
+            assert_eq!(b.current(), 20);
+            b.idle();
+            b.idle();
+            assert_eq!(b.current(), 50); // capped
+            b.reset();
+            assert_eq!(b.current(), 10);
+            assert_eq!(now(), 10 + 20 + 40);
+        });
+    }
+}

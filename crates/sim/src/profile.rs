@@ -1,0 +1,152 @@
+//! Security profiles — the system variants compared throughout §VIII.
+//!
+//! Every figure in the paper compares a fixed set of variants that differ in
+//! which protections are active. A [`SecurityProfile`] captures one such
+//! variant; constructors exist for each named system.
+
+use serde::{Deserialize, Serialize};
+
+/// Where the storage engine and transaction layer execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TeeMode {
+    /// Outside any enclave — no shielding costs, no protection.
+    Native,
+    /// Inside an SGX enclave via SCONE: shielded syscalls, boundary copies,
+    /// MEE-priced memory, limited EPC.
+    Scone,
+}
+
+/// One evaluated system variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SecurityProfile {
+    /// Execution environment.
+    pub tee: TeeMode,
+    /// Encrypt values, log records and network payloads (confidentiality).
+    pub encryption: bool,
+    /// Hash/MAC persistent blocks and messages (integrity). The paper's
+    /// RocksDB baseline runs without authentication; every Treaty variant
+    /// authenticates.
+    pub authentication: bool,
+    /// Run the stabilization protocol: log entries carry trusted-counter
+    /// values and commits wait for distributed rollback protection
+    /// (freshness).
+    pub stabilization: bool,
+}
+
+impl SecurityProfile {
+    /// The `RocksDB` / `DS-RocksDB` baseline: native, fully unprotected.
+    pub fn rocksdb() -> Self {
+        SecurityProfile {
+            tee: TeeMode::Native,
+            encryption: false,
+            authentication: false,
+            stabilization: false,
+        }
+    }
+
+    /// `Native Treaty`: Treaty's engine outside the enclave, authenticated
+    /// structures, no encryption, no stabilization.
+    pub fn native_treaty() -> Self {
+        SecurityProfile { authentication: true, ..Self::rocksdb() }
+    }
+
+    /// `Native Treaty w/ Enc`.
+    pub fn native_treaty_enc() -> Self {
+        SecurityProfile { encryption: true, ..Self::native_treaty() }
+    }
+
+    /// `Treaty w/o Enc` (SCONE).
+    pub fn treaty_no_enc() -> Self {
+        SecurityProfile { tee: TeeMode::Scone, ..Self::native_treaty() }
+    }
+
+    /// `Treaty w/ Enc` (SCONE).
+    pub fn treaty_enc() -> Self {
+        SecurityProfile { encryption: true, ..Self::treaty_no_enc() }
+    }
+
+    /// `Treaty w/ Enc w/ Stab` (SCONE) — the full system.
+    pub fn treaty_full() -> Self {
+        SecurityProfile { stabilization: true, ..Self::treaty_enc() }
+    }
+
+    /// Human-readable label matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match (self.tee, self.encryption, self.authentication, self.stabilization) {
+            (TeeMode::Native, false, false, false) => "RocksDB (native)",
+            (TeeMode::Native, false, true, false) => "Native Treaty",
+            (TeeMode::Native, true, true, false) => "Native Treaty w/ Enc",
+            (TeeMode::Scone, false, true, false) => "Treaty w/o Enc",
+            (TeeMode::Scone, true, true, false) => "Treaty w/ Enc",
+            (TeeMode::Scone, true, true, true) => "Treaty w/ Enc w/ Stab",
+            _ => "custom profile",
+        }
+    }
+
+    /// The six single-node variants of Figs. 6 and 7, in paper order.
+    pub fn single_node_lineup() -> [SecurityProfile; 6] {
+        [
+            Self::rocksdb(),
+            Self::native_treaty(),
+            Self::native_treaty_enc(),
+            Self::treaty_no_enc(),
+            Self::treaty_enc(),
+            Self::treaty_full(),
+        ]
+    }
+
+    /// The four distributed variants of Figs. 3 and 5, in paper order.
+    pub fn distributed_lineup() -> [SecurityProfile; 4] {
+        [
+            Self::rocksdb(), // DS-RocksDB
+            Self::treaty_no_enc(),
+            Self::treaty_enc(),
+            Self::treaty_full(),
+        ]
+    }
+}
+
+impl Default for SecurityProfile {
+    /// Defaults to the full system, like a production deployment would.
+    fn default() -> Self {
+        Self::treaty_full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineups_match_paper_legends() {
+        let labels: Vec<_> = SecurityProfile::single_node_lineup()
+            .iter()
+            .map(|p| p.label())
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "RocksDB (native)",
+                "Native Treaty",
+                "Native Treaty w/ Enc",
+                "Treaty w/o Enc",
+                "Treaty w/ Enc",
+                "Treaty w/ Enc w/ Stab",
+            ]
+        );
+    }
+
+    #[test]
+    fn full_profile_enables_everything() {
+        let p = SecurityProfile::treaty_full();
+        assert_eq!(p.tee, TeeMode::Scone);
+        assert!(p.encryption && p.authentication && p.stabilization);
+    }
+
+    #[test]
+    fn baseline_disables_everything() {
+        let p = SecurityProfile::rocksdb();
+        assert_eq!(p.tee, TeeMode::Native);
+        assert!(!p.encryption && !p.authentication && !p.stabilization);
+    }
+}

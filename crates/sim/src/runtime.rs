@@ -1,0 +1,893 @@
+//! Cooperative fiber runtime with a virtual clock.
+//!
+//! Exactly one fiber executes at any instant; control is handed between the
+//! scheduler thread (the caller of [`Sim::run`]) and fiber threads through a
+//! baton of mutex/condvar pairs. This gives the key property the rest of the
+//! system builds on: **between two yield points a fiber runs atomically with
+//! respect to every other fiber**, so higher-level primitives (wait queues,
+//! channels, lock tables) never race — exactly like the userland scheduler
+//! Treaty runs inside the enclave (§VII-C of the paper).
+//!
+//! Blocking primitives ([`sleep`], [`park`], [`park_timeout`], [`yield_now`])
+//! may only be called from inside a fiber; they panic otherwise. Pure reads
+//! ([`now`], [`in_fiber`], [`current`]) are safe anywhere.
+
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::Nanos;
+
+/// Identifies a fiber within one [`Sim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FiberId(pub u64);
+
+impl fmt::Display for FiberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fiber#{}", self.0)
+    }
+}
+
+/// Why a parked fiber resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeReason {
+    /// Another fiber called [`unpark`] on this fiber.
+    Signal,
+    /// The timeout passed to [`park_timeout`] (or [`sleep`]) elapsed.
+    Timeout,
+}
+
+/// Error returned by [`Sim::run`].
+#[derive(Debug, thiserror::Error)]
+pub enum SimError {
+    /// A fiber panicked; the message is the panic payload if it was a string.
+    #[error("fiber panicked: {0}")]
+    FiberPanic(String),
+    /// No fiber is runnable and no timer is pending, but non-daemon fibers
+    /// are still parked — the simulated system deadlocked.
+    #[error("simulation deadlock: {parked} fiber(s) parked with no pending event at t={at}ns")]
+    Deadlock {
+        /// Number of parked non-daemon fibers.
+        parked: usize,
+        /// Virtual time at which the deadlock was detected.
+        at: Nanos,
+    },
+}
+
+/// Summary returned by a successful [`Sim::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimReport {
+    /// Final virtual time.
+    pub virtual_ns: Nanos,
+    /// Total fibers that ran to completion (including daemons shut down).
+    pub fibers: u64,
+    /// Total scheduler switches performed.
+    pub switches: u64,
+}
+
+struct ParkCell {
+    go: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl ParkCell {
+    fn new() -> Arc<Self> {
+        Arc::new(ParkCell { go: Mutex::new(false), cv: Condvar::new() })
+    }
+    fn release(&self) {
+        let mut g = self.go.lock();
+        *g = true;
+        self.cv.notify_one();
+    }
+    fn wait(&self) {
+        let mut g = self.go.lock();
+        while !*g {
+            self.cv.wait(&mut g);
+        }
+        *g = false;
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FiberState {
+    Runnable,
+    Running,
+    Parked,
+    Done,
+}
+
+struct FiberSlot {
+    cell: Arc<ParkCell>,
+    tag: &'static str,
+    state: FiberState,
+    /// Wakeup generation; a pending timer is only valid if its recorded
+    /// generation matches. Bumped on every park and every unpark.
+    generation: u64,
+    wake_reason: WakeReason,
+    daemon: bool,
+    join_waiters: Vec<FiberId>,
+}
+
+struct Inner {
+    now: Nanos,
+    next_fiber: u64,
+    next_seq: u64,
+    run_queue: VecDeque<FiberId>,
+    timers: BinaryHeap<Reverse<(Nanos, u64, u64, u64)>>, // (time, seq, fiber, generation)
+    fibers: HashMap<u64, FiberSlot>,
+    live_non_daemon: usize,
+    shutting_down: bool,
+    panic_msg: Option<String>,
+    switches: u64,
+    completed: u64,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    sched_cell: Arc<ParkCell>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Shared>, u64)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Payload used to unwind fibers when the simulation shuts down early
+/// (panic elsewhere, or daemons outliving all normal fibers).
+struct ShutdownSignal;
+
+/// A deterministic discrete-event simulation.
+///
+/// Construct with [`Sim::new`], then call [`Sim::run`] with the root fiber's
+/// body. `run` returns once every non-daemon fiber has completed.
+pub struct Sim {
+    _priv: (),
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Creates a new simulation.
+    pub fn new() -> Self {
+        Sim { _priv: () }
+    }
+
+    /// Runs `root` as the first fiber and drives the simulation until every
+    /// non-daemon fiber has finished.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FiberPanic`] if any fiber panics and
+    /// [`SimError::Deadlock`] if all remaining fibers are parked with no
+    /// pending timer.
+    pub fn run<F>(self, root: F) -> Result<SimReport, SimError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        // Shutdown unwinds are control flow, not failures: silence their
+        // default panic-hook output (once, process-wide, delegating
+        // everything else to the previous hook).
+        static HOOK: std::sync::Once = std::sync::Once::new();
+        HOOK.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info.payload().downcast_ref::<ShutdownSignal>().is_none() {
+                    prev(info);
+                }
+            }));
+        });
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                now: 0,
+                next_fiber: 0,
+                next_seq: 0,
+                run_queue: VecDeque::new(),
+                timers: BinaryHeap::new(),
+                fibers: HashMap::new(),
+                live_non_daemon: 0,
+                shutting_down: false,
+                panic_msg: None,
+                switches: 0,
+                completed: 0,
+            }),
+            sched_cell: ParkCell::new(),
+        });
+
+        // Optional stall watchdog (TREATY_SIM_WATCHDOG=1): reports when no
+        // scheduler switch has happened for several wall seconds, which
+        // almost always means a fiber blocked on a real OS primitive.
+        if std::env::var_os("TREATY_SIM_WATCHDOG").is_some() {
+            let shared_w = Arc::downgrade(&shared);
+            std::thread::spawn(move || {
+                let mut last = (0u64, 0u64);
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(5));
+                    let shared = match shared_w.upgrade() {
+                        Some(s) => s,
+                        None => return,
+                    };
+                    let inner = shared.inner.lock();
+                    let cur = (inner.switches, inner.now);
+                    if cur == last {
+                        eprintln!(
+                            "[sim-watchdog] STALLED: switches={} vnow={}ns live={} runq={} timers={} running={:?}",
+                            inner.switches,
+                            inner.now,
+                            inner.live_non_daemon,
+                            inner.run_queue.len(),
+                            inner.timers.len(),
+                            inner
+                                .fibers
+                                .iter()
+                                .filter(|(_, s)| s.state == FiberState::Running)
+                                .map(|(id, s)| (*id, s.tag))
+                                .collect::<Vec<_>>(),
+                        );
+                    }
+                    last = cur;
+                }
+            });
+        }
+        spawn_fiber(&shared, Box::new(root), false);
+        scheduler_loop(&shared)
+    }
+}
+
+fn spawn_fiber(shared: &Arc<Shared>, body: Box<dyn FnOnce() + Send>, daemon: bool) -> FiberId {
+    let cell = ParkCell::new();
+    let id;
+    {
+        let mut inner = shared.inner.lock();
+        id = inner.next_fiber;
+        inner.next_fiber += 1;
+        inner.fibers.insert(
+            id,
+            FiberSlot {
+                cell: cell.clone(),
+                tag: "",
+                state: FiberState::Runnable,
+                generation: 0,
+                wake_reason: WakeReason::Signal,
+                daemon,
+                join_waiters: Vec::new(),
+            },
+        );
+        if !daemon {
+            inner.live_non_daemon += 1;
+        }
+        inner.run_queue.push_back(FiberId(id));
+    }
+
+    let shared2 = Arc::clone(shared);
+    let cell2 = cell;
+    std::thread::Builder::new()
+        .name(format!("sim-fiber-{id}"))
+        .spawn(move || {
+            cell2.wait();
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&shared2), id)));
+            let result = catch_unwind(AssertUnwindSafe(body));
+            CURRENT.with(|c| *c.borrow_mut() = None);
+            let mut inner = shared2.inner.lock();
+            match result {
+                Ok(()) => {}
+                Err(payload) => {
+                    if payload.downcast_ref::<ShutdownSignal>().is_none() {
+                        let msg = panic_message(&payload);
+                        if inner.panic_msg.is_none() {
+                            inner.panic_msg = Some(msg);
+                        }
+                    }
+                }
+            }
+            finish_fiber(&mut inner, id);
+            drop(inner);
+            shared2.sched_cell.release();
+        })
+        .expect("failed to spawn fiber thread");
+    FiberId(id)
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn finish_fiber(inner: &mut Inner, id: u64) {
+    let waiters = {
+        let slot = inner.fibers.get_mut(&id).expect("finishing unknown fiber");
+        slot.state = FiberState::Done;
+        if !slot.daemon {
+            inner.live_non_daemon -= 1;
+        }
+        std::mem::take(&mut slot.join_waiters)
+    };
+    inner.completed += 1;
+    for w in waiters {
+        wake_fiber(inner, w.0, WakeReason::Signal);
+    }
+}
+
+fn wake_fiber(inner: &mut Inner, id: u64, reason: WakeReason) {
+    if let Some(slot) = inner.fibers.get_mut(&id) {
+        if slot.state == FiberState::Parked {
+            slot.state = FiberState::Runnable;
+            slot.generation += 1; // invalidate any pending timer
+            slot.wake_reason = reason;
+            inner.run_queue.push_back(FiberId(id));
+        }
+    }
+}
+
+fn scheduler_loop(shared: &Arc<Shared>) -> Result<SimReport, SimError> {
+    loop {
+        let next: Option<u64> = {
+            let mut inner = shared.inner.lock();
+
+            if inner.panic_msg.is_some() && !inner.shutting_down {
+                inner.shutting_down = true;
+            }
+            if inner.live_non_daemon == 0 && !inner.shutting_down {
+                inner.shutting_down = true;
+            }
+
+            if inner.shutting_down {
+                // Wake every remaining fiber so it can unwind via ShutdownSignal.
+                let parked: Vec<u64> = inner
+                    .fibers
+                    .iter()
+                    .filter(|(_, s)| s.state == FiberState::Parked)
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in parked {
+                    wake_fiber(&mut inner, id, WakeReason::Signal);
+                }
+            }
+
+            if let Some(FiberId(id)) = inner.run_queue.pop_front() {
+                let slot = inner.fibers.get_mut(&id).expect("runnable fiber missing");
+                debug_assert_eq!(slot.state, FiberState::Runnable);
+                slot.state = FiberState::Running;
+                inner.switches += 1;
+                Some(id)
+            } else {
+                // Advance virtual time to the next valid timer.
+                let mut fired = None;
+                while let Some(Reverse((t, _seq, fid, generation))) = inner.timers.pop() {
+                    let valid = inner
+                        .fibers
+                        .get(&fid)
+                        .map(|s| s.state == FiberState::Parked && s.generation == generation)
+                        .unwrap_or(false);
+                    if valid {
+                        fired = Some((t, fid));
+                        break;
+                    }
+                }
+                match fired {
+                    Some((t, fid)) => {
+                        debug_assert!(t >= inner.now, "timer in the past");
+                        inner.now = t;
+                        wake_fiber(&mut inner, fid, WakeReason::Timeout);
+                        continue;
+                    }
+                    None => {
+                        let parked = inner
+                            .fibers
+                            .values()
+                            .filter(|s| !s.daemon && s.state == FiberState::Parked)
+                            .count();
+                        if parked > 0 && !inner.shutting_down {
+                            inner.shutting_down = true;
+                            // Record deadlock, then keep looping to unwind.
+                            if inner.panic_msg.is_none() {
+                                let at = inner.now;
+                                drop(inner);
+                                // Unwind all fibers before reporting.
+                                unwind_all(shared);
+                                return Err(SimError::Deadlock { parked, at });
+                            }
+                            continue;
+                        }
+                        // Finished (or fully shut down).
+                        let report = SimReport {
+                            virtual_ns: inner.now,
+                            fibers: inner.completed,
+                            switches: inner.switches,
+                        };
+                        let panic_msg = inner.panic_msg.clone();
+                        drop(inner);
+                        return match panic_msg {
+                            Some(msg) => Err(SimError::FiberPanic(msg)),
+                            None => Ok(report),
+                        };
+                    }
+                }
+            }
+        };
+
+        if let Some(id) = next {
+            let cell = {
+                let inner = shared.inner.lock();
+                Arc::clone(&inner.fibers[&id].cell)
+            };
+            cell.release();
+            shared.sched_cell.wait();
+        }
+    }
+}
+
+fn unwind_all(shared: &Arc<Shared>) {
+    loop {
+        let next = {
+            let mut inner = shared.inner.lock();
+            let parked: Vec<u64> = inner
+                .fibers
+                .iter()
+                .filter(|(_, s)| s.state == FiberState::Parked)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in parked {
+                wake_fiber(&mut inner, id, WakeReason::Signal);
+            }
+            match inner.run_queue.pop_front() {
+                Some(FiberId(id)) => {
+                    let slot = inner.fibers.get_mut(&id).unwrap();
+                    slot.state = FiberState::Running;
+                    Some(id)
+                }
+                None => None,
+            }
+        };
+        match next {
+            Some(id) => {
+                let cell = {
+                    let inner = shared.inner.lock();
+                    Arc::clone(&inner.fibers[&id].cell)
+                };
+                cell.release();
+                shared.sched_cell.wait();
+            }
+            None => return,
+        }
+    }
+}
+
+fn with_current<R>(f: impl FnOnce(&Arc<Shared>, u64) -> R) -> R {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let (shared, id) = b
+            .as_ref()
+            .expect("this operation may only be used inside a treaty-sim fiber");
+        f(shared, *id)
+    })
+}
+
+/// Hands control back to the scheduler. Must be called with the fiber's state
+/// already updated (Parked or re-queued Runnable).
+fn switch_out(shared: &Arc<Shared>, id: u64) {
+    let cell = {
+        let inner = shared.inner.lock();
+        Arc::clone(&inner.fibers[&id].cell)
+    };
+    shared.sched_cell.release();
+    cell.wait();
+    // On resume: if the sim is shutting down, unwind this fiber.
+    let shutting_down = shared.inner.lock().shutting_down;
+    if shutting_down {
+        std::panic::panic_any(ShutdownSignal);
+    }
+}
+
+/// Tags the current fiber for diagnostics (shown by the stall watchdog).
+///
+/// # Panics
+///
+/// Panics when called outside a fiber.
+pub fn set_tag(tag: &'static str) {
+    with_current(|shared, id| {
+        if let Some(slot) = shared.inner.lock().fibers.get_mut(&id) {
+            slot.tag = tag;
+        }
+    });
+}
+
+/// Returns `true` if the calling thread is a simulation fiber.
+pub fn in_fiber() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// The current fiber's id.
+///
+/// # Panics
+///
+/// Panics when called outside a fiber.
+pub fn current() -> FiberId {
+    with_current(|_, id| FiberId(id))
+}
+
+/// Current virtual time.
+///
+/// # Panics
+///
+/// Panics when called outside a fiber.
+pub fn now() -> Nanos {
+    with_current(|shared, _| shared.inner.lock().now)
+}
+
+/// Spawns a new fiber. The returned [`FiberId`] can be passed to [`unpark`]
+/// and [`join`].
+///
+/// # Panics
+///
+/// Panics when called outside a fiber.
+pub fn spawn<F: FnOnce() + Send + 'static>(f: F) -> FiberId {
+    with_current(|shared, _| spawn_fiber(shared, Box::new(f), false))
+}
+
+/// Spawns a *daemon* fiber: the simulation may end while daemons are still
+/// parked (they are then unwound). Use for server loops.
+///
+/// # Panics
+///
+/// Panics when called outside a fiber.
+pub fn spawn_daemon<F: FnOnce() + Send + 'static>(f: F) -> FiberId {
+    with_current(|shared, _| spawn_fiber(shared, Box::new(f), true))
+}
+
+/// Advances this fiber's virtual time by `ns` nanoseconds.
+///
+/// Other fibers run during the interval; no wall-clock time passes beyond
+/// scheduling overhead.
+///
+/// # Panics
+///
+/// Panics when called outside a fiber.
+pub fn sleep(ns: Nanos) {
+    if ns == 0 {
+        yield_now();
+        return;
+    }
+    let reason = park_timeout(ns);
+    debug_assert_eq!(reason, WakeReason::Timeout, "sleep woken early by unpark");
+}
+
+/// Parks the current fiber until another fiber calls [`unpark`] on it.
+///
+/// # Panics
+///
+/// Panics when called outside a fiber.
+pub fn park() {
+    with_current(|shared, id| {
+        {
+            let mut inner = shared.inner.lock();
+            let slot = inner.fibers.get_mut(&id).unwrap();
+            slot.state = FiberState::Parked;
+            slot.generation += 1;
+        }
+        switch_out(shared, id);
+    });
+}
+
+/// Parks the current fiber until [`unpark`] or until `ns` virtual nanoseconds
+/// elapse, whichever is first. Returns why it woke.
+///
+/// # Panics
+///
+/// Panics when called outside a fiber.
+pub fn park_timeout(ns: Nanos) -> WakeReason {
+    with_current(|shared, id| {
+        {
+            let mut inner = shared.inner.lock();
+            let deadline = inner.now.saturating_add(ns);
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+            let slot = inner.fibers.get_mut(&id).unwrap();
+            slot.state = FiberState::Parked;
+            slot.generation += 1;
+            let generation = slot.generation;
+            inner.timers.push(Reverse((deadline, seq, id, generation)));
+        }
+        switch_out(shared, id);
+        let inner = shared.inner.lock();
+        inner.fibers[&id].wake_reason
+    })
+}
+
+/// Makes a parked fiber runnable. Returns `true` if the fiber was parked.
+///
+/// Calling `unpark` on a running, runnable, or finished fiber is a no-op —
+/// there are no "wakeup tokens". Primitives built on park/unpark must
+/// enqueue themselves *before* parking (safe because fibers are cooperative:
+/// no other fiber runs between the enqueue and the park).
+///
+/// # Panics
+///
+/// Panics when called outside a fiber.
+pub fn unpark(target: FiberId) -> bool {
+    with_current(|shared, _| {
+        let mut inner = shared.inner.lock();
+        let was_parked = inner
+            .fibers
+            .get(&target.0)
+            .map(|s| s.state == FiberState::Parked)
+            .unwrap_or(false);
+        if was_parked {
+            wake_fiber(&mut inner, target.0, WakeReason::Signal);
+        }
+        was_parked
+    })
+}
+
+/// Yields to the scheduler, letting every other runnable fiber run before
+/// this one resumes (round-robin).
+///
+/// # Panics
+///
+/// Panics when called outside a fiber.
+pub fn yield_now() {
+    with_current(|shared, id| {
+        {
+            let mut inner = shared.inner.lock();
+            let slot = inner.fibers.get_mut(&id).unwrap();
+            slot.state = FiberState::Runnable;
+            inner.run_queue.push_back(FiberId(id));
+        }
+        switch_out(shared, id);
+    });
+}
+
+/// Blocks the current fiber until `target` completes. Returns immediately if
+/// it already has.
+///
+/// # Panics
+///
+/// Panics when called outside a fiber.
+pub fn join(target: FiberId) {
+    let done = with_current(|shared, id| {
+        let mut inner = shared.inner.lock();
+        match inner.fibers.get_mut(&target.0) {
+            None | Some(FiberSlot { state: FiberState::Done, .. }) => true,
+            Some(_) => {
+                inner
+                    .fibers
+                    .get_mut(&target.0)
+                    .unwrap()
+                    .join_waiters
+                    .push(FiberId(id));
+                false
+            }
+        }
+    });
+    if !done {
+        park();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn empty_root_finishes_at_time_zero() {
+        let report = Sim::new().run(|| {}).unwrap();
+        assert_eq!(report.virtual_ns, 0);
+        assert_eq!(report.fibers, 1);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time_only() {
+        let wall = std::time::Instant::now();
+        let report = Sim::new()
+            .run(|| {
+                sleep(5 * crate::SECONDS);
+            })
+            .unwrap();
+        assert_eq!(report.virtual_ns, 5 * crate::SECONDS);
+        assert!(wall.elapsed().as_secs() < 2, "virtual sleep must not block wall time");
+    }
+
+    #[test]
+    fn fibers_interleave_deterministically() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o1 = Arc::clone(&order);
+        Sim::new()
+            .run(move || {
+                let o2 = Arc::clone(&o1);
+                let o3 = Arc::clone(&o1);
+                let a = spawn(move || {
+                    o2.lock().push("a1");
+                    sleep(100);
+                    o2.lock().push("a2");
+                });
+                let b = spawn(move || {
+                    o3.lock().push("b1");
+                    sleep(50);
+                    o3.lock().push("b2");
+                });
+                join(a);
+                join(b);
+            })
+            .unwrap();
+        assert_eq!(*order.lock(), vec!["a1", "b1", "b2", "a2"]);
+    }
+
+    #[test]
+    fn unpark_wakes_before_timeout() {
+        Sim::new()
+            .run(|| {
+                let me = current();
+                spawn(move || {
+                    sleep(10);
+                    unpark(me);
+                });
+                let reason = park_timeout(1_000_000);
+                assert_eq!(reason, WakeReason::Signal);
+                assert_eq!(now(), 10);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn park_timeout_fires() {
+        Sim::new()
+            .run(|| {
+                let reason = park_timeout(123);
+                assert_eq!(reason, WakeReason::Timeout);
+                assert_eq!(now(), 123);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn fiber_panic_propagates() {
+        let err = Sim::new()
+            .run(|| {
+                spawn(|| panic!("boom in child"));
+                sleep(1_000);
+            })
+            .unwrap_err();
+        match err {
+            SimError::FiberPanic(msg) => assert!(msg.contains("boom in child")),
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let err = Sim::new().run(|| park()).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { parked: 1, .. }));
+    }
+
+    #[test]
+    fn daemons_do_not_keep_sim_alive() {
+        let report = Sim::new()
+            .run(|| {
+                spawn_daemon(|| loop {
+                    sleep(1_000_000);
+                });
+                sleep(500);
+            })
+            .unwrap();
+        assert_eq!(report.virtual_ns, 500);
+    }
+
+    #[test]
+    fn join_on_finished_fiber_returns_immediately() {
+        Sim::new()
+            .run(|| {
+                let f = spawn(|| {});
+                sleep(1);
+                join(f);
+                join(f); // second join is a no-op
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn many_fibers_shared_counter() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        Sim::new()
+            .run(move || {
+                let handles: Vec<_> = (0..100)
+                    .map(|i| {
+                        let c = Arc::clone(&c);
+                        spawn(move || {
+                            sleep(i % 7);
+                            c.fetch_add(1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    join(h);
+                }
+            })
+            .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn yield_now_is_round_robin() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        Sim::new()
+            .run(move || {
+                let o1 = Arc::clone(&o);
+                let o2 = Arc::clone(&o);
+                let a = spawn(move || {
+                    for i in 0..3 {
+                        o1.lock().push(format!("a{i}"));
+                        yield_now();
+                    }
+                });
+                let b = spawn(move || {
+                    for i in 0..3 {
+                        o2.lock().push(format!("b{i}"));
+                        yield_now();
+                    }
+                });
+                join(a);
+                join(b);
+            })
+            .unwrap();
+        assert_eq!(
+            *order.lock(),
+            vec!["a0", "b0", "a1", "b1", "a2", "b2"]
+        );
+    }
+
+    #[test]
+    fn nested_spawn_runs() {
+        let flag = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&flag);
+        Sim::new()
+            .run(move || {
+                let f2 = Arc::clone(&f);
+                let outer = spawn(move || {
+                    let f3 = Arc::clone(&f2);
+                    let inner = spawn(move || {
+                        f3.store(42, Ordering::SeqCst);
+                    });
+                    join(inner);
+                });
+                join(outer);
+            })
+            .unwrap();
+        assert_eq!(flag.load(Ordering::SeqCst), 42);
+    }
+
+    #[test]
+    fn timers_with_same_deadline_fire_in_creation_order() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&order);
+        Sim::new()
+            .run(move || {
+                let mut handles = Vec::new();
+                for i in 0..5 {
+                    let o = Arc::clone(&o);
+                    handles.push(spawn(move || {
+                        sleep(100);
+                        o.lock().push(i);
+                    }));
+                }
+                for h in handles {
+                    join(h);
+                }
+            })
+            .unwrap();
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Measurement helpers: latency histograms and closed-loop benchmark stats.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Nanos;
+
+/// A simple exact histogram: stores every sample and sorts on demand.
+///
+/// The simulations in this repository record at most a few hundred thousand
+/// samples per run, so exactness is affordable and avoids bucketing error in
+/// the tail percentiles the paper plots.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<Nanos>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: Nanos) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) using nearest-rank. Returns 0 when
+    /// empty.
+    pub fn quantile(&mut self, q: f64) -> Nanos {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.ensure_sorted();
+        let rank = ((q * self.samples.len() as f64).ceil() as usize)
+            .clamp(1, self.samples.len());
+        self.samples[rank - 1]
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> Nanos {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let sum: u128 = self.samples.iter().map(|&v| v as u128).sum();
+        (sum / self.samples.len() as u128) as Nanos
+    }
+
+    /// Largest sample; 0 when empty.
+    pub fn max(&mut self) -> Nanos {
+        self.ensure_sorted();
+        self.samples.last().copied().unwrap_or(0)
+    }
+}
+
+/// Result of one closed-loop benchmark run: `clients` concurrent clients
+/// each executed transactions back-to-back for `duration_ns` of virtual
+/// time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchStats {
+    /// Label of the system variant measured.
+    pub label: String,
+    /// Number of closed-loop clients.
+    pub clients: usize,
+    /// Committed transactions (or operations, for network benches).
+    pub committed: u64,
+    /// Aborted transactions.
+    pub aborted: u64,
+    /// Virtual duration of the measured window.
+    pub duration_ns: Nanos,
+    /// Mean latency in nanoseconds.
+    pub mean_latency_ns: Nanos,
+    /// 50th percentile latency.
+    pub p50_latency_ns: Nanos,
+    /// 99th percentile latency.
+    pub p99_latency_ns: Nanos,
+}
+
+impl BenchStats {
+    /// Builds stats from a latency histogram plus run metadata.
+    pub fn from_histogram(
+        label: impl Into<String>,
+        clients: usize,
+        committed: u64,
+        aborted: u64,
+        duration_ns: Nanos,
+        hist: &mut Histogram,
+    ) -> Self {
+        BenchStats {
+            label: label.into(),
+            clients,
+            committed,
+            aborted,
+            duration_ns,
+            mean_latency_ns: hist.mean(),
+            p50_latency_ns: hist.quantile(0.50),
+            p99_latency_ns: hist.quantile(0.99),
+        }
+    }
+
+    /// Throughput in transactions per second of virtual time.
+    pub fn tps(&self) -> f64 {
+        if self.duration_ns == 0 {
+            return 0.0;
+        }
+        self.committed as f64 * 1e9 / self.duration_ns as f64
+    }
+
+    /// Abort rate in [0, 1].
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.committed + self.aborted;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 50);
+        assert_eq!(h.quantile(0.99), 100);
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(h.mean(), 55);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Histogram::new();
+        a.record(1);
+        let mut b = Histogram::new();
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.mean(), 2);
+    }
+
+    #[test]
+    fn tps_computation() {
+        let s = BenchStats {
+            label: "x".into(),
+            clients: 4,
+            committed: 1_000,
+            aborted: 0,
+            duration_ns: crate::SECONDS,
+            mean_latency_ns: 0,
+            p50_latency_ns: 0,
+            p99_latency_ns: 0,
+        };
+        assert!((s.tps() - 1_000.0).abs() < 1e-9);
+        assert_eq!(s.abort_rate(), 0.0);
+    }
+}

@@ -1,0 +1,906 @@
+//! [`TreatyStore`]: the per-node secure storage engine.
+//!
+//! Ties the MemTable, WAL, MANIFEST, SSTable levels, lock table and
+//! transaction layer together, and implements crash recovery:
+//! MANIFEST replay → SSTable hierarchy → live WAL replay (MemTable +
+//! prepared transactions) with integrity and freshness verification at
+//! every step (§VI).
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use treaty_sched::FiberMutex;
+
+use crate::env::Env;
+use crate::locks::{LockTable, TxId};
+use crate::log::{self, LogWriter};
+use crate::memtable::{MemTable, SeqNum, UserKey};
+use crate::sstable::{self, SsTable};
+use crate::txn::{GlobalTxId, Txn, TxnMode, TxnOptions, WriteOp};
+use crate::{Result, StoreError};
+
+/// MANIFEST edits: every change to the persistent-storage state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum ManifestEdit {
+    /// A new WAL generation began.
+    NewWal { gen: u64 },
+    /// A WAL generation's effects are fully in SSTables; file deletable
+    /// once this edit stabilizes.
+    WalObsolete { gen: u64 },
+    /// An SSTable joined a level.
+    AddTable { level: usize, file_id: u64 },
+    /// An SSTable left a level (compaction); file deletable once this edit
+    /// stabilizes.
+    RemoveTable { level: usize, file_id: u64 },
+}
+
+/// WAL records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum WalRecord {
+    /// A committed transaction's writes.
+    Commit { seq: SeqNum, writes: Vec<WriteOp> },
+    /// A 2PC participant prepared this transaction (locks implied by the
+    /// write set are re-acquired at recovery).
+    Prepare { gtx: GlobalTxId, writes: Vec<WriteOp> },
+    /// Decision for a previously prepared transaction.
+    Decide { gtx: GlobalTxId, commit: bool, seq: SeqNum },
+}
+
+pub(crate) struct PreparedState {
+    pub writes: Vec<WriteOp>,
+    pub lock_owner: TxId,
+}
+
+/// Engine statistics (monotonic counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted/rolled-back transactions.
+    pub aborts: u64,
+    /// Point reads served.
+    pub gets: u64,
+    /// MemTable flushes.
+    pub flushes: u64,
+    /// Compactions run.
+    pub compactions: u64,
+    /// Files deleted by stabilization-gated GC.
+    pub files_deleted: u64,
+    /// Group-commit batches written.
+    pub group_commits: u64,
+    /// Transactions carried per group-commit batch, cumulative.
+    pub grouped_txns: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct StatsCells {
+    pub commits: AtomicU64,
+    pub aborts: AtomicU64,
+    pub gets: AtomicU64,
+    pub flushes: AtomicU64,
+    pub compactions: AtomicU64,
+    pub files_deleted: AtomicU64,
+    pub group_commits: AtomicU64,
+    pub grouped_txns: AtomicU64,
+}
+
+struct CommitReq {
+    record: Vec<u8>,
+    writes: Vec<(UserKey, SeqNum, Option<Vec<u8>>)>,
+    done: Arc<Mutex<Option<Result<(u64, Arc<LogWriter>)>>>>,
+}
+
+pub(crate) struct StoreInner {
+    pub env: Arc<Env>,
+    mem: RwLock<Arc<MemTable>>,
+    levels: RwLock<Vec<Vec<Arc<SsTable>>>>,
+    wal: RwLock<Arc<LogWriter>>,
+    wal_gen: AtomicU64,
+    manifest: Mutex<Arc<LogWriter>>,
+    pub seq: AtomicU64,
+    next_file_id: AtomicU64,
+    pub next_txid: AtomicU64,
+    pub locks: LockTable,
+    pub prepared: Mutex<HashMap<GlobalTxId, PreparedState>>,
+    commit_lock: FiberMutex,
+    commit_queue: Mutex<Vec<CommitReq>>,
+    /// (manifest counter that must stabilize, path) — deferred deletions.
+    pending_gc: Mutex<Vec<(u64, PathBuf)>>,
+    /// WAL generations whose contents are still only in the MemTable.
+    live_wal_gens: Mutex<Vec<u64>>,
+    /// Guards the background MANIFEST-stabilization fiber (one at a time).
+    gc_stabilizing: std::sync::atomic::AtomicBool,
+    pub stats: StatsCells,
+}
+
+/// The per-node Treaty storage engine. Cheap to clone (shared interior).
+#[derive(Clone)]
+pub struct TreatyStore {
+    pub(crate) inner: Arc<StoreInner>,
+}
+
+impl std::fmt::Debug for TreatyStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TreatyStore")
+            .field("dir", &self.inner.env.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+fn wal_name(gen: u64) -> String {
+    format!("wal-{gen:06}")
+}
+
+impl TreatyStore {
+    /// Opens (creating or recovering) the store in `env.dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns integrity/rollback errors if the persistent state fails
+    /// verification, and I/O errors if the directory is unusable.
+    pub fn open(env: Arc<Env>) -> Result<Self> {
+        std::fs::create_dir_all(&env.dir)?;
+        let manifest_path = env.dir.join("MANIFEST");
+        if manifest_path.exists() {
+            Self::recover(env)
+        } else {
+            // A missing MANIFEST is only a fresh store if nothing was ever
+            // stabilized here; otherwise the storage was wiped to a stale
+            // (empty) state — a rollback attack.
+            log::verify_freshness(&env, "manifest", 0)?;
+            let manifest = Arc::new(LogWriter::open(
+                Arc::clone(&env),
+                "manifest",
+                &manifest_path,
+                0,
+            )?);
+            let gen = 1;
+            let wal = Arc::new(LogWriter::open(
+                Arc::clone(&env),
+                wal_name(gen),
+                &env.dir.join(wal_name(gen)),
+                0,
+            )?);
+            let edit = serde_json::to_vec(&ManifestEdit::NewWal { gen }).unwrap();
+            manifest.append(&edit)?;
+            let inner = StoreInner {
+                mem: RwLock::new(Arc::new(MemTable::new(Arc::clone(&env)))),
+                levels: RwLock::new(vec![Vec::new(); 7]),
+                wal: RwLock::new(wal),
+                wal_gen: AtomicU64::new(gen),
+                manifest: Mutex::new(manifest),
+                seq: AtomicU64::new(0),
+                next_file_id: AtomicU64::new(1),
+                next_txid: AtomicU64::new(1),
+                locks: LockTable::new(env.config.lock_shards, env.config.lock_timeout),
+                prepared: Mutex::new(HashMap::new()),
+                commit_lock: FiberMutex::new(),
+                commit_queue: Mutex::new(Vec::new()),
+                pending_gc: Mutex::new(Vec::new()),
+                live_wal_gens: Mutex::new(vec![gen]),
+                gc_stabilizing: std::sync::atomic::AtomicBool::new(false),
+                stats: StatsCells::default(),
+                env,
+            };
+            Ok(TreatyStore { inner: Arc::new(inner) })
+        }
+    }
+
+    /// The environment this store runs in.
+    pub fn env(&self) -> &Arc<Env> {
+        &self.inner.env
+    }
+
+    /// Begins a transaction.
+    pub fn begin(&self, options: TxnOptions) -> Txn {
+        Txn::new(self.clone(), options)
+    }
+
+    /// Begins a transaction in the given mode with default options.
+    pub fn begin_mode(&self, mode: TxnMode) -> Txn {
+        self.begin(TxnOptions { mode, ..TxnOptions::default() })
+    }
+
+    /// Reads the latest committed value of `key` outside any transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates integrity violations from storage verification.
+    pub fn get_committed(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_visible(key, SeqNum::MAX)
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> EngineStats {
+        let s = &self.inner.stats;
+        EngineStats {
+            commits: s.commits.load(Ordering::Relaxed),
+            aborts: s.aborts.load(Ordering::Relaxed),
+            gets: s.gets.load(Ordering::Relaxed),
+            flushes: s.flushes.load(Ordering::Relaxed),
+            compactions: s.compactions.load(Ordering::Relaxed),
+            files_deleted: s.files_deleted.load(Ordering::Relaxed),
+            group_commits: s.group_commits.load(Ordering::Relaxed),
+            grouped_txns: s.grouped_txns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Lock-table timeout count (deadlock-avoidance aborts).
+    pub fn lock_timeouts(&self) -> u64 {
+        self.inner.locks.timeouts()
+    }
+
+    // ---- read path ---------------------------------------------------------
+
+    pub(crate) fn get_visible(&self, key: &[u8], snapshot: SeqNum) -> Result<Option<Vec<u8>>> {
+        self.inner.stats.gets.fetch_add(1, Ordering::Relaxed);
+        if let Some(v) = self.inner.mem.read().clone().get(key, snapshot)? {
+            return Ok(v);
+        }
+        let levels = self.inner.levels.read().clone();
+        // L0: newest first, tables overlap.
+        let mut best: Option<(SeqNum, Option<Vec<u8>>)> = None;
+        for t in &levels[0] {
+            if let Some((s, v)) = t.get_with_seq_public(key, snapshot)? {
+                if best.as_ref().map(|(bs, _)| s > *bs).unwrap_or(true) {
+                    best = Some((s, v));
+                }
+            }
+        }
+        if let Some((_, v)) = best {
+            return Ok(v);
+        }
+        // Deeper levels: non-overlapping; first covering table decides.
+        for level in &levels[1..] {
+            for t in level {
+                if t.covers(key) {
+                    if let Some(v) = t.get(key, snapshot)? {
+                        return Ok(v);
+                    }
+                    break;
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// The newest committed sequence for `key` (0 if the key has never been
+    /// written) — the version OCC validation compares against.
+    pub(crate) fn latest_seq(&self, key: &[u8]) -> Result<SeqNum> {
+        if let Some(s) = self.inner.mem.read().latest_seq_of(key) {
+            return Ok(s);
+        }
+        let levels = self.inner.levels.read().clone();
+        let mut best = 0;
+        for t in &levels[0] {
+            if let Some(s) = t.latest_seq_of(key)? {
+                best = best.max(s);
+            }
+        }
+        if best > 0 {
+            return Ok(best);
+        }
+        for level in &levels[1..] {
+            for t in level {
+                if t.covers(key) {
+                    if let Some(s) = t.latest_seq_of(key)? {
+                        return Ok(s);
+                    }
+                    break;
+                }
+            }
+        }
+        Ok(0)
+    }
+
+    // ---- commit path (group commit, §VII-B) --------------------------------
+
+    /// Durably commits a write set: WAL append (group-batched across
+    /// concurrent committers), MemTable apply, flush/compaction when due.
+    /// Returns `(seq, wal_counter, wal)`; the caller decides when to
+    /// stabilize — against the *same* WAL generation the record landed in
+    /// (a rotation may have happened since).
+    pub(crate) fn commit_writes(
+        &self,
+        seq: SeqNum,
+        writes: &[WriteOp],
+    ) -> Result<(SeqNum, u64, Arc<LogWriter>)> {
+        let record = serde_json::to_vec(&WalRecord::Commit {
+            seq,
+            writes: writes.to_vec(),
+        })
+        .expect("wal record serializes");
+        let applied: Vec<(UserKey, SeqNum, Option<Vec<u8>>)> = writes
+            .iter()
+            .map(|w| (w.key.clone(), seq, w.value.clone()))
+            .collect();
+        let (counter, wal) = self.group_commit(record, applied)?;
+        self.inner.stats.commits.fetch_add(1, Ordering::Relaxed);
+        Ok((seq, counter, wal))
+    }
+
+    fn group_commit(
+        &self,
+        record: Vec<u8>,
+        writes: Vec<(UserKey, SeqNum, Option<Vec<u8>>)>,
+    ) -> Result<(u64, Arc<LogWriter>)> {
+        if treaty_sim::runtime::in_fiber() {
+            treaty_sim::runtime::set_tag("e:group_commit");
+        }
+        let done = Arc::new(Mutex::new(None));
+        self.inner.commit_queue.lock().push(CommitReq {
+            record,
+            writes,
+            done: Arc::clone(&done),
+        });
+
+        // FIFO leader election: first committer through the lock writes the
+        // whole queue (its own entry plus everything queued behind it).
+        let guard = self.inner.commit_lock.lock();
+        if let Some(result) = done.lock().take() {
+            // An earlier leader already carried us.
+            drop(guard);
+            return result;
+        }
+        let wal = self.inner.wal.read().clone();
+        let batch: Vec<CommitReq> = std::mem::take(&mut *self.inner.commit_queue.lock());
+        debug_assert!(!batch.is_empty());
+        let payloads: Vec<Vec<u8>> = batch.iter().map(|r| r.record.clone()).collect();
+        let append = wal.append_batch(&payloads);
+        self.inner.stats.group_commits.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .grouped_txns
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+        let mut my_result: Option<Result<(u64, Arc<LogWriter>)>> = None;
+        match append {
+            Ok((first, _last)) => {
+                let mem = self.inner.mem.read().clone();
+                for (i, req) in batch.iter().enumerate() {
+                    for (key, seq, value) in &req.writes {
+                        match value {
+                            Some(v) => mem.put(key, *seq, v),
+                            None => mem.delete(key, *seq),
+                        }
+                    }
+                    let counter = first + i as u64;
+                    if Arc::ptr_eq(&req.done, &done) {
+                        my_result = Some(Ok((counter, Arc::clone(&wal))));
+                    } else {
+                        *req.done.lock() = Some(Ok((counter, Arc::clone(&wal))));
+                    }
+                }
+            }
+            Err(e) => {
+                for req in &batch {
+                    if Arc::ptr_eq(&req.done, &done) {
+                        my_result = Some(Err(e.clone()));
+                    } else {
+                        *req.done.lock() = Some(Err(e.clone()));
+                    }
+                }
+            }
+        }
+
+        // Rotate / flush if the MemTable outgrew its budget. Done by the
+        // leader while holding the commit lock, so no writes race the swap.
+        let flush_result = self.maybe_flush_locked();
+        drop(guard);
+        if let Err(e) = flush_result {
+            return Err(e);
+        }
+        my_result.unwrap_or(Err(StoreError::Io("commit result lost".into())))
+    }
+
+    /// Applies a decided prepared transaction's writes to the MemTable and
+    /// flushes if due (the WAL already carries its `Decide` record).
+    pub(crate) fn apply_decided(
+        &self,
+        seq: SeqNum,
+        writes: &[WriteOp],
+    ) -> Result<()> {
+        let guard = self.inner.commit_lock.lock();
+        let mem = self.inner.mem.read().clone();
+        for w in writes {
+            match &w.value {
+                Some(v) => mem.put(&w.key, seq, v),
+                None => mem.delete(&w.key, seq),
+            }
+        }
+        let r = self.maybe_flush_locked();
+        drop(guard);
+        r
+    }
+
+    /// Appends a record to the current WAL outside the group-commit batch
+    /// (2PC prepare / decide records). Returns the record counter and the
+    /// WAL generation it landed in (for stabilization).
+    pub(crate) fn wal_append(&self, rec: &WalRecord) -> Result<(u64, Arc<LogWriter>)> {
+        let bytes = serde_json::to_vec(rec).expect("wal record serializes");
+        let wal = self.inner.wal.read().clone();
+        let counter = wal.append(&bytes)?;
+        Ok((counter, wal))
+    }
+
+    // ---- flush & compaction -------------------------------------------------
+
+    fn maybe_flush_locked(&self) -> Result<()> {
+        let full = {
+            let mem = self.inner.mem.read();
+            mem.approx_bytes() >= self.inner.env.config.memtable_bytes
+        };
+        if !full {
+            return Ok(());
+        }
+        self.flush_locked()
+    }
+
+    /// Forces a MemTable flush (also used by tests and shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and integrity errors.
+    pub fn flush(&self) -> Result<()> {
+        let guard = self.inner.commit_lock.lock();
+        let r = self.flush_locked();
+        drop(guard);
+        r
+    }
+
+    fn flush_locked(&self) -> Result<()> {
+        if treaty_sim::runtime::in_fiber() {
+            treaty_sim::runtime::set_tag("e:flush");
+        }
+        // Swap in a fresh MemTable + WAL generation first so concurrent
+        // readers keep working against the frozen one.
+        let frozen = {
+            let mut mem = self.inner.mem.write();
+            let frozen = Arc::clone(&mem);
+            *mem = Arc::new(MemTable::new(Arc::clone(&self.inner.env)));
+            frozen
+        };
+        if frozen.is_empty() {
+            return Ok(());
+        }
+        // Swap generations under a short lock; all I/O happens after the
+        // guards drop (holding a plain mutex across a virtual-time charge
+        // would wedge the whole simulation).
+        let (old_gens, new_gen) = {
+            let mut gens = self.inner.live_wal_gens.lock();
+            let old = gens.clone();
+            let new_gen = self.inner.wal_gen.fetch_add(1, Ordering::SeqCst) + 1;
+            *gens = vec![new_gen];
+            (old, new_gen)
+        };
+        let wal = Arc::new(LogWriter::open(
+            Arc::clone(&self.inner.env),
+            wal_name(new_gen),
+            &self.inner.env.dir.join(wal_name(new_gen)),
+            0,
+        )?);
+        // Undecided prepared transactions must survive the old WAL's
+        // deletion: re-log them into the new generation. Snapshot first —
+        // appends park, and the prepared map must stay lockable meanwhile.
+        // (New prepares land in the new WAL anyway once it is published;
+        // until then the commit lock excludes concurrent group commits but
+        // not prepares, which append through `wal_append` on whichever
+        // generation is current — still the old one, which is only deleted
+        // after this flush's MANIFEST edits, so no record is lost.)
+        let prepared_snapshot: Vec<(GlobalTxId, Vec<WriteOp>)> = {
+            let prepared = self.inner.prepared.lock();
+            prepared.iter().map(|(g, st)| (*g, st.writes.clone())).collect()
+        };
+        for (gtx, writes) in prepared_snapshot {
+            let rec = serde_json::to_vec(&WalRecord::Prepare { gtx, writes }).unwrap();
+            wal.append(&rec)?;
+        }
+        *self.inner.wal.write() = wal;
+        self.manifest_append(&ManifestEdit::NewWal { gen: new_gen })?;
+
+        // Write the frozen MemTable as an L0 table.
+        let entries = frozen.drain_for_flush()?;
+        let file_id = self.inner.next_file_id.fetch_add(1, Ordering::SeqCst);
+        let path = self.inner.env.dir.join(sstable::file_name(file_id));
+        sstable::build(&self.inner.env, &path, file_id, &entries)?;
+        let table = Arc::new(SsTable::open(Arc::clone(&self.inner.env), &path)?);
+        self.inner.levels.write()[0].insert(0, table);
+        self.manifest_append(&ManifestEdit::AddTable { level: 0, file_id })?;
+        self.inner.stats.flushes.fetch_add(1, Ordering::Relaxed);
+
+        // The old WAL generations are now fully covered by SSTables.
+        let mut obsolete_counter = 0;
+        for gen in &old_gens {
+            obsolete_counter = self.manifest_append(&ManifestEdit::WalObsolete { gen: *gen })?;
+        }
+        {
+            let mut gc = self.inner.pending_gc.lock();
+            for gen in old_gens {
+                gc.push((obsolete_counter, self.inner.env.dir.join(wal_name(gen))));
+            }
+        }
+
+        self.maybe_compact()?;
+        self.gc();
+        Ok(())
+    }
+
+    fn manifest_append(&self, edit: &ManifestEdit) -> Result<u64> {
+        let bytes = serde_json::to_vec(edit).expect("manifest edit serializes");
+        let manifest = self.inner.manifest.lock().clone();
+        manifest.append(&bytes)
+    }
+
+    fn level_bytes(&self, tables: &[Arc<SsTable>]) -> u64 {
+        tables
+            .iter()
+            .map(|t| std::fs::metadata(t.path()).map(|m| m.len()).unwrap_or(0))
+            .sum()
+    }
+
+    fn maybe_compact(&self) -> Result<()> {
+        // L0 -> L1 when L0 accumulates too many files.
+        loop {
+            let trigger = {
+                let levels = self.inner.levels.read();
+                levels[0].len() >= self.inner.env.config.l0_compaction_trigger
+            };
+            if !trigger {
+                break;
+            }
+            self.compact_level(0)?;
+        }
+        // Cascade size-based compactions down the hierarchy.
+        for level in 1..6 {
+            let max = self.inner.env.config.l1_bytes as u64
+                * (self.inner.env.config.level_size_multiplier as u64).pow(level as u32 - 1);
+            let over = {
+                let levels = self.inner.levels.read();
+                self.level_bytes(&levels[level]) > max
+            };
+            if over {
+                self.compact_level(level)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges every table of `level` with every overlapping table of
+    /// `level + 1`, keeping only the newest version of each key (older
+    /// versions are consumed by the merge; tombstones survive until the
+    /// bottom level).
+    fn compact_level(&self, level: usize) -> Result<()> {
+        if treaty_sim::runtime::in_fiber() {
+            treaty_sim::runtime::set_tag("e:compact");
+        }
+        let (inputs_upper, inputs_lower) = {
+            let mut levels = self.inner.levels.write();
+            let upper: Vec<Arc<SsTable>> = std::mem::take(&mut levels[level]);
+            let lower: Vec<Arc<SsTable>> = std::mem::take(&mut levels[level + 1]);
+            (upper, lower)
+        };
+        if inputs_upper.is_empty() {
+            let mut levels = self.inner.levels.write();
+            levels[level + 1] = inputs_lower;
+            return Ok(());
+        }
+
+        // Merge: newest-first precedence is upper level tables in order,
+        // then lower level.
+        let mut best: HashMap<UserKey, (SeqNum, Option<Vec<u8>>)> = HashMap::new();
+        let ordered: Vec<&Arc<SsTable>> = inputs_upper.iter().chain(inputs_lower.iter()).collect();
+        for t in &ordered {
+            for r in t.scan_all()? {
+                let e = best.entry(r.key.clone());
+                match e {
+                    std::collections::hash_map::Entry::Occupied(mut o) => {
+                        if r.seq > o.get().0 {
+                            o.insert((r.seq, r.value));
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert((r.seq, r.value));
+                    }
+                }
+            }
+        }
+        let bottom = level + 1 >= 5;
+        let mut merged: Vec<(UserKey, SeqNum, Option<Vec<u8>>)> = best
+            .into_iter()
+            .filter(|(_, (_, v))| !(bottom && v.is_none()))
+            .map(|(k, (s, v))| (k, s, v))
+            .collect();
+        merged.sort_by(|a, b| a.0.cmp(&b.0));
+
+        // Write output tables, splitting at the size target.
+        let mut outputs = Vec::new();
+        let mut chunk: Vec<(UserKey, SeqNum, Option<Vec<u8>>)> = Vec::new();
+        let mut chunk_bytes = 0usize;
+        let target = self.inner.env.config.sstable_bytes;
+        for entry in merged {
+            chunk_bytes += entry.0.len() + entry.2.as_ref().map(|v| v.len()).unwrap_or(0) + 17;
+            chunk.push(entry);
+            if chunk_bytes >= target {
+                outputs.push(self.write_table(&chunk)?);
+                chunk.clear();
+                chunk_bytes = 0;
+            }
+        }
+        if !chunk.is_empty() {
+            outputs.push(self.write_table(&chunk)?);
+        }
+
+        // Publish: outputs into level+1, record edits, retire inputs.
+        let mut last_counter = 0;
+        for t in &outputs {
+            last_counter = self.manifest_append(&ManifestEdit::AddTable {
+                level: level + 1,
+                file_id: t.meta().file_id,
+            })?;
+        }
+        for t in inputs_upper.iter().chain(inputs_lower.iter()) {
+            last_counter = self.manifest_append(&ManifestEdit::RemoveTable {
+                level: if inputs_upper.iter().any(|u| Arc::ptr_eq(u, t)) {
+                    level
+                } else {
+                    level + 1
+                },
+                file_id: t.meta().file_id,
+            })?;
+        }
+        {
+            let mut levels = self.inner.levels.write();
+            levels[level + 1] = outputs;
+            levels[level + 1].sort_by(|a, b| a.meta().min_key.cmp(&b.meta().min_key));
+        }
+        {
+            let mut gc = self.inner.pending_gc.lock();
+            for t in inputs_upper.iter().chain(inputs_lower.iter()) {
+                t.release();
+                gc.push((last_counter, t.path().to_path_buf()));
+            }
+        }
+        self.inner.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_table(&self, entries: &[(UserKey, SeqNum, Option<Vec<u8>>)]) -> Result<Arc<SsTable>> {
+        let file_id = self.inner.next_file_id.fetch_add(1, Ordering::SeqCst);
+        let path = self.inner.env.dir.join(sstable::file_name(file_id));
+        sstable::build(&self.inner.env, &path, file_id, entries)?;
+        Ok(Arc::new(SsTable::open(Arc::clone(&self.inner.env), &path)?))
+    }
+
+    /// Deletes retired files whose MANIFEST edits have stabilized (§VI:
+    /// "the garbage collector only deletes SSTable files when the newly
+    /// compacted ones refer to stabilized entries in MANIFEST").
+    ///
+    /// Stabilization itself runs on a background fiber so the commit path
+    /// never waits a counter round just to garbage-collect; files whose
+    /// edits are not yet rollback-protected simply survive one more cycle.
+    pub fn gc(&self) {
+        let stable = {
+            let manifest = self.inner.manifest.lock().clone();
+            if self.inner.env.profile.stabilization {
+                let last = manifest.last_counter();
+                let stable = manifest.stable_counter();
+                if last > stable {
+                    if treaty_sim::runtime::in_fiber() {
+                        if !self.inner.gc_stabilizing.swap(true, Ordering::SeqCst) {
+                            let me = self.clone();
+                            treaty_sim::runtime::spawn_daemon(move || {
+                                treaty_sim::runtime::set_tag("gc-stabilizer");
+                                let _ = manifest.stabilize(last);
+                                me.inner.gc_stabilizing.store(false, Ordering::SeqCst);
+                                me.gc();
+                            });
+                        }
+                        stable
+                    } else {
+                        // Outside the runtime (plain tests): synchronous,
+                        // and instant because charges are no-ops there.
+                        let _ = manifest.stabilize(last);
+                        manifest.stable_counter()
+                    }
+                } else {
+                    stable
+                }
+            } else {
+                u64::MAX
+            }
+        };
+        let mut gc = self.inner.pending_gc.lock();
+        let mut kept = Vec::new();
+        for (counter, path) in gc.drain(..) {
+            if counter <= stable {
+                let _ = std::fs::remove_file(&path);
+                self.inner.stats.files_deleted.fetch_add(1, Ordering::Relaxed);
+            } else {
+                kept.push((counter, path));
+            }
+        }
+        *gc = kept;
+    }
+
+    // ---- recovery ------------------------------------------------------------
+
+    fn recover(env: Arc<Env>) -> Result<Self> {
+        let manifest_path = env.dir.join("MANIFEST");
+        let replayed = log::replay(&env, "manifest", &manifest_path, 0)?;
+        log::verify_freshness(&env, "manifest", replayed.last_counter)?;
+
+        let mut table_levels: HashMap<u64, usize> = HashMap::new();
+        let mut live_gens: Vec<u64> = Vec::new();
+        let mut max_gen = 0;
+        for (_, payload) in &replayed.records {
+            let edit: ManifestEdit = serde_json::from_slice(payload)
+                .map_err(|_| StoreError::Integrity("manifest edit does not parse".into()))?;
+            match edit {
+                ManifestEdit::NewWal { gen } => {
+                    live_gens.push(gen);
+                    max_gen = max_gen.max(gen);
+                }
+                ManifestEdit::WalObsolete { gen } => live_gens.retain(|g| *g != gen),
+                ManifestEdit::AddTable { level, file_id } => {
+                    table_levels.insert(file_id, level);
+                }
+                ManifestEdit::RemoveTable { file_id, .. } => {
+                    table_levels.remove(&file_id);
+                }
+            }
+        }
+
+        // Rebuild the SSTable hierarchy, verifying each footer.
+        let mut levels: Vec<Vec<Arc<SsTable>>> = vec![Vec::new(); 7];
+        let mut max_file_id = 0;
+        let mut max_seq = 0;
+        let mut l0_order: Vec<(u64, Arc<SsTable>)> = Vec::new();
+        for (file_id, level) in &table_levels {
+            let path = env.dir.join(sstable::file_name(*file_id));
+            let table = Arc::new(SsTable::open(Arc::clone(&env), &path)?);
+            max_file_id = max_file_id.max(*file_id);
+            max_seq = max_seq.max(table.meta().max_seq);
+            if *level == 0 {
+                l0_order.push((*file_id, table));
+            } else {
+                levels[*level].push(table);
+            }
+        }
+        // L0 newest (highest file id) first; deeper levels by key range.
+        l0_order.sort_by(|a, b| b.0.cmp(&a.0));
+        levels[0] = l0_order.into_iter().map(|(_, t)| t).collect();
+        for level in levels.iter_mut().skip(1) {
+            level.sort_by(|a, b| a.meta().min_key.cmp(&b.meta().min_key));
+        }
+
+        let mem = Arc::new(MemTable::new(Arc::clone(&env)));
+        let locks = LockTable::new(env.config.lock_shards, env.config.lock_timeout);
+        let mut prepared: HashMap<GlobalTxId, PreparedState> = HashMap::new();
+        let mut next_txid = 1u64;
+
+        // Replay live WALs in generation order.
+        live_gens.sort_unstable();
+        for gen in &live_gens {
+            let name = wal_name(*gen);
+            let path = env.dir.join(&name);
+            if !path.exists() {
+                return Err(StoreError::Rollback(format!(
+                    "live WAL {name} missing — storage rolled back"
+                )));
+            }
+            let wal_replay = log::replay(&env, &name, &path, 0)?;
+            log::verify_freshness(&env, &name, wal_replay.last_counter)?;
+            for (_, payload) in &wal_replay.records {
+                let rec: WalRecord = serde_json::from_slice(payload)
+                    .map_err(|_| StoreError::Integrity("wal record does not parse".into()))?;
+                match rec {
+                    WalRecord::Commit { seq, writes } => {
+                        max_seq = max_seq.max(seq);
+                        for w in writes {
+                            match w.value {
+                                Some(v) => mem.put(&w.key, seq, &v),
+                                None => mem.delete(&w.key, seq),
+                            }
+                        }
+                    }
+                    WalRecord::Prepare { gtx, writes } => {
+                        let owner = next_txid;
+                        next_txid += 1;
+                        for w in &writes {
+                            locks
+                                .try_lock(owner, &w.key, crate::locks::LockMode::Exclusive)
+                                .map_err(|_| {
+                                    StoreError::Integrity(
+                                        "conflicting prepared transactions in WAL".into(),
+                                    )
+                                })?;
+                        }
+                        prepared.insert(gtx, PreparedState { writes, lock_owner: owner });
+                    }
+                    WalRecord::Decide { gtx, commit, seq } => {
+                        if let Some(st) = prepared.remove(&gtx) {
+                            locks.release(
+                                st.lock_owner,
+                                st.writes.iter().map(|w| w.key.clone()),
+                            );
+                            if commit {
+                                max_seq = max_seq.max(seq);
+                                for w in st.writes {
+                                    match w.value {
+                                        Some(v) => mem.put(&w.key, seq, &v),
+                                        None => mem.delete(&w.key, seq),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Open a fresh WAL generation for new writes; keep the recovered
+        // generations live until the next flush covers them.
+        let new_gen = max_gen + 1;
+        let manifest = Arc::new(LogWriter::open(
+            Arc::clone(&env),
+            "manifest",
+            &manifest_path,
+            replayed.last_counter,
+        )?);
+        let wal = Arc::new(LogWriter::open(
+            Arc::clone(&env),
+            wal_name(new_gen),
+            &env.dir.join(wal_name(new_gen)),
+            0,
+        )?);
+        let edit = serde_json::to_vec(&ManifestEdit::NewWal { gen: new_gen }).unwrap();
+        manifest.append(&edit)?;
+        live_gens.push(new_gen);
+
+        let inner = StoreInner {
+            mem: RwLock::new(mem),
+            levels: RwLock::new(levels),
+            wal: RwLock::new(wal),
+            wal_gen: AtomicU64::new(new_gen),
+            manifest: Mutex::new(manifest),
+            seq: AtomicU64::new(max_seq),
+            next_file_id: AtomicU64::new(max_file_id + 1),
+            next_txid: AtomicU64::new(next_txid),
+            locks,
+            prepared: Mutex::new(prepared),
+            commit_lock: FiberMutex::new(),
+            commit_queue: Mutex::new(Vec::new()),
+            pending_gc: Mutex::new(Vec::new()),
+            live_wal_gens: Mutex::new(live_gens),
+            gc_stabilizing: std::sync::atomic::AtomicBool::new(false),
+            stats: StatsCells::default(),
+            env,
+        };
+        Ok(TreatyStore { inner: Arc::new(inner) })
+    }
+}
+
+// A small shim so the engine can ask an SSTable for (seq, value) on the L0
+// path without exposing internals publicly.
+impl SsTable {
+    pub(crate) fn get_with_seq_public(
+        &self,
+        key: &[u8],
+        snapshot: SeqNum,
+    ) -> Result<Option<(SeqNum, Option<Vec<u8>>)>> {
+        let mut best: Option<(SeqNum, Option<Vec<u8>>)> = None;
+        for r in self.scan_for_key(key)? {
+            if r.key.as_slice() == key
+                && r.seq <= snapshot
+                && best.as_ref().map(|(s, _)| r.seq > *s).unwrap_or(true)
+            {
+                best = Some((r.seq, r.value));
+            }
+        }
+        Ok(best)
+    }
+}

@@ -1,0 +1,215 @@
+//! The engine environment: profile, cost model, enclave, host memory,
+//! cores, keys, counter backend and the node's storage directory.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use treaty_counter::{CounterBackend, NullBackend};
+use treaty_crypto::KeyHierarchy;
+use treaty_sched::CorePool;
+use treaty_sim::{runtime, CostModel, Nanos, SecurityProfile};
+use treaty_tee::{Enclave, HostVault};
+
+/// Sizing and behaviour knobs for [`crate::TreatyStore`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// MemTable flush threshold in bytes (values + keys).
+    pub memtable_bytes: usize,
+    /// Number of MemTable shards (parallel-update skip lists).
+    pub memtable_shards: usize,
+    /// Number of lock-table shards (the paper runs "a big number of
+    /// shards" to avoid lock bottlenecks).
+    pub lock_shards: usize,
+    /// Lock acquisition timeout.
+    pub lock_timeout: Nanos,
+    /// Target uncompressed block size inside SSTables.
+    pub block_bytes: usize,
+    /// Target SSTable file size produced by flush/compaction.
+    pub sstable_bytes: usize,
+    /// L0 file count that triggers a compaction into L1.
+    pub l0_compaction_trigger: usize,
+    /// Size ratio between consecutive levels.
+    pub level_size_multiplier: usize,
+    /// Base size of L1 in bytes.
+    pub l1_bytes: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            memtable_bytes: 4 << 20,
+            memtable_shards: 16,
+            lock_shards: 1024,
+            lock_timeout: 10 * treaty_sim::MILLIS,
+            block_bytes: 4096,
+            sstable_bytes: 2 << 20,
+            l0_compaction_trigger: 4,
+            level_size_multiplier: 10,
+            l1_bytes: 8 << 20,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A small configuration that exercises flush/compaction quickly in
+    /// tests.
+    pub fn tiny() -> Self {
+        EngineConfig {
+            memtable_bytes: 16 << 10,
+            memtable_shards: 4,
+            lock_shards: 64,
+            block_bytes: 1024,
+            sstable_bytes: 16 << 10,
+            l0_compaction_trigger: 2,
+            l1_bytes: 64 << 10,
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything the engine needs to know about the node it runs on.
+pub struct Env {
+    /// Which protections are active.
+    pub profile: SecurityProfile,
+    /// Virtual-time cost model.
+    pub costs: CostModel,
+    /// The node's enclave (EPC accounting).
+    pub enclave: Arc<Enclave>,
+    /// Untrusted host memory for encrypted values and buffers.
+    pub vault: Arc<HostVault>,
+    /// The node's CPU cores; `None` means uncontended (unit tests).
+    pub cores: Option<Arc<CorePool>>,
+    /// Key hierarchy from the CAS.
+    pub keys: KeyHierarchy,
+    /// Trusted counter backend for log stabilization.
+    pub backend: Arc<dyn CounterBackend>,
+    /// Node-local storage directory (WAL, MANIFEST, Clog, SSTables).
+    pub dir: PathBuf,
+    /// Engine sizing.
+    pub config: EngineConfig,
+}
+
+impl std::fmt::Debug for Env {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Env")
+            .field("profile", &self.profile)
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Env {
+    /// An environment for tests: given profile, default costs, fresh
+    /// enclave/vault, no core contention, test keys, instant stabilization.
+    pub fn for_testing(profile: SecurityProfile, dir: &Path) -> Arc<Self> {
+        Arc::new(Env {
+            profile,
+            costs: CostModel::default(),
+            enclave: Arc::new(Enclave::new(profile.tee)),
+            vault: HostVault::new(),
+            cores: None,
+            keys: KeyHierarchy::for_testing(),
+            backend: NullBackend::new(),
+            dir: dir.to_path_buf(),
+            config: EngineConfig::tiny(),
+        })
+    }
+
+    /// Charges `ns` of CPU to this node (core pool if present, otherwise
+    /// plain virtual sleep). A no-op outside the simulation runtime, which
+    /// lets plain unit tests drive the engine directly.
+    pub fn charge(&self, ns: Nanos) {
+        if ns == 0 || !runtime::in_fiber() {
+            return;
+        }
+        match &self.cores {
+            Some(pool) => pool.charge(ns),
+            None => runtime::sleep(ns),
+        }
+    }
+
+    /// Charges an operation on enclave-resident data (MEE multiplier and
+    /// expected paging per the enclave's current footprint).
+    pub fn charge_enclave_op(&self, bytes: usize, base: Nanos) {
+        let ns = self.enclave.access_cost(&self.costs, bytes, base);
+        self.charge(ns);
+    }
+
+    /// Charges pure CPU work, applying the enclave multiplier under SCONE.
+    pub fn charge_cpu(&self, ns: Nanos) {
+        self.charge(self.costs.enclave_cpu(self.profile.tee, ns));
+    }
+
+    /// Charges encryption/decryption of `bytes` if the profile encrypts.
+    pub fn charge_crypto(&self, bytes: usize) {
+        if self.profile.encryption {
+            self.charge_cpu(self.costs.aes_ns(bytes));
+        }
+    }
+
+    /// Charges hashing of `bytes` if the profile authenticates.
+    pub fn charge_hash(&self, bytes: usize) {
+        if self.profile.authentication {
+            self.charge_cpu(self.costs.sha_ns(bytes));
+        }
+    }
+
+    /// Charges an SSD log append + flush of `bytes`.
+    pub fn charge_ssd_append(&self, bytes: usize) {
+        self.charge(self.costs.ssd_append_ns(self.profile.tee, bytes));
+    }
+
+    /// Charges a (page-cache-resident) storage read of `bytes`.
+    pub fn charge_storage_read(&self, bytes: usize) {
+        self.charge(self.costs.storage_read_ns(self.profile.tee, bytes));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treaty_sched::block_on;
+    use treaty_sim::runtime::now;
+
+    #[test]
+    fn charge_is_noop_outside_runtime() {
+        let dir = tempfile::tempdir().unwrap();
+        let env = Env::for_testing(SecurityProfile::treaty_full(), dir.path());
+        env.charge(1_000_000); // must not panic or block
+    }
+
+    #[test]
+    fn charge_advances_virtual_time_in_fiber() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        block_on(move || {
+            let env = Env::for_testing(SecurityProfile::treaty_full(), &path);
+            env.charge(5_000);
+            assert_eq!(now(), 5_000);
+        });
+    }
+
+    #[test]
+    fn crypto_charge_respects_profile() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        block_on(move || {
+            let plain = Env::for_testing(SecurityProfile::rocksdb(), &path);
+            plain.charge_crypto(4096);
+            assert_eq!(now(), 0, "no encryption => no charge");
+            let enc = Env::for_testing(SecurityProfile::treaty_enc(), &path);
+            enc.charge_crypto(4096);
+            assert!(now() > 0);
+        });
+    }
+
+    #[test]
+    fn scone_storage_ops_cost_more() {
+        let dir = tempfile::tempdir().unwrap();
+        let env_native = Env::for_testing(SecurityProfile::rocksdb(), dir.path());
+        let env_scone = Env::for_testing(SecurityProfile::treaty_enc(), dir.path());
+        let n = env_native.costs.ssd_append_ns(env_native.profile.tee, 4096);
+        let s = env_scone.costs.ssd_append_ns(env_scone.profile.tee, 4096);
+        assert!(s > n);
+    }
+}

@@ -1,0 +1,84 @@
+//! Treaty's secure single-node storage engine (§V-B, §VII-B).
+//!
+//! A SPEICHER-style hardening of an LSM key-value store, extended — as the
+//! paper does — with transactions:
+//!
+//! * [`memtable`] — the MemTable with the paper's key/value split: keys,
+//!   versions and value hashes stay in enclave memory; encrypted values
+//!   live in untrusted host memory,
+//! * [`log`] — the authenticated, trusted-counter-stamped log format shared
+//!   by the WAL, the MANIFEST and the Clog,
+//! * [`sstable`] — SSTables of encrypted blocks with a footer of block
+//!   hashes,
+//! * [`locks`] — the sharded lock table for two-phase locking,
+//! * [`txn`] — pessimistic (2PL) and optimistic (OCC) transactions, group
+//!   commit, and the participant half of 2PC (prepare / commit-prepared),
+//! * [`engine`] — [`TreatyStore`]: flush, leveled compaction with
+//!   stabilization-gated garbage collection, and crash recovery
+//!   (MANIFEST → WAL replay with freshness verification).
+//!
+//! The [`SecurityProfile`] decides at run time which protections are
+//! active, which is how the benchmarks produce the paper's system lineup
+//! (`RocksDB` baseline → `Treaty w/ Enc w/ Stab`).
+
+pub mod engine;
+pub mod env;
+pub mod locks;
+pub mod log;
+pub mod memtable;
+pub mod skiplist;
+pub mod sstable;
+pub mod txn;
+
+pub use engine::{EngineStats, TreatyStore};
+pub use env::{Env, EngineConfig};
+pub use locks::{LockMode, LockTable};
+pub use txn::{
+    CommitInfo, EngineTxn, GlobalTxId, NullEngine, SharedNullEngine, Txn, TxnEngine, TxnMode,
+    TxnOptions,
+};
+
+/// Errors surfaced by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq, thiserror::Error)]
+pub enum StoreError {
+    /// Lock acquisition timed out (two-phase locking deadlock avoidance).
+    #[error("lock timeout on key")]
+    LockTimeout,
+    /// Optimistic validation failed: a read key changed before commit.
+    #[error("optimistic conflict: read set changed")]
+    Conflict,
+    /// The transaction was already finished (committed/rolled back).
+    #[error("transaction already finished")]
+    Finished,
+    /// Integrity verification failed on persistent data.
+    #[error("integrity violation: {0}")]
+    Integrity(String),
+    /// Freshness verification failed: the storage was rolled back to a
+    /// stale (if internally consistent) state.
+    #[error("rollback attack detected: {0}")]
+    Rollback(String),
+    /// The trusted counter service failed.
+    #[error("stabilization failed: {0}")]
+    Stabilization(String),
+    /// Underlying file I/O failed.
+    #[error("storage i/o: {0}")]
+    Io(String),
+    /// A 2PC-prepared transaction with this id does not exist.
+    #[error("unknown prepared transaction")]
+    UnknownPrepared,
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+impl From<treaty_counter::CounterError> for StoreError {
+    fn from(e: treaty_counter::CounterError) -> Self {
+        StoreError::Stabilization(e.to_string())
+    }
+}
+
+/// Convenient result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,353 @@
+//! The sharded key lock table for two-phase locking (§V-B).
+//!
+//! "Nodes store a table of locks for their keys that is divided across
+//! shards, each protected with a lock, by splitting the key space. Treaty
+//! runs with a big number of shards to avoid locking bottlenecks. Txs that
+//! fail to acquire a lock within a timeframe return with a timeout error."
+//!
+//! Timeouts double as deadlock avoidance: a cycle resolves when one of its
+//! transactions times out and aborts.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use treaty_crypto::hash;
+use treaty_sched::WaitQueue;
+use treaty_sim::{runtime, Nanos};
+
+use crate::memtable::UserKey;
+use crate::{Result, StoreError};
+
+/// A lock owner: one transaction.
+pub type TxId = u64;
+
+/// Requested lock strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) — compatible with other shared holders.
+    Shared,
+    /// Exclusive (write).
+    Exclusive,
+}
+
+#[derive(Debug, Default)]
+struct KeyLock {
+    exclusive: Option<TxId>,
+    shared: HashSet<TxId>,
+}
+
+impl KeyLock {
+    fn is_free(&self) -> bool {
+        self.exclusive.is_none() && self.shared.is_empty()
+    }
+
+    /// Attempts the acquisition; true on success.
+    fn try_acquire(&mut self, tx: TxId, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Shared => {
+                if self.exclusive == Some(tx) {
+                    true // X already implies S
+                } else if self.exclusive.is_none() {
+                    self.shared.insert(tx);
+                    true
+                } else {
+                    false
+                }
+            }
+            LockMode::Exclusive => {
+                if self.exclusive == Some(tx) {
+                    true
+                } else if self.exclusive.is_none()
+                    && (self.shared.is_empty()
+                        || (self.shared.len() == 1 && self.shared.contains(&tx)))
+                {
+                    // Free, or an upgrade by the sole shared holder.
+                    self.shared.remove(&tx);
+                    self.exclusive = Some(tx);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn release(&mut self, tx: TxId) {
+        if self.exclusive == Some(tx) {
+            self.exclusive = None;
+        }
+        self.shared.remove(&tx);
+    }
+}
+
+struct Shard {
+    locks: Mutex<HashMap<UserKey, KeyLock>>,
+    waiters: WaitQueue,
+}
+
+/// The sharded lock table.
+pub struct LockTable {
+    shards: Vec<Shard>,
+    timeout: Nanos,
+    timeouts_hit: AtomicU64,
+}
+
+impl std::fmt::Debug for LockTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockTable").field("shards", &self.shards.len()).finish_non_exhaustive()
+    }
+}
+
+impl LockTable {
+    /// Creates a table with `shards` shards and the given acquisition
+    /// timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize, timeout: Nanos) -> Self {
+        assert!(shards > 0);
+        LockTable {
+            shards: (0..shards)
+                .map(|_| Shard { locks: Mutex::new(HashMap::new()), waiters: WaitQueue::new() })
+                .collect(),
+            timeout,
+            timeouts_hit: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &[u8]) -> &Shard {
+        let h = hash::sha256(key);
+        let idx = u64::from_le_bytes(h.0[8..16].try_into().unwrap()) % self.shards.len() as u64;
+        &self.shards[idx as usize]
+    }
+
+    /// Acquires `mode` on `key` for `tx`, waiting up to the configured
+    /// timeout. Re-entrant: a transaction already holding a stronger or
+    /// equal lock succeeds immediately; the sole shared holder may upgrade.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::LockTimeout`] when the lock cannot be acquired
+    /// in time.
+    pub fn lock(&self, tx: TxId, key: &[u8], mode: LockMode) -> Result<()> {
+        let shard = self.shard_of(key);
+        // Fast path.
+        if shard
+            .locks
+            .lock()
+            .entry(key.to_vec())
+            .or_default()
+            .try_acquire(tx, mode)
+        {
+            return Ok(());
+        }
+        // Contended: wait with a deadline (fiber context required).
+        let deadline = runtime::now().saturating_add(self.timeout);
+        loop {
+            let now = runtime::now();
+            if now >= deadline {
+                self.timeouts_hit.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::LockTimeout);
+            }
+            shard.waiters.wait_timeout(deadline - now);
+            if shard
+                .locks
+                .lock()
+                .entry(key.to_vec())
+                .or_default()
+                .try_acquire(tx, mode)
+            {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Attempts the acquisition without waiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::LockTimeout`] immediately when contended.
+    pub fn try_lock(&self, tx: TxId, key: &[u8], mode: LockMode) -> Result<()> {
+        let shard = self.shard_of(key);
+        if shard
+            .locks
+            .lock()
+            .entry(key.to_vec())
+            .or_default()
+            .try_acquire(tx, mode)
+        {
+            Ok(())
+        } else {
+            Err(StoreError::LockTimeout)
+        }
+    }
+
+    /// Releases every lock `tx` holds among `keys` and wakes waiters.
+    pub fn release(&self, tx: TxId, keys: impl IntoIterator<Item = UserKey>) {
+        // Group by shard to wake each shard once.
+        let mut touched: Vec<usize> = Vec::new();
+        for key in keys {
+            let h = hash::sha256(&key);
+            let idx =
+                (u64::from_le_bytes(h.0[8..16].try_into().unwrap()) % self.shards.len() as u64)
+                    as usize;
+            let shard = &self.shards[idx];
+            let mut locks = shard.locks.lock();
+            if let Some(kl) = locks.get_mut(&key) {
+                kl.release(tx);
+                if kl.is_free() {
+                    locks.remove(&key);
+                }
+            }
+            if !touched.contains(&idx) {
+                touched.push(idx);
+            }
+        }
+        for idx in touched {
+            self.shards[idx].waiters.notify_all();
+        }
+    }
+
+    /// Number of lock acquisitions that timed out (deadlock-avoidance
+    /// aborts).
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts_hit.load(Ordering::Relaxed)
+    }
+
+    /// Total keys currently locked (test introspection).
+    pub fn locked_keys(&self) -> usize {
+        self.shards.iter().map(|s| s.locks.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use treaty_sched::block_on;
+    use treaty_sim::runtime::{join, now, sleep, spawn};
+    use treaty_sim::MILLIS;
+
+    fn table() -> LockTable {
+        LockTable::new(64, 5 * MILLIS)
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let t = table();
+        t.lock(1, b"k", LockMode::Shared).unwrap();
+        t.lock(2, b"k", LockMode::Shared).unwrap();
+        assert_eq!(t.locked_keys(), 1);
+        t.release(1, [b"k".to_vec()]);
+        t.release(2, [b"k".to_vec()]);
+        assert_eq!(t.locked_keys(), 0);
+    }
+
+    #[test]
+    fn exclusive_excludes_shared_uncontended_path() {
+        let t = table();
+        t.lock(1, b"k", LockMode::Exclusive).unwrap();
+        assert!(t.try_lock(2, b"k", LockMode::Shared).is_err());
+        assert!(t.try_lock(2, b"k", LockMode::Exclusive).is_err());
+        // Re-entrant for the owner.
+        t.lock(1, b"k", LockMode::Exclusive).unwrap();
+        t.lock(1, b"k", LockMode::Shared).unwrap();
+    }
+
+    #[test]
+    fn upgrade_sole_shared_holder() {
+        let t = table();
+        t.lock(1, b"k", LockMode::Shared).unwrap();
+        t.lock(1, b"k", LockMode::Exclusive).unwrap();
+        assert!(t.try_lock(2, b"k", LockMode::Shared).is_err());
+    }
+
+    #[test]
+    fn upgrade_blocked_with_two_shared_holders() {
+        let t = table();
+        t.lock(1, b"k", LockMode::Shared).unwrap();
+        t.lock(2, b"k", LockMode::Shared).unwrap();
+        assert!(t.try_lock(1, b"k", LockMode::Exclusive).is_err());
+    }
+
+    #[test]
+    fn contended_lock_acquired_after_release() {
+        block_on(|| {
+            let t = Arc::new(table());
+            t.lock(1, b"k", LockMode::Exclusive).unwrap();
+            let t2 = Arc::clone(&t);
+            let waiter = spawn(move || {
+                t2.lock(2, b"k", LockMode::Exclusive).unwrap();
+                assert!(now() >= MILLIS);
+                t2.release(2, [b"k".to_vec()]);
+            });
+            sleep(MILLIS);
+            t.release(1, [b"k".to_vec()]);
+            join(waiter);
+        });
+    }
+
+    #[test]
+    fn lock_timeout_fires() {
+        block_on(|| {
+            let t = Arc::new(table());
+            t.lock(1, b"k", LockMode::Exclusive).unwrap();
+            let t2 = Arc::clone(&t);
+            let waiter = spawn(move || {
+                let t0 = now();
+                let err = t2.lock(2, b"k", LockMode::Exclusive).unwrap_err();
+                assert_eq!(err, StoreError::LockTimeout);
+                assert!(now() - t0 >= 5 * MILLIS);
+            });
+            join(waiter);
+            assert_eq!(t.timeouts(), 1);
+        });
+    }
+
+    #[test]
+    fn deadlock_resolved_by_timeout() {
+        block_on(|| {
+            let t = Arc::new(table());
+            let t1 = Arc::clone(&t);
+            let t2 = Arc::clone(&t);
+            let a = spawn(move || {
+                t1.lock(1, b"x", LockMode::Exclusive).unwrap();
+                sleep(MILLIS);
+                // Deadlock with fiber b; one of the two times out.
+                let r = t1.lock(1, b"y", LockMode::Exclusive);
+                t1.release(1, [b"x".to_vec(), b"y".to_vec()]);
+                let _ = r;
+            });
+            let b = spawn(move || {
+                t2.lock(2, b"y", LockMode::Exclusive).unwrap();
+                sleep(MILLIS);
+                let r = t2.lock(2, b"x", LockMode::Exclusive);
+                t2.release(2, [b"x".to_vec(), b"y".to_vec()]);
+                let _ = r;
+            });
+            join(a);
+            join(b);
+            assert!(t.timeouts() >= 1, "deadlock must resolve via timeout");
+            assert_eq!(t.locked_keys(), 0);
+        });
+    }
+
+    #[test]
+    fn release_unknown_key_is_harmless() {
+        let t = table();
+        t.release(1, [b"nope".to_vec()]);
+    }
+
+    #[test]
+    fn many_keys_spread_over_shards() {
+        let t = table();
+        for i in 0..1000u32 {
+            t.lock(1, format!("k{i}").as_bytes(), LockMode::Exclusive).unwrap();
+        }
+        assert_eq!(t.locked_keys(), 1000);
+        t.release(1, (0..1000u32).map(|i| format!("k{i}").into_bytes()));
+        assert_eq!(t.locked_keys(), 0);
+    }
+}

@@ -1,0 +1,428 @@
+//! The MemTable with Treaty's key/value split (§V-B, §VII-D).
+//!
+//! Keys, version numbers and value *hashes* stay inside the enclave (they
+//! are what integrity rests on); the values themselves are encrypted and
+//! placed in untrusted host memory, with the enclave holding only a handle.
+//! This keeps the EPC footprint proportional to key count, not data size —
+//! the central trick that lets an LSM engine live in a 94 MiB enclave.
+//!
+//! Parallel updates are supported by sharding the key space over
+//! independent skip lists (§VII-B).
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use treaty_crypto::{aead_open, aead_seal, hash, Digest32, Key};
+use treaty_tee::HostHandle;
+
+use crate::env::Env;
+use crate::skiplist::SkipList;
+use crate::{Result, StoreError};
+
+/// A user-visible key.
+pub type UserKey = Vec<u8>;
+/// A version (sequence) number; higher = newer.
+pub type SeqNum = u64;
+
+/// Composite MemTable key ordering entries by user key ascending, then by
+/// version descending (newest first).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MemKey {
+    user: UserKey,
+    /// `u64::MAX - seq` so larger sequences sort first.
+    seq_rev: u64,
+}
+
+impl MemKey {
+    fn new(user: UserKey, seq: SeqNum) -> Self {
+        MemKey { user, seq_rev: u64::MAX - seq }
+    }
+    fn seq(&self) -> SeqNum {
+        u64::MAX - self.seq_rev
+    }
+}
+
+/// What the enclave keeps per version: a pointer into host memory plus the
+/// integrity hash — or a tombstone.
+#[derive(Debug, Clone)]
+enum ValueEntry {
+    Put { handle: HostHandle, len: u32, hash: Digest32 },
+    Delete,
+}
+
+/// Approximate enclave bytes per entry beyond the key: seq + hash + handle.
+const ENTRY_OVERHEAD: usize = 48;
+
+/// A sorted in-memory write buffer.
+pub struct MemTable {
+    env: Arc<Env>,
+    shards: Vec<RwLock<SkipList<MemKey, ValueEntry>>>,
+    bytes: AtomicUsize,
+    entries: AtomicUsize,
+    /// Per-incarnation key for host-resident values. Host memory does not
+    /// survive a crash, so no cross-boot nonce discipline is needed.
+    value_key: Key,
+    nonce_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for MemTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemTable")
+            .field("entries", &self.entries.load(Ordering::Relaxed))
+            .field("bytes", &self.bytes.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl MemTable {
+    /// Creates an empty MemTable.
+    pub fn new(env: Arc<Env>) -> Self {
+        let shards = (0..env.config.memtable_shards.max(1))
+            .map(|_| RwLock::new(SkipList::new()))
+            .collect();
+        MemTable {
+            value_key: env.keys.storage.derive("memtable-values"),
+            env,
+            shards,
+            bytes: AtomicUsize::new(0),
+            entries: AtomicUsize::new(0),
+            nonce_seq: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &[u8]) -> usize {
+        let h = hash::sha256(key);
+        (u64::from_le_bytes(h.0[..8].try_into().unwrap()) % self.shards.len() as u64) as usize
+    }
+
+    fn next_nonce(&self) -> [u8; 12] {
+        let mut nonce = [0u8; 12];
+        nonce[..4].copy_from_slice(b"MVAL");
+        nonce[4..].copy_from_slice(&self.nonce_seq.fetch_add(1, Ordering::Relaxed).to_le_bytes());
+        nonce
+    }
+
+    /// Inserts a value version.
+    pub fn put(&self, key: &[u8], seq: SeqNum, value: &[u8]) {
+        self.env
+            .charge_enclave_op(key.len() + ENTRY_OVERHEAD, self.env.costs.memtable_op_ns);
+        self.env.charge_crypto(value.len());
+        self.env.charge_hash(value.len());
+
+        let stored = if self.env.profile.encryption {
+            encrypt_with_prefix_nonce(&self.value_key, key, self.next_nonce(), value)
+        } else {
+            value.to_vec()
+        };
+        let digest = if self.env.profile.authentication {
+            hash::sha256(value)
+        } else {
+            Digest32::default()
+        };
+        let handle = self.env.vault.store(stored);
+
+        self.env.enclave.alloc_trusted((key.len() + ENTRY_OVERHEAD) as u64);
+        self.bytes.fetch_add(key.len() + ENTRY_OVERHEAD + value.len(), Ordering::Relaxed);
+        self.entries.fetch_add(1, Ordering::Relaxed);
+
+        let shard = self.shard_of(key);
+        self.shards[shard].write().insert(
+            MemKey::new(key.to_vec(), seq),
+            ValueEntry::Put { handle, len: value.len() as u32, hash: digest },
+        );
+    }
+
+    /// Inserts a tombstone.
+    pub fn delete(&self, key: &[u8], seq: SeqNum) {
+        self.env
+            .charge_enclave_op(key.len() + ENTRY_OVERHEAD, self.env.costs.memtable_op_ns);
+        self.env.enclave.alloc_trusted((key.len() + ENTRY_OVERHEAD) as u64);
+        self.bytes.fetch_add(key.len() + ENTRY_OVERHEAD, Ordering::Relaxed);
+        self.entries.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard_of(key);
+        self.shards[shard]
+            .write()
+            .insert(MemKey::new(key.to_vec(), seq), ValueEntry::Delete);
+    }
+
+    /// Reads the newest version of `key` visible at `snapshot`.
+    ///
+    /// Returns `None` if the MemTable holds no version (caller falls
+    /// through to SSTables), `Some(None)` for a tombstone, `Some(Some(v))`
+    /// for a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Integrity`] if the host-resident value fails
+    /// its hash or decryption — i.e. untrusted memory was tampered with.
+    pub fn get(&self, key: &[u8], snapshot: SeqNum) -> Result<Option<Option<Vec<u8>>>> {
+        self.env
+            .charge_enclave_op(key.len() + ENTRY_OVERHEAD, self.env.costs.memtable_op_ns);
+        let shard = self.shard_of(key);
+        let guard = self.shards[shard].read();
+        let probe = MemKey::new(key.to_vec(), snapshot);
+        let entry = match guard.range_from(&probe).next() {
+            Some((k, v)) if k.user == key => v.clone(),
+            _ => return Ok(None),
+        };
+        drop(guard);
+        match entry {
+            ValueEntry::Delete => Ok(Some(None)),
+            ValueEntry::Put { handle, len, hash: digest } => {
+                let stored = self
+                    .env
+                    .vault
+                    .load(handle)
+                    .map_err(|e| StoreError::Integrity(e.to_string()))?;
+                self.env.charge_crypto(len as usize);
+                self.env.charge_hash(len as usize);
+                let plain = if self.env.profile.encryption {
+                    // We cannot know which nonce without storing it; GCM
+                    // nonce is prepended to the stored buffer.
+                    decrypt_with_prefix_nonce(&self.value_key, key, &stored)?
+                } else {
+                    stored
+                };
+                if self.env.profile.authentication && hash::sha256(&plain) != digest {
+                    return Err(StoreError::Integrity(
+                        "memtable value hash mismatch — host memory tampered".into(),
+                    ));
+                }
+                Ok(Some(Some(plain)))
+            }
+        }
+    }
+
+    /// Newest sequence number of `key` in this MemTable, if any (used by
+    /// optimistic validation).
+    pub fn latest_seq_of(&self, key: &[u8]) -> Option<SeqNum> {
+        let shard = self.shard_of(key);
+        let guard = self.shards[shard].read();
+        let probe = MemKey::new(key.to_vec(), SeqNum::MAX);
+        match guard.range_from(&probe).next() {
+            Some((k, _)) if k.user == key => Some(k.seq()),
+            _ => None,
+        }
+    }
+
+    /// Approximate bytes buffered (keys + values), for flush triggering.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of entries (versions).
+    pub fn len(&self) -> usize {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// True if no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains every entry in globally sorted order (user key asc, seq
+    /// desc), decrypting values and releasing host/enclave memory.
+    /// Used by flush.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Integrity`] if any host-resident value was
+    /// tampered with.
+    pub fn drain_for_flush(&self) -> Result<Vec<(UserKey, SeqNum, Option<Vec<u8>>)>> {
+        let mut all = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let guard = shard.read();
+            for (k, v) in guard.iter() {
+                all.push((k.clone(), v.clone()));
+            }
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut out = Vec::with_capacity(all.len());
+        for (k, v) in all {
+            let freed = k.user.len() + ENTRY_OVERHEAD;
+            self.env.enclave.free_trusted(freed as u64);
+            match v {
+                ValueEntry::Delete => {
+                    let seq = k.seq();
+                    out.push((k.user, seq, None));
+                }
+                ValueEntry::Put { handle, len, hash: digest } => {
+                    let stored = self
+                        .env
+                        .vault
+                        .load(handle)
+                        .map_err(|e| StoreError::Integrity(e.to_string()))?;
+                    let _ = self.env.vault.free(handle);
+                    self.env.charge_crypto(len as usize);
+                    let plain = if self.env.profile.encryption {
+                        decrypt_with_prefix_nonce(&self.value_key, &k.user, &stored)?
+                    } else {
+                        stored
+                    };
+                    if self.env.profile.authentication && hash::sha256(&plain) != digest {
+                        return Err(StoreError::Integrity(
+                            "memtable value hash mismatch during flush".into(),
+                        ));
+                    }
+                    let seq = k.seq();
+                    out.push((k.user, seq, Some(plain)));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Values in host memory are stored as `nonce(12B) ‖ ciphertext` — the
+/// nonce need not be secret, only unique.
+fn encrypt_with_prefix_nonce(key: &Key, aad: &[u8], nonce: [u8; 12], plain: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + plain.len() + 16);
+    out.extend_from_slice(&nonce);
+    out.extend_from_slice(&aead_seal(key, &nonce, aad, plain));
+    out
+}
+
+fn decrypt_with_prefix_nonce(key: &Key, aad: &[u8], stored: &[u8]) -> Result<Vec<u8>> {
+    if stored.len() < 12 {
+        return Err(StoreError::Integrity("truncated host value".into()));
+    }
+    let nonce: [u8; 12] = stored[..12].try_into().unwrap();
+    aead_open(key, &nonce, aad, &stored[12..])
+        .map_err(|_| StoreError::Integrity("host value failed decryption".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treaty_sim::SecurityProfile;
+
+    fn memtable(profile: SecurityProfile) -> (tempfile::TempDir, Arc<Env>, MemTable) {
+        let dir = tempfile::tempdir().unwrap();
+        let env = Env::for_testing(profile, dir.path());
+        let mt = MemTable::new(Arc::clone(&env));
+        (dir, env, mt)
+    }
+
+    #[test]
+    fn put_get_latest_version() {
+        let (_d, _e, mt) = memtable(SecurityProfile::treaty_full());
+        mt.put(b"k", 1, b"v1");
+        mt.put(b"k", 5, b"v5");
+        mt.put(b"k", 3, b"v3");
+        assert_eq!(mt.get(b"k", SeqNum::MAX).unwrap(), Some(Some(b"v5".to_vec())));
+        assert_eq!(mt.get(b"k", 4).unwrap(), Some(Some(b"v3".to_vec())));
+        assert_eq!(mt.get(b"k", 2).unwrap(), Some(Some(b"v1".to_vec())));
+        assert_eq!(mt.get(b"missing", SeqNum::MAX).unwrap(), None);
+    }
+
+    #[test]
+    fn tombstone_shadows_value() {
+        let (_d, _e, mt) = memtable(SecurityProfile::treaty_full());
+        mt.put(b"k", 1, b"v1");
+        mt.delete(b"k", 2);
+        assert_eq!(mt.get(b"k", SeqNum::MAX).unwrap(), Some(None));
+        assert_eq!(mt.get(b"k", 1).unwrap(), Some(Some(b"v1".to_vec())));
+    }
+
+    #[test]
+    fn snapshot_before_first_version_sees_nothing() {
+        let (_d, _e, mt) = memtable(SecurityProfile::treaty_full());
+        mt.put(b"k", 10, b"v");
+        assert_eq!(mt.get(b"k", 5).unwrap(), None);
+    }
+
+    #[test]
+    fn values_encrypted_in_host_memory() {
+        let (_d, env, mt) = memtable(SecurityProfile::treaty_enc());
+        let secret = b"confidential-value-material";
+        mt.put(b"k", 1, secret);
+        let dump = env.vault.dump();
+        assert!(
+            !dump.windows(secret.len()).any(|w| w == secret),
+            "plaintext value visible in host memory"
+        );
+    }
+
+    #[test]
+    fn values_plaintext_without_encryption() {
+        let (_d, env, mt) = memtable(SecurityProfile::native_treaty());
+        let value = b"plainly-visible-value";
+        mt.put(b"k", 1, value);
+        let dump = env.vault.dump();
+        assert!(dump.windows(value.len()).any(|w| w == value));
+    }
+
+    #[test]
+    fn tampered_host_value_detected() {
+        let (_d, env, mt) = memtable(SecurityProfile::treaty_full());
+        mt.put(b"k", 1, b"value-0123456789");
+        // Corrupt every live host buffer.
+        for h in 0..10 {
+            let _ = env.vault.corrupt(treaty_tee::HostHandle(h), 20);
+        }
+        let err = mt.get(b"k", SeqNum::MAX).unwrap_err();
+        assert!(matches!(err, StoreError::Integrity(_)));
+    }
+
+    #[test]
+    fn tampered_host_value_detected_even_without_encryption() {
+        // Authentication alone (Treaty w/o Enc) must still catch tampering
+        // via the in-enclave hash.
+        let (_d, env, mt) = memtable(SecurityProfile::treaty_no_enc());
+        mt.put(b"k", 1, b"value-0123456789");
+        for h in 0..10 {
+            let _ = env.vault.corrupt(treaty_tee::HostHandle(h), 3);
+        }
+        let err = mt.get(b"k", SeqNum::MAX).unwrap_err();
+        assert!(matches!(err, StoreError::Integrity(_)));
+    }
+
+    #[test]
+    fn drain_for_flush_sorted_and_frees_memory() {
+        let (_d, env, mt) = memtable(SecurityProfile::treaty_full());
+        mt.put(b"b", 2, b"vb");
+        mt.put(b"a", 1, b"va");
+        mt.delete(b"c", 3);
+        let before = env.vault.live_buffers();
+        assert_eq!(before, 2);
+        let entries = mt.drain_for_flush().unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].0, b"a");
+        assert_eq!(entries[0].2, Some(b"va".to_vec()));
+        assert_eq!(entries[2].0, b"c");
+        assert_eq!(entries[2].2, None);
+        assert_eq!(env.vault.live_buffers(), 0, "flush must free host memory");
+        assert_eq!(env.enclave.resident_bytes(), 0, "flush must free enclave memory");
+    }
+
+    #[test]
+    fn multiple_versions_drain_newest_first_per_key() {
+        let (_d, _e, mt) = memtable(SecurityProfile::treaty_full());
+        mt.put(b"k", 1, b"v1");
+        mt.put(b"k", 2, b"v2");
+        let entries = mt.drain_for_flush().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].1, 2, "newest version first");
+        assert_eq!(entries[1].1, 1);
+    }
+
+    #[test]
+    fn byte_accounting_grows_with_puts() {
+        let (_d, _e, mt) = memtable(SecurityProfile::treaty_full());
+        assert_eq!(mt.approx_bytes(), 0);
+        mt.put(b"key-1", 1, &vec![0u8; 1000]);
+        assert!(mt.approx_bytes() >= 1000);
+        assert_eq!(mt.len(), 1);
+    }
+
+    #[test]
+    fn latest_seq_of_reports_newest() {
+        let (_d, _e, mt) = memtable(SecurityProfile::treaty_full());
+        assert_eq!(mt.latest_seq_of(b"k"), None);
+        mt.put(b"k", 3, b"x");
+        mt.put(b"k", 9, b"y");
+        assert_eq!(mt.latest_seq_of(b"k"), Some(9));
+    }
+}

@@ -1,0 +1,718 @@
+//! Single-node transactions (§V-B) and the engine interface the
+//! distributed 2PC layer builds on.
+//!
+//! * **Pessimistic** transactions take shared/exclusive locks as they go
+//!   (two-phase locking),
+//! * **optimistic** transactions record the version of every read and
+//!   validate at commit,
+//! * both buffer their writes in a [`TxBuffer`] — a contiguous byte stream
+//!   in enclave memory (§VII-D) with an index for read-my-own-writes,
+//! * [`EngineTxn::prepare`] is the participant half of 2PC: the write set
+//!   is made durable in the WAL as a *prepared* record, locks stay held,
+//!   and the decision arrives later via [`TxnEngine::commit_prepared`] /
+//!   [`TxnEngine::abort_prepared`] — possibly after a crash and recovery.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::engine::{PreparedState, TreatyStore, WalRecord};
+use crate::locks::{LockMode, LockTable};
+use crate::memtable::{SeqNum, UserKey};
+use crate::{Result, StoreError};
+
+/// Concurrency-control flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxnMode {
+    /// Two-phase locking.
+    Pessimistic,
+    /// Optimistic with sequence-number validation at commit.
+    Optimistic,
+}
+
+/// Options for [`TreatyStore::begin`].
+#[derive(Debug, Clone, Copy)]
+pub struct TxnOptions {
+    /// Concurrency-control flavour.
+    pub mode: TxnMode,
+}
+
+impl Default for TxnOptions {
+    fn default() -> Self {
+        TxnOptions { mode: TxnMode::Pessimistic }
+    }
+}
+
+/// Globally unique transaction id: `(coordinator node, per-node sequence)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GlobalTxId {
+    /// Coordinator node id.
+    pub node: u64,
+    /// Monotonic sequence at that coordinator.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for GlobalTxId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tx{}-{}", self.node, self.seq)
+    }
+}
+
+/// One buffered write.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteOp {
+    /// Target key.
+    pub key: UserKey,
+    /// `None` deletes the key.
+    pub value: Option<Vec<u8>>,
+}
+
+/// Commit outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitInfo {
+    /// The commit's version number (0 for read-only transactions).
+    pub seq: SeqNum,
+    /// WAL counter of the commit record (0 for read-only transactions).
+    pub wal_counter: u64,
+}
+
+/// The transaction write buffer of §VII-D: one contiguous byte stream per
+/// transaction (to avoid per-entry EPC pressure) plus an index for
+/// read-my-own-writes.
+#[derive(Debug, Default)]
+pub struct TxBuffer {
+    data: Vec<u8>,
+    index: HashMap<UserKey, Option<(usize, usize)>>, // None = delete
+    order: Vec<UserKey>,
+}
+
+impl TxBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers a put.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        let off = self.data.len();
+        self.data.extend_from_slice(value);
+        if self.index.insert(key.to_vec(), Some((off, value.len()))).is_none() {
+            self.order.push(key.to_vec());
+        }
+    }
+
+    /// Buffers a delete.
+    pub fn delete(&mut self, key: &[u8]) {
+        if self.index.insert(key.to_vec(), None).is_none() {
+            self.order.push(key.to_vec());
+        }
+    }
+
+    /// Read-my-own-writes: `None` = key untouched; `Some(None)` = deleted;
+    /// `Some(Some(v))` = buffered value.
+    pub fn get(&self, key: &[u8]) -> Option<Option<Vec<u8>>> {
+        self.index.get(key).map(|slot| {
+            slot.map(|(off, len)| self.data[off..off + len].to_vec())
+        })
+    }
+
+    /// Buffered bytes (enclave footprint).
+    pub fn bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of distinct keys written.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Materializes the write set in first-write order (last value per
+    /// key wins).
+    pub fn to_ops(&self) -> Vec<WriteOp> {
+        self.order
+            .iter()
+            .map(|k| WriteOp {
+                key: k.clone(),
+                value: self.get(k).expect("indexed key"),
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnState {
+    Active,
+    Prepared,
+    Finished,
+}
+
+/// A single-node transaction on a [`TreatyStore`].
+pub struct Txn {
+    store: TreatyStore,
+    id: u64,
+    mode: TxnMode,
+    buffer: TxBuffer,
+    locked: Vec<UserKey>,
+    read_set: Vec<(UserKey, SeqNum)>,
+    state: TxnState,
+}
+
+impl std::fmt::Debug for Txn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn")
+            .field("id", &self.id)
+            .field("mode", &self.mode)
+            .field("state", &self.state)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Txn {
+    pub(crate) fn new(store: TreatyStore, options: TxnOptions) -> Self {
+        let id = store.inner.next_txid.fetch_add(1, Ordering::SeqCst);
+        Txn {
+            store,
+            id,
+            mode: options.mode,
+            buffer: TxBuffer::new(),
+            locked: Vec::new(),
+            read_set: Vec::new(),
+            state: TxnState::Active,
+        }
+    }
+
+    fn check_active(&self) -> Result<()> {
+        if self.state == TxnState::Active {
+            Ok(())
+        } else {
+            Err(StoreError::Finished)
+        }
+    }
+
+    fn lock(&mut self, key: &[u8], mode: LockMode) -> Result<()> {
+        self.store.inner.locks.lock(self.id, key, mode)?;
+        if !self.locked.iter().any(|k| k == key) {
+            self.locked.push(key.to_vec());
+        }
+        Ok(())
+    }
+
+    fn release_locks(&mut self) {
+        let keys = std::mem::take(&mut self.locked);
+        self.store.inner.locks.release(self.id, keys);
+    }
+
+    fn abort_with(&mut self, err: StoreError) -> StoreError {
+        self.release_locks();
+        self.state = TxnState::Finished;
+        self.store.inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
+        err
+    }
+}
+
+/// Object-safe transaction interface used by the distributed layer.
+pub trait EngineTxn: Send {
+    /// Reads a key (transactionally: own writes visible).
+    ///
+    /// # Errors
+    ///
+    /// Lock timeouts, integrity violations, or use after finish.
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>>;
+
+    /// Buffers a write.
+    ///
+    /// # Errors
+    ///
+    /// Lock timeouts or use after finish.
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()>;
+
+    /// Buffers a deletion.
+    ///
+    /// # Errors
+    ///
+    /// Lock timeouts or use after finish.
+    fn delete(&mut self, key: &[u8]) -> Result<()>;
+
+    /// 2PC phase one: durably prepares the transaction under `gtx`,
+    /// holding its locks. After this returns the node guarantees it can
+    /// commit the transaction even across a crash (§V-A step 8).
+    ///
+    /// # Errors
+    ///
+    /// Conflicts (optimistic), I/O, or stabilization failures — all of
+    /// which mean "vote abort".
+    fn prepare(&mut self, gtx: GlobalTxId) -> Result<()>;
+
+    /// Commits (single-node path).
+    ///
+    /// # Errors
+    ///
+    /// Conflicts (optimistic), I/O, or stabilization failures.
+    fn commit(&mut self) -> Result<CommitInfo>;
+
+    /// Rolls back, releasing locks.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; reserved.
+    fn rollback(&mut self) -> Result<()>;
+}
+
+impl EngineTxn for Txn {
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.check_active()?;
+        if let Some(own) = self.buffer.get(key) {
+            return Ok(own);
+        }
+        match self.mode {
+            TxnMode::Pessimistic => {
+                if let Err(e) = self.lock(key, LockMode::Shared) {
+                    return Err(self.abort_with(e));
+                }
+                self.store.get_visible(key, SeqNum::MAX)
+            }
+            TxnMode::Optimistic => {
+                let seq = self.store.latest_seq(key)?;
+                let v = self.store.get_visible(key, SeqNum::MAX)?;
+                self.read_set.push((key.to_vec(), seq));
+                Ok(v)
+            }
+        }
+    }
+
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.check_active()?;
+        if self.mode == TxnMode::Pessimistic {
+            if let Err(e) = self.lock(key, LockMode::Exclusive) {
+                return Err(self.abort_with(e));
+            }
+        }
+        self.store
+            .env()
+            .charge_enclave_op(value.len(), self.store.env().costs.record_frame_ns);
+        self.buffer.put(key, value);
+        Ok(())
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.check_active()?;
+        if self.mode == TxnMode::Pessimistic {
+            if let Err(e) = self.lock(key, LockMode::Exclusive) {
+                return Err(self.abort_with(e));
+            }
+        }
+        self.buffer.delete(key);
+        Ok(())
+    }
+
+    fn prepare(&mut self, gtx: GlobalTxId) -> Result<()> {
+        self.check_active()?;
+        if self.mode == TxnMode::Optimistic {
+            if let Err(e) = self.validate_optimistic() {
+                return Err(self.abort_with(e));
+            }
+        }
+        let writes = self.buffer.to_ops();
+        let (counter, wal) = match self
+            .store
+            .wal_append(&WalRecord::Prepare { gtx, writes: writes.clone() })
+        {
+            Ok(c) => c,
+            Err(e) => return Err(self.abort_with(e)),
+        };
+        // Participants only ACK once the prepare entry is stabilized —
+        // otherwise a crash could lose a vote the coordinator relied on.
+        if let Err(e) = wal.stabilize(counter) {
+            return Err(self.abort_with(e));
+        }
+        // Write locks move to the prepared record (same owner id) and are
+        // held until the decision. Read locks may release now: the growing
+        // phase is over and this transaction will never read again, so any
+        // later writer of those keys serializes after it.
+        let write_keys: std::collections::HashSet<&UserKey> =
+            writes.iter().map(|w| &w.key).collect();
+        let read_only: Vec<UserKey> = self
+            .locked
+            .iter()
+            .filter(|k| !write_keys.contains(k))
+            .cloned()
+            .collect();
+        self.store.inner.prepared.lock().insert(
+            gtx,
+            PreparedState { writes, lock_owner: self.id },
+        );
+        self.store.inner.locks.release(self.id, read_only);
+        self.locked.clear();
+        self.state = TxnState::Prepared;
+        Ok(())
+    }
+
+    fn commit(&mut self) -> Result<CommitInfo> {
+        self.check_active()?;
+        if self.mode == TxnMode::Optimistic {
+            if let Err(e) = self.validate_optimistic() {
+                return Err(self.abort_with(e));
+            }
+        }
+        if self.buffer.is_empty() {
+            // Read-only: nothing to log.
+            self.release_locks();
+            self.state = TxnState::Finished;
+            self.store.inner.stats.commits.fetch_add(1, Ordering::Relaxed);
+            return Ok(CommitInfo { seq: 0, wal_counter: 0 });
+        }
+        let writes = self.buffer.to_ops();
+        let seq = self.store.inner.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let (seq, counter, wal) = match self.store.commit_writes(seq, &writes) {
+            Ok(x) => x,
+            Err(e) => return Err(self.abort_with(e)),
+        };
+        // Conflicting transactions are ordered by the WAL; locks can drop
+        // before stabilization (the paper exploits exactly this window).
+        self.release_locks();
+        self.state = TxnState::Finished;
+        wal.stabilize(counter)?;
+        Ok(CommitInfo { seq, wal_counter: counter })
+    }
+
+    fn rollback(&mut self) -> Result<()> {
+        if self.state != TxnState::Active {
+            return Ok(());
+        }
+        self.release_locks();
+        self.state = TxnState::Finished;
+        self.store.inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+impl Txn {
+    /// OCC validation: write set lockable, read versions unchanged.
+    fn validate_optimistic(&mut self) -> Result<()> {
+        let write_keys: Vec<UserKey> = self.buffer.to_ops().into_iter().map(|w| w.key).collect();
+        for key in &write_keys {
+            self.store
+                .inner
+                .locks
+                .try_lock(self.id, key, LockMode::Exclusive)
+                .map_err(|_| StoreError::Conflict)?;
+            self.locked.push(key.clone());
+        }
+        for (key, seen) in &self.read_set {
+            let now = self.store.latest_seq(key)?;
+            if now != *seen {
+                return Err(StoreError::Conflict);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        if self.state == TxnState::Active {
+            let _ = self.rollback();
+        }
+    }
+}
+
+/// Engine-level interface the 2PC layer drives.
+pub trait TxnEngine: Send + Sync {
+    /// Begins a transaction.
+    fn begin_txn(&self, mode: TxnMode) -> Box<dyn EngineTxn>;
+
+    /// Commits a prepared transaction (idempotent — recovery may retry).
+    ///
+    /// # Errors
+    ///
+    /// I/O or integrity failures.
+    fn commit_prepared(&self, gtx: GlobalTxId) -> Result<()>;
+
+    /// Aborts a prepared transaction (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// I/O or integrity failures.
+    fn abort_prepared(&self, gtx: GlobalTxId) -> Result<()>;
+
+    /// Transactions prepared but undecided (asked during recovery).
+    fn prepared_txns(&self) -> Vec<GlobalTxId>;
+}
+
+impl TxnEngine for TreatyStore {
+    fn begin_txn(&self, mode: TxnMode) -> Box<dyn EngineTxn> {
+        Box::new(self.begin(TxnOptions { mode }))
+    }
+
+    fn commit_prepared(&self, gtx: GlobalTxId) -> Result<()> {
+        if treaty_sim::runtime::in_fiber() {
+            treaty_sim::runtime::set_tag("e:commit_prepared");
+        }
+        let st = match self.inner.prepared.lock().remove(&gtx) {
+            Some(st) => st,
+            None => return Ok(()), // already decided: ignore (§VI)
+        };
+        let seq = self.inner.seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let _ = self.wal_append(&WalRecord::Decide { gtx, commit: true, seq })?;
+        let applied = self.apply_decided(seq, &st.writes);
+        self.inner
+            .locks
+            .release(st.lock_owner, st.writes.iter().map(|w| w.key.clone()));
+        applied?;
+        // The commit decision's rollback protection is the coordinator's
+        // Clog; the participant need not wait here (§V-A).
+        self.inner.stats.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn abort_prepared(&self, gtx: GlobalTxId) -> Result<()> {
+        let st = match self.inner.prepared.lock().remove(&gtx) {
+            Some(st) => st,
+            None => return Ok(()),
+        };
+        self.wal_append(&WalRecord::Decide { gtx, commit: false, seq: 0 })?;
+        self.inner
+            .locks
+            .release(st.lock_owner, st.writes.iter().map(|w| w.key.clone()));
+        self.inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn prepared_txns(&self) -> Vec<GlobalTxId> {
+        self.inner.prepared.lock().keys().copied().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// An engine with no persistent storage: used to evaluate the 2PC protocol
+/// in isolation (§VIII-B / Fig. 4). Locking semantics are preserved;
+/// durability is not.
+pub struct NullEngine {
+    data: Mutex<HashMap<UserKey, Vec<u8>>>,
+    locks: LockTable,
+    prepared: Mutex<HashMap<GlobalTxId, (u64, Vec<WriteOp>)>>,
+    next_txid: std::sync::atomic::AtomicU64,
+}
+
+impl Default for NullEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for NullEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NullEngine").finish_non_exhaustive()
+    }
+}
+
+impl NullEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        NullEngine {
+            data: Mutex::new(HashMap::new()),
+            locks: LockTable::new(1024, 50 * treaty_sim::MILLIS),
+            prepared: Mutex::new(HashMap::new()),
+            next_txid: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    /// Direct load (test introspection).
+    pub fn peek(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.data.lock().get(key).cloned()
+    }
+}
+
+// The trait requires 'static boxes; NullEngine hands out transactions tied
+// to an Arc instead.
+struct NullTxnOwned {
+    engine: Arc<NullEngineShared>,
+    id: u64,
+    buffer: TxBuffer,
+    locked: Vec<UserKey>,
+    done: bool,
+}
+
+struct NullEngineShared {
+    inner: NullEngine,
+}
+
+/// Arc-wrapped [`NullEngine`] implementing [`TxnEngine`].
+#[derive(Clone)]
+pub struct SharedNullEngine {
+    shared: Arc<NullEngineShared>,
+}
+
+impl Default for SharedNullEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for SharedNullEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedNullEngine").finish_non_exhaustive()
+    }
+}
+
+impl SharedNullEngine {
+    /// Creates the engine.
+    pub fn new() -> Self {
+        SharedNullEngine { shared: Arc::new(NullEngineShared { inner: NullEngine::new() }) }
+    }
+
+    /// Direct load (test introspection).
+    pub fn peek(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.shared.inner.peek(key)
+    }
+}
+
+impl TxnEngine for SharedNullEngine {
+    fn begin_txn(&self, _mode: TxnMode) -> Box<dyn EngineTxn> {
+        let id = self.shared.inner.next_txid.fetch_add(1, Ordering::SeqCst);
+        Box::new(NullTxnOwned {
+            engine: Arc::clone(&self.shared),
+            id,
+            buffer: TxBuffer::new(),
+            locked: Vec::new(),
+            done: false,
+        })
+    }
+
+    fn commit_prepared(&self, gtx: GlobalTxId) -> Result<()> {
+        let e = &self.shared.inner;
+        if let Some((owner, writes)) = e.prepared.lock().remove(&gtx) {
+            let mut data = e.data.lock();
+            for w in &writes {
+                match &w.value {
+                    Some(v) => {
+                        data.insert(w.key.clone(), v.clone());
+                    }
+                    None => {
+                        data.remove(&w.key);
+                    }
+                }
+            }
+            drop(data);
+            e.locks.release(owner, writes.into_iter().map(|w| w.key));
+        }
+        Ok(())
+    }
+
+    fn abort_prepared(&self, gtx: GlobalTxId) -> Result<()> {
+        let e = &self.shared.inner;
+        if let Some((owner, writes)) = e.prepared.lock().remove(&gtx) {
+            e.locks.release(owner, writes.into_iter().map(|w| w.key));
+        }
+        Ok(())
+    }
+
+    fn prepared_txns(&self) -> Vec<GlobalTxId> {
+        self.shared.inner.prepared.lock().keys().copied().collect()
+    }
+}
+
+impl EngineTxn for NullTxnOwned {
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        if self.done {
+            return Err(StoreError::Finished);
+        }
+        if let Some(own) = self.buffer.get(key) {
+            return Ok(own);
+        }
+        let e = &self.engine.inner;
+        e.locks.lock(self.id, key, LockMode::Shared)?;
+        self.locked.push(key.to_vec());
+        Ok(e.data.lock().get(key).cloned())
+    }
+
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        if self.done {
+            return Err(StoreError::Finished);
+        }
+        let e = &self.engine.inner;
+        e.locks.lock(self.id, key, LockMode::Exclusive)?;
+        self.locked.push(key.to_vec());
+        self.buffer.put(key, value);
+        Ok(())
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<()> {
+        if self.done {
+            return Err(StoreError::Finished);
+        }
+        let e = &self.engine.inner;
+        e.locks.lock(self.id, key, LockMode::Exclusive)?;
+        self.locked.push(key.to_vec());
+        self.buffer.delete(key);
+        Ok(())
+    }
+
+    fn prepare(&mut self, gtx: GlobalTxId) -> Result<()> {
+        if self.done {
+            return Err(StoreError::Finished);
+        }
+        let e = &self.engine.inner;
+        let writes = self.buffer.to_ops();
+        let write_keys: std::collections::HashSet<&UserKey> =
+            writes.iter().map(|w| &w.key).collect();
+        let read_only: Vec<UserKey> = self
+            .locked
+            .iter()
+            .filter(|k| !write_keys.contains(k))
+            .cloned()
+            .collect();
+        e.prepared.lock().insert(gtx, (self.id, writes));
+        e.locks.release(self.id, read_only);
+        self.locked.clear();
+        self.done = true;
+        Ok(())
+    }
+
+    fn commit(&mut self) -> Result<CommitInfo> {
+        if self.done {
+            return Err(StoreError::Finished);
+        }
+        let e = &self.engine.inner;
+        {
+            let mut data = e.data.lock();
+            for w in self.buffer.to_ops() {
+                match w.value {
+                    Some(v) => {
+                        data.insert(w.key, v);
+                    }
+                    None => {
+                        data.remove(&w.key);
+                    }
+                }
+            }
+        }
+        e.locks.release(self.id, std::mem::take(&mut self.locked));
+        self.done = true;
+        Ok(CommitInfo { seq: 0, wal_counter: 0 })
+    }
+
+    fn rollback(&mut self) -> Result<()> {
+        if self.done {
+            return Ok(());
+        }
+        let e = &self.engine.inner;
+        e.locks.release(self.id, std::mem::take(&mut self.locked));
+        self.done = true;
+        Ok(())
+    }
+}
+
+impl Drop for NullTxnOwned {
+    fn drop(&mut self) {
+        let _ = self.rollback();
+    }
+}

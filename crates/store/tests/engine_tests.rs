@@ -1,0 +1,510 @@
+//! End-to-end tests of the storage engine: transactions, flush/compaction,
+//! group commit, crash recovery and the §III attacks.
+
+use std::sync::Arc;
+
+use treaty_sched::block_on;
+use treaty_sim::runtime::{join, spawn};
+use treaty_sim::SecurityProfile;
+use treaty_store::txn::WriteOp;
+use treaty_store::{
+    Env, EngineTxn, GlobalTxId, StoreError, TreatyStore, TxnEngine, TxnMode,
+};
+
+fn open(profile: SecurityProfile, dir: &std::path::Path) -> (Arc<Env>, TreatyStore) {
+    let env = Env::for_testing(profile, dir);
+    let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+    (env, store)
+}
+
+fn put(store: &TreatyStore, key: &[u8], value: &[u8]) {
+    let mut tx = store.begin_mode(TxnMode::Pessimistic);
+    tx.put(key, value).unwrap();
+    tx.commit().unwrap();
+}
+
+#[test]
+fn commit_and_read_back() {
+    let dir = tempfile::tempdir().unwrap();
+    let (_env, store) = open(SecurityProfile::treaty_full(), dir.path());
+    put(&store, b"alpha", b"1");
+    put(&store, b"beta", b"2");
+    assert_eq!(store.get_committed(b"alpha").unwrap(), Some(b"1".to_vec()));
+    assert_eq!(store.get_committed(b"beta").unwrap(), Some(b"2".to_vec()));
+    assert_eq!(store.get_committed(b"gamma").unwrap(), None);
+    assert_eq!(store.stats().commits, 2);
+}
+
+#[test]
+fn read_own_writes_and_delete() {
+    let dir = tempfile::tempdir().unwrap();
+    let (_env, store) = open(SecurityProfile::treaty_full(), dir.path());
+    put(&store, b"k", b"old");
+    let mut tx = store.begin_mode(TxnMode::Pessimistic);
+    assert_eq!(tx.get(b"k").unwrap(), Some(b"old".to_vec()));
+    tx.put(b"k", b"new").unwrap();
+    assert_eq!(tx.get(b"k").unwrap(), Some(b"new".to_vec()));
+    tx.delete(b"k").unwrap();
+    assert_eq!(tx.get(b"k").unwrap(), None);
+    tx.commit().unwrap();
+    assert_eq!(store.get_committed(b"k").unwrap(), None);
+}
+
+#[test]
+fn rollback_discards_writes_and_releases_locks() {
+    let dir = tempfile::tempdir().unwrap();
+    let (_env, store) = open(SecurityProfile::treaty_full(), dir.path());
+    {
+        let mut tx = store.begin_mode(TxnMode::Pessimistic);
+        tx.put(b"k", b"v").unwrap();
+        tx.rollback().unwrap();
+    }
+    assert_eq!(store.get_committed(b"k").unwrap(), None);
+    // Lock released: a new writer proceeds immediately.
+    put(&store, b"k", b"v2");
+    assert_eq!(store.get_committed(b"k").unwrap(), Some(b"v2".to_vec()));
+}
+
+#[test]
+fn dropped_txn_auto_rolls_back() {
+    let dir = tempfile::tempdir().unwrap();
+    let (_env, store) = open(SecurityProfile::treaty_full(), dir.path());
+    {
+        let mut tx = store.begin_mode(TxnMode::Pessimistic);
+        tx.put(b"k", b"v").unwrap();
+        // dropped without commit
+    }
+    assert_eq!(store.get_committed(b"k").unwrap(), None);
+    assert_eq!(store.stats().aborts, 1);
+}
+
+#[test]
+fn use_after_finish_is_an_error() {
+    let dir = tempfile::tempdir().unwrap();
+    let (_env, store) = open(SecurityProfile::treaty_full(), dir.path());
+    let mut tx = store.begin_mode(TxnMode::Pessimistic);
+    tx.put(b"k", b"v").unwrap();
+    tx.commit().unwrap();
+    assert_eq!(tx.put(b"k", b"w").unwrap_err(), StoreError::Finished);
+    assert_eq!(tx.get(b"k").unwrap_err(), StoreError::Finished);
+}
+
+#[test]
+fn data_survives_flush_and_compaction() {
+    let dir = tempfile::tempdir().unwrap();
+    let (_env, store) = open(SecurityProfile::treaty_full(), dir.path());
+    // Enough data to force multiple flushes and compactions (tiny config:
+    // 16 KiB memtable, L0 trigger 2).
+    for i in 0..200u32 {
+        put(
+            &store,
+            format!("key-{i:04}").as_bytes(),
+            format!("value-{i}-{}", "z".repeat(400)).as_bytes(),
+        );
+    }
+    let stats = store.stats();
+    assert!(stats.flushes >= 2, "expected flushes, got {stats:?}");
+    assert!(stats.compactions >= 1, "expected compactions, got {stats:?}");
+    for i in (0..200u32).step_by(17) {
+        let v = store.get_committed(format!("key-{i:04}").as_bytes()).unwrap();
+        assert_eq!(
+            v,
+            Some(format!("value-{i}-{}", "z".repeat(400)).into_bytes()),
+            "key {i} lost"
+        );
+    }
+    // GC ran: retired files actually deleted (instant stabilization here).
+    assert!(stats.files_deleted > 0 || store.stats().files_deleted > 0);
+}
+
+#[test]
+fn overwrites_resolve_to_newest_across_levels() {
+    let dir = tempfile::tempdir().unwrap();
+    let (_env, store) = open(SecurityProfile::treaty_full(), dir.path());
+    for round in 0..5u32 {
+        for i in 0..40u32 {
+            put(
+                &store,
+                format!("key-{i:02}").as_bytes(),
+                format!("round-{round}-{}", "y".repeat(300)).as_bytes(),
+            );
+        }
+    }
+    for i in 0..40u32 {
+        let v = store.get_committed(format!("key-{i:02}").as_bytes()).unwrap().unwrap();
+        assert!(v.starts_with(b"round-4-"), "stale version for key {i}");
+    }
+}
+
+#[test]
+fn recovery_restores_committed_data() {
+    let dir = tempfile::tempdir().unwrap();
+    let env = Env::for_testing(SecurityProfile::treaty_full(), dir.path());
+    {
+        let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+        for i in 0..120u32 {
+            put(&store, format!("k{i:03}").as_bytes(), format!("v{i}-{}", "w".repeat(200)).as_bytes());
+        }
+        // crash: drop without any shutdown
+    }
+    let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+    for i in 0..120u32 {
+        assert_eq!(
+            store.get_committed(format!("k{i:03}").as_bytes()).unwrap(),
+            Some(format!("v{i}-{}", "w".repeat(200)).into_bytes()),
+            "key {i} lost across crash"
+        );
+    }
+    // And the store stays writable after recovery.
+    put(&store, b"post-recovery", b"yes");
+    assert_eq!(store.get_committed(b"post-recovery").unwrap(), Some(b"yes".to_vec()));
+}
+
+#[test]
+fn recovery_all_profiles() {
+    for profile in SecurityProfile::single_node_lineup() {
+        let dir = tempfile::tempdir().unwrap();
+        let env = Env::for_testing(profile, dir.path());
+        {
+            let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+            put(&store, b"k", b"v");
+        }
+        let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+        assert_eq!(
+            store.get_committed(b"k").unwrap(),
+            Some(b"v".to_vec()),
+            "{profile:?}"
+        );
+    }
+}
+
+#[test]
+fn prepared_txn_survives_crash_and_commits() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let env = Env::for_testing(SecurityProfile::treaty_full(), &path);
+        let gtx = GlobalTxId { node: 1, seq: 42 };
+        {
+            let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+            let mut tx = store.begin_mode(TxnMode::Pessimistic);
+            tx.put(b"acct", b"prepared-value").unwrap();
+            tx.prepare(gtx).unwrap();
+            // crash before the decision
+        }
+        let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+        assert_eq!(store.prepared_txns(), vec![gtx]);
+        // Undecided: not visible yet, and the key is still locked.
+        assert_eq!(store.get_committed(b"acct").unwrap(), None);
+        {
+            let mut other = store.begin_mode(TxnMode::Pessimistic);
+            assert!(
+                other.put(b"acct", b"intruder").is_err(),
+                "prepared txn must still hold its write lock after recovery"
+            );
+        }
+        // Coordinator decides commit.
+        store.commit_prepared(gtx).unwrap();
+        assert_eq!(
+            store.get_committed(b"acct").unwrap(),
+            Some(b"prepared-value".to_vec())
+        );
+        // Idempotent.
+        store.commit_prepared(gtx).unwrap();
+    });
+}
+
+#[test]
+fn prepared_txn_abort_releases_locks() {
+    let dir = tempfile::tempdir().unwrap();
+    let env = Env::for_testing(SecurityProfile::treaty_full(), dir.path());
+    let gtx = GlobalTxId { node: 2, seq: 7 };
+    let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+    let mut tx = store.begin_mode(TxnMode::Pessimistic);
+    tx.put(b"k", b"v").unwrap();
+    tx.prepare(gtx).unwrap();
+    store.abort_prepared(gtx).unwrap();
+    assert_eq!(store.get_committed(b"k").unwrap(), None);
+    put(&store, b"k", b"after-abort"); // lock is free again
+}
+
+#[test]
+fn prepared_decision_survives_second_crash() {
+    let dir = tempfile::tempdir().unwrap();
+    let env = Env::for_testing(SecurityProfile::treaty_full(), dir.path());
+    let gtx = GlobalTxId { node: 3, seq: 1 };
+    {
+        let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+        let mut tx = store.begin_mode(TxnMode::Pessimistic);
+        tx.put(b"x", b"decided").unwrap();
+        tx.prepare(gtx).unwrap();
+        store.commit_prepared(gtx).unwrap();
+        // crash after decision
+    }
+    let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+    assert!(store.prepared_txns().is_empty());
+    assert_eq!(store.get_committed(b"x").unwrap(), Some(b"decided".to_vec()));
+}
+
+#[test]
+fn optimistic_conflict_aborts_second_writer() {
+    let dir = tempfile::tempdir().unwrap();
+    let (_env, store) = open(SecurityProfile::treaty_full(), dir.path());
+    put(&store, b"k", b"v0");
+
+    let mut t1 = store.begin_mode(TxnMode::Optimistic);
+    let mut t2 = store.begin_mode(TxnMode::Optimistic);
+    assert_eq!(t1.get(b"k").unwrap(), Some(b"v0".to_vec()));
+    assert_eq!(t2.get(b"k").unwrap(), Some(b"v0".to_vec()));
+    t1.put(b"k", b"v1").unwrap();
+    t2.put(b"k", b"v2").unwrap();
+    t1.commit().unwrap();
+    assert_eq!(t2.commit().unwrap_err(), StoreError::Conflict);
+    assert_eq!(store.get_committed(b"k").unwrap(), Some(b"v1".to_vec()));
+}
+
+#[test]
+fn optimistic_blind_writes_do_not_conflict_with_disjoint_keys() {
+    let dir = tempfile::tempdir().unwrap();
+    let (_env, store) = open(SecurityProfile::treaty_full(), dir.path());
+    let mut t1 = store.begin_mode(TxnMode::Optimistic);
+    let mut t2 = store.begin_mode(TxnMode::Optimistic);
+    t1.put(b"a", b"1").unwrap();
+    t2.put(b"b", b"2").unwrap();
+    t1.commit().unwrap();
+    t2.commit().unwrap();
+    assert_eq!(store.get_committed(b"a").unwrap(), Some(b"1".to_vec()));
+    assert_eq!(store.get_committed(b"b").unwrap(), Some(b"2".to_vec()));
+}
+
+#[test]
+fn pessimistic_writers_conflict_via_lock_timeout() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let env = Env::for_testing(SecurityProfile::treaty_full(), &path);
+        let store = TreatyStore::open(env).unwrap();
+        let mut t1 = store.begin_mode(TxnMode::Pessimistic);
+        t1.put(b"k", b"v1").unwrap();
+        let store2 = store.clone();
+        let contender = spawn(move || {
+            let mut t2 = store2.begin_mode(TxnMode::Pessimistic);
+            let err = t2.put(b"k", b"v2").unwrap_err();
+            assert_eq!(err, StoreError::LockTimeout);
+        });
+        join(contender);
+        t1.commit().unwrap();
+        assert_eq!(store.get_committed(b"k").unwrap(), Some(b"v1".to_vec()));
+    });
+}
+
+#[test]
+fn group_commit_batches_concurrent_committers() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let env = Env::for_testing(SecurityProfile::treaty_full(), &path);
+        let store = TreatyStore::open(env).unwrap();
+        let mut handles = Vec::new();
+        for i in 0..32u32 {
+            let store = store.clone();
+            handles.push(spawn(move || {
+                let mut tx = store.begin_mode(TxnMode::Pessimistic);
+                tx.put(format!("k{i}").as_bytes(), b"v").unwrap();
+                tx.commit().unwrap();
+            }));
+        }
+        for h in handles {
+            join(h);
+        }
+        let stats = store.stats();
+        assert_eq!(stats.commits, 32);
+        assert!(
+            stats.group_commits < 32,
+            "32 concurrent commits must share WAL flushes, used {}",
+            stats.group_commits
+        );
+        assert_eq!(stats.grouped_txns, 32);
+    });
+}
+
+#[test]
+fn wal_truncation_rollback_detected_at_recovery() {
+    let dir = tempfile::tempdir().unwrap();
+    let env = Env::for_testing(SecurityProfile::treaty_full(), dir.path());
+    {
+        let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+        put(&store, b"a", b"1");
+        put(&store, b"b", b"2");
+        put(&store, b"c", b"3");
+    }
+    // The adversary truncates the newest WAL to hide committed txs. All
+    // three commits stabilized (NullBackend records them), so recovery
+    // must notice the log is stale.
+    let mut wals: Vec<_> = std::fs::read_dir(dir.path())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("wal-"))
+        .collect();
+    wals.sort_by_key(|e| e.file_name());
+    let newest = wals.last().unwrap().path();
+    let raw = std::fs::read(&newest).unwrap();
+    std::fs::write(&newest, &raw[..raw.len() / 2]).unwrap();
+
+    let err = TreatyStore::open(Arc::clone(&env)).unwrap_err();
+    assert!(
+        matches!(err, StoreError::Rollback(_) | StoreError::Integrity(_)),
+        "rollback attack must be detected, got {err:?}"
+    );
+}
+
+#[test]
+fn wal_full_replacement_with_stale_log_detected() {
+    let dir = tempfile::tempdir().unwrap();
+    let env = Env::for_testing(SecurityProfile::treaty_full(), dir.path());
+    let stale_snapshot;
+    {
+        let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+        put(&store, b"balance", b"100");
+        // Adversary snapshots the storage now...
+        let wal = newest_wal(dir.path());
+        stale_snapshot = std::fs::read(&wal).unwrap();
+        // ... while the system continues committing.
+        put(&store, b"balance", b"0");
+    }
+    // Roll the WAL back to the stale-but-internally-consistent snapshot.
+    let wal = newest_wal(dir.path());
+    std::fs::write(&wal, &stale_snapshot).unwrap();
+    let err = TreatyStore::open(Arc::clone(&env)).unwrap_err();
+    assert!(matches!(err, StoreError::Rollback(_)), "got {err:?}");
+}
+
+fn newest_wal(dir: &std::path::Path) -> std::path::PathBuf {
+    let mut wals: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("wal-"))
+        .map(|e| e.path())
+        .collect();
+    wals.sort();
+    wals.pop().expect("a WAL exists")
+}
+
+#[test]
+fn sstable_tampering_detected_on_read_after_recovery() {
+    let dir = tempfile::tempdir().unwrap();
+    let env = Env::for_testing(SecurityProfile::treaty_full(), dir.path());
+    {
+        let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+        for i in 0..60u32 {
+            put(&store, format!("k{i:02}").as_bytes(), &vec![b'x'; 500]);
+        }
+        store.flush().unwrap();
+    }
+    // Tamper with a data block of some SSTable (not the footer).
+    let sst = std::fs::read_dir(dir.path())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().ends_with(".sst"))
+        .expect("an sstable exists")
+        .path();
+    let mut raw = std::fs::read(&sst).unwrap();
+    raw[5] ^= 0xFF;
+    std::fs::write(&sst, &raw).unwrap();
+
+    let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+    let mut saw_integrity_error = false;
+    for i in 0..60u32 {
+        if matches!(
+            store.get_committed(format!("k{i:02}").as_bytes()),
+            Err(StoreError::Integrity(_))
+        ) {
+            saw_integrity_error = true;
+            break;
+        }
+    }
+    assert!(saw_integrity_error, "tampered SSTable block must be detected");
+}
+
+#[test]
+fn baseline_profile_does_not_detect_wal_rollback() {
+    // DS-RocksDB semantics: rollback attacks succeed silently — which is
+    // exactly the gap Treaty closes.
+    let dir = tempfile::tempdir().unwrap();
+    let env = Env::for_testing(SecurityProfile::rocksdb(), dir.path());
+    {
+        let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+        put(&store, b"balance", b"100");
+        let wal = newest_wal(dir.path());
+        let snapshot = std::fs::read(&wal).unwrap();
+        put(&store, b"balance", b"0");
+        std::fs::write(&wal, &snapshot).unwrap();
+    }
+    let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+    assert_eq!(
+        store.get_committed(b"balance").unwrap(),
+        Some(b"100".to_vec()),
+        "baseline silently serves rolled-back state"
+    );
+}
+
+#[test]
+fn write_sets_serialize_via_wal_order() {
+    // Two transactions writing disjoint keys commit concurrently; both
+    // must be durable and readable.
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let env = Env::for_testing(SecurityProfile::treaty_full(), &path);
+        let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+        let mut handles = Vec::new();
+        for i in 0..8u32 {
+            let store = store.clone();
+            handles.push(spawn(move || {
+                for j in 0..5u32 {
+                    let mut tx = store.begin_mode(TxnMode::Pessimistic);
+                    tx.put(format!("k-{i}-{j}").as_bytes(), b"v").unwrap();
+                    tx.commit().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            join(h);
+        }
+        drop(store);
+        // Recover and verify every commit survived.
+        let store = TreatyStore::open(env).unwrap();
+        for i in 0..8u32 {
+            for j in 0..5u32 {
+                assert_eq!(
+                    store.get_committed(format!("k-{i}-{j}").as_bytes()).unwrap(),
+                    Some(b"v".to_vec())
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn multi_write_txn_is_atomic_across_crash() {
+    let dir = tempfile::tempdir().unwrap();
+    let env = Env::for_testing(SecurityProfile::treaty_full(), dir.path());
+    {
+        let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+        let mut tx = store.begin_mode(TxnMode::Pessimistic);
+        tx.put(b"from", b"50").unwrap();
+        tx.put(b"to", b"150").unwrap();
+        tx.commit().unwrap();
+    }
+    let store = TreatyStore::open(env).unwrap();
+    assert_eq!(store.get_committed(b"from").unwrap(), Some(b"50".to_vec()));
+    assert_eq!(store.get_committed(b"to").unwrap(), Some(b"150".to_vec()));
+}
+
+#[test]
+fn write_op_serialization_roundtrip() {
+    let op = WriteOp { key: b"k".to_vec(), value: Some(b"v".to_vec()) };
+    let json = serde_json::to_vec(&op).unwrap();
+    let back: WriteOp = serde_json::from_slice(&json).unwrap();
+    assert_eq!(op, back);
+}

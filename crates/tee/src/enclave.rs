@@ -1,0 +1,294 @@
+//! Enclave memory accounting and the untrusted host memory vault.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use treaty_sim::{CostModel, Nanos, TeeMode};
+
+use crate::TeeError;
+
+/// EPC size of SGX v1 (94 MiB usable).
+pub const EPC_V1_BYTES: u64 = 94 * 1024 * 1024;
+/// EPC size of SGX v2 (256 MiB usable).
+pub const EPC_V2_BYTES: u64 = 256 * 1024 * 1024;
+
+/// One node's enclave: tracks how much trusted memory the resident data
+/// structures use and prices accesses accordingly.
+///
+/// The paper's designs (MemTable key/value split, host-resident message
+/// buffers, `std::string` transaction buffers) all exist to keep this
+/// number below the EPC limit; the accounting here is what lets the
+/// benchmarks show *why*.
+#[derive(Debug)]
+pub struct Enclave {
+    mode: TeeMode,
+    epc_capacity: u64,
+    resident: AtomicU64,
+    faults: AtomicU64,
+}
+
+impl Enclave {
+    /// Creates an enclave in the given mode with an SGX-v1-sized EPC.
+    pub fn new(mode: TeeMode) -> Self {
+        Self::with_epc(mode, EPC_V1_BYTES)
+    }
+
+    /// Creates an enclave with an explicit EPC budget (for the paging
+    /// ablation benchmarks).
+    pub fn with_epc(mode: TeeMode, epc_capacity: u64) -> Self {
+        Enclave {
+            mode,
+            epc_capacity,
+            resident: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+        }
+    }
+
+    /// The execution mode of this enclave.
+    pub fn mode(&self) -> TeeMode {
+        self.mode
+    }
+
+    /// Registers `bytes` of trusted allocation (MemTable keys, lock table,
+    /// transaction buffers).
+    pub fn alloc_trusted(&self, bytes: u64) {
+        self.resident.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Releases `bytes` of trusted allocation.
+    pub fn free_trusted(&self, bytes: u64) {
+        // Saturating: double-frees in tests shouldn't wrap.
+        let mut cur = self.resident.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.resident.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    /// Bytes currently resident in trusted memory.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Virtual-time cost of touching `bytes` of enclave memory.
+    ///
+    /// Native mode is free. In SCONE mode the MEE multiplier applies and,
+    /// when the working set exceeds the EPC, an expected paging cost
+    /// proportional to the overcommit ratio is added (deterministic
+    /// expected-value charging keeps the simulation reproducible).
+    pub fn access_cost(&self, costs: &CostModel, bytes: usize, base_cpu: Nanos) -> Nanos {
+        match self.mode {
+            TeeMode::Native => base_cpu,
+            TeeMode::Scone => {
+                let mut ns = costs.enclave_cpu(TeeMode::Scone, base_cpu);
+                let resident = self.resident.load(Ordering::Relaxed);
+                if resident > self.epc_capacity {
+                    let over = resident - self.epc_capacity;
+                    // Probability that this access touches an evicted page.
+                    let prob = over as f64 / resident as f64;
+                    let pages = (bytes as u64).div_ceil(4096).max(1);
+                    ns += (costs.epc_fault_ns as f64 * prob * pages as f64) as Nanos;
+                    self.faults.fetch_add(1, Ordering::Relaxed);
+                }
+                ns
+            }
+        }
+    }
+
+    /// Number of accesses that incurred (expected) paging cost.
+    pub fn fault_count(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a buffer stored in untrusted host memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostHandle(pub u64);
+
+#[derive(Debug, Default)]
+struct VaultInner {
+    slots: HashMap<u64, Vec<u8>>,
+    next: u64,
+    bytes: u64,
+}
+
+/// Untrusted host memory.
+///
+/// Everything Treaty stores here must already be encrypted (values, message
+/// buffers) or be integrity-pinned by a hash kept in the enclave. The
+/// adversary API ([`HostVault::corrupt`], [`HostVault::dump`]) exists so
+/// the test suite can mount the §III attacks.
+#[derive(Debug, Default)]
+pub struct HostVault {
+    inner: Mutex<VaultInner>,
+}
+
+impl HostVault {
+    /// Creates an empty vault.
+    pub fn new() -> Arc<Self> {
+        Arc::new(HostVault::default())
+    }
+
+    /// Stores a buffer, returning its handle.
+    pub fn store(&self, data: Vec<u8>) -> HostHandle {
+        let mut inner = self.inner.lock();
+        let id = inner.next;
+        inner.next += 1;
+        inner.bytes += data.len() as u64;
+        inner.slots.insert(id, data);
+        HostHandle(id)
+    }
+
+    /// Reads a copy of a stored buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::BadHandle`] if the handle was never issued or
+    /// already freed.
+    pub fn load(&self, h: HostHandle) -> Result<Vec<u8>, TeeError> {
+        self.inner
+            .lock()
+            .slots
+            .get(&h.0)
+            .cloned()
+            .ok_or(TeeError::BadHandle(h.0))
+    }
+
+    /// Frees a stored buffer. Double-frees are errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::BadHandle`] if the handle is not live.
+    pub fn free(&self, h: HostHandle) -> Result<(), TeeError> {
+        let mut inner = self.inner.lock();
+        match inner.slots.remove(&h.0) {
+            Some(buf) => {
+                inner.bytes -= buf.len() as u64;
+                Ok(())
+            }
+            None => Err(TeeError::BadHandle(h.0)),
+        }
+    }
+
+    /// Total bytes currently stored.
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.lock().bytes
+    }
+
+    /// Number of live buffers.
+    pub fn live_buffers(&self) -> usize {
+        self.inner.lock().slots.len()
+    }
+
+    // ---- adversary interface (used by the security test suite) ----
+
+    /// Flips a byte in a stored buffer, simulating host-memory tampering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeeError::BadHandle`] if the handle is not live.
+    pub fn corrupt(&self, h: HostHandle, offset: usize) -> Result<(), TeeError> {
+        let mut inner = self.inner.lock();
+        let buf = inner.slots.get_mut(&h.0).ok_or(TeeError::BadHandle(h.0))?;
+        if let Some(b) = buf.get_mut(offset) {
+            *b ^= 0xFF;
+        }
+        Ok(())
+    }
+
+    /// Returns a concatenated snapshot of every live buffer — what a
+    /// privileged attacker reading host memory would see. Confidentiality
+    /// tests scan this for plaintext.
+    pub fn dump(&self) -> Vec<u8> {
+        let inner = self.inner.lock();
+        let mut ids: Vec<_> = inner.slots.keys().copied().collect();
+        ids.sort_unstable();
+        let mut out = Vec::new();
+        for id in ids {
+            out.extend_from_slice(&inner.slots[&id]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_access_is_base_cost() {
+        let e = Enclave::new(TeeMode::Native);
+        let costs = CostModel::default();
+        assert_eq!(e.access_cost(&costs, 4096, 1000), 1000);
+    }
+
+    #[test]
+    fn scone_access_applies_mee_multiplier() {
+        let e = Enclave::new(TeeMode::Scone);
+        let costs = CostModel::default();
+        assert_eq!(e.access_cost(&costs, 4096, 1000), 1900);
+        assert_eq!(e.fault_count(), 0);
+    }
+
+    #[test]
+    fn epc_overcommit_adds_paging_cost() {
+        let e = Enclave::with_epc(TeeMode::Scone, 1024);
+        let costs = CostModel::default();
+        e.alloc_trusted(4096); // 4x overcommitted
+        let cost = e.access_cost(&costs, 4096, 1000);
+        assert!(cost > 1900, "paging must add cost, got {cost}");
+        assert_eq!(e.fault_count(), 1);
+    }
+
+    #[test]
+    fn alloc_free_accounting() {
+        let e = Enclave::new(TeeMode::Scone);
+        e.alloc_trusted(100);
+        e.alloc_trusted(50);
+        assert_eq!(e.resident_bytes(), 150);
+        e.free_trusted(100);
+        assert_eq!(e.resident_bytes(), 50);
+        e.free_trusted(1_000_000); // saturates, never wraps
+        assert_eq!(e.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn vault_store_load_free() {
+        let v = HostVault::new();
+        let h = v.store(vec![1, 2, 3]);
+        assert_eq!(v.load(h).unwrap(), vec![1, 2, 3]);
+        assert_eq!(v.resident_bytes(), 3);
+        v.free(h).unwrap();
+        assert_eq!(v.resident_bytes(), 0);
+        assert_eq!(v.load(h), Err(TeeError::BadHandle(h.0)));
+        assert_eq!(v.free(h), Err(TeeError::BadHandle(h.0)));
+    }
+
+    #[test]
+    fn vault_corrupt_flips_bytes() {
+        let v = HostVault::new();
+        let h = v.store(vec![0u8; 4]);
+        v.corrupt(h, 2).unwrap();
+        assert_eq!(v.load(h).unwrap(), vec![0, 0, 0xFF, 0]);
+    }
+
+    #[test]
+    fn vault_dump_sees_all_buffers() {
+        let v = HostVault::new();
+        v.store(b"aaa".to_vec());
+        v.store(b"bbb".to_vec());
+        let dump = v.dump();
+        assert!(dump.windows(3).any(|w| w == b"aaa"));
+        assert!(dump.windows(3).any(|w| w == b"bbb"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Workload generators for the Treaty evaluation (§VIII-A): YCSB and
+//! TPC-C, deterministic per seed.
+//!
+//! Both workloads target the abstract [`KvTxn`] interface so the same
+//! generator drives single-node engine transactions and distributed
+//! client transactions.
+
+pub mod tpcc;
+pub mod ycsb;
+
+pub use tpcc::{TpccConfig, TpccGenerator, TpccTxn};
+pub use ycsb::{Distribution, YcsbConfig, YcsbGenerator, YcsbOp, YcsbOpKind};
+
+/// The transaction interface workloads run against.
+///
+/// Implemented by adapters over `treaty_store::EngineTxn` (single node) and
+/// `treaty_core::DistTxn` (distributed) in the benchmark harness.
+pub trait KvTxn {
+    /// Reads a key.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason; any error aborts the workload transaction.
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, String>;
+
+    /// Writes a key.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason; any error aborts the workload transaction.
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), String>;
+}

@@ -1,0 +1,320 @@
+//! YCSB-style key-value workloads.
+//!
+//! The paper's configurations: 10 operations per transaction, 1000 B
+//! values, uniform distribution over 10 k keys for the single-node runs
+//! (§VIII-D); read-heavy (80 %R) and write-heavy (20 %R) mixes for the
+//! distributed runs (§VIII-C); 50/50 for the 2PC-only run (§VIII-B).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Key-popularity distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Uniform over the key space.
+    Uniform,
+    /// Zipfian with the given theta (YCSB default 0.99).
+    Zipfian {
+        /// Skew parameter in (0, 1).
+        theta: f64,
+    },
+}
+
+/// YCSB workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct YcsbConfig {
+    /// Percentage of reads (rest are updates).
+    pub read_pct: u8,
+    /// Operations per transaction.
+    pub ops_per_txn: usize,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Number of distinct keys.
+    pub keys: u64,
+    /// Key-popularity distribution.
+    pub distribution: Distribution,
+}
+
+impl YcsbConfig {
+    /// §VIII-D base config: 10 ops/txn, 1000 B values, uniform, 10 k keys.
+    pub fn paper_base(read_pct: u8) -> Self {
+        YcsbConfig {
+            read_pct,
+            ops_per_txn: 10,
+            value_size: 1000,
+            keys: 10_000,
+            distribution: Distribution::Uniform,
+        }
+    }
+
+    /// Read-heavy (80 %R).
+    pub fn read_heavy() -> Self {
+        Self::paper_base(80)
+    }
+
+    /// Write-heavy (20 %R).
+    pub fn write_heavy() -> Self {
+        Self::paper_base(20)
+    }
+
+    /// The 2PC-only benchmark's 50/50 mix (§VIII-B).
+    pub fn balanced() -> Self {
+        Self::paper_base(50)
+    }
+}
+
+/// A single operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YcsbOp {
+    /// Target key.
+    pub key: Vec<u8>,
+    /// Read or update.
+    pub kind: YcsbOpKind,
+}
+
+/// Operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YcsbOpKind {
+    /// Point read.
+    Read,
+    /// Full-value update.
+    Update,
+}
+
+/// Standard YCSB zipfian generator (Gray et al.), deterministic.
+#[derive(Debug, Clone)]
+struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    fn new(n: u64, theta: f64) -> Self {
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        Zipf {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact for small n; sampled approximation above that keeps
+        // generator construction O(1)-ish for huge key spaces.
+        if n <= 10_000_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let exact: f64 = (1..=10_000_000u64)
+                .map(|i| 1.0 / (i as f64).powf(theta))
+                .sum();
+            exact + (n as f64 / 1e7).ln() * (1e7_f64).powf(-theta) * 1e7 / (1.0 - theta)
+        }
+    }
+
+    fn sample(&self, rng: &mut ChaCha8Rng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5_f64.powf(self.theta) {
+            return 1;
+        }
+        ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64 % self.n
+    }
+}
+
+/// Deterministic YCSB transaction stream.
+#[derive(Debug, Clone)]
+pub struct YcsbGenerator {
+    cfg: YcsbConfig,
+    rng: ChaCha8Rng,
+    zipf: Option<Zipf>,
+}
+
+impl YcsbGenerator {
+    /// Creates a generator; distinct seeds give independent client streams.
+    pub fn new(cfg: YcsbConfig, seed: u64) -> Self {
+        let zipf = match cfg.distribution {
+            Distribution::Uniform => None,
+            Distribution::Zipfian { theta } => Some(Zipf::new(cfg.keys, theta)),
+        };
+        YcsbGenerator { cfg, rng: ChaCha8Rng::seed_from_u64(seed), zipf }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &YcsbConfig {
+        &self.cfg
+    }
+
+    fn next_key(&mut self) -> Vec<u8> {
+        let idx = match &self.zipf {
+            None => self.rng.gen_range(0..self.cfg.keys),
+            Some(z) => z.sample(&mut self.rng),
+        };
+        format!("user{idx:010}").into_bytes()
+    }
+
+    /// The operations of the next transaction.
+    pub fn next_txn(&mut self) -> Vec<YcsbOp> {
+        (0..self.cfg.ops_per_txn)
+            .map(|_| {
+                let kind = if self.rng.gen_range(0..100u8) < self.cfg.read_pct {
+                    YcsbOpKind::Read
+                } else {
+                    YcsbOpKind::Update
+                };
+                YcsbOp { key: self.next_key(), kind }
+            })
+            .collect()
+    }
+
+    /// A fresh value of the configured size (compressible filler, like
+    /// YCSB's field data).
+    pub fn next_value(&mut self) -> Vec<u8> {
+        let tag: u64 = self.rng.gen();
+        let mut v = vec![b'x'; self.cfg.value_size];
+        let tag_bytes = tag.to_le_bytes();
+        let n = tag_bytes.len().min(v.len());
+        v[..n].copy_from_slice(&tag_bytes[..n]);
+        v
+    }
+
+    /// Runs one generated transaction against `txn`. Returns `Err` with the
+    /// failing operation's reason (the caller counts it as an abort).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing operation.
+    pub fn run_txn(&mut self, txn: &mut impl crate::KvTxn) -> Result<(), String> {
+        let ops = self.next_txn();
+        for op in ops {
+            match op.kind {
+                YcsbOpKind::Read => {
+                    txn.get(&op.key)?;
+                }
+                YcsbOpKind::Update => {
+                    let v = self.next_value();
+                    txn.put(&op.key, &v)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All keys of the key space (for pre-loading).
+    pub fn all_keys(cfg: &YcsbConfig) -> impl Iterator<Item = Vec<u8>> {
+        let n = cfg.keys;
+        (0..n).map(|i| format!("user{i:010}").into_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = YcsbGenerator::new(YcsbConfig::read_heavy(), 7);
+        let mut b = YcsbGenerator::new(YcsbConfig::read_heavy(), 7);
+        for _ in 0..10 {
+            assert_eq!(a.next_txn(), b.next_txn());
+        }
+        let mut c = YcsbGenerator::new(YcsbConfig::read_heavy(), 8);
+        assert_ne!(a.next_txn(), c.next_txn());
+    }
+
+    #[test]
+    fn read_ratio_approximately_holds() {
+        let mut g = YcsbGenerator::new(YcsbConfig::read_heavy(), 1);
+        let mut reads = 0;
+        let mut total = 0;
+        for _ in 0..500 {
+            for op in g.next_txn() {
+                total += 1;
+                if op.kind == YcsbOpKind::Read {
+                    reads += 1;
+                }
+            }
+        }
+        let pct = reads * 100 / total;
+        assert!((75..=85).contains(&pct), "read pct {pct}");
+    }
+
+    #[test]
+    fn keys_within_space() {
+        let cfg = YcsbConfig { keys: 100, ..YcsbConfig::balanced() };
+        let mut g = YcsbGenerator::new(cfg, 3);
+        for _ in 0..200 {
+            for op in g.next_txn() {
+                let s = String::from_utf8(op.key).unwrap();
+                let idx: u64 = s.strip_prefix("user").unwrap().parse().unwrap();
+                assert!(idx < 100);
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_skews_popularity() {
+        let cfg = YcsbConfig {
+            keys: 1000,
+            distribution: Distribution::Zipfian { theta: 0.99 },
+            ..YcsbConfig::balanced()
+        };
+        let mut g = YcsbGenerator::new(cfg, 5);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..2000 {
+            for op in g.next_txn() {
+                *counts.entry(op.key).or_insert(0u32) += 1;
+            }
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u32 = freqs.iter().take(10).sum();
+        let total: u32 = freqs.iter().sum();
+        assert!(
+            top10 as f64 / total as f64 > 0.3,
+            "zipfian should concentrate mass: top10 {top10}/{total}"
+        );
+    }
+
+    #[test]
+    fn values_have_configured_size() {
+        let mut g = YcsbGenerator::new(YcsbConfig::balanced(), 1);
+        assert_eq!(g.next_value().len(), 1000);
+    }
+
+    #[test]
+    fn all_keys_enumerates_key_space() {
+        let cfg = YcsbConfig { keys: 5, ..YcsbConfig::balanced() };
+        let keys: Vec<_> = YcsbGenerator::all_keys(&cfg).collect();
+        assert_eq!(keys.len(), 5);
+        assert_eq!(keys[0], b"user0000000000".to_vec());
+    }
+
+    #[test]
+    fn run_txn_against_mock() {
+        struct Mock(u32, u32);
+        impl crate::KvTxn for Mock {
+            fn get(&mut self, _: &[u8]) -> Result<Option<Vec<u8>>, String> {
+                self.0 += 1;
+                Ok(None)
+            }
+            fn put(&mut self, _: &[u8], _: &[u8]) -> Result<(), String> {
+                self.1 += 1;
+                Ok(())
+            }
+        }
+        let mut g = YcsbGenerator::new(YcsbConfig::balanced(), 2);
+        let mut m = Mock(0, 0);
+        g.run_txn(&mut m).unwrap();
+        assert_eq!((m.0 + m.1) as usize, 10);
+    }
+}

@@ -1,0 +1,16 @@
+//! Treaty: a secure distributed transactional key-value store.
+//!
+//! Facade crate re-exporting the public API of the reproduction of
+//! *"Treaty: Secure Distributed Transactions"* (DSN 2022). See the README
+//! for an architecture overview and DESIGN.md for the system inventory.
+
+pub use treaty_cas as cas;
+pub use treaty_core as core;
+pub use treaty_counter as counter;
+pub use treaty_crypto as crypto;
+pub use treaty_net as net;
+pub use treaty_sched as sched;
+pub use treaty_sim as sim;
+pub use treaty_store as store;
+pub use treaty_tee as tee;
+pub use treaty_workload as workload;

@@ -1,0 +1,165 @@
+//! Property-based tests over the core data structures and invariants.
+
+use std::collections::{BTreeMap, HashMap};
+
+use proptest::prelude::*;
+use treaty::crypto::{Key, SecureEnvelope, TxMeta, WireCrypto};
+use treaty::sim::{Histogram, SecurityProfile};
+use treaty::store::engine::TreatyStore;
+use treaty::store::env::Env;
+use treaty::store::memtable::{MemTable, SeqNum};
+use treaty::store::skiplist::SkipList;
+use treaty::store::txn::TxBuffer;
+use treaty::store::{EngineTxn as _, TxnMode};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The skip list behaves exactly like an ordered map.
+    #[test]
+    fn skiplist_models_btreemap(ops in prop::collection::vec((any::<u16>(), any::<u32>()), 0..400)) {
+        let mut list = SkipList::new();
+        let mut model = BTreeMap::new();
+        for (k, v) in ops {
+            prop_assert_eq!(list.insert(k, v), model.insert(k, v));
+        }
+        prop_assert_eq!(list.len(), model.len());
+        let got: Vec<_> = list.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<_> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+        // range_from agrees with the model's range.
+        if let Some((&mid, _)) = model.iter().nth(model.len() / 2) {
+            let got: Vec<_> = list.range_from(&mid).map(|(k, _)| *k).collect();
+            let want: Vec<_> = model.range(mid..).map(|(k, _)| *k).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Secure envelopes round-trip any payload in every mode, and reject
+    /// any single-byte corruption in the protected modes.
+    #[test]
+    fn envelope_roundtrip_and_tamper(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        flip in any::<u16>(),
+        mode in prop::sample::select(vec![WireCrypto::AuthOnly, WireCrypto::Full]),
+    ) {
+        let key = Key::from_bytes([7u8; 32]);
+        let env = SecureEnvelope::new(mode);
+        let meta = TxMeta { node_id: 1, tx_id: 2, op_id: 3, kind: treaty::crypto::MsgKind::Data };
+        let wire = env.seal(&key, [9u8; 12], &meta, &payload);
+        let (m, p) = env.open(&key, &wire).unwrap();
+        prop_assert_eq!(m, meta);
+        prop_assert_eq!(&p, &payload);
+
+        let mut corrupted = wire.clone();
+        let idx = (flip as usize) % corrupted.len();
+        corrupted[idx] ^= 0x01;
+        if corrupted != wire {
+            prop_assert!(env.open(&key, &corrupted).is_err(),
+                "corruption at byte {} must be detected", idx);
+        }
+    }
+
+    /// MemTable snapshot reads return the newest version <= snapshot,
+    /// matching a naive model.
+    #[test]
+    fn memtable_versioned_reads_model(
+        writes in prop::collection::vec((0u8..8, any::<u16>()), 1..60),
+        probe_key in 0u8..8,
+        probe_seq_raw in any::<u64>(),
+    ) {
+        let dir = tempfile::tempdir().unwrap();
+        let env = Env::for_testing(SecurityProfile::treaty_full(), dir.path());
+        let mt = MemTable::new(env);
+        let mut model: HashMap<u8, Vec<(SeqNum, u16)>> = HashMap::new();
+        for (seq0, (k, v)) in writes.iter().enumerate() {
+            let seq = (seq0 + 1) as SeqNum;
+            mt.put(&[*k], seq, &v.to_le_bytes());
+            model.entry(*k).or_default().push((seq, *v));
+        }
+        let snapshot = probe_seq_raw % (writes.len() as u64 + 2);
+        let got = mt.get(&[probe_key], snapshot).unwrap();
+        let want = model
+            .get(&probe_key)
+            .and_then(|versions| {
+                versions.iter().filter(|(s, _)| *s <= snapshot).max_by_key(|(s, _)| *s)
+            })
+            .map(|(_, v)| v.to_le_bytes().to_vec());
+        prop_assert_eq!(got.map(|o| o.unwrap()), want);
+    }
+
+    /// TxBuffer read-my-own-writes matches a last-writer-wins map.
+    #[test]
+    fn txbuffer_models_map(ops in prop::collection::vec((0u8..6, prop::option::of(any::<u32>())), 0..60)) {
+        let mut buf = TxBuffer::new();
+        let mut model: HashMap<u8, Option<u32>> = HashMap::new();
+        for (k, v) in &ops {
+            match v {
+                Some(v) => buf.put(&[*k], &v.to_le_bytes()),
+                None => buf.delete(&[*k]),
+            }
+            model.insert(*k, *v);
+        }
+        for k in 0u8..6 {
+            let got = buf.get(&[k]);
+            let want = model.get(&k).map(|v| v.map(|v| v.to_le_bytes().to_vec()));
+            prop_assert_eq!(got, want);
+        }
+        prop_assert_eq!(buf.len(), model.len());
+        // to_ops carries exactly the model's final state.
+        let ops_out = buf.to_ops();
+        prop_assert_eq!(ops_out.len(), model.len());
+        for op in ops_out {
+            let want = model[&op.key[0]].map(|v| v.to_le_bytes().to_vec());
+            prop_assert_eq!(op.value, want);
+        }
+    }
+
+    /// Histogram quantiles are order statistics.
+    #[test]
+    fn histogram_quantiles_are_order_statistics(mut samples in prop::collection::vec(any::<u32>(), 1..200)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s as u64);
+        }
+        samples.sort_unstable();
+        prop_assert_eq!(h.quantile(0.0), samples[0] as u64);
+        prop_assert_eq!(h.quantile(1.0), *samples.last().unwrap() as u64);
+        let p50 = h.quantile(0.5);
+        prop_assert!(samples.iter().filter(|&&s| (s as u64) <= p50).count() * 2 >= samples.len());
+    }
+}
+
+proptest! {
+    // The engine round-trip is slower: fewer cases.
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Whatever sequence of committed puts/deletes runs, a reopened store
+    /// agrees with a HashMap model — across flushes and compactions.
+    #[test]
+    fn engine_matches_model_across_recovery(
+        ops in prop::collection::vec((0u8..12, prop::option::of(prop::collection::vec(any::<u8>(), 1..80))), 1..60),
+    ) {
+        let dir = tempfile::tempdir().unwrap();
+        let env = Env::for_testing(SecurityProfile::treaty_full(), dir.path());
+        let mut model: HashMap<u8, Option<Vec<u8>>> = HashMap::new();
+        {
+            let store = TreatyStore::open(std::sync::Arc::clone(&env)).unwrap();
+            for (k, v) in &ops {
+                let mut tx = store.begin_mode(TxnMode::Pessimistic);
+                match v {
+                    Some(v) => tx.put(&[*k], v).unwrap(),
+                    None => tx.delete(&[*k]).unwrap(),
+                }
+                tx.commit().unwrap();
+                model.insert(*k, v.clone());
+            }
+            store.flush().unwrap();
+        }
+        let store = TreatyStore::open(env).unwrap();
+        for (k, want) in &model {
+            let got = store.get_committed(&[*k]).unwrap();
+            prop_assert_eq!(&got, want, "key {}", k);
+        }
+    }
+}
