@@ -23,10 +23,26 @@ fn bench(c: &mut Criterion) {
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_secs(2));
     for (name, profile, mode) in [
-        ("fig6_pessimistic_rocksdb", SecurityProfile::rocksdb(), TxnMode::Pessimistic),
-        ("fig6_pessimistic_treaty_full", SecurityProfile::treaty_full(), TxnMode::Pessimistic),
-        ("fig7_optimistic_rocksdb", SecurityProfile::rocksdb(), TxnMode::Optimistic),
-        ("fig7_optimistic_treaty_full", SecurityProfile::treaty_full(), TxnMode::Optimistic),
+        (
+            "fig6_pessimistic_rocksdb",
+            SecurityProfile::rocksdb(),
+            TxnMode::Pessimistic,
+        ),
+        (
+            "fig6_pessimistic_treaty_full",
+            SecurityProfile::treaty_full(),
+            TxnMode::Pessimistic,
+        ),
+        (
+            "fig7_optimistic_rocksdb",
+            SecurityProfile::rocksdb(),
+            TxnMode::Optimistic,
+        ),
+        (
+            "fig7_optimistic_treaty_full",
+            SecurityProfile::treaty_full(),
+            TxnMode::Optimistic,
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter_custom(|iters| {

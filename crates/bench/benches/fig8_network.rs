@@ -16,7 +16,11 @@ fn bench(c: &mut Criterion) {
                 let gbps = run_network(system, 1024, 300);
                 // virtual ns per message = bits / (Gb/s) (0 throughput ->
                 // saturate at a large constant so the report stays finite).
-                let ns = if gbps > 0.0 { (1024.0 * 8.0 / gbps) as u64 } else { 1_000_000 };
+                let ns = if gbps > 0.0 {
+                    (1024.0 * 8.0 / gbps) as u64
+                } else {
+                    1_000_000
+                };
                 Duration::from_nanos(ns.saturating_mul(iters))
             })
         });

@@ -16,10 +16,13 @@ use treaty_crypto::KeyHierarchy;
 use treaty_net::Fabric;
 use treaty_sched::block_on;
 use treaty_sim::{runtime, CostModel, SecurityProfile};
-use treaty_store::env::{Env, EngineConfig};
+use treaty_store::env::{EngineConfig, Env};
 use treaty_store::{EngineTxn as _, TreatyStore, TxnMode};
 
-fn run_with(label: &str, make_backend: impl FnOnce(&Arc<Fabric>) -> Arc<dyn CounterBackend> + Send + 'static) {
+fn run_with(
+    label: &str,
+    make_backend: impl FnOnce(&Arc<Fabric>) -> Arc<dyn CounterBackend> + Send + 'static,
+) {
     let label = label.to_string();
     let dir = tempfile::tempdir().unwrap();
     let path = dir.path().to_path_buf();
@@ -27,16 +30,24 @@ fn run_with(label: &str, make_backend: impl FnOnce(&Arc<Fabric>) -> Arc<dyn Coun
         let fabric = Fabric::new(CostModel::default(), 3);
         let backend = make_backend(&fabric);
         let profile = SecurityProfile::treaty_full();
+        let config = EngineConfig::default();
+        let enclave = Arc::new(treaty_tee::Enclave::new(profile.tee));
+        let block_cache = treaty_store::BlockCache::new_shared(
+            Arc::clone(&enclave),
+            config.block_cache_bytes as u64,
+        );
         let env = Arc::new(Env {
             profile,
             costs: CostModel::default(),
-            enclave: Arc::new(treaty_tee::Enclave::new(profile.tee)),
+            enclave,
             vault: treaty_tee::HostVault::new(),
             cores: None,
             keys: KeyHierarchy::for_testing(),
             backend,
             dir: path,
-            config: EngineConfig::default(),
+            config,
+            block_cache,
+            read_stats: treaty_store::ReadAccelStats::default(),
         });
         let store = TreatyStore::open(env).unwrap();
         let txns = 50u32;
@@ -62,9 +73,21 @@ fn main() {
             // Replicas persist to the bench tempdir's parent-independent dirs.
             let d = std::env::temp_dir().join(format!("rote-ablate-{i}-{}", std::process::id()));
             std::fs::create_dir_all(&d).unwrap();
-            std::mem::forget(RoteReplica::start(fabric, 1000 + i, keys.counter, keys.sealing, &d));
+            std::mem::forget(RoteReplica::start(
+                fabric,
+                1000 + i,
+                keys.counter,
+                keys.sealing,
+                &d,
+            ));
         }
-        RoteGroup::connect(fabric, 1100, keys.counter, vec![1000, 1001, 1002], 2 * treaty_sim::MILLIS)
+        RoteGroup::connect(
+            fabric,
+            1100,
+            keys.counter,
+            vec![1000, 1001, 1002],
+            2 * treaty_sim::MILLIS,
+        )
     });
     run_with("SGX hardware counter (rejected)", |_| {
         HwCounterBackend::new(CostModel::default())

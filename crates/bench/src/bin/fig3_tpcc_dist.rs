@@ -28,12 +28,21 @@ fn main() {
     let tpcc = if warehouses >= 100 {
         TpccConfig::paper_100w()
     } else {
-        TpccConfig { warehouses, ..TpccConfig::paper_10w() }
+        TpccConfig {
+            warehouses,
+            ..TpccConfig::paper_10w()
+        }
     };
-    println!("Fig. 3 — distributed TPC-C, {warehouses} warehouses, {clients} clients x {txns} txns");
+    println!(
+        "Fig. 3 — distributed TPC-C, {warehouses} warehouses, {clients} clients x {txns} txns"
+    );
     let mut baseline = None;
     for profile in SecurityProfile::distributed_lineup() {
-        let clients = if profile.stabilization { clients * 3 / 2 } else { clients };
+        let clients = if profile.stabilization {
+            clients * 3 / 2
+        } else {
+            clients
+        };
         let mut cfg = RunConfig::distributed_tpcc(profile, tpcc, clients);
         cfg.txns_per_client = txns;
         let mut stats = run_experiment(cfg);

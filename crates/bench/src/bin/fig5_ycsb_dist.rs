@@ -27,7 +27,11 @@ fn main() {
         println!("\nFig. 5 — distributed YCSB {wl_label}, {clients} clients x {txns} txns");
         let mut baseline = None;
         for profile in SecurityProfile::distributed_lineup() {
-            let clients = if profile.stabilization { clients * 3 / 2 } else { clients };
+            let clients = if profile.stabilization {
+                clients * 3 / 2
+            } else {
+                clients
+            };
             let mut cfg = RunConfig::distributed_ycsb(profile, ycsb, clients);
             cfg.txns_per_client = txns;
             let mut stats = run_experiment(cfg);

@@ -4,13 +4,16 @@
 //! Paper result: Native Treaty ~ RocksDB; Treaty w/o Enc ~1.6x,
 //! w/ Enc ~2x, w/ Enc w/ Stab ~2.1x (TPC-C).
 
-use treaty_bench::{print_row, run_experiment, RunConfig, Workload};
+use treaty_bench::{print_accel, print_row, run_experiment_detailed, RunConfig, Workload};
 use treaty_sim::SecurityProfile;
 use treaty_store::TxnMode;
 use treaty_workload::{TpccConfig, YcsbConfig};
 
 fn main() {
-    run(TxnMode::Pessimistic, "Fig. 6 — single-node pessimistic txns");
+    run(
+        TxnMode::Pessimistic,
+        "Fig. 6 — single-node pessimistic txns",
+    );
     println!("\npaper: w/o Enc ~1.6x, w/ Enc ~2x, w/ Stab ~2.1x (TPC-C)");
 }
 
@@ -25,16 +28,36 @@ pub fn run(mode: TxnMode, title: &str) {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(12);
+    // Ablation knob: `--no-block-cache` disables the trusted block cache
+    // so the read path always pays decrypt + verify per block.
+    let block_cache = !std::env::args().any(|a| a == "--no-block-cache");
 
     let workloads: Vec<(String, Workload, usize)> = vec![
         // TPC-C 10W is conflict-bound: the paper saturates it at ~10
         // clients (16 with stabilization).
-        ("TPC-C (10 warehouses)".into(), Workload::Tpcc(TpccConfig::paper_10w()), base_clients.min(12)),
-        ("YCSB write-heavy (20% R)".into(), Workload::Ycsb(YcsbConfig::write_heavy()), base_clients),
-        ("YCSB read-heavy (80% R)".into(), Workload::Ycsb(YcsbConfig::read_heavy()), base_clients),
+        (
+            "TPC-C (10 warehouses)".into(),
+            Workload::Tpcc(TpccConfig::paper_10w()),
+            base_clients.min(12),
+        ),
+        (
+            "YCSB write-heavy (20% R)".into(),
+            Workload::Ycsb(YcsbConfig::write_heavy()),
+            base_clients,
+        ),
+        (
+            "YCSB read-heavy (80% R)".into(),
+            Workload::Ycsb(YcsbConfig::read_heavy()),
+            base_clients,
+        ),
     ];
     for (wl_label, workload, clients) in workloads {
-        println!("\n{title} — {wl_label}, {clients} clients x {txns} txns");
+        let cache_note = if block_cache {
+            ""
+        } else {
+            " [block cache OFF]"
+        };
+        println!("\n{title} — {wl_label}, {clients} clients x {txns} txns{cache_note}");
         let mut baseline = None;
         for profile in SecurityProfile::single_node_lineup() {
             // Like the paper, each variant is measured at its own
@@ -49,8 +72,10 @@ pub fn run(mode: TxnMode, title: &str) {
             };
             let mut cfg = RunConfig::single_node(profile, mode, workload.clone(), clients);
             cfg.txns_per_client = txns;
-            let stats = run_experiment(cfg);
+            cfg.block_cache = block_cache;
+            let (stats, accel) = run_experiment_detailed(cfg);
             print_row(&stats, baseline);
+            print_accel(&accel);
             if baseline.is_none() {
                 baseline = Some(stats.tps());
             }

@@ -13,9 +13,7 @@ use parking_lot::Mutex;
 use treaty_core::{Cluster, ClusterOptions, DistTxn};
 use treaty_sched::block_on;
 use treaty_sim::runtime::{self, join, spawn};
-use treaty_sim::{
-    BenchStats, CostModel, Histogram, Nanos, SecurityProfile, TeeMode, Transport,
-};
+use treaty_sim::{BenchStats, CostModel, Histogram, Nanos, SecurityProfile, TeeMode, Transport};
 use treaty_store::{EngineConfig, TxnMode};
 use treaty_workload::{KvTxn, TpccConfig, TpccGenerator, YcsbConfig, YcsbGenerator};
 
@@ -61,6 +59,9 @@ pub struct RunConfig {
     pub seed: u64,
     /// `false` = storage-less 2PC (§VIII-B).
     pub durable: bool,
+    /// Trusted block cache on/off (the read-acceleration ablation knob;
+    /// `false` runs with `block_cache_bytes = 0`).
+    pub block_cache: bool,
 }
 
 impl RunConfig {
@@ -75,6 +76,7 @@ impl RunConfig {
             workload: Workload::Ycsb(ycsb),
             seed: 42,
             durable: true,
+            block_cache: true,
         }
     }
 
@@ -102,6 +104,7 @@ impl RunConfig {
             workload,
             seed: 42,
             durable: true,
+            block_cache: true,
         }
     }
 
@@ -124,7 +127,10 @@ fn preload(cluster: &Cluster, rows: Vec<(Vec<u8>, Vec<u8>)>) {
     let mut per_node: Vec<Vec<(Vec<u8>, Vec<u8>)>> = vec![Vec::new(); endpoints.len()];
     for (k, v) in rows {
         let owner = map.owner(&k);
-        let idx = endpoints.iter().position(|e| *e == owner).expect("owner exists");
+        let idx = endpoints
+            .iter()
+            .position(|e| *e == owner)
+            .expect("owner exists");
         per_node[idx].push((k, v));
     }
     for (idx, rows) in per_node.into_iter().enumerate() {
@@ -142,14 +148,50 @@ fn preload(cluster: &Cluster, rows: Vec<(Vec<u8>, Vec<u8>)>) {
     }
 }
 
+/// Read-acceleration counters aggregated across the cluster's stores.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccelReport {
+    /// Point-read block fetches served from the trusted block cache.
+    pub block_cache_hits: u64,
+    /// Point-read block fetches that went to storage.
+    pub block_cache_misses: u64,
+    /// Lookups short-circuited by per-table Bloom filters.
+    pub bloom_negatives: u64,
+    /// Lookups the filters let through although the key was absent.
+    pub bloom_false_positives: u64,
+}
+
+impl AccelReport {
+    /// Block-cache hit rate over all point-read block fetches.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.block_cache_hits + self.block_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.block_cache_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Runs one closed-loop experiment and returns its stats.
 ///
 /// # Panics
 ///
 /// Panics if the cluster fails to boot or the simulation errors.
 pub fn run_experiment(cfg: RunConfig) -> BenchStats {
+    run_experiment_detailed(cfg).0
+}
+
+/// Like [`run_experiment`], additionally returning the read-acceleration
+/// counters (block-cache hit rate, Bloom-filter effectiveness) summed over
+/// the cluster's stores.
+///
+/// # Panics
+///
+/// Panics if the cluster fails to boot or the simulation errors.
+pub fn run_experiment_detailed(cfg: RunConfig) -> (BenchStats, AccelReport) {
     let label = cfg.profile.label().to_string();
-    let out: Arc<Mutex<Option<BenchStats>>> = Arc::new(Mutex::new(None));
+    let out: Arc<Mutex<Option<(BenchStats, AccelReport)>>> = Arc::new(Mutex::new(None));
     let out2 = Arc::clone(&out);
     let dir = tempfile::tempdir().expect("bench tempdir");
     let path = dir.path().to_path_buf();
@@ -161,6 +203,9 @@ pub fn run_experiment(cfg: RunConfig) -> BenchStats {
         options.durable = cfg.durable;
         options.seed = cfg.seed;
         options.engine_config = EngineConfig::default();
+        if !cfg.block_cache {
+            options.engine_config.block_cache_bytes = 0;
+        }
         let cluster = Arc::new(Cluster::start(options).expect("cluster boots"));
 
         // Load phase (unmeasured).
@@ -199,15 +244,11 @@ pub fn run_experiment(cfg: RunConfig) -> BenchStats {
                 let client = cluster.client();
                 let coordinator = 1 + (c % cfg.nodes) as u32;
                 let mut ycsb = match &cfg.workload {
-                    Workload::Ycsb(y) => {
-                        Some(YcsbGenerator::new(*y, cfg.seed ^ (c as u64 + 1)))
-                    }
+                    Workload::Ycsb(y) => Some(YcsbGenerator::new(*y, cfg.seed ^ (c as u64 + 1))),
                     Workload::Tpcc(_) => None,
                 };
                 let mut tpcc = match &cfg.workload {
-                    Workload::Tpcc(t) => {
-                        Some(TpccGenerator::new(*t, cfg.seed ^ (c as u64 + 1)))
-                    }
+                    Workload::Tpcc(t) => Some(TpccGenerator::new(*t, cfg.seed ^ (c as u64 + 1))),
                     Workload::Ycsb(_) => None,
                 };
                 for _ in 0..cfg.txns_per_client {
@@ -244,7 +285,17 @@ pub fn run_experiment(cfg: RunConfig) -> BenchStats {
             duration.max(1),
             &mut hist.lock(),
         );
-        *out2.lock() = Some(stats);
+        let mut accel = AccelReport::default();
+        for idx in 0..cfg.nodes {
+            if let Some(store) = cluster.store(idx) {
+                let es = store.stats();
+                accel.block_cache_hits += es.block_cache_hits;
+                accel.block_cache_misses += es.block_cache_misses;
+                accel.bloom_negatives += es.bloom_negatives;
+                accel.bloom_false_positives += es.bloom_false_positives;
+            }
+        }
+        *out2.lock() = Some((stats, accel));
     });
 
     let result = out.lock().take().expect("experiment produced stats");
@@ -299,9 +350,7 @@ impl NetSystem {
             NetSystem::IperfUdp(t) => (Transport::KernelUdp, *t, WireCrypto::Plain),
             NetSystem::IperfTcp(t) => (Transport::KernelTcp, *t, WireCrypto::Plain),
             NetSystem::Erpc(t) => (Transport::Dpdk, *t, WireCrypto::Plain),
-            NetSystem::TreatyNetworking => {
-                (Transport::Dpdk, TeeMode::Scone, WireCrypto::Full)
-            }
+            NetSystem::TreatyNetworking => (Transport::Dpdk, TeeMode::Scone, WireCrypto::Full),
         }
     }
 }
@@ -318,7 +367,11 @@ pub fn run_network(system: NetSystem, msg_bytes: usize, messages: u64) -> f64 {
     block_on(move || {
         let fabric = Fabric::new(CostModel::default(), 7);
         let key = KeyHierarchy::for_testing().network;
-        let net_cfg = EndpointConfig { transport, tee, link_gbps: 40 };
+        let net_cfg = EndpointConfig {
+            transport,
+            tee,
+            link_gbps: 40,
+        };
 
         let received_bytes = Arc::new(AtomicU64::new(0));
         let received_msgs = Arc::new(AtomicU64::new(0));
@@ -367,7 +420,12 @@ pub fn run_network(system: NetSystem, msg_bytes: usize, messages: u64) -> f64 {
         let t0 = runtime::now();
         let payload = vec![0xA5u8; msg_bytes];
         for i in 0..messages {
-            let meta = TxMeta { node_id: 2, tx_id: 1, op_id: i, kind: MsgKind::Data };
+            let meta = TxMeta {
+                node_id: 2,
+                tx_id: 1,
+                op_id: i,
+                kind: MsgKind::Data,
+            };
             client.send_oneway(1, 0x55, &meta, &payload);
         }
         // Drain: wait until deliveries go quiet.
@@ -444,6 +502,18 @@ pub fn slowdown(baseline_tps: f64, tps: f64) -> f64 {
     } else {
         baseline_tps / tps
     }
+}
+
+/// Prints the read-acceleration line shown under a stats row.
+pub fn print_accel(a: &AccelReport) {
+    println!(
+        "      block cache {:>7} hits / {:>7} misses ({:>5.1}% hit rate)   bloom {:>7} filtered, {:>5} false positives",
+        a.block_cache_hits,
+        a.block_cache_misses,
+        a.hit_rate() * 100.0,
+        a.bloom_negatives,
+        a.bloom_false_positives,
+    );
 }
 
 /// Prints one stats row.

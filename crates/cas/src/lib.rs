@@ -84,7 +84,10 @@ pub struct Ias {
 impl Ias {
     /// Creates the IAS for a given hardware root.
     pub fn new(hw: HardwareRoot) -> Arc<Self> {
-        Arc::new(Ias { hw, calls: AtomicU64::new(0) })
+        Arc::new(Ias {
+            hw,
+            calls: AtomicU64::new(0),
+        })
     }
 
     /// Verifies a quote (one slow WAN round in production).
@@ -126,7 +129,11 @@ pub fn node_measurement() -> Measurement {
 
 impl Las {
     fn new(machine: impl Into<String>, hw: HardwareRoot) -> Self {
-        Las { machine: machine.into(), hw, measurement: las_measurement() }
+        Las {
+            machine: machine.into(),
+            hw,
+            measurement: las_measurement(),
+        }
     }
 
     /// The machine this LAS serves.
@@ -141,7 +148,8 @@ impl Las {
     }
 
     fn self_quote(&self) -> Quote {
-        self.hw.issue_quote(self.measurement, self.machine.as_bytes().to_vec())
+        self.hw
+            .issue_quote(self.measurement, self.machine.as_bytes().to_vec())
     }
 }
 
@@ -161,7 +169,9 @@ pub struct Cas {
 
 impl std::fmt::Debug for Cas {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Cas").field("config", &self.config).finish_non_exhaustive()
+        f.debug_struct("Cas")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
     }
 }
 
@@ -187,7 +197,10 @@ impl Cas {
             hw,
             master,
             config,
-            state: Mutex::new(CasState { nodes: HashMap::new(), clients: HashMap::new() }),
+            state: Mutex::new(CasState {
+                nodes: HashMap::new(),
+                clients: HashMap::new(),
+            }),
         }))
     }
 
@@ -210,11 +223,7 @@ impl Cas {
     ///
     /// Returns [`CasError::Attestation`] if the quote is invalid or attests
     /// the wrong code.
-    pub fn register_node(
-        &self,
-        endpoint: u32,
-        quote: &Quote,
-    ) -> Result<NodeCredentials, CasError> {
+    pub fn register_node(&self, endpoint: u32, quote: &Quote) -> Result<NodeCredentials, CasError> {
         self.hw
             .verify_quote(quote, &node_measurement())
             .map_err(|e| CasError::Attestation(e.to_string()))?;
@@ -305,7 +314,10 @@ mod tests {
         let (_ias, cas, lases) = bootstrap_cluster(Key::from_bytes([1; 32]), config(), &["m1"]);
         let evil = Measurement::of_code("treaty-node-v1-with-backdoor");
         let quote = lases[0].quote_instance(&evil, vec![]);
-        assert!(matches!(cas.register_node(1, &quote), Err(CasError::Attestation(_))));
+        assert!(matches!(
+            cas.register_node(1, &quote),
+            Err(CasError::Attestation(_))
+        ));
         assert_eq!(cas.registered_nodes(), 0);
     }
 
@@ -315,7 +327,10 @@ mod tests {
         // A quote signed by a different (attacker-controlled) root.
         let rogue = HardwareRoot::new(Key::from_bytes([99; 32]));
         let quote = rogue.issue_quote(node_measurement(), vec![]);
-        assert!(matches!(cas.register_node(1, &quote), Err(CasError::Attestation(_))));
+        assert!(matches!(
+            cas.register_node(1, &quote),
+            Err(CasError::Attestation(_))
+        ));
     }
 
     #[test]
@@ -329,7 +344,11 @@ mod tests {
                 lases[0].quote_instance(&node_measurement(), format!("r{restart}").into_bytes());
             cas.register_node(1, &quote).unwrap();
         }
-        assert_eq!(ias.call_count(), after_bootstrap, "recovery must not call IAS");
+        assert_eq!(
+            ias.call_count(),
+            after_bootstrap,
+            "recovery must not call IAS"
+        );
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub struct TreatyClient {
 
 impl std::fmt::Debug for TreatyClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TreatyClient").field("client_id", &self.client_id).finish_non_exhaustive()
+        f.debug_struct("TreatyClient")
+            .field("client_id", &self.client_id)
+            .finish_non_exhaustive()
     }
 }
 
@@ -61,7 +63,11 @@ impl TreatyClient {
             },
         );
         rpc.start();
-        TreatyClient { rpc, client_id, next_seq: AtomicU32::new(1) }
+        TreatyClient {
+            rpc,
+            client_id,
+            next_seq: AtomicU32::new(1),
+        }
     }
 
     /// The client's id / endpoint.
@@ -104,20 +110,30 @@ pub struct DistTxn<'a> {
 
 impl std::fmt::Debug for DistTxn<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DistTxn").field("gtx", &self.gtx()).finish_non_exhaustive()
+        f.debug_struct("DistTxn")
+            .field("gtx", &self.gtx())
+            .finish_non_exhaustive()
     }
 }
 
 impl<'a> DistTxn<'a> {
     /// The transaction's global id.
     pub fn gtx(&self) -> GlobalTxId {
-        GlobalTxId { node: self.coordinator as u64, seq: self.seq }
+        GlobalTxId {
+            node: self.coordinator as u64,
+            seq: self.seq,
+        }
     }
 
     fn meta(&mut self, kind: MsgKind) -> TxMeta {
         let op_id = self.op_seq;
         self.op_seq += 1;
-        TxMeta { node_id: self.client.client_id as u64, tx_id: self.seq, op_id, kind }
+        TxMeta {
+            node_id: self.client.client_id as u64,
+            tx_id: self.seq,
+            op_id,
+            kind,
+        }
     }
 
     /// Tells the coordinator to drop the transaction after a client-side
@@ -184,7 +200,10 @@ impl<'a> DistTxn<'a> {
     ///
     /// See [`DistTxn::get`].
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
-        self.run_op(Op::Put { key: key.to_vec(), value: value.to_vec() })?;
+        self.run_op(Op::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        })?;
         Ok(())
     }
 
@@ -225,9 +244,7 @@ impl<'a> DistTxn<'a> {
         };
         match decode::<CommitResult>(&bytes) {
             Some(CommitResult::Committed) => Ok(()),
-            Some(CommitResult::Aborted { reason }) => {
-                Err(TreatyError::Aborted(self.gtx(), reason))
-            }
+            Some(CommitResult::Aborted { reason }) => Err(TreatyError::Aborted(self.gtx(), reason)),
             None => Err(TreatyError::Rejected("malformed commit reply".into())),
         }
     }

@@ -80,13 +80,19 @@ impl Clog {
                     ClogRecord::Start { gtx, participants } => {
                         state
                             .entry(gtx)
-                            .or_insert(TxProtocolState { participants: vec![], decision: None })
+                            .or_insert(TxProtocolState {
+                                participants: vec![],
+                                decision: None,
+                            })
                             .participants = participants;
                     }
                     ClogRecord::Decision { gtx, commit } => {
                         state
                             .entry(gtx)
-                            .or_insert(TxProtocolState { participants: vec![], decision: None })
+                            .or_insert(TxProtocolState {
+                                participants: vec![],
+                                decision: None,
+                            })
                             .decision = Some(commit);
                     }
                 }
@@ -105,7 +111,11 @@ impl Clog {
             &path,
             recovered_counter,
         )?);
-        Ok(Clog { writer, state: Mutex::new(state), env })
+        Ok(Clog {
+            writer,
+            state: Mutex::new(state),
+            env,
+        })
     }
 
     /// Logs the start of 2PC for `gtx`. Returns the record's counter.
@@ -114,11 +124,18 @@ impl Clog {
     ///
     /// Propagates log I/O failures.
     pub fn log_start(&self, gtx: GlobalTxId, participants: Vec<u32>) -> Result<u64> {
-        let rec = ClogRecord::Start { gtx, participants: participants.clone() };
+        let rec = ClogRecord::Start {
+            gtx,
+            participants: participants.clone(),
+        };
         let counter = self.writer.append(&serde_json::to_vec(&rec).unwrap())?;
-        self.state
-            .lock()
-            .insert(gtx, TxProtocolState { participants, decision: None });
+        self.state.lock().insert(
+            gtx,
+            TxProtocolState {
+                participants,
+                decision: None,
+            },
+        );
         Ok(counter)
     }
 
@@ -197,10 +214,7 @@ mod tests {
         // Recover.
         let clog = Clog::open(env(dir.path())).unwrap();
         assert_eq!(clog.decision(gtx), Some(true));
-        assert_eq!(
-            clog.protocol_state(gtx).unwrap().participants,
-            vec![1, 2]
-        );
+        assert_eq!(clog.protocol_state(gtx).unwrap().participants, vec![1, 2]);
     }
 
     #[test]
@@ -223,7 +237,8 @@ mod tests {
         let e = env(dir.path());
         {
             let clog = Clog::open(Arc::clone(&e)).unwrap();
-            clog.log_start(GlobalTxId { node: 1, seq: 1 }, vec![1]).unwrap();
+            clog.log_start(GlobalTxId { node: 1, seq: 1 }, vec![1])
+                .unwrap();
         }
         let path = dir.path().join(CLOG_FILE);
         let mut raw = std::fs::read(&path).unwrap();

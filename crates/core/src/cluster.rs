@@ -102,7 +102,9 @@ pub struct Cluster {
 
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Cluster").field("nodes", &self.slots.len()).finish_non_exhaustive()
+        f.debug_struct("Cluster")
+            .field("nodes", &self.slots.len())
+            .finish_non_exhaustive()
     }
 }
 
@@ -121,8 +123,7 @@ impl Cluster {
     /// here) or the base directory is unusable.
     pub fn start(options: ClusterOptions) -> Result<Self> {
         let fabric = Fabric::new(options.costs.clone(), options.seed);
-        let node_endpoints: Vec<u32> =
-            (0..options.nodes).map(|i| NODE_BASE + i as u32).collect();
+        let node_endpoints: Vec<u32> = (0..options.nodes).map(|i| NODE_BASE + i as u32).collect();
         let counter_endpoints: Vec<u32> = (0..options.counter_replicas)
             .map(|i| COUNTER_BASE + i as u32)
             .collect();
@@ -134,23 +135,21 @@ impl Cluster {
             counter_replicas: counter_endpoints.clone(),
             shard_seed: options.seed,
         };
-        let machines: Vec<String> =
-            (0..options.nodes).map(|i| format!("machine-{i}")).collect();
+        let machines: Vec<String> = (0..options.nodes).map(|i| format!("machine-{i}")).collect();
         let machine_refs: Vec<&str> = machines.iter().map(|s| s.as_str()).collect();
         let (_ias, cas, lases) = bootstrap_cluster(master, config, &machine_refs);
 
         // Counter protection group (only consulted under stabilization,
         // but always present — like the paper's deployment).
         let keys = {
-            let quote = lases[0]
-                .quote_instance(&treaty_cas::node_measurement(), b"bootstrap".to_vec());
+            let quote =
+                lases[0].quote_instance(&treaty_cas::node_measurement(), b"bootstrap".to_vec());
             cas.register_node(node_endpoints[0], &quote)
                 .expect("bootstrap attestation")
                 .keys
         };
         let replicas: Vec<Arc<RoteReplica>> = if options.durable {
-            std::fs::create_dir_all(&options.base_dir)
-                .expect("cluster base dir");
+            std::fs::create_dir_all(&options.base_dir).expect("cluster base dir");
             counter_endpoints
                 .iter()
                 .map(|&e| {
@@ -175,7 +174,12 @@ impl Cluster {
 
         for i in 0..cluster.options.nodes {
             let cores = Arc::new(CorePool::new(cluster.options.cores_per_node));
-            cluster.slots.push(NodeSlot { node: None, store: None, env: None, cores });
+            cluster.slots.push(NodeSlot {
+                node: None,
+                store: None,
+                env: None,
+                cores,
+            });
             cluster.boot_node(i)?;
         }
         Ok(cluster)
@@ -196,16 +200,23 @@ impl Cluster {
         } else {
             NullBackend::new()
         };
+        let enclave = Arc::new(treaty_tee::Enclave::new(options.profile.tee));
+        let block_cache = treaty_store::BlockCache::new_shared(
+            Arc::clone(&enclave),
+            options.engine_config.block_cache_bytes as u64,
+        );
         Arc::new(Env {
             profile: options.profile,
             costs: options.costs.clone(),
-            enclave: Arc::new(treaty_tee::Enclave::new(options.profile.tee)),
+            enclave,
             vault: treaty_tee::HostVault::new(),
             cores: Some(Arc::clone(&self.slots[idx].cores)),
             keys: self.keys,
             backend,
             dir: options.base_dir.join(format!("node-{idx}")),
             config: options.engine_config.clone(),
+            block_cache,
+            read_stats: treaty_store::ReadAccelStats::default(),
         })
     }
 
@@ -232,8 +243,7 @@ impl Cluster {
                     env
                 }
             };
-            let store =
-                TreatyStore::open(Arc::clone(&env)).map_err(TreatyError::from)?;
+            let store = TreatyStore::open(Arc::clone(&env)).map_err(TreatyError::from)?;
             self.slots[idx].store = Some(store.clone());
             (Arc::new(store), Some(env))
         } else {
@@ -276,7 +286,9 @@ impl Cluster {
 
     /// Node endpoints in shard order.
     pub fn node_endpoints(&self) -> Vec<EndpointId> {
-        (0..self.slots.len()).map(|i| NODE_BASE + i as u32).collect()
+        (0..self.slots.len())
+            .map(|i| NODE_BASE + i as u32)
+            .collect()
     }
 
     /// A running node.

@@ -68,7 +68,10 @@ pub fn check_list_append(
     for t in txns {
         for key in &t.appends {
             if !position.contains_key(&(key.as_slice(), t.id)) {
-                return Err(HistoryError::LostAppend { txn: t.id, key: key.clone() });
+                return Err(HistoryError::LostAppend {
+                    txn: t.id,
+                    key: key.clone(),
+                });
             }
         }
     }
@@ -97,15 +100,19 @@ pub fn check_list_append(
                     if observed.is_empty() {
                         continue;
                     }
-                    return Err(HistoryError::NonPrefixRead { txn: t.id, key: key.clone() });
+                    return Err(HistoryError::NonPrefixRead {
+                        txn: t.id,
+                        key: key.clone(),
+                    });
                 }
             };
             // A read-modify-write observes the list *before* its own
             // append; compare against the prefix excluding self.
-            if observed.len() > order.len()
-                || observed.as_slice() != &order[..observed.len()]
-            {
-                return Err(HistoryError::NonPrefixRead { txn: t.id, key: key.clone() });
+            if observed.len() > order.len() || observed.as_slice() != &order[..observed.len()] {
+                return Err(HistoryError::NonPrefixRead {
+                    txn: t.id,
+                    key: key.clone(),
+                });
             }
             match observed.last() {
                 Some(last) => {
@@ -187,7 +194,11 @@ mod tests {
     fn serial_history_passes() {
         // t1 appends to x (read []); t2 appends to x (read [t1]).
         let txns = vec![
-            TxnObservation { id: gtx(1), reads: vec![(k("x"), vec![])], appends: vec![k("x")] },
+            TxnObservation {
+                id: gtx(1),
+                reads: vec![(k("x"), vec![])],
+                appends: vec![k("x")],
+            },
             TxnObservation {
                 id: gtx(2),
                 reads: vec![(k("x"), vec![gtx(1)])],
@@ -203,14 +214,25 @@ mod tests {
     fn lost_update_detected() {
         // t2's append never made it into the final list.
         let txns = vec![
-            TxnObservation { id: gtx(1), reads: vec![], appends: vec![k("x")] },
-            TxnObservation { id: gtx(2), reads: vec![], appends: vec![k("x")] },
+            TxnObservation {
+                id: gtx(1),
+                reads: vec![],
+                appends: vec![k("x")],
+            },
+            TxnObservation {
+                id: gtx(2),
+                reads: vec![],
+                appends: vec![k("x")],
+            },
         ];
         let mut finals = HashMap::new();
         finals.insert(k("x"), vec![gtx(1)]);
         assert_eq!(
             check_list_append(&txns, &finals),
-            Err(HistoryError::LostAppend { txn: gtx(2), key: k("x") })
+            Err(HistoryError::LostAppend {
+                txn: gtx(2),
+                key: k("x")
+            })
         );
     }
 
@@ -218,9 +240,21 @@ mod tests {
     fn non_prefix_read_detected() {
         // t2 observed [t3] but the final order is [t1, t3].
         let txns = vec![
-            TxnObservation { id: gtx(1), reads: vec![], appends: vec![k("x")] },
-            TxnObservation { id: gtx(2), reads: vec![(k("x"), vec![gtx(3)])], appends: vec![] },
-            TxnObservation { id: gtx(3), reads: vec![], appends: vec![k("x")] },
+            TxnObservation {
+                id: gtx(1),
+                reads: vec![],
+                appends: vec![k("x")],
+            },
+            TxnObservation {
+                id: gtx(2),
+                reads: vec![(k("x"), vec![gtx(3)])],
+                appends: vec![],
+            },
+            TxnObservation {
+                id: gtx(3),
+                reads: vec![],
+                appends: vec![k("x")],
+            },
         ];
         let mut finals = HashMap::new();
         finals.insert(k("x"), vec![gtx(1), gtx(3)]);
@@ -250,14 +284,25 @@ mod tests {
         let mut finals = HashMap::new();
         finals.insert(k("x"), vec![gtx(1)]);
         finals.insert(k("y"), vec![gtx(2)]);
-        assert!(matches!(check_list_append(&txns, &finals), Err(HistoryError::Cycle(_))));
+        assert!(matches!(
+            check_list_append(&txns, &finals),
+            Err(HistoryError::Cycle(_))
+        ));
     }
 
     #[test]
     fn concurrent_disjoint_txns_pass() {
         let txns = vec![
-            TxnObservation { id: gtx(1), reads: vec![(k("a"), vec![])], appends: vec![k("a")] },
-            TxnObservation { id: gtx(2), reads: vec![(k("b"), vec![])], appends: vec![k("b")] },
+            TxnObservation {
+                id: gtx(1),
+                reads: vec![(k("a"), vec![])],
+                appends: vec![k("a")],
+            },
+            TxnObservation {
+                id: gtx(2),
+                reads: vec![(k("b"), vec![])],
+                appends: vec![k("b")],
+            },
         ];
         let mut finals = HashMap::new();
         finals.insert(k("a"), vec![gtx(1)]);

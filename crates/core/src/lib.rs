@@ -20,8 +20,8 @@
 //! refuses forked or rolled-back state.
 
 pub mod client;
-pub mod cluster;
 pub mod clog;
+pub mod cluster;
 pub mod history;
 pub mod messages;
 pub mod node;

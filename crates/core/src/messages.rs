@@ -152,7 +152,10 @@ mod tests {
     fn op_roundtrip() {
         let ops = vec![
             Op::Get { key: b"k".to_vec() },
-            Op::Put { key: b"k".to_vec(), value: b"v".to_vec() },
+            Op::Put {
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            },
             Op::Delete { key: b"k".to_vec() },
         ];
         for op in ops {

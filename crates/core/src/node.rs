@@ -48,7 +48,9 @@ pub struct NodeOptions {
 
 impl std::fmt::Debug for NodeOptions {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NodeOptions").field("endpoint", &self.endpoint).finish_non_exhaustive()
+        f.debug_struct("NodeOptions")
+            .field("endpoint", &self.endpoint)
+            .finish_non_exhaustive()
     }
 }
 
@@ -61,6 +63,8 @@ pub struct NodeStats {
     pub aborted: u64,
     /// Operations executed as a participant.
     pub participant_ops: u64,
+    /// Decision (phase-2) messages re-sent after a delivery failure.
+    pub decision_retries: u64,
 }
 
 #[derive(Default)]
@@ -68,6 +72,18 @@ struct StatCells {
     committed: AtomicU64,
     aborted: AtomicU64,
     participant_ops: AtomicU64,
+    decision_retries: AtomicU64,
+}
+
+/// Deterministic backoff jitter for decision retries: a splitmix64-style
+/// finalizer over the (transaction, peer, attempt) tuple. Different
+/// coordinators and peers desynchronize their retry trains without
+/// introducing nondeterminism into the simulation.
+fn decision_jitter(gtx: GlobalTxId, peer: EndpointId, attempt: u64) -> u64 {
+    let mut x = gtx.node ^ gtx.seq.rotate_left(17) ^ (u64::from(peer) << 32) ^ attempt;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 struct CoordTxn {
@@ -93,7 +109,9 @@ pub struct TreatyNode {
 
 impl std::fmt::Debug for TreatyNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TreatyNode").field("endpoint", &self.endpoint).finish_non_exhaustive()
+        f.debug_struct("TreatyNode")
+            .field("endpoint", &self.endpoint)
+            .finish_non_exhaustive()
     }
 }
 
@@ -165,6 +183,7 @@ impl TreatyNode {
             committed: self.stats.committed.load(Ordering::Relaxed),
             aborted: self.stats.aborted.load(Ordering::Relaxed),
             participant_ops: self.stats.participant_ops.load(Ordering::Relaxed),
+            decision_retries: self.stats.decision_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -227,7 +246,10 @@ impl TreatyNode {
     fn gtx_for_client(&self, meta: &TxMeta) -> GlobalTxId {
         // The client encodes (client_id << 32 | its own tx counter) in
         // tx_id; prefixing our endpoint makes it cluster-unique.
-        GlobalTxId { node: self.endpoint as u64, seq: meta.tx_id }
+        GlobalTxId {
+            node: self.endpoint as u64,
+            seq: meta.tx_id,
+        }
     }
 
     fn peer_meta(&self, gtx: GlobalTxId, kind: MsgKind) -> TxMeta {
@@ -261,11 +283,10 @@ impl TreatyNode {
         treaty_sim::runtime::set_tag("h:coordinate_op");
         let owner = self.shard_map.owner(op.key());
         // Take the coordinator state out while we (potentially) block.
-        let mut ctx = self
-            .active_coord
-            .lock()
-            .remove(&gtx)
-            .unwrap_or(CoordTxn { remotes: Vec::new(), local: None });
+        let mut ctx = self.active_coord.lock().remove(&gtx).unwrap_or(CoordTxn {
+            remotes: Vec::new(),
+            local: None,
+        });
 
         let result = if owner == self.endpoint {
             let local = ctx
@@ -274,15 +295,21 @@ impl TreatyNode {
             match &op {
                 Op::Get { key } => match local.get(key) {
                     Ok(v) => OpResult::Ok { value: v },
-                    Err(e) => OpResult::Err { reason: e.to_string() },
+                    Err(e) => OpResult::Err {
+                        reason: e.to_string(),
+                    },
                 },
                 Op::Put { key, value } => match local.put(key, value) {
                     Ok(()) => OpResult::Ok { value: None },
-                    Err(e) => OpResult::Err { reason: e.to_string() },
+                    Err(e) => OpResult::Err {
+                        reason: e.to_string(),
+                    },
                 },
                 Op::Delete { key } => match local.delete(key) {
                     Ok(()) => OpResult::Ok { value: None },
-                    Err(e) => OpResult::Err { reason: e.to_string() },
+                    Err(e) => OpResult::Err {
+                        reason: e.to_string(),
+                    },
                 },
             }
         } else {
@@ -294,9 +321,13 @@ impl TreatyNode {
             match self.rpc.call(owner, req::PEER_OP, &meta, &encode(&msg)) {
                 Ok((_, bytes)) => match decode::<PeerReply>(&bytes) {
                     Some(PeerReply::OpDone(r)) => r,
-                    _ => OpResult::Err { reason: "malformed participant reply".into() },
+                    _ => OpResult::Err {
+                        reason: "malformed participant reply".into(),
+                    },
                 },
-                Err(e) => OpResult::Err { reason: format!("participant unreachable: {e}") },
+                Err(e) => OpResult::Err {
+                    reason: format!("participant unreachable: {e}"),
+                },
             }
         };
 
@@ -349,8 +380,13 @@ impl TreatyNode {
         }
         self.stats.aborted.fetch_add(1, Ordering::Relaxed);
         Some((
-            TxMeta { kind: MsgKind::Ack, ..meta },
-            encode(&CommitResult::Aborted { reason: "rolled back by client".into() }),
+            TxMeta {
+                kind: MsgKind::Ack,
+                ..meta
+            },
+            encode(&CommitResult::Aborted {
+                reason: "rolled back by client".into(),
+            }),
         ))
     }
 
@@ -363,7 +399,9 @@ impl TreatyNode {
                 None => CommitResult::Committed,
                 Some(mut local) => match local.commit() {
                     Ok(_) => CommitResult::Committed,
-                    Err(e) => CommitResult::Aborted { reason: e.to_string() },
+                    Err(e) => CommitResult::Aborted {
+                        reason: e.to_string(),
+                    },
                 },
             };
         }
@@ -377,7 +415,9 @@ impl TreatyNode {
         if let Some(clog) = &self.clog {
             if let Err(e) = clog.log_start(gtx, participants) {
                 self.abort_everywhere(gtx, ctx);
-                return CommitResult::Aborted { reason: format!("clog: {e}") };
+                return CommitResult::Aborted {
+                    reason: format!("clog: {e}"),
+                };
             }
         }
 
@@ -388,7 +428,10 @@ impl TreatyNode {
         for &r in &ctx.remotes {
             let meta = self.peer_meta(gtx, MsgKind::TxnPrepare);
             let msg = encode(&PeerMsg::Prepare { gtx });
-            pending.push((r, self.rpc.enqueue_request(r, req::PEER_PREPARE, &meta, &msg)));
+            pending.push((
+                r,
+                self.rpc.enqueue_request(r, req::PEER_PREPARE, &meta, &msg),
+            ));
         }
         self.rpc.tx_burst();
 
@@ -432,7 +475,9 @@ impl TreatyNode {
                 // will learn via QueryDecision / coordinator recovery).
                 self.send_decision(gtx, &ctx.remotes, false);
                 let _ = self.engine.abort_prepared(gtx);
-                return CommitResult::Aborted { reason: format!("decision log: {e}") };
+                return CommitResult::Aborted {
+                    reason: format!("decision log: {e}"),
+                };
             }
         }
 
@@ -454,7 +499,11 @@ impl TreatyNode {
         } else {
             (req::PEER_ABORT, PeerMsg::Abort { gtx })
         };
-        let kind = if commit { MsgKind::TxnCommit } else { MsgKind::TxnAbort };
+        let kind = if commit {
+            MsgKind::TxnCommit
+        } else {
+            MsgKind::TxnAbort
+        };
         let payload = encode(&msg);
         let mut pending: Vec<(EndpointId, PendingReply)> = Vec::new();
         for &r in remotes {
@@ -468,14 +517,35 @@ impl TreatyNode {
                 continue;
             }
             treaty_sim::runtime::set_tag("sd:retry");
-            // Decisions are idempotent: retry a few times so a lossy
-            // network cannot leave a participant holding prepared locks.
-            // A participant that is actually down learns the decision at
+            // Decisions are idempotent: retry so a lossy network cannot
+            // leave a participant holding prepared locks, but back off
+            // exponentially with deterministic jitter instead of an
+            // immediate burst, and cap the total retry window. A
+            // participant that is actually down learns the decision at
             // recovery via QueryDecision.
-            for _ in 0..4 {
+            let deadline = if treaty_sim::runtime::in_fiber() {
+                Some(treaty_sim::runtime::now() + treaty_sim::SECONDS)
+            } else {
+                None
+            };
+            let mut backoff = treaty_sim::MILLIS / 2;
+            for attempt in 0u64..6 {
+                self.stats.decision_retries.fetch_add(1, Ordering::Relaxed);
                 let meta = self.peer_meta(gtx, kind);
                 if self.rpc.call(r, rt, &meta, &payload).is_ok() {
                     break;
+                }
+                match deadline {
+                    Some(d) if treaty_sim::runtime::now() < d => {
+                        let jitter = decision_jitter(gtx, r, attempt) % (backoff / 2 + 1);
+                        treaty_sim::runtime::sleep(backoff + jitter);
+                        backoff = (backoff * 2).min(8 * treaty_sim::MILLIS);
+                    }
+                    // Retry window exhausted.
+                    Some(_) => break,
+                    // Outside the runtime (plain tests): no virtual time to
+                    // sleep in, retry immediately as before.
+                    None => {}
                 }
             }
         }
@@ -506,15 +576,21 @@ impl TreatyNode {
                 let result = match &op {
                     Op::Get { key } => match txn.get(key) {
                         Ok(v) => OpResult::Ok { value: v },
-                        Err(e) => OpResult::Err { reason: e.to_string() },
+                        Err(e) => OpResult::Err {
+                            reason: e.to_string(),
+                        },
                     },
                     Op::Put { key, value } => match txn.put(key, value) {
                         Ok(()) => OpResult::Ok { value: None },
-                        Err(e) => OpResult::Err { reason: e.to_string() },
+                        Err(e) => OpResult::Err {
+                            reason: e.to_string(),
+                        },
                     },
                     Op::Delete { key } => match txn.delete(key) {
                         Ok(()) => OpResult::Ok { value: None },
-                        Err(e) => OpResult::Err { reason: e.to_string() },
+                        Err(e) => OpResult::Err {
+                            reason: e.to_string(),
+                        },
                     },
                 };
                 match &result {
@@ -551,7 +627,13 @@ impl TreatyNode {
                 commit: self.clog.as_ref().and_then(|c| c.decision(gtx)),
             },
         };
-        Some((TxMeta { kind: MsgKind::Ack, ..meta }, encode(&reply)))
+        Some((
+            TxMeta {
+                kind: MsgKind::Ack,
+                ..meta
+            },
+            encode(&reply),
+        ))
     }
 
     // ---- recovery ------------------------------------------------------------
@@ -629,16 +711,18 @@ impl TreatyNode {
             }
             let meta = self.peer_meta(gtx, MsgKind::QueryDecision);
             let msg = encode(&PeerMsg::QueryDecision { gtx });
-            if let Ok((_, bytes)) =
-                self.rpc
-                    .call(gtx.node as u32, req::QUERY_DECISION, &meta, &msg)
+            if let Ok((_, bytes)) = self
+                .rpc
+                .call(gtx.node as u32, req::QUERY_DECISION, &meta, &msg)
             {
                 match decode::<PeerReply>(&bytes) {
                     Some(PeerReply::Decision { commit: Some(true) }) => {
                         let _ = self.engine.commit_prepared(gtx);
                         resolved += 1;
                     }
-                    Some(PeerReply::Decision { commit: Some(false) }) => {
+                    Some(PeerReply::Decision {
+                        commit: Some(false),
+                    }) => {
                         let _ = self.engine.abort_prepared(gtx);
                         resolved += 1;
                     }

@@ -70,7 +70,9 @@ mod tests {
         let m = ShardMap::new(vec![1, 2, 3], 7);
         let mut counts = std::collections::HashMap::new();
         for i in 0..300u32 {
-            *counts.entry(m.owner(format!("key-{i}").as_bytes())).or_insert(0u32) += 1;
+            *counts
+                .entry(m.owner(format!("key-{i}").as_bytes()))
+                .or_insert(0u32) += 1;
         }
         assert_eq!(counts.len(), 3, "all nodes must own keys");
         for (_, c) in counts {

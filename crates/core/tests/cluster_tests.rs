@@ -108,9 +108,8 @@ fn atomicity_under_write_conflicts() {
     let dir = tempfile::tempdir().unwrap();
     let path = dir.path().to_path_buf();
     block_on(move || {
-        let cluster = Arc::new(
-            Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap(),
-        );
+        let cluster =
+            Arc::new(Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap());
         let keys = keys_on_different_nodes(&cluster);
         let (a, b) = (keys[0].clone(), keys[1].clone());
 
@@ -158,8 +157,14 @@ fn atomicity_under_write_conflicts() {
 
         let checker = cluster.client();
         let mut tx = checker.begin(1);
-        let va: i64 = String::from_utf8(tx.get(&a).unwrap().unwrap()).unwrap().parse().unwrap();
-        let vb: i64 = String::from_utf8(tx.get(&b).unwrap().unwrap()).unwrap().parse().unwrap();
+        let va: i64 = String::from_utf8(tx.get(&a).unwrap().unwrap())
+            .unwrap()
+            .parse()
+            .unwrap();
+        let vb: i64 = String::from_utf8(tx.get(&b).unwrap().unwrap())
+            .unwrap()
+            .parse()
+            .unwrap();
         tx.commit().unwrap();
         assert_eq!(va + vb, 200, "conservation violated: {va} + {vb}");
     });
@@ -177,8 +182,7 @@ fn run_list_append(
         let cluster = Arc::new(Cluster::start(options(profile, &path)).unwrap());
         adversary(&cluster);
         let observations = Arc::new(Mutex::new(Vec::new()));
-        let keyspace: Vec<Vec<u8>> =
-            (0..6).map(|i| format!("list-{i}").into_bytes()).collect();
+        let keyspace: Vec<Vec<u8>> = (0..6).map(|i| format!("list-{i}").into_bytes()).collect();
 
         let mut handles = Vec::new();
         for c in 0..clients {
@@ -193,8 +197,11 @@ fn run_list_append(
                     let gtx = tx.gtx();
                     let k1 = &keyspace[(c + t) % keyspace.len()];
                     let k2 = &keyspace[(c + t * 3 + 1) % keyspace.len()];
-                    let mut obs =
-                        TxnObservation { id: gtx, reads: Vec::new(), appends: Vec::new() };
+                    let mut obs = TxnObservation {
+                        id: gtx,
+                        reads: Vec::new(),
+                        appends: Vec::new(),
+                    };
                     let result = (|| -> Result<(), TreatyError> {
                         for k in [k1, k2] {
                             if obs.appends.contains(k) {
@@ -361,8 +368,7 @@ fn participant_crash_after_prepare_commits_after_restart() {
     let dir = tempfile::tempdir().unwrap();
     let path = dir.path().to_path_buf();
     block_on(move || {
-        let mut cluster =
-            Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
+        let mut cluster = Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
         let keys = keys_on_different_nodes(&cluster);
         let client = cluster.client();
 
@@ -406,8 +412,7 @@ fn coordinator_crash_between_phases_resolved_at_recovery() {
     let dir = tempfile::tempdir().unwrap();
     let path = dir.path().to_path_buf();
     block_on(move || {
-        let mut cluster =
-            Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
+        let mut cluster = Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
         let keys = keys_on_different_nodes(&cluster);
         let client = cluster.client();
 
@@ -422,7 +427,10 @@ fn coordinator_crash_between_phases_resolved_at_recovery() {
         // hand through the engine interface, with the Clog Start entry
         // logged but no decision.
         use treaty_store::{EngineTxn as _, GlobalTxId, TxnEngine as _, TxnMode};
-        let gtx = GlobalTxId { node: 1, seq: (9999u64 << 32) | 1 };
+        let gtx = GlobalTxId {
+            node: 1,
+            seq: (9999u64 << 32) | 1,
+        };
         let store1 = cluster.store(1).unwrap().clone();
         let mut part_txn = store1.begin_mode(TxnMode::Pessimistic);
         let key_on_node1 = keys
@@ -447,7 +455,10 @@ fn coordinator_crash_between_phases_resolved_at_recovery() {
 
         // The in-flight transaction got a decision: the participant's
         // prepared state is resolved either way, and its lock is free.
-        assert!(store1.prepared_txns().is_empty(), "prepared txn left dangling");
+        assert!(
+            store1.prepared_txns().is_empty(),
+            "prepared txn left dangling"
+        );
         let client2 = cluster.client();
         let mut tx = client2.begin(2);
         tx.put(&key_on_node1, b"after-recovery").unwrap();
@@ -460,8 +471,7 @@ fn committed_data_survives_full_cluster_restart() {
     let dir = tempfile::tempdir().unwrap();
     let path = dir.path().to_path_buf();
     block_on(move || {
-        let mut cluster =
-            Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
+        let mut cluster = Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
         let keys = keys_on_different_nodes(&cluster);
         {
             let client = cluster.client();

@@ -160,7 +160,11 @@ impl std::fmt::Debug for TrustedCounter {
 
 impl TrustedCounter {
     /// Creates a counter starting after `recovered` (0 for a fresh log).
-    pub fn new(id: impl Into<CounterId>, backend: Arc<dyn CounterBackend>, recovered: u64) -> Arc<Self> {
+    pub fn new(
+        id: impl Into<CounterId>,
+        backend: Arc<dyn CounterBackend>,
+        recovered: u64,
+    ) -> Arc<Self> {
         Arc::new(TrustedCounter {
             id: id.into(),
             backend,

@@ -72,7 +72,9 @@ pub struct RoteReplica {
 
 impl std::fmt::Debug for RoteReplica {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RoteReplica").field("endpoint", &self.endpoint).finish_non_exhaustive()
+        f.debug_struct("RoteReplica")
+            .field("endpoint", &self.endpoint)
+            .finish_non_exhaustive()
     }
 }
 
@@ -140,7 +142,10 @@ impl RoteReplica {
 
     fn handle(&self, meta: TxMeta, payload: Vec<u8>) -> Option<(TxMeta, Vec<u8>)> {
         let msg = decode(&payload)?;
-        let reply_meta = TxMeta { kind: MsgKind::Counter, ..meta };
+        let reply_meta = TxMeta {
+            kind: MsgKind::Counter,
+            ..meta
+        };
         let reply = match msg {
             RoteMsg::Update { id, value } => {
                 let mut st = self.state.lock();
@@ -166,7 +171,10 @@ impl RoteReplica {
                         st.pending.remove(&id);
                         Some(serde_json::to_vec(&*st).expect("state serializes"))
                     } else {
-                        let m = TxMeta { kind: MsgKind::Nack, ..meta };
+                        let m = TxMeta {
+                            kind: MsgKind::Nack,
+                            ..meta
+                        };
                         return Some((m, encode(&RoteMsg::Nack { rollback: false })));
                     }
                 };
@@ -177,7 +185,9 @@ impl RoteReplica {
             }
             RoteMsg::Query { id } => {
                 let st = self.state.lock();
-                RoteMsg::Value { value: *st.stable.get(&id).unwrap_or(&0) }
+                RoteMsg::Value {
+                    value: *st.stable.get(&id).unwrap_or(&0),
+                }
             }
             _ => return None,
         };
@@ -242,7 +252,13 @@ impl RoteGroup {
         cfg.timeout = 10 * treaty_sim::MILLIS;
         let rpc = Rpc::new(fabric, endpoint, cfg);
         rpc.start();
-        Arc::new(RoteGroup { rpc, replicas, quorum, round_floor, seq: AtomicU64::new(1) })
+        Arc::new(RoteGroup {
+            rpc,
+            replicas,
+            quorum,
+            round_floor,
+            seq: AtomicU64::new(1),
+        })
     }
 
     /// Quorum size of the group.
@@ -281,7 +297,10 @@ impl CounterBackend for RoteGroup {
         let t0 = runtime::now();
 
         // Round 1: update + echoes.
-        let echoes = self.broadcast(&RoteMsg::Update { id: id.to_string(), value });
+        let echoes = self.broadcast(&RoteMsg::Update {
+            id: id.to_string(),
+            value,
+        });
         let mut echo_count = 0;
         for e in &echoes {
             match e {
@@ -291,14 +310,23 @@ impl CounterBackend for RoteGroup {
             }
         }
         if echo_count < self.quorum {
-            return Err(CounterError::NoQuorum { acks: echo_count, needed: self.quorum });
+            return Err(CounterError::NoQuorum {
+                acks: echo_count,
+                needed: self.quorum,
+            });
         }
 
         // Round 2: confirm + ACKs (replicas persist here).
-        let acks = self.broadcast(&RoteMsg::Confirm { id: id.to_string(), value });
+        let acks = self.broadcast(&RoteMsg::Confirm {
+            id: id.to_string(),
+            value,
+        });
         let ack_count = acks.iter().filter(|a| matches!(a, RoteMsg::Ack)).count();
         if ack_count < self.quorum {
-            return Err(CounterError::NoQuorum { acks: ack_count, needed: self.quorum });
+            return Err(CounterError::NoQuorum {
+                acks: ack_count,
+                needed: self.quorum,
+            });
         }
 
         // Floor to the deployed service's observed latency.
@@ -416,8 +444,7 @@ mod tests {
             client.stabilize("wal-1", 12).unwrap();
             // Crash replica 0 and restart it from sealed state.
             replicas[0].stop();
-            let revived =
-                RoteReplica::start(&fabric, 1000, key.counter, key.sealing, &path);
+            let revived = RoteReplica::start(&fabric, 1000, key.counter, key.sealing, &path);
             assert_eq!(revived.stable_value("wal-1"), 12);
         });
     }

@@ -38,8 +38,7 @@ pub fn sha256_parts(parts: &[&[u8]]) -> Digest32 {
 
 /// HMAC-SHA-256 of `data` under `key`.
 pub fn hmac_sign(key: &Key, data: &[u8]) -> Digest32 {
-    let mut mac =
-        <Hmac<Sha256> as Mac>::new_from_slice(key.as_slice()).expect("any key length");
+    let mut mac = <Hmac<Sha256> as Mac>::new_from_slice(key.as_slice()).expect("any key length");
     mac.update(data);
     Digest32(mac.finalize().into_bytes().into())
 }
@@ -50,10 +49,10 @@ pub fn hmac_sign(key: &Key, data: &[u8]) -> Digest32 {
 ///
 /// Returns [`CryptoError::AuthFailed`] on mismatch.
 pub fn hmac_verify(key: &Key, data: &[u8], tag: &Digest32) -> Result<(), CryptoError> {
-    let mut mac =
-        <Hmac<Sha256> as Mac>::new_from_slice(key.as_slice()).expect("any key length");
+    let mut mac = <Hmac<Sha256> as Mac>::new_from_slice(key.as_slice()).expect("any key length");
     mac.update(data);
-    mac.verify_slice(&tag.0).map_err(|_| CryptoError::AuthFailed)
+    mac.verify_slice(&tag.0)
+        .map_err(|_| CryptoError::AuthFailed)
 }
 
 #[cfg(test)]

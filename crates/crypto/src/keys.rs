@@ -34,8 +34,8 @@ impl Key {
     /// This is the HKDF-expand pattern with a single block, sufficient for
     /// 256-bit outputs.
     pub fn derive(&self, label: &str) -> Key {
-        let mut mac = <Hmac<Sha256> as Mac>::new_from_slice(&self.0)
-            .expect("HMAC accepts any key length");
+        let mut mac =
+            <Hmac<Sha256> as Mac>::new_from_slice(&self.0).expect("HMAC accepts any key length");
         mac.update(label.as_bytes());
         let out = mac.finalize().into_bytes();
         let mut bytes = [0u8; 32];

@@ -44,7 +44,13 @@ pub enum CryptoError {
 pub fn aead_seal(key: &Key, nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
     let cipher = Aes256Gcm::new(key.as_slice().into());
     cipher
-        .encrypt(Nonce::from_slice(nonce), Payload { msg: plaintext, aad })
+        .encrypt(
+            Nonce::from_slice(nonce),
+            Payload {
+                msg: plaintext,
+                aad,
+            },
+        )
         .expect("AES-GCM encryption is infallible for in-memory buffers")
 }
 
@@ -61,7 +67,13 @@ pub fn aead_open(
 ) -> Result<Vec<u8>, CryptoError> {
     let cipher = Aes256Gcm::new(key.as_slice().into());
     cipher
-        .decrypt(Nonce::from_slice(nonce), Payload { msg: ciphertext, aad })
+        .decrypt(
+            Nonce::from_slice(nonce),
+            Payload {
+                msg: ciphertext,
+                aad,
+            },
+        )
         .map_err(|_| CryptoError::AuthFailed)
 }
 
@@ -85,7 +97,10 @@ mod tests {
         let nonce = [1u8; 12];
         let mut ct = aead_seal(&key, &nonce, b"", b"payload");
         ct[0] ^= 0xff;
-        assert_eq!(aead_open(&key, &nonce, b"", &ct), Err(CryptoError::AuthFailed));
+        assert_eq!(
+            aead_open(&key, &nonce, b"", &ct),
+            Err(CryptoError::AuthFailed)
+        );
     }
 
     #[test]

@@ -196,9 +196,8 @@ impl SecureEnvelope {
                 out.extend_from_slice(&iv);
                 out.extend_from_slice(&[self.crypto.mode_byte(), 0, 0, 0]);
                 // AAD covers IV + pad so flipping either breaks the tag.
-                let aad: [u8; IV_LEN + PAD_LEN] = out[..IV_LEN + PAD_LEN]
-                    .try_into()
-                    .expect("header length");
+                let aad: [u8; IV_LEN + PAD_LEN] =
+                    out[..IV_LEN + PAD_LEN].try_into().expect("header length");
                 let ct_and_tag = aead_seal(key, &iv, &aad, &body);
                 let (ct, tag) = ct_and_tag.split_at(ct_and_tag.len() - MAC_LEN);
                 out.extend_from_slice(ct);
@@ -260,7 +259,12 @@ mod tests {
     use super::*;
 
     fn meta() -> TxMeta {
-        TxMeta { node_id: 3, tx_id: 77, op_id: 5, kind: MsgKind::TxnPut }
+        TxMeta {
+            node_id: 3,
+            tx_id: 77,
+            op_id: 5,
+            kind: MsgKind::TxnPut,
+        }
     }
 
     #[test]
@@ -315,7 +319,11 @@ mod tests {
             // Flip a body byte.
             let i = IV_LEN + PAD_LEN + META_LEN + 2;
             wire[i] ^= 0x01;
-            assert_eq!(env.open(&key, &wire), Err(CryptoError::AuthFailed), "{mode:?}");
+            assert_eq!(
+                env.open(&key, &wire),
+                Err(CryptoError::AuthFailed),
+                "{mode:?}"
+            );
         }
     }
 
@@ -342,7 +350,10 @@ mod tests {
         let key = Key::from_bytes([9u8; 32]);
         let env = SecureEnvelope::new(WireCrypto::Full);
         let wire = env.seal(&key, [4u8; 12], &meta(), b"");
-        assert_eq!(env.open(&key, &wire[..MESSAGE_OVERHEAD - 1]), Err(CryptoError::Malformed));
+        assert_eq!(
+            env.open(&key, &wire[..MESSAGE_OVERHEAD - 1]),
+            Err(CryptoError::Malformed)
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ pub struct EndpointConfig {
 
 impl Default for EndpointConfig {
     fn default() -> Self {
-        EndpointConfig { transport: Transport::Dpdk, tee: TeeMode::Native, link_gbps: 40 }
+        EndpointConfig {
+            transport: Transport::Dpdk,
+            tee: TeeMode::Native,
+            link_gbps: 40,
+        }
     }
 }
 
@@ -279,7 +283,9 @@ impl Fabric {
             None => return, // sender gone: nothing to do
         };
         let wire_bytes = dg.wire.len() + FRAME_HEADER_BYTES;
-        let charge = self.costs.net_send(src_cfg.transport, src_cfg.tee, wire_bytes);
+        let charge = self
+            .costs
+            .net_send(src_cfg.transport, src_cfg.tee, wire_bytes);
         // The receive cost depends on the *receiver's* stack: a SCONE node
         // taking delivery of native-client TCP traffic still pays shielded
         // syscalls and boundary copies.
@@ -338,7 +344,9 @@ impl Fabric {
         };
 
         if drop_it {
-            self.counters.dropped_adversary.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .dropped_adversary
+                .fetch_add(1, Ordering::Relaxed);
             return;
         }
         if tamper_it {
@@ -370,7 +378,9 @@ impl Fabric {
         let inbox = match self.inbox_of(dg.dst) {
             Some(i) => i,
             None => {
-                self.counters.dropped_unreachable.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .dropped_unreachable
+                    .fetch_add(1, Ordering::Relaxed);
                 return;
             }
         };
@@ -611,8 +621,14 @@ mod tests {
     #[test]
     fn slow_link_serializes_longer() {
         block_on(|| {
-            let fast = EndpointConfig { link_gbps: 40, ..EndpointConfig::default() };
-            let slow = EndpointConfig { link_gbps: 1, ..EndpointConfig::default() };
+            let fast = EndpointConfig {
+                link_gbps: 40,
+                ..EndpointConfig::default()
+            };
+            let slow = EndpointConfig {
+                link_gbps: 1,
+                ..EndpointConfig::default()
+            };
             let f = Fabric::new(CostModel::default(), 1);
             f.register(1, fast);
             f.register(2, slow);

@@ -100,7 +100,10 @@ pub struct Rpc {
     pending: Mutex<HashMap<u64, PendingSlot>>,
     handlers: Mutex<HashMap<u8, Arc<HandlerEntry>>>,
     workers: Mutex<HashMap<(EndpointId, u64), Sender<Datagram>>>,
-    replay: Mutex<HashMap<(u64, u64, u64), Option<(u64, TxMeta, Vec<u8>)>>>,
+    /// Memoized responses for at-most-once execution. `None` marks a
+    /// request still executing; payloads are `Arc`-shared so duplicate
+    /// hits resend without copying the buffer.
+    replay: Mutex<HashMap<(u64, u64, u64), Option<(u64, TxMeta, Arc<Vec<u8>>)>>>,
     outbox: Mutex<Vec<Datagram>>,
     stopped: Arc<AtomicBool>,
     counters: RpcCounters,
@@ -108,7 +111,9 @@ pub struct Rpc {
 
 impl std::fmt::Debug for Rpc {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Rpc").field("id", &self.id).finish_non_exhaustive()
+        f.debug_struct("Rpc")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
     }
 }
 
@@ -255,9 +260,19 @@ impl Rpc {
             wire,
             receiver_cpu: 0,
         };
-        self.pending.lock().insert(rpc_id, PendingSlot { waiter: None, response: None });
+        self.pending.lock().insert(
+            rpc_id,
+            PendingSlot {
+                waiter: None,
+                response: None,
+            },
+        );
         self.outbox.lock().push(dg);
-        PendingReply { rpc: Arc::clone(self), rpc_id, timeout: self.cfg.timeout }
+        PendingReply {
+            rpc: Arc::clone(self),
+            rpc_id,
+            timeout: self.cfg.timeout,
+        }
     }
 
     /// Transmits everything enqueued so far, charging per-message sender
@@ -464,10 +479,13 @@ impl Rpc {
             match replay.get(&key) {
                 Some(Some((cached_rpc_id, cached_meta, cached_payload))) => {
                     // Duplicate of a completed request: resend the memoized
-                    // response without re-executing (at-most-once).
-                    self.counters.replays_suppressed.fetch_add(1, Ordering::Relaxed);
+                    // response without re-executing (at-most-once). Cloning
+                    // the Arc shares the payload buffer instead of copying.
+                    self.counters
+                        .replays_suppressed
+                        .fetch_add(1, Ordering::Relaxed);
                     let resp_meta = *cached_meta;
-                    let resp_payload = cached_payload.clone();
+                    let resp_payload = Arc::clone(cached_payload);
                     let _ = cached_rpc_id;
                     drop(replay);
                     self.send_response(dg.src, dg.req_type, dg.rpc_id, &resp_meta, &resp_payload);
@@ -475,7 +493,9 @@ impl Rpc {
                 }
                 Some(None) => {
                     // Duplicate while the original is still executing.
-                    self.counters.replays_suppressed.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .replays_suppressed
+                        .fetch_add(1, Ordering::Relaxed);
                     return;
                 }
                 None => {
@@ -484,20 +504,28 @@ impl Rpc {
             }
         }
 
-        self.counters.requests_handled.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .requests_handled
+            .fetch_add(1, Ordering::Relaxed);
         runtime::set_tag("w:handler");
         let reply = (entry.handler)(dg.src, meta, payload);
         runtime::set_tag("w:post-handler");
 
-        if entry.guarded {
-            if let Some((ref m, ref p)) = reply {
-                self.replay.lock().insert(meta.replay_key(), Some((dg.rpc_id, *m, p.clone())));
-            } else {
-                self.replay.lock().remove(&meta.replay_key());
+        match reply {
+            Some((m, p)) => {
+                let p = Arc::new(p);
+                if entry.guarded {
+                    self.replay
+                        .lock()
+                        .insert(meta.replay_key(), Some((dg.rpc_id, m, Arc::clone(&p))));
+                }
+                self.send_response(dg.src, dg.req_type, dg.rpc_id, &m, &p);
             }
-        }
-        if let Some((m, p)) = reply {
-            self.send_response(dg.src, dg.req_type, dg.rpc_id, &m, &p);
+            None => {
+                if entry.guarded {
+                    self.replay.lock().remove(&meta.replay_key());
+                }
+            }
         }
     }
 
@@ -580,7 +608,12 @@ impl Rpc {
 /// Builds a [`TxMeta`] for RPC-level traffic that is not part of a
 /// transaction (benchmarks, control messages).
 pub fn control_meta(node_id: u64, seq: u64, kind: MsgKind) -> TxMeta {
-    TxMeta { node_id, tx_id: seq, op_id: 0, kind }
+    TxMeta {
+        node_id,
+        tx_id: seq,
+        op_id: 0,
+        kind,
+    }
 }
 
 #[cfg(test)]
@@ -610,7 +643,13 @@ mod tests {
             Arc::new(|_src, meta, payload| {
                 let mut out = payload;
                 out.reverse();
-                Some((TxMeta { kind: MsgKind::Ack, ..meta }, out))
+                Some((
+                    TxMeta {
+                        kind: MsgKind::Ack,
+                        ..meta
+                    },
+                    out,
+                ))
             }),
         );
         server.start();
@@ -620,7 +659,12 @@ mod tests {
     }
 
     fn meta(tx: u64, op: u64) -> TxMeta {
-        TxMeta { node_id: 100, tx_id: tx, op_id: op, kind: MsgKind::Data }
+        TxMeta {
+            node_id: 100,
+            tx_id: tx,
+            op_id: op,
+            kind: MsgKind::Data,
+        }
     }
 
     #[test]

@@ -152,7 +152,10 @@ impl<T> Channel<T> {
     /// Creates an empty open channel.
     pub fn new() -> Self {
         Channel {
-            inner: Mutex::new(ChanInner { queue: VecDeque::new(), closed: false }),
+            inner: Mutex::new(ChanInner {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
             recv_q: WaitQueue::new(),
         }
     }
@@ -160,7 +163,12 @@ impl<T> Channel<T> {
     /// Creates a connected `(Sender, Receiver)` pair sharing one channel.
     pub fn pair() -> (Sender<T>, Receiver<T>) {
         let ch = Arc::new(Channel::new());
-        (Sender { ch: Arc::clone(&ch) }, Receiver { ch })
+        (
+            Sender {
+                ch: Arc::clone(&ch),
+            },
+            Receiver { ch },
+        )
     }
 
     /// Enqueues a message, waking one receiver. Returns `Err` with the
@@ -248,7 +256,9 @@ pub struct Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        Sender { ch: Arc::clone(&self.ch) }
+        Sender {
+            ch: Arc::clone(&self.ch),
+        }
     }
 }
 
@@ -270,7 +280,9 @@ pub struct Receiver<T> {
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        Receiver { ch: Arc::clone(&self.ch) }
+        Receiver {
+            ch: Arc::clone(&self.ch),
+        }
     }
 }
 
@@ -317,7 +329,10 @@ impl CorePool {
     pub fn new(cores: u32) -> Self {
         assert!(cores > 0, "a node needs at least one core");
         CorePool {
-            inner: Mutex::new(CoreInner { free: cores, waiters: VecDeque::new() }),
+            inner: Mutex::new(CoreInner {
+                free: cores,
+                waiters: VecDeque::new(),
+            }),
             capacity: cores,
         }
     }
@@ -407,7 +422,10 @@ impl FiberMutex {
     /// Creates an unlocked mutex.
     pub fn new() -> Self {
         FiberMutex {
-            inner: Mutex::new(MutexInner { locked: false, waiters: VecDeque::new() }),
+            inner: Mutex::new(MutexInner {
+                locked: false,
+                waiters: VecDeque::new(),
+            }),
         }
     }
 
@@ -500,7 +518,11 @@ impl Default for IdleBackoff {
 impl IdleBackoff {
     /// Creates a backoff sleeping `min`..`max` nanoseconds.
     pub fn new(min: Nanos, max: Nanos) -> Self {
-        IdleBackoff { current: min, min, max }
+        IdleBackoff {
+            current: min,
+            min,
+            max,
+        }
     }
 
     /// Sleeps for the current interval and doubles it (capped).

@@ -97,6 +97,14 @@ pub struct CostModel {
     /// paper's configuration: "the database fits entirely in the kernel
     /// page cache").
     pub page_cache_read_ns: Nanos,
+    /// Serving a decoded block from the trusted (enclave-resident) block
+    /// cache: a hash lookup plus pointer handoff, no syscall, no copy
+    /// across the boundary, no decrypt. The MEE multiplier and EPC paging
+    /// are applied on top by the enclave's access pricing.
+    pub block_cache_hit_ns: Nanos,
+    /// Probing one per-table Bloom filter (k hashed bit tests over an
+    /// enclave-resident bit array, before MEE pricing).
+    pub bloom_probe_ns: Nanos,
 
     // ---- Trusted counters --------------------------------------------------
     /// One round of the ROTE-style distributed counter protocol
@@ -151,6 +159,8 @@ impl Default for CostModel {
             ssd_flush_ns: 60_000,
             ssd_write_ns_per_kib: 500,
             page_cache_read_ns: 5_000,
+            block_cache_hit_ns: 400,
+            bloom_probe_ns: 250,
             counter_round_ns: 2_000_000,
             hw_counter_ns: 100_000_000,
             link_gbps: 40,
@@ -325,9 +335,18 @@ mod tests {
     #[test]
     fn udp_drops_above_mtu_only() {
         let m = CostModel::default();
-        assert!(!m.net_send(Transport::KernelUdp, TeeMode::Native, 1_000).dropped);
-        assert!(m.net_send(Transport::KernelUdp, TeeMode::Native, 2_048).dropped);
-        assert!(!m.net_send(Transport::KernelTcp, TeeMode::Native, 4_096).dropped);
+        assert!(
+            !m.net_send(Transport::KernelUdp, TeeMode::Native, 1_000)
+                .dropped
+        );
+        assert!(
+            m.net_send(Transport::KernelUdp, TeeMode::Native, 2_048)
+                .dropped
+        );
+        assert!(
+            !m.net_send(Transport::KernelTcp, TeeMode::Native, 4_096)
+                .dropped
+        );
         assert!(!m.net_send(Transport::Dpdk, TeeMode::Native, 4_096).dropped);
     }
 
@@ -335,10 +354,18 @@ mod tests {
     fn scone_hurts_kernel_transports_more_than_dpdk() {
         let m = CostModel::default();
         let bytes = 4096;
-        let tcp_native = m.net_send(Transport::KernelTcp, TeeMode::Native, bytes).sender_cpu;
-        let tcp_scone = m.net_send(Transport::KernelTcp, TeeMode::Scone, bytes).sender_cpu;
-        let dpdk_native = m.net_send(Transport::Dpdk, TeeMode::Native, bytes).sender_cpu;
-        let dpdk_scone = m.net_send(Transport::Dpdk, TeeMode::Scone, bytes).sender_cpu;
+        let tcp_native = m
+            .net_send(Transport::KernelTcp, TeeMode::Native, bytes)
+            .sender_cpu;
+        let tcp_scone = m
+            .net_send(Transport::KernelTcp, TeeMode::Scone, bytes)
+            .sender_cpu;
+        let dpdk_native = m
+            .net_send(Transport::Dpdk, TeeMode::Native, bytes)
+            .sender_cpu;
+        let dpdk_scone = m
+            .net_send(Transport::Dpdk, TeeMode::Scone, bytes)
+            .sender_cpu;
         let tcp_ratio = tcp_scone as f64 / tcp_native as f64;
         let dpdk_ratio = dpdk_scone as f64 / dpdk_native as f64;
         assert!(

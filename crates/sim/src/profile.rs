@@ -47,32 +47,52 @@ impl SecurityProfile {
     /// `Native Treaty`: Treaty's engine outside the enclave, authenticated
     /// structures, no encryption, no stabilization.
     pub fn native_treaty() -> Self {
-        SecurityProfile { authentication: true, ..Self::rocksdb() }
+        SecurityProfile {
+            authentication: true,
+            ..Self::rocksdb()
+        }
     }
 
     /// `Native Treaty w/ Enc`.
     pub fn native_treaty_enc() -> Self {
-        SecurityProfile { encryption: true, ..Self::native_treaty() }
+        SecurityProfile {
+            encryption: true,
+            ..Self::native_treaty()
+        }
     }
 
     /// `Treaty w/o Enc` (SCONE).
     pub fn treaty_no_enc() -> Self {
-        SecurityProfile { tee: TeeMode::Scone, ..Self::native_treaty() }
+        SecurityProfile {
+            tee: TeeMode::Scone,
+            ..Self::native_treaty()
+        }
     }
 
     /// `Treaty w/ Enc` (SCONE).
     pub fn treaty_enc() -> Self {
-        SecurityProfile { encryption: true, ..Self::treaty_no_enc() }
+        SecurityProfile {
+            encryption: true,
+            ..Self::treaty_no_enc()
+        }
     }
 
     /// `Treaty w/ Enc w/ Stab` (SCONE) — the full system.
     pub fn treaty_full() -> Self {
-        SecurityProfile { stabilization: true, ..Self::treaty_enc() }
+        SecurityProfile {
+            stabilization: true,
+            ..Self::treaty_enc()
+        }
     }
 
     /// Human-readable label matching the paper's legends.
     pub fn label(&self) -> &'static str {
-        match (self.tee, self.encryption, self.authentication, self.stabilization) {
+        match (
+            self.tee,
+            self.encryption,
+            self.authentication,
+            self.stabilization,
+        ) {
             (TeeMode::Native, false, false, false) => "RocksDB (native)",
             (TeeMode::Native, false, true, false) => "Native Treaty",
             (TeeMode::Native, true, true, false) => "Native Treaty w/ Enc",

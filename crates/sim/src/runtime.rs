@@ -75,7 +75,10 @@ struct ParkCell {
 
 impl ParkCell {
     fn new() -> Arc<Self> {
-        Arc::new(ParkCell { go: Mutex::new(false), cv: Condvar::new() })
+        Arc::new(ParkCell {
+            go: Mutex::new(false),
+            cv: Condvar::new(),
+        })
     }
     fn release(&self) {
         let mut g = self.go.lock();
@@ -658,7 +661,11 @@ pub fn join(target: FiberId) {
     let done = with_current(|shared, id| {
         let mut inner = shared.inner.lock();
         match inner.fibers.get_mut(&target.0) {
-            None | Some(FiberSlot { state: FiberState::Done, .. }) => true,
+            None
+            | Some(FiberSlot {
+                state: FiberState::Done,
+                ..
+            }) => true,
             Some(_) => {
                 inner
                     .fibers
@@ -696,7 +703,10 @@ mod tests {
             })
             .unwrap();
         assert_eq!(report.virtual_ns, 5 * crate::SECONDS);
-        assert!(wall.elapsed().as_secs() < 2, "virtual sleep must not block wall time");
+        assert!(
+            wall.elapsed().as_secs() < 2,
+            "virtual sleep must not block wall time"
+        );
     }
 
     #[test]
@@ -843,10 +853,7 @@ mod tests {
                 join(b);
             })
             .unwrap();
-        assert_eq!(
-            *order.lock(),
-            vec!["a0", "b0", "a1", "b1", "a2", "b2"]
-        );
+        assert_eq!(*order.lock(), vec!["a0", "b0", "a1", "b1", "a2", "b2"]);
     }
 
     #[test]

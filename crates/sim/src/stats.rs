@@ -57,8 +57,7 @@ impl Histogram {
             return 0;
         }
         self.ensure_sorted();
-        let rank = ((q * self.samples.len() as f64).ceil() as usize)
-            .clamp(1, self.samples.len());
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
         self.samples[rank - 1]
     }
 

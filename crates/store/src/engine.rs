@@ -45,9 +45,16 @@ pub(crate) enum WalRecord {
     Commit { seq: SeqNum, writes: Vec<WriteOp> },
     /// A 2PC participant prepared this transaction (locks implied by the
     /// write set are re-acquired at recovery).
-    Prepare { gtx: GlobalTxId, writes: Vec<WriteOp> },
+    Prepare {
+        gtx: GlobalTxId,
+        writes: Vec<WriteOp>,
+    },
     /// Decision for a previously prepared transaction.
-    Decide { gtx: GlobalTxId, commit: bool, seq: SeqNum },
+    Decide {
+        gtx: GlobalTxId,
+        commit: bool,
+        seq: SeqNum,
+    },
 }
 
 pub(crate) struct PreparedState {
@@ -74,6 +81,14 @@ pub struct EngineStats {
     pub group_commits: u64,
     /// Transactions carried per group-commit batch, cumulative.
     pub grouped_txns: u64,
+    /// Point-read block fetches served from the trusted block cache.
+    pub block_cache_hits: u64,
+    /// Point-read block fetches that went to (untrusted) storage.
+    pub block_cache_misses: u64,
+    /// Lookups short-circuited by a per-table Bloom filter.
+    pub bloom_negatives: u64,
+    /// Lookups a Bloom filter let through although the key was absent.
+    pub bloom_false_positives: u64,
 }
 
 #[derive(Default)]
@@ -97,7 +112,13 @@ struct CommitReq {
 pub(crate) struct StoreInner {
     pub env: Arc<Env>,
     mem: RwLock<Arc<MemTable>>,
-    levels: RwLock<Vec<Vec<Arc<SsTable>>>>,
+    /// The SSTable hierarchy, published copy-on-write: readers snapshot the
+    /// `Arc` (one refcount bump per read), structural writers (flush,
+    /// compaction — serialized by the commit lock) build a new vector and
+    /// swap it in. Readers that raced a compaction keep the old snapshot,
+    /// whose tables stay alive (and on disk, GC being stabilization-gated)
+    /// until the last reference drops.
+    levels: RwLock<Arc<Vec<Vec<Arc<SsTable>>>>>,
     wal: RwLock<Arc<LogWriter>>,
     wal_gen: AtomicU64,
     manifest: Mutex<Arc<LogWriter>>,
@@ -169,7 +190,7 @@ impl TreatyStore {
             manifest.append(&edit)?;
             let inner = StoreInner {
                 mem: RwLock::new(Arc::new(MemTable::new(Arc::clone(&env)))),
-                levels: RwLock::new(vec![Vec::new(); 7]),
+                levels: RwLock::new(Arc::new(vec![Vec::new(); 7])),
                 wal: RwLock::new(wal),
                 wal_gen: AtomicU64::new(gen),
                 manifest: Mutex::new(manifest),
@@ -186,7 +207,9 @@ impl TreatyStore {
                 stats: StatsCells::default(),
                 env,
             };
-            Ok(TreatyStore { inner: Arc::new(inner) })
+            Ok(TreatyStore {
+                inner: Arc::new(inner),
+            })
         }
     }
 
@@ -202,7 +225,10 @@ impl TreatyStore {
 
     /// Begins a transaction in the given mode with default options.
     pub fn begin_mode(&self, mode: TxnMode) -> Txn {
-        self.begin(TxnOptions { mode, ..TxnOptions::default() })
+        self.begin(TxnOptions {
+            mode,
+            ..TxnOptions::default()
+        })
     }
 
     /// Reads the latest committed value of `key` outside any transaction.
@@ -217,6 +243,12 @@ impl TreatyStore {
     /// Statistics snapshot.
     pub fn stats(&self) -> EngineStats {
         let s = &self.inner.stats;
+        let env = &self.inner.env;
+        let (cache_hits, cache_misses) = env
+            .block_cache
+            .as_ref()
+            .map(|c| (c.hits(), c.misses()))
+            .unwrap_or((0, 0));
         EngineStats {
             commits: s.commits.load(Ordering::Relaxed),
             aborts: s.aborts.load(Ordering::Relaxed),
@@ -226,7 +258,20 @@ impl TreatyStore {
             files_deleted: s.files_deleted.load(Ordering::Relaxed),
             group_commits: s.group_commits.load(Ordering::Relaxed),
             grouped_txns: s.grouped_txns.load(Ordering::Relaxed),
+            block_cache_hits: cache_hits,
+            block_cache_misses: cache_misses,
+            bloom_negatives: env.read_stats.bloom_negatives(),
+            bloom_false_positives: env.read_stats.bloom_false_positives(),
         }
+    }
+
+    /// File ids of every SSTable currently published in the hierarchy
+    /// (test introspection for cache-invalidation coverage).
+    pub fn live_file_ids(&self) -> Vec<u64> {
+        let levels = Arc::clone(&*self.inner.levels.read());
+        let mut ids: Vec<u64> = levels.iter().flatten().map(|t| t.meta().file_id).collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Lock-table timeout count (deadlock-avoidance aborts).
@@ -241,7 +286,8 @@ impl TreatyStore {
         if let Some(v) = self.inner.mem.read().clone().get(key, snapshot)? {
             return Ok(v);
         }
-        let levels = self.inner.levels.read().clone();
+        // One refcount bump, not a deep copy of the level vectors.
+        let levels = Arc::clone(&*self.inner.levels.read());
         // L0: newest first, tables overlap.
         let mut best: Option<(SeqNum, Option<Vec<u8>>)> = None;
         for t in &levels[0] {
@@ -274,7 +320,7 @@ impl TreatyStore {
         if let Some(s) = self.inner.mem.read().latest_seq_of(key) {
             return Ok(s);
         }
-        let levels = self.inner.levels.read().clone();
+        let levels = Arc::clone(&*self.inner.levels.read());
         let mut best = 0;
         for t in &levels[0] {
             if let Some(s) = t.latest_seq_of(key)? {
@@ -351,7 +397,10 @@ impl TreatyStore {
         debug_assert!(!batch.is_empty());
         let payloads: Vec<Vec<u8>> = batch.iter().map(|r| r.record.clone()).collect();
         let append = wal.append_batch(&payloads);
-        self.inner.stats.group_commits.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .group_commits
+            .fetch_add(1, Ordering::Relaxed);
         self.inner
             .stats
             .grouped_txns
@@ -399,11 +448,7 @@ impl TreatyStore {
 
     /// Applies a decided prepared transaction's writes to the MemTable and
     /// flushes if due (the WAL already carries its `Decide` record).
-    pub(crate) fn apply_decided(
-        &self,
-        seq: SeqNum,
-        writes: &[WriteOp],
-    ) -> Result<()> {
+    pub(crate) fn apply_decided(&self, seq: SeqNum, writes: &[WriteOp]) -> Result<()> {
         let guard = self.inner.commit_lock.lock();
         let mem = self.inner.mem.read().clone();
         for w in writes {
@@ -493,7 +538,10 @@ impl TreatyStore {
         // after this flush's MANIFEST edits, so no record is lost.)
         let prepared_snapshot: Vec<(GlobalTxId, Vec<WriteOp>)> = {
             let prepared = self.inner.prepared.lock();
-            prepared.iter().map(|(g, st)| (*g, st.writes.clone())).collect()
+            prepared
+                .iter()
+                .map(|(g, st)| (*g, st.writes.clone()))
+                .collect()
         };
         for (gtx, writes) in prepared_snapshot {
             let rec = serde_json::to_vec(&WalRecord::Prepare { gtx, writes }).unwrap();
@@ -508,7 +556,12 @@ impl TreatyStore {
         let path = self.inner.env.dir.join(sstable::file_name(file_id));
         sstable::build(&self.inner.env, &path, file_id, &entries)?;
         let table = Arc::new(SsTable::open(Arc::clone(&self.inner.env), &path)?);
-        self.inner.levels.write()[0].insert(0, table);
+        {
+            let mut levels = self.inner.levels.write();
+            let mut next = (**levels).clone();
+            next[0].insert(0, table);
+            *levels = Arc::new(next);
+        }
         self.manifest_append(&ManifestEdit::AddTable { level: 0, file_id })?;
         self.inner.stats.flushes.fetch_add(1, Ordering::Relaxed);
 
@@ -577,15 +630,14 @@ impl TreatyStore {
         if treaty_sim::runtime::in_fiber() {
             treaty_sim::runtime::set_tag("e:compact");
         }
+        // Snapshot the inputs but leave them published: the merge below does
+        // real (virtual-time-charged) I/O, and concurrent readers must keep
+        // seeing the pre-compaction state until the atomic publish swap.
         let (inputs_upper, inputs_lower) = {
-            let mut levels = self.inner.levels.write();
-            let upper: Vec<Arc<SsTable>> = std::mem::take(&mut levels[level]);
-            let lower: Vec<Arc<SsTable>> = std::mem::take(&mut levels[level + 1]);
-            (upper, lower)
+            let levels = self.inner.levels.read();
+            (levels[level].clone(), levels[level + 1].clone())
         };
         if inputs_upper.is_empty() {
-            let mut levels = self.inner.levels.write();
-            levels[level + 1] = inputs_lower;
             return Ok(());
         }
 
@@ -654,13 +706,22 @@ impl TreatyStore {
         }
         {
             let mut levels = self.inner.levels.write();
-            levels[level + 1] = outputs;
-            levels[level + 1].sort_by(|a, b| a.meta().min_key.cmp(&b.meta().min_key));
+            let mut next = (**levels).clone();
+            next[level].retain(|t| !inputs_upper.iter().any(|u| Arc::ptr_eq(u, t)));
+            next[level + 1].retain(|t| !inputs_lower.iter().any(|u| Arc::ptr_eq(u, t)));
+            next[level + 1].extend(outputs.iter().cloned());
+            next[level + 1].sort_by(|a, b| a.meta().min_key.cmp(&b.meta().min_key));
+            *levels = Arc::new(next);
         }
         {
             let mut gc = self.inner.pending_gc.lock();
             for t in inputs_upper.iter().chain(inputs_lower.iter()) {
                 t.release();
+                // Retired tables' blocks must stop occupying the trusted
+                // cache (and its EPC budget) immediately.
+                if let Some(cache) = &self.inner.env.block_cache {
+                    cache.invalidate_file(t.meta().file_id);
+                }
                 gc.push((last_counter, t.path().to_path_buf()));
             }
         }
@@ -718,7 +779,10 @@ impl TreatyStore {
         for (counter, path) in gc.drain(..) {
             if counter <= stable {
                 let _ = std::fs::remove_file(&path);
-                self.inner.stats.files_deleted.fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .stats
+                    .files_deleted
+                    .fetch_add(1, Ordering::Relaxed);
             } else {
                 kept.push((counter, path));
             }
@@ -819,14 +883,17 @@ impl TreatyStore {
                                     )
                                 })?;
                         }
-                        prepared.insert(gtx, PreparedState { writes, lock_owner: owner });
+                        prepared.insert(
+                            gtx,
+                            PreparedState {
+                                writes,
+                                lock_owner: owner,
+                            },
+                        );
                     }
                     WalRecord::Decide { gtx, commit, seq } => {
                         if let Some(st) = prepared.remove(&gtx) {
-                            locks.release(
-                                st.lock_owner,
-                                st.writes.iter().map(|w| w.key.clone()),
-                            );
+                            locks.release(st.lock_owner, st.writes.iter().map(|w| w.key.clone()));
                             if commit {
                                 max_seq = max_seq.max(seq);
                                 for w in st.writes {
@@ -863,7 +930,7 @@ impl TreatyStore {
 
         let inner = StoreInner {
             mem: RwLock::new(mem),
-            levels: RwLock::new(levels),
+            levels: RwLock::new(Arc::new(levels)),
             wal: RwLock::new(wal),
             wal_gen: AtomicU64::new(new_gen),
             manifest: Mutex::new(manifest),
@@ -880,7 +947,9 @@ impl TreatyStore {
             stats: StatsCells::default(),
             env,
         };
-        Ok(TreatyStore { inner: Arc::new(inner) })
+        Ok(TreatyStore {
+            inner: Arc::new(inner),
+        })
     }
 }
 
@@ -893,14 +962,11 @@ impl SsTable {
         snapshot: SeqNum,
     ) -> Result<Option<(SeqNum, Option<Vec<u8>>)>> {
         let mut best: Option<(SeqNum, Option<Vec<u8>>)> = None;
-        for r in self.scan_for_key(key)? {
-            if r.key.as_slice() == key
-                && r.seq <= snapshot
-                && best.as_ref().map(|(s, _)| r.seq > *s).unwrap_or(true)
-            {
-                best = Some((r.seq, r.value));
+        self.probe_key(key, |r| {
+            if r.seq <= snapshot && best.as_ref().map(|(s, _)| r.seq > *s).unwrap_or(true) {
+                best = Some((r.seq, r.value.clone()));
             }
-        }
+        })?;
         Ok(best)
     }
 }

@@ -10,6 +10,8 @@ use treaty_sched::CorePool;
 use treaty_sim::{runtime, CostModel, Nanos, SecurityProfile};
 use treaty_tee::{Enclave, HostVault};
 
+use crate::cache::{BlockCache, ReadAccelStats};
+
 /// Sizing and behaviour knobs for [`crate::TreatyStore`].
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -32,6 +34,11 @@ pub struct EngineConfig {
     pub level_size_multiplier: usize,
     /// Base size of L1 in bytes.
     pub l1_bytes: usize,
+    /// Capacity of the trusted (enclave-resident) block cache in bytes.
+    /// Zero disables the cache (the ablation configuration).
+    pub block_cache_bytes: usize,
+    /// Bits per key for the per-table Bloom filters. Zero disables filters.
+    pub bloom_bits_per_key: usize,
 }
 
 impl Default for EngineConfig {
@@ -46,6 +53,8 @@ impl Default for EngineConfig {
             l0_compaction_trigger: 4,
             level_size_multiplier: 10,
             l1_bytes: 8 << 20,
+            block_cache_bytes: 32 << 20,
+            bloom_bits_per_key: 10,
         }
     }
 }
@@ -62,6 +71,7 @@ impl EngineConfig {
             sstable_bytes: 16 << 10,
             l0_compaction_trigger: 2,
             l1_bytes: 64 << 10,
+            block_cache_bytes: 256 << 10,
             ..Self::default()
         }
     }
@@ -87,6 +97,11 @@ pub struct Env {
     pub dir: PathBuf,
     /// Engine sizing.
     pub config: EngineConfig,
+    /// Trusted block cache over decrypted SSTable blocks; `None` when the
+    /// cache is disabled (`block_cache_bytes == 0`).
+    pub block_cache: Option<Arc<BlockCache>>,
+    /// Bloom-filter counters for the read-acceleration layer.
+    pub read_stats: ReadAccelStats,
 }
 
 impl std::fmt::Debug for Env {
@@ -102,16 +117,31 @@ impl Env {
     /// An environment for tests: given profile, default costs, fresh
     /// enclave/vault, no core contention, test keys, instant stabilization.
     pub fn for_testing(profile: SecurityProfile, dir: &Path) -> Arc<Self> {
+        Self::for_testing_with(profile, dir, EngineConfig::tiny())
+    }
+
+    /// Like [`Env::for_testing`] but with an explicit engine configuration
+    /// (cache ablations, filter sizing).
+    pub fn for_testing_with(
+        profile: SecurityProfile,
+        dir: &Path,
+        config: EngineConfig,
+    ) -> Arc<Self> {
+        let enclave = Arc::new(Enclave::new(profile.tee));
+        let block_cache =
+            BlockCache::new_shared(Arc::clone(&enclave), config.block_cache_bytes as u64);
         Arc::new(Env {
             profile,
             costs: CostModel::default(),
-            enclave: Arc::new(Enclave::new(profile.tee)),
+            enclave,
             vault: HostVault::new(),
             cores: None,
             keys: KeyHierarchy::for_testing(),
             backend: NullBackend::new(),
             dir: dir.to_path_buf(),
-            config: EngineConfig::tiny(),
+            config,
+            block_cache,
+            read_stats: ReadAccelStats::default(),
         })
     }
 
@@ -162,6 +192,22 @@ impl Env {
     /// Charges a (page-cache-resident) storage read of `bytes`.
     pub fn charge_storage_read(&self, bytes: usize) {
         self.charge(self.costs.storage_read_ns(self.profile.tee, bytes));
+    }
+
+    /// Charges a trusted block-cache hit: an in-enclave lookup over
+    /// `bytes` of cached records — no syscall, no boundary copy, no
+    /// decrypt. Strictly cheaper than [`Env::charge_storage_read`] plus
+    /// decryption as long as the enclave is not pathologically
+    /// overcommitted (the cache sheds itself under EPC pressure precisely
+    /// to stay out of that regime).
+    pub fn charge_cache_hit(&self, bytes: usize) {
+        self.charge_enclave_op(bytes, self.costs.block_cache_hit_ns);
+    }
+
+    /// Charges one Bloom-filter probe (k bit tests over the in-enclave
+    /// filter; the touched footprint is a few cache lines).
+    pub fn charge_bloom_probe(&self) {
+        self.charge_enclave_op(64, self.costs.bloom_probe_ns);
     }
 }
 

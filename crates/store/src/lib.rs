@@ -9,7 +9,10 @@
 //! * [`log`] — the authenticated, trusted-counter-stamped log format shared
 //!   by the WAL, the MANIFEST and the Clog,
 //! * [`sstable`] — SSTables of encrypted blocks with a footer of block
-//!   hashes,
+//!   hashes and an integrity-covered per-table Bloom filter,
+//! * [`bloom`] / [`cache`] — the read-acceleration layer: Bloom filters
+//!   sealed into table footers and an EPC-aware trusted block cache over
+//!   decrypted blocks,
 //! * [`locks`] — the sharded lock table for two-phase locking,
 //! * [`txn`] — pessimistic (2PL) and optimistic (OCC) transactions, group
 //!   commit, and the participant half of 2PC (prepare / commit-prepared),
@@ -21,6 +24,8 @@
 //! active, which is how the benchmarks produce the paper's system lineup
 //! (`RocksDB` baseline → `Treaty w/ Enc w/ Stab`).
 
+pub mod bloom;
+pub mod cache;
 pub mod engine;
 pub mod env;
 pub mod locks;
@@ -30,8 +35,10 @@ pub mod skiplist;
 pub mod sstable;
 pub mod txn;
 
+pub use bloom::BloomFilter;
+pub use cache::{BlockCache, ReadAccelStats};
 pub use engine::{EngineStats, TreatyStore};
-pub use env::{Env, EngineConfig};
+pub use env::{EngineConfig, Env};
 pub use locks::{LockMode, LockTable};
 pub use txn::{
     CommitInfo, EngineTxn, GlobalTxId, NullEngine, SharedNullEngine, Txn, TxnEngine, TxnMode,

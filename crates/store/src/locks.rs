@@ -95,7 +95,9 @@ pub struct LockTable {
 
 impl std::fmt::Debug for LockTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LockTable").field("shards", &self.shards.len()).finish_non_exhaustive()
+        f.debug_struct("LockTable")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
     }
 }
 
@@ -110,7 +112,10 @@ impl LockTable {
         assert!(shards > 0);
         LockTable {
             shards: (0..shards)
-                .map(|_| Shard { locks: Mutex::new(HashMap::new()), waiters: WaitQueue::new() })
+                .map(|_| Shard {
+                    locks: Mutex::new(HashMap::new()),
+                    waiters: WaitQueue::new(),
+                })
                 .collect(),
             timeout,
             timeouts_hit: AtomicU64::new(0),
@@ -190,9 +195,8 @@ impl LockTable {
         let mut touched: Vec<usize> = Vec::new();
         for key in keys {
             let h = hash::sha256(&key);
-            let idx =
-                (u64::from_le_bytes(h.0[8..16].try_into().unwrap()) % self.shards.len() as u64)
-                    as usize;
+            let idx = (u64::from_le_bytes(h.0[8..16].try_into().unwrap())
+                % self.shards.len() as u64) as usize;
             let shard = &self.shards[idx];
             let mut locks = shard.locks.lock();
             if let Some(kl) = locks.get_mut(&key) {
@@ -344,7 +348,8 @@ mod tests {
     fn many_keys_spread_over_shards() {
         let t = table();
         for i in 0..1000u32 {
-            t.lock(1, format!("k{i}").as_bytes(), LockMode::Exclusive).unwrap();
+            t.lock(1, format!("k{i}").as_bytes(), LockMode::Exclusive)
+                .unwrap();
         }
         assert_eq!(t.locked_keys(), 1000);
         t.release(1, (0..1000u32).map(|i| format!("k{i}").into_bytes()));

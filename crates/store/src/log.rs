@@ -90,7 +90,9 @@ pub struct LogWriter {
 
 impl std::fmt::Debug for LogWriter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LogWriter").field("name", &self.name).finish_non_exhaustive()
+        f.debug_struct("LogWriter")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -298,7 +300,11 @@ pub fn replay(env: &Env, name: &str, path: &Path, start: u64) -> Result<LogRepla
         expected += 1;
     }
 
-    Ok(LogReplay { last_counter: expected - 1, records, torn_tail })
+    Ok(LogReplay {
+        last_counter: expected - 1,
+        records,
+        torn_tail,
+    })
 }
 
 /// Verifies the §VI freshness criterion for a replayed log: the last
@@ -434,7 +440,9 @@ mod tests {
         let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0).unwrap();
         let (_, last) = w.append_batch(&[b"a".to_vec(), b"b".to_vec()]).unwrap();
         // Force-stabilize via the backend directly (as commit would).
-        env.backend.stabilize(&counter_id(&env, "wal-1"), last).unwrap();
+        env.backend
+            .stabilize(&counter_id(&env, "wal-1"), last)
+            .unwrap();
         // The log claims fewer records than were stabilized -> rollback.
         let err = verify_freshness(&env, "wal-1", last - 1).unwrap_err();
         assert!(matches!(err, StoreError::Rollback(_)));

@@ -36,7 +36,10 @@ struct MemKey {
 
 impl MemKey {
     fn new(user: UserKey, seq: SeqNum) -> Self {
-        MemKey { user, seq_rev: u64::MAX - seq }
+        MemKey {
+            user,
+            seq_rev: u64::MAX - seq,
+        }
     }
     fn seq(&self) -> SeqNum {
         u64::MAX - self.seq_rev
@@ -47,7 +50,11 @@ impl MemKey {
 /// integrity hash — or a tombstone.
 #[derive(Debug, Clone)]
 enum ValueEntry {
-    Put { handle: HostHandle, len: u32, hash: Digest32 },
+    Put {
+        handle: HostHandle,
+        len: u32,
+        hash: Digest32,
+    },
     Delete,
 }
 
@@ -122,14 +129,21 @@ impl MemTable {
         };
         let handle = self.env.vault.store(stored);
 
-        self.env.enclave.alloc_trusted((key.len() + ENTRY_OVERHEAD) as u64);
-        self.bytes.fetch_add(key.len() + ENTRY_OVERHEAD + value.len(), Ordering::Relaxed);
+        self.env
+            .enclave
+            .alloc_trusted((key.len() + ENTRY_OVERHEAD) as u64);
+        self.bytes
+            .fetch_add(key.len() + ENTRY_OVERHEAD + value.len(), Ordering::Relaxed);
         self.entries.fetch_add(1, Ordering::Relaxed);
 
         let shard = self.shard_of(key);
         self.shards[shard].write().insert(
             MemKey::new(key.to_vec(), seq),
-            ValueEntry::Put { handle, len: value.len() as u32, hash: digest },
+            ValueEntry::Put {
+                handle,
+                len: value.len() as u32,
+                hash: digest,
+            },
         );
     }
 
@@ -137,8 +151,11 @@ impl MemTable {
     pub fn delete(&self, key: &[u8], seq: SeqNum) {
         self.env
             .charge_enclave_op(key.len() + ENTRY_OVERHEAD, self.env.costs.memtable_op_ns);
-        self.env.enclave.alloc_trusted((key.len() + ENTRY_OVERHEAD) as u64);
-        self.bytes.fetch_add(key.len() + ENTRY_OVERHEAD, Ordering::Relaxed);
+        self.env
+            .enclave
+            .alloc_trusted((key.len() + ENTRY_OVERHEAD) as u64);
+        self.bytes
+            .fetch_add(key.len() + ENTRY_OVERHEAD, Ordering::Relaxed);
         self.entries.fetch_add(1, Ordering::Relaxed);
         let shard = self.shard_of(key);
         self.shards[shard]
@@ -169,7 +186,11 @@ impl MemTable {
         drop(guard);
         match entry {
             ValueEntry::Delete => Ok(Some(None)),
-            ValueEntry::Put { handle, len, hash: digest } => {
+            ValueEntry::Put {
+                handle,
+                len,
+                hash: digest,
+            } => {
                 let stored = self
                     .env
                     .vault
@@ -248,7 +269,11 @@ impl MemTable {
                     let seq = k.seq();
                     out.push((k.user, seq, None));
                 }
-                ValueEntry::Put { handle, len, hash: digest } => {
+                ValueEntry::Put {
+                    handle,
+                    len,
+                    hash: digest,
+                } => {
                     let stored = self
                         .env
                         .vault
@@ -311,7 +336,10 @@ mod tests {
         mt.put(b"k", 1, b"v1");
         mt.put(b"k", 5, b"v5");
         mt.put(b"k", 3, b"v3");
-        assert_eq!(mt.get(b"k", SeqNum::MAX).unwrap(), Some(Some(b"v5".to_vec())));
+        assert_eq!(
+            mt.get(b"k", SeqNum::MAX).unwrap(),
+            Some(Some(b"v5".to_vec()))
+        );
         assert_eq!(mt.get(b"k", 4).unwrap(), Some(Some(b"v3".to_vec())));
         assert_eq!(mt.get(b"k", 2).unwrap(), Some(Some(b"v1".to_vec())));
         assert_eq!(mt.get(b"missing", SeqNum::MAX).unwrap(), None);
@@ -394,7 +422,11 @@ mod tests {
         assert_eq!(entries[2].0, b"c");
         assert_eq!(entries[2].2, None);
         assert_eq!(env.vault.live_buffers(), 0, "flush must free host memory");
-        assert_eq!(env.enclave.resident_bytes(), 0, "flush must free enclave memory");
+        assert_eq!(
+            env.enclave.resident_bytes(),
+            0,
+            "flush must free enclave memory"
+        );
     }
 
     #[test]

@@ -124,7 +124,11 @@ impl<K: Ord, V> SkipList<K, V> {
                 }
             }
         }
-        self.arena.push(Node { key, value, forward });
+        self.arena.push(Node {
+            key,
+            value,
+            forward,
+        });
         self.len += 1;
         None
     }
@@ -150,12 +154,18 @@ impl<K: Ord, V> SkipList<K, V> {
             NIL => self.head[0],
             c => self.arena[c].forward[0],
         };
-        Iter { list: self, cur: start }
+        Iter {
+            list: self,
+            cur: start,
+        }
     }
 
     /// Iterates all entries in ascending key order.
     pub fn iter(&self) -> Iter<'_, K, V> {
-        Iter { list: self, cur: self.head[0] }
+        Iter {
+            list: self,
+            cur: self.head[0],
+        }
     }
 }
 
@@ -260,6 +270,9 @@ mod tests {
         l.insert(b"apple".to_vec(), 1);
         l.insert(b"cherry".to_vec(), 3);
         let keys: Vec<Vec<u8>> = l.iter().map(|(k, _)| k.clone()).collect();
-        assert_eq!(keys, vec![b"apple".to_vec(), b"banana".to_vec(), b"cherry".to_vec()]);
+        assert_eq!(
+            keys,
+            vec![b"apple".to_vec(), b"banana".to_vec(), b"cherry".to_vec()]
+        );
     }
 }

@@ -20,10 +20,13 @@ use serde::{Deserialize, Serialize};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use treaty_crypto::{aead_open, aead_seal, hash};
 
+use crate::bloom::BloomFilter;
+use crate::cache::approx_records_bytes;
 use crate::env::Env;
 use crate::memtable::{SeqNum, UserKey};
 use crate::{Result, StoreError};
@@ -63,6 +66,13 @@ pub struct SsTableMeta {
     pub max_seq: SeqNum,
     /// Number of records.
     pub entries: u64,
+    /// Bloom filter over the table's distinct user keys. Serialized inside
+    /// the sealed footer, so it is covered by the same integrity protection
+    /// as the block digests: tampered filter bits are detected at open.
+    /// `None` for tables built with filters disabled (and for pre-filter
+    /// tables, via serde default).
+    #[serde(default)]
+    pub filter: Option<BloomFilter>,
 }
 
 fn block_nonce(file_id: u64, block_no: u32) -> [u8; 12] {
@@ -185,13 +195,16 @@ fn decode_records(mut buf: &[u8]) -> Result<Vec<SsRecord>> {
         let key = buf[..klen].to_vec();
         let seq = u64::from_le_bytes(buf[klen..klen + 8].try_into().unwrap());
         let kind = buf[klen + 8];
-        let vlen =
-            u32::from_le_bytes(buf[klen + 9..klen + 13].try_into().unwrap()) as usize;
+        let vlen = u32::from_le_bytes(buf[klen + 9..klen + 13].try_into().unwrap()) as usize;
         buf = &buf[klen + 13..];
         if buf.len() < vlen {
             return Err(bad());
         }
-        let value = if kind == 1 { Some(buf[..vlen].to_vec()) } else { None };
+        let value = if kind == 1 {
+            Some(buf[..vlen].to_vec())
+        } else {
+            None
+        };
         buf = &buf[vlen..];
         out.push(SsRecord { key, seq, value });
     }
@@ -224,9 +237,9 @@ pub fn build(
     let mut total = 0u64;
 
     let flush_block = |pending: &mut Vec<SsRecord>,
-                           file: &mut File,
-                           offset: &mut u64,
-                           blocks: &mut Vec<BlockMeta>|
+                       file: &mut File,
+                       offset: &mut u64,
+                       blocks: &mut Vec<BlockMeta>|
      -> Result<()> {
         if pending.is_empty() {
             return Ok(());
@@ -251,13 +264,37 @@ pub fn build(
         max_seq = max_seq.max(*seq);
         total += 1;
         pending_bytes += key.len() + value.as_ref().map(|v| v.len()).unwrap_or(0) + 17;
-        pending.push(SsRecord { key: key.clone(), seq: *seq, value: value.clone() });
+        pending.push(SsRecord {
+            key: key.clone(),
+            seq: *seq,
+            value: value.clone(),
+        });
         if pending_bytes >= env.config.block_bytes {
             flush_block(&mut pending, &mut file, &mut offset, &mut blocks)?;
             pending_bytes = 0;
         }
     }
     flush_block(&mut pending, &mut file, &mut offset, &mut blocks)?;
+
+    // Entries arrive sorted by user key, so distinct keys are runs; one
+    // filter insertion per run. Sized by distinct-key count, not record
+    // count, so hot multi-version keys don't inflate the filter.
+    let filter = if env.config.bloom_bits_per_key > 0 {
+        let distinct = entries.windows(2).filter(|w| w[0].0 != w[1].0).count() + 1;
+        let mut f = BloomFilter::new(distinct, env.config.bloom_bits_per_key);
+        let mut prev: Option<&UserKey> = None;
+        for (key, _, _) in entries {
+            if prev != Some(key) {
+                f.insert(key);
+                prev = Some(key);
+            }
+        }
+        // Building the filter is one hash pass over the keys.
+        env.charge_cpu(entries.len() as u64 * env.costs.bloom_probe_ns / 4);
+        Some(f)
+    } else {
+        None
+    };
 
     let meta = SsTableMeta {
         file_id,
@@ -266,6 +303,7 @@ pub fn build(
         max_key: entries[entries.len() - 1].0.clone(),
         max_seq,
         entries: total,
+        filter,
     };
 
     let meta_plain = serde_json::to_vec(&meta).expect("meta serializes");
@@ -338,11 +376,17 @@ impl SsTable {
         let meta: SsTableMeta = serde_json::from_slice(&meta_plain)
             .map_err(|_| StoreError::Integrity("sstable meta does not parse".into()))?;
         if meta.file_id != file_id {
-            return Err(StoreError::Integrity("sstable meta/file id mismatch".into()));
+            return Err(StoreError::Integrity(
+                "sstable meta/file id mismatch".into(),
+            ));
         }
-        // Footer digests now live in trusted memory.
-        env.enclave.alloc_trusted((meta.blocks.len() * 64) as u64);
-        Ok(SsTable { env, path: path.to_path_buf(), meta })
+        // Footer digests and the Bloom filter now live in trusted memory.
+        env.enclave.alloc_trusted(trusted_footprint(&meta));
+        Ok(SsTable {
+            env,
+            path: path.to_path_buf(),
+            meta,
+        })
     }
 
     /// The table's metadata.
@@ -360,7 +404,26 @@ impl SsTable {
         self.meta.min_key.as_slice() <= key && key <= self.meta.max_key.as_slice()
     }
 
-    fn read_block(&self, block_no: usize) -> Result<Vec<SsRecord>> {
+    /// Reads one block for the point-read path, via the trusted block
+    /// cache when one is configured. A hit returns the already-verified
+    /// plaintext records for an in-enclave charge; a miss pays the full
+    /// storage-read + decrypt path and populates the cache.
+    fn read_block(&self, block_no: usize) -> Result<Arc<Vec<SsRecord>>> {
+        let Some(cache) = &self.env.block_cache else {
+            return self.read_block_uncached(block_no);
+        };
+        if let Some(records) = cache.get(self.meta.file_id, block_no as u32) {
+            self.env
+                .charge_cache_hit(approx_records_bytes(&records) as usize);
+            return Ok(records);
+        }
+        let records = self.read_block_uncached(block_no)?;
+        cache.insert(self.meta.file_id, block_no as u32, Arc::clone(&records));
+        Ok(records)
+    }
+
+    /// Reads and verifies one block directly from untrusted storage.
+    fn read_block_uncached(&self, block_no: usize) -> Result<Arc<Vec<SsRecord>>> {
         let bm = &self.meta.blocks[block_no];
         let mut file = File::open(&self.path)?;
         file.seek(SeekFrom::Start(bm.offset))?;
@@ -374,7 +437,7 @@ impl SsTable {
             &stored,
             &bm.digest,
         )?;
-        decode_records(&plain)
+        Ok(Arc::new(decode_records(&plain)?))
     }
 
     /// Index range of blocks whose `[first_key, last_key]` span covers
@@ -398,6 +461,57 @@ impl SsTable {
         start..end_anchor
     }
 
+    /// True if `key` falls in this table's range *and* passes its Bloom
+    /// filter: the cheap, no-I/O precondition for probing it. A false
+    /// return is definitive (no block read needed); filter negatives are
+    /// counted in the environment's read stats.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        if !self.covers(key) {
+            return false;
+        }
+        match &self.meta.filter {
+            None => true,
+            Some(f) => {
+                self.env.charge_bloom_probe();
+                if f.may_contain(key) {
+                    true
+                } else {
+                    self.env
+                        .read_stats
+                        .bloom_negatives
+                        .fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            }
+        }
+    }
+
+    /// Runs `visit` over every stored version of `key` in this table,
+    /// gated by the range check and the Bloom filter. Counts a filter
+    /// false positive when the filter let the key through but no block
+    /// actually held it.
+    pub(crate) fn probe_key<F: FnMut(&SsRecord)>(&self, key: &[u8], mut visit: F) -> Result<()> {
+        if !self.may_contain(key) {
+            return Ok(());
+        }
+        let mut seen = false;
+        for b in self.candidate_blocks(key) {
+            for r in self.read_block(b)?.iter() {
+                if r.key.as_slice() == key {
+                    seen = true;
+                    visit(r);
+                }
+            }
+        }
+        if !seen && self.meta.filter.is_some() {
+            self.env
+                .read_stats
+                .bloom_false_positives
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
     /// Looks up the newest version of `key` visible at `snapshot`.
     /// `None` = this table holds no visible version; `Some(None)` =
     /// tombstone.
@@ -406,20 +520,12 @@ impl SsTable {
     ///
     /// Propagates integrity/IO failures from block reads.
     pub fn get(&self, key: &[u8], snapshot: SeqNum) -> Result<Option<Option<Vec<u8>>>> {
-        if !self.covers(key) {
-            return Ok(None);
-        }
         let mut best: Option<(SeqNum, Option<Vec<u8>>)> = None;
-        for b in self.candidate_blocks(key) {
-            for r in self.read_block(b)? {
-                if r.key.as_slice() == key
-                    && r.seq <= snapshot
-                    && best.as_ref().map(|(s, _)| r.seq > *s).unwrap_or(true)
-                {
-                    best = Some((r.seq, r.value));
-                }
+        self.probe_key(key, |r| {
+            if r.seq <= snapshot && best.as_ref().map(|(s, _)| r.seq > *s).unwrap_or(true) {
+                best = Some((r.seq, r.value.clone()));
             }
-        }
+        })?;
         Ok(best.map(|(_, v)| v))
     }
 
@@ -429,28 +535,18 @@ impl SsTable {
     ///
     /// Propagates integrity/IO failures from block reads.
     pub fn latest_seq_of(&self, key: &[u8]) -> Result<Option<SeqNum>> {
-        let mut best = None;
-        for r in self.scan_for_key(key)? {
-            if r.key.as_slice() == key && best.map(|b: SeqNum| r.seq > b).unwrap_or(true) {
+        let mut best: Option<SeqNum> = None;
+        self.probe_key(key, |r| {
+            if best.map(|b| r.seq > b).unwrap_or(true) {
                 best = Some(r.seq);
             }
-        }
+        })?;
         Ok(best)
     }
 
-    /// Reads the records of every block that could contain `key`.
-    pub(crate) fn scan_for_key(&self, key: &[u8]) -> Result<Vec<SsRecord>> {
-        if !self.covers(key) {
-            return Ok(Vec::new());
-        }
-        let mut out = Vec::new();
-        for b in self.candidate_blocks(key) {
-            out.extend(self.read_block(b)?);
-        }
-        Ok(out)
-    }
-
-    /// Reads every record, in order (compaction input).
+    /// Reads every record, in order (compaction input). Bypasses the block
+    /// cache entirely: compaction inputs are about to be retired, so
+    /// populating the cache with them would only evict hot entries.
     ///
     /// # Errors
     ///
@@ -458,7 +554,7 @@ impl SsTable {
     pub fn scan_all(&self) -> Result<Vec<SsRecord>> {
         let mut out = Vec::with_capacity(self.meta.entries as usize);
         for b in 0..self.meta.blocks.len() {
-            out.extend(self.read_block(b)?);
+            out.extend(self.read_block_uncached(b)?.iter().cloned());
         }
         Ok(out)
     }
@@ -466,10 +562,19 @@ impl SsTable {
     /// Releases the enclave accounting for the footer (call when the table
     /// is retired).
     pub fn release(&self) {
-        self.env
-            .enclave
-            .free_trusted((self.meta.blocks.len() * 64) as u64);
+        self.env.enclave.free_trusted(trusted_footprint(&self.meta));
     }
+}
+
+/// Enclave-resident bytes pinned by an open table: the block digests plus
+/// the Bloom filter.
+fn trusted_footprint(meta: &SsTableMeta) -> u64 {
+    (meta.blocks.len() * 64) as u64
+        + meta
+            .filter
+            .as_ref()
+            .map(|f| f.approx_bytes() as u64)
+            .unwrap_or(0)
 }
 
 /// Extracts the numeric file id from an `sst-NNNNNN.sst` path.
@@ -498,16 +603,17 @@ mod tests {
                 if i % 7 == 3 {
                     (key, i + 1, None) // tombstone
                 } else {
-                    (key, i + 1, Some(format!("value-{i}-{}", "x".repeat(50)).into_bytes()))
+                    (
+                        key,
+                        i + 1,
+                        Some(format!("value-{i}-{}", "x".repeat(50)).into_bytes()),
+                    )
                 }
             })
             .collect()
     }
 
-    fn build_one(
-        profile: SecurityProfile,
-        n: u64,
-    ) -> (tempfile::TempDir, Arc<Env>, SsTable) {
+    fn build_one(profile: SecurityProfile, n: u64) -> (tempfile::TempDir, Arc<Env>, SsTable) {
         let dir = tempfile::tempdir().unwrap();
         let env = Env::for_testing(profile, dir.path());
         let path = dir.path().join(file_name(1));
@@ -521,9 +627,15 @@ mod tests {
         for profile in SecurityProfile::single_node_lineup() {
             let (_d, _e, t) = build_one(profile, 200);
             assert_eq!(t.meta().entries, 200);
-            assert!(t.meta().blocks.len() > 1, "{profile:?}: want multiple blocks");
+            assert!(
+                t.meta().blocks.len() > 1,
+                "{profile:?}: want multiple blocks"
+            );
             let v = t.get(b"key-00011", SeqNum::MAX).unwrap();
-            assert_eq!(v, Some(Some(format!("value-11-{}", "x".repeat(50)).into_bytes())));
+            assert_eq!(
+                v,
+                Some(Some(format!("value-11-{}", "x".repeat(50)).into_bytes()))
+            );
             // Tombstone.
             assert_eq!(t.get(b"key-00003", SeqNum::MAX).unwrap(), Some(None));
             // Missing.
@@ -544,7 +656,10 @@ mod tests {
         ];
         build(&env, &path, 2, &rows).unwrap();
         let t = SsTable::open(env, &path).unwrap();
-        assert_eq!(t.get(b"k", SeqNum::MAX).unwrap(), Some(Some(b"v9".to_vec())));
+        assert_eq!(
+            t.get(b"k", SeqNum::MAX).unwrap(),
+            Some(Some(b"v9".to_vec()))
+        );
         assert_eq!(t.get(b"k", 6).unwrap(), Some(Some(b"v5".to_vec())));
         assert_eq!(t.get(b"k", 4).unwrap(), Some(Some(b"v1".to_vec())));
         assert_eq!(t.get(b"k", 0).unwrap(), None);
@@ -561,7 +676,10 @@ mod tests {
 
     #[test]
     fn tampered_block_detected() {
-        for profile in [SecurityProfile::treaty_no_enc(), SecurityProfile::treaty_enc()] {
+        for profile in [
+            SecurityProfile::treaty_no_enc(),
+            SecurityProfile::treaty_enc(),
+        ] {
             let (_d, _e, t) = build_one(profile, 100);
             let mut raw = std::fs::read(t.path()).unwrap();
             raw[10] ^= 0x01; // inside block 0
@@ -610,6 +728,93 @@ mod tests {
         assert!(t.covers(b"key-00009"));
         assert!(!t.covers(b"key-99999"));
         assert!(!t.covers(b"a"));
+    }
+
+    #[test]
+    fn tampered_filter_bytes_detected() {
+        // Authentication-only mode stores the footer as plaintext JSON
+        // pinned by an HMAC, so the serialized filter is findable on disk.
+        // Flipping one of its bits must fail verification at open: the
+        // filter is integrity-covered exactly like the block digests.
+        let (_d, env, t) = build_one(SecurityProfile::treaty_no_enc(), 100);
+        let mut raw = std::fs::read(t.path()).unwrap();
+        let pos = raw
+            .windows(6)
+            .position(|w| w == b"\"bits\"")
+            .expect("footer must hold the serialized filter");
+        raw[pos + 10] ^= 0x01; // inside the filter's bit array
+        std::fs::write(t.path(), &raw).unwrap();
+        let err = SsTable::open(env, t.path()).unwrap_err();
+        assert!(matches!(err, StoreError::Integrity(_)));
+    }
+
+    #[test]
+    fn bloom_negative_skips_block_reads() {
+        let (_d, env, t) = build_one(SecurityProfile::treaty_full(), 200);
+        let cache = env
+            .block_cache
+            .as_ref()
+            .expect("tiny config enables the cache");
+        let (h0, m0) = (cache.hits(), cache.misses());
+        for i in 0..50 {
+            // In the table's key range but never inserted.
+            let key = format!("key-00{i:03}x").into_bytes();
+            assert_eq!(t.get(&key, SeqNum::MAX).unwrap(), None);
+        }
+        assert!(
+            env.read_stats.bloom_negatives() >= 40,
+            "most absent-key probes must be filtered: {}",
+            env.read_stats.bloom_negatives()
+        );
+        // Only Bloom false positives reach the block-read path at all.
+        let blocks_read = (cache.hits() - h0) + (cache.misses() - m0);
+        assert!(
+            blocks_read <= 10,
+            "filtered probes must not read blocks ({blocks_read} reads for 50 probes)"
+        );
+    }
+
+    #[test]
+    fn cache_hit_charges_less_than_miss() {
+        let dir = tempfile::tempdir().unwrap();
+        let path_buf = dir.path().to_path_buf();
+        treaty_sched::block_on(move || {
+            let env = Env::for_testing(SecurityProfile::treaty_full(), &path_buf);
+            let path = path_buf.join(file_name(1));
+            build(&env, &path, 1, &entries(100)).unwrap();
+            let t = SsTable::open(Arc::clone(&env), &path).unwrap();
+            let t0 = treaty_sim::runtime::now();
+            assert!(t.get(b"key-00010", SeqNum::MAX).unwrap().is_some());
+            let miss_ns = treaty_sim::runtime::now() - t0;
+            let t1 = treaty_sim::runtime::now();
+            assert!(t.get(b"key-00010", SeqNum::MAX).unwrap().is_some());
+            let hit_ns = treaty_sim::runtime::now() - t1;
+            let cache = env.block_cache.as_ref().unwrap();
+            assert!(cache.hits() >= 1 && cache.misses() >= 1);
+            assert!(
+                hit_ns < miss_ns,
+                "a cache hit ({hit_ns} ns) must charge strictly less than the miss path ({miss_ns} ns)"
+            );
+        });
+    }
+
+    #[test]
+    fn disabling_the_cache_still_reads_correctly() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut config = crate::env::EngineConfig::tiny();
+        config.block_cache_bytes = 0;
+        config.bloom_bits_per_key = 0;
+        let env = Env::for_testing_with(SecurityProfile::treaty_full(), dir.path(), config);
+        assert!(env.block_cache.is_none());
+        let path = dir.path().join(file_name(1));
+        build(&env, &path, 1, &entries(50)).unwrap();
+        let t = SsTable::open(Arc::clone(&env), &path).unwrap();
+        assert!(t.meta().filter.is_none());
+        let v = t.get(b"key-00011", SeqNum::MAX).unwrap();
+        assert_eq!(
+            v,
+            Some(Some(format!("value-11-{}", "x".repeat(50)).into_bytes()))
+        );
     }
 
     #[test]

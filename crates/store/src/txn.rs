@@ -41,7 +41,9 @@ pub struct TxnOptions {
 
 impl Default for TxnOptions {
     fn default() -> Self {
-        TxnOptions { mode: TxnMode::Pessimistic }
+        TxnOptions {
+            mode: TxnMode::Pessimistic,
+        }
     }
 }
 
@@ -98,7 +100,11 @@ impl TxBuffer {
     pub fn put(&mut self, key: &[u8], value: &[u8]) {
         let off = self.data.len();
         self.data.extend_from_slice(value);
-        if self.index.insert(key.to_vec(), Some((off, value.len()))).is_none() {
+        if self
+            .index
+            .insert(key.to_vec(), Some((off, value.len())))
+            .is_none()
+        {
             self.order.push(key.to_vec());
         }
     }
@@ -113,9 +119,9 @@ impl TxBuffer {
     /// Read-my-own-writes: `None` = key untouched; `Some(None)` = deleted;
     /// `Some(Some(v))` = buffered value.
     pub fn get(&self, key: &[u8]) -> Option<Option<Vec<u8>>> {
-        self.index.get(key).map(|slot| {
-            slot.map(|(off, len)| self.data[off..off + len].to_vec())
-        })
+        self.index
+            .get(key)
+            .map(|slot| slot.map(|(off, len)| self.data[off..off + len].to_vec()))
     }
 
     /// Buffered bytes (enclave footprint).
@@ -212,7 +218,11 @@ impl Txn {
     fn abort_with(&mut self, err: StoreError) -> StoreError {
         self.release_locks();
         self.state = TxnState::Finished;
-        self.store.inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
+        self.store
+            .inner
+            .stats
+            .aborts
+            .fetch_add(1, Ordering::Relaxed);
         err
     }
 }
@@ -320,10 +330,10 @@ impl EngineTxn for Txn {
             }
         }
         let writes = self.buffer.to_ops();
-        let (counter, wal) = match self
-            .store
-            .wal_append(&WalRecord::Prepare { gtx, writes: writes.clone() })
-        {
+        let (counter, wal) = match self.store.wal_append(&WalRecord::Prepare {
+            gtx,
+            writes: writes.clone(),
+        }) {
             Ok(c) => c,
             Err(e) => return Err(self.abort_with(e)),
         };
@@ -346,7 +356,10 @@ impl EngineTxn for Txn {
             .collect();
         self.store.inner.prepared.lock().insert(
             gtx,
-            PreparedState { writes, lock_owner: self.id },
+            PreparedState {
+                writes,
+                lock_owner: self.id,
+            },
         );
         self.store.inner.locks.release(self.id, read_only);
         self.locked.clear();
@@ -365,8 +378,15 @@ impl EngineTxn for Txn {
             // Read-only: nothing to log.
             self.release_locks();
             self.state = TxnState::Finished;
-            self.store.inner.stats.commits.fetch_add(1, Ordering::Relaxed);
-            return Ok(CommitInfo { seq: 0, wal_counter: 0 });
+            self.store
+                .inner
+                .stats
+                .commits
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(CommitInfo {
+                seq: 0,
+                wal_counter: 0,
+            });
         }
         let writes = self.buffer.to_ops();
         let seq = self.store.inner.seq.fetch_add(1, Ordering::SeqCst) + 1;
@@ -379,7 +399,10 @@ impl EngineTxn for Txn {
         self.release_locks();
         self.state = TxnState::Finished;
         wal.stabilize(counter)?;
-        Ok(CommitInfo { seq, wal_counter: counter })
+        Ok(CommitInfo {
+            seq,
+            wal_counter: counter,
+        })
     }
 
     fn rollback(&mut self) -> Result<()> {
@@ -388,7 +411,11 @@ impl EngineTxn for Txn {
         }
         self.release_locks();
         self.state = TxnState::Finished;
-        self.store.inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
+        self.store
+            .inner
+            .stats
+            .aborts
+            .fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -460,7 +487,11 @@ impl TxnEngine for TreatyStore {
             None => return Ok(()), // already decided: ignore (§VI)
         };
         let seq = self.inner.seq.fetch_add(1, Ordering::SeqCst) + 1;
-        let _ = self.wal_append(&WalRecord::Decide { gtx, commit: true, seq })?;
+        let _ = self.wal_append(&WalRecord::Decide {
+            gtx,
+            commit: true,
+            seq,
+        })?;
         let applied = self.apply_decided(seq, &st.writes);
         self.inner
             .locks
@@ -477,7 +508,11 @@ impl TxnEngine for TreatyStore {
             Some(st) => st,
             None => return Ok(()),
         };
-        self.wal_append(&WalRecord::Decide { gtx, commit: false, seq: 0 })?;
+        self.wal_append(&WalRecord::Decide {
+            gtx,
+            commit: false,
+            seq: 0,
+        })?;
         self.inner
             .locks
             .release(st.lock_owner, st.writes.iter().map(|w| w.key.clone()));
@@ -566,7 +601,11 @@ impl std::fmt::Debug for SharedNullEngine {
 impl SharedNullEngine {
     /// Creates the engine.
     pub fn new() -> Self {
-        SharedNullEngine { shared: Arc::new(NullEngineShared { inner: NullEngine::new() }) }
+        SharedNullEngine {
+            shared: Arc::new(NullEngineShared {
+                inner: NullEngine::new(),
+            }),
+        }
     }
 
     /// Direct load (test introspection).
@@ -697,7 +736,10 @@ impl EngineTxn for NullTxnOwned {
         }
         e.locks.release(self.id, std::mem::take(&mut self.locked));
         self.done = true;
-        Ok(CommitInfo { seq: 0, wal_counter: 0 })
+        Ok(CommitInfo {
+            seq: 0,
+            wal_counter: 0,
+        })
     }
 
     fn rollback(&mut self) -> Result<()> {

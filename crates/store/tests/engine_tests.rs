@@ -7,9 +7,7 @@ use treaty_sched::block_on;
 use treaty_sim::runtime::{join, spawn};
 use treaty_sim::SecurityProfile;
 use treaty_store::txn::WriteOp;
-use treaty_store::{
-    Env, EngineTxn, GlobalTxId, StoreError, TreatyStore, TxnEngine, TxnMode,
-};
+use treaty_store::{EngineTxn, Env, GlobalTxId, StoreError, TreatyStore, TxnEngine, TxnMode};
 
 fn open(profile: SecurityProfile, dir: &std::path::Path) -> (Arc<Env>, TreatyStore) {
     let env = Env::for_testing(profile, dir);
@@ -104,9 +102,14 @@ fn data_survives_flush_and_compaction() {
     }
     let stats = store.stats();
     assert!(stats.flushes >= 2, "expected flushes, got {stats:?}");
-    assert!(stats.compactions >= 1, "expected compactions, got {stats:?}");
+    assert!(
+        stats.compactions >= 1,
+        "expected compactions, got {stats:?}"
+    );
     for i in (0..200u32).step_by(17) {
-        let v = store.get_committed(format!("key-{i:04}").as_bytes()).unwrap();
+        let v = store
+            .get_committed(format!("key-{i:04}").as_bytes())
+            .unwrap();
         assert_eq!(
             v,
             Some(format!("value-{i}-{}", "z".repeat(400)).into_bytes()),
@@ -131,7 +134,10 @@ fn overwrites_resolve_to_newest_across_levels() {
         }
     }
     for i in 0..40u32 {
-        let v = store.get_committed(format!("key-{i:02}").as_bytes()).unwrap().unwrap();
+        let v = store
+            .get_committed(format!("key-{i:02}").as_bytes())
+            .unwrap()
+            .unwrap();
         assert!(v.starts_with(b"round-4-"), "stale version for key {i}");
     }
 }
@@ -143,7 +149,11 @@ fn recovery_restores_committed_data() {
     {
         let store = TreatyStore::open(Arc::clone(&env)).unwrap();
         for i in 0..120u32 {
-            put(&store, format!("k{i:03}").as_bytes(), format!("v{i}-{}", "w".repeat(200)).as_bytes());
+            put(
+                &store,
+                format!("k{i:03}").as_bytes(),
+                format!("v{i}-{}", "w".repeat(200)).as_bytes(),
+            );
         }
         // crash: drop without any shutdown
     }
@@ -157,7 +167,10 @@ fn recovery_restores_committed_data() {
     }
     // And the store stays writable after recovery.
     put(&store, b"post-recovery", b"yes");
-    assert_eq!(store.get_committed(b"post-recovery").unwrap(), Some(b"yes".to_vec()));
+    assert_eq!(
+        store.get_committed(b"post-recovery").unwrap(),
+        Some(b"yes".to_vec())
+    );
 }
 
 #[test]
@@ -243,7 +256,10 @@ fn prepared_decision_survives_second_crash() {
     }
     let store = TreatyStore::open(Arc::clone(&env)).unwrap();
     assert!(store.prepared_txns().is_empty());
-    assert_eq!(store.get_committed(b"x").unwrap(), Some(b"decided".to_vec()));
+    assert_eq!(
+        store.get_committed(b"x").unwrap(),
+        Some(b"decided".to_vec())
+    );
 }
 
 #[test]
@@ -423,7 +439,10 @@ fn sstable_tampering_detected_on_read_after_recovery() {
             break;
         }
     }
-    assert!(saw_integrity_error, "tampered SSTable block must be detected");
+    assert!(
+        saw_integrity_error,
+        "tampered SSTable block must be detected"
+    );
 }
 
 #[test]
@@ -477,7 +496,9 @@ fn write_sets_serialize_via_wal_order() {
         for i in 0..8u32 {
             for j in 0..5u32 {
                 assert_eq!(
-                    store.get_committed(format!("k-{i}-{j}").as_bytes()).unwrap(),
+                    store
+                        .get_committed(format!("k-{i}-{j}").as_bytes())
+                        .unwrap(),
                     Some(b"v".to_vec())
                 );
             }
@@ -502,8 +523,110 @@ fn multi_write_txn_is_atomic_across_crash() {
 }
 
 #[test]
+fn block_cache_invalidated_across_flush_compaction_and_gc() {
+    let dir = tempfile::tempdir().unwrap();
+    let (env, store) = open(SecurityProfile::treaty_full(), dir.path());
+    let cache = Arc::clone(
+        env.block_cache
+            .as_ref()
+            .expect("tiny config enables the cache"),
+    );
+    // Interleave writes with reads so cache entries accumulate for files
+    // that flush/compaction/GC will later retire.
+    for i in 0..200u32 {
+        put(
+            &store,
+            format!("key-{i:04}").as_bytes(),
+            format!("value-{i}-{}", "z".repeat(400)).as_bytes(),
+        );
+        if i % 5 == 0 {
+            let probe = format!("key-{:04}", i / 2);
+            store.get_committed(probe.as_bytes()).unwrap();
+        }
+    }
+    let stats = store.stats();
+    assert!(
+        stats.compactions >= 1,
+        "expected compactions, got {stats:?}"
+    );
+    assert!(
+        stats.files_deleted > 0,
+        "expected GC to retire files, got {stats:?}"
+    );
+    // Every cached block must belong to a live SSTable: compaction + GC
+    // invalidate dead files so stale plaintext never lingers in the enclave.
+    let live = store.live_file_ids();
+    for fid in cache.resident_file_ids() {
+        assert!(
+            live.binary_search(&fid).is_ok(),
+            "cache holds blocks of dead file {fid}; live set: {live:?}"
+        );
+    }
+    // And reads through the (partially invalidated) cache stay correct.
+    for i in (0..200u32).step_by(13) {
+        assert_eq!(
+            store
+                .get_committed(format!("key-{i:04}").as_bytes())
+                .unwrap(),
+            Some(format!("value-{i}-{}", "z".repeat(400)).into_bytes()),
+            "key {i} wrong after invalidation"
+        );
+    }
+}
+
+#[test]
+fn recovery_parity_with_cache_on_and_off() {
+    let dir = tempfile::tempdir().unwrap();
+    let profile = SecurityProfile::treaty_full();
+    {
+        let env = Env::for_testing(profile, dir.path());
+        let store = TreatyStore::open(env).unwrap();
+        for i in 0..150u32 {
+            put(
+                &store,
+                format!("p{i:03}").as_bytes(),
+                format!("v{i}-{}", "q".repeat(300)).as_bytes(),
+            );
+        }
+        // crash without shutdown
+    }
+    // Recover once with the cache enabled, once with it disabled; both must
+    // serve the identical committed state.
+    let read_all = |store: &TreatyStore| -> Vec<Option<Vec<u8>>> {
+        (0..150u32)
+            .map(|i| store.get_committed(format!("p{i:03}").as_bytes()).unwrap())
+            .collect()
+    };
+    let with_cache = {
+        let env = Env::for_testing(profile, dir.path());
+        assert!(env.block_cache.is_some());
+        let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+        read_all(&store)
+    };
+    let without_cache = {
+        let mut config = treaty_store::env::EngineConfig::tiny();
+        config.block_cache_bytes = 0;
+        let env = Env::for_testing_with(profile, dir.path(), config);
+        assert!(env.block_cache.is_none());
+        let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+        read_all(&store)
+    };
+    assert_eq!(with_cache, without_cache);
+    for (i, v) in with_cache.iter().enumerate() {
+        assert_eq!(
+            v.as_deref(),
+            Some(format!("v{i}-{}", "q".repeat(300)).as_bytes()),
+            "key {i} lost across recovery"
+        );
+    }
+}
+
+#[test]
 fn write_op_serialization_roundtrip() {
-    let op = WriteOp { key: b"k".to_vec(), value: Some(b"v".to_vec()) };
+    let op = WriteOp {
+        key: b"k".to_vec(),
+        value: Some(b"v".to_vec()),
+    };
     let json = serde_json::to_vec(&op).unwrap();
     let back: WriteOp = serde_json::from_slice(&json).unwrap();
     assert_eq!(op, back);

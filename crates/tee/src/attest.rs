@@ -47,7 +47,9 @@ impl HardwareRoot {
     /// Creates a root with the given secret. All machines of a simulated
     /// deployment share one root, mirroring Intel's signing authority.
     pub fn new(secret: Key) -> Self {
-        HardwareRoot { key: secret.derive("tee/hardware-root") }
+        HardwareRoot {
+            key: secret.derive("tee/hardware-root"),
+        }
     }
 
     fn quote_bytes(measurement: &Measurement, report_data: &[u8]) -> Vec<u8> {
@@ -59,9 +61,12 @@ impl HardwareRoot {
 
     /// Issues a quote over `measurement` and `report_data`.
     pub fn issue_quote(&self, measurement: Measurement, report_data: Vec<u8>) -> Quote {
-        let signature =
-            hash::hmac_sign(&self.key, &Self::quote_bytes(&measurement, &report_data));
-        Quote { measurement, report_data, signature }
+        let signature = hash::hmac_sign(&self.key, &Self::quote_bytes(&measurement, &report_data));
+        Quote {
+            measurement,
+            report_data,
+            signature,
+        }
     }
 
     /// Verifies a quote, additionally checking it attests `expected`

@@ -58,7 +58,10 @@ mod tests {
         let (v2, _) = c.increment(&costs);
         assert_eq!((v1, v2), (1, 2));
         assert_eq!(cost, costs.hw_counter_ns);
-        assert!(cost >= 50_000_000, "hardware counters must be painfully slow");
+        assert!(
+            cost >= 50_000_000,
+            "hardware counters must be painfully slow"
+        );
         assert_eq!(c.read(), 2);
     }
 

@@ -80,6 +80,12 @@ impl Enclave {
         self.resident.load(Ordering::Relaxed)
     }
 
+    /// The EPC budget of this enclave in bytes. Resident sets above this
+    /// pay paging costs; cache-like structures use it to shed load.
+    pub fn epc_capacity(&self) -> u64 {
+        self.epc_capacity
+    }
+
     /// Virtual-time cost of touching `bytes` of enclave memory.
     ///
     /// Native mode is free. In SCONE mode the MEE multiplier applies and,

@@ -30,7 +30,11 @@ pub fn seal(key: &Key, measurement: &Measurement, nonce: [u8; 12], state: &[u8])
 ///
 /// Returns [`TeeError::UnsealFailed`] if the key or measurement differs or
 /// the blob was tampered with.
-pub fn unseal(key: &Key, measurement: &Measurement, blob: &SealedBlob) -> Result<Vec<u8>, TeeError> {
+pub fn unseal(
+    key: &Key,
+    measurement: &Measurement,
+    blob: &SealedBlob,
+) -> Result<Vec<u8>, TeeError> {
     aead_open(key, &blob.nonce, &measurement.0 .0, &blob.ciphertext)
         .map_err(|_| TeeError::UnsealFailed)
 }

@@ -49,7 +49,10 @@ impl TpccConfig {
 
     /// The paper's 100-warehouse configuration (scaled rows).
     pub fn paper_100w() -> Self {
-        TpccConfig { warehouses: 100, ..Self::paper_10w() }
+        TpccConfig {
+            warehouses: 100,
+            ..Self::paper_10w()
+        }
     }
 
     /// A tiny config for tests.
@@ -148,10 +151,7 @@ fn dec<T: for<'de> Deserialize<'de>>(b: &[u8]) -> Result<T, String> {
     serde_json::from_slice(b).map_err(|e| format!("row decode: {e}"))
 }
 
-fn read_row<T: for<'de> Deserialize<'de>>(
-    txn: &mut impl KvTxn,
-    key: &[u8],
-) -> Result<T, String> {
+fn read_row<T: for<'de> Deserialize<'de>>(txn: &mut impl KvTxn, key: &[u8]) -> Result<T, String> {
     match txn.get(key)? {
         Some(b) => dec(&b),
         None => Err(format!("missing row {:?}", String::from_utf8_lossy(key))),
@@ -224,7 +224,10 @@ pub struct TpccGenerator {
 impl TpccGenerator {
     /// Creates a generator; distinct seeds give independent terminals.
     pub fn new(cfg: TpccConfig, seed: u64) -> Self {
-        TpccGenerator { cfg, rng: ChaCha8Rng::seed_from_u64(seed) }
+        TpccGenerator {
+            cfg,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// The configuration.
@@ -238,18 +241,38 @@ impl TpccGenerator {
         for i in 0..cfg.items {
             rows.push((
                 k_item(i),
-                enc(&Item { price: 100 + (i as i64 * 7) % 9900, name: format!("item-{i}") }),
+                enc(&Item {
+                    price: 100 + (i as i64 * 7) % 9900,
+                    name: format!("item-{i}"),
+                }),
             ));
         }
         for w in 0..cfg.warehouses {
-            rows.push((k_warehouse(w), enc(&Warehouse { ytd: 0, name: format!("wh-{w}") })));
+            rows.push((
+                k_warehouse(w),
+                enc(&Warehouse {
+                    ytd: 0,
+                    name: format!("wh-{w}"),
+                }),
+            ));
             for i in 0..cfg.items {
-                rows.push((k_stock(w, i), enc(&Stock { quantity: 50, ytd: 0, order_cnt: 0 })));
+                rows.push((
+                    k_stock(w, i),
+                    enc(&Stock {
+                        quantity: 50,
+                        ytd: 0,
+                        order_cnt: 0,
+                    }),
+                ));
             }
             for d in 0..cfg.districts_per_warehouse {
                 rows.push((
                     k_district(w, d),
-                    enc(&District { ytd: 0, next_o_id: 1, next_deliv_o_id: 1 }),
+                    enc(&District {
+                        ytd: 0,
+                        next_o_id: 1,
+                        next_deliv_o_id: 1,
+                    }),
                 ));
                 for c in 0..cfg.customers_per_district {
                     rows.push((
@@ -292,12 +315,23 @@ impl TpccGenerator {
                     .collect();
                 TpccTxn::NewOrder { w, d, c, items }
             }
-            45..=87 =>
-
-                TpccTxn::Payment { w, d, c, amount: self.rng.gen_range(100..500_000) },
+            45..=87 => TpccTxn::Payment {
+                w,
+                d,
+                c,
+                amount: self.rng.gen_range(100..500_000),
+            },
             88..=91 => TpccTxn::OrderStatus { w, d, c },
-            92..=95 => TpccTxn::Delivery { w, d, carrier: self.rng.gen_range(1..=10) },
-            _ => TpccTxn::StockLevel { w, d, threshold: self.rng.gen_range(10..=20) },
+            92..=95 => TpccTxn::Delivery {
+                w,
+                d,
+                carrier: self.rng.gen_range(1..=10),
+            },
+            _ => TpccTxn::StockLevel {
+                w,
+                d,
+                threshold: self.rng.gen_range(10..=20),
+            },
         }
     }
 
@@ -320,7 +354,11 @@ impl TpccGenerator {
                 api.put(&k_customer(*w, *d, *c), &enc(&customer))?;
                 api.put(
                     &k_order(*w, *d, o_id),
-                    &enc(&Order { c_id: *c, ol_cnt: items.len() as u32, carrier_id: None }),
+                    &enc(&Order {
+                        c_id: *c,
+                        ol_cnt: items.len() as u32,
+                        carrier_id: None,
+                    }),
                 )?;
                 for (n, (i, supply, qty)) in items.iter().enumerate() {
                     let item: Item = read_row(api, &k_item(*i))?;
@@ -490,7 +528,10 @@ mod tests {
                 TpccTxn::StockLevel { .. } => counts[4] += 1,
             }
         }
-        assert!((40..=50).contains(&(counts[0] / 20)), "new-order {counts:?}");
+        assert!(
+            (40..=50).contains(&(counts[0] / 20)),
+            "new-order {counts:?}"
+        );
         assert!((38..=48).contains(&(counts[1] / 20)), "payment {counts:?}");
         for c in &counts[2..] {
             assert!((1..=8).contains(&(c / 20)), "{counts:?}");
@@ -545,10 +586,19 @@ mod tests {
     fn delivery_pays_customer() {
         let cfg = TpccConfig::tiny();
         let mut kv = loaded(&cfg);
-        let order = TpccTxn::NewOrder { w: 0, d: 0, c: 3, items: vec![(1, 0, 2)] };
+        let order = TpccTxn::NewOrder {
+            w: 0,
+            d: 0,
+            c: 3,
+            items: vec![(1, 0, 2)],
+        };
         TpccGenerator::execute(&order, &mut kv).unwrap();
         let before: Customer = dec(&kv.data[&k_customer(0, 0, 3)]).unwrap();
-        let deliver = TpccTxn::Delivery { w: 0, d: 0, carrier: 4 };
+        let deliver = TpccTxn::Delivery {
+            w: 0,
+            d: 0,
+            carrier: 4,
+        };
         TpccGenerator::execute(&deliver, &mut kv).unwrap();
         let after: Customer = dec(&kv.data[&k_customer(0, 0, 3)]).unwrap();
         assert!(after.balance > before.balance);
@@ -561,7 +611,15 @@ mod tests {
     fn delivery_on_empty_district_is_noop() {
         let cfg = TpccConfig::tiny();
         let mut kv = loaded(&cfg);
-        TpccGenerator::execute(&TpccTxn::Delivery { w: 1, d: 1, carrier: 1 }, &mut kv).unwrap();
+        TpccGenerator::execute(
+            &TpccTxn::Delivery {
+                w: 1,
+                d: 1,
+                carrier: 1,
+            },
+            &mut kv,
+        )
+        .unwrap();
         let d: District = dec(&kv.data[&k_district(1, 1)]).unwrap();
         assert_eq!(d.next_deliv_o_id, 1);
     }

@@ -146,7 +146,11 @@ impl YcsbGenerator {
             Distribution::Uniform => None,
             Distribution::Zipfian { theta } => Some(Zipf::new(cfg.keys, theta)),
         };
-        YcsbGenerator { cfg, rng: ChaCha8Rng::seed_from_u64(seed), zipf }
+        YcsbGenerator {
+            cfg,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            zipf,
+        }
     }
 
     /// The configuration.
@@ -171,7 +175,10 @@ impl YcsbGenerator {
                 } else {
                     YcsbOpKind::Update
                 };
-                YcsbOp { key: self.next_key(), kind }
+                YcsbOp {
+                    key: self.next_key(),
+                    kind,
+                }
             })
             .collect()
     }
@@ -250,7 +257,10 @@ mod tests {
 
     #[test]
     fn keys_within_space() {
-        let cfg = YcsbConfig { keys: 100, ..YcsbConfig::balanced() };
+        let cfg = YcsbConfig {
+            keys: 100,
+            ..YcsbConfig::balanced()
+        };
         let mut g = YcsbGenerator::new(cfg, 3);
         for _ in 0..200 {
             for op in g.next_txn() {
@@ -293,7 +303,10 @@ mod tests {
 
     #[test]
     fn all_keys_enumerates_key_space() {
-        let cfg = YcsbConfig { keys: 5, ..YcsbConfig::balanced() };
+        let cfg = YcsbConfig {
+            keys: 5,
+            ..YcsbConfig::balanced()
+        };
         let keys: Vec<_> = YcsbGenerator::all_keys(&cfg).collect();
         assert_eq!(keys.len(), 5);
         assert_eq!(keys[0], b"user0000000000".to_vec());

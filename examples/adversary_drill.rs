@@ -50,9 +50,7 @@ fn main() {
         let mut tx = client.begin(1);
         let result = tx.put(b"victim", b"value");
         println!("   tampered request outcome: {result:?} (rejected, never executed)");
-        let rejected: u64 = (0..3)
-            .map(|i| cluster.node(i).rpc().rejected_count())
-            .sum();
+        let rejected: u64 = (0..3).map(|i| cluster.node(i).rpc().rejected_count()).sum();
         println!("   nodes rejected {rejected} forged message(s)");
         assert!(rejected > 0);
         let _ = tx.rollback();
@@ -81,7 +79,8 @@ fn main() {
         let wal = newest_wal(&node_dir);
         let stale = std::fs::read(&wal).expect("read wal");
         let mut tx = client.begin(1);
-        tx.put(b"post-snapshot", b"must-not-be-forgotten").expect("put");
+        tx.put(b"post-snapshot", b"must-not-be-forgotten")
+            .expect("put");
         tx.commit().expect("commit");
         cluster.crash_node(0);
         let wal = newest_wal(&node_dir);

@@ -42,7 +42,8 @@ fn main() {
             let teller = cluster.lock().client();
             let mut tx = teller.begin(1);
             for i in 0..ACCOUNTS {
-                tx.put(&account(i), INITIAL.to_string().as_bytes()).expect("seed");
+                tx.put(&account(i), INITIAL.to_string().as_bytes())
+                    .expect("seed");
             }
             tx.commit().expect("seed commit");
         }
@@ -85,7 +86,8 @@ fn main() {
         {
             let mut c = cluster.lock();
             c.crash_node(1);
-            c.restart_node(1).expect("recovery succeeds (state verified fresh)");
+            c.restart_node(1)
+                .expect("recovery succeeds (state verified fresh)");
             c.resolve_recovered();
         }
 

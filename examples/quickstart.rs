@@ -18,11 +18,8 @@ fn main() {
     // paper's testbed.
     block_on(move || {
         println!("== booting a 3-node Treaty cluster (full security profile) ==");
-        let cluster = Cluster::start(ClusterOptions::new(
-            SecurityProfile::treaty_full(),
-            path,
-        ))
-        .expect("cluster boots: CAS attestation, counter group, 3 nodes");
+        let cluster = Cluster::start(ClusterOptions::new(SecurityProfile::treaty_full(), path))
+            .expect("cluster boots: CAS attestation, counter group, 3 nodes");
 
         // Clients authenticate with the CAS and speak the encrypted,
         // replay-protected message format end to end.

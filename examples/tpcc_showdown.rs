@@ -37,8 +37,7 @@ fn run_variant(profile: SecurityProfile) -> (f64, f64) {
     let out = Arc::new(parking_lot::Mutex::new((0.0, 0.0)));
     let out2 = Arc::clone(&out);
     block_on(move || {
-        let cluster =
-            Arc::new(Cluster::start(ClusterOptions::new(profile, path)).expect("boot"));
+        let cluster = Arc::new(Cluster::start(ClusterOptions::new(profile, path)).expect("boot"));
         let tpcc = TpccConfig::paper_10w();
 
         // Load the initial database straight into the owning stores.

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use treaty::core::{Cluster, ClusterOptions};
 use treaty::sched::block_on;
 use treaty::sim::SecurityProfile;
-use treaty::store::{Env, EngineTxn as _, TreatyStore, TxnMode};
+use treaty::store::{EngineTxn as _, Env, TreatyStore, TxnMode};
 
 const SECRET: &[u8] = b"TOP-SECRET-PAYLOAD-0xDEADBEEF";
 
@@ -60,7 +60,10 @@ fn confidentiality_everywhere_under_full_profile() {
         }
 
         // 1. The wire.
-        assert!(!contains_secret(&cluster.fabric().captured_bytes()), "wire leak");
+        assert!(
+            !contains_secret(&cluster.fabric().captured_bytes()),
+            "wire leak"
+        );
         // 2. The disk (WAL, MANIFEST, Clog, SSTables, sealed counter state).
         assert!(!contains_secret(&all_disk_bytes(&path)), "disk leak");
         // 3. Untrusted host memory of every node.
@@ -115,8 +118,10 @@ fn integrity_detected_for_every_persistent_file_kind() {
             let client = cluster.client();
             for round in 0..20u32 {
                 let mut tx = client.begin(1);
-                tx.put(format!("key-{round}").as_bytes(), &vec![0x61; 300]).unwrap();
-                tx.put(format!("other-{round}").as_bytes(), &vec![0x62; 300]).unwrap();
+                tx.put(format!("key-{round}").as_bytes(), &vec![0x61; 300])
+                    .unwrap();
+                tx.put(format!("other-{round}").as_bytes(), &vec![0x62; 300])
+                    .unwrap();
                 if tx.commit().is_err() {
                     // contention-free here; commit must succeed
                     panic!("setup commit failed");
@@ -183,8 +188,7 @@ fn freshness_forked_node_refused() {
     let dir = tempfile::tempdir().unwrap();
     let path = dir.path().to_path_buf();
     block_on(move || {
-        let mut cluster =
-            Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
+        let mut cluster = Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
         let client = cluster.client();
         let mut tx = client.begin(1);
         tx.put(b"v", b"1").unwrap();
@@ -205,7 +209,10 @@ fn freshness_forked_node_refused() {
         std::fs::remove_dir_all(&node_dir).unwrap();
         std::fs::rename(&fork_dir, &node_dir).unwrap();
         let result = cluster.restart_node(0);
-        assert!(result.is_err(), "forked (stale) state must be refused: {result:?}");
+        assert!(
+            result.is_err(),
+            "forked (stale) state must be refused: {result:?}"
+        );
     });
 }
 
