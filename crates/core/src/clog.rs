@@ -128,7 +128,7 @@ impl Clog {
             gtx,
             participants: participants.clone(),
         };
-        let counter = self.writer.append(&serde_json::to_vec(&rec).unwrap())?;
+        let counter = self.writer.append(&encode_clog_record(&rec)?)?;
         self.state.lock().insert(
             gtx,
             TxProtocolState {
@@ -147,7 +147,7 @@ impl Clog {
     /// Propagates log I/O and stabilization failures.
     pub fn log_decision(&self, gtx: GlobalTxId, commit: bool) -> Result<()> {
         let rec = ClogRecord::Decision { gtx, commit };
-        let counter = self.writer.append(&serde_json::to_vec(&rec).unwrap())?;
+        let counter = self.writer.append(&encode_clog_record(&rec)?)?;
         if self.env.profile.stabilization {
             self.writer.stabilize(counter)?;
         }
@@ -189,6 +189,13 @@ impl Clog {
     }
 }
 
+/// Serializes a Clog record; a typed error instead of a panic, because the
+/// coordinator's commit path must never unwind mid-2PC (L002).
+fn encode_clog_record(rec: &ClogRecord) -> Result<Vec<u8>> {
+    serde_json::to_vec(rec)
+        .map_err(|e| StoreError::Io(format!("clog record does not serialize: {e}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,70 +207,76 @@ mod tests {
     }
 
     #[test]
-    fn start_decide_and_recover() {
-        let dir = tempfile::tempdir().unwrap();
+    fn start_decide_and_recover() -> Result<()> {
+        let dir = tempfile::tempdir()?;
         let gtx = GlobalTxId { node: 1, seq: 9 };
         {
-            let clog = Clog::open(env(dir.path())).unwrap();
-            clog.log_start(gtx, vec![1, 2]).unwrap();
+            let clog = Clog::open(env(dir.path()))?;
+            clog.log_start(gtx, vec![1, 2])?;
             assert_eq!(clog.undecided().len(), 1);
-            clog.log_decision(gtx, true).unwrap();
+            clog.log_decision(gtx, true)?;
             assert_eq!(clog.decision(gtx), Some(true));
             assert!(clog.undecided().is_empty());
         }
         // Recover.
-        let clog = Clog::open(env(dir.path())).unwrap();
+        let clog = Clog::open(env(dir.path()))?;
         assert_eq!(clog.decision(gtx), Some(true));
-        assert_eq!(clog.protocol_state(gtx).unwrap().participants, vec![1, 2]);
+        let st = clog
+            .protocol_state(gtx)
+            .ok_or_else(|| StoreError::Integrity("recovered state missing".into()))?;
+        assert_eq!(st.participants, vec![1, 2]);
+        Ok(())
     }
 
     #[test]
-    fn undecided_txn_visible_after_recovery() {
-        let dir = tempfile::tempdir().unwrap();
+    fn undecided_txn_visible_after_recovery() -> Result<()> {
+        let dir = tempfile::tempdir()?;
         let gtx = GlobalTxId { node: 1, seq: 3 };
         {
-            let clog = Clog::open(env(dir.path())).unwrap();
-            clog.log_start(gtx, vec![2, 3]).unwrap();
+            let clog = Clog::open(env(dir.path()))?;
+            clog.log_start(gtx, vec![2, 3])?;
             // crash before decision
         }
-        let clog = Clog::open(env(dir.path())).unwrap();
+        let clog = Clog::open(env(dir.path()))?;
         assert_eq!(clog.undecided(), vec![(gtx, vec![2, 3])]);
         assert_eq!(clog.decision(gtx), None);
+        Ok(())
     }
 
     #[test]
-    fn tampered_clog_detected() {
-        let dir = tempfile::tempdir().unwrap();
+    fn tampered_clog_detected() -> Result<()> {
+        let dir = tempfile::tempdir()?;
         let e = env(dir.path());
         {
-            let clog = Clog::open(Arc::clone(&e)).unwrap();
-            clog.log_start(GlobalTxId { node: 1, seq: 1 }, vec![1])
-                .unwrap();
+            let clog = Clog::open(Arc::clone(&e))?;
+            clog.log_start(GlobalTxId { node: 1, seq: 1 }, vec![1])?;
         }
         let path = dir.path().join(CLOG_FILE);
-        let mut raw = std::fs::read(&path).unwrap();
+        let mut raw = std::fs::read(&path)?;
         raw[15] ^= 0x40;
-        std::fs::write(&path, raw).unwrap();
+        std::fs::write(&path, raw)?;
         let err = Clog::open(e).unwrap_err();
         assert!(matches!(err, StoreError::Integrity(_)));
+        Ok(())
     }
 
     #[test]
-    fn truncated_clog_detected_as_rollback() {
-        let dir = tempfile::tempdir().unwrap();
+    fn truncated_clog_detected_as_rollback() -> Result<()> {
+        let dir = tempfile::tempdir()?;
         let e = env(dir.path());
         {
-            let clog = Clog::open(Arc::clone(&e)).unwrap();
+            let clog = Clog::open(Arc::clone(&e))?;
             let gtx = GlobalTxId { node: 1, seq: 1 };
-            clog.log_start(gtx, vec![1]).unwrap();
-            clog.log_decision(gtx, true).unwrap(); // stabilized
+            clog.log_start(gtx, vec![1])?;
+            clog.log_decision(gtx, true)?; // stabilized
         }
         // Adversary deletes the Clog wholesale to forget the decision.
-        std::fs::remove_file(dir.path().join(CLOG_FILE)).unwrap();
+        std::fs::remove_file(dir.path().join(CLOG_FILE))?;
         let err = Clog::open(e).unwrap_err();
         assert!(
             matches!(err, StoreError::Rollback(_)),
             "deleting a stabilized Clog must be detected, got {err:?}"
         );
+        Ok(())
     }
 }

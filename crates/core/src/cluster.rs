@@ -305,6 +305,19 @@ impl Cluster {
         self.slots[idx].store.as_ref()
     }
 
+    /// The node's environment, if the node has been started with storage.
+    /// Exposes the host vault and enclave for adversarial inspection in
+    /// security tests (what an attacker with host-memory access sees).
+    pub fn env(&self, idx: usize) -> Option<&Arc<Env>> {
+        self.slots[idx].env.as_ref()
+    }
+
+    /// The cluster-wide key hierarchy (as provisioned by the CAS). Tests
+    /// use this to scan untrusted memory for key-material leakage.
+    pub fn keys(&self) -> &KeyHierarchy {
+        &self.keys
+    }
+
     /// Connects a new client (auto-assigned unique endpoint).
     pub fn client(&self) -> TreatyClient {
         let id = self

@@ -654,7 +654,9 @@ impl TreatyNode {
             // phase two: re-send the decision (participants treat
             // duplicates as no-ops, §VI).
             for (gtx, st) in clog.decided() {
-                let commit = st.decision.expect("decided");
+                // `decided()` only yields entries with a decision, but the
+                // recovery path must not panic on a malformed state (L002).
+                let Some(commit) = st.decision else { continue };
                 let remotes: Vec<u32> = st
                     .participants
                     .iter()

@@ -16,7 +16,9 @@ pub mod message;
 
 pub use hash::{hmac_sign, hmac_verify, sha256, Digest32};
 pub use keys::{Key, KeyHierarchy, NonceSeq};
-pub use message::{MsgKind, SecureEnvelope, TxMeta, WireCrypto, MESSAGE_OVERHEAD};
+pub use message::{
+    EnvelopedMessage, MsgKind, SecureEnvelope, TxMeta, WireCrypto, MESSAGE_OVERHEAD,
+};
 
 use aes_gcm::aead::{Aead, Payload};
 use aes_gcm::{Aes256Gcm, KeyInit, Nonce};
@@ -37,21 +39,62 @@ pub enum CryptoError {
     Malformed,
 }
 
+/// The output of authenticated encryption: `ciphertext ‖ tag(16B)`.
+///
+/// This newtype is the root of Treaty's boundary taint discipline: the only
+/// way to obtain one is to run [`aead_seal`], so a value of this type is a
+/// *proof of encryption*. `treaty-tee`'s `HostBytes` accepts it as evidence
+/// that bytes are safe to place in untrusted host memory (§III placement
+/// invariant). Use [`Ciphertext::into_vec`] where a raw buffer is needed —
+/// e.g. for wire framing or deliberate tampering in adversary tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ciphertext(Vec<u8>);
+
+impl Ciphertext {
+    /// Borrows the raw `ciphertext ‖ tag` bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Consumes the proof, yielding the raw bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// Total length in bytes (plaintext length + 16-byte tag).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff the buffer is empty (never produced by [`aead_seal`]).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl AsRef<[u8]> for Ciphertext {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
 /// Encrypts `plaintext` with AES-256-GCM.
 ///
-/// Returns `ciphertext ‖ tag(16B)`. The `aad` is authenticated but not
-/// encrypted.
-pub fn aead_seal(key: &Key, nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+/// Returns `ciphertext ‖ tag(16B)` wrapped in the [`Ciphertext`] proof
+/// type. The `aad` is authenticated but not encrypted.
+pub fn aead_seal(key: &Key, nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Ciphertext {
     let cipher = Aes256Gcm::new(key.as_slice().into());
-    cipher
-        .encrypt(
-            Nonce::from_slice(nonce),
-            Payload {
-                msg: plaintext,
-                aad,
-            },
-        )
-        .expect("AES-GCM encryption is infallible for in-memory buffers")
+    Ciphertext(
+        cipher
+            .encrypt(
+                Nonce::from_slice(nonce),
+                Payload {
+                    msg: plaintext,
+                    aad,
+                },
+            )
+            .expect("AES-GCM encryption is infallible for in-memory buffers"),
+    )
 }
 
 /// Decrypts and authenticates a buffer produced by [`aead_seal`].
@@ -87,7 +130,7 @@ mod tests {
         let nonce = [1u8; 12];
         let ct = aead_seal(&key, &nonce, b"aad", b"hello treaty");
         assert_eq!(ct.len(), 12 + 16); // plaintext + tag
-        let pt = aead_open(&key, &nonce, b"aad", &ct).unwrap();
+        let pt = aead_open(&key, &nonce, b"aad", ct.as_slice()).unwrap();
         assert_eq!(pt, b"hello treaty");
     }
 
@@ -95,7 +138,7 @@ mod tests {
     fn tampered_ciphertext_detected() {
         let key = Key::from_bytes([7u8; 32]);
         let nonce = [1u8; 12];
-        let mut ct = aead_seal(&key, &nonce, b"", b"payload");
+        let mut ct = aead_seal(&key, &nonce, b"", b"payload").into_vec();
         ct[0] ^= 0xff;
         assert_eq!(
             aead_open(&key, &nonce, b"", &ct),
@@ -109,7 +152,7 @@ mod tests {
         let nonce = [1u8; 12];
         let ct = aead_seal(&key, &nonce, b"header-v1", b"payload");
         assert_eq!(
-            aead_open(&key, &nonce, b"header-v2", &ct),
+            aead_open(&key, &nonce, b"header-v2", ct.as_slice()),
             Err(CryptoError::AuthFailed)
         );
     }
@@ -119,7 +162,7 @@ mod tests {
         let nonce = [9u8; 12];
         let ct = aead_seal(&Key::from_bytes([1u8; 32]), &nonce, b"", b"secret");
         assert_eq!(
-            aead_open(&Key::from_bytes([2u8; 32]), &nonce, b"", &ct),
+            aead_open(&Key::from_bytes([2u8; 32]), &nonce, b"", ct.as_slice()),
             Err(CryptoError::AuthFailed)
         );
     }
@@ -131,6 +174,6 @@ mod tests {
         let ct = aead_seal(&key, &nonce, b"", b"very-secret-value");
         // The ciphertext must not contain the plaintext bytes.
         let needle = b"very-secret-value";
-        assert!(!ct.windows(needle.len()).any(|w| w == needle));
+        assert!(!ct.as_slice().windows(needle.len()).any(|w| w == needle));
     }
 }

@@ -172,7 +172,18 @@ impl SecureEnvelope {
     }
 
     /// Seals `meta` and `payload` into a wire message.
-    pub fn seal(&self, key: &Key, iv: [u8; IV_LEN], meta: &TxMeta, payload: &[u8]) -> Vec<u8> {
+    ///
+    /// The result carries the protection mode it was produced under, so
+    /// boundary types downstream (`treaty-tee`'s `HostBytes`) can decide
+    /// whether the bytes count as ciphertext or as a deliberate cleartext
+    /// profile choice.
+    pub fn seal(
+        &self,
+        key: &Key,
+        iv: [u8; IV_LEN],
+        meta: &TxMeta,
+        payload: &[u8],
+    ) -> EnvelopedMessage {
         let mut body = Vec::with_capacity(META_LEN + payload.len());
         body.extend_from_slice(&meta.encode());
         body.extend_from_slice(payload);
@@ -198,13 +209,16 @@ impl SecureEnvelope {
                 // AAD covers IV + pad so flipping either breaks the tag.
                 let aad: [u8; IV_LEN + PAD_LEN] =
                     out[..IV_LEN + PAD_LEN].try_into().expect("header length");
-                let ct_and_tag = aead_seal(key, &iv, &aad, &body);
+                let ct_and_tag = aead_seal(key, &iv, &aad, &body).into_vec();
                 let (ct, tag) = ct_and_tag.split_at(ct_and_tag.len() - MAC_LEN);
                 out.extend_from_slice(ct);
                 out.extend_from_slice(tag);
             }
         }
-        out
+        EnvelopedMessage {
+            bytes: out,
+            crypto: self.crypto,
+        }
     }
 
     /// Opens a wire message, returning the metadata and payload.
@@ -254,6 +268,54 @@ impl SecureEnvelope {
     }
 }
 
+/// A sealed wire message: the framed bytes plus the [`WireCrypto`] mode
+/// that produced them.
+///
+/// Like [`crate::Ciphertext`], this is a provenance-carrying type: the only
+/// constructor is [`SecureEnvelope::seal`], so holding one proves the bytes
+/// went through the §VII-A message format. Under [`WireCrypto::Full`] the
+/// body is AEAD ciphertext; under `Plain`/`AuthOnly` the body is cleartext
+/// *by configured profile choice* — consumers (e.g. `HostBytes`) record
+/// that distinction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvelopedMessage {
+    bytes: Vec<u8>,
+    crypto: WireCrypto,
+}
+
+impl EnvelopedMessage {
+    /// The protection mode this message was sealed under.
+    pub fn crypto(&self) -> WireCrypto {
+        self.crypto
+    }
+
+    /// Borrows the framed wire bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the proof, yielding the raw wire bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Total wire length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True iff the wire buffer is empty (never produced by `seal`).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+impl AsRef<[u8]> for EnvelopedMessage {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,7 +349,8 @@ mod tests {
             let env = SecureEnvelope::new(mode);
             let wire = env.seal(&key, [4u8; 12], &meta(), b"value-bytes");
             assert_eq!(wire.len(), env.wire_len(11));
-            let (m, payload) = env.open(&key, &wire).unwrap();
+            assert_eq!(wire.crypto(), mode);
+            let (m, payload) = env.open(&key, wire.as_slice()).unwrap();
             assert_eq!(m, meta());
             assert_eq!(payload, b"value-bytes");
         }
@@ -299,7 +362,7 @@ mod tests {
         let env = SecureEnvelope::new(WireCrypto::Full);
         let wire = env.seal(&key, [4u8; 12], &meta(), b"super-secret-payload");
         let needle = b"super-secret-payload";
-        assert!(!wire.windows(needle.len()).any(|w| w == needle));
+        assert!(!wire.as_slice().windows(needle.len()).any(|w| w == needle));
     }
 
     #[test]
@@ -307,7 +370,7 @@ mod tests {
         let key = Key::from_bytes([9u8; 32]);
         let env = SecureEnvelope::new(WireCrypto::Plain);
         let wire = env.seal(&key, [4u8; 12], &meta(), b"visible");
-        assert!(wire.windows(7).any(|w| w == b"visible"));
+        assert!(wire.as_slice().windows(7).any(|w| w == b"visible"));
     }
 
     #[test]
@@ -315,7 +378,7 @@ mod tests {
         let key = Key::from_bytes([9u8; 32]);
         for mode in [WireCrypto::AuthOnly, WireCrypto::Full] {
             let env = SecureEnvelope::new(mode);
-            let mut wire = env.seal(&key, [4u8; 12], &meta(), b"payload!!");
+            let mut wire = env.seal(&key, [4u8; 12], &meta(), b"payload!!").into_vec();
             // Flip a body byte.
             let i = IV_LEN + PAD_LEN + META_LEN + 2;
             wire[i] ^= 0x01;
@@ -331,7 +394,7 @@ mod tests {
     fn iv_tampering_detected_in_full_mode() {
         let key = Key::from_bytes([9u8; 32]);
         let env = SecureEnvelope::new(WireCrypto::Full);
-        let mut wire = env.seal(&key, [4u8; 12], &meta(), b"payload!!");
+        let mut wire = env.seal(&key, [4u8; 12], &meta(), b"payload!!").into_vec();
         wire[0] ^= 0x01;
         assert_eq!(env.open(&key, &wire), Err(CryptoError::AuthFailed));
     }
@@ -342,7 +405,7 @@ mod tests {
         let plain = SecureEnvelope::new(WireCrypto::Plain);
         let full = SecureEnvelope::new(WireCrypto::Full);
         let wire = plain.seal(&key, [0u8; 12], &meta(), b"x");
-        assert_eq!(full.open(&key, &wire), Err(CryptoError::Malformed));
+        assert_eq!(full.open(&key, wire.as_slice()), Err(CryptoError::Malformed));
     }
 
     #[test]
@@ -351,7 +414,7 @@ mod tests {
         let env = SecureEnvelope::new(WireCrypto::Full);
         let wire = env.seal(&key, [4u8; 12], &meta(), b"");
         assert_eq!(
-            env.open(&key, &wire[..MESSAGE_OVERHEAD - 1]),
+            env.open(&key, &wire.as_slice()[..MESSAGE_OVERHEAD - 1]),
             Err(CryptoError::Malformed)
         );
     }
@@ -361,7 +424,7 @@ mod tests {
         let env = SecureEnvelope::new(WireCrypto::Full);
         let wire = env.seal(&Key::from_bytes([1u8; 32]), [4u8; 12], &meta(), b"p");
         assert_eq!(
-            env.open(&Key::from_bytes([2u8; 32]), &wire),
+            env.open(&Key::from_bytes([2u8; 32]), wire.as_slice()),
             Err(CryptoError::AuthFailed)
         );
     }

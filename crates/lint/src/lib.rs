@@ -1,0 +1,864 @@
+//! treaty-lint: static enforcement of Treaty's enclave-boundary rules.
+//!
+//! The `HostBytes` newtype (crates/tee) makes "plaintext into host memory" a
+//! compile error, but three classes of boundary bugs survive the type
+//! system, so this crate scans the workspace source directly:
+//!
+//! * **L001 — enclave-only crypto.** Raw AEAD/HMAC primitives
+//!   (`aead_open`, `aead_seal`, `hmac_sign`, `hmac_verify`) may only be
+//!   named inside the trusted modules (crypto, tee, and the three store
+//!   files that run inside the enclave). Everything else must go through
+//!   the typed wrappers, otherwise key material leaks into code that the
+//!   §III adversary can interpose on.
+//! * **L002 — no panics on the 2PC commit/recovery path.** A coordinator
+//!   or participant that unwinds mid-commit leaves the protocol state
+//!   machine wedged; `unwrap()`, `expect()` and `panic!` are banned in
+//!   `core::{node,clog}` and `store::{log,sstable}`. (`unwrap_err`/
+//!   `expect_err` are fine — they assert on the *error* arm in tests.)
+//! * **L003 — deterministic time and randomness.** Simulated components
+//!   must take time from the virtual clock; `std::time::{Instant,
+//!   SystemTime}` and `thread_rng` are allowed only in the measurement
+//!   module `crates/sim/src/stats.rs`.
+//! * **L004 — auditable declassification.** Every
+//!   `HostBytes::declassified(...)` call must carry a
+//!   `// LINT-DECLASSIFY: <reason>` comment within the three lines above
+//!   it, so `git grep LINT-DECLASSIFY` is a complete audit of deliberate
+//!   plaintext-to-host flows.
+//!
+//! Violations are diffed against a committed `lint-baseline.json` ratchet:
+//! new violations fail the build; fixed violations must be removed from
+//! the baseline (`--update-baseline`), so the count only goes down.
+//!
+//! The crate has no dependencies by design — it is a hand-rolled lexer,
+//! not a parser, which is exactly enough for token-level rules and keeps
+//! the CI gate buildable with a bare toolchain.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id, e.g. `"L002"`.
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Trimmed source line (raw, pre-scrub) for the report.
+    pub snippet: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{}: {}",
+            self.rule, self.file, self.line, self.snippet
+        )
+    }
+}
+
+/// All rule ids, in report order.
+pub const RULES: [(&str, &str); 4] = [
+    ("L001", "enclave-only crypto primitives"),
+    ("L002", "no panics on 2PC commit/recovery path"),
+    ("L003", "deterministic time/randomness"),
+    ("L004", "auditable HostBytes declassification"),
+];
+
+// ---------------------------------------------------------------------------
+// Source scrubbing
+// ---------------------------------------------------------------------------
+
+/// Blanks comments and string/char-literal contents while preserving the
+/// line structure, so token matching never fires inside a comment or a
+/// string. Handles line comments, nested block comments, escapes, raw
+/// strings (`r#"..."#`, any hash depth, `b`/`br` prefixes) and the
+/// char-literal/lifetime ambiguity (`'a'` vs `<'a>`).
+pub fn scrub(source: &str) -> String {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            out.push_str("  ");
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(blank(chars[i]));
+                    i += 1;
+                }
+            }
+        } else if c == '"' {
+            let (raw, hashes) = raw_string_prefix(&chars, i);
+            out.push('"');
+            i += 1;
+            if raw {
+                while i < chars.len() {
+                    if chars[i] == '"' && (1..=hashes).all(|k| chars.get(i + k) == Some(&'#')) {
+                        out.push('"');
+                        i += 1;
+                        for _ in 0..hashes {
+                            out.push('#');
+                            i += 1;
+                        }
+                        break;
+                    }
+                    out.push(blank(chars[i]));
+                    i += 1;
+                }
+            } else {
+                while i < chars.len() {
+                    if chars[i] == '\\' {
+                        out.push(' ');
+                        i += 1;
+                        if i < chars.len() {
+                            out.push(blank(chars[i]));
+                            i += 1;
+                        }
+                    } else if chars[i] == '"' {
+                        out.push('"');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(blank(chars[i]));
+                        i += 1;
+                    }
+                }
+            }
+        } else if c == '\'' {
+            if chars.get(i + 1) == Some(&'\\') {
+                // Escaped char literal: '\n', '\'', '\u{1F600}', ...
+                out.push('\'');
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    if chars[i] == '\\' {
+                        // Consume the escape pair as a unit so '\'' does
+                        // not terminate on the escaped quote.
+                        out.push(' ');
+                        i += 1;
+                        if i < chars.len() {
+                            out.push(blank(chars[i]));
+                            i += 1;
+                        }
+                    } else {
+                        out.push(blank(chars[i]));
+                        i += 1;
+                    }
+                }
+                if i < chars.len() {
+                    out.push('\'');
+                    i += 1;
+                }
+            } else if chars.get(i + 2) == Some(&'\'') && i + 1 < chars.len() {
+                // Plain char literal: 'x'
+                out.push_str("' '");
+                i += 3;
+            } else {
+                // Lifetime or loop label: leave as-is.
+                out.push('\'');
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// For a `"` at `quote_idx`, determines whether it opens a raw string and
+/// how many `#`s close it, by looking at the immediately preceding
+/// `r`/`br` + hash prefix.
+fn raw_string_prefix(chars: &[char], quote_idx: usize) -> (bool, usize) {
+    let mut j = quote_idx;
+    let mut hashes = 0usize;
+    while j > 0 && chars[j - 1] == '#' {
+        j -= 1;
+        hashes += 1;
+    }
+    if j == 0 {
+        return (false, 0);
+    }
+    let mut k = j - 1;
+    if chars[k] != 'r' {
+        return (false, 0);
+    }
+    if k > 0 && chars[k - 1] == 'b' {
+        k -= 1;
+    }
+    // The r/br must not be the tail of a longer identifier (`var"` is not
+    // valid Rust anyway, but be safe).
+    let standalone = k == 0 || !is_ident_char(chars[k - 1]);
+    if standalone {
+        (true, hashes)
+    } else {
+        (false, 0)
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+// ---------------------------------------------------------------------------
+// Token matching
+// ---------------------------------------------------------------------------
+
+/// Byte offsets of ident-boundary occurrences of `tok` in `line`.
+fn ident_occurrences(line: &str, tok: &str) -> Vec<usize> {
+    let mut found = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(tok) {
+        let idx = start + pos;
+        let before_ok = idx == 0
+            || !line[..idx]
+                .chars()
+                .next_back()
+                .map(is_ident_char)
+                .unwrap_or(false);
+        let after = idx + tok.len();
+        let after_ok = !line[after..].chars().next().map(is_ident_char).unwrap_or(false);
+        if before_ok && after_ok {
+            found.push(idx);
+        }
+        start = idx + tok.len();
+    }
+    found
+}
+
+/// True if `line` contains `tok` as an ident followed (after optional
+/// whitespace) by `next` — e.g. `unwrap` + `(` or `panic` + `!`.
+fn has_ident_then(line: &str, tok: &str, next: char) -> bool {
+    ident_occurrences(line, tok).iter().any(|&idx| {
+        line[idx + tok.len()..]
+            .chars()
+            .find(|c| !c.is_whitespace())
+            .map(|c| c == next)
+            .unwrap_or(false)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// L001: crypto primitives that must stay inside the trusted modules.
+const L001_TOKENS: [&str; 4] = ["aead_open", "aead_seal", "hmac_sign", "hmac_verify"];
+/// L001 allowlist: path prefixes that *are* the trusted modules.
+const L001_ALLOW_PREFIXES: [&str; 2] = ["crates/crypto/", "crates/tee/"];
+/// L001 allowlist: exact enclave-resident store files.
+const L001_ALLOW_FILES: [&str; 3] = [
+    "crates/store/src/memtable.rs",
+    "crates/store/src/log.rs",
+    "crates/store/src/sstable.rs",
+];
+
+/// L002 scope: the 2PC commit/recovery path.
+const L002_SCOPE: [&str; 4] = [
+    "crates/core/src/node.rs",
+    "crates/core/src/clog.rs",
+    "crates/store/src/log.rs",
+    "crates/store/src/sstable.rs",
+];
+
+/// L003: nondeterminism sources banned outside the allowlist.
+const L003_SUBSTRINGS: [&str; 4] = [
+    "std::time::Instant",
+    "std::time::SystemTime",
+    "Instant::now",
+    "SystemTime::now",
+];
+const L003_IDENTS: [&str; 1] = ["thread_rng"];
+/// L003 allowlist: the one module allowed to read the wall clock.
+const L003_ALLOW_FILES: [&str; 1] = ["crates/sim/src/stats.rs"];
+
+/// L004: files exempt from the marker requirement (the constructor's own
+/// definition site).
+const L004_EXEMPT_FILES: [&str; 1] = ["crates/tee/src/hostbytes.rs"];
+/// The audit marker L004 requires near each declassification.
+pub const DECLASSIFY_MARKER: &str = "LINT-DECLASSIFY:";
+
+fn in_list(file: &str, list: &[&str]) -> bool {
+    list.contains(&file)
+}
+
+fn has_prefix(file: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| file.starts_with(p))
+}
+
+/// Lints one file's source. `file` is the repo-relative path with forward
+/// slashes; it selects which rules apply.
+pub fn lint_source(file: &str, source: &str) -> Vec<Violation> {
+    let scrubbed = scrub(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let lines: Vec<&str> = scrubbed.lines().collect();
+    let mut out = Vec::new();
+    let snippet = |n: usize| -> String {
+        let s = raw_lines.get(n).copied().unwrap_or("").trim();
+        let mut s = s.to_string();
+        if s.len() > 120 {
+            s.truncate(117);
+            s.push_str("...");
+        }
+        s
+    };
+
+    // L001 — enclave-only crypto.
+    if !has_prefix(file, &L001_ALLOW_PREFIXES) && !in_list(file, &L001_ALLOW_FILES) {
+        for (n, line) in lines.iter().enumerate() {
+            for tok in L001_TOKENS {
+                for _ in ident_occurrences(line, tok) {
+                    out.push(Violation {
+                        rule: "L001",
+                        file: file.to_string(),
+                        line: n + 1,
+                        snippet: snippet(n),
+                    });
+                }
+            }
+        }
+    }
+
+    // L002 — no panics on the commit/recovery path.
+    if in_list(file, &L002_SCOPE) {
+        for (n, line) in lines.iter().enumerate() {
+            let mut hits = 0;
+            if has_ident_then(line, "unwrap", '(') {
+                hits += 1;
+            }
+            if has_ident_then(line, "expect", '(') {
+                hits += 1;
+            }
+            if has_ident_then(line, "panic", '!') {
+                hits += 1;
+            }
+            for _ in 0..hits {
+                out.push(Violation {
+                    rule: "L002",
+                    file: file.to_string(),
+                    line: n + 1,
+                    snippet: snippet(n),
+                });
+            }
+        }
+    }
+
+    // L003 — deterministic time/randomness. At most one violation per
+    // line: "std::time::Instant::now()" matches two patterns but is one
+    // offence.
+    if !in_list(file, &L003_ALLOW_FILES) {
+        for (n, line) in lines.iter().enumerate() {
+            let hit = L003_SUBSTRINGS.iter().any(|pat| line.contains(pat))
+                || L003_IDENTS
+                    .iter()
+                    .any(|tok| !ident_occurrences(line, tok).is_empty());
+            if hit {
+                out.push(Violation {
+                    rule: "L003",
+                    file: file.to_string(),
+                    line: n + 1,
+                    snippet: snippet(n),
+                });
+            }
+        }
+    }
+
+    // L004 — every declassification carries an audit marker within the
+    // three raw lines above the call (markers live in comments, so they
+    // are searched on the raw source).
+    if !in_list(file, &L004_EXEMPT_FILES) {
+        for (n, line) in lines.iter().enumerate() {
+            if has_ident_then(line, "declassified", '(') {
+                let lo = n.saturating_sub(3);
+                let marked = raw_lines[lo..=n.min(raw_lines.len().saturating_sub(1))]
+                    .iter()
+                    .any(|l| l.contains(DECLASSIFY_MARKER));
+                if !marked {
+                    out.push(Violation {
+                        rule: "L004",
+                        file: file.to_string(),
+                        line: n + 1,
+                        snippet: snippet(n),
+                    });
+                }
+            }
+        }
+    }
+
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walking
+// ---------------------------------------------------------------------------
+
+/// Collects the `.rs` files the lint covers: everything under `crates/`
+/// and `tests/`, minus build output and this crate itself (its test
+/// fixtures deliberately contain violations).
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "benches"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name == "lint" {
+                continue;
+            }
+            walk(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs every rule over the workspace at `root`. Returns violations plus
+/// the number of files scanned.
+pub fn run(root: &Path) -> std::io::Result<(Vec<Violation>, usize)> {
+    let files = collect_files(root)?;
+    let scanned = files.len();
+    let mut all = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = std::fs::read_to_string(&path)?;
+        all.extend(lint_source(&rel, &source));
+    }
+    Ok((all, scanned))
+}
+
+// ---------------------------------------------------------------------------
+// Baseline ratchet
+// ---------------------------------------------------------------------------
+
+/// Violation counts per rule per file: the ratchet state.
+pub type Baseline = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// Aggregates violations into ratchet counts.
+pub fn to_counts(violations: &[Violation]) -> Baseline {
+    let mut b: Baseline = BTreeMap::new();
+    for v in violations {
+        *b.entry(v.rule.to_string())
+            .or_default()
+            .entry(v.file.clone())
+            .or_insert(0) += 1;
+    }
+    b
+}
+
+/// One ratchet discrepancy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetEntry {
+    /// Rule id.
+    pub rule: String,
+    /// Repo-relative file.
+    pub file: String,
+    /// Count in the working tree.
+    pub current: usize,
+    /// Count recorded in the baseline.
+    pub baseline: usize,
+}
+
+/// Result of diffing current counts against the committed baseline.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Ratchet {
+    /// current > baseline: new violations; the build fails.
+    pub regressions: Vec<RatchetEntry>,
+    /// current < baseline: the baseline is stale and must be shrunk.
+    pub stale: Vec<RatchetEntry>,
+}
+
+impl Ratchet {
+    /// True when the working tree matches the baseline exactly.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Diffs `current` against `baseline` over the union of (rule, file) keys.
+pub fn ratchet(current: &Baseline, baseline: &Baseline) -> Ratchet {
+    let mut keys: Vec<(String, String)> = Vec::new();
+    for (rule, files) in current.iter().chain(baseline.iter()) {
+        for file in files.keys() {
+            let k = (rule.clone(), file.clone());
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+    }
+    keys.sort();
+    let count = |b: &Baseline, rule: &str, file: &str| -> usize {
+        b.get(rule).and_then(|m| m.get(file)).copied().unwrap_or(0)
+    };
+    let mut out = Ratchet::default();
+    for (rule, file) in keys {
+        let cur = count(current, &rule, &file);
+        let base = count(baseline, &rule, &file);
+        let entry = RatchetEntry {
+            rule: rule.clone(),
+            file: file.clone(),
+            current: cur,
+            baseline: base,
+        };
+        if cur > base {
+            out.regressions.push(entry);
+        } else if cur < base {
+            out.stale.push(entry);
+        }
+    }
+    out
+}
+
+/// Renders the baseline as stable, pretty-printed JSON (sorted keys,
+/// trailing newline), so updates produce minimal diffs.
+pub fn render_baseline(b: &Baseline) -> String {
+    let mut s = String::from("{\n");
+    let mut first_rule = true;
+    for (rule, files) in b {
+        if files.is_empty() {
+            continue;
+        }
+        if !first_rule {
+            s.push_str(",\n");
+        }
+        first_rule = false;
+        s.push_str(&format!("  \"{rule}\": {{\n"));
+        let mut first_file = true;
+        for (file, count) in files {
+            if !first_file {
+                s.push_str(",\n");
+            }
+            first_file = false;
+            s.push_str(&format!("    \"{file}\": {count}"));
+        }
+        s.push_str("\n  }");
+    }
+    s.push_str("\n}\n");
+    s
+}
+
+/// Parses the baseline JSON (an object of objects of non-negative
+/// integers). Hand-rolled so the crate stays dependency-free; rejects
+/// anything outside that exact shape.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let mut p = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let mut out: Baseline = BTreeMap::new();
+    p.expect(b'{')?;
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let rule = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            p.expect(b'{')?;
+            let mut files = BTreeMap::new();
+            p.skip_ws();
+            if p.peek() == Some(b'}') {
+                p.pos += 1;
+            } else {
+                loop {
+                    p.skip_ws();
+                    let file = p.string()?;
+                    p.skip_ws();
+                    p.expect(b':')?;
+                    p.skip_ws();
+                    let n = p.number()?;
+                    files.insert(file, n);
+                    p.skip_ws();
+                    match p.next() {
+                        Some(b',') => continue,
+                        Some(b'}') => break,
+                        other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                    }
+                }
+            }
+            out.insert(rule, files);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing garbage after baseline object".to_string());
+    }
+    Ok(out)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .peek()
+            .map(|b| b == b' ' || b == b'\n' || b == b'\r' || b == b'\t')
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+    }
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match self.next() {
+                Some(b'"') => break,
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    other => return Err(format!("unsupported escape {other:?}")),
+                },
+                Some(b) => out.push(b),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+        String::from_utf8(out).map_err(|e| e.to_string())
+    }
+    fn number(&mut self) -> Result<usize, String> {
+        let start = self.pos;
+        while self.peek().map(|b| b.is_ascii_digit()).unwrap_or(false) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err("expected a number".to_string());
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|e: std::num::ParseIntError| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_blanks_comments_and_strings() {
+        let src = "let x = \"aead_open\"; // aead_open here\nlet y = 1; /* unwrap() */\n";
+        let s = scrub(src);
+        assert!(!s.contains("aead_open"));
+        assert!(!s.contains("unwrap"));
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn scrub_handles_nested_block_comments_and_raw_strings() {
+        let src = "/* a /* nested unwrap() */ still comment */ code();\nlet r = r#\"panic!(\"x\")\"#;\n";
+        let s = scrub(src);
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("panic"));
+        assert!(s.contains("code()"));
+    }
+
+    #[test]
+    fn scrub_distinguishes_char_literal_from_lifetime() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }\nlet q = '\\'';\nlet b = '\"'; let s = \"unwrap()\";\n";
+        let s = scrub(src);
+        assert!(s.contains("<'a>"), "lifetime must survive: {s}");
+        assert!(!s.contains("unwrap"), "string after char literal must be scrubbed: {s}");
+    }
+
+    #[test]
+    fn l001_flags_crypto_outside_trusted_modules() {
+        let v = lint_source("crates/core/src/node.rs", "let x = aead_open(&k, &n, b\"\", ct);\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "L001");
+        // Same token inside the crypto crate is fine.
+        assert!(lint_source("crates/crypto/src/lib.rs", "aead_open(&k, &n, aad, ct);\n").is_empty());
+        // And inside the enclave-resident store files.
+        assert!(lint_source(
+            "crates/store/src/memtable.rs",
+            "aead_seal(&k, &n, aad, plain);\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn l002_catches_deliberate_unwrap_in_node() {
+        // The acceptance check from the issue: a deliberate unwrap() in
+        // core::node must be caught.
+        let v = lint_source(
+            "crates/core/src/node.rs",
+            "fn commit() { let d = decision.unwrap(); }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "L002");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn l002_catches_expect_and_panic_but_not_err_variants() {
+        let src = "a.expect(\"boom\");\npanic!(\"no\");\nb.unwrap_err();\nc.expect_err(\"ok\");\nd.unwrap ();\n";
+        let v = lint_source("crates/core/src/clog.rs", src);
+        let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+        assert_eq!(lines, vec![1, 2, 5], "violations: {v:?}");
+        // Outside the 2PC scope the same code is allowed.
+        assert!(lint_source("crates/workload/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l003_flags_wall_clock_outside_stats() {
+        let src = "let t = std::time::Instant::now();\nlet r = rand::thread_rng();\n";
+        let v = lint_source("crates/sim/src/runtime.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == "L003"));
+        assert!(lint_source("crates/sim/src/stats.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l004_requires_audit_marker_within_three_lines() {
+        let bad = "let h = HostBytes::declassified(v, \"reason\");\n";
+        let v = lint_source("crates/net/src/fabric.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "L004");
+
+        let good = "// LINT-DECLASSIFY: test fixture\n//\n//\nlet h = HostBytes::declassified(v, \"reason\");\n";
+        assert!(lint_source("crates/net/src/fabric.rs", good).is_empty());
+
+        let too_far = "// LINT-DECLASSIFY: too far away\n//\n//\n//\nlet h = HostBytes::declassified(v, \"r\");\n";
+        assert_eq!(lint_source("crates/net/src/fabric.rs", too_far).len(), 1);
+
+        // The constructor's definition site is exempt.
+        assert!(lint_source("crates/tee/src/hostbytes.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_ratchet() {
+        let violations = vec![
+            Violation {
+                rule: "L002",
+                file: "crates/store/src/log.rs".into(),
+                line: 1,
+                snippet: "x".into(),
+            },
+            Violation {
+                rule: "L002",
+                file: "crates/store/src/log.rs".into(),
+                line: 2,
+                snippet: "y".into(),
+            },
+        ];
+        let counts = to_counts(&violations);
+        let text = render_baseline(&counts);
+        let parsed = parse_baseline(&text).unwrap();
+        assert_eq!(parsed, counts);
+
+        // Identical counts: clean.
+        assert!(ratchet(&counts, &parsed).is_clean());
+
+        // One more violation: a regression.
+        let mut more = violations.clone();
+        more.push(Violation {
+            rule: "L002",
+            file: "crates/store/src/log.rs".into(),
+            line: 3,
+            snippet: "z".into(),
+        });
+        let r = ratchet(&to_counts(&more), &parsed);
+        assert_eq!(r.regressions.len(), 1);
+        assert_eq!(r.regressions[0].current, 3);
+        assert_eq!(r.regressions[0].baseline, 2);
+
+        // One fewer: stale baseline (the ratchet must be tightened).
+        let r = ratchet(&to_counts(&violations[..1].to_vec()), &parsed);
+        assert_eq!(r.stale.len(), 1);
+        assert!(r.regressions.is_empty());
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        assert!(parse_baseline("{}\n").unwrap().is_empty());
+        assert!(parse_baseline("{ }").unwrap().is_empty());
+    }
+
+    #[test]
+    fn workspace_matches_committed_baseline() {
+        // The CI gate, as a test: lint the real workspace and diff against
+        // the committed ratchet. Fails on new violations AND on a stale
+        // baseline, so the recorded counts can only shrink.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .expect("crates/lint lives two levels below the workspace root")
+            .to_path_buf();
+        let (violations, scanned) = run(&root).expect("workspace scan");
+        assert!(scanned > 0, "no files scanned — wrong root?");
+        let text = std::fs::read_to_string(root.join("lint-baseline.json"))
+            .expect("committed lint-baseline.json");
+        let baseline = parse_baseline(&text).expect("baseline parses");
+        let r = ratchet(&to_counts(&violations), &baseline);
+        assert!(
+            r.is_clean(),
+            "lint ratchet violated.\nregressions (fix them): {:#?}\nstale (run treaty-lint --update-baseline): {:#?}",
+            r.regressions,
+            r.stale
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! CLI driver for treaty-lint.
+//!
+//! ```text
+//! treaty-lint [--root PATH] [--baseline PATH] [--update-baseline]
+//! ```
+//!
+//! Scans the workspace, prints a per-rule summary, and diffs the counts
+//! against the committed `lint-baseline.json` ratchet. Exit status:
+//!
+//! * `0` — counts match the baseline exactly,
+//! * `1` — new violations (fix the code) or a stale baseline (re-run with
+//!   `--update-baseline` to tighten it),
+//! * `2` — usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use treaty_lint::{parse_baseline, ratchet, render_baseline, run, to_counts, RULES};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage("--baseline needs a path"),
+            },
+            "--update-baseline" => update = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.json"));
+
+    let (violations, scanned) = match run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("treaty-lint: scanning {} failed: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let current = to_counts(&violations);
+
+    println!("treaty-lint: scanned {scanned} files under {}", root.display());
+    for (rule, desc) in RULES {
+        let total: usize = current
+            .get(rule)
+            .map(|m| m.values().sum())
+            .unwrap_or(0);
+        println!("  {rule} ({desc}): {total} violation(s)");
+    }
+
+    if update {
+        if let Err(e) = std::fs::write(&baseline_path, render_baseline(&current)) {
+            eprintln!(
+                "treaty-lint: writing {} failed: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!("baseline written to {}", baseline_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "treaty-lint: {} does not parse: {e}",
+                    baseline_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "treaty-lint: cannot read {} ({e}); run with --update-baseline to create it",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let diff = ratchet(&current, &baseline);
+    if diff.is_clean() {
+        println!("OK: no new violations; baseline is tight.");
+        return ExitCode::SUCCESS;
+    }
+    if !diff.regressions.is_empty() {
+        eprintln!("\nNEW violations (fix these — the ratchet only goes down):");
+        for e in &diff.regressions {
+            eprintln!(
+                "  {} {}: {} now vs {} in baseline",
+                e.rule, e.file, e.current, e.baseline
+            );
+            for v in violations
+                .iter()
+                .filter(|v| v.rule == e.rule && v.file == e.file)
+            {
+                eprintln!("    {}:{}: {}", v.file, v.line, v.snippet);
+            }
+        }
+    }
+    if !diff.stale.is_empty() {
+        eprintln!("\nSTALE baseline entries (violations were fixed — tighten the ratchet");
+        eprintln!("with `cargo run -p treaty-lint -- --update-baseline`):");
+        for e in &diff.stale {
+            eprintln!(
+                "  {} {}: {} now vs {} in baseline",
+                e.rule, e.file, e.current, e.baseline
+            );
+        }
+    }
+    ExitCode::from(1)
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("treaty-lint: {err}");
+    }
+    eprintln!("usage: treaty-lint [--root PATH] [--baseline PATH] [--update-baseline]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

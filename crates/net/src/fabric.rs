@@ -12,6 +12,7 @@ use std::sync::Arc;
 use treaty_sched::{FiberMutex, WaitQueue};
 use treaty_sim::runtime;
 use treaty_sim::{CostModel, Nanos, TeeMode, Transport};
+use treaty_tee::HostBytes;
 
 use crate::NetError;
 
@@ -59,8 +60,10 @@ pub struct Datagram {
     pub session: u64,
     /// True for responses.
     pub is_response: bool,
-    /// Sealed wire bytes (secure envelope).
-    pub wire: Vec<u8>,
+    /// Sealed wire bytes (secure envelope). Message buffers live in
+    /// untrusted host memory (the eRPC model), so the wire is a
+    /// boundary-typed [`HostBytes`], not a raw buffer.
+    pub wire: HostBytes,
     /// Receiver-side CPU cost to charge on delivery.
     pub receiver_cpu: Nanos,
 }
@@ -228,7 +231,7 @@ impl Fabric {
     pub fn captured_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         for dg in self.captured() {
-            out.extend_from_slice(&dg.wire);
+            out.extend_from_slice(dg.wire.as_slice());
         }
         out
     }
@@ -356,7 +359,7 @@ impl Fabric {
                     let mut rng = self.rng.lock();
                     rng.gen_range(0..dg.wire.len())
                 };
-                dg.wire[idx] ^= 0x55;
+                dg.wire.tamper(idx, 0x55);
             }
         }
 
@@ -474,7 +477,9 @@ mod tests {
             rpc_id: 0,
             session: 0,
             is_response: false,
-            wire: vec![0xAB; bytes],
+            // LINT-DECLASSIFY: synthetic fabric unit-test frames carry no
+            // secrets — they exercise delivery, not the envelope.
+            wire: HostBytes::declassified(vec![0xAB; bytes], "fabric unit-test frame"),
             receiver_cpu: 0,
         }
     }
@@ -550,7 +555,7 @@ mod tests {
             f.with_adversary(|a| a.tamper_next = 1);
             f.send(dg(1, 2, 64));
             let got = f.recv(2, treaty_sim::SECONDS).unwrap();
-            assert!(got.wire.iter().any(|&b| b != 0xAB));
+            assert!(got.wire.as_slice().iter().any(|&b| b != 0xAB));
             assert_eq!(f.stats().tampered, 1);
         });
     }
@@ -589,7 +594,7 @@ mod tests {
             f.send(dg(1, 2, 32));
             let cap = f.captured();
             assert_eq!(cap.len(), 1);
-            assert_eq!(cap[0].wire, vec![0xAB; 32]);
+            assert_eq!(cap[0].wire.as_slice(), &[0xAB; 32][..]);
         });
     }
 

@@ -16,6 +16,7 @@ use treaty_crypto::{Key, MsgKind, NonceSeq, SecureEnvelope, TxMeta, WireCrypto};
 use treaty_sched::{Channel, CorePool, Receiver, Sender};
 use treaty_sim::runtime::{self, FiberId};
 use treaty_sim::{Nanos, TeeMode};
+use treaty_tee::HostBytes;
 
 use crate::fabric::{Datagram, EndpointConfig, EndpointId, Fabric};
 use crate::{NetError, DEFAULT_RPC_TIMEOUT};
@@ -584,7 +585,10 @@ impl Rpc {
         }
     }
 
-    fn seal_charged(&self, meta: &TxMeta, payload: &[u8]) -> Vec<u8> {
+    /// Seals a message and charges crypto + (SCONE) boundary-copy costs.
+    /// The result is boundary-typed: message buffers live in untrusted
+    /// host memory, so they must be [`HostBytes`].
+    fn seal_charged(&self, meta: &TxMeta, payload: &[u8]) -> HostBytes {
         self.charge(self.crypto_cost(payload.len() + 80));
         // Under SCONE the sealed buffer is written to a message buffer in
         // untrusted host memory (§VII-A): one boundary copy.
@@ -596,12 +600,12 @@ impl Rpc {
             );
         }
         let iv = self.nonce.lock().next();
-        self.env.seal(&self.cfg.key, iv, meta, payload)
+        HostBytes::from_envelope(self.env.seal(&self.cfg.key, iv, meta, payload))
     }
 
-    fn open_charged(&self, wire: &[u8]) -> Result<(TxMeta, Vec<u8>), NetError> {
+    fn open_charged(&self, wire: &HostBytes) -> Result<(TxMeta, Vec<u8>), NetError> {
         self.charge(self.crypto_cost(wire.len()));
-        Ok(self.env.open(&self.cfg.key, wire)?)
+        Ok(self.env.open(&self.cfg.key, wire.as_slice())?)
     }
 }
 

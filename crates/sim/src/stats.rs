@@ -77,6 +77,29 @@ impl Histogram {
     }
 }
 
+/// A wall-clock stopwatch for *measurement only*.
+///
+/// This module is the single place in the workspace allowed to touch
+/// `std::time` (treaty-lint rule L003): simulated components must take all
+/// time from the virtual clock, or runs stop being deterministic and
+/// replayable. Harness-level checks ("the simulation did not block real
+/// time") go through this helper so the lint allowlist stays at one file.
+#[derive(Debug)]
+pub struct WallTimer(std::time::Instant);
+
+/// Starts a wall-clock stopwatch. See [`WallTimer`] for when this is
+/// legitimate.
+pub fn wall_clock() -> WallTimer {
+    WallTimer(std::time::Instant::now())
+}
+
+impl WallTimer {
+    /// Whole wall-clock seconds elapsed since the stopwatch started.
+    pub fn elapsed_secs(&self) -> u64 {
+        self.0.elapsed().as_secs()
+    }
+}
+
 /// Result of one closed-loop benchmark run: `clients` concurrent clients
 /// each executed transactions back-to-back for `duration_ns` of virtual
 /// time.

@@ -85,7 +85,10 @@ pub struct Env {
     pub costs: CostModel,
     /// The node's enclave (EPC accounting).
     pub enclave: Arc<Enclave>,
-    /// Untrusted host memory for encrypted values and buffers.
+    /// Untrusted host memory for encrypted values and buffers. Stores only
+    /// accept boundary-typed [`treaty_tee::HostBytes`]: ciphertext,
+    /// integrity-pinned plaintext (digest registered with [`Env::enclave`]),
+    /// or explicitly declassified baseline data.
     pub vault: Arc<HostVault>,
     /// The node's CPU cores; `None` means uncontended (unit tests).
     pub cores: Option<Arc<CorePool>>,

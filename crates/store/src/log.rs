@@ -25,6 +25,7 @@ use std::sync::Arc;
 use treaty_counter::TrustedCounter;
 use treaty_crypto::{aead_open, aead_seal, hash, CryptoError, Digest32};
 use treaty_sched::FiberMutex;
+use treaty_tee::HostBytes;
 
 use crate::env::Env;
 use crate::{Result, StoreError};
@@ -54,26 +55,33 @@ fn mac_bytes(env: &Env, name: &str, counter: u64, payload: &[u8]) -> Digest32 {
 }
 
 /// Frames one record (encrypting the payload if the profile says so).
-fn encode_record(env: &Env, name: &str, counter: u64, plain: &[u8]) -> Vec<u8> {
+///
+/// Record bytes cross the enclave boundary on their way to the (untrusted)
+/// file system, so the frame is assembled as [`HostBytes`]: counter and
+/// length are public framing, the payload is ciphertext or an explicitly
+/// declassified cleartext, the MAC is a tag.
+fn encode_record(env: &Env, name: &str, counter: u64, plain: &[u8]) -> HostBytes {
     let payload = if env.profile.encryption {
-        aead_seal(
+        HostBytes::from_ciphertext(aead_seal(
             &env.keys.storage,
             &record_nonce(name, counter),
             name.as_bytes(),
             plain,
-        )
+        ))
     } else {
-        plain.to_vec()
+        // LINT-DECLASSIFY: profiles without storage encryption persist log
+        // payloads in clear by design (the "w/o Enc" and native baselines).
+        HostBytes::declassified(plain.to_vec(), "log payload under a no-encryption profile")
     };
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + MAC_LEN);
-    out.extend_from_slice(&counter.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&payload);
-    if env.profile.authentication {
-        out.extend_from_slice(&mac_bytes(env, name, counter, &payload).0);
+    let mac = if env.profile.authentication {
+        mac_bytes(env, name, counter, payload.as_slice()).0
     } else {
-        out.extend_from_slice(&[0u8; MAC_LEN]);
-    }
+        [0u8; MAC_LEN]
+    };
+    let mut out = HostBytes::public_u64(counter);
+    out.append(HostBytes::public_u32(payload.len() as u32));
+    out.append(payload);
+    out.append(HostBytes::tag(mac));
     out
 }
 
@@ -160,7 +168,7 @@ impl LogWriter {
     pub fn append_batch(&self, plains: &[Vec<u8>]) -> Result<(u64, u64)> {
         assert!(!plains.is_empty(), "empty batch");
         let guard = self.write_lock.lock();
-        let mut buf = Vec::new();
+        let mut buf = HostBytes::empty();
         let mut first = 0;
         let mut last = 0;
         for (i, plain) in plains.iter().enumerate() {
@@ -171,12 +179,12 @@ impl LogWriter {
             last = c;
             self.env.charge_crypto(plain.len());
             self.env.charge_hash(plain.len());
-            buf.extend_from_slice(&encode_record(&self.env, &self.name, c, plain));
+            buf.append(encode_record(&self.env, &self.name, c, plain));
         }
         self.env.charge_ssd_append(buf.len());
         {
             let mut f = self.file.lock();
-            f.write_all(&buf)?;
+            f.write_all(buf.as_slice())?;
             f.flush()?;
             f.sync_data()?;
         }

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use treaty_crypto::{aead_open, aead_seal, hash, Digest32, Key};
-use treaty_tee::HostHandle;
+use treaty_tee::{HostBytes, HostHandle};
 
 use crate::env::Env;
 use crate::skiplist::SkipList;
@@ -117,15 +117,23 @@ impl MemTable {
         self.env.charge_crypto(value.len());
         self.env.charge_hash(value.len());
 
-        let stored = if self.env.profile.encryption {
-            encrypt_with_prefix_nonce(&self.value_key, key, self.next_nonce(), value)
-        } else {
-            value.to_vec()
-        };
         let digest = if self.env.profile.authentication {
             hash::sha256(value)
         } else {
             Digest32::default()
+        };
+        let stored = if self.env.profile.encryption {
+            encrypt_with_prefix_nonce(&self.value_key, key, self.next_nonce(), value)
+        } else if self.env.profile.authentication {
+            // Treaty w/o Enc: the enclave-held digest pins the plaintext,
+            // so host tampering is caught on the read path.
+            self.env.enclave.pin_integrity(digest);
+            HostBytes::integrity_pinned(value.to_vec(), &self.env.enclave)
+                .expect("digest pinned immediately above")
+        } else {
+            // LINT-DECLASSIFY: baseline profiles (native / DS-RocksDB) store
+            // plaintext values by design — they are the negative controls.
+            HostBytes::declassified(value.to_vec(), "baseline profile without encryption")
         };
         let handle = self.env.vault.store(stored);
 
@@ -280,6 +288,10 @@ impl MemTable {
                         .load(handle)
                         .map_err(|e| StoreError::Integrity(e.to_string()))?;
                     let _ = self.env.vault.free(handle);
+                    if !self.env.profile.encryption && self.env.profile.authentication {
+                        // Release the integrity pin taken at put time.
+                        self.env.enclave.unpin_integrity(&digest);
+                    }
                     self.env.charge_crypto(len as usize);
                     let plain = if self.env.profile.encryption {
                         decrypt_with_prefix_nonce(&self.value_key, &k.user, &stored)?
@@ -302,10 +314,9 @@ impl MemTable {
 
 /// Values in host memory are stored as `nonce(12B) ‖ ciphertext` — the
 /// nonce need not be secret, only unique.
-fn encrypt_with_prefix_nonce(key: &Key, aad: &[u8], nonce: [u8; 12], plain: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(12 + plain.len() + 16);
-    out.extend_from_slice(&nonce);
-    out.extend_from_slice(&aead_seal(key, &nonce, aad, plain));
+fn encrypt_with_prefix_nonce(key: &Key, aad: &[u8], nonce: [u8; 12], plain: &[u8]) -> HostBytes {
+    let mut out = HostBytes::nonce(nonce);
+    out.append(HostBytes::from_ciphertext(aead_seal(key, &nonce, aad, plain)));
     out
 }
 

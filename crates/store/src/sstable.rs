@@ -24,6 +24,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use treaty_crypto::{aead_open, aead_seal, hash};
+use treaty_tee::HostBytes;
 
 use crate::bloom::BloomFilter;
 use crate::cache::approx_records_bytes;
@@ -89,22 +90,28 @@ fn block_aad(file_id: u64, block_no: u32) -> Vec<u8> {
     aad
 }
 
-fn protect_block(env: &Env, file_id: u64, block_no: u32, plain: &[u8]) -> (Vec<u8>, [u8; 32]) {
+/// Protects one block for untrusted storage, returning the stored bytes
+/// (as boundary-typed [`HostBytes`]) plus the footer HMAC digest used in
+/// authentication-only mode.
+fn protect_block(env: &Env, file_id: u64, block_no: u32, plain: &[u8]) -> (HostBytes, [u8; 32]) {
     env.charge_crypto(plain.len());
     env.charge_hash(plain.len());
     let stored = if env.profile.encryption {
-        aead_seal(
+        HostBytes::from_ciphertext(aead_seal(
             &env.keys.storage,
             &block_nonce(file_id, block_no),
             &block_aad(file_id, block_no),
             plain,
-        )
+        ))
     } else {
-        plain.to_vec()
+        // LINT-DECLASSIFY: unencrypted profiles store cleartext blocks by
+        // design; integrity comes from the footer HMAC the enclave pins at
+        // open (the "w/o Enc" ablation) or from nothing (native baseline).
+        HostBytes::declassified(plain.to_vec(), "sstable block under a no-encryption profile")
     };
     let digest = if env.profile.authentication && !env.profile.encryption {
         let mut buf = block_aad(file_id, block_no);
-        buf.extend_from_slice(&stored);
+        buf.extend_from_slice(stored.as_slice());
         hash::hmac_sign(&env.keys.storage, &buf).0
     } else {
         [0u8; 32]
@@ -247,7 +254,7 @@ pub fn build(
         let block_no = blocks.len() as u32;
         let plain = encode_records(pending);
         let (stored, digest) = protect_block(env, file_id, block_no, &plain);
-        file.write_all(&stored)?;
+        file.write_all(stored.as_slice())?;
         blocks.push(BlockMeta {
             offset: *offset,
             len: stored.len() as u32,
@@ -308,7 +315,7 @@ pub fn build(
 
     let meta_plain = serde_json::to_vec(&meta).expect("meta serializes");
     let (meta_stored, meta_digest) = protect_block(env, file_id, META_BLOCK_NO, &meta_plain);
-    file.write_all(&meta_stored)?;
+    file.write_all(meta_stored.as_slice())?;
     file.write_all(&meta_digest)?;
     file.write_all(&(meta_stored.len() as u64).to_le_bytes())?;
     file.write_all(&MAGIC.to_le_bytes())?;

@@ -5,8 +5,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use treaty_crypto::Digest32;
 use treaty_sim::{CostModel, Nanos, TeeMode};
 
+use crate::hostbytes::HostBytes;
 use crate::TeeError;
 
 /// EPC size of SGX v1 (94 MiB usable).
@@ -27,6 +29,11 @@ pub struct Enclave {
     epc_capacity: u64,
     resident: AtomicU64,
     faults: AtomicU64,
+    /// Digests of plaintext buffers the enclave vouches for in untrusted
+    /// memory (the "w/o Enc" profiles): refcounted so identical values
+    /// stored twice stay pinned until both are freed. This map is what
+    /// [`HostBytes::integrity_pinned`] checks.
+    integrity: Mutex<HashMap<Digest32, u64>>,
 }
 
 impl Enclave {
@@ -43,6 +50,7 @@ impl Enclave {
             epc_capacity,
             resident: AtomicU64::new(0),
             faults: AtomicU64::new(0),
+            integrity: Mutex::new(HashMap::new()),
         }
     }
 
@@ -115,6 +123,37 @@ impl Enclave {
     pub fn fault_count(&self) -> u64 {
         self.faults.load(Ordering::Relaxed)
     }
+
+    // ---- integrity map (the trusted side of `HostBytes::integrity_pinned`) ----
+
+    /// Registers `digest` as vouched-for plaintext in untrusted memory.
+    /// Refcounted: pin twice, unpin twice.
+    pub fn pin_integrity(&self, digest: Digest32) {
+        *self.integrity.lock().entry(digest).or_insert(0) += 1;
+    }
+
+    /// Releases one pin on `digest`; the entry disappears when the
+    /// refcount reaches zero.
+    pub fn unpin_integrity(&self, digest: &Digest32) {
+        let mut map = self.integrity.lock();
+        if let Some(count) = map.get_mut(digest) {
+            *count -= 1;
+            if *count == 0 {
+                map.remove(digest);
+            }
+        }
+    }
+
+    /// True iff `digest` is currently pinned.
+    pub fn is_pinned(&self, digest: &Digest32) -> bool {
+        self.integrity.lock().contains_key(digest)
+    }
+
+    /// Number of distinct pinned digests (enclave-resident state the
+    /// integrity map costs — useful for EPC accounting tests).
+    pub fn pinned_digests(&self) -> usize {
+        self.integrity.lock().len()
+    }
 }
 
 /// Handle to a buffer stored in untrusted host memory.
@@ -146,7 +185,18 @@ impl HostVault {
     }
 
     /// Stores a buffer, returning its handle.
-    pub fn store(&self, data: Vec<u8>) -> HostHandle {
+    ///
+    /// The vault is untrusted host memory, so callers must prove the bytes
+    /// are safe to expose by constructing a [`HostBytes`] first. Handing
+    /// over raw plaintext no longer typechecks:
+    ///
+    /// ```compile_fail
+    /// let vault = treaty_tee::HostVault::new();
+    /// // A raw Vec<u8> is plaintext with no provenance: rejected.
+    /// vault.store(vec![1u8, 2, 3]);
+    /// ```
+    pub fn store(&self, data: HostBytes) -> HostHandle {
+        let data = data.into_vec();
         let mut inner = self.inner.lock();
         let id = inner.next;
         inner.next += 1;
@@ -268,10 +318,16 @@ mod tests {
         assert_eq!(e.resident_bytes(), 0);
     }
 
+    // LINT-DECLASSIFY: vault unit tests exercise storage mechanics on
+    // synthetic non-secret bytes.
+    fn test_bytes(data: Vec<u8>) -> HostBytes {
+        HostBytes::declassified(data, "vault unit-test buffer")
+    }
+
     #[test]
     fn vault_store_load_free() {
         let v = HostVault::new();
-        let h = v.store(vec![1, 2, 3]);
+        let h = v.store(test_bytes(vec![1, 2, 3]));
         assert_eq!(v.load(h).unwrap(), vec![1, 2, 3]);
         assert_eq!(v.resident_bytes(), 3);
         v.free(h).unwrap();
@@ -283,7 +339,7 @@ mod tests {
     #[test]
     fn vault_corrupt_flips_bytes() {
         let v = HostVault::new();
-        let h = v.store(vec![0u8; 4]);
+        let h = v.store(test_bytes(vec![0u8; 4]));
         v.corrupt(h, 2).unwrap();
         assert_eq!(v.load(h).unwrap(), vec![0, 0, 0xFF, 0]);
     }
@@ -291,10 +347,26 @@ mod tests {
     #[test]
     fn vault_dump_sees_all_buffers() {
         let v = HostVault::new();
-        v.store(b"aaa".to_vec());
-        v.store(b"bbb".to_vec());
+        v.store(test_bytes(b"aaa".to_vec()));
+        v.store(test_bytes(b"bbb".to_vec()));
         let dump = v.dump();
         assert!(dump.windows(3).any(|w| w == b"aaa"));
         assert!(dump.windows(3).any(|w| w == b"bbb"));
+    }
+
+    #[test]
+    fn integrity_map_is_refcounted() {
+        let e = Enclave::new(TeeMode::Native);
+        let digest = treaty_crypto::sha256(b"pinned-value");
+        e.pin_integrity(digest);
+        e.pin_integrity(digest);
+        assert_eq!(e.pinned_digests(), 1);
+        e.unpin_integrity(&digest);
+        assert!(e.is_pinned(&digest), "one pin still outstanding");
+        e.unpin_integrity(&digest);
+        assert!(!e.is_pinned(&digest));
+        assert_eq!(e.pinned_digests(), 0);
+        // Unpinning an unknown digest is a no-op, not a panic.
+        e.unpin_integrity(&digest);
     }
 }

@@ -19,11 +19,13 @@
 pub mod attest;
 pub mod counter;
 pub mod enclave;
+pub mod hostbytes;
 pub mod seal;
 
 pub use attest::{HardwareRoot, Measurement, Quote};
 pub use counter::HwCounter;
 pub use enclave::{Enclave, HostHandle, HostVault, EPC_V1_BYTES, EPC_V2_BYTES};
+pub use hostbytes::{HostBytes, Provenance};
 pub use seal::{seal, unseal, SealedBlob};
 
 /// Errors surfaced by the TEE abstraction.
@@ -38,4 +40,9 @@ pub enum TeeError {
     /// A host-memory handle was stale or freed.
     #[error("invalid host memory handle {0}")]
     BadHandle(u64),
+    /// Bytes presented as integrity-pinned have no matching digest in the
+    /// enclave's integrity map — pin the digest before constructing
+    /// [`HostBytes::integrity_pinned`].
+    #[error("bytes are not integrity-pinned by this enclave")]
+    NotPinned,
 }

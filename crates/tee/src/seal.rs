@@ -20,8 +20,20 @@ pub struct SealedBlob {
 /// (different code) cannot unseal the blob even with the same sealing key —
 /// the MRENCLAVE sealing policy.
 pub fn seal(key: &Key, measurement: &Measurement, nonce: [u8; 12], state: &[u8]) -> SealedBlob {
-    let ciphertext = aead_seal(key, &nonce, &measurement.0 .0, state);
+    let ciphertext = aead_seal(key, &nonce, &measurement.0 .0, state).into_vec();
     SealedBlob { nonce, ciphertext }
+}
+
+impl SealedBlob {
+    /// The AEAD nonce (public framing).
+    pub fn nonce(&self) -> &[u8; 12] {
+        &self.nonce
+    }
+
+    /// The sealed `ciphertext ‖ tag` bytes.
+    pub fn ciphertext(&self) -> &[u8] {
+        &self.ciphertext
+    }
 }
 
 /// Unseals a blob sealed by [`seal`].

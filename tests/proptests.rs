@@ -46,7 +46,7 @@ proptest! {
         let key = Key::from_bytes([7u8; 32]);
         let env = SecureEnvelope::new(mode);
         let meta = TxMeta { node_id: 1, tx_id: 2, op_id: 3, kind: treaty::crypto::MsgKind::Data };
-        let wire = env.seal(&key, [9u8; 12], &meta, &payload);
+        let wire = env.seal(&key, [9u8; 12], &meta, &payload).into_vec();
         let (m, p) = env.open(&key, &wire).unwrap();
         prop_assert_eq!(m, meta);
         prop_assert_eq!(&p, &payload);

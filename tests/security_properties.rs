@@ -88,6 +88,74 @@ fn host_memory_confidentiality_single_node() {
     );
 }
 
+/// Generic substring scan (for user keys and raw key material).
+fn contains_bytes(haystack: &[u8], needle: &[u8]) -> bool {
+    !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+#[test]
+fn adversarial_host_memory_scan_across_shards() {
+    // The §III adversary owns host memory. Drive a realistic multi-shard
+    // transaction mix through the whole cluster, force flushes so values
+    // travel memtable -> vault -> SSTable, then dump every node's
+    // HostVault and scan for anything that should never be there:
+    // plaintext values, plaintext user keys, or raw key-hierarchy
+    // material. With `HostVault::store` accepting only `HostBytes`, the
+    // type system should make this test unfailable — it is the runtime
+    // witness for the compile-time claim.
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let cluster = Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
+        let client = cluster.client();
+        for round in 0..30u32 {
+            // Rotate the coordinator; keys span the shard map so every
+            // transaction is distributed.
+            let coordinator = (round % 3) + 1;
+            let mut tx = client.begin(coordinator);
+            for k in 0..4u32 {
+                let key = format!("acct-{:04}-{k}", round * 7 + k);
+                let mut value = SECRET.to_vec();
+                value.extend_from_slice(format!("-r{round}-k{k}").as_bytes());
+                tx.put(key.as_bytes(), &value).unwrap();
+            }
+            tx.commit().unwrap();
+        }
+        // Push everything through flush so SSTable build paths run too.
+        for i in 0..3 {
+            if let Some(store) = cluster.store(i) {
+                store.flush().unwrap();
+            }
+        }
+
+        let keys = cluster.keys();
+        let key_material: [(&str, &[u8]); 4] = [
+            ("network", keys.network.as_slice()),
+            ("storage", keys.storage.as_slice()),
+            ("sealing", keys.sealing.as_slice()),
+            ("counter", keys.counter.as_slice()),
+        ];
+        for i in 0..3 {
+            let env = cluster.env(i).expect("durable cluster exposes env");
+            let dump = env.vault.dump();
+            assert!(
+                !contains_secret(&dump),
+                "node {i}: plaintext value in untrusted host memory"
+            );
+            assert!(
+                !contains_bytes(&dump, b"acct-"),
+                "node {i}: plaintext user key in untrusted host memory"
+            );
+            for (name, material) in key_material {
+                assert!(
+                    !contains_bytes(&dump, material),
+                    "node {i}: {name} key material in untrusted host memory"
+                );
+            }
+        }
+    });
+}
+
 #[test]
 fn baseline_profile_leaks_everywhere() {
     // The negative control: DS-RocksDB stores and ships plaintext.
