@@ -4,8 +4,11 @@
 //! Paper result: Native w/ Enc ≈ 1.0x, Secure w/o Enc ≈ 1.8x,
 //! Secure w/ Enc ≈ 2.0x.
 
-use treaty_bench::{print_row, run_experiment, slowdown, RunConfig};
+use treaty_bench::{
+    print_row, run_experiment, slowdown, trace_out_arg, write_trace_artifact, RunConfig,
+};
 use treaty_sim::SecurityProfile;
+use treaty_workload::YcsbConfig;
 
 fn main() {
     let clients: usize = std::env::args()
@@ -43,4 +46,16 @@ fn main() {
         let _ = slowdown(b, b);
     }
     println!("\npaper: Native w/Enc ~1.0x | Secure w/o Enc ~1.8x | Secure w/ Enc ~2.0x");
+
+    // `--trace-out FILE`: emit a deterministic Chrome trace + phase
+    // breakdown. The traced run uses the full durable stack (storage
+    // engine + Clog, not the storage-less protocol above) so the artifact
+    // decomposes every layer of a committed distributed transaction.
+    if let Some(path) = trace_out_arg() {
+        let mut ycsb = YcsbConfig::balanced();
+        ycsb.keys = 200;
+        let mut cfg = RunConfig::distributed_ycsb(SecurityProfile::treaty_full(), ycsb, 4);
+        cfg.txns_per_client = 25; // 100-txn smoke run
+        write_trace_artifact(&path, cfg);
+    }
 }

@@ -4,7 +4,10 @@
 //! Paper result: Native Treaty ~ RocksDB; Treaty w/o Enc ~1.6x,
 //! w/ Enc ~2x, w/ Enc w/ Stab ~2.1x (TPC-C).
 
-use treaty_bench::{print_accel, print_row, run_experiment_detailed, RunConfig, Workload};
+use treaty_bench::{
+    print_accel, print_row, run_experiment_detailed, trace_out_arg, write_trace_artifact,
+    RunConfig, Workload,
+};
 use treaty_sim::SecurityProfile;
 use treaty_store::TxnMode;
 use treaty_workload::{TpccConfig, YcsbConfig};
@@ -80,5 +83,21 @@ pub fn run(mode: TxnMode, title: &str) {
                 baseline = Some(stats.tps());
             }
         }
+    }
+
+    // `--trace-out FILE`: one extra small traced run of the full-security
+    // single-node stack, exported as a deterministic Chrome trace + phase
+    // breakdown.
+    if let Some(path) = trace_out_arg() {
+        let mut ycsb = YcsbConfig::balanced();
+        ycsb.keys = 200;
+        let mut cfg = RunConfig::single_node(
+            SecurityProfile::treaty_full(),
+            mode,
+            Workload::Ycsb(ycsb),
+            4,
+        );
+        cfg.txns_per_client = 25;
+        write_trace_artifact(&path, cfg);
     }
 }

@@ -173,6 +173,39 @@ impl AccelReport {
     }
 }
 
+/// Deterministic observability artifacts from a traced run.
+///
+/// Everything in here derives from the virtual clock and the per-`Sim`
+/// trace sink, so two runs with the same [`RunConfig`] produce
+/// byte-identical reports.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Chrome `trace_event` JSON — load in Perfetto or `chrome://tracing`.
+    pub chrome_json: String,
+    /// Virtual-time phase-breakdown table (the Fig. 4 decomposition).
+    pub phase_breakdown: String,
+    /// Rendered metrics-registry snapshot (counters, gauges, histograms).
+    pub metrics: String,
+}
+
+impl TraceReport {
+    /// Writes the Chrome trace to `path` and the breakdown/metrics text
+    /// reports to sidecar files (`<path>.breakdown.txt`, `<path>.metrics.txt`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, &self.chrome_json)?;
+        let mut breakdown = path.as_os_str().to_owned();
+        breakdown.push(".breakdown.txt");
+        std::fs::write(&breakdown, &self.phase_breakdown)?;
+        let mut metrics = path.as_os_str().to_owned();
+        metrics.push(".metrics.txt");
+        std::fs::write(&metrics, &self.metrics)
+    }
+}
+
 /// Runs one closed-loop experiment and returns its stats.
 ///
 /// # Panics
@@ -190,13 +223,44 @@ pub fn run_experiment(cfg: RunConfig) -> BenchStats {
 ///
 /// Panics if the cluster fails to boot or the simulation errors.
 pub fn run_experiment_detailed(cfg: RunConfig) -> (BenchStats, AccelReport) {
+    let (stats, accel, _) = run_experiment_inner(cfg, false);
+    (stats, accel)
+}
+
+/// Like [`run_experiment_detailed`], but with the deterministic tracing hub
+/// installed for the whole run: additionally returns the Chrome trace,
+/// phase breakdown and metrics snapshot.
+///
+/// # Panics
+///
+/// Panics if the cluster fails to boot or the simulation errors.
+pub fn run_experiment_traced(cfg: RunConfig) -> (BenchStats, AccelReport, TraceReport) {
+    let (stats, accel, trace) = run_experiment_inner(cfg, true);
+    (stats, accel, trace.expect("tracing was enabled"))
+}
+
+fn run_experiment_inner(
+    cfg: RunConfig,
+    trace: bool,
+) -> (BenchStats, AccelReport, Option<TraceReport>) {
     let label = cfg.profile.label().to_string();
-    let out: Arc<Mutex<Option<(BenchStats, AccelReport)>>> = Arc::new(Mutex::new(None));
+    #[allow(clippy::type_complexity)]
+    let out: Arc<Mutex<Option<(BenchStats, AccelReport, Option<TraceReport>)>>> =
+        Arc::new(Mutex::new(None));
     let out2 = Arc::clone(&out);
     let dir = tempfile::tempdir().expect("bench tempdir");
     let path = dir.path().to_path_buf();
 
     block_on(move || {
+        // Install the observability hub first, from the root fiber, so every
+        // fiber the cluster spawns inherits it.
+        let obs = if trace {
+            let obs = treaty_obs::Obs::with_default_cap();
+            treaty_sim::obs::install(&obs);
+            Some(obs)
+        } else {
+            None
+        };
         let mut options = ClusterOptions::new(cfg.profile, path);
         options.nodes = cfg.nodes;
         options.txn_mode = cfg.txn_mode;
@@ -267,6 +331,7 @@ pub fn run_experiment_detailed(cfg: RunConfig) -> (BenchStats, AccelReport) {
                     if ok {
                         committed.fetch_add(1, Ordering::Relaxed);
                         hist.lock().record(elapsed);
+                        treaty_sim::obs::hist_record("client.txn_latency_ns", elapsed);
                     } else {
                         aborted.fetch_add(1, Ordering::Relaxed);
                     }
@@ -295,11 +360,77 @@ pub fn run_experiment_detailed(cfg: RunConfig) -> (BenchStats, AccelReport) {
                 accel.bloom_false_positives += es.bloom_false_positives;
             }
         }
-        *out2.lock() = Some((stats, accel));
+        let trace_report = obs.as_ref().map(|obs| {
+            absorb_cluster_stats(obs, &cluster, cfg.nodes);
+            let events = obs.events();
+            TraceReport {
+                chrome_json: treaty_obs::export::chrome_trace_json(&events),
+                phase_breakdown: treaty_obs::export::phase_breakdown(&events),
+                metrics: obs.metrics().snapshot().render(),
+            }
+        });
+        *out2.lock() = Some((stats, accel, trace_report));
     });
 
     let result = out.lock().take().expect("experiment produced stats");
     result
+}
+
+/// Mirrors the legacy per-subsystem counter structs ([`treaty_core`]'s
+/// `NodeStats`, the engine's `EngineStats`, the fabric's `FabricStats`)
+/// into the metrics registry, so one snapshot carries every counter the
+/// stack exposes.
+fn absorb_cluster_stats(obs: &Arc<treaty_obs::Obs>, cluster: &Cluster, nodes: usize) {
+    let m = obs.metrics();
+    let mut node_totals = (0u64, 0u64, 0u64, 0u64);
+    let mut engine = treaty_store::EngineStats::default();
+    for idx in 0..nodes {
+        let ns = cluster.node(idx).stats();
+        node_totals.0 += ns.committed;
+        node_totals.1 += ns.aborted;
+        node_totals.2 += ns.participant_ops;
+        node_totals.3 += ns.decision_retries;
+        if let Some(store) = cluster.store(idx) {
+            let es = store.stats();
+            engine.commits += es.commits;
+            engine.aborts += es.aborts;
+            engine.gets += es.gets;
+            engine.flushes += es.flushes;
+            engine.compactions += es.compactions;
+            engine.files_deleted += es.files_deleted;
+            engine.group_commits += es.group_commits;
+            engine.grouped_txns += es.grouped_txns;
+            engine.block_cache_hits += es.block_cache_hits;
+            engine.block_cache_misses += es.block_cache_misses;
+            engine.bloom_negatives += es.bloom_negatives;
+            engine.bloom_false_positives += es.bloom_false_positives;
+        }
+    }
+    m.gauge_set("core.nodes.committed", node_totals.0);
+    m.gauge_set("core.nodes.aborted", node_totals.1);
+    m.gauge_set("core.nodes.participant_ops", node_totals.2);
+    m.gauge_set("core.nodes.decision_retries", node_totals.3);
+    m.gauge_set("store.commits", engine.commits);
+    m.gauge_set("store.aborts", engine.aborts);
+    m.gauge_set("store.gets", engine.gets);
+    m.gauge_set("store.flushes", engine.flushes);
+    m.gauge_set("store.compactions", engine.compactions);
+    m.gauge_set("store.files_deleted", engine.files_deleted);
+    m.gauge_set("store.group_commits", engine.group_commits);
+    m.gauge_set("store.grouped_txns", engine.grouped_txns);
+    m.gauge_set("store.block_cache.hits", engine.block_cache_hits);
+    m.gauge_set("store.block_cache.misses", engine.block_cache_misses);
+    m.gauge_set("store.bloom.negatives", engine.bloom_negatives);
+    m.gauge_set("store.bloom.false_positives", engine.bloom_false_positives);
+    let fs = cluster.fabric().stats();
+    m.gauge_set("fabric.sent", fs.sent);
+    m.gauge_set("fabric.delivered", fs.delivered);
+    m.gauge_set("fabric.dropped_adversary", fs.dropped_adversary);
+    m.gauge_set("fabric.dropped_mtu", fs.dropped_mtu);
+    m.gauge_set("fabric.dropped_unreachable", fs.dropped_unreachable);
+    m.gauge_set("fabric.tampered", fs.tampered);
+    m.gauge_set("fabric.duplicated", fs.duplicated);
+    m.gauge_set("obs.dropped_events", obs.dropped());
 }
 
 // ---- Fig. 8: network bandwidth -----------------------------------------------
@@ -491,6 +622,42 @@ pub fn run_recovery(profile: SecurityProfile, entries: usize, entry_bytes: usize
     });
     let r = *out.lock();
     r
+}
+
+// ---- trace artifacts ---------------------------------------------------------
+
+/// Parses the `--trace-out FILE` flag shared by the bench binaries.
+pub fn trace_out_arg() -> Option<std::path::PathBuf> {
+    std::env::args()
+        .skip_while(|a| a != "--trace-out")
+        .nth(1)
+        .map(Into::into)
+}
+
+/// Runs `cfg` with the tracing hub installed and writes the Chrome trace
+/// plus the breakdown/metrics sidecars to `path`, printing the text
+/// reports. The run is deterministic: the same `cfg` always produces
+/// byte-identical artifacts.
+///
+/// # Panics
+///
+/// Panics if the experiment fails or the artifacts cannot be written.
+pub fn write_trace_artifact(path: &std::path::Path, cfg: RunConfig) {
+    let (stats, _accel, trace) = run_experiment_traced(cfg);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("trace output directory");
+        }
+    }
+    trace.write_to(path).expect("write trace artifacts");
+    println!(
+        "\ntrace: {} committed / {} aborted txns -> {}",
+        stats.committed,
+        stats.aborted,
+        path.display()
+    );
+    println!("\n{}", trace.phase_breakdown);
+    println!("{}", trace.metrics);
 }
 
 // ---- reporting helpers ---------------------------------------------------------

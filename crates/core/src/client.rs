@@ -80,6 +80,11 @@ impl TreatyClient {
         let local = self.next_seq.fetch_add(1, Ordering::Relaxed);
         // Cluster-unique transaction sequence: client id ‖ local counter.
         let seq = ((self.client_id as u64) << 32) | local as u64;
+        treaty_sim::obs::set_node(self.client_id);
+        {
+            let _txn = treaty_sim::obs::txn_scope(seq);
+            treaty_sim::obs::instant("client.begin", &[("coordinator", u64::from(coordinator))]);
+        }
         DistTxn {
             client: self,
             coordinator,
@@ -158,6 +163,8 @@ impl<'a> DistTxn<'a> {
         if self.finished {
             return Err(TreatyError::Rejected("transaction finished".into()));
         }
+        let _txn = treaty_sim::obs::txn_scope(self.seq);
+        let _span = treaty_sim::obs::span("client.op");
         let meta = self.meta(MsgKind::TxnPut);
         let call = self
             .client
@@ -228,6 +235,8 @@ impl<'a> DistTxn<'a> {
             return Err(TreatyError::Rejected("transaction finished".into()));
         }
         self.finished = true;
+        let _txn = treaty_sim::obs::txn_scope(self.seq);
+        let _span = treaty_sim::obs::span("client.commit");
         let meta = self.meta(MsgKind::TxnCommit);
         let call = self
             .client

@@ -124,6 +124,10 @@ impl Clog {
     ///
     /// Propagates log I/O failures.
     pub fn log_start(&self, gtx: GlobalTxId, participants: Vec<u32>) -> Result<u64> {
+        let _span = treaty_sim::obs::span_with(
+            "clog.log_start",
+            &[("participants", participants.len() as u64)],
+        );
         let rec = ClogRecord::Start {
             gtx,
             participants: participants.clone(),
@@ -146,9 +150,11 @@ impl Clog {
     ///
     /// Propagates log I/O and stabilization failures.
     pub fn log_decision(&self, gtx: GlobalTxId, commit: bool) -> Result<()> {
+        let _span = treaty_sim::obs::span_with("clog.log_decision", &[("commit", u64::from(commit))]);
         let rec = ClogRecord::Decision { gtx, commit };
         let counter = self.writer.append(&encode_clog_record(&rec)?)?;
         if self.env.profile.stabilization {
+            let _stab = treaty_sim::obs::span("clog.stabilize");
             self.writer.stabilize(counter)?;
         }
         if let Some(st) = self.state.lock().get_mut(&gtx) {

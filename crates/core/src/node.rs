@@ -67,13 +67,11 @@ pub struct NodeStats {
     pub decision_retries: u64,
 }
 
-#[derive(Default)]
-struct StatCells {
-    committed: AtomicU64,
-    aborted: AtomicU64,
-    participant_ops: AtomicU64,
-    decision_retries: AtomicU64,
-}
+// NodeStats updates go through one `Mutex<NodeStats>`: the old design (one
+// atomic per field, each read `Relaxed`) could tear a snapshot mid-update —
+// e.g. `totals()` observing a commit already counted while a concurrent
+// retry loop's counter lagged. A single lock makes every snapshot a
+// consistent point-in-time view.
 
 /// Deterministic backoff jitter for decision retries: a splitmix64-style
 /// finalizer over the (transaction, peer, attempt) tuple. Different
@@ -104,7 +102,7 @@ pub struct TreatyNode {
     active_coord: Mutex<HashMap<GlobalTxId, CoordTxn>>,
     active_part: Mutex<HashMap<GlobalTxId, Box<dyn EngineTxn>>>,
     op_seq: AtomicU64,
-    stats: StatCells,
+    stats: Mutex<NodeStats>,
 }
 
 impl std::fmt::Debug for TreatyNode {
@@ -155,7 +153,7 @@ impl TreatyNode {
             active_coord: Mutex::new(HashMap::new()),
             active_part: Mutex::new(HashMap::new()),
             op_seq: AtomicU64::new(1),
-            stats: StatCells::default(),
+            stats: Mutex::new(NodeStats::default()),
         });
         node.register_handlers();
         rpc.start();
@@ -177,14 +175,9 @@ impl TreatyNode {
         self.clog.as_ref()
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot, consistent under one lock.
     pub fn stats(&self) -> NodeStats {
-        NodeStats {
-            committed: self.stats.committed.load(Ordering::Relaxed),
-            aborted: self.stats.aborted.load(Ordering::Relaxed),
-            participant_ops: self.stats.participant_ops.load(Ordering::Relaxed),
-            decision_retries: self.stats.decision_retries.load(Ordering::Relaxed),
-        }
+        *self.stats.lock()
     }
 
     /// Stops serving (simulates a node crash; durable state remains).
@@ -271,6 +264,9 @@ impl TreatyNode {
     ) -> Option<(TxMeta, Vec<u8>)> {
         let op: Op = decode(&payload)?;
         let gtx = self.gtx_for_client(&meta);
+        treaty_sim::obs::set_node(self.endpoint);
+        let _txn = treaty_sim::obs::txn_scope(gtx.seq);
+        let _span = treaty_sim::obs::span("2pc.coordinate_op");
         let result = self.coordinate_op(gtx, op);
         let kind = match result {
             OpResult::Ok { .. } => MsgKind::Ack,
@@ -349,6 +345,9 @@ impl TreatyNode {
         meta: TxMeta,
     ) -> Option<(TxMeta, Vec<u8>)> {
         let gtx = self.gtx_for_client(&meta);
+        treaty_sim::obs::set_node(self.endpoint);
+        let _txn = treaty_sim::obs::txn_scope(gtx.seq);
+        let _span = treaty_sim::obs::span("2pc.commit");
         let ctx = self.active_coord.lock().remove(&gtx);
         let result = match ctx {
             None => CommitResult::Committed, // empty transaction
@@ -356,10 +355,12 @@ impl TreatyNode {
         };
         match &result {
             CommitResult::Committed => {
-                self.stats.committed.fetch_add(1, Ordering::Relaxed);
+                self.stats.lock().committed += 1;
+                treaty_sim::obs::counter_add("core.committed", 1);
             }
             CommitResult::Aborted { .. } => {
-                self.stats.aborted.fetch_add(1, Ordering::Relaxed);
+                self.stats.lock().aborted += 1;
+                treaty_sim::obs::counter_add("core.aborted", 1);
             }
         }
         let kind = match result {
@@ -375,10 +376,13 @@ impl TreatyNode {
         meta: TxMeta,
     ) -> Option<(TxMeta, Vec<u8>)> {
         let gtx = self.gtx_for_client(&meta);
+        treaty_sim::obs::set_node(self.endpoint);
+        let _txn = treaty_sim::obs::txn_scope(gtx.seq);
+        let _span = treaty_sim::obs::span("2pc.rollback");
         if let Some(ctx) = self.active_coord.lock().remove(&gtx) {
             self.abort_everywhere(gtx, ctx);
         }
-        self.stats.aborted.fetch_add(1, Ordering::Relaxed);
+        self.stats.lock().aborted += 1;
         Some((
             TxMeta {
                 kind: MsgKind::Ack,
@@ -422,62 +426,71 @@ impl TreatyNode {
         }
 
         treaty_sim::runtime::set_tag("h:2pc-fanout");
-        // Phase one: prepares fan out in one burst; the local prepare
-        // overlaps the network round trip.
-        let mut pending: Vec<(EndpointId, PendingReply)> = Vec::new();
-        for &r in &ctx.remotes {
-            let meta = self.peer_meta(gtx, MsgKind::TxnPrepare);
-            let msg = encode(&PeerMsg::Prepare { gtx });
-            pending.push((
-                r,
-                self.rpc.enqueue_request(r, req::PEER_PREPARE, &meta, &msg),
-            ));
-        }
-        self.rpc.tx_burst();
-
         let mut all_yes = true;
         let mut reason = String::new();
-        treaty_sim::runtime::set_tag("h:2pc-local-prepare");
-        if let Some(local) = ctx.local.take() {
-            let mut local = local;
-            if let Err(e) = local.prepare(gtx) {
-                all_yes = false;
-                reason = format!("local prepare: {e}");
+        {
+            let _prepare = treaty_sim::obs::span_with(
+                "2pc.prepare",
+                &[("remotes", ctx.remotes.len() as u64)],
+            );
+            // Phase one: prepares fan out in one burst; the local prepare
+            // overlaps the network round trip.
+            let mut pending: Vec<(EndpointId, PendingReply)> = Vec::new();
+            for &r in &ctx.remotes {
+                let meta = self.peer_meta(gtx, MsgKind::TxnPrepare);
+                let msg = encode(&PeerMsg::Prepare { gtx });
+                pending.push((
+                    r,
+                    self.rpc.enqueue_request(r, req::PEER_PREPARE, &meta, &msg),
+                ));
             }
-            // Prepared state now lives in the engine (or was rolled back).
-        }
-        treaty_sim::runtime::set_tag("h:2pc-collect-votes");
-        for (r, p) in pending {
-            match p.wait() {
-                Ok((_, bytes)) => match decode::<PeerReply>(&bytes) {
-                    Some(PeerReply::Vote { yes: true }) => {}
-                    Some(PeerReply::Vote { yes: false }) => {
-                        all_yes = false;
-                        reason = format!("participant {r} voted no");
-                    }
-                    _ => {
-                        all_yes = false;
-                        reason = format!("participant {r} malformed vote");
-                    }
-                },
-                Err(e) => {
+            self.rpc.tx_burst();
+
+            treaty_sim::runtime::set_tag("h:2pc-local-prepare");
+            if let Some(local) = ctx.local.take() {
+                let mut local = local;
+                if let Err(e) = local.prepare(gtx) {
                     all_yes = false;
-                    reason = format!("participant {r}: {e}");
+                    reason = format!("local prepare: {e}");
+                }
+                // Prepared state now lives in the engine (or was rolled back).
+            }
+            treaty_sim::runtime::set_tag("h:2pc-collect-votes");
+            for (r, p) in pending {
+                match p.wait() {
+                    Ok((_, bytes)) => match decode::<PeerReply>(&bytes) {
+                        Some(PeerReply::Vote { yes: true }) => {}
+                        Some(PeerReply::Vote { yes: false }) => {
+                            all_yes = false;
+                            reason = format!("participant {r} voted no");
+                        }
+                        _ => {
+                            all_yes = false;
+                            reason = format!("participant {r} malformed vote");
+                        }
+                    },
+                    Err(e) => {
+                        all_yes = false;
+                        reason = format!("participant {r}: {e}");
+                    }
                 }
             }
         }
 
         treaty_sim::runtime::set_tag("h:2pc-log-decision");
         let commit = all_yes;
-        if let Some(clog) = &self.clog {
-            if let Err(e) = clog.log_decision(gtx, commit) {
-                // Cannot make the decision durable: abort (participants
-                // will learn via QueryDecision / coordinator recovery).
-                self.send_decision(gtx, &ctx.remotes, false);
-                let _ = self.engine.abort_prepared(gtx);
-                return CommitResult::Aborted {
-                    reason: format!("decision log: {e}"),
-                };
+        {
+            let _decide = treaty_sim::obs::span("2pc.decide");
+            if let Some(clog) = &self.clog {
+                if let Err(e) = clog.log_decision(gtx, commit) {
+                    // Cannot make the decision durable: abort (participants
+                    // will learn via QueryDecision / coordinator recovery).
+                    self.send_decision(gtx, &ctx.remotes, false);
+                    let _ = self.engine.abort_prepared(gtx);
+                    return CommitResult::Aborted {
+                        reason: format!("decision log: {e}"),
+                    };
+                }
             }
         }
 
@@ -494,6 +507,10 @@ impl TreatyNode {
     }
 
     fn send_decision(self: &Arc<Self>, gtx: GlobalTxId, remotes: &[EndpointId], commit: bool) {
+        let _span = treaty_sim::obs::span_with(
+            "2pc.send_decision",
+            &[("remotes", remotes.len() as u64), ("commit", u64::from(commit))],
+        );
         let (rt, msg) = if commit {
             (req::PEER_COMMIT, PeerMsg::Commit { gtx })
         } else {
@@ -530,7 +547,16 @@ impl TreatyNode {
             };
             let mut backoff = treaty_sim::MILLIS / 2;
             for attempt in 0u64..6 {
-                self.stats.decision_retries.fetch_add(1, Ordering::Relaxed);
+                self.stats.lock().decision_retries += 1;
+                treaty_sim::obs::counter_add("core.decision_retries", 1);
+                treaty_sim::obs::instant(
+                    "2pc.decision_retry",
+                    &[
+                        ("peer", u64::from(r)),
+                        ("attempt", attempt),
+                        ("backoff_ns", backoff),
+                    ],
+                );
                 let meta = self.peer_meta(gtx, kind);
                 if self.rpc.call(r, rt, &meta, &payload).is_ok() {
                     break;
@@ -565,9 +591,19 @@ impl TreatyNode {
     fn handle_peer(self: &Arc<Self>, meta: TxMeta, payload: Vec<u8>) -> Option<(TxMeta, Vec<u8>)> {
         treaty_sim::runtime::set_tag("h:peer");
         let msg: PeerMsg = decode(&payload)?;
+        treaty_sim::obs::set_node(self.endpoint);
+        let (phase, gtx) = match &msg {
+            PeerMsg::Op { gtx, .. } => ("2pc.participant.op", *gtx),
+            PeerMsg::Prepare { gtx } => ("2pc.participant.prepare", *gtx),
+            PeerMsg::Commit { gtx } => ("2pc.participant.commit", *gtx),
+            PeerMsg::Abort { gtx } => ("2pc.participant.abort", *gtx),
+            PeerMsg::QueryDecision { gtx } => ("2pc.participant.query", *gtx),
+        };
+        let _txn = treaty_sim::obs::txn_scope(gtx.seq);
+        let _span = treaty_sim::obs::span(phase);
         let reply = match msg {
             PeerMsg::Op { gtx, op } => {
-                self.stats.participant_ops.fetch_add(1, Ordering::Relaxed);
+                self.stats.lock().participant_ops += 1;
                 let mut txn = self
                     .active_part
                     .lock()

@@ -24,6 +24,14 @@
 //!   `// LINT-DECLASSIFY: <reason>` comment within the three lines above
 //!   it, so `git grep LINT-DECLASSIFY` is a complete audit of deliberate
 //!   plaintext-to-host flows.
+//! * **L005 — no secrets in observability payloads.** Inside the trusted
+//!   regions (core, store, tee, crypto), no `format!`-family macro and no
+//!   trace-event payload (`span_with`, `instant`, …) may name a secret-ish
+//!   identifier (`plaintext`, `user_key`, `key_material`, …): traces and
+//!   log strings leave the enclave, so interpolation would be an
+//!   unaudited declassification side channel. The raw line is searched,
+//!   not the scrubbed one, because interpolations live *inside* string
+//!   literals (`"{plaintext}"`).
 //!
 //! Violations are diffed against a committed `lint-baseline.json` ratchet:
 //! new violations fail the build; fixed violations must be removed from
@@ -61,11 +69,12 @@ impl fmt::Display for Violation {
 }
 
 /// All rule ids, in report order.
-pub const RULES: [(&str, &str); 4] = [
+pub const RULES: [(&str, &str); 5] = [
     ("L001", "enclave-only crypto primitives"),
     ("L002", "no panics on 2PC commit/recovery path"),
     ("L003", "deterministic time/randomness"),
     ("L004", "auditable HostBytes declassification"),
+    ("L005", "no secrets in format/trace payloads"),
 ];
 
 // ---------------------------------------------------------------------------
@@ -297,6 +306,31 @@ const L004_EXEMPT_FILES: [&str; 1] = ["crates/tee/src/hostbytes.rs"];
 /// The audit marker L004 requires near each declassification.
 pub const DECLASSIFY_MARKER: &str = "LINT-DECLASSIFY:";
 
+/// L005 scope: the trusted regions whose observability payloads are
+/// checked.
+const L005_SCOPE_PREFIXES: [&str; 4] = [
+    "crates/core/",
+    "crates/store/",
+    "crates/tee/",
+    "crates/crypto/",
+];
+/// L005: format-family macros whose strings could interpolate a secret.
+const L005_MACROS: [&str; 8] = [
+    "format", "println", "eprintln", "print", "eprint", "write", "writeln", "panic",
+];
+/// L005: trace/metric payload constructors (treaty-sim obs glue).
+const L005_TRACE_FNS: [&str; 4] = ["span_with", "instant", "counter_add", "hist_record"];
+/// L005: identifiers that name secret material in the trusted regions.
+const L005_SECRET_IDENTS: [&str; 7] = [
+    "plaintext",
+    "plain",
+    "decrypted",
+    "user_key",
+    "key_material",
+    "key_bytes",
+    "secret",
+];
+
 fn in_list(file: &str, list: &[&str]) -> bool {
     list.contains(&file)
 }
@@ -374,6 +408,32 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Violation> {
             if hit {
                 out.push(Violation {
                     rule: "L003",
+                    file: file.to_string(),
+                    line: n + 1,
+                    snippet: snippet(n),
+                });
+            }
+        }
+    }
+
+    // L005 — no secret-ish identifier may ride a format string or trace
+    // payload in the trusted regions. The sink is matched on the scrubbed
+    // line (macros live outside strings); the identifiers are matched on
+    // the raw line, because interpolations live inside string literals.
+    if has_prefix(file, &L005_SCOPE_PREFIXES) {
+        for (n, line) in lines.iter().enumerate() {
+            let sink = L005_MACROS.iter().any(|m| has_ident_then(line, m, '!'))
+                || L005_TRACE_FNS.iter().any(|f| has_ident_then(line, f, '('));
+            if !sink {
+                continue;
+            }
+            let raw = raw_lines.get(n).copied().unwrap_or("");
+            if L005_SECRET_IDENTS
+                .iter()
+                .any(|t| !ident_occurrences(raw, t).is_empty())
+            {
+                out.push(Violation {
+                    rule: "L005",
                     file: file.to_string(),
                     line: n + 1,
                     snippet: snippet(n),
@@ -787,6 +847,36 @@ mod tests {
 
         // The constructor's definition site is exempt.
         assert!(lint_source("crates/tee/src/hostbytes.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn l005_flags_secret_interpolation_in_trusted_regions() {
+        // Canary: a format string interpolating secret material inside a
+        // trusted region is a declassification side channel.
+        let bad = "let msg = format!(\"v={plaintext:?}\");\n";
+        let v = lint_source("crates/store/src/log.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "L005");
+
+        // Argument-position interpolation is caught too.
+        let arg = "println!(\"k = {}\", user_key);\n";
+        assert_eq!(lint_source("crates/core/src/node.rs", arg).len(), 1);
+
+        // Trace payload constructors are sinks as well.
+        let tr = "treaty_sim::obs::span_with(\"g\", &[(\"k\", user_key)]);\n";
+        assert_eq!(lint_source("crates/core/src/node.rs", tr).len(), 1);
+
+        // Benign interpolation in a trusted region is fine…
+        let good = "let msg = format!(\"gen {gen} at {off}\");\n";
+        assert!(lint_source("crates/store/src/log.rs", good).is_empty());
+        // …naming a secret without a sink is fine…
+        let no_sink = "let n = plaintext.len();\n";
+        assert!(lint_source("crates/store/src/log.rs", no_sink).is_empty());
+        // …and untrusted regions are out of scope.
+        assert!(lint_source("crates/bench/src/lib.rs", bad).is_empty());
+        // Ident boundaries: `explain` must not match `plain`.
+        let boundary = "let msg = format!(\"see {explain}\");\n";
+        assert!(lint_source("crates/store/src/log.rs", boundary).is_empty());
     }
 
     #[test]

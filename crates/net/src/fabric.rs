@@ -281,11 +281,18 @@ impl Fabric {
     /// a crashed machine.
     pub(crate) fn send(&self, mut dg: Datagram) {
         self.counters.sent.fetch_add(1, Ordering::Relaxed);
+        treaty_sim::obs::counter_add("net.sent", 1);
         let src_cfg = match self.endpoint_cfg(dg.src) {
             Some(c) => c,
             None => return, // sender gone: nothing to do
         };
         let wire_bytes = dg.wire.len() + FRAME_HEADER_BYTES;
+        // Covers NIC serialization: the span length is the time the egress
+        // link (a shared resource) was held by this message.
+        let _span = treaty_sim::obs::span_with(
+            "net.send",
+            &[("dst", u64::from(dg.dst)), ("bytes", wire_bytes as u64)],
+        );
         let charge = self
             .costs
             .net_send(src_cfg.transport, src_cfg.tee, wire_bytes);
@@ -308,6 +315,7 @@ impl Fabric {
         // MTU behaviour (Fig. 8): oversized UDP messages never arrive.
         if charge.dropped {
             self.counters.dropped_mtu.fetch_add(1, Ordering::Relaxed);
+            treaty_sim::obs::counter_add("net.dropped_mtu", 1);
             return;
         }
 
@@ -350,10 +358,12 @@ impl Fabric {
             self.counters
                 .dropped_adversary
                 .fetch_add(1, Ordering::Relaxed);
+            treaty_sim::obs::counter_add("net.dropped_adversary", 1);
             return;
         }
         if tamper_it {
             self.counters.tampered.fetch_add(1, Ordering::Relaxed);
+            treaty_sim::obs::counter_add("net.tampered", 1);
             if !dg.wire.is_empty() {
                 let idx = {
                     let mut rng = self.rng.lock();
@@ -366,6 +376,7 @@ impl Fabric {
         let arrival = runtime::now() + self.costs.propagation_ns + extra_delay;
         if dup_it {
             self.counters.duplicated.fetch_add(1, Ordering::Relaxed);
+            treaty_sim::obs::counter_add("net.duplicated", 1);
             self.deliver(dg.clone(), arrival + 1);
         }
         self.deliver(dg, arrival);
@@ -384,12 +395,14 @@ impl Fabric {
                 self.counters
                     .dropped_unreachable
                     .fetch_add(1, Ordering::Relaxed);
+                treaty_sim::obs::counter_add("net.dropped_unreachable", 1);
                 return;
             }
         };
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         inbox.queue.lock().push(Queued { arrival, seq, dg });
         self.counters.delivered.fetch_add(1, Ordering::Relaxed);
+        treaty_sim::obs::counter_add("net.delivered", 1);
         inbox.waiters.notify_one();
     }
 
@@ -421,7 +434,13 @@ impl Fabric {
                 }
             };
             match next {
-                Next::Ready(dg) => return Ok(dg),
+                Next::Ready(dg) => {
+                    treaty_sim::obs::instant(
+                        "net.recv",
+                        &[("src", u64::from(dg.src)), ("bytes", dg.wire.len() as u64)],
+                    );
+                    return Ok(dg);
+                }
                 Next::WaitUntil(arrival) => {
                     if arrival >= deadline {
                         if deadline <= now {

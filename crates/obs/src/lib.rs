@@ -1,0 +1,221 @@
+//! Deterministic tracing and metrics for the Treaty reproduction.
+//!
+//! The paper's evaluation decomposes transaction latency into 2PC phases,
+//! enclave transitions, shielding charges and network time (Figs. 4–8).
+//! This crate provides the substrate for that attribution:
+//!
+//! * a [`TraceEvent`] span model — balanced enter/exit events keyed by
+//!   `(txn, node, phase)` and stamped with the simulator's *virtual* clock;
+//! * a per-`Sim` [`Obs`] sink with a ring-buffer cap, cheap enough to be
+//!   always-on;
+//! * a [`MetricsRegistry`] of named counters/gauges/virtual-time histograms
+//!   behind one deterministic snapshot API;
+//! * exporters: Chrome `trace_event` JSON (loadable in `chrome://tracing` /
+//!   Perfetto) and a text phase-breakdown table ([`export`]);
+//! * a span-tree builder with invariant checks for tests ([`tree`]).
+//!
+//! # Determinism
+//!
+//! Nothing in this crate reads a clock, an RNG or the environment: every
+//! timestamp is handed in by the caller (the simulator's virtual clock), and
+//! every export iterates `BTreeMap`s or the recorded event order. Two runs
+//! with the same seed therefore serialize to byte-identical artifacts —
+//! which the test suite asserts.
+//!
+//! # Secrecy
+//!
+//! Trace payloads are *structurally* numeric: an event carries a static
+//! phase name and `(&'static str, u64)` arguments, so plaintext values, user
+//! keys or key material cannot be interpolated into a trace (treaty-lint
+//! rule L005 enforces the same property for format strings in trusted
+//! regions).
+//!
+//! This crate has **zero dependencies** (std only) so it can sit underneath
+//! `treaty-sim` and keep compiling in registry-less environments.
+
+pub mod export;
+pub mod metrics;
+pub mod tree;
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+pub use export::{chrome_trace_json, phase_breakdown};
+pub use metrics::{HistSummary, MetricsRegistry, MetricsSnapshot};
+pub use tree::{build_forest, check_invariants, Span};
+
+/// Virtual nanoseconds — mirrors `treaty_sim::Nanos` without the dependency.
+pub type Nanos = u64;
+
+/// Default ring-buffer capacity: enough for a few thousand transactions'
+/// worth of spans across every layer.
+pub const DEFAULT_CAP: usize = 1 << 20;
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opens (Chrome `"B"`).
+    Enter,
+    /// The most recent open span on this fiber closes (Chrome `"E"`).
+    Exit,
+    /// A point event with no duration (Chrome `"i"`).
+    Instant,
+}
+
+/// One trace record. Events are totally ordered by `seq` (assignment order
+/// under the sink lock — deterministic because the simulator runs exactly
+/// one fiber at a time).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Deterministic global sequence number.
+    pub seq: u64,
+    /// Virtual-clock timestamp.
+    pub ts: Nanos,
+    /// Node (fabric endpoint) the fiber was executing for; 0 if untagged.
+    pub node: u32,
+    /// Fiber id within the simulation.
+    pub fiber: u64,
+    /// Distributed transaction id; 0 if none is in scope.
+    pub txn: u64,
+    /// Enter, exit or instant.
+    pub kind: EventKind,
+    /// Static phase name, e.g. `"2pc.prepare"`. The `"layer."` prefix
+    /// groups phases in the breakdown table.
+    pub phase: &'static str,
+    /// Numeric-only payload — secrets cannot ride along.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// Ring buffer of [`TraceEvent`]s with a hard cap; the oldest events are
+/// dropped (and counted) when full.
+#[derive(Debug)]
+struct TraceSink {
+    events: VecDeque<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+    next_seq: u64,
+}
+
+/// Per-`Sim` observability hub: a trace sink plus a metrics registry.
+///
+/// Thread-safe: fibers are OS threads, so both halves sit behind locks —
+/// uncontended in practice because the simulator is cooperative.
+#[derive(Debug)]
+pub struct Obs {
+    sink: Mutex<TraceSink>,
+    metrics: MetricsRegistry,
+}
+
+impl Obs {
+    /// Creates a hub with the given ring-buffer capacity (events).
+    pub fn new(cap: usize) -> Arc<Obs> {
+        Arc::new(Obs {
+            sink: Mutex::new(TraceSink {
+                events: VecDeque::new(),
+                cap: cap.max(1),
+                dropped: 0,
+                next_seq: 0,
+            }),
+            metrics: MetricsRegistry::new(),
+        })
+    }
+
+    /// Creates a hub with [`DEFAULT_CAP`].
+    pub fn with_default_cap() -> Arc<Obs> {
+        Self::new(DEFAULT_CAP)
+    }
+
+    /// Records one event. `args` is copied; keep it short.
+    pub fn record(
+        &self,
+        kind: EventKind,
+        ts: Nanos,
+        node: u32,
+        fiber: u64,
+        txn: u64,
+        phase: &'static str,
+        args: &[(&'static str, u64)],
+    ) {
+        let mut sink = self.sink.lock().expect("trace sink poisoned");
+        let seq = sink.next_seq;
+        sink.next_seq += 1;
+        if sink.events.len() == sink.cap {
+            sink.events.pop_front();
+            sink.dropped += 1;
+        }
+        sink.events.push_back(TraceEvent {
+            seq,
+            ts,
+            node,
+            fiber,
+            txn,
+            phase,
+            kind,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Snapshot of all retained events, in `seq` order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let sink = self.sink.lock().expect("trace sink poisoned");
+        sink.events.iter().cloned().collect()
+    }
+
+    /// Events dropped because the ring buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.sink.lock().expect("trace sink poisoned").dropped
+    }
+
+    /// Total events ever recorded (including dropped ones).
+    pub fn recorded(&self) -> u64 {
+        self.sink.lock().expect("trace sink poisoned").next_seq
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(obs: &Obs, kind: EventKind, ts: Nanos, phase: &'static str) {
+        obs.record(kind, ts, 1, 0, 7, phase, &[]);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let obs = Obs::new(3);
+        for i in 0..5 {
+            ev(&obs, EventKind::Instant, i, "x");
+        }
+        let events = obs.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(obs.dropped(), 2);
+        assert_eq!(obs.recorded(), 5);
+        assert_eq!(events[0].seq, 2, "oldest events were evicted");
+        assert_eq!(events[2].ts, 4);
+    }
+
+    #[test]
+    fn events_keep_seq_order_and_payload() {
+        let obs = Obs::new(16);
+        obs.record(EventKind::Enter, 10, 2, 3, 99, "2pc.prepare", &[("peers", 2)]);
+        obs.record(EventKind::Exit, 25, 2, 3, 99, "2pc.prepare", &[]);
+        let events = obs.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Enter);
+        assert_eq!(events[0].args, vec![("peers", 2)]);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].ts, 25);
+    }
+
+    #[test]
+    fn zero_cap_is_clamped() {
+        let obs = Obs::new(0);
+        ev(&obs, EventKind::Instant, 1, "x");
+        assert_eq!(obs.events().len(), 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! The metrics registry: named counters, gauges and virtual-time
+//! histograms behind one deterministic snapshot API.
+//!
+//! This absorbs the scattered per-subsystem stats structs (`NodeStats`,
+//! `EngineStats`, `FabricStats`, `AccelReport`, RPC counters): live
+//! increments flow in during the run, and at the end the bench harness
+//! mirrors the legacy structs into gauges so one [`MetricsSnapshot`] tells
+//! the whole story.
+//!
+//! Keys are free-form strings by convention `layer.metric` (e.g.
+//! `store.block_cache.hit`, `core.decision_retries`) or
+//! `nodeN.metric` for per-node mirrors. Storage is `BTreeMap`-backed so
+//! snapshots and renders iterate in key order — deterministic across runs.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::Nanos;
+
+/// Incremental histogram of virtual-time durations: tracks count/sum/min/max
+/// exactly and keeps raw samples (up to a cap) for quantiles.
+#[derive(Debug, Clone, Default)]
+struct VtHistogram {
+    count: u64,
+    sum: u128,
+    min: Nanos,
+    max: Nanos,
+    samples: Vec<Nanos>,
+    sample_cap: usize,
+}
+
+/// Cap on raw samples retained per histogram; count/sum/min/max stay exact
+/// past it, quantiles degrade to the retained prefix.
+const SAMPLE_CAP: usize = 1 << 16;
+
+impl VtHistogram {
+    fn record(&mut self, v: Nanos) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+            self.sample_cap = SAMPLE_CAP;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v as u128;
+        if self.samples.len() < self.sample_cap {
+            self.samples.push(v);
+        }
+    }
+
+    fn summary(&self) -> HistSummary {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let q = |f: f64| -> Nanos {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let rank = ((f * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        HistSummary {
+            count: self.count,
+            sum: self.sum.min(u64::MAX as u128) as u64,
+            min: self.min,
+            max: self.max,
+            mean: if self.count == 0 {
+                0
+            } else {
+                (self.sum / self.count as u128) as Nanos
+            },
+            p50: q(0.50),
+            p99: q(0.99),
+        }
+    }
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples (saturating at `u64::MAX` for display).
+    pub sum: u64,
+    /// Smallest sample; 0 when empty.
+    pub min: Nanos,
+    /// Largest sample; 0 when empty.
+    pub max: Nanos,
+    /// Arithmetic mean; 0 when empty.
+    pub mean: Nanos,
+    /// Median (nearest-rank over retained samples).
+    pub p50: Nanos,
+    /// 99th percentile (nearest-rank over retained samples).
+    pub p99: Nanos,
+}
+
+/// Named counters, gauges and histograms. All methods take `&self`; storage
+/// sits behind locks that are uncontended under the cooperative scheduler.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, u64>>,
+    hists: Mutex<BTreeMap<String, VtHistogram>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to counter `name`, creating it at zero.
+    pub fn counter_add(&self, name: &str, v: u64) {
+        let mut counters = self.counters.lock().expect("counter map poisoned");
+        match counters.get_mut(name) {
+            Some(c) => *c = c.saturating_add(v),
+            None => {
+                counters.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("counter map poisoned")
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `v` (last write wins).
+    pub fn gauge_set(&self, name: &str, v: u64) {
+        self.gauges
+            .lock()
+            .expect("gauge map poisoned")
+            .insert(name.to_string(), v);
+    }
+
+    /// Records one virtual-time sample into histogram `name`.
+    pub fn hist_record(&self, name: &str, v: Nanos) {
+        let mut hists = self.hists.lock().expect("hist map poisoned");
+        hists.entry(name.to_string()).or_default().record(v);
+    }
+
+    /// Deterministic point-in-time snapshot of everything.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.lock().expect("counter map poisoned").clone(),
+            gauges: self.gauges.lock().expect("gauge map poisoned").clone(),
+            hists: self
+                .hists
+                .lock()
+                .expect("hist map poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+}
+
+/// Deterministic snapshot: `BTreeMap`s iterate in key order, so rendering
+/// the same state always produces the same bytes.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram summaries.
+    pub hists: BTreeMap<String, HistSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Renders a fixed-width text report (key order, byte-deterministic).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<44} {v:>14}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k:<44} {v:>14}\n"));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("histograms (virtual ns):\n");
+            for (k, h) in &self.hists {
+                out.push_str(&format!(
+                    "  {k:<44} n={} mean={} p50={} p99={} max={}\n",
+                    h.count, h.mean, h.p50, h.p99, h.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let r = MetricsRegistry::new();
+        r.counter_add("a", 2);
+        r.counter_add("a", 3);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        r.counter_add("b", u64::MAX);
+        r.counter_add("b", 1);
+        assert_eq!(r.counter("b"), u64::MAX);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let r = MetricsRegistry::new();
+        r.gauge_set("g", 10);
+        r.gauge_set("g", 4);
+        assert_eq!(r.snapshot().gauges["g"], 4);
+    }
+
+    #[test]
+    fn histogram_summary_is_exact_for_small_sets() {
+        let r = MetricsRegistry::new();
+        for v in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            r.hist_record("lat", v);
+        }
+        let s = r.snapshot().hists["lat"];
+        assert_eq!(s.count, 10);
+        assert_eq!(s.sum, 550);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.mean, 55);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p99, 100);
+    }
+
+    #[test]
+    fn snapshot_iterates_in_key_order() {
+        let r = MetricsRegistry::new();
+        r.counter_add("zeta", 1);
+        r.counter_add("alpha", 1);
+        r.counter_add("mid", 1);
+        let keys: Vec<_> = r.snapshot().counters.keys().cloned().collect();
+        assert_eq!(keys, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let build = || {
+            let r = MetricsRegistry::new();
+            r.counter_add("net.sent", 42);
+            r.gauge_set("node1.committed", 7);
+            r.hist_record("2pc.prepare", 1000);
+            r.hist_record("2pc.prepare", 3000);
+            r.snapshot().render()
+        };
+        assert_eq!(build(), build());
+        assert!(build().contains("net.sent"));
+    }
+}

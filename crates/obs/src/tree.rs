@@ -1,0 +1,245 @@
+//! Span-tree reconstruction and trace invariants.
+//!
+//! Enter/exit events recorded by one fiber form a properly-nested bracket
+//! sequence (spans are RAII guards), so per `(node, fiber)` a stack rebuilds
+//! the tree. [`check_invariants`] is the test-suite workhorse: every enter
+//! has a matching exit, children nest inside parents, and virtual
+//! timestamps are monotone per fiber.
+
+use std::collections::BTreeMap;
+
+use crate::{EventKind, Nanos, TraceEvent};
+
+/// One reconstructed span. `start == end` for instants.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Phase name (`"layer.phase"`).
+    pub phase: &'static str,
+    /// Node the span executed on.
+    pub node: u32,
+    /// Fiber that recorded it.
+    pub fiber: u64,
+    /// Transaction in scope (0 = none).
+    pub txn: u64,
+    /// Virtual enter time.
+    pub start: Nanos,
+    /// Virtual exit time.
+    pub end: Nanos,
+    /// Properly nested children, in start order.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// Duration in virtual nanoseconds.
+    pub fn duration(&self) -> Nanos {
+        self.end - self.start
+    }
+
+    /// This span plus all descendants, depth-first.
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(Span::count).sum::<usize>()
+    }
+}
+
+struct Frame {
+    span: Span,
+}
+
+/// Rebuilds the span forest from an event slice (must be in `seq` order).
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant: an exit without a
+/// matching enter, a phase-mismatched exit, a non-monotone timestamp within
+/// a fiber, or an unclosed span at end of trace.
+pub fn build_forest(events: &[TraceEvent]) -> Result<Vec<Span>, String> {
+    // Per-(node, fiber) open-span stack and last-seen timestamp.
+    let mut stacks: BTreeMap<(u32, u64), Vec<Frame>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(u32, u64), Nanos> = BTreeMap::new();
+    let mut roots: Vec<Span> = Vec::new();
+
+    for e in events {
+        let key = (e.node, e.fiber);
+        if let Some(&prev) = last_ts.get(&key) {
+            if e.ts < prev {
+                return Err(format!(
+                    "non-monotone timestamp on node {} fiber {}: {} after {} (phase {})",
+                    e.node, e.fiber, e.ts, prev, e.phase
+                ));
+            }
+        }
+        last_ts.insert(key, e.ts);
+        let stack = stacks.entry(key).or_default();
+        match e.kind {
+            EventKind::Enter => stack.push(Frame {
+                span: Span {
+                    phase: e.phase,
+                    node: e.node,
+                    fiber: e.fiber,
+                    txn: e.txn,
+                    start: e.ts,
+                    end: e.ts,
+                    children: Vec::new(),
+                },
+            }),
+            EventKind::Exit => {
+                let Some(mut frame) = stack.pop() else {
+                    return Err(format!(
+                        "exit without enter on node {} fiber {}: phase {} at {}",
+                        e.node, e.fiber, e.phase, e.ts
+                    ));
+                };
+                if frame.span.phase != e.phase {
+                    return Err(format!(
+                        "mismatched exit on node {} fiber {}: open span {} closed as {}",
+                        e.node, e.fiber, frame.span.phase, e.phase
+                    ));
+                }
+                frame.span.end = e.ts;
+                match stack.last_mut() {
+                    Some(parent) => parent.span.children.push(frame.span),
+                    None => roots.push(frame.span),
+                }
+            }
+            EventKind::Instant => {
+                let leaf = Span {
+                    phase: e.phase,
+                    node: e.node,
+                    fiber: e.fiber,
+                    txn: e.txn,
+                    start: e.ts,
+                    end: e.ts,
+                    children: Vec::new(),
+                };
+                match stack.last_mut() {
+                    Some(parent) => parent.span.children.push(leaf),
+                    None => roots.push(leaf),
+                }
+            }
+        }
+    }
+
+    for ((node, fiber), stack) in &stacks {
+        if let Some(frame) = stack.last() {
+            return Err(format!(
+                "unclosed span on node {node} fiber {fiber}: {}",
+                frame.span.phase
+            ));
+        }
+    }
+    Ok(roots)
+}
+
+fn check_nesting(span: &Span) -> Result<(), String> {
+    for child in &span.children {
+        if child.start < span.start || child.end > span.end {
+            return Err(format!(
+                "child {} [{}, {}] escapes parent {} [{}, {}]",
+                child.phase, child.start, child.end, span.phase, span.start, span.end
+            ));
+        }
+        check_nesting(child)?;
+    }
+    Ok(())
+}
+
+/// Checks every trace invariant: balanced enter/exit, per-fiber timestamp
+/// monotonicity (both via [`build_forest`]) and child-inside-parent
+/// intervals. Returns the forest on success so tests can assert structure.
+///
+/// # Errors
+///
+/// The first violated invariant, as text.
+pub fn check_invariants(events: &[TraceEvent]) -> Result<Vec<Span>, String> {
+    let forest = build_forest(events)?;
+    for root in &forest {
+        check_nesting(root)?;
+    }
+    Ok(forest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(
+        seq: u64,
+        ts: Nanos,
+        fiber: u64,
+        kind: EventKind,
+        phase: &'static str,
+    ) -> TraceEvent {
+        TraceEvent {
+            seq,
+            ts,
+            node: 1,
+            fiber,
+            txn: 9,
+            phase,
+            kind,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn builds_nested_forest() {
+        let events = vec![
+            e(0, 10, 0, EventKind::Enter, "2pc.commit"),
+            e(1, 12, 0, EventKind::Enter, "2pc.prepare"),
+            e(2, 13, 0, EventKind::Instant, "net.send"),
+            e(3, 20, 0, EventKind::Exit, "2pc.prepare"),
+            e(4, 30, 0, EventKind::Exit, "2pc.commit"),
+        ];
+        let forest = check_invariants(&events).unwrap();
+        assert_eq!(forest.len(), 1);
+        let root = &forest[0];
+        assert_eq!(root.phase, "2pc.commit");
+        assert_eq!(root.duration(), 20);
+        assert_eq!(root.count(), 3);
+        assert_eq!(root.children[0].children[0].phase, "net.send");
+    }
+
+    #[test]
+    fn fibers_are_independent_stacks() {
+        let events = vec![
+            e(0, 10, 0, EventKind::Enter, "a"),
+            e(1, 11, 1, EventKind::Enter, "b"),
+            e(2, 12, 0, EventKind::Exit, "a"),
+            e(3, 13, 1, EventKind::Exit, "b"),
+        ];
+        let forest = check_invariants(&events).unwrap();
+        assert_eq!(forest.len(), 2);
+    }
+
+    #[test]
+    fn detects_unbalanced_exit() {
+        let events = vec![e(0, 10, 0, EventKind::Exit, "a")];
+        assert!(build_forest(&events).unwrap_err().contains("exit without enter"));
+    }
+
+    #[test]
+    fn detects_mismatched_exit() {
+        let events = vec![
+            e(0, 10, 0, EventKind::Enter, "a"),
+            e(1, 12, 0, EventKind::Exit, "b"),
+        ];
+        assert!(build_forest(&events).unwrap_err().contains("mismatched exit"));
+    }
+
+    #[test]
+    fn detects_unclosed_span() {
+        let events = vec![e(0, 10, 0, EventKind::Enter, "a")];
+        assert!(build_forest(&events).unwrap_err().contains("unclosed span"));
+    }
+
+    #[test]
+    fn detects_non_monotone_timestamps() {
+        let events = vec![
+            e(0, 10, 0, EventKind::Instant, "a"),
+            e(1, 5, 0, EventKind::Instant, "b"),
+        ];
+        assert!(build_forest(&events)
+            .unwrap_err()
+            .contains("non-monotone timestamp"));
+    }
+}

@@ -27,6 +27,7 @@
 //! ```
 
 pub mod costs;
+pub mod obs;
 pub mod profile;
 pub mod runtime;
 pub mod stats;

@@ -1,0 +1,282 @@
+//! Fiber-aware observability glue: spans, instants and metrics that stamp
+//! themselves from the virtual clock and the current fiber's context.
+//!
+//! The hub itself lives in the zero-dependency `treaty-obs` crate; this
+//! module binds it to the runtime. A harness installs one hub per `Sim`
+//! with [`install`] (from inside the root fiber); instrumented layers then
+//! call [`span`]/[`instant`]/[`counter_add`] without threading any handle —
+//! the runtime resolves `(hub, now, node, fiber, txn)` from the calling
+//! fiber. Every call is a no-op when no hub is installed or when made
+//! outside a fiber, so instrumentation is always-on and free to sprinkle.
+//!
+//! Context propagation: [`set_node`] tags a fiber (and everything it later
+//! spawns) as executing for a fabric endpoint — the trace `pid`; `set_txn`
+//! (via [`TxnScope`]) puts a distributed transaction id in scope. Both are
+//! inherited across `spawn`/`spawn_daemon`, so helper fibers report under
+//! their creator's transaction.
+//!
+//! Secrecy: payloads are `(&'static str, u64)` pairs — numeric only, no
+//! value bytes, no user keys (see treaty-lint rule L005).
+
+use std::sync::Arc;
+
+pub use treaty_obs::{EventKind, Obs};
+
+use crate::runtime;
+
+/// Installs `obs` as the current simulation's hub. Call from the root
+/// fiber, before the workload spawns.
+///
+/// # Panics
+///
+/// Panics when called outside a fiber.
+pub fn install(obs: &Arc<Obs>) {
+    runtime::obs_install(Some(Arc::clone(obs)));
+}
+
+/// Removes the installed hub (subsequent calls no-op again).
+///
+/// # Panics
+///
+/// Panics when called outside a fiber.
+pub fn uninstall() {
+    runtime::obs_install(None);
+}
+
+/// Tags the current fiber as executing for fabric endpoint `node`.
+/// Inherited by fibers spawned afterwards. No-op outside a fiber.
+pub fn set_node(node: u32) {
+    runtime::obs_set_node(node);
+}
+
+/// Puts transaction `txn` in scope for the current fiber until the guard
+/// drops (restoring the previous scope). No-op outside a fiber.
+pub fn txn_scope(txn: u64) -> TxnScope {
+    TxnScope {
+        prev: runtime::obs_set_txn(txn),
+    }
+}
+
+/// RAII guard restoring the previous transaction scope. See [`txn_scope`].
+#[derive(Debug)]
+pub struct TxnScope {
+    prev: u64,
+}
+
+impl Drop for TxnScope {
+    fn drop(&mut self) {
+        runtime::obs_set_txn(self.prev);
+    }
+}
+
+/// Opens a span: records an enter event now and the matching exit when the
+/// returned guard drops — balanced even when the fiber unwinds at shutdown.
+/// No-op (and allocation-free) when no hub is installed.
+pub fn span(phase: &'static str) -> SpanGuard {
+    match runtime::obs_ctx() {
+        Some((obs, now, node, fiber, txn)) => {
+            obs.record(EventKind::Enter, now, node, fiber, txn, phase, &[]);
+            SpanGuard { phase: Some(phase) }
+        }
+        None => SpanGuard { phase: None },
+    }
+}
+
+/// Like [`span`] with a numeric payload on the enter event.
+pub fn span_with(phase: &'static str, args: &[(&'static str, u64)]) -> SpanGuard {
+    match runtime::obs_ctx() {
+        Some((obs, now, node, fiber, txn)) => {
+            obs.record(EventKind::Enter, now, node, fiber, txn, phase, args);
+            SpanGuard { phase: Some(phase) }
+        }
+        None => SpanGuard { phase: None },
+    }
+}
+
+/// RAII guard closing a span. See [`span`].
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately produces a zero-length span"]
+pub struct SpanGuard {
+    phase: Option<&'static str>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(phase) = self.phase {
+            if let Some((obs, now, node, fiber, txn)) = runtime::obs_ctx() {
+                obs.record(EventKind::Exit, now, node, fiber, txn, phase, &[]);
+            }
+        }
+    }
+}
+
+/// Records a point event with a numeric payload. No-op without a hub.
+pub fn instant(phase: &'static str, args: &[(&'static str, u64)]) {
+    if let Some((obs, now, node, fiber, txn)) = runtime::obs_ctx() {
+        obs.record(EventKind::Instant, now, node, fiber, txn, phase, args);
+    }
+}
+
+/// Adds `v` to registry counter `name`. No-op without a hub.
+pub fn counter_add(name: &str, v: u64) {
+    if let Some((obs, ..)) = runtime::obs_ctx() {
+        obs.metrics().counter_add(name, v);
+    }
+}
+
+/// Sets registry gauge `name`. No-op without a hub.
+pub fn gauge_set(name: &str, v: u64) {
+    if let Some((obs, ..)) = runtime::obs_ctx() {
+        obs.metrics().gauge_set(name, v);
+    }
+}
+
+/// Records a virtual-time sample into registry histogram `name`. No-op
+/// without a hub.
+pub fn hist_record(name: &str, v: u64) {
+    if let Some((obs, ..)) = runtime::obs_ctx() {
+        obs.metrics().hist_record(name, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{sleep, spawn, Sim};
+    use treaty_obs::check_invariants;
+
+    #[test]
+    fn spans_balance_and_nest_with_virtual_time() {
+        let obs = Obs::with_default_cap();
+        let obs2 = Arc::clone(&obs);
+        Sim::new()
+            .run(move || {
+                install(&obs2);
+                set_node(3);
+                let _txn = txn_scope(42);
+                let outer = span("2pc.commit");
+                sleep(100);
+                {
+                    let _inner = span("clog.log_start");
+                    sleep(50);
+                }
+                instant("net.send", &[("bytes", 128)]);
+                drop(outer);
+            })
+            .unwrap();
+        let events = obs.events();
+        assert_eq!(events.len(), 5);
+        let forest = check_invariants(&events).unwrap();
+        assert_eq!(forest.len(), 1);
+        let root = &forest[0];
+        assert_eq!(root.phase, "2pc.commit");
+        assert_eq!(root.node, 3);
+        assert_eq!(root.txn, 42);
+        assert_eq!(root.duration(), 150);
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].duration(), 50);
+    }
+
+    #[test]
+    fn context_is_inherited_by_spawned_fibers() {
+        let obs = Obs::with_default_cap();
+        let obs2 = Arc::clone(&obs);
+        Sim::new()
+            .run(move || {
+                install(&obs2);
+                set_node(7);
+                let _txn = txn_scope(9);
+                let child = spawn(|| {
+                    instant("child.mark", &[]);
+                });
+                crate::runtime::join(child);
+            })
+            .unwrap();
+        let events = obs.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].node, 7);
+        assert_eq!(events[0].txn, 9);
+        assert_ne!(events[0].fiber, 0, "ran on the child fiber");
+    }
+
+    #[test]
+    fn txn_scope_restores_previous() {
+        let obs = Obs::with_default_cap();
+        let obs2 = Arc::clone(&obs);
+        Sim::new()
+            .run(move || {
+                install(&obs2);
+                let _a = txn_scope(1);
+                {
+                    let _b = txn_scope(2);
+                    instant("x", &[]);
+                }
+                instant("y", &[]);
+            })
+            .unwrap();
+        let events = obs.events();
+        assert_eq!(events[0].txn, 2);
+        assert_eq!(events[1].txn, 1);
+    }
+
+    #[test]
+    fn everything_is_a_noop_without_a_hub() {
+        Sim::new()
+            .run(|| {
+                set_node(1);
+                let _t = txn_scope(5);
+                let _s = span("phase");
+                instant("i", &[]);
+                counter_add("c", 1);
+                gauge_set("g", 1);
+                hist_record("h", 1);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn noop_outside_fibers_too() {
+        // Never panics even though no simulation is running.
+        set_node(1);
+        instant("i", &[]);
+        counter_add("c", 1);
+        let _s = span("phase");
+    }
+
+    #[test]
+    fn metrics_flow_into_the_registry() {
+        let obs = Obs::with_default_cap();
+        let obs2 = Arc::clone(&obs);
+        Sim::new()
+            .run(move || {
+                install(&obs2);
+                counter_add("store.block_cache.hit", 2);
+                counter_add("store.block_cache.hit", 1);
+                hist_record("2pc.prepare", 500);
+            })
+            .unwrap();
+        let snap = obs.metrics().snapshot();
+        assert_eq!(snap.counters["store.block_cache.hit"], 3);
+        assert_eq!(snap.hists["2pc.prepare"].count, 1);
+    }
+
+    #[test]
+    fn shutdown_unwind_still_balances_spans() {
+        let obs = Obs::with_default_cap();
+        let obs2 = Arc::clone(&obs);
+        Sim::new()
+            .run(move || {
+                install(&obs2);
+                // Daemon parks forever inside a span; when the root ends the
+                // sim unwinds it and the guard must still record the exit.
+                crate::runtime::spawn_daemon(|| {
+                    let _s = span("daemon.loop");
+                    crate::runtime::park();
+                });
+                sleep(10);
+            })
+            .unwrap();
+        let events = obs.events();
+        check_invariants(&events).unwrap();
+    }
+}

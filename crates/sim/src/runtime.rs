@@ -112,6 +112,11 @@ struct FiberSlot {
     wake_reason: WakeReason,
     daemon: bool,
     join_waiters: Vec<FiberId>,
+    /// Node (fabric endpoint) this fiber currently executes for; inherited
+    /// by spawned fibers. 0 = untagged. Used as the trace `pid`.
+    obs_node: u32,
+    /// Distributed transaction in scope; inherited by spawned fibers.
+    obs_txn: u64,
 }
 
 struct Inner {
@@ -126,6 +131,8 @@ struct Inner {
     panic_msg: Option<String>,
     switches: u64,
     completed: u64,
+    /// Per-`Sim` observability hub; `None` until a root fiber installs one.
+    obs: Option<Arc<treaty_obs::Obs>>,
 }
 
 struct Shared {
@@ -199,6 +206,7 @@ impl Sim {
                 panic_msg: None,
                 switches: 0,
                 completed: 0,
+                obs: None,
             }),
             sched_cell: ParkCell::new(),
         });
@@ -238,12 +246,18 @@ impl Sim {
                 }
             });
         }
-        spawn_fiber(&shared, Box::new(root), false);
+        spawn_fiber(&shared, Box::new(root), false, 0, 0);
         scheduler_loop(&shared)
     }
 }
 
-fn spawn_fiber(shared: &Arc<Shared>, body: Box<dyn FnOnce() + Send>, daemon: bool) -> FiberId {
+fn spawn_fiber(
+    shared: &Arc<Shared>,
+    body: Box<dyn FnOnce() + Send>,
+    daemon: bool,
+    obs_node: u32,
+    obs_txn: u64,
+) -> FiberId {
     let cell = ParkCell::new();
     let id;
     {
@@ -260,6 +274,8 @@ fn spawn_fiber(shared: &Arc<Shared>, body: Box<dyn FnOnce() + Send>, daemon: boo
                 wake_reason: WakeReason::Signal,
                 daemon,
                 join_waiters: Vec::new(),
+                obs_node,
+                obs_txn,
             },
         );
         if !daemon {
@@ -536,7 +552,10 @@ pub fn now() -> Nanos {
 ///
 /// Panics when called outside a fiber.
 pub fn spawn<F: FnOnce() + Send + 'static>(f: F) -> FiberId {
-    with_current(|shared, _| spawn_fiber(shared, Box::new(f), false))
+    with_current(|shared, id| {
+        let (node, txn) = inherited_obs_ctx(shared, id);
+        spawn_fiber(shared, Box::new(f), false, node, txn)
+    })
 }
 
 /// Spawns a *daemon* fiber: the simulation may end while daemons are still
@@ -546,7 +565,74 @@ pub fn spawn<F: FnOnce() + Send + 'static>(f: F) -> FiberId {
 ///
 /// Panics when called outside a fiber.
 pub fn spawn_daemon<F: FnOnce() + Send + 'static>(f: F) -> FiberId {
-    with_current(|shared, _| spawn_fiber(shared, Box::new(f), true))
+    with_current(|shared, id| {
+        let (node, txn) = inherited_obs_ctx(shared, id);
+        spawn_fiber(shared, Box::new(f), true, node, txn)
+    })
+}
+
+/// Observability context a child fiber inherits from its spawner.
+fn inherited_obs_ctx(shared: &Arc<Shared>, id: u64) -> (u32, u64) {
+    let inner = shared.inner.lock();
+    inner
+        .fibers
+        .get(&id)
+        .map(|s| (s.obs_node, s.obs_txn))
+        .unwrap_or((0, 0))
+}
+
+/// Installs (or clears) the observability hub for the current simulation.
+/// Called by `crate::obs::install` from inside the root fiber.
+pub(crate) fn obs_install(obs: Option<Arc<treaty_obs::Obs>>) {
+    with_current(|shared, _| {
+        shared.inner.lock().obs = obs;
+    });
+}
+
+/// Tags the current fiber (and future children) as executing for `node`.
+/// No-op outside a fiber.
+pub(crate) fn obs_set_node(node: u32) {
+    let _ = try_with_current(|shared, id| {
+        if let Some(slot) = shared.inner.lock().fibers.get_mut(&id) {
+            slot.obs_node = node;
+        }
+    });
+}
+
+/// Sets the transaction in scope for the current fiber, returning the
+/// previous value so callers can restore it. Returns 0 outside a fiber.
+pub(crate) fn obs_set_txn(txn: u64) -> u64 {
+    try_with_current(|shared, id| {
+        let mut inner = shared.inner.lock();
+        match inner.fibers.get_mut(&id) {
+            Some(slot) => std::mem::replace(&mut slot.obs_txn, txn),
+            None => 0,
+        }
+    })
+    .unwrap_or(0)
+}
+
+/// Everything needed to stamp one trace event, read under a single lock:
+/// `(hub, virtual now, node, fiber id, txn)`. `None` when called outside a
+/// fiber or when no hub is installed — instrumentation then no-ops.
+pub(crate) fn obs_ctx() -> Option<(Arc<treaty_obs::Obs>, Nanos, u32, u64, u64)> {
+    try_with_current(|shared, id| {
+        let inner = shared.inner.lock();
+        let obs = inner.obs.clone()?;
+        let slot = inner.fibers.get(&id)?;
+        Some((obs, inner.now, slot.obs_node, id, slot.obs_txn))
+    })
+    .flatten()
+}
+
+/// Like [`with_current`] but returns `None` outside a fiber instead of
+/// panicking — observability must never abort an un-instrumented context.
+fn try_with_current<R>(f: impl FnOnce(&Arc<Shared>, u64) -> R) -> Option<R> {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let (shared, id) = b.as_ref()?;
+        Some(f(shared, *id))
+    })
 }
 
 /// Advances this fiber's virtual time by `ns` nanoseconds.

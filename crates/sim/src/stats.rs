@@ -13,6 +13,11 @@ use crate::Nanos;
 pub struct Histogram {
     samples: Vec<Nanos>,
     sorted: bool,
+    /// Largest sample, tracked incrementally so [`Histogram::max`] never
+    /// forces a sort (it used to re-sort after every `merge`).
+    max: Nanos,
+    /// Exact running sum, so `mean`/registry snapshots skip the iteration.
+    sum: u128,
 }
 
 impl Histogram {
@@ -25,6 +30,8 @@ impl Histogram {
     pub fn record(&mut self, v: Nanos) {
         self.samples.push(v);
         self.sorted = false;
+        self.max = self.max.max(v);
+        self.sum += v as u128;
     }
 
     /// Number of samples recorded.
@@ -32,15 +39,29 @@ impl Histogram {
         self.samples.len()
     }
 
+    /// Number of samples recorded, as the counter width the metrics
+    /// registry uses.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Exact sum of all samples — the registry-snapshot fast path.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// True if no samples were recorded.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one. Does not disturb `max`
+    /// incrementality: no later re-sort is needed to read it.
     pub fn merge(&mut self, other: &Histogram) {
         self.samples.extend_from_slice(&other.samples);
         self.sorted = false;
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
     }
 
     fn ensure_sorted(&mut self) {
@@ -66,14 +87,13 @@ impl Histogram {
         if self.samples.is_empty() {
             return 0;
         }
-        let sum: u128 = self.samples.iter().map(|&v| v as u128).sum();
-        (sum / self.samples.len() as u128) as Nanos
+        (self.sum / self.samples.len() as u128) as Nanos
     }
 
-    /// Largest sample; 0 when empty.
-    pub fn max(&mut self) -> Nanos {
-        self.ensure_sorted();
-        self.samples.last().copied().unwrap_or(0)
+    /// Largest sample; 0 when empty. O(1) — reads the incrementally
+    /// tracked maximum instead of sorting.
+    pub fn max(&self) -> Nanos {
+        self.max
     }
 }
 
@@ -200,6 +220,23 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.mean(), 2);
+    }
+
+    #[test]
+    fn max_and_sum_are_incremental_across_merge() {
+        let mut a = Histogram::new();
+        a.record(5);
+        a.record(2);
+        let mut b = Histogram::new();
+        b.record(9);
+        a.merge(&b);
+        // `max` takes &self: no sort, no &mut.
+        let shared: &Histogram = &a;
+        assert_eq!(shared.max(), 9);
+        assert_eq!(shared.count(), 3);
+        assert_eq!(shared.sum(), 16);
+        // Quantiles still work after the merge.
+        assert_eq!(a.quantile(1.0), 9);
     }
 
     #[test]

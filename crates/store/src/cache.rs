@@ -126,10 +126,12 @@ impl BlockCache {
                 inner.lru.remove(&old);
                 inner.lru.insert(stamp, (file_id, block_no));
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                treaty_sim::obs::counter_add("store.block_cache.hit", 1);
                 Some(records)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                treaty_sim::obs::counter_add("store.block_cache.miss", 1);
                 None
             }
         }

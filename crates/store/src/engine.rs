@@ -282,6 +282,7 @@ impl TreatyStore {
     // ---- read path ---------------------------------------------------------
 
     pub(crate) fn get_visible(&self, key: &[u8], snapshot: SeqNum) -> Result<Option<Vec<u8>>> {
+        let _span = treaty_sim::obs::span("store.get");
         self.inner.stats.gets.fetch_add(1, Ordering::Relaxed);
         if let Some(v) = self.inner.mem.read().clone().get(key, snapshot)? {
             return Ok(v);
@@ -377,6 +378,7 @@ impl TreatyStore {
         if treaty_sim::runtime::in_fiber() {
             treaty_sim::runtime::set_tag("e:group_commit");
         }
+        let _span = treaty_sim::obs::span("store.commit");
         let done = Arc::new(Mutex::new(None));
         self.inner.commit_queue.lock().push(CommitReq {
             record,
@@ -501,6 +503,7 @@ impl TreatyStore {
         if treaty_sim::runtime::in_fiber() {
             treaty_sim::runtime::set_tag("e:flush");
         }
+        let _span = treaty_sim::obs::span("store.flush");
         // Swap in a fresh MemTable + WAL generation first so concurrent
         // readers keep working against the frozen one.
         let frozen = {
@@ -630,6 +633,7 @@ impl TreatyStore {
         if treaty_sim::runtime::in_fiber() {
             treaty_sim::runtime::set_tag("e:compact");
         }
+        let _span = treaty_sim::obs::span_with("store.compact", &[("level", level as u64)]);
         // Snapshot the inputs but leave them published: the merge below does
         // real (virtual-time-charged) I/O, and concurrent readers must keep
         // seeing the pre-compaction state until the atomic publish swap.

@@ -189,11 +189,19 @@ impl Env {
 
     /// Charges an SSD log append + flush of `bytes`.
     pub fn charge_ssd_append(&self, bytes: usize) {
+        // Two syscalls (write + fsync), each an enclave↔host boundary
+        // crossing under a TEE (world switch or its SCONE async equivalent).
+        if self.profile.tee == treaty_sim::TeeMode::Scone {
+            treaty_sim::obs::counter_add("tee.world_switch", 2);
+        }
         self.charge(self.costs.ssd_append_ns(self.profile.tee, bytes));
     }
 
     /// Charges a (page-cache-resident) storage read of `bytes`.
     pub fn charge_storage_read(&self, bytes: usize) {
+        if self.profile.tee == treaty_sim::TeeMode::Scone {
+            treaty_sim::obs::counter_add("tee.world_switch", 1);
+        }
         self.charge(self.costs.storage_read_ns(self.profile.tee, bytes));
     }
 

@@ -111,8 +111,11 @@ impl Enclave {
                     // Probability that this access touches an evicted page.
                     let prob = over as f64 / resident as f64;
                     let pages = (bytes as u64).div_ceil(4096).max(1);
-                    ns += (costs.epc_fault_ns as f64 * prob * pages as f64) as Nanos;
+                    let paging = (costs.epc_fault_ns as f64 * prob * pages as f64) as Nanos;
+                    ns += paging;
                     self.faults.fetch_add(1, Ordering::Relaxed);
+                    treaty_sim::obs::counter_add("tee.epc_fault", 1);
+                    treaty_sim::obs::counter_add("tee.paging_ns", paging);
                 }
                 ns
             }

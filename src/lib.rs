@@ -9,6 +9,7 @@ pub use treaty_core as core;
 pub use treaty_counter as counter;
 pub use treaty_crypto as crypto;
 pub use treaty_net as net;
+pub use treaty_obs as obs;
 pub use treaty_sched as sched;
 pub use treaty_sim as sim;
 pub use treaty_store as store;

@@ -1,0 +1,118 @@
+//! Trace invariants through the public facade: committed distributed
+//! transactions yield balanced cross-node span trees on the virtual clock,
+//! the spans cover every layer of the stack, and same-seed runs export
+//! byte-identical Chrome traces.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use treaty::core::{Cluster, ClusterOptions};
+use treaty::obs::{check_invariants, chrome_trace_json, EventKind, Obs, TraceEvent};
+use treaty::sched::block_on;
+use treaty::sim::SecurityProfile;
+
+const TXNS: u64 = 5;
+
+/// Runs a small multi-shard workload on a 3-node cluster with the tracing
+/// hub installed and returns the recorded events plus the exported JSON.
+fn traced_run(seed: u64) -> (Vec<TraceEvent>, String) {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    let out: Arc<Mutex<Option<(Vec<TraceEvent>, String)>>> = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    block_on(move || {
+        let obs = Obs::with_default_cap();
+        treaty::sim::obs::install(&obs);
+        let mut options = ClusterOptions::new(SecurityProfile::treaty_full(), path);
+        options.engine_config = treaty::store::EngineConfig::tiny();
+        options.seed = seed;
+        let cluster = Cluster::start(options).unwrap();
+        let client = cluster.client();
+        for i in 0..TXNS as u32 {
+            let mut tx = client.begin(1 + (i % 3));
+            // Keys spread over the shard map, so 2PC reaches remote
+            // participants and the trace crosses nodes.
+            for k in 0..6u32 {
+                tx.put(format!("trace-key-{i}-{k}").as_bytes(), b"v").unwrap();
+            }
+            tx.commit().unwrap();
+        }
+        // Let in-flight deliveries and background stabilization drain so
+        // every span closes before the snapshot.
+        treaty::sim::runtime::sleep(50 * treaty::sim::MILLIS);
+        assert_eq!(
+            obs.metrics().snapshot().counters.get("core.committed"),
+            Some(&TXNS),
+            "registry must count every committed transaction"
+        );
+        treaty::sim::obs::uninstall();
+        let events = obs.events();
+        assert_eq!(obs.dropped(), 0, "smoke run must fit the ring buffer");
+        let json = chrome_trace_json(&events);
+        *out2.lock() = Some((events, json));
+    });
+    let r = out.lock().take().unwrap();
+    r
+}
+
+#[test]
+fn committed_txns_produce_balanced_cross_layer_span_trees() {
+    let (events, _) = traced_run(42);
+    assert!(!events.is_empty());
+
+    // Balanced + nested + per-fiber monotone, all in one pass.
+    let forest = check_invariants(&events).expect("span tree invariants");
+    assert!(!forest.is_empty());
+
+    // Spans from every layer of the stack.
+    for layer in ["client.", "2pc.", "clog.", "store.", "net."] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == EventKind::Enter && e.phase.starts_with(layer)),
+            "no span from layer {layer}"
+        );
+    }
+
+    // 2PC work on at least two distinct nodes (coordinator + participant).
+    let mut nodes_with_2pc: Vec<u32> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Enter && e.phase.starts_with("2pc."))
+        .map(|e| e.node)
+        .collect();
+    nodes_with_2pc.sort_unstable();
+    nodes_with_2pc.dedup();
+    assert!(
+        nodes_with_2pc.len() >= 2,
+        "2PC spans must cover >= 2 nodes, got {nodes_with_2pc:?}"
+    );
+
+    // Every committed transaction's coordinator-side commit span exists,
+    // tagged with its transaction id.
+    let mut commit_txns: Vec<u64> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Enter && e.phase == "2pc.commit")
+        .map(|e| e.txn)
+        .collect();
+    commit_txns.sort_unstable();
+    commit_txns.dedup();
+    assert_eq!(commit_txns.len() as u64, TXNS);
+    assert!(commit_txns.iter().all(|t| *t != 0));
+
+    // Virtual timestamps are monotone in sink order per fiber (the sink
+    // sequences events deterministically).
+    let mut last_ts: std::collections::BTreeMap<(u32, u64), u64> = Default::default();
+    for e in &events {
+        let prev = last_ts.entry((e.node, e.fiber)).or_insert(0);
+        assert!(e.ts >= *prev, "timestamps must be monotone per fiber");
+        *prev = e.ts;
+    }
+}
+
+#[test]
+fn same_seed_runs_export_byte_identical_traces() {
+    let (_, a) = traced_run(7);
+    let (_, b) = traced_run(7);
+    assert_eq!(a, b, "same-seed traces must be byte-identical");
+    assert!(a.contains("\"traceEvents\""));
+}
