@@ -153,6 +153,7 @@ impl Clog {
         let _span = treaty_sim::obs::span_with("clog.log_decision", &[("commit", u64::from(commit))]);
         let rec = ClogRecord::Decision { gtx, commit };
         let counter = self.writer.append(&encode_clog_record(&rec)?)?;
+        treaty_sim::crashpoint::hit("clog.decision_appended");
         if self.env.profile.stabilization {
             let _stab = treaty_sim::obs::span("clog.stabilize");
             self.writer.stabilize(counter)?;

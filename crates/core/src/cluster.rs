@@ -14,7 +14,7 @@ use treaty_store::env::{EngineConfig, Env};
 use treaty_store::{SharedNullEngine, TreatyStore, TxnEngine, TxnMode};
 
 use crate::client::TreatyClient;
-use crate::node::{NodeOptions, TreatyNode};
+use crate::node::{NodeOptions, RecoveryOutcome, TreatyNode};
 use crate::shard::ShardMap;
 use crate::{Result, TreatyError};
 
@@ -223,6 +223,9 @@ impl Cluster {
     fn boot_node(&mut self, idx: usize) -> Result<()> {
         let options = self.options.clone();
         let endpoint = NODE_BASE + idx as u32;
+        // If a fault-injection plan crashed this node, mark it alive again
+        // before recovery runs, or its fibers would keep unwinding.
+        treaty_sim::crashpoint::revive_node(endpoint);
 
         // Re-attestation through the LAS (no IAS round, §VI).
         let machine = idx % self.lases.len();
@@ -353,15 +356,15 @@ impl Cluster {
         self.boot_node(idx)
     }
 
-    /// Runs distributed recovery resolution on every running node.
-    /// Returns the total `(re_decided, resolved_prepared)`.
-    pub fn resolve_recovered(&self) -> (usize, usize) {
-        let mut totals = (0, 0);
+    /// Runs distributed recovery resolution on every running node and
+    /// returns the summed [`RecoveryOutcome`]. A non-zero `failed` count
+    /// means some transactions are still undecided — run another pass once
+    /// the underlying fault (e.g. an unreachable counter group) clears.
+    pub fn resolve_recovered(&self) -> RecoveryOutcome {
+        let mut totals = RecoveryOutcome::default();
         for slot in &self.slots {
             if let Some(node) = &slot.node {
-                let (d, r) = node.resolve_recovered();
-                totals.0 += d;
-                totals.1 += r;
+                totals += node.resolve_recovered();
             }
         }
         totals

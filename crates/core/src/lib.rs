@@ -30,7 +30,7 @@ pub mod shard;
 pub use client::{DistTxn, TreatyClient};
 pub use cluster::{Cluster, ClusterOptions};
 pub use history::{check_list_append, HistoryError, TxnObservation};
-pub use node::{NodeOptions, TreatyNode};
+pub use node::{NodeOptions, RecoveryOutcome, TreatyNode};
 pub use shard::ShardMap;
 
 use treaty_store::GlobalTxId;

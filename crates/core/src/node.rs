@@ -8,7 +8,7 @@
 //! transactions proceed concurrently.
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -73,6 +73,61 @@ pub struct NodeStats {
 // retry loop's counter lagged. A single lock makes every snapshot a
 // consistent point-in-time view.
 
+/// Result of [`TreatyNode::resolve_recovered`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// Undecided transactions this coordinator re-drove to a durable
+    /// decision.
+    pub re_decided: usize,
+    /// Locally prepared transactions resolved by asking their coordinator.
+    pub resolved: usize,
+    /// Undecided transactions whose re-drive could not log a decision —
+    /// they stay undecided and need another recovery pass.
+    pub failed: usize,
+}
+
+impl std::ops::AddAssign for RecoveryOutcome {
+    fn add_assign(&mut self, rhs: Self) {
+        self.re_decided += rhs.re_decided;
+        self.resolved += rhs.resolved;
+        self.failed += rhs.failed;
+    }
+}
+
+/// How many aborted transaction ids a coordinator remembers, bounding the
+/// memory of [`AbortRing`].
+const ABORT_RING_CAP: usize = 1024;
+
+/// Bounded FIFO memory of recently aborted transactions. A commit request
+/// for an unknown transaction consults it: "aborted earlier" and "never
+/// wrote anything" must answer differently (the former is `Aborted`, the
+/// latter a trivially `Committed` empty transaction).
+#[derive(Default)]
+struct AbortRing {
+    set: HashSet<GlobalTxId>,
+    order: VecDeque<GlobalTxId>,
+}
+
+impl AbortRing {
+    /// Records `gtx`; returns `true` the first time it is seen.
+    fn note(&mut self, gtx: GlobalTxId) -> bool {
+        if !self.set.insert(gtx) {
+            return false;
+        }
+        self.order.push_back(gtx);
+        if self.order.len() > ABORT_RING_CAP {
+            if let Some(evicted) = self.order.pop_front() {
+                self.set.remove(&evicted);
+            }
+        }
+        true
+    }
+
+    fn contains(&self, gtx: &GlobalTxId) -> bool {
+        self.set.contains(gtx)
+    }
+}
+
 /// Deterministic backoff jitter for decision retries: a splitmix64-style
 /// finalizer over the (transaction, peer, attempt) tuple. Different
 /// coordinators and peers desynchronize their retry trains without
@@ -101,6 +156,7 @@ pub struct TreatyNode {
     txn_mode: TxnMode,
     active_coord: Mutex<HashMap<GlobalTxId, CoordTxn>>,
     active_part: Mutex<HashMap<GlobalTxId, Box<dyn EngineTxn>>>,
+    recently_aborted: Mutex<AbortRing>,
     op_seq: AtomicU64,
     stats: Mutex<NodeStats>,
 }
@@ -152,11 +208,21 @@ impl TreatyNode {
             txn_mode: options.txn_mode,
             active_coord: Mutex::new(HashMap::new()),
             active_part: Mutex::new(HashMap::new()),
+            recently_aborted: Mutex::new(AbortRing::default()),
             op_seq: AtomicU64::new(1),
             stats: Mutex::new(NodeStats::default()),
         });
         node.register_handlers();
         rpc.start();
+        // When a fault-injection plan is installed, let it crash this node:
+        // stopping the endpoint makes the rest of the cluster see it vanish
+        // mid-protocol, exactly like a machine failure.
+        let rpc_weak = Arc::downgrade(&rpc);
+        treaty_sim::crashpoint::register_node(options.endpoint, move || {
+            if let Some(rpc) = rpc_weak.upgrade() {
+                rpc.stop();
+            }
+        });
         Ok(node)
     }
 
@@ -350,6 +416,12 @@ impl TreatyNode {
         let _span = treaty_sim::obs::span("2pc.commit");
         let ctx = self.active_coord.lock().remove(&gtx);
         let result = match ctx {
+            // No coordinator state: either a transaction we already aborted
+            // (op error, client rollback) — its client must not receive a
+            // success ack — or a genuinely empty transaction.
+            None if self.recently_aborted.lock().contains(&gtx) => CommitResult::Aborted {
+                reason: "transaction was aborted".into(),
+            },
             None => CommitResult::Committed, // empty transaction
             Some(ctx) => self.run_two_phase_commit(gtx, ctx),
         };
@@ -358,11 +430,9 @@ impl TreatyNode {
                 self.stats.lock().committed += 1;
                 treaty_sim::obs::counter_add("core.committed", 1);
             }
-            CommitResult::Aborted { .. } => {
-                self.stats.lock().aborted += 1;
-                treaty_sim::obs::counter_add("core.aborted", 1);
-            }
+            CommitResult::Aborted { .. } => self.note_aborted(gtx),
         }
+        treaty_sim::crashpoint::hit("coord.before_client_reply");
         let kind = match result {
             CommitResult::Committed => MsgKind::Ack,
             CommitResult::Aborted { .. } => MsgKind::Nack,
@@ -379,10 +449,13 @@ impl TreatyNode {
         treaty_sim::obs::set_node(self.endpoint);
         let _txn = treaty_sim::obs::txn_scope(gtx.seq);
         let _span = treaty_sim::obs::span("2pc.rollback");
+        // Count the abort only when coordinator state was actually removed
+        // (`abort_everywhere` notes it): a rollback of a transaction already
+        // aborted on the op-error path used to be counted a second time
+        // here, skewing the fig4/fig6 abort rates.
         if let Some(ctx) = self.active_coord.lock().remove(&gtx) {
             self.abort_everywhere(gtx, ctx);
         }
-        self.stats.lock().aborted += 1;
         Some((
             TxMeta {
                 kind: MsgKind::Ack,
@@ -424,6 +497,7 @@ impl TreatyNode {
                 };
             }
         }
+        treaty_sim::crashpoint::hit("coord.after_clog_start");
 
         treaty_sim::runtime::set_tag("h:2pc-fanout");
         let mut all_yes = true;
@@ -445,6 +519,7 @@ impl TreatyNode {
                 ));
             }
             self.rpc.tx_burst();
+            treaty_sim::crashpoint::hit("coord.after_prepare_fanout");
 
             treaty_sim::runtime::set_tag("h:2pc-local-prepare");
             if let Some(local) = ctx.local.take() {
@@ -476,6 +551,7 @@ impl TreatyNode {
                 }
             }
         }
+        treaty_sim::crashpoint::hit("coord.after_votes");
 
         treaty_sim::runtime::set_tag("h:2pc-log-decision");
         let commit = all_yes;
@@ -493,9 +569,11 @@ impl TreatyNode {
                 }
             }
         }
+        treaty_sim::crashpoint::hit("coord.after_log_decision");
 
         treaty_sim::runtime::set_tag("h:2pc-phase2");
         self.send_decision(gtx, &ctx.remotes, commit);
+        treaty_sim::crashpoint::hit("coord.after_decision_send");
         treaty_sim::runtime::set_tag("h:2pc-decide-local");
         if commit {
             let _ = self.engine.commit_prepared(gtx);
@@ -529,6 +607,7 @@ impl TreatyNode {
         }
         treaty_sim::runtime::set_tag("sd:wait");
         self.rpc.tx_burst();
+        treaty_sim::crashpoint::hit("coord.mid_decision_fanout");
         for (r, p) in pending {
             if p.wait().is_ok() {
                 continue;
@@ -577,12 +656,43 @@ impl TreatyNode {
         }
     }
 
+    /// Records a coordinator-side abort exactly once per transaction: the
+    /// ring lets a later commit attempt for the same `gtx` be answered
+    /// `Aborted` instead of "unknown → empty → Committed", and it gates
+    /// the abort counters so the op-error path, 2PC and client rollback
+    /// cannot double-count one transaction.
+    fn note_aborted(&self, gtx: GlobalTxId) {
+        if self.recently_aborted.lock().note(gtx) {
+            self.stats.lock().aborted += 1;
+            treaty_sim::obs::counter_add("core.aborted", 1);
+        }
+    }
+
+    /// Coordinator-side abort of a transaction that never reached prepare:
+    /// roll back local work and advise the remotes once, fire-and-forget.
+    /// Pre-prepare participants hold no durable state — if the advisory is
+    /// lost, whatever they hold is volatile and dies with the session — so
+    /// running the phase-2 retry train here (as this path once did) only
+    /// stalled the client-op session fiber for ~1 simulated second against
+    /// a dead peer.
+    /// Post-prepare decisions keep their retries in
+    /// [`TreatyNode::send_decision`].
     fn abort_everywhere(self: &Arc<Self>, gtx: GlobalTxId, mut ctx: CoordTxn) {
+        self.note_aborted(gtx);
         if let Some(mut local) = ctx.local.take() {
             let _ = local.rollback();
         }
-        if !ctx.remotes.is_empty() {
-            self.send_decision(gtx, &ctx.remotes, false);
+        if ctx.remotes.is_empty() {
+            return;
+        }
+        let _span = treaty_sim::obs::span_with(
+            "2pc.abort_advisory",
+            &[("remotes", ctx.remotes.len() as u64)],
+        );
+        let payload = encode(&PeerMsg::Abort { gtx });
+        for &r in &ctx.remotes {
+            let meta = self.peer_meta(gtx, MsgKind::TxnAbort);
+            self.rpc.send_oneway(r, req::PEER_ABORT, &meta, &payload);
         }
     }
 
@@ -640,16 +750,19 @@ impl TreatyNode {
                 PeerReply::OpDone(result)
             }
             PeerMsg::Prepare { gtx } => {
+                treaty_sim::crashpoint::hit("part.before_prepare");
                 let txn = self.active_part.lock().remove(&gtx);
                 let yes = match txn {
                     Some(mut txn) => txn.prepare(gtx).is_ok(),
                     // Recovery re-drive: still prepared from a past life?
                     None => self.engine.prepared_txns().contains(&gtx),
                 };
+                treaty_sim::crashpoint::hit("part.after_prepare");
                 PeerReply::Vote { yes }
             }
             PeerMsg::Commit { gtx } => {
                 let _ = self.engine.commit_prepared(gtx);
+                treaty_sim::crashpoint::hit("part.after_commit_apply");
                 PeerReply::Ack
             }
             PeerMsg::Abort { gtx } => {
@@ -657,6 +770,7 @@ impl TreatyNode {
                     let _ = txn.rollback();
                 }
                 let _ = self.engine.abort_prepared(gtx);
+                treaty_sim::crashpoint::hit("part.after_abort_apply");
                 PeerReply::Ack
             }
             PeerMsg::QueryDecision { gtx } => PeerReply::Decision {
@@ -682,9 +796,11 @@ impl TreatyNode {
     /// * as a participant, asks the coordinator of every locally prepared
     ///   transaction for its outcome.
     ///
-    /// Returns `(re_decided, resolved_prepared)` counts.
-    pub fn resolve_recovered(self: &Arc<Self>) -> (usize, usize) {
-        let mut re_decided = 0;
+    /// Returns a [`RecoveryOutcome`]; a non-zero `failed` count means some
+    /// transactions are still undecided and the caller should run another
+    /// recovery pass once the fault clears.
+    pub fn resolve_recovered(self: &Arc<Self>) -> RecoveryOutcome {
+        let mut outcome = RecoveryOutcome::default();
         if let Some(clog) = &self.clog {
             // Transactions with a logged decision but possibly undelivered
             // phase two: re-send the decision (participants treat
@@ -728,21 +844,36 @@ impl TreatyNode {
                 if participants.contains(&self.endpoint) {
                     all_yes &= self.engine.prepared_txns().contains(&gtx);
                 }
-                if clog.log_decision(gtx, all_yes).is_ok() {
-                    self.send_decision(gtx, &remotes, all_yes);
-                    if all_yes {
-                        let _ = self.engine.commit_prepared(gtx);
-                    } else {
-                        let _ = self.engine.abort_prepared(gtx);
+                match clog.log_decision(gtx, all_yes) {
+                    Ok(()) => {
+                        self.send_decision(gtx, &remotes, all_yes);
+                        if all_yes {
+                            let _ = self.engine.commit_prepared(gtx);
+                        } else {
+                            let _ = self.engine.abort_prepared(gtx);
+                        }
+                        outcome.re_decided += 1;
+                        treaty_sim::obs::counter_add("core.recovery_redecided", 1);
                     }
-                    re_decided += 1;
+                    Err(_) => {
+                        // The re-drive could not make a decision durable —
+                        // the transaction stays undecided. Surface it: the
+                        // old code dropped the error on the floor, leaving
+                        // the operator with no signal that recovery was
+                        // incomplete.
+                        outcome.failed += 1;
+                        treaty_sim::obs::counter_add("core.recovery_redrive_failed", 1);
+                        treaty_sim::obs::instant(
+                            "2pc.recovery_redrive_failed",
+                            &[("coordinator", u64::from(self.endpoint))],
+                        );
+                    }
                 }
             }
         }
 
         // Participant side: resolve prepared transactions coordinated
         // elsewhere.
-        let mut resolved = 0;
         for gtx in self.engine.prepared_txns() {
             if gtx.node == self.endpoint as u64 {
                 continue; // our own coordination handled above
@@ -756,18 +887,20 @@ impl TreatyNode {
                 match decode::<PeerReply>(&bytes) {
                     Some(PeerReply::Decision { commit: Some(true) }) => {
                         let _ = self.engine.commit_prepared(gtx);
-                        resolved += 1;
+                        outcome.resolved += 1;
+                        treaty_sim::obs::counter_add("core.recovery_resolved", 1);
                     }
                     Some(PeerReply::Decision {
                         commit: Some(false),
                     }) => {
                         let _ = self.engine.abort_prepared(gtx);
-                        resolved += 1;
+                        outcome.resolved += 1;
+                        treaty_sim::obs::counter_add("core.recovery_resolved", 1);
                     }
                     _ => {} // undecided: the coordinator re-drives
                 }
             }
         }
-        (re_decided, resolved)
+        outcome
     }
 }

@@ -450,8 +450,9 @@ fn coordinator_crash_between_phases_resolved_at_recovery() {
         // Coordinator crashes and restarts.
         cluster.crash_node(0);
         cluster.restart_node(0).unwrap();
-        let (re_decided, _) = cluster.resolve_recovered();
-        assert!(re_decided >= 1, "undecided txn must be re-driven");
+        let outcome = cluster.resolve_recovered();
+        assert!(outcome.re_decided >= 1, "undecided txn must be re-driven");
+        assert_eq!(outcome.failed, 0, "re-drive must succeed with counters up");
 
         // The in-flight transaction got a decision: the participant's
         // prepared state is resolved either way, and its lock is free.

@@ -1,0 +1,287 @@
+//! Regression tests for the coordinator bugs found while building the
+//! crash-point fault-injection harness (ISSUE 4):
+//!
+//! 1. a commit request for an already-aborted transaction was acked
+//!    `Committed` ("unknown gtx = empty transaction"),
+//! 2. a pre-prepare abort ran the full phase-2 retry train against a dead
+//!    peer inside the client-op session fiber (~1 s simulated stall),
+//! 3. `handle_client_rollback` double-counted aborts when no coordinator
+//!    state existed,
+//! 4. `resolve_recovered` silently dropped an undecided transaction when
+//!    the decision could not be logged during re-drive.
+//!
+//! The "confused client" is modeled with a raw RPC endpoint so tests can
+//! re-send commit/rollback for a transaction the well-behaved client API
+//! would consider finished.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use treaty_core::client::client_net;
+use treaty_core::cluster::{wire_crypto, COUNTER_BASE, COUNTER_CLIENT_BASE};
+use treaty_core::messages::{decode, encode, req, CommitResult, Op, OpResult};
+use treaty_core::{Cluster, ClusterOptions};
+use treaty_crypto::{MsgKind, TxMeta};
+use treaty_net::{Rpc, RpcConfig};
+use treaty_sched::block_on;
+use treaty_sim::runtime::now;
+use treaty_sim::{Nanos, SecurityProfile, MILLIS, SECONDS};
+use treaty_store::GlobalTxId;
+
+fn options(dir: &std::path::Path) -> ClusterOptions {
+    let mut o = ClusterOptions::new(SecurityProfile::treaty_full(), dir.to_path_buf());
+    o.engine_config = treaty_store::EngineConfig::tiny();
+    o
+}
+
+/// One key per node, keyed by owner endpoint (ordered for determinism).
+fn key_per_node(cluster: &Cluster) -> BTreeMap<u32, Vec<u8>> {
+    let mut found: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
+    for i in 0..10_000u32 {
+        let k = format!("spread-{i}").into_bytes();
+        let owner = cluster.shard_map().owner(&k);
+        found.entry(owner).or_insert(k);
+        if found.len() == cluster.node_endpoints().len() {
+            break;
+        }
+    }
+    found
+}
+
+/// A raw RPC endpoint speaking the client protocol without the client
+/// library's state machine — the "confused client".
+fn raw_client(cluster: &Cluster, id: u32, timeout: Nanos) -> Arc<Rpc> {
+    let rpc = Rpc::new(
+        cluster.fabric(),
+        id,
+        RpcConfig {
+            endpoint: client_net(),
+            crypto: wire_crypto(&SecurityProfile::treaty_full()),
+            key: cluster.keys().network,
+            cores: None,
+            timeout,
+        },
+    );
+    rpc.start();
+    rpc
+}
+
+fn raw_meta(client_id: u32, tx_seq: u64, op_id: u64, kind: MsgKind) -> TxMeta {
+    TxMeta {
+        node_id: client_id as u64,
+        tx_id: tx_seq,
+        op_id,
+        kind,
+    }
+}
+
+/// Bug 1: a transaction rolled back by the client, then committed again by
+/// a confused (or retrying) client, was acked `Committed` because the
+/// coordinator had no state for it and treated it as an empty transaction.
+/// This test FAILS against the pre-fix code.
+#[test]
+fn commit_after_rollback_is_acked_aborted() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let cluster = Cluster::start(options(&path)).unwrap();
+        let keys = key_per_node(&cluster);
+        let client = cluster.client();
+
+        let mut tx = client.begin(1);
+        let seq = tx.gtx().seq;
+        for k in keys.values() {
+            tx.put(k, b"doomed").unwrap();
+        }
+        tx.rollback().unwrap();
+
+        // The confused client re-sends the commit for the same transaction.
+        let raw = raw_client(&cluster, 9900, treaty_net::DEFAULT_RPC_TIMEOUT);
+        let meta = raw_meta(9900, seq, 1, MsgKind::TxnCommit);
+        let (_, bytes) = raw.call(1, req::CLIENT_COMMIT, &meta, &[]).unwrap();
+        let result: CommitResult = decode(&bytes).unwrap();
+        assert!(
+            matches!(result, CommitResult::Aborted { .. }),
+            "commit of a rolled-back transaction must not be acked Committed, got {result:?}"
+        );
+
+        // An actually-empty transaction still commits trivially.
+        let empty = client.begin(1);
+        empty.commit().unwrap();
+    });
+}
+
+/// Bug 1, op-error flavor: a transaction auto-aborted because its op hit a
+/// dead participant must also answer later commits with `Aborted`.
+#[test]
+fn commit_after_op_error_abort_is_acked_aborted() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let mut cluster = Cluster::start(options(&path)).unwrap();
+        let keys = key_per_node(&cluster);
+        let dead_key = keys.get(&2).unwrap().clone();
+        cluster.crash_node(1); // endpoint 2
+
+        let client = cluster.client();
+        let mut tx = client.begin(1);
+        let seq = tx.gtx().seq;
+        assert!(
+            tx.put(&dead_key, b"x").is_err(),
+            "op to a crashed participant must fail"
+        );
+        // Let the coordinator finish the op handler and its advisory abort.
+        treaty_sim::runtime::sleep(2 * SECONDS);
+
+        let raw = raw_client(&cluster, 9901, treaty_net::DEFAULT_RPC_TIMEOUT);
+        let meta = raw_meta(9901, seq, 7, MsgKind::TxnCommit);
+        let (_, bytes) = raw.call(1, req::CLIENT_COMMIT, &meta, &[]).unwrap();
+        let result: CommitResult = decode(&bytes).unwrap();
+        assert!(
+            matches!(result, CommitResult::Aborted { .. }),
+            "commit of an op-error-aborted transaction must be acked Aborted, got {result:?}"
+        );
+    });
+}
+
+/// Bug 2: the pre-prepare abort after an op failure used to run the
+/// 6-attempt decision-retry train against the dead peer inside the
+/// client-op handler, stalling that session fiber for over a simulated
+/// second. The advisory abort replies within the participant RPC timeout.
+#[test]
+fn pre_prepare_abort_does_not_stall_the_session() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let mut cluster = Cluster::start(options(&path)).unwrap();
+        let keys = key_per_node(&cluster);
+        let dead_key = keys.get(&2).unwrap().clone();
+        cluster.crash_node(1); // endpoint 2
+
+        // A raw call with a generous timeout measures the handler's true
+        // duration (the client library would give up at its own timeout).
+        let raw = raw_client(&cluster, 9902, 5 * SECONDS);
+        let op = Op::Put {
+            key: dead_key,
+            value: b"x".to_vec(),
+        };
+        let meta = raw_meta(9902, (9902u64 << 32) | 1, 1, MsgKind::TxnPut);
+        let t0 = now();
+        let (_, bytes) = raw.call(1, req::CLIENT_OP, &meta, &encode(&op)).unwrap();
+        let elapsed = now() - t0;
+        let result: OpResult = decode(&bytes).unwrap();
+        assert!(
+            matches!(result, OpResult::Err { .. }),
+            "op on a dead shard must fail, got {result:?}"
+        );
+        assert!(
+            elapsed < 600 * MILLIS,
+            "pre-prepare abort stalled the session fiber for {} ms",
+            elapsed / MILLIS
+        );
+    });
+}
+
+/// Bug 3: a rollback with no coordinator state (already aborted on the
+/// op-error path, or pure duplicate) must not bump the abort counter a
+/// second time.
+#[test]
+fn aborts_are_counted_exactly_once() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let cluster = Cluster::start(options(&path)).unwrap();
+        let keys = key_per_node(&cluster);
+        let client = cluster.client();
+
+        // One committed transaction.
+        let mut tx = client.begin(1);
+        for k in keys.values() {
+            tx.put(k, b"v").unwrap();
+        }
+        tx.commit().unwrap();
+        assert_eq!(cluster.totals(), (1, 0));
+
+        // One rolled-back transaction.
+        let mut tx = client.begin(1);
+        let seq = tx.gtx().seq;
+        for k in keys.values() {
+            tx.put(k, b"doomed").unwrap();
+        }
+        tx.rollback().unwrap();
+        assert_eq!(cluster.totals(), (1, 1));
+
+        // A duplicate rollback (no coordinator state) must not re-count.
+        let raw = raw_client(&cluster, 9903, treaty_net::DEFAULT_RPC_TIMEOUT);
+        let meta = raw_meta(9903, seq, 11, MsgKind::TxnAbort);
+        raw.call(1, req::CLIENT_ROLLBACK, &meta, &[]).unwrap();
+        assert_eq!(
+            cluster.totals(),
+            (1, 1),
+            "duplicate rollback double-counted the abort"
+        );
+
+        // Nor must a commit attempt for the same aborted transaction.
+        let meta = raw_meta(9903, seq, 12, MsgKind::TxnCommit);
+        let (_, bytes) = raw.call(1, req::CLIENT_COMMIT, &meta, &[]).unwrap();
+        let result: CommitResult = decode(&bytes).unwrap();
+        assert!(matches!(result, CommitResult::Aborted { .. }));
+        assert_eq!(
+            cluster.totals(),
+            (1, 1),
+            "commit-after-abort re-counted the abort"
+        );
+    });
+}
+
+/// Bug 4: when re-driving an undecided transaction fails to log the
+/// decision (counter group unreachable), the failure must be surfaced in
+/// the recovery outcome instead of silently dropped — and a later pass
+/// (after the fault clears and the node restarts) must finish the job.
+#[test]
+fn failed_redrive_is_surfaced_and_retryable() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let mut cluster = Cluster::start(options(&path)).unwrap();
+        let gtx = GlobalTxId {
+            node: 1,
+            seq: (9998u64 << 32) | 7,
+        };
+        // An undecided transaction in node 0's Clog, as left by a
+        // coordinator crash between log_start and log_decision.
+        cluster
+            .node(0)
+            .clog()
+            .unwrap()
+            .log_start(gtx, vec![1, 2])
+            .unwrap();
+
+        // Cut node 0's counter client off from every replica: the re-drive
+        // can append the decision but cannot stabilize it.
+        cluster.fabric().with_adversary(|a| {
+            for r in 0..3u32 {
+                a.partitions.insert((COUNTER_CLIENT_BASE, COUNTER_BASE + r));
+            }
+        });
+        let outcome = cluster.resolve_recovered();
+        assert_eq!(
+            outcome.failed, 1,
+            "failed re-drive must be surfaced, got {outcome:?}"
+        );
+        assert_eq!(outcome.re_decided, 0);
+
+        // Heal the network and restart the node (its counter client latched
+        // the quorum failure); recovery must now reach a durable decision.
+        cluster.fabric().with_adversary(|a| a.partitions.clear());
+        cluster.crash_node(0);
+        cluster.restart_node(0).unwrap();
+        let outcome = cluster.resolve_recovered();
+        assert_eq!(outcome.failed, 0, "healed re-drive still failing: {outcome:?}");
+        assert_eq!(
+            cluster.node(0).clog().unwrap().decision(gtx),
+            Some(false),
+            "the undecided transaction must end with a durable abort decision"
+        );
+    });
+}

@@ -32,6 +32,12 @@
 //!   unaudited declassification side channel. The raw line is searched,
 //!   not the scrubbed one, because interpolations live *inside* string
 //!   literals (`"{plaintext}"`).
+//! * **L006 — crash points unique and registered.** Every
+//!   `crashpoint::hit("...")` call site must name a string literal that
+//!   appears in `ALL_POINTS` (crates/sim/src/crashpoint.rs), and the
+//!   registry itself must have no duplicate names. A typo'd or
+//!   unregistered point would silently never fire, so a fault-matrix cell
+//!   that claims to cover it would test nothing.
 //!
 //! Violations are diffed against a committed `lint-baseline.json` ratchet:
 //! new violations fail the build; fixed violations must be removed from
@@ -69,12 +75,13 @@ impl fmt::Display for Violation {
 }
 
 /// All rule ids, in report order.
-pub const RULES: [(&str, &str); 5] = [
+pub const RULES: [(&str, &str); 6] = [
     ("L001", "enclave-only crypto primitives"),
     ("L002", "no panics on 2PC commit/recovery path"),
     ("L003", "deterministic time/randomness"),
     ("L004", "auditable HostBytes declassification"),
     ("L005", "no secrets in format/trace payloads"),
+    ("L006", "crash points unique and registered"),
 ];
 
 // ---------------------------------------------------------------------------
@@ -468,6 +475,116 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------------------
+// L006 — crash-point registry (cross-file)
+// ---------------------------------------------------------------------------
+
+/// The file that defines the crash-point registry. Its own internals and
+/// unit tests are exempt from the call-site check.
+pub const CRASHPOINT_REGISTRY: &str = "crates/sim/src/crashpoint.rs";
+
+/// The call-site token L006 looks for (qualified, so the registry's own
+/// bare `hit(...)` helpers don't count).
+const L006_CALL: &str = "crashpoint::hit(";
+
+/// Extracts the `ALL_POINTS` names, with their 1-based line numbers, from
+/// the registry source. Empty if the registry marker is missing.
+pub fn crash_point_names(source: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut in_registry = false;
+    for (n, raw) in source.lines().enumerate() {
+        if !in_registry {
+            if raw.contains("pub const ALL_POINTS") {
+                in_registry = true;
+            }
+            continue;
+        }
+        if raw.trim_start().starts_with("];") {
+            break;
+        }
+        let mut rest = raw;
+        while let Some(open) = rest.find('"') {
+            let tail = &rest[open + 1..];
+            match tail.find('"') {
+                Some(close) => {
+                    out.push((tail[..close].to_string(), n + 1));
+                    rest = &tail[close + 1..];
+                }
+                None => break,
+            }
+        }
+    }
+    out
+}
+
+/// L006 — the registry has no duplicate names, and every
+/// `crashpoint::hit("...")` call site outside the registry names a
+/// registered point with a string literal on the same line. Cross-file by
+/// nature: takes the whole workspace as `(repo-relative path, source)`
+/// pairs.
+pub fn lint_crash_points(sources: &[(String, String)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let registry: Vec<(String, usize)> = sources
+        .iter()
+        .find(|(f, _)| f == CRASHPOINT_REGISTRY)
+        .map(|(_, s)| crash_point_names(s))
+        .unwrap_or_default();
+
+    let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+    for (name, line) in &registry {
+        if seen.insert(name.as_str(), *line).is_some() {
+            out.push(Violation {
+                rule: "L006",
+                file: CRASHPOINT_REGISTRY.to_string(),
+                line: *line,
+                snippet: format!("duplicate crash point {name:?} in ALL_POINTS"),
+            });
+        }
+    }
+    let names: std::collections::BTreeSet<&str> =
+        registry.iter().map(|(n, _)| n.as_str()).collect();
+
+    for (file, source) in sources {
+        if file == CRASHPOINT_REGISTRY {
+            continue;
+        }
+        let scrubbed = scrub(source);
+        for (n, (line, raw)) in scrubbed.lines().zip(source.lines()).enumerate() {
+            // The sink is detected on the scrubbed line (never inside a
+            // comment or string); the argument is read from the raw line,
+            // where the literal's contents survive.
+            if !line.contains(L006_CALL) {
+                continue;
+            }
+            let mut rest = raw;
+            while let Some(pos) = rest.find(L006_CALL) {
+                let arg = rest[pos + L006_CALL.len()..].trim_start();
+                let registered = arg
+                    .strip_prefix('"')
+                    .and_then(|a| a.find('"').map(|close| &a[..close]))
+                    .is_some_and(|name| names.contains(name));
+                if !registered {
+                    out.push(Violation {
+                        rule: "L006",
+                        file: file.clone(),
+                        line: n + 1,
+                        snippet: {
+                            let mut s = raw.trim().to_string();
+                            if s.len() > 120 {
+                                s.truncate(117);
+                                s.push_str("...");
+                            }
+                            s
+                        },
+                    });
+                }
+                rest = &rest[pos + L006_CALL.len()..];
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Workspace walking
 // ---------------------------------------------------------------------------
 
@@ -507,7 +624,7 @@ fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
 pub fn run(root: &Path) -> std::io::Result<(Vec<Violation>, usize)> {
     let files = collect_files(root)?;
     let scanned = files.len();
-    let mut all = Vec::new();
+    let mut sources = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -517,8 +634,13 @@ pub fn run(root: &Path) -> std::io::Result<(Vec<Violation>, usize)> {
             .collect::<Vec<_>>()
             .join("/");
         let source = std::fs::read_to_string(&path)?;
-        all.extend(lint_source(&rel, &source));
+        sources.push((rel, source));
     }
+    let mut all = Vec::new();
+    for (rel, source) in &sources {
+        all.extend(lint_source(rel, source));
+    }
+    all.extend(lint_crash_points(&sources));
     Ok((all, scanned))
 }
 
@@ -877,6 +999,61 @@ mod tests {
         // Ident boundaries: `explain` must not match `plain`.
         let boundary = "let msg = format!(\"see {explain}\");\n";
         assert!(lint_source("crates/store/src/log.rs", boundary).is_empty());
+    }
+
+    #[test]
+    fn l006_crash_points_unique_and_registered() {
+        let registry = concat!(
+            "pub const ALL_POINTS: &[&str] = &[\n",
+            "    \"coord.a\",\n",
+            "    \"part.b\",\n",
+            "];\n",
+        );
+        let reg = |src: &str| (CRASHPOINT_REGISTRY.to_string(), src.to_string());
+        let site = |src: &str| ("crates/core/src/node.rs".to_string(), src.to_string());
+
+        // Registered literal call sites are clean.
+        let ok = vec![
+            reg(registry),
+            site("treaty_sim::crashpoint::hit(\"coord.a\");\n"),
+        ];
+        assert!(lint_crash_points(&ok).is_empty());
+
+        // A typo'd point name is a violation.
+        let typo = vec![
+            reg(registry),
+            site("treaty_sim::crashpoint::hit(\"coord.typo\");\n"),
+        ];
+        let v = lint_crash_points(&typo);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "L006");
+        assert_eq!(v[0].file, "crates/core/src/node.rs");
+
+        // A non-literal argument can't be checked, so it is a violation.
+        let dynamic = vec![
+            reg(registry),
+            site("treaty_sim::crashpoint::hit(point_name);\n"),
+        ];
+        assert_eq!(lint_crash_points(&dynamic).len(), 1);
+
+        // A duplicate registry entry is a violation on its own.
+        let dup_registry = concat!(
+            "pub const ALL_POINTS: &[&str] = &[\n",
+            "    \"coord.a\",\n",
+            "    \"coord.a\",\n",
+            "];\n",
+        );
+        let v = lint_crash_points(&[reg(dup_registry)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].file, CRASHPOINT_REGISTRY);
+        assert_eq!(v[0].line, 3);
+
+        // Mentions inside comments or strings are not call sites.
+        let commented = vec![
+            reg(registry),
+            site("// treaty_sim::crashpoint::hit(\"coord.typo\")\nlet s = \"crashpoint::hit(\\\"nope\\\")\";\n"),
+        ];
+        assert!(lint_crash_points(&commented).is_empty());
     }
 
     #[test]

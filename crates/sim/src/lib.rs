@@ -27,6 +27,7 @@
 //! ```
 
 pub mod costs;
+pub mod crashpoint;
 pub mod obs;
 pub mod profile;
 pub mod runtime;

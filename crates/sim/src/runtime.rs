@@ -133,6 +133,8 @@ struct Inner {
     completed: u64,
     /// Per-`Sim` observability hub; `None` until a root fiber installs one.
     obs: Option<Arc<treaty_obs::Obs>>,
+    /// Per-`Sim` crash-injection plan; `None` until a harness installs one.
+    crash: Option<Arc<crate::crashpoint::CrashPlan>>,
 }
 
 struct Shared {
@@ -181,14 +183,19 @@ impl Sim {
     where
         F: FnOnce() + Send + 'static,
     {
-        // Shutdown unwinds are control flow, not failures: silence their
-        // default panic-hook output (once, process-wide, delegating
-        // everything else to the previous hook).
+        // Shutdown and injected-crash unwinds are control flow, not
+        // failures: silence their default panic-hook output (once,
+        // process-wide, delegating everything else to the previous hook).
         static HOOK: std::sync::Once = std::sync::Once::new();
         HOOK.call_once(|| {
             let prev = std::panic::take_hook();
             std::panic::set_hook(Box::new(move |info| {
-                if info.payload().downcast_ref::<ShutdownSignal>().is_none() {
+                let payload = info.payload();
+                if payload.downcast_ref::<ShutdownSignal>().is_none()
+                    && payload
+                        .downcast_ref::<crate::crashpoint::CrashUnwind>()
+                        .is_none()
+                {
                     prev(info);
                 }
             }));
@@ -207,6 +214,7 @@ impl Sim {
                 switches: 0,
                 completed: 0,
                 obs: None,
+                crash: None,
             }),
             sched_cell: ParkCell::new(),
         });
@@ -297,7 +305,13 @@ fn spawn_fiber(
             match result {
                 Ok(()) => {}
                 Err(payload) => {
-                    if payload.downcast_ref::<ShutdownSignal>().is_none() {
+                    // Shutdown and injected-crash unwinds terminate the
+                    // fiber without failing the simulation.
+                    if payload.downcast_ref::<ShutdownSignal>().is_none()
+                        && payload
+                            .downcast_ref::<crate::crashpoint::CrashUnwind>()
+                            .is_none()
+                    {
                         let msg = panic_message(&payload);
                         if inner.panic_msg.is_none() {
                             inner.panic_msg = Some(msg);
@@ -621,6 +635,32 @@ pub(crate) fn obs_ctx() -> Option<(Arc<treaty_obs::Obs>, Nanos, u32, u64, u64)> 
         let obs = inner.obs.clone()?;
         let slot = inner.fibers.get(&id)?;
         Some((obs, inner.now, slot.obs_node, id, slot.obs_txn))
+    })
+    .flatten()
+}
+
+/// Installs (or clears) the crash-injection plan for the current
+/// simulation. Called by `crate::crashpoint::install` from the root fiber.
+pub(crate) fn crash_install(plan: Option<Arc<crate::crashpoint::CrashPlan>>) {
+    with_current(|shared, _| {
+        shared.inner.lock().crash = plan;
+    });
+}
+
+/// The installed crash plan, if any. `None` outside a fiber.
+pub(crate) fn crash_installed() -> Option<Arc<crate::crashpoint::CrashPlan>> {
+    try_with_current(|shared, _| shared.inner.lock().crash.clone()).flatten()
+}
+
+/// Everything a crash point needs, read under a single lock: `(plan, node
+/// this fiber executes for, virtual now)`. `None` when called outside a
+/// fiber or with no plan installed — crash points then no-op.
+pub(crate) fn crash_ctx() -> Option<(Arc<crate::crashpoint::CrashPlan>, u32, Nanos)> {
+    try_with_current(|shared, id| {
+        let inner = shared.inner.lock();
+        let plan = inner.crash.clone()?;
+        let slot = inner.fibers.get(&id)?;
+        Some((plan, slot.obs_node, inner.now))
     })
     .flatten()
 }

@@ -366,6 +366,9 @@ impl TreatyStore {
             .map(|w| (w.key.clone(), seq, w.value.clone()))
             .collect();
         let (counter, wal) = self.group_commit(record, applied)?;
+        // The commit is in the WAL and the MemTable but not yet acked to
+        // the caller — recovery must replay it from the log alone.
+        treaty_sim::crashpoint::hit("store.commit_logged");
         self.inner.stats.commits.fetch_add(1, Ordering::Relaxed);
         Ok((seq, counter, wal))
     }

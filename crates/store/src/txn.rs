@@ -342,6 +342,7 @@ impl EngineTxn for Txn {
         if let Err(e) = wal.stabilize(counter) {
             return Err(self.abort_with(e));
         }
+        treaty_sim::crashpoint::hit("store.prepare_logged");
         // Write locks move to the prepared record (same owner id) and are
         // held until the decision. Read locks may release now: the growing
         // phase is over and this transaction will never read again, so any

@@ -1,0 +1,376 @@
+//! The crash-point fault matrix: one cell per (crash point × role ×
+//! intended outcome), each cell a full crash/restart/recover episode
+//! checked against the recovery oracle.
+//!
+//! Every cell runs the same script on a fresh 3-node cluster:
+//!
+//! 1. a seed list-append transaction commits on every key (acked — it
+//!    must survive everything that follows),
+//! 2. the crash plan is armed for exactly one `(point, node)` pair,
+//! 3. a doomed list-append transaction runs; abort cells partition the
+//!    coordinator from the third shard *after* the ops so the 2PC vote
+//!    phase — not the op phase — fails,
+//! 4. the armed crash fires mid-protocol and freezes the node,
+//! 5. the network heals, the crashed node restarts, and
+//!    `resolve_recovered` re-drives / resolves whatever was in flight,
+//! 6. the oracle runs: the doomed appends are all-or-nothing across
+//!    shards, acked outcomes are honored, no prepared transaction
+//!    outlives recovery, and the surviving history is serializable.
+//!
+//! Abort cells additionally bounce the partitioned third shard before
+//! recovery: its participant transaction never prepared, so its locks are
+//! volatile by design — a real deployment sheds them with a session
+//! timeout, the simulation sheds them with a restart.
+//!
+//! The transcript of the whole matrix (virtual crash times included) is
+//! asserted byte-identical across runs: the harness is deterministic.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use treaty::core::{check_list_append, Cluster, ClusterOptions, TreatyError, TxnObservation};
+use treaty::sched::block_on;
+use treaty::sim::crashpoint::{self, FaultSchedule};
+use treaty::sim::runtime::sleep;
+use treaty::sim::{SecurityProfile, MILLIS, SECONDS};
+use treaty::store::{EngineConfig, GlobalTxId, TxnEngine as _};
+
+/// Endpoint of the coordinator every transaction uses.
+const COORD: u32 = 1;
+/// Endpoint of the participant crashed in `part.*` / `store.*` cells.
+const PART: u32 = 2;
+/// Endpoint of the shard partitioned away in abort cells.
+const SPARE: u32 = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cfg {
+    /// All shards healthy: the doomed transaction would commit.
+    Commit,
+    /// Coordinator partitioned from `SPARE` before the vote phase: the
+    /// doomed transaction must abort (or stay unacked).
+    Abort,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    point: &'static str,
+    /// Endpoint the armed crash takes down.
+    crash: u32,
+    cfg: Cfg,
+    /// Single coordinator-local key: exercises the 1PC fast path.
+    local_only: bool,
+}
+
+const fn cell(point: &'static str, crash: u32, cfg: Cfg) -> Cell {
+    Cell {
+        point,
+        crash,
+        cfg,
+        local_only: false,
+    }
+}
+
+/// The full matrix: every registered crash point, coordinator and
+/// participant roles, commit and abort outcomes where reachable.
+fn cells() -> Vec<Cell> {
+    let mut v = Vec::new();
+    for p in [
+        "coord.after_clog_start",
+        "coord.after_prepare_fanout",
+        "coord.after_votes",
+        "coord.after_log_decision",
+        "coord.mid_decision_fanout",
+        "coord.after_decision_send",
+        "coord.before_client_reply",
+    ] {
+        v.push(cell(p, COORD, Cfg::Commit));
+        v.push(cell(p, COORD, Cfg::Abort));
+    }
+    for p in ["part.before_prepare", "part.after_prepare"] {
+        v.push(cell(p, PART, Cfg::Commit));
+        v.push(cell(p, PART, Cfg::Abort));
+    }
+    // The decision-application points are only reachable under the
+    // matching decision.
+    v.push(cell("part.after_commit_apply", PART, Cfg::Commit));
+    v.push(cell("part.after_abort_apply", PART, Cfg::Abort));
+    v.push(cell("clog.decision_appended", COORD, Cfg::Commit));
+    v.push(cell("clog.decision_appended", COORD, Cfg::Abort));
+    v.push(cell("store.prepare_logged", PART, Cfg::Commit));
+    v.push(cell("store.prepare_logged", PART, Cfg::Abort));
+    // The local group-commit point never runs 2PC: a single
+    // coordinator-owned key commits through the one-phase path.
+    v.push(Cell {
+        point: "store.commit_logged",
+        crash: COORD,
+        cfg: Cfg::Commit,
+        local_only: true,
+    });
+    v
+}
+
+fn options(dir: &std::path::Path) -> ClusterOptions {
+    let mut o = ClusterOptions::new(SecurityProfile::treaty_full(), dir.to_path_buf());
+    o.engine_config = EngineConfig::tiny();
+    o
+}
+
+/// One key per node, ordered by owner endpoint for determinism.
+fn key_per_node(cluster: &Cluster) -> BTreeMap<u32, Vec<u8>> {
+    let mut found: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
+    for i in 0..10_000u32 {
+        let k = format!("spread-{i}").into_bytes();
+        let owner = cluster.shard_map().owner(&k);
+        found.entry(owner).or_insert(k);
+        if found.len() == cluster.node_endpoints().len() {
+            break;
+        }
+    }
+    found
+}
+
+/// Runs one matrix cell; panics on any oracle violation and returns the
+/// cell's transcript line.
+fn run_cell(c: Cell) -> String {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        // Install before the cluster boots so the nodes register their
+        // crash handlers (the handler stops the node's RPC endpoint).
+        let plan = crashpoint::install();
+        let mut cluster = Cluster::start(options(&path)).unwrap();
+        let keys: Vec<Vec<u8>> = if c.local_only {
+            vec![key_per_node(&cluster).remove(&COORD).unwrap()]
+        } else {
+            key_per_node(&cluster).into_values().collect()
+        };
+
+        // 1. Seed transaction: acked before any fault is armed.
+        let client = cluster.client();
+        let mut tx = client.begin(COORD);
+        let seed_gtx = tx.gtx();
+        let mut seed_obs = TxnObservation {
+            id: seed_gtx,
+            reads: Vec::new(),
+            appends: Vec::new(),
+        };
+        for k in &keys {
+            let cur = tx.get(k).expect("seed read failed");
+            let mut list: Vec<GlobalTxId> = cur
+                .map(|b| serde_json::from_slice(&b).unwrap())
+                .unwrap_or_default();
+            seed_obs.reads.push((k.clone(), list.clone()));
+            list.push(seed_gtx);
+            tx.put(k, &serde_json::to_vec(&list).unwrap())
+                .expect("seed write failed");
+            seed_obs.appends.push(k.clone());
+        }
+        tx.commit().expect("seed commit failed");
+
+        // 2. Arm the crash.
+        plan.arm(FaultSchedule::new().crash_at(c.point, c.crash, 1));
+
+        // 3. The doomed transaction.
+        let mut tx = client.begin(COORD);
+        let doomed_gtx = tx.gtx();
+        let mut doomed_obs = TxnObservation {
+            id: doomed_gtx,
+            reads: Vec::new(),
+            appends: Vec::new(),
+        };
+        for k in &keys {
+            let cur = tx.get(k).expect("doomed read failed");
+            let mut list: Vec<GlobalTxId> = cur
+                .map(|b| serde_json::from_slice(&b).unwrap())
+                .unwrap_or_default();
+            doomed_obs.reads.push((k.clone(), list.clone()));
+            list.push(doomed_gtx);
+            tx.put(k, &serde_json::to_vec(&list).unwrap())
+                .expect("doomed write failed");
+            doomed_obs.appends.push(k.clone());
+        }
+        if c.cfg == Cfg::Abort {
+            // Cut coordinator → SPARE *after* the ops: the prepare (and any
+            // decision) to that shard is lost, so the vote phase fails.
+            cluster.fabric().with_adversary(|a| {
+                a.partitions.insert((COORD, SPARE));
+            });
+        }
+        let acked = match tx.commit() {
+            Ok(()) => 'C',
+            Err(TreatyError::Aborted(..)) => 'A',
+            Err(_) => 'U', // unacked: timeout / coordinator down
+        };
+
+        // 4. Drain the retry trains, then heal.
+        sleep(4 * SECONDS);
+        cluster.fabric().with_adversary(|a| a.partitions.clear());
+
+        let fired = plan.fired();
+        assert_eq!(
+            fired.len(),
+            1,
+            "cell {} n{} {:?}: expected exactly one crash, got {fired:?}",
+            c.point,
+            c.crash,
+            c.cfg
+        );
+        assert_eq!(fired[0].point, c.point);
+        assert_eq!(fired[0].node, c.crash);
+        let fired_at = fired[0].at;
+
+        // 5. Restart and recover. Abort cells also bounce the partitioned
+        // shard: its never-prepared participant transaction holds only
+        // volatile locks, which a restart (= session timeout) sheds.
+        cluster.crash_node((c.crash - 1) as usize);
+        cluster.restart_node((c.crash - 1) as usize).unwrap();
+        if c.cfg == Cfg::Abort {
+            cluster.crash_node((SPARE - 1) as usize);
+            cluster.restart_node((SPARE - 1) as usize).unwrap();
+        }
+        let rec = cluster.resolve_recovered();
+        assert_eq!(
+            rec.failed, 0,
+            "cell {} n{} {:?}: recovery re-drive failed: {rec:?}",
+            c.point, c.crash, c.cfg
+        );
+
+        // 6. The oracle. Final reads retry: residual lock releases from
+        // recovery may be a few virtual milliseconds behind.
+        let reader = cluster.client();
+        let mut finals: HashMap<Vec<u8>, Vec<GlobalTxId>> = HashMap::new();
+        'read: for attempt in 0..10 {
+            finals.clear();
+            let mut tx = reader.begin(COORD);
+            let mut ok = true;
+            for k in &keys {
+                match tx.get(k) {
+                    Ok(Some(bytes)) => {
+                        let list: Vec<GlobalTxId> = serde_json::from_slice(&bytes).unwrap();
+                        finals.insert(k.clone(), list);
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok && tx.commit().is_ok() {
+                break 'read;
+            }
+            assert!(
+                attempt < 9,
+                "cell {} n{} {:?}: final read never succeeded",
+                c.point,
+                c.crash,
+                c.cfg
+            );
+            sleep(100 * MILLIS);
+        }
+
+        // Acked commits survive...
+        for k in &keys {
+            assert!(
+                finals.get(k).is_some_and(|l| l.contains(&seed_gtx)),
+                "cell {} n{} {:?}: acked seed append lost on key {:?}",
+                c.point,
+                c.crash,
+                c.cfg,
+                String::from_utf8_lossy(k)
+            );
+        }
+        // ...and the doomed transaction is all-or-nothing.
+        let present: Vec<bool> = keys
+            .iter()
+            .map(|k| finals.get(k).is_some_and(|l| l.contains(&doomed_gtx)))
+            .collect();
+        let all = present.iter().all(|&p| p);
+        let none = present.iter().all(|&p| !p);
+        assert!(
+            all || none,
+            "cell {} n{} {:?}: half-committed across shards: {present:?}",
+            c.point,
+            c.crash,
+            c.cfg
+        );
+        match acked {
+            'C' => assert!(
+                all,
+                "cell {} n{} {:?}: acked Committed but appends missing",
+                c.point, c.crash, c.cfg
+            ),
+            'A' => assert!(
+                none,
+                "cell {} n{} {:?}: acked Aborted but appends survived",
+                c.point, c.crash, c.cfg
+            ),
+            _ => {}
+        }
+
+        // No prepared transaction outlives recovery.
+        for i in 0..cluster.node_endpoints().len() {
+            if let Some(store) = cluster.store(i) {
+                let prepared = store.prepared_txns();
+                assert!(
+                    prepared.is_empty(),
+                    "cell {} n{} {:?}: prepared locks leaked on node {}: {prepared:?}",
+                    c.point,
+                    c.crash,
+                    c.cfg,
+                    i + 1
+                );
+            }
+        }
+
+        // The surviving history is serializable.
+        let mut observations = vec![seed_obs];
+        if all {
+            observations.push(doomed_obs);
+        }
+        if let Err(e) = check_list_append(&observations, &finals) {
+            panic!("cell {} n{} {:?}: {e}", c.point, c.crash, c.cfg);
+        }
+
+        let mask: String = present.iter().map(|&p| if p { '1' } else { '0' }).collect();
+        format!(
+            "{point} crash=n{node} cfg={cfg:?} fired@{at} acked={acked} doomed={mask}",
+            point = c.point,
+            node = c.crash,
+            cfg = c.cfg,
+            at = fired_at,
+        )
+    })
+}
+
+fn run_matrix() -> String {
+    let mut lines = Vec::new();
+    for c in cells() {
+        lines.push(run_cell(c));
+    }
+    lines.join("\n")
+}
+
+/// Every cell fires its crash and the recovery oracle holds.
+#[test]
+fn fault_matrix_holds_recovery_oracle() {
+    let transcript = run_matrix();
+    println!("{transcript}");
+    assert_eq!(transcript.lines().count(), cells().len());
+    let points: BTreeSet<&str> = transcript
+        .lines()
+        .map(|l| l.split_whitespace().next().unwrap())
+        .collect();
+    assert!(
+        points.len() >= 10,
+        "matrix must cover at least 10 distinct crash points, got {points:?}"
+    );
+    assert!(points.iter().any(|p| p.starts_with("coord.")));
+    assert!(points.iter().any(|p| p.starts_with("part.")));
+}
+
+/// The matrix transcript — including virtual crash times — is
+/// byte-identical across runs for a fixed seed.
+#[test]
+fn fault_matrix_is_deterministic() {
+    assert_eq!(run_matrix(), run_matrix());
+}
