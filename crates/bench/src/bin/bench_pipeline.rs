@@ -1,0 +1,110 @@
+//! Pipelined-commit ablation (DESIGN.md §11): the same distributed YCSB
+//! write-heavy workload, measured with the pipelined commit path (async
+//! phase-2 dispatch + background flush/compaction, the default) and with
+//! both ablations on (`--sync-decisions --inline-maintenance`, the
+//! pre-pipelining behaviour).
+//!
+//! Writes a machine-readable summary to `results/BENCH_pipeline.json`
+//! (override with `--out FILE`). Both runs are deterministic, so the
+//! artifact is byte-identical across invocations.
+
+use treaty_bench::{print_row, run_experiment, RunConfig};
+use treaty_sim::{BenchStats, SecurityProfile};
+use treaty_workload::YcsbConfig;
+
+fn run_variant(
+    sync_decisions: bool,
+    inline_maintenance: bool,
+    clients: usize,
+    txns: usize,
+) -> BenchStats {
+    let mut ycsb = YcsbConfig::write_heavy();
+    ycsb.keys = 400;
+    let mut cfg = RunConfig::distributed_ycsb(SecurityProfile::treaty_full(), ycsb, clients);
+    cfg.txns_per_client = txns;
+    cfg.sync_decisions = sync_decisions;
+    cfg.inline_maintenance = inline_maintenance;
+    run_experiment(cfg)
+}
+
+fn row_json(name: &str, s: &BenchStats) -> serde_json::Value {
+    serde_json::json!({
+        "variant": name,
+        "clients": s.clients,
+        "committed": s.committed,
+        "aborted": s.aborted,
+        "duration_ns": s.duration_ns,
+        "tps": s.tps(),
+        "mean_latency_ns": s.mean_latency_ns,
+        "p50_latency_ns": s.p50_latency_ns,
+        "p99_latency_ns": s.p99_latency_ns,
+    })
+}
+
+fn main() {
+    let clients: usize = std::env::args()
+        .skip_while(|a| a != "--clients")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+    let txns: usize = std::env::args()
+        .skip_while(|a| a != "--txns")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15);
+    let out: std::path::PathBuf = std::env::args()
+        .skip_while(|a| a != "--out")
+        .nth(1)
+        .map(Into::into)
+        .unwrap_or_else(|| "results/BENCH_pipeline.json".into());
+
+    println!(
+        "Pipelined commit path — distributed YCSB write-heavy, {clients} clients x {txns} txns\n"
+    );
+
+    let mut pipelined = run_variant(false, false, clients, txns);
+    pipelined.label = "pipelined (default)".into();
+    print_row(&pipelined, None);
+
+    let mut ablated = run_variant(true, true, clients, txns);
+    ablated.label = "sync + inline (ablation)".into();
+    print_row(&ablated, Some(pipelined.tps()));
+
+    println!(
+        "\np50 {:.3} ms -> {:.3} ms, p99 {:.3} ms -> {:.3} ms (ablation -> pipelined)",
+        ablated.p50_latency_ns as f64 / 1e6,
+        pipelined.p50_latency_ns as f64 / 1e6,
+        ablated.p99_latency_ns as f64 / 1e6,
+        pipelined.p99_latency_ns as f64 / 1e6,
+    );
+
+    let report = serde_json::json!({
+        "bench": "pipelined_commit_path",
+        "workload": "ycsb write-heavy, 3 nodes, treaty_full",
+        "clients": clients,
+        "txns_per_client": txns,
+        "rows": [
+            row_json("pipelined", &pipelined),
+            row_json("sync_inline_ablation", &ablated),
+        ],
+        "pipelined_faster_p50": pipelined.p50_latency_ns < ablated.p50_latency_ns,
+        "pipelined_faster_p99": pipelined.p99_latency_ns < ablated.p99_latency_ns,
+    });
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("results directory");
+        }
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&report).expect("serialize report"),
+    )
+    .expect("write BENCH_pipeline.json");
+    println!("-> {}", out.display());
+
+    assert!(
+        pipelined.p50_latency_ns < ablated.p50_latency_ns
+            && pipelined.p99_latency_ns < ablated.p99_latency_ns,
+        "pipelined commit path must beat the sync/inline ablation on p50 and p99"
+    );
+}

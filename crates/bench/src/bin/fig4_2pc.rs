@@ -21,9 +21,20 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(10);
+    // Ablation knobs for the pipelined commit path: `--sync-decisions`
+    // delivers phase-2 inline before the client ack; `--inline-maintenance`
+    // runs flush/compaction on the group-commit leader.
+    let sync_decisions = std::env::args().any(|a| a == "--sync-decisions");
+    let inline_maintenance = std::env::args().any(|a| a == "--inline-maintenance");
 
     println!("Fig. 4 — 2PC protocol in isolation (YCSB 50R/50W, 10 ops/tx, 1000B values)");
-    println!("{clients} clients x {txns} txns; paper saturates at 300 clients\n");
+    println!("{clients} clients x {txns} txns; paper saturates at 300 clients");
+    if sync_decisions || inline_maintenance {
+        println!(
+            "[ablation: sync_decisions={sync_decisions} inline_maintenance={inline_maintenance}]"
+        );
+    }
+    println!();
 
     let variants: [(&str, SecurityProfile); 4] = [
         ("Native 2PC (baseline)", SecurityProfile::rocksdb()),
@@ -35,6 +46,8 @@ fn main() {
     for (label, profile) in variants {
         let mut cfg = RunConfig::protocol_only(profile, clients);
         cfg.txns_per_client = txns;
+        cfg.sync_decisions = sync_decisions;
+        cfg.inline_maintenance = inline_maintenance;
         let mut stats = run_experiment(cfg);
         stats.label = label.to_string();
         print_row(&stats, baseline);
@@ -56,6 +69,8 @@ fn main() {
         ycsb.keys = 200;
         let mut cfg = RunConfig::distributed_ycsb(SecurityProfile::treaty_full(), ycsb, 4);
         cfg.txns_per_client = 25; // 100-txn smoke run
+        cfg.sync_decisions = sync_decisions;
+        cfg.inline_maintenance = inline_maintenance;
         write_trace_artifact(&path, cfg);
     }
 }

@@ -34,6 +34,13 @@ pub fn run(mode: TxnMode, title: &str) {
     // Ablation knob: `--no-block-cache` disables the trusted block cache
     // so the read path always pays decrypt + verify per block.
     let block_cache = !std::env::args().any(|a| a == "--no-block-cache");
+    // Pipelined-commit ablations (see DESIGN.md §11). Single-node
+    // transactions commit through the one-phase path, so
+    // `--sync-decisions` is inert here but accepted for symmetry;
+    // `--inline-maintenance` moves flush/compaction back onto the
+    // group-commit leader.
+    let sync_decisions = std::env::args().any(|a| a == "--sync-decisions");
+    let inline_maintenance = std::env::args().any(|a| a == "--inline-maintenance");
 
     let workloads: Vec<(String, Workload, usize)> = vec![
         // TPC-C 10W is conflict-bound: the paper saturates it at ~10
@@ -76,6 +83,8 @@ pub fn run(mode: TxnMode, title: &str) {
             let mut cfg = RunConfig::single_node(profile, mode, workload.clone(), clients);
             cfg.txns_per_client = txns;
             cfg.block_cache = block_cache;
+            cfg.sync_decisions = sync_decisions;
+            cfg.inline_maintenance = inline_maintenance;
             let (stats, accel) = run_experiment_detailed(cfg);
             print_row(&stats, baseline);
             print_accel(&accel);

@@ -62,6 +62,12 @@ pub struct RunConfig {
     /// Trusted block cache on/off (the read-acceleration ablation knob;
     /// `false` runs with `block_cache_bytes = 0`).
     pub block_cache: bool,
+    /// `true` delivers phase-2 decisions inline before the client ack
+    /// (the `--sync-decisions` ablation of the pipelined commit path).
+    pub sync_decisions: bool,
+    /// `true` runs SSTable builds and compaction inline on the
+    /// group-commit leader (the `--inline-maintenance` ablation).
+    pub inline_maintenance: bool,
 }
 
 impl RunConfig {
@@ -77,6 +83,8 @@ impl RunConfig {
             seed: 42,
             durable: true,
             block_cache: true,
+            sync_decisions: false,
+            inline_maintenance: false,
         }
     }
 
@@ -105,6 +113,8 @@ impl RunConfig {
             seed: 42,
             durable: true,
             block_cache: true,
+            sync_decisions: false,
+            inline_maintenance: false,
         }
     }
 
@@ -270,6 +280,8 @@ fn run_experiment_inner(
         if !cfg.block_cache {
             options.engine_config.block_cache_bytes = 0;
         }
+        options.sync_decisions = cfg.sync_decisions;
+        options.engine_config.inline_maintenance = cfg.inline_maintenance;
         let cluster = Arc::new(Cluster::start(options).expect("cluster boots"));
 
         // Load phase (unmeasured).

@@ -50,6 +50,9 @@ pub struct ClusterOptions {
     pub base_dir: PathBuf,
     /// Master secret / determinism seed.
     pub seed: u64,
+    /// Deliver phase-2 decisions inline before acking clients (the
+    /// `--sync-decisions` ablation). Default `false`: pipelined.
+    pub sync_decisions: bool,
 }
 
 impl ClusterOptions {
@@ -66,6 +69,7 @@ impl ClusterOptions {
             engine_config: EngineConfig::default(),
             base_dir,
             seed: 42,
+            sync_decisions: false,
         }
     }
 }
@@ -270,6 +274,7 @@ impl Cluster {
                 env,
                 txn_mode: options.txn_mode,
                 timeout: treaty_net::DEFAULT_RPC_TIMEOUT,
+                sync_decisions: options.sync_decisions,
             },
         )
         .map_err(TreatyError::from)?;
@@ -384,8 +389,19 @@ impl Cluster {
         (committed, aborted)
     }
 
-    /// Stops everything (counter replicas included).
+    /// Stops everything (counter replicas included). Queued phase-2
+    /// decisions and background store maintenance are drained first, so
+    /// a graceful shutdown leaves no participant waiting on a decision
+    /// and no flush backlog behind.
     pub fn shutdown(&mut self) {
+        for slot in &self.slots {
+            if let Some(node) = &slot.node {
+                node.drain_decisions();
+            }
+            if let Some(store) = &slot.store {
+                let _ = store.drain_maintenance();
+            }
+        }
         for i in 0..self.slots.len() {
             self.crash_node(i);
         }

@@ -9,7 +9,7 @@
 
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use treaty_crypto::{Key, MsgKind, TxMeta, WireCrypto};
@@ -44,6 +44,12 @@ pub struct NodeOptions {
     pub txn_mode: TxnMode,
     /// RPC timeout.
     pub timeout: Nanos,
+    /// Deliver phase-2 decisions inline on the client-session fiber before
+    /// acking the client (the pre-pipelining behaviour; the
+    /// `--sync-decisions` ablation). With the default `false`, the ack is
+    /// sent as soon as the decision is Clog-durable and delivery moves to
+    /// the per-node dispatcher daemon.
+    pub sync_decisions: bool,
 }
 
 impl std::fmt::Debug for NodeOptions {
@@ -128,6 +134,17 @@ impl AbortRing {
     }
 }
 
+/// Bound on the decision-dispatch queue: past this, committers fall back
+/// to the inline send — backpressure instead of unbounded queue growth.
+const DECISION_QUEUE_CAP: usize = 256;
+
+/// A Clog-durable phase-2 decision awaiting delivery by the dispatcher.
+struct DecisionDispatch {
+    gtx: GlobalTxId,
+    remotes: Vec<EndpointId>,
+    commit: bool,
+}
+
 /// Deterministic backoff jitter for decision retries: a splitmix64-style
 /// finalizer over the (transaction, peer, attempt) tuple. Different
 /// coordinators and peers desynchronize their retry trains without
@@ -137,6 +154,24 @@ fn decision_jitter(gtx: GlobalTxId, peer: EndpointId, attempt: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
+}
+
+/// Wire form of a phase-2 decision: request type, message kind for the
+/// peer-channel metadata, and the encoded payload.
+fn decision_wire(gtx: GlobalTxId, commit: bool) -> (u8, MsgKind, Vec<u8>) {
+    if commit {
+        (
+            req::PEER_COMMIT,
+            MsgKind::TxnCommit,
+            encode(&PeerMsg::Commit { gtx }),
+        )
+    } else {
+        (
+            req::PEER_ABORT,
+            MsgKind::TxnAbort,
+            encode(&PeerMsg::Abort { gtx }),
+        )
+    }
 }
 
 struct CoordTxn {
@@ -159,6 +194,12 @@ pub struct TreatyNode {
     recently_aborted: Mutex<AbortRing>,
     op_seq: AtomicU64,
     stats: Mutex<NodeStats>,
+    /// `--sync-decisions`: keep phase-2 delivery inline (ablation).
+    sync_decisions: bool,
+    /// Clog-durable decisions awaiting dispatch (bounded FIFO).
+    decision_queue: Mutex<VecDeque<DecisionDispatch>>,
+    /// Guards the spawn-on-demand dispatcher daemon (one at a time).
+    dispatcher_running: AtomicBool,
 }
 
 impl std::fmt::Debug for TreatyNode {
@@ -211,6 +252,9 @@ impl TreatyNode {
             recently_aborted: Mutex::new(AbortRing::default()),
             op_seq: AtomicU64::new(1),
             stats: Mutex::new(NodeStats::default()),
+            sync_decisions: options.sync_decisions,
+            decision_queue: Mutex::new(VecDeque::new()),
+            dispatcher_running: AtomicBool::new(false),
         });
         node.register_handlers();
         rpc.start();
@@ -503,10 +547,8 @@ impl TreatyNode {
         let mut all_yes = true;
         let mut reason = String::new();
         {
-            let _prepare = treaty_sim::obs::span_with(
-                "2pc.prepare",
-                &[("remotes", ctx.remotes.len() as u64)],
-            );
+            let _prepare =
+                treaty_sim::obs::span_with("2pc.prepare", &[("remotes", ctx.remotes.len() as u64)]);
             // Phase one: prepares fan out in one burst; the local prepare
             // overlaps the network round trip.
             let mut pending: Vec<(EndpointId, PendingReply)> = Vec::new();
@@ -572,7 +614,16 @@ impl TreatyNode {
         treaty_sim::crashpoint::hit("coord.after_log_decision");
 
         treaty_sim::runtime::set_tag("h:2pc-phase2");
-        self.send_decision(gtx, &ctx.remotes, commit);
+        if self.pipelined_decisions() {
+            // Early ack (the pipelined commit path): the decision is
+            // Clog-durable, so the client need not wait for the fan-out —
+            // delivery moves to the dispatcher daemon, and even a total
+            // delivery failure resolves via recovery (coordinator re-send
+            // or participant QueryDecision, §VI).
+            self.queue_decision(gtx, std::mem::take(&mut ctx.remotes), commit);
+        } else {
+            self.send_decision(gtx, &ctx.remotes, commit);
+        }
         treaty_sim::crashpoint::hit("coord.after_decision_send");
         treaty_sim::runtime::set_tag("h:2pc-decide-local");
         if commit {
@@ -584,22 +635,147 @@ impl TreatyNode {
         }
     }
 
+    /// True when phase-2 delivery rides the dispatcher daemon instead of
+    /// the client-session fiber. Outside the runtime (plain tests) there
+    /// is no daemon to run, so delivery stays inline.
+    fn pipelined_decisions(&self) -> bool {
+        !self.sync_decisions && treaty_sim::runtime::in_fiber()
+    }
+
+    /// Hands a Clog-durable decision to the dispatcher daemon. The queue
+    /// is bounded: past the cap the committer falls back to the inline
+    /// send, paying for delivery itself — backpressure, never a drop.
+    fn queue_decision(self: &Arc<Self>, gtx: GlobalTxId, remotes: Vec<EndpointId>, commit: bool) {
+        let mut queue = self.decision_queue.lock();
+        if queue.len() >= DECISION_QUEUE_CAP {
+            drop(queue);
+            treaty_sim::obs::counter_add("core.decision_queue_overflow", 1);
+            self.send_decision(gtx, &remotes, commit);
+            return;
+        }
+        queue.push_back(DecisionDispatch {
+            gtx,
+            remotes,
+            commit,
+        });
+        let depth = queue.len() as u64;
+        drop(queue);
+        treaty_sim::obs::gauge_set("core.decision_queue_depth", depth);
+        treaty_sim::obs::counter_add("core.decisions_queued", 1);
+        // Queued but not yet sent: a crash here must resolve through the
+        // Clog decision (coordinator re-send at recovery) or the
+        // participants' QueryDecision.
+        treaty_sim::crashpoint::hit("coord.decision_queued");
+        self.ensure_dispatcher();
+    }
+
+    /// Spawns the dispatcher daemon if it is not already running.
+    fn ensure_dispatcher(self: &Arc<Self>) {
+        if self.dispatcher_running.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let me = Arc::clone(self);
+        treaty_sim::runtime::spawn_daemon(move || {
+            treaty_sim::runtime::set_tag("decision-dispatch");
+            // Batches span transactions; each item scopes its own txn.
+            let _txn = treaty_sim::obs::txn_scope(0);
+            me.run_dispatcher();
+        });
+    }
+
+    /// Daemon body: drains the queue in batches until it stays empty,
+    /// with a claim/re-check dance so a decision can never be stranded
+    /// between an idle check and the running-flag reset.
+    fn run_dispatcher(self: &Arc<Self>) {
+        loop {
+            let work: Vec<DecisionDispatch> = {
+                let mut queue = self.decision_queue.lock();
+                queue.drain(..).collect()
+            };
+            if work.is_empty() {
+                self.dispatcher_running.store(false, Ordering::SeqCst);
+                if self.decision_queue.lock().is_empty() {
+                    return;
+                }
+                if self.dispatcher_running.swap(true, Ordering::SeqCst) {
+                    return; // a newer daemon claimed the work
+                }
+                continue;
+            }
+            treaty_sim::obs::gauge_set("core.decision_queue_depth", 0);
+            self.dispatch_batch(work);
+        }
+    }
+
+    /// Delivers a batch of queued decisions. Every message is enqueued
+    /// up front and leaves in a single `tx_burst` — decisions headed for
+    /// the same peer coalesce into one wire flush — then each
+    /// transaction's replies are awaited (and retried) one transaction at
+    /// a time, so its `2pc.send_decision` span nests cleanly under its
+    /// own txn scope.
+    fn dispatch_batch(self: &Arc<Self>, work: Vec<DecisionDispatch>) {
+        let _span = treaty_sim::obs::span_with(
+            "2pc.dispatch_decisions",
+            &[("decisions", work.len() as u64)],
+        );
+        let mut pending: Vec<Vec<(EndpointId, PendingReply)>> = Vec::with_capacity(work.len());
+        for d in &work {
+            let (rt, kind, payload) = decision_wire(d.gtx, d.commit);
+            let mut item = Vec::with_capacity(d.remotes.len());
+            for &r in &d.remotes {
+                let meta = self.peer_meta(d.gtx, kind);
+                item.push((r, self.rpc.enqueue_request(r, rt, &meta, &payload)));
+            }
+            pending.push(item);
+        }
+        treaty_sim::runtime::set_tag("dd:burst");
+        self.rpc.tx_burst();
+        treaty_sim::crashpoint::hit("coord.mid_decision_fanout");
+        for (d, item) in work.iter().zip(pending) {
+            let _txn = treaty_sim::obs::txn_scope(d.gtx.seq);
+            let _span = treaty_sim::obs::span_with(
+                "2pc.send_decision",
+                &[
+                    ("remotes", d.remotes.len() as u64),
+                    ("commit", u64::from(d.commit)),
+                ],
+            );
+            for (r, p) in item {
+                if p.wait().is_ok() {
+                    continue;
+                }
+                self.retry_decision(d.gtx, r, d.commit);
+            }
+        }
+    }
+
+    /// Synchronously delivers every queued decision (graceful shutdown:
+    /// queued phase-2 messages must reach participants before the cluster
+    /// stops serving; also safe to race the daemon — each decision drains
+    /// exactly once).
+    pub fn drain_decisions(self: &Arc<Self>) {
+        loop {
+            let work: Vec<DecisionDispatch> = {
+                let mut queue = self.decision_queue.lock();
+                queue.drain(..).collect()
+            };
+            if work.is_empty() {
+                return;
+            }
+            treaty_sim::obs::gauge_set("core.decision_queue_depth", 0);
+            self.dispatch_batch(work);
+        }
+    }
+
     fn send_decision(self: &Arc<Self>, gtx: GlobalTxId, remotes: &[EndpointId], commit: bool) {
         let _span = treaty_sim::obs::span_with(
             "2pc.send_decision",
-            &[("remotes", remotes.len() as u64), ("commit", u64::from(commit))],
+            &[
+                ("remotes", remotes.len() as u64),
+                ("commit", u64::from(commit)),
+            ],
         );
-        let (rt, msg) = if commit {
-            (req::PEER_COMMIT, PeerMsg::Commit { gtx })
-        } else {
-            (req::PEER_ABORT, PeerMsg::Abort { gtx })
-        };
-        let kind = if commit {
-            MsgKind::TxnCommit
-        } else {
-            MsgKind::TxnAbort
-        };
-        let payload = encode(&msg);
+        let (rt, kind, payload) = decision_wire(gtx, commit);
         let mut pending: Vec<(EndpointId, PendingReply)> = Vec::new();
         for &r in remotes {
             let meta = self.peer_meta(gtx, kind);
@@ -612,46 +788,51 @@ impl TreatyNode {
             if p.wait().is_ok() {
                 continue;
             }
-            treaty_sim::runtime::set_tag("sd:retry");
-            // Decisions are idempotent: retry so a lossy network cannot
-            // leave a participant holding prepared locks, but back off
-            // exponentially with deterministic jitter instead of an
-            // immediate burst, and cap the total retry window. A
-            // participant that is actually down learns the decision at
-            // recovery via QueryDecision.
-            let deadline = if treaty_sim::runtime::in_fiber() {
-                Some(treaty_sim::runtime::now() + treaty_sim::SECONDS)
-            } else {
-                None
-            };
-            let mut backoff = treaty_sim::MILLIS / 2;
-            for attempt in 0u64..6 {
-                self.stats.lock().decision_retries += 1;
-                treaty_sim::obs::counter_add("core.decision_retries", 1);
-                treaty_sim::obs::instant(
-                    "2pc.decision_retry",
-                    &[
-                        ("peer", u64::from(r)),
-                        ("attempt", attempt),
-                        ("backoff_ns", backoff),
-                    ],
-                );
-                let meta = self.peer_meta(gtx, kind);
-                if self.rpc.call(r, rt, &meta, &payload).is_ok() {
-                    break;
+            self.retry_decision(gtx, r, commit);
+        }
+    }
+
+    /// The phase-2 retry train for one peer that missed the initial
+    /// delivery. Decisions are idempotent: retry so a lossy network
+    /// cannot leave a participant holding prepared locks, but back off
+    /// exponentially with deterministic jitter instead of an immediate
+    /// burst, and cap the total retry window. A participant that is
+    /// actually down learns the decision at recovery via QueryDecision.
+    fn retry_decision(self: &Arc<Self>, gtx: GlobalTxId, r: EndpointId, commit: bool) {
+        treaty_sim::runtime::set_tag("sd:retry");
+        let (rt, kind, payload) = decision_wire(gtx, commit);
+        let deadline = if treaty_sim::runtime::in_fiber() {
+            Some(treaty_sim::runtime::now() + treaty_sim::SECONDS)
+        } else {
+            None
+        };
+        let mut backoff = treaty_sim::MILLIS / 2;
+        for attempt in 0u64..6 {
+            self.stats.lock().decision_retries += 1;
+            treaty_sim::obs::counter_add("core.decision_retries", 1);
+            treaty_sim::obs::instant(
+                "2pc.decision_retry",
+                &[
+                    ("peer", u64::from(r)),
+                    ("attempt", attempt),
+                    ("backoff_ns", backoff),
+                ],
+            );
+            let meta = self.peer_meta(gtx, kind);
+            if self.rpc.call(r, rt, &meta, &payload).is_ok() {
+                break;
+            }
+            match deadline {
+                Some(d) if treaty_sim::runtime::now() < d => {
+                    let jitter = decision_jitter(gtx, r, attempt) % (backoff / 2 + 1);
+                    treaty_sim::runtime::sleep(backoff + jitter);
+                    backoff = (backoff * 2).min(8 * treaty_sim::MILLIS);
                 }
-                match deadline {
-                    Some(d) if treaty_sim::runtime::now() < d => {
-                        let jitter = decision_jitter(gtx, r, attempt) % (backoff / 2 + 1);
-                        treaty_sim::runtime::sleep(backoff + jitter);
-                        backoff = (backoff * 2).min(8 * treaty_sim::MILLIS);
-                    }
-                    // Retry window exhausted.
-                    Some(_) => break,
-                    // Outside the runtime (plain tests): no virtual time to
-                    // sleep in, retry immediately as before.
-                    None => {}
-                }
+                // Retry window exhausted.
+                Some(_) => break,
+                // Outside the runtime (plain tests): no virtual time to
+                // sleep in, retry immediately as before.
+                None => {}
             }
         }
     }

@@ -54,6 +54,7 @@ pub const ALL_POINTS: &[&str] = &[
     "coord.mid_decision_fanout",
     "coord.after_decision_send",
     "coord.before_client_reply",
+    "coord.decision_queued",
     // Participant (treaty-core node.rs, peer handler).
     "part.before_prepare",
     "part.after_prepare",
@@ -64,6 +65,8 @@ pub const ALL_POINTS: &[&str] = &[
     // Storage engine (treaty-store txn.rs / engine.rs).
     "store.prepare_logged",
     "store.commit_logged",
+    "store.bg_flush_start",
+    "store.bg_compact_start",
 ];
 
 /// One armed fault: crash `node` the `hit`-th time (1-based, counted from

@@ -5,12 +5,20 @@
 //! MANIFEST replay → SSTable hierarchy → live WAL replay (MemTable +
 //! prepared transactions) with integrity and freshness verification at
 //! every step (§VI).
+//!
+//! The commit path is pipelined: the group-commit leader only *rotates*
+//! the MemTable/WAL generation under the commit lock; the expensive work —
+//! SSTable builds and the compaction cascade — runs on a spawn-on-demand
+//! maintenance daemon, with RocksDB-style slowdown/stop backpressure so
+//! writers can outrun maintenance only by a bounded amount (and stall,
+//! never error, at the hard cap). `EngineConfig::inline_maintenance`
+//! restores the pre-pipelining inline behaviour for ablations.
 
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use treaty_sched::FiberMutex;
@@ -19,7 +27,7 @@ use crate::env::Env;
 use crate::locks::{LockTable, TxId};
 use crate::log::{self, LogWriter};
 use crate::memtable::{MemTable, SeqNum, UserKey};
-use crate::sstable::{self, SsTable};
+use crate::sstable::{self, SsRecord, SsTable};
 use crate::txn::{GlobalTxId, Txn, TxnMode, TxnOptions, WriteOp};
 use crate::{Result, StoreError};
 
@@ -109,13 +117,21 @@ struct CommitReq {
     done: Arc<Mutex<Option<Result<(u64, Arc<LogWriter>)>>>>,
 }
 
+/// A rotated-out MemTable awaiting its SSTable build, plus the WAL
+/// generations it covers (retired once the L0 table is published).
+#[derive(Clone)]
+struct FlushWork {
+    frozen: Arc<MemTable>,
+    old_gens: Vec<u64>,
+}
+
 pub(crate) struct StoreInner {
     pub env: Arc<Env>,
     mem: RwLock<Arc<MemTable>>,
     /// The SSTable hierarchy, published copy-on-write: readers snapshot the
-    /// `Arc` (one refcount bump per read), structural writers (flush,
-    /// compaction — serialized by the commit lock) build a new vector and
-    /// swap it in. Readers that raced a compaction keep the old snapshot,
+    /// `Arc` (one refcount bump per read), structural writers (flush
+    /// builds, compaction — serialized by the maintenance lock) build a
+    /// new vector and swap it in. Readers that raced a compaction keep the old snapshot,
     /// whose tables stay alive (and on disk, GC being stabilization-gated)
     /// until the last reference drops.
     levels: RwLock<Arc<Vec<Vec<Arc<SsTable>>>>>,
@@ -133,8 +149,19 @@ pub(crate) struct StoreInner {
     pending_gc: Mutex<Vec<(u64, PathBuf)>>,
     /// WAL generations whose contents are still only in the MemTable.
     live_wal_gens: Mutex<Vec<u64>>,
+    /// MemTables rotated out of the write path but not yet built into L0
+    /// tables, newest first — still part of the read path.
+    frozen: RwLock<Vec<Arc<MemTable>>>,
+    /// Flush builds queued for the maintenance daemon (FIFO). Entries are
+    /// popped only after the build succeeds, so a failed build retries.
+    flush_backlog: Mutex<VecDeque<FlushWork>>,
+    /// Serializes flush builds and compactions between the maintenance
+    /// daemon and synchronous drains (forced flush, shutdown, tests).
+    maintenance_lock: FiberMutex,
+    /// Guards the spawn-on-demand maintenance daemon (one at a time).
+    maintenance_running: AtomicBool,
     /// Guards the background MANIFEST-stabilization fiber (one at a time).
-    gc_stabilizing: std::sync::atomic::AtomicBool,
+    gc_stabilizing: AtomicBool,
     pub stats: StatsCells,
 }
 
@@ -203,7 +230,11 @@ impl TreatyStore {
                 commit_queue: Mutex::new(Vec::new()),
                 pending_gc: Mutex::new(Vec::new()),
                 live_wal_gens: Mutex::new(vec![gen]),
-                gc_stabilizing: std::sync::atomic::AtomicBool::new(false),
+                frozen: RwLock::new(Vec::new()),
+                flush_backlog: Mutex::new(VecDeque::new()),
+                maintenance_lock: FiberMutex::new(),
+                maintenance_running: AtomicBool::new(false),
+                gc_stabilizing: AtomicBool::new(false),
                 stats: StatsCells::default(),
                 env,
             };
@@ -287,6 +318,15 @@ impl TreatyStore {
         if let Some(v) = self.inner.mem.read().clone().get(key, snapshot)? {
             return Ok(v);
         }
+        // Frozen MemTables awaiting their background build, newest first.
+        // Snapshot the list (Arc clones) before reading: `get` charges
+        // virtual time, and guards must not be held across a yield.
+        let frozen: Vec<Arc<MemTable>> = self.inner.frozen.read().clone();
+        for m in &frozen {
+            if let Some(v) = m.get(key, snapshot)? {
+                return Ok(v);
+            }
+        }
         // One refcount bump, not a deep copy of the level vectors.
         let levels = Arc::clone(&*self.inner.levels.read());
         // L0: newest first, tables overlap.
@@ -320,6 +360,12 @@ impl TreatyStore {
     pub(crate) fn latest_seq(&self, key: &[u8]) -> Result<SeqNum> {
         if let Some(s) = self.inner.mem.read().latest_seq_of(key) {
             return Ok(s);
+        }
+        let frozen: Vec<Arc<MemTable>> = self.inner.frozen.read().clone();
+        for m in &frozen {
+            if let Some(s) = m.latest_seq_of(key) {
+                return Ok(s);
+            }
         }
         let levels = Arc::clone(&*self.inner.levels.read());
         let mut best = 0;
@@ -381,6 +427,7 @@ impl TreatyStore {
         if treaty_sim::runtime::in_fiber() {
             treaty_sim::runtime::set_tag("e:group_commit");
         }
+        self.commit_backpressure();
         let _span = treaty_sim::obs::span("store.commit");
         let done = Arc::new(Mutex::new(None));
         self.inner.commit_queue.lock().push(CommitReq {
@@ -400,7 +447,9 @@ impl TreatyStore {
         let wal = self.inner.wal.read().clone();
         let batch: Vec<CommitReq> = std::mem::take(&mut *self.inner.commit_queue.lock());
         debug_assert!(!batch.is_empty());
-        let payloads: Vec<Vec<u8>> = batch.iter().map(|r| r.record.clone()).collect();
+        // Borrow the records straight out of the queue entries — the WAL
+        // writer only needs slices, so no payload is copied for batching.
+        let payloads: Vec<&[u8]> = batch.iter().map(|r| r.record.as_slice()).collect();
         let append = wal.append_batch(&payloads);
         self.inner
             .stats
@@ -490,7 +539,9 @@ impl TreatyStore {
         self.flush_locked()
     }
 
-    /// Forces a MemTable flush (also used by tests and shutdown).
+    /// Forces a MemTable flush and runs queued maintenance to completion,
+    /// so data is on disk when this returns (tests, shutdown, explicit
+    /// checkpoints).
     ///
     /// # Errors
     ///
@@ -499,14 +550,54 @@ impl TreatyStore {
         let guard = self.inner.commit_lock.lock();
         let r = self.flush_locked();
         drop(guard);
-        r
+        r?;
+        self.drain_maintenance()
     }
 
+    /// True when SSTable builds and compaction run on the maintenance
+    /// daemon instead of the group-commit leader — the pipelined default
+    /// inside the simulation runtime. `--inline-maintenance` (and plain
+    /// non-fiber unit tests, which have no daemon to run) restore the
+    /// pre-pipelining inline behaviour.
+    fn background_maintenance(&self) -> bool {
+        treaty_sim::runtime::in_fiber() && !self.inner.env.config.inline_maintenance
+    }
+
+    /// Rotation + dispatch. The caller holds the commit lock; only the
+    /// cheap rotation happens under it. The build either queues for the
+    /// maintenance daemon or — inline mode — runs right here like the
+    /// pre-pipelined engine did.
     fn flush_locked(&self) -> Result<()> {
-        if treaty_sim::runtime::in_fiber() {
-            treaty_sim::runtime::set_tag("e:flush");
+        let Some(work) = self.rotate_locked()? else {
+            return Ok(());
+        };
+        if self.background_maintenance() {
+            let depth = {
+                let mut backlog = self.inner.flush_backlog.lock();
+                backlog.push_back(work);
+                backlog.len()
+            };
+            treaty_sim::obs::gauge_set("store.flush_backlog", depth as u64);
+            self.ensure_maintenance();
+            Ok(())
+        } else {
+            let _m = self.inner.maintenance_lock.lock();
+            self.build_flush(&work)?;
+            self.maybe_compact()?;
+            self.gc();
+            Ok(())
         }
-        let _span = treaty_sim::obs::span("store.flush");
+    }
+
+    /// The rotation half of a flush: swaps in a fresh MemTable, parks the
+    /// frozen one on the read-path list, begins a new WAL generation and
+    /// re-logs undecided prepared transactions. Returns `None` when there
+    /// is nothing to flush.
+    fn rotate_locked(&self) -> Result<Option<FlushWork>> {
+        if treaty_sim::runtime::in_fiber() {
+            treaty_sim::runtime::set_tag("e:flush-rotate");
+        }
+        let _span = treaty_sim::obs::span("store.flush_rotate");
         // Swap in a fresh MemTable + WAL generation first so concurrent
         // readers keep working against the frozen one.
         let frozen = {
@@ -516,8 +607,11 @@ impl TreatyStore {
             frozen
         };
         if frozen.is_empty() {
-            return Ok(());
+            return Ok(None);
         }
+        // The frozen MemTable stays on the read path (newest first) until
+        // `build_flush` publishes its L0 table.
+        self.inner.frozen.write().insert(0, Arc::clone(&frozen));
         // Swap generations under a short lock; all I/O happens after the
         // guards drop (holding a plain mutex across a virtual-time charge
         // would wedge the whole simulation).
@@ -541,7 +635,7 @@ impl TreatyStore {
         // until then the commit lock excludes concurrent group commits but
         // not prepares, which append through `wal_append` on whichever
         // generation is current — still the old one, which is only deleted
-        // after this flush's MANIFEST edits, so no record is lost.)
+        // after the build's MANIFEST edits, so no record is lost.)
         let prepared_snapshot: Vec<(GlobalTxId, Vec<WriteOp>)> = {
             let prepared = self.inner.prepared.lock();
             prepared
@@ -555,9 +649,21 @@ impl TreatyStore {
         }
         *self.inner.wal.write() = wal;
         self.manifest_append(&ManifestEdit::NewWal { gen: new_gen })?;
+        Ok(Some(FlushWork { frozen, old_gens }))
+    }
 
-        // Write the frozen MemTable as an L0 table.
-        let entries = frozen.drain_for_flush()?;
+    /// The build half of a flush: writes the frozen MemTable as an L0
+    /// table, publishes it, and retires the WAL generations it covers.
+    /// Runs under the maintenance lock only — never the commit lock — so
+    /// group commit proceeds while the SSTable is built. A crash before
+    /// the `WalObsolete` edits leaves the old generations live in the
+    /// MANIFEST; recovery replays them (re-applied seqs are idempotent).
+    fn build_flush(&self, work: &FlushWork) -> Result<()> {
+        if treaty_sim::runtime::in_fiber() {
+            treaty_sim::runtime::set_tag("e:flush");
+        }
+        let _span = treaty_sim::obs::span("store.flush");
+        let entries = work.frozen.freeze_entries()?;
         let file_id = self.inner.next_file_id.fetch_add(1, Ordering::SeqCst);
         let path = self.inner.env.dir.join(sstable::file_name(file_id));
         sstable::build(&self.inner.env, &path, file_id, &entries)?;
@@ -568,24 +674,175 @@ impl TreatyStore {
             next[0].insert(0, table);
             *levels = Arc::new(next);
         }
+        // The L0 table is visible: drop the frozen MemTable from the read
+        // path. Its buffers are reclaimed when the last reference goes
+        // (possibly a racing reader's snapshot — MemTable frees on drop).
+        self.inner
+            .frozen
+            .write()
+            .retain(|m| !Arc::ptr_eq(m, &work.frozen));
         self.manifest_append(&ManifestEdit::AddTable { level: 0, file_id })?;
         self.inner.stats.flushes.fetch_add(1, Ordering::Relaxed);
 
         // The old WAL generations are now fully covered by SSTables.
         let mut obsolete_counter = 0;
-        for gen in &old_gens {
+        for gen in &work.old_gens {
             obsolete_counter = self.manifest_append(&ManifestEdit::WalObsolete { gen: *gen })?;
         }
         {
             let mut gc = self.inner.pending_gc.lock();
-            for gen in old_gens {
-                gc.push((obsolete_counter, self.inner.env.dir.join(wal_name(gen))));
+            for gen in &work.old_gens {
+                gc.push((obsolete_counter, self.inner.env.dir.join(wal_name(*gen))));
             }
         }
-
-        self.maybe_compact()?;
-        self.gc();
         Ok(())
+    }
+
+    // ---- background maintenance --------------------------------------------
+
+    /// Spawns the maintenance daemon if it is not already running.
+    fn ensure_maintenance(&self) {
+        if !self.background_maintenance() {
+            return;
+        }
+        if self.inner.maintenance_running.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let me = self.clone();
+        treaty_sim::runtime::spawn_daemon(move || {
+            treaty_sim::runtime::set_tag("store-maint");
+            // Maintenance is not attributable to whichever transaction
+            // happened to trigger the rotation.
+            let _txn = treaty_sim::obs::txn_scope(0);
+            me.run_maintenance();
+        });
+    }
+
+    /// Daemon body: runs maintenance passes until no work remains, with
+    /// the same claim/re-check dance as the GC stabilizer so work can
+    /// never be stranded between an idle check and the flag reset.
+    fn run_maintenance(&self) {
+        loop {
+            match self.maintenance_pass() {
+                Ok(true) => {}
+                Ok(false) => {
+                    self.inner
+                        .maintenance_running
+                        .store(false, Ordering::SeqCst);
+                    if !self.maintenance_due() {
+                        return;
+                    }
+                    // Work raced the idle transition; try to re-claim it.
+                    if self.inner.maintenance_running.swap(true, Ordering::SeqCst) {
+                        return; // a newer daemon owns it
+                    }
+                }
+                Err(_) => {
+                    // Leave the work queued: the next commit re-arms the
+                    // daemon and retries. Surfaced as a metric only (the
+                    // error text is not trace-safe).
+                    treaty_sim::obs::counter_add("store.maintenance_errors", 1);
+                    self.inner
+                        .maintenance_running
+                        .store(false, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Anything for the daemon to do?
+    fn maintenance_due(&self) -> bool {
+        !self.inner.flush_backlog.lock().is_empty() || self.compaction_due()
+    }
+
+    /// Cheap check (no I/O — table sizes are cached at open) for whether
+    /// any level is over budget.
+    fn compaction_due(&self) -> bool {
+        let cfg = &self.inner.env.config;
+        let levels = self.inner.levels.read();
+        if levels[0].len() >= cfg.l0_compaction_trigger {
+            return true;
+        }
+        for level in 1..6 {
+            let max =
+                cfg.l1_bytes as u64 * (cfg.level_size_multiplier as u64).pow(level as u32 - 1);
+            if self.level_bytes(&levels[level]) > max {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs one unit of maintenance — one flush build, or one compaction
+    /// round — and returns whether it did anything.
+    fn maintenance_pass(&self) -> Result<bool> {
+        let _guard = self.inner.maintenance_lock.lock();
+        let work = self.inner.flush_backlog.lock().front().cloned();
+        if let Some(work) = work {
+            // Rotated but unbuilt: the covered WAL generations are still
+            // live in the MANIFEST, so a crash here loses nothing.
+            treaty_sim::crashpoint::hit("store.bg_flush_start");
+            self.build_flush(&work)?;
+            let depth = {
+                let mut backlog = self.inner.flush_backlog.lock();
+                backlog.pop_front();
+                backlog.len()
+            };
+            treaty_sim::obs::gauge_set("store.flush_backlog", depth as u64);
+            self.gc();
+            return Ok(true);
+        }
+        if self.compaction_due() {
+            treaty_sim::crashpoint::hit("store.bg_compact_start");
+            self.maybe_compact()?;
+            self.gc();
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Synchronously runs queued maintenance to completion (forced
+    /// flushes, shutdown, tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and integrity errors from builds and compactions.
+    pub fn drain_maintenance(&self) -> Result<()> {
+        while self.maintenance_pass()? {}
+        Ok(())
+    }
+
+    /// RocksDB-style write backpressure, paid before a committer joins the
+    /// group-commit queue: one bounded stall at the soft trigger, and a
+    /// stall loop — never an error — at the hard cap until the maintenance
+    /// daemon catches up. Pressure is the flush backlog plus the L0 file
+    /// count.
+    fn commit_backpressure(&self) {
+        if !self.background_maintenance() {
+            return;
+        }
+        let cfg = &self.inner.env.config;
+        let stall = cfg.backpressure_stall.max(1);
+        let mut slowed = false;
+        loop {
+            let pressure =
+                self.inner.flush_backlog.lock().len() + self.inner.levels.read()[0].len();
+            if pressure >= cfg.l0_stop_trigger {
+                treaty_sim::obs::counter_add("store.backpressure_stops", 1);
+                self.ensure_maintenance();
+                treaty_sim::runtime::sleep(stall);
+                continue;
+            }
+            if pressure >= cfg.l0_slowdown_trigger && !slowed {
+                slowed = true;
+                treaty_sim::obs::counter_add("store.backpressure_slowdowns", 1);
+                self.ensure_maintenance();
+                treaty_sim::runtime::sleep(stall);
+                continue; // re-check: pressure may have crossed the hard cap
+            }
+            return;
+        }
     }
 
     fn manifest_append(&self, edit: &ManifestEdit) -> Result<u64> {
@@ -595,10 +852,9 @@ impl TreatyStore {
     }
 
     fn level_bytes(&self, tables: &[Arc<SsTable>]) -> u64 {
-        tables
-            .iter()
-            .map(|t| std::fs::metadata(t.path()).map(|m| m.len()).unwrap_or(0))
-            .sum()
+        // Sizes are captured once at open — no per-table metadata syscall
+        // on the commit/maintenance path.
+        tables.iter().map(|t| t.disk_bytes()).sum()
     }
 
     fn maybe_compact(&self) -> Result<()> {
@@ -649,40 +905,49 @@ impl TreatyStore {
         }
 
         // Merge: newest-first precedence is upper level tables in order,
-        // then lower level.
-        let mut best: HashMap<UserKey, (SeqNum, Option<Vec<u8>>)> = HashMap::new();
-        let ordered: Vec<&Arc<SsTable>> = inputs_upper.iter().chain(inputs_lower.iter()).collect();
-        for t in &ordered {
-            for r in t.scan_all()? {
-                let e = best.entry(r.key.clone());
-                match e {
-                    std::collections::hash_map::Entry::Occupied(mut o) => {
-                        if r.seq > o.get().0 {
-                            o.insert((r.seq, r.value));
-                        }
-                    }
-                    std::collections::hash_map::Entry::Vacant(v) => {
-                        v.insert((r.seq, r.value));
-                    }
-                }
-            }
-        }
+        // then lower level. Every input is already sorted (user key asc,
+        // seq desc), so a k-way streaming merge over per-block cursors
+        // needs no materialized map, no per-record key clone and no output
+        // sort — the footprint is one block per input, not the level.
         let bottom = level + 1 >= 5;
-        let mut merged: Vec<(UserKey, SeqNum, Option<Vec<u8>>)> = best
-            .into_iter()
-            .filter(|(_, (_, v))| !(bottom && v.is_none()))
-            .map(|(k, (s, v))| (k, s, v))
-            .collect();
-        merged.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut cursors: Vec<CompactCursor> = Vec::new();
+        for t in inputs_upper.iter().chain(inputs_lower.iter()) {
+            cursors.push(CompactCursor::new(Arc::clone(t))?);
+        }
 
         // Write output tables, splitting at the size target.
         let mut outputs = Vec::new();
         let mut chunk: Vec<(UserKey, SeqNum, Option<Vec<u8>>)> = Vec::new();
         let mut chunk_bytes = 0usize;
         let target = self.inner.env.config.sstable_bytes;
-        for entry in merged {
-            chunk_bytes += entry.0.len() + entry.2.as_ref().map(|v| v.len()).unwrap_or(0) + 17;
-            chunk.push(entry);
+        loop {
+            // Smallest key across the cursor heads.
+            let mut key: Option<UserKey> = None;
+            for c in &cursors {
+                if let Some(r) = c.head() {
+                    if key.as_ref().map(|k| r.key < *k).unwrap_or(true) {
+                        key = Some(r.key.clone());
+                    }
+                }
+            }
+            let Some(key) = key else { break };
+            // Consume every version of `key`, keeping the newest. Strict
+            // `>` so the earliest cursor — the newer level — wins seq ties.
+            let mut best: Option<(SeqNum, Option<Vec<u8>>)> = None;
+            for c in &mut cursors {
+                while c.head().map(|r| r.key == key).unwrap_or(false) {
+                    let r = c.take()?;
+                    if best.as_ref().map(|(s, _)| r.seq > *s).unwrap_or(true) {
+                        best = Some((r.seq, r.value));
+                    }
+                }
+            }
+            let (seq, value) = best.expect("some cursor headed this key");
+            if bottom && value.is_none() {
+                continue; // tombstone reached the bottom level: drop it
+            }
+            chunk_bytes += key.len() + value.as_ref().map(|v| v.len()).unwrap_or(0) + 17;
+            chunk.push((key, seq, value));
             if chunk_bytes >= target {
                 outputs.push(self.write_table(&chunk)?);
                 chunk.clear();
@@ -950,13 +1215,72 @@ impl TreatyStore {
             commit_queue: Mutex::new(Vec::new()),
             pending_gc: Mutex::new(Vec::new()),
             live_wal_gens: Mutex::new(live_gens),
-            gc_stabilizing: std::sync::atomic::AtomicBool::new(false),
+            frozen: RwLock::new(Vec::new()),
+            flush_backlog: Mutex::new(VecDeque::new()),
+            maintenance_lock: FiberMutex::new(),
+            maintenance_running: AtomicBool::new(false),
+            gc_stabilizing: AtomicBool::new(false),
             stats: StatsCells::default(),
             env,
         };
         Ok(TreatyStore {
             inner: Arc::new(inner),
         })
+    }
+}
+
+/// A streaming scan over one compaction input: holds one decoded block of
+/// records at a time instead of materializing the whole table.
+struct CompactCursor {
+    table: Arc<SsTable>,
+    next_block: usize,
+    records: std::vec::IntoIter<SsRecord>,
+    head: Option<SsRecord>,
+}
+
+impl CompactCursor {
+    fn new(table: Arc<SsTable>) -> Result<Self> {
+        let mut c = CompactCursor {
+            table,
+            next_block: 0,
+            records: Vec::new().into_iter(),
+            head: None,
+        };
+        c.advance()?;
+        Ok(c)
+    }
+
+    /// The next record, in (user key asc, seq desc) order; `None` when the
+    /// table is exhausted.
+    fn head(&self) -> Option<&SsRecord> {
+        self.head.as_ref()
+    }
+
+    /// Takes the head record and advances past it.
+    fn take(&mut self) -> Result<SsRecord> {
+        let out = self.head.take().expect("take() on an exhausted cursor");
+        self.advance()?;
+        Ok(out)
+    }
+
+    fn advance(&mut self) -> Result<()> {
+        loop {
+            if let Some(r) = self.records.next() {
+                self.head = Some(r);
+                return Ok(());
+            }
+            if self.next_block >= self.table.block_count() {
+                self.head = None;
+                return Ok(());
+            }
+            let block = self.table.scan_block(self.next_block)?;
+            self.next_block += 1;
+            // The uncached read hands us a fresh Arc: unwrap in place
+            // rather than copying the records out.
+            self.records = Arc::try_unwrap(block)
+                .unwrap_or_else(|a| (*a).clone())
+                .into_iter();
+        }
     }
 }
 

@@ -39,6 +39,21 @@ pub struct EngineConfig {
     pub block_cache_bytes: usize,
     /// Bits per key for the per-table Bloom filters. Zero disables filters.
     pub bloom_bits_per_key: usize,
+    /// Run SSTable builds and the compaction cascade inline on the
+    /// group-commit leader while it holds the commit lock (the
+    /// pre-pipelining behaviour; the `--inline-maintenance` ablation).
+    /// With the default `false`, flush rotation still happens under the
+    /// commit lock but the expensive I/O moves to a maintenance daemon.
+    pub inline_maintenance: bool,
+    /// Soft write backpressure: when the flush backlog plus L0 file count
+    /// reaches this, each committer absorbs one bounded stall so
+    /// maintenance can catch up.
+    pub l0_slowdown_trigger: usize,
+    /// Hard write backpressure: at this backlog + L0 count committers
+    /// block (they stall in a loop — never error) until pressure drops.
+    pub l0_stop_trigger: usize,
+    /// Virtual-time stall injected per backpressure step.
+    pub backpressure_stall: Nanos,
 }
 
 impl Default for EngineConfig {
@@ -55,6 +70,10 @@ impl Default for EngineConfig {
             l1_bytes: 8 << 20,
             block_cache_bytes: 32 << 20,
             bloom_bits_per_key: 10,
+            inline_maintenance: false,
+            l0_slowdown_trigger: 8,
+            l0_stop_trigger: 20,
+            backpressure_stall: 200_000,
         }
     }
 }
@@ -72,6 +91,8 @@ impl EngineConfig {
             l0_compaction_trigger: 2,
             l1_bytes: 64 << 10,
             block_cache_bytes: 256 << 10,
+            l0_slowdown_trigger: 4,
+            l0_stop_trigger: 10,
             ..Self::default()
         }
     }

@@ -156,7 +156,7 @@ impl LogWriter {
     ///
     /// Returns [`StoreError::Io`] on write failure.
     pub fn append(&self, plain: &[u8]) -> Result<u64> {
-        Ok(self.append_batch(std::slice::from_ref(&plain.to_vec()))?.1)
+        Ok(self.append_batch(std::slice::from_ref(&plain))?.1)
     }
 
     /// Appends a batch of records with a single flush (group commit).
@@ -165,13 +165,14 @@ impl LogWriter {
     /// # Errors
     ///
     /// Returns [`StoreError::Io`] on write failure.
-    pub fn append_batch(&self, plains: &[Vec<u8>]) -> Result<(u64, u64)> {
+    pub fn append_batch<B: AsRef<[u8]>>(&self, plains: &[B]) -> Result<(u64, u64)> {
         assert!(!plains.is_empty(), "empty batch");
         let guard = self.write_lock.lock();
         let mut buf = HostBytes::empty();
         let mut first = 0;
         let mut last = 0;
         for (i, plain) in plains.iter().enumerate() {
+            let plain = plain.as_ref();
             let c = self.counter.assign();
             if i == 0 {
                 first = c;

@@ -10,7 +10,7 @@
 //! independent skip lists (§VII-B).
 
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use treaty_crypto::{aead_open, aead_seal, hash, Digest32, Key};
@@ -71,6 +71,9 @@ pub struct MemTable {
     /// survive a crash, so no cross-boot nonce discipline is needed.
     value_key: Key,
     nonce_seq: AtomicU64,
+    /// Set once the host/enclave memory behind the entries has been
+    /// released; guards against double-free (explicit release + drop).
+    released: AtomicBool,
 }
 
 impl std::fmt::Debug for MemTable {
@@ -95,6 +98,7 @@ impl MemTable {
             bytes: AtomicUsize::new(0),
             entries: AtomicUsize::new(0),
             nonce_seq: AtomicU64::new(0),
+            released: AtomicBool::new(false),
         }
     }
 
@@ -251,14 +255,31 @@ impl MemTable {
     }
 
     /// Drains every entry in globally sorted order (user key asc, seq
-    /// desc), decrypting values and releasing host/enclave memory.
-    /// Used by flush.
+    /// desc), decrypting values and releasing host/enclave memory —
+    /// [`MemTable::freeze_entries`] followed by
+    /// [`MemTable::release_flushed`], for single-owner callers.
     ///
     /// # Errors
     ///
     /// Returns [`StoreError::Integrity`] if any host-resident value was
     /// tampered with.
     pub fn drain_for_flush(&self) -> Result<Vec<(UserKey, SeqNum, Option<Vec<u8>>)>> {
+        let out = self.freeze_entries()?;
+        self.release_flushed();
+        Ok(out)
+    }
+
+    /// Collects every entry in globally sorted order (user key asc, seq
+    /// desc) *without* releasing the underlying buffers: the frozen
+    /// MemTable stays fully readable while its SSTable is built on the
+    /// maintenance fiber. Call [`MemTable::release_flushed`] once the
+    /// table is published.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Integrity`] if any host-resident value was
+    /// tampered with.
+    pub fn freeze_entries(&self) -> Result<Vec<(UserKey, SeqNum, Option<Vec<u8>>)>> {
         let mut all = Vec::with_capacity(self.len());
         for shard in &self.shards {
             let guard = shard.read();
@@ -270,8 +291,6 @@ impl MemTable {
 
         let mut out = Vec::with_capacity(all.len());
         for (k, v) in all {
-            let freed = k.user.len() + ENTRY_OVERHEAD;
-            self.env.enclave.free_trusted(freed as u64);
             match v {
                 ValueEntry::Delete => {
                     let seq = k.seq();
@@ -287,11 +306,6 @@ impl MemTable {
                         .vault
                         .load(handle)
                         .map_err(|e| StoreError::Integrity(e.to_string()))?;
-                    let _ = self.env.vault.free(handle);
-                    if !self.env.profile.encryption && self.env.profile.authentication {
-                        // Release the integrity pin taken at put time.
-                        self.env.enclave.unpin_integrity(&digest);
-                    }
                     self.env.charge_crypto(len as usize);
                     let plain = if self.env.profile.encryption {
                         decrypt_with_prefix_nonce(&self.value_key, &k.user, &stored)?
@@ -310,13 +324,52 @@ impl MemTable {
         }
         Ok(out)
     }
+
+    /// Releases host/enclave memory after a flushed MemTable's SSTable is
+    /// published. Idempotent, and also invoked on drop — so the engine can
+    /// simply stop referencing a frozen MemTable and let the last holder
+    /// (possibly a racing reader) reclaim its buffers.
+    pub fn release_flushed(&self) {
+        if self.released.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for shard in &self.shards {
+            let guard = shard.read();
+            for (k, v) in guard.iter() {
+                let freed = k.user.len() + ENTRY_OVERHEAD;
+                self.env.enclave.free_trusted(freed as u64);
+                if let ValueEntry::Put {
+                    handle,
+                    hash: digest,
+                    ..
+                } = v
+                {
+                    let _ = self.env.vault.free(*handle);
+                    if !self.env.profile.encryption && self.env.profile.authentication {
+                        // Release the integrity pin taken at put time.
+                        self.env.enclave.unpin_integrity(digest);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for MemTable {
+    fn drop(&mut self) {
+        // A MemTable that was never flushed (engine shutdown, error paths)
+        // still owns host buffers and enclave bytes.
+        self.release_flushed();
+    }
 }
 
 /// Values in host memory are stored as `nonce(12B) ‖ ciphertext` — the
 /// nonce need not be secret, only unique.
 fn encrypt_with_prefix_nonce(key: &Key, aad: &[u8], nonce: [u8; 12], plain: &[u8]) -> HostBytes {
     let mut out = HostBytes::nonce(nonce);
-    out.append(HostBytes::from_ciphertext(aead_seal(key, &nonce, aad, plain)));
+    out.append(HostBytes::from_ciphertext(aead_seal(
+        key, &nonce, aad, plain,
+    )));
     out
 }
 
@@ -438,6 +491,35 @@ mod tests {
             0,
             "flush must free enclave memory"
         );
+    }
+
+    #[test]
+    fn freeze_keeps_buffers_and_release_is_idempotent() {
+        let (_d, env, mt) = memtable(SecurityProfile::treaty_full());
+        mt.put(b"a", 1, b"va");
+        let entries = mt.freeze_entries().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(env.vault.live_buffers(), 1, "freeze must not free");
+        // Still readable after the freeze (background build in flight).
+        assert_eq!(
+            mt.get(b"a", SeqNum::MAX).unwrap(),
+            Some(Some(b"va".to_vec()))
+        );
+        mt.release_flushed();
+        mt.release_flushed(); // second call is a no-op
+        assert_eq!(env.vault.live_buffers(), 0);
+        drop(mt); // drop after explicit release must not double-free
+        assert_eq!(env.enclave.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn drop_releases_unflushed_buffers() {
+        let (_d, env, mt) = memtable(SecurityProfile::treaty_full());
+        mt.put(b"a", 1, b"va");
+        assert_eq!(env.vault.live_buffers(), 1);
+        drop(mt);
+        assert_eq!(env.vault.live_buffers(), 0);
+        assert_eq!(env.enclave.resident_bytes(), 0);
     }
 
     #[test]

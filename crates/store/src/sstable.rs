@@ -107,7 +107,10 @@ fn protect_block(env: &Env, file_id: u64, block_no: u32, plain: &[u8]) -> (HostB
         // LINT-DECLASSIFY: unencrypted profiles store cleartext blocks by
         // design; integrity comes from the footer HMAC the enclave pins at
         // open (the "w/o Enc" ablation) or from nothing (native baseline).
-        HostBytes::declassified(plain.to_vec(), "sstable block under a no-encryption profile")
+        HostBytes::declassified(
+            plain.to_vec(),
+            "sstable block under a no-encryption profile",
+        )
     };
     let digest = if env.profile.authentication && !env.profile.encryption {
         let mut buf = block_aad(file_id, block_no);
@@ -331,6 +334,9 @@ pub struct SsTable {
     env: Arc<Env>,
     path: PathBuf,
     meta: SsTableMeta,
+    /// On-disk size, captured once at open so level-size checks on the
+    /// commit path never issue a host `metadata` syscall per table.
+    disk_bytes: u64,
 }
 
 impl std::fmt::Debug for SsTable {
@@ -393,6 +399,7 @@ impl SsTable {
             env,
             path: path.to_path_buf(),
             meta,
+            disk_bytes: file_len,
         })
     }
 
@@ -404,6 +411,23 @@ impl SsTable {
     /// The file path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// On-disk file size in bytes, as measured at open.
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk_bytes
+    }
+
+    /// Number of data blocks.
+    pub(crate) fn block_count(&self) -> usize {
+        self.meta.blocks.len()
+    }
+
+    /// Reads one verified block for a streaming scan (compaction input).
+    /// Bypasses the block cache like [`SsTable::scan_all`]: inputs are
+    /// about to be retired, so caching them would only evict hot entries.
+    pub(crate) fn scan_block(&self, block_no: usize) -> Result<Arc<Vec<SsRecord>>> {
+        self.read_block_uncached(block_no)
     }
 
     /// True if `key` falls inside this table's key range.

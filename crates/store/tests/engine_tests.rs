@@ -631,3 +631,105 @@ fn write_op_serialization_roundtrip() {
     let back: WriteOp = serde_json::from_slice(&json).unwrap();
     assert_eq!(op, back);
 }
+
+#[test]
+fn backpressure_stalls_writers_but_never_errors() {
+    // Aggressive thresholds: every couple of commits rotates the
+    // MemTable, and the slowdown trigger fires from the first backlog
+    // item. Writers must absorb stalls — visible as virtual time — but
+    // every single write must succeed.
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let mut config = treaty_store::env::EngineConfig::tiny();
+        config.memtable_bytes = 2 << 10;
+        config.l0_slowdown_trigger = 1;
+        config.l0_stop_trigger = 2;
+        config.backpressure_stall = 10 * treaty_sim::MILLIS;
+        let stall = config.backpressure_stall;
+        let env = Env::for_testing_with(SecurityProfile::treaty_full(), &path, config);
+        let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+
+        let t0 = treaty_sim::runtime::now();
+        let mut handles = Vec::new();
+        for w in 0..4u32 {
+            let store = store.clone();
+            handles.push(spawn(move || {
+                for i in 0..8u32 {
+                    let mut tx = store.begin_mode(TxnMode::Pessimistic);
+                    let key = format!("bp-{w}-{i}").into_bytes();
+                    tx.put(&key, &vec![0x5a; 1 << 10])
+                        .expect("put must never error under backpressure");
+                    tx.commit()
+                        .expect("commit must never error under backpressure");
+                }
+            }));
+        }
+        for h in handles {
+            join(h);
+        }
+        assert!(
+            treaty_sim::runtime::now() - t0 >= stall,
+            "writers far past the soft trigger must have absorbed at least one stall"
+        );
+
+        store.drain_maintenance().unwrap();
+        for w in 0..4u32 {
+            for i in 0..8u32 {
+                let key = format!("bp-{w}-{i}").into_bytes();
+                assert_eq!(
+                    store.get_committed(&key).unwrap(),
+                    Some(vec![0x5a; 1 << 10]),
+                    "write lost under backpressure: bp-{w}-{i}"
+                );
+            }
+        }
+        assert!(store.stats().flushes >= 2, "workload must actually flush");
+    });
+}
+
+#[test]
+fn background_maintenance_matches_inline_ablation() {
+    // The same workload, background (default) vs `inline_maintenance`:
+    // both must surface identical data after drain, and both must flush
+    // and compact.
+    let run = |inline: bool| {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        let out = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let out2 = Arc::clone(&out);
+        block_on(move || {
+            let mut config = treaty_store::env::EngineConfig::tiny();
+            config.inline_maintenance = inline;
+            let env = Env::for_testing_with(SecurityProfile::treaty_full(), &path, config);
+            let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+            for i in 0..60u32 {
+                let mut tx = store.begin_mode(TxnMode::Pessimistic);
+                tx.put(
+                    format!("mm-{i:03}").as_bytes(),
+                    format!("val-{i}-{}", "z".repeat(700)).as_bytes(),
+                )
+                .unwrap();
+                tx.commit().unwrap();
+            }
+            store.drain_maintenance().unwrap();
+            assert!(store.stats().flushes >= 2, "inline={inline}: no flushes");
+            assert!(
+                store.stats().compactions >= 1,
+                "inline={inline}: no compactions"
+            );
+            let mut rows = Vec::new();
+            for i in 0..60u32 {
+                rows.push(
+                    store
+                        .get_committed(format!("mm-{i:03}").as_bytes())
+                        .unwrap(),
+                );
+            }
+            *out2.lock() = rows;
+        });
+        let rows = out.lock().clone();
+        rows
+    };
+    assert_eq!(run(false), run(true));
+}

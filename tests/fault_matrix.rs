@@ -58,6 +58,13 @@ struct Cell {
     cfg: Cfg,
     /// Single coordinator-local key: exercises the 1PC fast path.
     local_only: bool,
+    /// Doomed transaction also writes a ~20 KiB value to a `PART`-owned
+    /// key: its commit apply overflows the tiny MemTable, so the
+    /// background maintenance daemon runs (and can crash) on `PART`.
+    filler: bool,
+    /// Commit one unarmed filler transaction first so the doomed flush
+    /// produces the second L0 table and makes compaction due.
+    prefill: bool,
 }
 
 const fn cell(point: &'static str, crash: u32, cfg: Cfg) -> Cell {
@@ -66,6 +73,8 @@ const fn cell(point: &'static str, crash: u32, cfg: Cfg) -> Cell {
         crash,
         cfg,
         local_only: false,
+        filler: false,
+        prefill: false,
     }
 }
 
@@ -78,6 +87,7 @@ fn cells() -> Vec<Cell> {
         "coord.after_prepare_fanout",
         "coord.after_votes",
         "coord.after_log_decision",
+        "coord.decision_queued",
         "coord.mid_decision_fanout",
         "coord.after_decision_send",
         "coord.before_client_reply",
@@ -104,6 +114,28 @@ fn cells() -> Vec<Cell> {
         crash: COORD,
         cfg: Cfg::Commit,
         local_only: true,
+        filler: false,
+        prefill: false,
+    });
+    // Background maintenance points: only a committed apply flushes, so
+    // these are commit-only. The crash lands on the participant's
+    // maintenance daemon, after the doomed writes are WAL-durable but
+    // before (flush) or between (compaction) SSTable builds.
+    v.push(Cell {
+        point: "store.bg_flush_start",
+        crash: PART,
+        cfg: Cfg::Commit,
+        local_only: false,
+        filler: true,
+        prefill: false,
+    });
+    v.push(Cell {
+        point: "store.bg_compact_start",
+        crash: PART,
+        cfg: Cfg::Commit,
+        local_only: false,
+        filler: true,
+        prefill: true,
     });
     v
 }
@@ -166,6 +198,29 @@ fn run_cell(c: Cell) -> String {
         }
         tx.commit().expect("seed commit failed");
 
+        // The commit path is pipelined: the seed's ack can race its
+        // phase-2 dispatch and background flush work. Let the daemons
+        // drain before arming, so the armed hit count is reached by the
+        // doomed transaction alone.
+        sleep(50 * MILLIS);
+
+        let filler_key: Option<Vec<u8>> = c.filler.then(|| {
+            (0..10_000u32)
+                .map(|i| format!("filler-{i}").into_bytes())
+                .find(|k| cluster.shard_map().owner(k) == PART)
+                .expect("no PART-owned filler key in 10k probes")
+        });
+        let filler_val = vec![0x66u8; 20 << 10];
+        if c.prefill {
+            // First L0 table, built before the fault is armed: the doomed
+            // flush then makes `l0_compaction_trigger` (2) due.
+            let mut tx = client.begin(COORD);
+            tx.put(filler_key.as_ref().unwrap(), &filler_val)
+                .expect("prefill write failed");
+            tx.commit().expect("prefill commit failed");
+            sleep(200 * MILLIS); // background build of table #1
+        }
+
         // 2. Arm the crash.
         plan.arm(FaultSchedule::new().crash_at(c.point, c.crash, 1));
 
@@ -187,6 +242,9 @@ fn run_cell(c: Cell) -> String {
             tx.put(k, &serde_json::to_vec(&list).unwrap())
                 .expect("doomed write failed");
             doomed_obs.appends.push(k.clone());
+        }
+        if let Some(fk) = &filler_key {
+            tx.put(fk, &filler_val).expect("filler write failed");
         }
         if c.cfg == Cfg::Abort {
             // Cut coordinator → SPARE *after* the ops: the prepare (and any

@@ -33,7 +33,8 @@ fn traced_run(seed: u64) -> (Vec<TraceEvent>, String) {
             // Keys spread over the shard map, so 2PC reaches remote
             // participants and the trace crosses nodes.
             for k in 0..6u32 {
-                tx.put(format!("trace-key-{i}-{k}").as_bytes(), b"v").unwrap();
+                tx.put(format!("trace-key-{i}-{k}").as_bytes(), b"v")
+                    .unwrap();
             }
             tx.commit().unwrap();
         }
@@ -115,4 +116,85 @@ fn same_seed_runs_export_byte_identical_traces() {
     let (_, b) = traced_run(7);
     assert_eq!(a, b, "same-seed traces must be byte-identical");
     assert!(a.contains("\"traceEvents\""));
+}
+
+/// Like [`traced_run`], but with values big enough that every node's tiny
+/// MemTable rotates several times: the trace records phase-2 dispatch,
+/// SSTable builds and compactions from the daemon fibers of the pipelined
+/// commit path.
+fn traced_bulk_run(seed: u64) -> (Vec<TraceEvent>, String) {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    let out: Arc<Mutex<Option<(Vec<TraceEvent>, String)>>> = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    block_on(move || {
+        let obs = Obs::with_default_cap();
+        treaty::sim::obs::install(&obs);
+        let mut options = ClusterOptions::new(SecurityProfile::treaty_full(), path);
+        options.engine_config = treaty::store::EngineConfig::tiny();
+        options.seed = seed;
+        let cluster = Cluster::start(options).unwrap();
+        let client = cluster.client();
+        let big = vec![0x6du8; 4 << 10];
+        for i in 0..16u32 {
+            let mut tx = client.begin(1 + (i % 3));
+            for k in 0..3u32 {
+                tx.put(format!("bulk-{i}-{k}").as_bytes(), &big).unwrap();
+            }
+            tx.commit().unwrap();
+        }
+        // Queued decisions, background builds and compactions all drain
+        // well inside this window, so every daemon span closes.
+        treaty::sim::runtime::sleep(500 * treaty::sim::MILLIS);
+        treaty::sim::obs::uninstall();
+        let events = obs.events();
+        let json = chrome_trace_json(&events);
+        *out2.lock() = Some((events, json));
+    });
+    let r = out.lock().take().unwrap();
+    r
+}
+
+/// The pipelined commit path: phase-2 dispatch and store maintenance run
+/// on daemon fibers, not on the fibers that execute commits.
+#[test]
+fn pipelined_dispatch_and_maintenance_run_off_commit_fibers() {
+    let (events, _) = traced_bulk_run(42);
+    check_invariants(&events).expect("span tree invariants");
+
+    // Fibers that execute commit work: coordinator client sessions
+    // (`2pc.commit`) and any fiber that enters the group-commit path
+    // (`store.commit` — client sessions, peer sessions, recovery).
+    let commit_fibers: std::collections::BTreeSet<(u32, u64)> = events
+        .iter()
+        .filter(|e| {
+            e.kind == EventKind::Enter && (e.phase == "2pc.commit" || e.phase == "store.commit")
+        })
+        .map(|e| (e.node, e.fiber))
+        .collect();
+    assert!(!commit_fibers.is_empty());
+
+    for phase in ["2pc.send_decision", "store.flush", "store.compact"] {
+        let spans: Vec<(u32, u64)> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Enter && e.phase == phase)
+            .map(|e| (e.node, e.fiber))
+            .collect();
+        assert!(!spans.is_empty(), "no {phase} span recorded");
+        for f in &spans {
+            assert!(
+                !commit_fibers.contains(f),
+                "{phase} ran on a commit fiber {f:?} — the pipelined path must move it to a daemon"
+            );
+        }
+    }
+}
+
+/// Daemon scheduling is deterministic: the bulk run (dispatch + background
+/// flush/compaction) exports byte-identical traces for the same seed.
+#[test]
+fn same_seed_bulk_runs_export_byte_identical_traces() {
+    let (_, a) = traced_bulk_run(11);
+    let (_, b) = traced_bulk_run(11);
+    assert_eq!(a, b, "same-seed pipelined traces must be byte-identical");
 }
