@@ -1,0 +1,153 @@
+//! Lock-free snapshot reads vs the locking-read ablation (DESIGN.md §12).
+//!
+//! Runs the same read-heavy distributed YCSB mix twice — once with
+//! `--read-snapshot` semantics (pure-read transactions take the one-round
+//! snapshot path, never touching the 2PC lock table) and once with the
+//! locking ablation (the same transactions run regular 2PC) — plus the
+//! read-mostly social-feed workload in both modes. Both variants draw
+//! identical transaction streams from the same seed.
+//!
+//! Writes a machine-readable summary to `results/BENCH_snapshot.json`
+//! (override with `--out FILE`) and asserts that snapshot reads strictly
+//! beat locking reads on both p50 and p99 of the pure-read population.
+
+use treaty_bench::{print_row, run_snapshot_experiment, RunConfig, SnapshotReport, Workload};
+use treaty_sim::{BenchStats, SecurityProfile};
+use treaty_workload::{SocialConfig, YcsbConfig};
+
+fn run_variant(
+    workload: Workload,
+    read_snapshot: bool,
+    clients: usize,
+    txns: usize,
+) -> (BenchStats, SnapshotReport) {
+    let mut cfg = RunConfig::distributed_ycsb(
+        SecurityProfile::treaty_full(),
+        YcsbConfig::read_heavy(),
+        clients,
+    );
+    cfg.workload = workload;
+    cfg.txns_per_client = txns;
+    cfg.read_snapshot = read_snapshot;
+    run_snapshot_experiment(cfg)
+}
+
+fn row_json(name: &str, overall: &BenchStats, report: &SnapshotReport) -> serde_json::Value {
+    serde_json::json!({
+        "variant": name,
+        "committed": overall.committed,
+        "aborted": overall.aborted,
+        "tps": overall.tps(),
+        "p50_latency_ns": overall.p50_latency_ns,
+        "p99_latency_ns": overall.p99_latency_ns,
+        "readonly": {
+            "committed": report.readonly.committed,
+            "aborted": report.readonly.aborted,
+            "mean_latency_ns": report.readonly.mean_latency_ns,
+            "p50_latency_ns": report.readonly.p50_latency_ns,
+            "p99_latency_ns": report.readonly.p99_latency_ns,
+        },
+        "snapshot_reads": report.snapshot_reads,
+        "stale_rejects": report.stale_rejects,
+        "indoubt_rejects": report.indoubt_rejects,
+        "client_retries": report.client_retries,
+        "lock_acquires": report.lock_acquires,
+    })
+}
+
+fn main() {
+    let clients: usize = std::env::args()
+        .skip_while(|a| a != "--clients")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+    let txns: usize = std::env::args()
+        .skip_while(|a| a != "--txns")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let out: std::path::PathBuf = std::env::args()
+        .skip_while(|a| a != "--out")
+        .nth(1)
+        .map(Into::into)
+        .unwrap_or_else(|| "results/BENCH_snapshot.json".into());
+
+    let mut ycsb = YcsbConfig::read_heavy();
+    ycsb.keys = 400;
+    println!(
+        "Lock-free snapshot reads — distributed YCSB read-heavy + social feed, {clients} clients x {txns} txns\n"
+    );
+
+    let (mut snap, snap_report) = run_variant(Workload::Ycsb(ycsb), true, clients, txns);
+    snap.label = "ycsb-b snapshot".into();
+    print_row(&snap, None);
+    let (mut lock, lock_report) = run_variant(Workload::Ycsb(ycsb), false, clients, txns);
+    lock.label = "ycsb-b locking (ablation)".into();
+    print_row(&lock, Some(snap.tps()));
+
+    println!(
+        "  readonly p50 {:.3} ms (snapshot) vs {:.3} ms (locking); p99 {:.3} ms vs {:.3} ms",
+        snap_report.readonly.p50_latency_ns as f64 / 1e6,
+        lock_report.readonly.p50_latency_ns as f64 / 1e6,
+        snap_report.readonly.p99_latency_ns as f64 / 1e6,
+        lock_report.readonly.p99_latency_ns as f64 / 1e6,
+    );
+    println!(
+        "  snapshot path: {} reads served, {} stale rejects, {} in-doubt rejects, {} client retries",
+        snap_report.snapshot_reads,
+        snap_report.stale_rejects,
+        snap_report.indoubt_rejects,
+        snap_report.client_retries,
+    );
+
+    let social = SocialConfig::feed();
+    let (mut social_snap, social_snap_report) =
+        run_variant(Workload::Social(social), true, clients, txns);
+    social_snap.label = "social snapshot".into();
+    print_row(&social_snap, None);
+    let (mut social_lock, social_lock_report) =
+        run_variant(Workload::Social(social), false, clients, txns);
+    social_lock.label = "social locking (ablation)".into();
+    print_row(&social_lock, Some(social_snap.tps()));
+
+    let report = serde_json::json!({
+        "bench": "snapshot_reads",
+        "workloads": "ycsb read-heavy (80%R) + social feed, 3 nodes, treaty_full",
+        "clients": clients,
+        "txns_per_client": txns,
+        "rows": [
+            row_json("ycsb_snapshot", &snap, &snap_report),
+            row_json("ycsb_locking_ablation", &lock, &lock_report),
+            row_json("social_snapshot", &social_snap, &social_snap_report),
+            row_json("social_locking_ablation", &social_lock, &social_lock_report),
+        ],
+        "snapshot_faster_p50": snap_report.readonly.p50_latency_ns < lock_report.readonly.p50_latency_ns,
+        "snapshot_faster_p99": snap_report.readonly.p99_latency_ns < lock_report.readonly.p99_latency_ns,
+    });
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("results directory");
+        }
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&report).expect("serialize report"),
+    )
+    .expect("write BENCH_snapshot.json");
+    println!("-> {}", out.display());
+
+    assert!(
+        snap_report.snapshot_reads > 0,
+        "snapshot mode must actually serve lock-free reads"
+    );
+    assert!(
+        snap_report.readonly.p50_latency_ns < lock_report.readonly.p50_latency_ns
+            && snap_report.readonly.p99_latency_ns < lock_report.readonly.p99_latency_ns,
+        "snapshot reads must strictly beat the locking ablation on readonly p50 and p99 \
+         (p50 {} vs {}, p99 {} vs {})",
+        snap_report.readonly.p50_latency_ns,
+        lock_report.readonly.p50_latency_ns,
+        snap_report.readonly.p99_latency_ns,
+        lock_report.readonly.p99_latency_ns,
+    );
+}

@@ -4,7 +4,7 @@
 //! Paper result: Treaty is 9-15x slower than DS-RocksDB (W-heavy) and
 //! 9.5-11x (R-heavy); stabilization adds latency for writes.
 
-use treaty_bench::{print_row, run_experiment, RunConfig};
+use treaty_bench::{print_row, run_experiment, run_snapshot_experiment, RunConfig};
 use treaty_sim::SecurityProfile;
 use treaty_workload::YcsbConfig;
 
@@ -19,6 +19,9 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(15);
+    if std::env::args().any(|a| a == "--read-snapshot") {
+        return read_snapshot_mode(clients, txns);
+    }
 
     for (wl_label, ycsb) in [
         ("write-heavy (20% reads)", YcsbConfig::write_heavy()),
@@ -45,4 +48,35 @@ fn main() {
         }
     }
     println!("\npaper: W-heavy 9-15x, R-heavy 9.5-11x slowdown vs DS-RocksDB");
+}
+
+/// `--read-snapshot`: YCSB-B (95%R) and YCSB-C (100%R) on full Treaty,
+/// with pure-read transactions routed through the lock-free snapshot
+/// path, against the locking-read ablation (DESIGN.md §12).
+fn read_snapshot_mode(clients: usize, txns: usize) {
+    for (wl_label, ycsb) in [
+        ("YCSB-B (95% reads)", YcsbConfig::ycsb_b()),
+        ("YCSB-C (100% reads)", YcsbConfig::ycsb_c()),
+    ] {
+        println!("\nFig. 5 + snapshot reads — {wl_label}, {clients} clients x {txns} txns");
+        let mut baseline = None;
+        for read_snapshot in [true, false] {
+            let mut cfg =
+                RunConfig::distributed_ycsb(SecurityProfile::treaty_full(), ycsb, clients);
+            cfg.txns_per_client = txns;
+            cfg.read_snapshot = read_snapshot;
+            let (stats, report) = run_snapshot_experiment(cfg);
+            print_row(&stats, baseline);
+            println!(
+                "      readonly p50 {:.3} ms / p99 {:.3} ms  (snapshot reads {}, lock acquires {})",
+                report.readonly.p50_latency_ns as f64 / 1e6,
+                report.readonly.p99_latency_ns as f64 / 1e6,
+                report.snapshot_reads,
+                report.lock_acquires,
+            );
+            if baseline.is_none() {
+                baseline = Some(stats.tps());
+            }
+        }
+    }
 }

@@ -15,7 +15,10 @@ use treaty_sched::block_on;
 use treaty_sim::runtime::{self, join, spawn};
 use treaty_sim::{BenchStats, CostModel, Histogram, Nanos, SecurityProfile, TeeMode, Transport};
 use treaty_store::{EngineConfig, TxnMode};
-use treaty_workload::{KvTxn, TpccConfig, TpccGenerator, YcsbConfig, YcsbGenerator};
+use treaty_workload::{
+    KvTxn, SocialConfig, SocialGenerator, SocialTxn, TpccConfig, TpccGenerator, YcsbConfig,
+    YcsbGenerator, YcsbOpKind,
+};
 
 /// Adapter: a distributed client transaction as a workload target.
 pub struct DistKv<'a, 'b> {
@@ -38,6 +41,8 @@ pub enum Workload {
     Ycsb(YcsbConfig),
     /// TPC-C with the given config.
     Tpcc(TpccConfig),
+    /// Read-mostly social feed with the given config.
+    Social(SocialConfig),
 }
 
 /// One experiment configuration.
@@ -68,6 +73,11 @@ pub struct RunConfig {
     /// `true` runs SSTable builds and compaction inline on the
     /// group-commit leader (the `--inline-maintenance` ablation).
     pub inline_maintenance: bool,
+    /// `true` routes pure-read transactions through the lock-free
+    /// snapshot-read path (`--read-snapshot`); `false` runs them through
+    /// regular 2PC — the locking-read ablation. Only the snapshot-aware
+    /// runner ([`run_snapshot_experiment`]) honours this.
+    pub read_snapshot: bool,
 }
 
 impl RunConfig {
@@ -85,6 +95,7 @@ impl RunConfig {
             block_cache: true,
             sync_decisions: false,
             inline_maintenance: false,
+            read_snapshot: false,
         }
     }
 
@@ -115,6 +126,7 @@ impl RunConfig {
             block_cache: true,
             sync_decisions: false,
             inline_maintenance: false,
+            read_snapshot: false,
         }
     }
 
@@ -300,6 +312,12 @@ fn run_experiment_inner(
                 Workload::Tpcc(tpcc) => {
                     preload(&cluster, TpccGenerator::initial_rows(tpcc));
                 }
+                Workload::Social(social) => {
+                    let rows: Vec<_> = SocialGenerator::all_keys(social)
+                        .map(|k| (k, vec![b'i'; social.value_size]))
+                        .collect();
+                    preload(&cluster, rows);
+                }
             }
         }
 
@@ -321,20 +339,27 @@ fn run_experiment_inner(
                 let coordinator = 1 + (c % cfg.nodes) as u32;
                 let mut ycsb = match &cfg.workload {
                     Workload::Ycsb(y) => Some(YcsbGenerator::new(*y, cfg.seed ^ (c as u64 + 1))),
-                    Workload::Tpcc(_) => None,
+                    _ => None,
                 };
                 let mut tpcc = match &cfg.workload {
                     Workload::Tpcc(t) => Some(TpccGenerator::new(*t, cfg.seed ^ (c as u64 + 1))),
-                    Workload::Ycsb(_) => None,
+                    _ => None,
+                };
+                let mut social = match &cfg.workload {
+                    Workload::Social(s) => {
+                        Some(SocialGenerator::new(*s, cfg.seed ^ (c as u64 + 1)))
+                    }
+                    _ => None,
                 };
                 for _ in 0..cfg.txns_per_client {
                     let start = runtime::now();
                     let mut txn = client.begin(coordinator);
                     let body = {
                         let mut kv = DistKv { txn: &mut txn };
-                        match (&mut ycsb, &mut tpcc) {
-                            (Some(g), _) => g.run_txn(&mut kv),
-                            (_, Some(g)) => g.run_txn(&mut kv).map(|_| ()),
+                        match (&mut ycsb, &mut tpcc, &mut social) {
+                            (Some(g), _, _) => g.run_txn(&mut kv),
+                            (_, Some(g), _) => g.run_txn(&mut kv).map(|_| ()),
+                            (_, _, Some(g)) => g.run_txn(&mut kv),
                             _ => unreachable!(),
                         }
                     };
@@ -443,6 +468,280 @@ fn absorb_cluster_stats(obs: &Arc<treaty_obs::Obs>, cluster: &Cluster, nodes: us
     m.gauge_set("fabric.tampered", fs.tampered);
     m.gauge_set("fabric.duplicated", fs.duplicated);
     m.gauge_set("obs.dropped_events", obs.dropped());
+}
+
+// ---- snapshot reads: lock-free read-only transactions ------------------------
+
+/// Outcome of a snapshot-aware run ([`run_snapshot_experiment`]): the
+/// pure-read sub-population's latency stats plus the snapshot-path
+/// counters, all drawn from the metrics registry.
+#[derive(Debug, Clone)]
+pub struct SnapshotReport {
+    /// Latency stats over pure-read transactions only.
+    pub readonly: BenchStats,
+    /// Server-side lock-free snapshot reads served.
+    pub snapshot_reads: u64,
+    /// Snapshot reads rejected because the requested timestamp outran the
+    /// shard's stable read timestamp.
+    pub stale_rejects: u64,
+    /// Snapshot reads rejected because a key overlapped an in-doubt
+    /// prepared transaction.
+    pub indoubt_rejects: u64,
+    /// Client-side whole-transaction snapshot retries.
+    pub client_retries: u64,
+    /// Lock-table acquisitions during the measured window (excludes the
+    /// preload phase). Zero when every transaction was a snapshot read.
+    pub lock_acquires: u64,
+}
+
+/// Runs a closed-loop experiment that *classifies* transactions: pure-read
+/// transactions take the lock-free snapshot path when
+/// [`RunConfig::read_snapshot`] is set, or regular 2PC when it is not (the
+/// locking-read ablation); mixed transactions always run 2PC. Returns the
+/// overall stats plus the pure-read sub-population's stats and the
+/// snapshot counters.
+///
+/// Both modes draw identical transaction streams from the same seed, so
+/// the two variants read exactly the same keys in the same order — the
+/// only difference is the read path.
+///
+/// # Panics
+///
+/// Panics if the cluster fails to boot or the simulation errors.
+pub fn run_snapshot_experiment(cfg: RunConfig) -> (BenchStats, SnapshotReport) {
+    let label = cfg.profile.label().to_string();
+    let mode = if cfg.read_snapshot {
+        "snapshot"
+    } else {
+        "locking"
+    };
+    #[allow(clippy::type_complexity)]
+    let out: Arc<Mutex<Option<(BenchStats, SnapshotReport)>>> = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    let dir = tempfile::tempdir().expect("bench tempdir");
+    let path = dir.path().to_path_buf();
+
+    block_on(move || {
+        // The counters live in the metrics registry, so the hub is always
+        // installed for this runner.
+        let obs = treaty_obs::Obs::with_default_cap();
+        treaty_sim::obs::install(&obs);
+        let mut options = ClusterOptions::new(cfg.profile, path);
+        options.nodes = cfg.nodes;
+        options.txn_mode = cfg.txn_mode;
+        options.durable = cfg.durable;
+        options.seed = cfg.seed;
+        options.engine_config = EngineConfig::default();
+        if !cfg.block_cache {
+            options.engine_config.block_cache_bytes = 0;
+        }
+        options.sync_decisions = cfg.sync_decisions;
+        options.engine_config.inline_maintenance = cfg.inline_maintenance;
+        let cluster = Arc::new(Cluster::start(options).expect("cluster boots"));
+
+        // Load phase (unmeasured).
+        if cfg.durable {
+            match &cfg.workload {
+                Workload::Ycsb(ycsb) => {
+                    let mut seeder = YcsbGenerator::new(*ycsb, cfg.seed);
+                    let rows: Vec<_> = YcsbGenerator::all_keys(ycsb)
+                        .map(|k| (k, seeder.next_value()))
+                        .collect();
+                    preload(&cluster, rows);
+                }
+                Workload::Tpcc(tpcc) => {
+                    preload(&cluster, TpccGenerator::initial_rows(tpcc));
+                }
+                Workload::Social(social) => {
+                    let rows: Vec<_> = SocialGenerator::all_keys(social)
+                        .map(|k| (k, vec![b'i'; social.value_size]))
+                        .collect();
+                    preload(&cluster, rows);
+                }
+            }
+        }
+        // Preload commits acquire locks too; the report covers only the
+        // measured window.
+        let lock_baseline = obs.metrics().counter("store.lock_acquire");
+
+        // Measured window.
+        let t0 = runtime::now();
+        let committed = Arc::new(AtomicU64::new(0));
+        let aborted = Arc::new(AtomicU64::new(0));
+        let ro_committed = Arc::new(AtomicU64::new(0));
+        let ro_aborted = Arc::new(AtomicU64::new(0));
+        let hist = Arc::new(Mutex::new(Histogram::new()));
+        let ro_hist = Arc::new(Mutex::new(Histogram::new()));
+        let mut handles = Vec::new();
+        for c in 0..cfg.clients {
+            let cluster = Arc::clone(&cluster);
+            let committed = Arc::clone(&committed);
+            let aborted = Arc::clone(&aborted);
+            let ro_committed = Arc::clone(&ro_committed);
+            let ro_aborted = Arc::clone(&ro_aborted);
+            let hist = Arc::clone(&hist);
+            let ro_hist = Arc::clone(&ro_hist);
+            let cfg = cfg.clone();
+            handles.push(spawn(move || {
+                runtime::set_tag("bench-client");
+                let client = cluster.client();
+                let coordinator = 1 + (c % cfg.nodes) as u32;
+                let mut ycsb = match &cfg.workload {
+                    Workload::Ycsb(y) => Some(YcsbGenerator::new(*y, cfg.seed ^ (c as u64 + 1))),
+                    _ => None,
+                };
+                let mut tpcc = match &cfg.workload {
+                    Workload::Tpcc(t) => Some(TpccGenerator::new(*t, cfg.seed ^ (c as u64 + 1))),
+                    _ => None,
+                };
+                let mut social = match &cfg.workload {
+                    Workload::Social(s) => {
+                        Some(SocialGenerator::new(*s, cfg.seed ^ (c as u64 + 1)))
+                    }
+                    _ => None,
+                };
+                for _ in 0..cfg.txns_per_client {
+                    // Classify the next transaction: `Some(keys)` = pure
+                    // read, `None` = runs the regular mixed path below.
+                    let read_set: Option<Vec<Vec<u8>>> = match (&mut ycsb, &mut social) {
+                        (Some(g), _) => {
+                            let ops = g.next_txn();
+                            if ops.iter().all(|op| op.kind == YcsbOpKind::Read) {
+                                Some(ops.into_iter().map(|op| op.key).collect())
+                            } else {
+                                // Mixed: run it inline, drawing values in
+                                // the same order as `run_txn` would.
+                                let start = runtime::now();
+                                let mut txn = client.begin(coordinator);
+                                let mut body = Ok(());
+                                for op in ops {
+                                    let r = match op.kind {
+                                        YcsbOpKind::Read => txn.get(&op.key).map(|_| ()),
+                                        YcsbOpKind::Update => {
+                                            let v = g.next_value();
+                                            txn.put(&op.key, &v)
+                                        }
+                                    };
+                                    if r.is_err() {
+                                        body = r;
+                                        break;
+                                    }
+                                }
+                                let ok = body.is_ok() && txn.commit().is_ok();
+                                record_txn(&committed, &aborted, &hist, start, ok);
+                                continue;
+                            }
+                        }
+                        (_, Some(g)) => match g.next_txn() {
+                            SocialTxn::LoadFeed { keys } => Some(keys),
+                            SocialTxn::Post { key, value } => {
+                                let start = runtime::now();
+                                let mut txn = client.begin(coordinator);
+                                let ok = txn.put(&key, &value).is_ok() && txn.commit().is_ok();
+                                record_txn(&committed, &aborted, &hist, start, ok);
+                                continue;
+                            }
+                        },
+                        _ => None,
+                    };
+                    let start = runtime::now();
+                    let ok = match read_set {
+                        Some(keys) if cfg.read_snapshot => client.snapshot_read(&keys).is_ok(),
+                        Some(keys) => {
+                            // Locking ablation: identical reads through 2PC.
+                            let mut txn = client.begin(coordinator);
+                            let mut body = Ok(());
+                            for key in &keys {
+                                if let Err(e) = txn.get(key) {
+                                    body = Err(e);
+                                    break;
+                                }
+                            }
+                            body.is_ok() && txn.commit().is_ok()
+                        }
+                        None => {
+                            // TPC-C (no pure-read classification).
+                            let mut txn = client.begin(coordinator);
+                            let body = {
+                                let mut kv = DistKv { txn: &mut txn };
+                                match &mut tpcc {
+                                    Some(g) => g.run_txn(&mut kv).map(|_| ()),
+                                    None => unreachable!(),
+                                }
+                            };
+                            let ok = body.is_ok() && txn.commit().is_ok();
+                            record_txn(&committed, &aborted, &hist, start, ok);
+                            continue;
+                        }
+                    };
+                    let elapsed = runtime::now() - start;
+                    if ok {
+                        committed.fetch_add(1, Ordering::Relaxed);
+                        ro_committed.fetch_add(1, Ordering::Relaxed);
+                        hist.lock().record(elapsed);
+                        ro_hist.lock().record(elapsed);
+                        treaty_sim::obs::hist_record("client.readonly_latency_ns", elapsed);
+                    } else {
+                        aborted.fetch_add(1, Ordering::Relaxed);
+                        ro_aborted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            join(h);
+        }
+        let duration = runtime::now() - t0;
+        let stats = BenchStats::from_histogram(
+            format!("{label} ({mode})"),
+            cfg.clients,
+            committed.load(Ordering::Relaxed),
+            aborted.load(Ordering::Relaxed),
+            duration.max(1),
+            &mut hist.lock(),
+        );
+        let readonly = BenchStats::from_histogram(
+            format!("{label} readonly ({mode})"),
+            cfg.clients,
+            ro_committed.load(Ordering::Relaxed),
+            ro_aborted.load(Ordering::Relaxed),
+            duration.max(1),
+            &mut ro_hist.lock(),
+        );
+        let m = obs.metrics();
+        let report = SnapshotReport {
+            readonly,
+            snapshot_reads: m.counter("core.snapshot_reads"),
+            stale_rejects: m.counter("core.snapshot_stale_reject"),
+            indoubt_rejects: m.counter("core.snapshot_indoubt_reject"),
+            client_retries: m.counter("client.snapshot_retries"),
+            lock_acquires: m
+                .counter("store.lock_acquire")
+                .saturating_sub(lock_baseline),
+        };
+        *out2.lock() = Some((stats, report));
+    });
+
+    let result = out.lock().take().expect("experiment produced stats");
+    result
+}
+
+/// Shared bookkeeping for one finished transaction in the snapshot runner.
+fn record_txn(
+    committed: &AtomicU64,
+    aborted: &AtomicU64,
+    hist: &Mutex<Histogram>,
+    start: Nanos,
+    ok: bool,
+) {
+    let elapsed = runtime::now() - start;
+    if ok {
+        committed.fetch_add(1, Ordering::Relaxed);
+        hist.lock().record(elapsed);
+        treaty_sim::obs::hist_record("client.txn_latency_ns", elapsed);
+    } else {
+        aborted.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 // ---- Fig. 8: network bandwidth -----------------------------------------------
@@ -753,6 +1052,45 @@ mod tests {
             )
         });
         assert!(stats.committed > 0);
+    }
+
+    #[test]
+    fn snapshot_runner_smoke() {
+        let mut ycsb = YcsbConfig::read_heavy();
+        ycsb.keys = 200;
+        let mut cfg = RunConfig {
+            clients: 4,
+            txns_per_client: 4,
+            ..RunConfig::distributed_ycsb(SecurityProfile::treaty_full(), ycsb, 4)
+        };
+        cfg.read_snapshot = true;
+        let (stats, report) = run_snapshot_experiment(cfg);
+        assert!(stats.committed > 0);
+        // 80 %R x 10 ops leaves ~10 % pure-read transactions; with 16 txns
+        // drawn the run should see at least one.
+        assert!(
+            report.readonly.committed + report.readonly.aborted > 0,
+            "expected some pure-read transactions"
+        );
+        assert!(report.snapshot_reads > 0);
+    }
+
+    #[test]
+    fn social_workload_smoke() {
+        let mut cfg = RunConfig {
+            clients: 3,
+            txns_per_client: 4,
+            ..RunConfig::distributed_ycsb(
+                SecurityProfile::treaty_full(),
+                YcsbConfig::read_heavy(),
+                3,
+            )
+        };
+        cfg.workload = Workload::Social(SocialConfig::feed());
+        cfg.read_snapshot = true;
+        let (stats, report) = run_snapshot_experiment(cfg);
+        assert!(stats.committed > 0);
+        assert!(report.readonly.committed > 0, "feed loads must commit");
     }
 
     #[test]

@@ -1,15 +1,20 @@
 //! The client library: interactive transactions over a mutually
 //! authenticated channel (§IV-A).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use treaty_crypto::{Key, MsgKind, TxMeta, WireCrypto};
-use treaty_net::{EndpointConfig, EndpointId, Fabric, Rpc, RpcConfig};
+use treaty_net::{EndpointConfig, EndpointId, Fabric, PendingReply, Rpc, RpcConfig};
 use treaty_sim::Nanos;
 use treaty_store::GlobalTxId;
 
-use crate::messages::{decode, encode, req, CommitResult, Op, OpResult};
+use crate::messages::{
+    decode, encode, req, CommitResult, Op, OpResult, SnapshotReadReply, SnapshotReadReq,
+    SnapshotValidateReply, SnapshotValidateReq,
+};
+use crate::shard::ShardMap;
 use crate::{Result, TreatyError};
 
 /// A Treaty client bound to one fabric endpoint.
@@ -20,6 +25,9 @@ pub struct TreatyClient {
     rpc: Arc<Rpc>,
     client_id: u32,
     next_seq: AtomicU32,
+    /// Key-space partitioning, needed only by the read-only snapshot path
+    /// (which talks to shards directly, skipping the coordinator).
+    shards: Option<ShardMap>,
 }
 
 impl std::fmt::Debug for TreatyClient {
@@ -67,7 +75,16 @@ impl TreatyClient {
             rpc,
             client_id,
             next_seq: AtomicU32::new(1),
+            shards: None,
         }
+    }
+
+    /// Attaches the cluster's shard map, enabling the read-only snapshot
+    /// path ([`TreatyClient::begin_read_only`]).
+    #[must_use]
+    pub fn with_shard_map(mut self, shards: ShardMap) -> Self {
+        self.shards = Some(shards);
+        self
     }
 
     /// The client's id / endpoint.
@@ -94,10 +111,84 @@ impl TreatyClient {
         }
     }
 
+    /// Begins a lock-free read-only transaction: reads go straight to the
+    /// owning shards at their stable read timestamps — one round trip per
+    /// shard, no coordinator, no 2PC state, and zero lock-table traffic.
+    ///
+    /// # Errors
+    ///
+    /// [`TreatyError::Rejected`] when no shard map was attached
+    /// ([`TreatyClient::with_shard_map`]).
+    pub fn begin_read_only(&self) -> Result<SnapshotTxn<'_>> {
+        let shards = self
+            .shards
+            .clone()
+            .ok_or_else(|| TreatyError::Rejected("read-only path needs a shard map".into()))?;
+        let local = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let seq = ((self.client_id as u64) << 32) | local as u64;
+        treaty_sim::obs::set_node(self.client_id);
+        {
+            let _txn = treaty_sim::obs::txn_scope(seq);
+            treaty_sim::obs::instant("client.begin_read_only", &[]);
+        }
+        Ok(SnapshotTxn {
+            client: self,
+            shards,
+            seq,
+            op_seq: 1,
+            pinned: HashMap::new(),
+            validate_set: HashMap::new(),
+        })
+    }
+
+    /// One-shot snapshot read of a key batch with the staleness/retry
+    /// protocol built in: runs a read-only transaction (including the
+    /// multi-shard validation round), and on a retryable rejection —
+    /// stale timestamp, in-doubt prepare, failed validation — refreshes
+    /// the snapshot and tries again, up to a bounded number of attempts.
+    ///
+    /// # Errors
+    ///
+    /// Network errors, or [`TreatyError::Rejected`] when the retry budget
+    /// is exhausted (a pathologically write-hot key set).
+    pub fn snapshot_read(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        const ATTEMPTS: u32 = 8;
+        let mut last = String::new();
+        for attempt in 0..ATTEMPTS {
+            let mut txn = self.begin_read_only()?;
+            match txn.get_many(keys) {
+                Ok(values) => match txn.finish() {
+                    Ok(()) => return Ok(values),
+                    Err(e) if snapshot_retryable(&e) => last = e.to_string(),
+                    Err(e) => return Err(e),
+                },
+                Err(e) if snapshot_retryable(&e) => last = e.to_string(),
+                Err(e) => return Err(e),
+            }
+            treaty_sim::obs::counter_add("client.snapshot_retries", 1);
+            if treaty_sim::runtime::in_fiber() {
+                // Linear deterministic backoff: long enough for the
+                // in-doubt prepare to decide, short enough to stay well
+                // under a locking read's round-trip budget.
+                treaty_sim::runtime::sleep((u64::from(attempt) + 1) * treaty_sim::MILLIS / 4);
+            }
+        }
+        Err(TreatyError::Rejected(format!(
+            "snapshot read gave up after {ATTEMPTS} attempts: {last}"
+        )))
+    }
+
     /// Disconnects.
     pub fn disconnect(&self) {
         self.rpc.stop();
     }
+}
+
+/// Whether a snapshot-read failure means "refresh the snapshot and retry"
+/// (stale timestamp, in-doubt prepare, failed validation) rather than a
+/// hard error.
+fn snapshot_retryable(e: &TreatyError) -> bool {
+    matches!(e, TreatyError::Rejected(reason) if reason.starts_with("snapshot"))
 }
 
 /// An interactive distributed transaction.
@@ -274,5 +365,214 @@ impl<'a> DistTxn<'a> {
             .call(self.coordinator, req::CLIENT_ROLLBACK, &meta, &[])
             .map_err(|e| TreatyError::Net(e.to_string()))?;
         Ok(())
+    }
+}
+
+/// A lock-free read-only transaction ([`TreatyClient::begin_read_only`]).
+///
+/// Reads go straight to the owning shards' MVCC read paths at a snapshot
+/// timestamp pinned lazily per shard (each shard pins its own stable read
+/// timestamp on first contact). Because shards version independently, a
+/// transaction that touched more than one shard must [`SnapshotTxn::finish`]
+/// with a validation round proving no commit or in-flight prepare slipped
+/// between its per-shard snapshots; single-shard transactions are
+/// consistent by construction and finish for free.
+///
+/// No server-side state exists for this transaction — dropping it without
+/// finishing leaks nothing (there are no locks to leak).
+pub struct SnapshotTxn<'a> {
+    client: &'a TreatyClient,
+    shards: ShardMap,
+    seq: u64,
+    op_seq: u64,
+    /// Snapshot timestamp pinned at each shard touched so far.
+    pinned: HashMap<EndpointId, u64>,
+    /// Keys read per shard, for the validation round.
+    validate_set: HashMap<EndpointId, Vec<Vec<u8>>>,
+}
+
+impl std::fmt::Debug for SnapshotTxn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotTxn")
+            .field("seq", &self.seq)
+            .field("shards_touched", &self.pinned.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SnapshotTxn<'_> {
+    fn meta(&mut self) -> TxMeta {
+        let op_id = self.op_seq;
+        self.op_seq += 1;
+        TxMeta {
+            node_id: self.client.client_id as u64,
+            tx_id: self.seq,
+            op_id,
+            kind: MsgKind::TxnGet,
+        }
+    }
+
+    /// Reads one key at the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`SnapshotTxn::get_many`].
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut values = self.get_many(std::slice::from_ref(&key.to_vec()))?;
+        Ok(values.pop().flatten())
+    }
+
+    /// Reads a key batch at the snapshot: keys are grouped by owning
+    /// shard and each shard is asked once, with the requests in flight
+    /// concurrently — one round trip per shard touched.
+    ///
+    /// # Errors
+    ///
+    /// [`TreatyError::Rejected`] with a `snapshot …` reason when a shard
+    /// rejects the snapshot (stale timestamp or in-doubt prepare — the
+    /// caller retries with a fresh transaction, which
+    /// [`TreatyClient::snapshot_read`] automates), or network errors.
+    pub fn get_many(&mut self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _txn = treaty_sim::obs::txn_scope(self.seq);
+        let _span =
+            treaty_sim::obs::span_with("client.snapshot_read", &[("keys", keys.len() as u64)]);
+        // Group by owning shard, remembering where each value goes.
+        let mut by_shard: HashMap<EndpointId, (Vec<Vec<u8>>, Vec<usize>)> = HashMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            let owner = self.shards.owner(key);
+            let entry = by_shard.entry(owner).or_default();
+            entry.0.push(key.clone());
+            entry.1.push(i);
+        }
+        // Fan out: every shard's request leaves in one burst.
+        let mut pending: Vec<(EndpointId, Vec<usize>, PendingReply)> = Vec::new();
+        for (owner, (shard_keys, slots)) in by_shard {
+            let ts = self.pinned.get(&owner).copied().unwrap_or(0);
+            let req_msg = SnapshotReadReq {
+                ts,
+                keys: shard_keys,
+            };
+            let meta = self.meta();
+            pending.push((
+                owner,
+                slots,
+                self.client.rpc.enqueue_request(
+                    owner,
+                    req::SNAPSHOT_READ,
+                    &meta,
+                    &encode(&req_msg),
+                ),
+            ));
+        }
+        self.client.rpc.tx_burst();
+        let mut out: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+        let mut reject: Option<TreatyError> = None;
+        for (owner, slots, p) in pending {
+            let (_, bytes) = match p.wait() {
+                Ok(x) => x,
+                Err(e) => return Err(TreatyError::Net(e.to_string())),
+            };
+            match decode::<SnapshotReadReply>(&bytes) {
+                Some(SnapshotReadReply::Values { ts, values }) => {
+                    if values.len() != slots.len() {
+                        return Err(TreatyError::Rejected(
+                            "malformed snapshot reply: wrong arity".into(),
+                        ));
+                    }
+                    self.pinned.insert(owner, ts);
+                    let validate = self.validate_set.entry(owner).or_default();
+                    for (slot, value) in slots.iter().zip(values) {
+                        validate.push(keys[*slot].clone());
+                        out[*slot] = value;
+                    }
+                }
+                Some(SnapshotReadReply::Stale { stable_ts }) => {
+                    reject.get_or_insert(TreatyError::Rejected(format!(
+                        "snapshot stale at shard {owner} (stable {stable_ts})"
+                    )));
+                }
+                Some(SnapshotReadReply::InDoubt { .. }) => {
+                    reject.get_or_insert(TreatyError::Rejected(format!(
+                        "snapshot in doubt at shard {owner}"
+                    )));
+                }
+                None => {
+                    return Err(TreatyError::Rejected("malformed snapshot reply".into()));
+                }
+            }
+        }
+        // Every reply is drained before a rejection surfaces, so no
+        // pending RPC is orphaned mid-burst.
+        match reject {
+            None => Ok(out),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Finishes the transaction. Single-shard snapshots are consistent by
+    /// construction; multi-shard snapshots run one validation round per
+    /// shard (again concurrently) proving no commit or prepare slipped
+    /// between the per-shard timestamps.
+    ///
+    /// # Errors
+    ///
+    /// [`TreatyError::Rejected`] with a `snapshot …` reason when
+    /// validation fails (retry with a fresh snapshot), or network errors.
+    pub fn finish(mut self) -> Result<()> {
+        if self.pinned.len() <= 1 {
+            return Ok(());
+        }
+        let _txn = treaty_sim::obs::txn_scope(self.seq);
+        let _span = treaty_sim::obs::span_with(
+            "client.snapshot_validate",
+            &[("shards", self.pinned.len() as u64)],
+        );
+        let work: Vec<(EndpointId, u64, Vec<Vec<u8>>)> = self
+            .validate_set
+            .drain()
+            .filter_map(|(owner, keys)| self.pinned.get(&owner).map(|ts| (owner, *ts, keys)))
+            .collect();
+        let mut pending: Vec<(EndpointId, PendingReply)> = Vec::new();
+        for (owner, ts, keys) in work {
+            let req_msg = SnapshotValidateReq { ts, keys };
+            let meta = self.meta();
+            pending.push((
+                owner,
+                self.client.rpc.enqueue_request(
+                    owner,
+                    req::SNAPSHOT_VALIDATE,
+                    &meta,
+                    &encode(&req_msg),
+                ),
+            ));
+        }
+        self.client.rpc.tx_burst();
+        let mut reject: Option<TreatyError> = None;
+        for (owner, p) in pending {
+            let (_, bytes) = match p.wait() {
+                Ok(x) => x,
+                Err(e) => return Err(TreatyError::Net(e.to_string())),
+            };
+            match decode::<SnapshotValidateReply>(&bytes) {
+                Some(SnapshotValidateReply::Ok) => {}
+                Some(SnapshotValidateReply::Fail { .. }) => {
+                    reject.get_or_insert(TreatyError::Rejected(format!(
+                        "snapshot validation failed at shard {owner}"
+                    )));
+                }
+                None => {
+                    return Err(TreatyError::Rejected(
+                        "malformed snapshot validate reply".into(),
+                    ));
+                }
+            }
+        }
+        match reject {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 }

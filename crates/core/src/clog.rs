@@ -8,6 +8,7 @@
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use treaty_store::env::Env;
@@ -46,6 +47,10 @@ pub struct TxProtocolState {
 pub struct Clog {
     writer: Arc<LogWriter>,
     state: Mutex<HashMap<GlobalTxId, TxProtocolState>>,
+    /// Highest Clog counter known stabilized against the trusted counter —
+    /// the coordinator-side stable prefix backing lock-free snapshot
+    /// reads. Advanced by the stabilize path in [`Clog::log_decision`].
+    stable_counter: AtomicU64,
     env: Arc<Env>,
 }
 
@@ -114,6 +119,9 @@ impl Clog {
         Ok(Clog {
             writer,
             state: Mutex::new(state),
+            // Everything recovered passed freshness verification, so the
+            // whole replayed prefix is stable.
+            stable_counter: AtomicU64::new(recovered_counter),
             env,
         })
     }
@@ -150,7 +158,8 @@ impl Clog {
     ///
     /// Propagates log I/O and stabilization failures.
     pub fn log_decision(&self, gtx: GlobalTxId, commit: bool) -> Result<()> {
-        let _span = treaty_sim::obs::span_with("clog.log_decision", &[("commit", u64::from(commit))]);
+        let _span =
+            treaty_sim::obs::span_with("clog.log_decision", &[("commit", u64::from(commit))]);
         let rec = ClogRecord::Decision { gtx, commit };
         let counter = self.writer.append(&encode_clog_record(&rec)?)?;
         treaty_sim::crashpoint::hit("clog.decision_appended");
@@ -158,10 +167,21 @@ impl Clog {
             let _stab = treaty_sim::obs::span("clog.stabilize");
             self.writer.stabilize(counter)?;
         }
+        // Stabilized (or the profile waives stabilization, in which case
+        // durability is the append itself): the stable prefix grows.
+        self.stable_counter.fetch_max(counter, Ordering::SeqCst);
+        treaty_sim::obs::gauge_set("clog.stable_ts", counter);
         if let Some(st) = self.state.lock().get_mut(&gtx) {
             st.decision = Some(commit);
         }
         Ok(())
+    }
+
+    /// The highest Clog counter whose prefix is stabilized against the
+    /// trusted counter — every decision at or below it is
+    /// rollback-protected.
+    pub fn stable_ts(&self) -> u64 {
+        self.stable_counter.load(Ordering::SeqCst)
     }
 
     /// The logged decision for `gtx`, if any.
@@ -247,6 +267,27 @@ mod tests {
         let clog = Clog::open(env(dir.path()))?;
         assert_eq!(clog.undecided(), vec![(gtx, vec![2, 3])]);
         assert_eq!(clog.decision(gtx), None);
+        Ok(())
+    }
+
+    #[test]
+    fn stable_ts_advances_with_decisions_and_survives_recovery() -> Result<()> {
+        let dir = tempfile::tempdir()?;
+        let gtx = GlobalTxId { node: 1, seq: 1 };
+        let stable_before;
+        {
+            let clog = Clog::open(env(dir.path()))?;
+            assert_eq!(clog.stable_ts(), 0);
+            clog.log_start(gtx, vec![1])?;
+            // Start records are not stabilized; the frontier waits for a
+            // decision.
+            assert_eq!(clog.stable_ts(), 0);
+            clog.log_decision(gtx, true)?;
+            stable_before = clog.stable_ts();
+            assert!(stable_before > 0);
+        }
+        let clog = Clog::open(env(dir.path()))?;
+        assert!(clog.stable_ts() >= stable_before);
         Ok(())
     }
 

@@ -338,6 +338,7 @@ impl Cluster {
             self.keys.network,
             treaty_net::DEFAULT_RPC_TIMEOUT,
         )
+        .with_shard_map(self.shard_map.clone())
     }
 
     /// Crashes node `idx`: it stops serving and loses all volatile state.

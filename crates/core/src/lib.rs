@@ -27,7 +27,7 @@ pub mod messages;
 pub mod node;
 pub mod shard;
 
-pub use client::{DistTxn, TreatyClient};
+pub use client::{DistTxn, SnapshotTxn, TreatyClient};
 pub use cluster::{Cluster, ClusterOptions};
 pub use history::{check_list_append, HistoryError, TxnObservation};
 pub use node::{NodeOptions, RecoveryOutcome, TreatyNode};

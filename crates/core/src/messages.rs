@@ -13,6 +13,12 @@ pub mod req {
     pub const CLIENT_COMMIT: u8 = 2;
     /// Client → coordinator: rollback.
     pub const CLIENT_ROLLBACK: u8 = 3;
+    /// Client → shard: lock-free snapshot read (read-only transactions;
+    /// no 2PC state, no coordinator).
+    pub const SNAPSHOT_READ: u8 = 4;
+    /// Client → shard: end-of-transaction snapshot validation (multi-shard
+    /// read-only transactions only).
+    pub const SNAPSHOT_VALIDATE: u8 = 5;
     /// Coordinator → participant: one operation.
     pub const PEER_OP: u8 = 10;
     /// Coordinator → participant: 2PC prepare.
@@ -134,6 +140,64 @@ pub enum CommitResult {
     },
 }
 
+/// Client → shard snapshot-read request (read-only transactions).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotReadReq {
+    /// Snapshot timestamp pinned at this shard; `0` asks the shard to pin
+    /// its current stable read timestamp and report it back.
+    pub ts: u64,
+    /// Keys to read, all owned by this shard.
+    pub keys: Vec<Vec<u8>>,
+}
+
+/// Shard → client snapshot-read reply.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SnapshotReadReply {
+    /// The reads, served lock-free at `ts`.
+    Values {
+        /// The snapshot timestamp actually used (echoed, or freshly
+        /// pinned when the request carried `0`).
+        ts: u64,
+        /// One value per requested key, in request order.
+        values: Vec<Option<Vec<u8>>>,
+    },
+    /// The requested timestamp runs ahead of this shard's stable read
+    /// timestamp; retry with a refreshed snapshot.
+    Stale {
+        /// The shard's current stable read timestamp.
+        stable_ts: u64,
+    },
+    /// A key overlaps an undecided prepared transaction; its outcome may
+    /// already be visible elsewhere, so the snapshot must retry.
+    InDoubt {
+        /// The offending key.
+        key: Vec<u8>,
+    },
+}
+
+/// Client → shard end-of-transaction validation for multi-shard read-only
+/// transactions: "are these reads at `ts` still the latest word?"
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotValidateReq {
+    /// The timestamp the keys were read at on this shard.
+    pub ts: u64,
+    /// The keys read from this shard.
+    pub keys: Vec<Vec<u8>>,
+}
+
+/// Shard → client validation reply.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SnapshotValidateReply {
+    /// All reads still current — the snapshot is consistent.
+    Ok,
+    /// A read was overtaken by a commit or an in-flight prepare; the
+    /// snapshot may be torn and must retry.
+    Fail {
+        /// The first key that failed validation.
+        key: Vec<u8>,
+    },
+}
+
 /// Encodes any of the protocol payloads.
 pub fn encode<T: Serialize>(v: &T) -> Vec<u8> {
     serde_json::to_vec(v).expect("protocol message serializes")
@@ -175,5 +239,41 @@ mod tests {
     #[test]
     fn garbage_decodes_to_none() {
         assert_eq!(decode::<PeerMsg>(b"not json"), None);
+    }
+
+    #[test]
+    fn snapshot_payloads_roundtrip() {
+        let req = SnapshotReadReq {
+            ts: 0,
+            keys: vec![b"a".to_vec(), b"b".to_vec()],
+        };
+        assert_eq!(decode::<SnapshotReadReq>(&encode(&req)), Some(req));
+        for reply in [
+            SnapshotReadReply::Values {
+                ts: 7,
+                values: vec![Some(b"v".to_vec()), None],
+            },
+            SnapshotReadReply::Stale { stable_ts: 3 },
+            SnapshotReadReply::InDoubt { key: b"a".to_vec() },
+        ] {
+            assert_eq!(
+                decode::<SnapshotReadReply>(&encode(&reply)),
+                Some(reply.clone())
+            );
+        }
+        let val = SnapshotValidateReq {
+            ts: 7,
+            keys: vec![b"a".to_vec()],
+        };
+        assert_eq!(decode::<SnapshotValidateReq>(&encode(&val)), Some(val));
+        for reply in [
+            SnapshotValidateReply::Ok,
+            SnapshotValidateReply::Fail { key: b"a".to_vec() },
+        ] {
+            assert_eq!(
+                decode::<SnapshotValidateReply>(&encode(&reply)),
+                Some(reply.clone())
+            );
+        }
     }
 }

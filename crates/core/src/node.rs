@@ -17,10 +17,13 @@ use treaty_net::{EndpointConfig, EndpointId, Fabric, PendingReply, Rpc, RpcConfi
 use treaty_sched::CorePool;
 use treaty_sim::Nanos;
 use treaty_store::env::Env;
-use treaty_store::{EngineTxn, GlobalTxId, TxnEngine, TxnMode};
+use treaty_store::{EngineTxn, GlobalTxId, StoreError, TxnEngine, TxnMode};
 
 use crate::clog::Clog;
-use crate::messages::{decode, encode, req, CommitResult, Op, OpResult, PeerMsg, PeerReply};
+use crate::messages::{
+    decode, encode, req, CommitResult, Op, OpResult, PeerMsg, PeerReply, SnapshotReadReply,
+    SnapshotReadReq, SnapshotValidateReply, SnapshotValidateReq,
+};
 use crate::shard::ShardMap;
 
 /// Construction options for [`TreatyNode::start`].
@@ -313,6 +316,18 @@ impl TreatyNode {
             req::CLIENT_ROLLBACK,
             true,
             Arc::new(move |src, meta, _| me.handle_client_rollback(src, meta)),
+        );
+        let me = Arc::clone(self);
+        self.rpc.register_handler(
+            req::SNAPSHOT_READ,
+            true,
+            Arc::new(move |_src, meta, payload| me.handle_snapshot_read(meta, payload)),
+        );
+        let me = Arc::clone(self);
+        self.rpc.register_handler(
+            req::SNAPSHOT_VALIDATE,
+            true,
+            Arc::new(move |_src, meta, payload| me.handle_snapshot_validate(meta, payload)),
         );
         let me = Arc::clone(self);
         self.rpc.register_handler(
@@ -875,6 +890,118 @@ impl TreatyNode {
             let meta = self.peer_meta(gtx, MsgKind::TxnAbort);
             self.rpc.send_oneway(r, req::PEER_ABORT, &meta, &payload);
         }
+    }
+
+    // ---- snapshot reads (lock-free read-only transactions) -----------------
+
+    /// Serves a lock-free snapshot read: every key is read at the
+    /// requested timestamp straight off the MVCC read path — no 2PC state,
+    /// no coordinator, and zero lock-table traffic. A timestamp of `0`
+    /// pins this shard's current stable read timestamp and reports it
+    /// back; a timestamp ahead of the stable frontier is rejected as
+    /// stale, and a key an undecided prepared transaction is about to
+    /// write is rejected as in-doubt — both make the client retry with a
+    /// refreshed snapshot.
+    fn handle_snapshot_read(
+        self: &Arc<Self>,
+        meta: TxMeta,
+        payload: Vec<u8>,
+    ) -> Option<(TxMeta, Vec<u8>)> {
+        treaty_sim::runtime::set_tag("h:snapshot_read");
+        let req_msg: SnapshotReadReq = decode(&payload)?;
+        treaty_sim::obs::set_node(self.endpoint);
+        let _txn = treaty_sim::obs::txn_scope(meta.tx_id);
+        let _span = treaty_sim::obs::span_with(
+            "core.snapshot_read",
+            &[("keys", req_msg.keys.len() as u64)],
+        );
+        treaty_sim::crashpoint::hit("part.snapshot_read");
+        let stable = self.engine.stable_ts();
+        treaty_sim::obs::gauge_set("store.stable_ts", stable);
+        let ts = if req_msg.ts == 0 { stable } else { req_msg.ts };
+        let mut values = Vec::with_capacity(req_msg.keys.len());
+        for key in &req_msg.keys {
+            match self.engine.snapshot_get(key, ts) {
+                Ok(v) => values.push(v),
+                Err(StoreError::SnapshotStale { stable }) => {
+                    treaty_sim::obs::counter_add("core.snapshot_stale_reject", 1);
+                    return Some((
+                        TxMeta {
+                            kind: MsgKind::Nack,
+                            ..meta
+                        },
+                        encode(&SnapshotReadReply::Stale { stable_ts: stable }),
+                    ));
+                }
+                Err(StoreError::SnapshotInDoubt) => {
+                    treaty_sim::obs::counter_add("core.snapshot_indoubt_reject", 1);
+                    return Some((
+                        TxMeta {
+                            kind: MsgKind::Nack,
+                            ..meta
+                        },
+                        encode(&SnapshotReadReply::InDoubt { key: key.clone() }),
+                    ));
+                }
+                // Integrity violations must not be papered over with a
+                // retry signal: drop the request, the client times out.
+                Err(_) => return None,
+            }
+        }
+        treaty_sim::obs::counter_add("core.snapshot_reads", 1);
+        Some((
+            TxMeta {
+                kind: MsgKind::Ack,
+                ..meta
+            },
+            encode(&SnapshotReadReply::Values { ts, values }),
+        ))
+    }
+
+    /// End-of-transaction validation for multi-shard snapshot reads: the
+    /// snapshot is consistent iff every key read from this shard at `ts`
+    /// is still the latest word (no newer commit, no in-flight prepare).
+    /// Because 2PC prepares at *all* participants before any participant
+    /// applies, any transaction whose writes became visible on another
+    /// shard is at least prepared here — so a torn snapshot always fails
+    /// validation on some shard.
+    fn handle_snapshot_validate(
+        self: &Arc<Self>,
+        meta: TxMeta,
+        payload: Vec<u8>,
+    ) -> Option<(TxMeta, Vec<u8>)> {
+        treaty_sim::runtime::set_tag("h:snapshot_validate");
+        let req_msg: SnapshotValidateReq = decode(&payload)?;
+        treaty_sim::obs::set_node(self.endpoint);
+        let _txn = treaty_sim::obs::txn_scope(meta.tx_id);
+        let _span = treaty_sim::obs::span_with(
+            "core.snapshot_validate",
+            &[("keys", req_msg.keys.len() as u64)],
+        );
+        for key in &req_msg.keys {
+            match self.engine.snapshot_validate(key, req_msg.ts) {
+                Ok(true) => {}
+                // Validation failures and integrity errors both answer
+                // "not proven consistent" — the client retries.
+                Ok(false) | Err(_) => {
+                    treaty_sim::obs::counter_add("core.snapshot_validate_fail", 1);
+                    return Some((
+                        TxMeta {
+                            kind: MsgKind::Nack,
+                            ..meta
+                        },
+                        encode(&SnapshotValidateReply::Fail { key: key.clone() }),
+                    ));
+                }
+            }
+        }
+        Some((
+            TxMeta {
+                kind: MsgKind::Ack,
+                ..meta
+            },
+            encode(&SnapshotValidateReply::Ok),
+        ))
     }
 
     // ---- participant: peer-facing handlers ---------------------------------

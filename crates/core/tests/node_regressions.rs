@@ -277,7 +277,10 @@ fn failed_redrive_is_surfaced_and_retryable() {
         cluster.crash_node(0);
         cluster.restart_node(0).unwrap();
         let outcome = cluster.resolve_recovered();
-        assert_eq!(outcome.failed, 0, "healed re-drive still failing: {outcome:?}");
+        assert_eq!(
+            outcome.failed, 0,
+            "healed re-drive still failing: {outcome:?}"
+        );
         assert_eq!(
             cluster.node(0).clog().unwrap().decision(gtx),
             Some(false),

@@ -405,7 +405,10 @@ mod tests {
         let plain = SecureEnvelope::new(WireCrypto::Plain);
         let full = SecureEnvelope::new(WireCrypto::Full);
         let wire = plain.seal(&key, [0u8; 12], &meta(), b"x");
-        assert_eq!(full.open(&key, wire.as_slice()), Err(CryptoError::Malformed));
+        assert_eq!(
+            full.open(&key, wire.as_slice()),
+            Err(CryptoError::Malformed)
+        );
     }
 
     #[test]

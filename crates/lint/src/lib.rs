@@ -252,7 +252,11 @@ fn ident_occurrences(line: &str, tok: &str) -> Vec<usize> {
                 .map(is_ident_char)
                 .unwrap_or(false);
         let after = idx + tok.len();
-        let after_ok = !line[after..].chars().next().map(is_ident_char).unwrap_or(false);
+        let after_ok = !line[after..]
+            .chars()
+            .next()
+            .map(is_ident_char)
+            .unwrap_or(false);
         if before_ok && after_ok {
             found.push(idx);
         }
@@ -892,7 +896,8 @@ mod tests {
 
     #[test]
     fn scrub_handles_nested_block_comments_and_raw_strings() {
-        let src = "/* a /* nested unwrap() */ still comment */ code();\nlet r = r#\"panic!(\"x\")\"#;\n";
+        let src =
+            "/* a /* nested unwrap() */ still comment */ code();\nlet r = r#\"panic!(\"x\")\"#;\n";
         let s = scrub(src);
         assert!(!s.contains("unwrap"));
         assert!(!s.contains("panic"));
@@ -904,16 +909,24 @@ mod tests {
         let src = "fn f<'a>(x: &'a str) -> char { 'x' }\nlet q = '\\'';\nlet b = '\"'; let s = \"unwrap()\";\n";
         let s = scrub(src);
         assert!(s.contains("<'a>"), "lifetime must survive: {s}");
-        assert!(!s.contains("unwrap"), "string after char literal must be scrubbed: {s}");
+        assert!(
+            !s.contains("unwrap"),
+            "string after char literal must be scrubbed: {s}"
+        );
     }
 
     #[test]
     fn l001_flags_crypto_outside_trusted_modules() {
-        let v = lint_source("crates/core/src/node.rs", "let x = aead_open(&k, &n, b\"\", ct);\n");
+        let v = lint_source(
+            "crates/core/src/node.rs",
+            "let x = aead_open(&k, &n, b\"\", ct);\n",
+        );
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "L001");
         // Same token inside the crypto crate is fine.
-        assert!(lint_source("crates/crypto/src/lib.rs", "aead_open(&k, &n, aad, ct);\n").is_empty());
+        assert!(
+            lint_source("crates/crypto/src/lib.rs", "aead_open(&k, &n, aad, ct);\n").is_empty()
+        );
         // And inside the enclave-resident store files.
         assert!(lint_source(
             "crates/store/src/memtable.rs",

@@ -48,12 +48,12 @@ fn main() -> ExitCode {
     };
     let current = to_counts(&violations);
 
-    println!("treaty-lint: scanned {scanned} files under {}", root.display());
+    println!(
+        "treaty-lint: scanned {scanned} files under {}",
+        root.display()
+    );
     for (rule, desc) in RULES {
-        let total: usize = current
-            .get(rule)
-            .map(|m| m.values().sum())
-            .unwrap_or(0);
+        let total: usize = current.get(rule).map(|m| m.values().sum()).unwrap_or(0);
         println!("  {rule} ({desc}): {total} violation(s)");
     }
 

@@ -126,7 +126,11 @@ pub fn phase_breakdown(events: &[TraceEvent]) -> String {
         "phase", "count", "total", "self", "mean", "max"
     ));
     for (phase, a) in rows {
-        let mean = if a.count == 0 { 0 } else { a.total / a.count as u128 };
+        let mean = if a.count == 0 {
+            0
+        } else {
+            a.total / a.count as u128
+        };
         out.push_str(&format!(
             "{:<34} {:>8} {:>16} {:>16} {:>14} {:>14}\n",
             phase,

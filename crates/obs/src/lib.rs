@@ -202,7 +202,15 @@ mod tests {
     #[test]
     fn events_keep_seq_order_and_payload() {
         let obs = Obs::new(16);
-        obs.record(EventKind::Enter, 10, 2, 3, 99, "2pc.prepare", &[("peers", 2)]);
+        obs.record(
+            EventKind::Enter,
+            10,
+            2,
+            3,
+            99,
+            "2pc.prepare",
+            &[("peers", 2)],
+        );
         obs.record(EventKind::Exit, 25, 2, 3, 99, "2pc.prepare", &[]);
         let events = obs.events();
         assert_eq!(events.len(), 2);

@@ -162,13 +162,7 @@ pub fn check_invariants(events: &[TraceEvent]) -> Result<Vec<Span>, String> {
 mod tests {
     use super::*;
 
-    fn e(
-        seq: u64,
-        ts: Nanos,
-        fiber: u64,
-        kind: EventKind,
-        phase: &'static str,
-    ) -> TraceEvent {
+    fn e(seq: u64, ts: Nanos, fiber: u64, kind: EventKind, phase: &'static str) -> TraceEvent {
         TraceEvent {
             seq,
             ts,
@@ -214,7 +208,9 @@ mod tests {
     #[test]
     fn detects_unbalanced_exit() {
         let events = vec![e(0, 10, 0, EventKind::Exit, "a")];
-        assert!(build_forest(&events).unwrap_err().contains("exit without enter"));
+        assert!(build_forest(&events)
+            .unwrap_err()
+            .contains("exit without enter"));
     }
 
     #[test]
@@ -223,7 +219,9 @@ mod tests {
             e(0, 10, 0, EventKind::Enter, "a"),
             e(1, 12, 0, EventKind::Exit, "b"),
         ];
-        assert!(build_forest(&events).unwrap_err().contains("mismatched exit"));
+        assert!(build_forest(&events)
+            .unwrap_err()
+            .contains("mismatched exit"));
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub const ALL_POINTS: &[&str] = &[
     "part.after_prepare",
     "part.after_commit_apply",
     "part.after_abort_apply",
+    "part.snapshot_read",
     // Commit log (treaty-core clog.rs).
     "clog.decision_appended",
     // Storage engine (treaty-store txn.rs / engine.rs).

@@ -16,7 +16,7 @@
 
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -68,6 +68,156 @@ pub(crate) enum WalRecord {
 pub(crate) struct PreparedState {
     pub writes: Vec<WriteOp>,
     pub lock_owner: TxId,
+}
+
+/// Stripe count for [`PreparedTable`]. Prepared transactions are few but
+/// the table sits on every 2PC prepare/decide, so striping keeps writer
+/// threads from serializing on one mutex.
+pub(crate) const PREPARED_STRIPES: usize = 64;
+
+/// The 2PC prepared-transaction table, hash-striped by transaction id so
+/// concurrent prepares and decisions for unrelated transactions never
+/// contend on the same mutex.
+pub(crate) struct PreparedTable {
+    stripes: Vec<Mutex<HashMap<GlobalTxId, PreparedState>>>,
+}
+
+impl PreparedTable {
+    pub fn new(stripes: usize) -> Self {
+        assert!(stripes > 0);
+        PreparedTable {
+            stripes: (0..stripes).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    pub fn from_map(stripes: usize, map: HashMap<GlobalTxId, PreparedState>) -> Self {
+        let table = Self::new(stripes);
+        for (gtx, st) in map {
+            table.insert(gtx, st);
+        }
+        table
+    }
+
+    pub fn stripe_index(&self, gtx: &GlobalTxId) -> usize {
+        // Fibonacci-style mixing of both id halves; coordinator sequence
+        // numbers are consecutive, so the multiply spreads them.
+        let h = gtx
+            .node
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(gtx.seq)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h % self.stripes.len() as u64) as usize
+    }
+
+    fn stripe(&self, gtx: &GlobalTxId) -> &Mutex<HashMap<GlobalTxId, PreparedState>> {
+        &self.stripes[self.stripe_index(gtx)]
+    }
+
+    pub fn insert(&self, gtx: GlobalTxId, st: PreparedState) {
+        self.stripe(&gtx).lock().insert(gtx, st);
+    }
+
+    pub fn remove(&self, gtx: &GlobalTxId) -> Option<PreparedState> {
+        self.stripe(gtx).lock().remove(gtx)
+    }
+
+    pub fn ids(&self) -> Vec<GlobalTxId> {
+        self.stripes
+            .iter()
+            .flat_map(|s| s.lock().keys().copied().collect::<Vec<_>>())
+            .collect()
+    }
+
+    pub fn snapshot_writes(&self) -> Vec<(GlobalTxId, Vec<WriteOp>)> {
+        self.stripes
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .iter()
+                    .map(|(g, st)| (*g, st.writes.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    /// Whether any prepared (in-doubt) transaction writes `key`.
+    pub fn overlaps(&self, key: &[u8]) -> bool {
+        self.stripes.iter().any(|s| {
+            s.lock()
+                .values()
+                .any(|st| st.writes.iter().any(|w| w.key == key))
+        })
+    }
+
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    pub fn stripe_len(&self, idx: usize) -> usize {
+        self.stripes[idx].lock().len()
+    }
+}
+
+/// The node's **stable read timestamp** (§V, read-only transactions): the
+/// highest sequence number such that *every* commit with seq ≤ it is both
+/// applied to the read path and durability-protected (its WAL prepare
+/// record stabilized before the participant ACKed, or its own commit
+/// record stabilized against the trusted counter). Snapshot reads at or
+/// below this frontier never see a torn or rollback-vulnerable state, and
+/// never need the lock table.
+///
+/// Sequence numbers are dense (assigned only on commit paths), so the
+/// frontier advances by closing contiguous gaps: out-of-order stabilizers
+/// park in `pending` until the hole before them fills.
+pub(crate) struct StableFrontier {
+    /// Cached frontier for lock-free reads.
+    stable: AtomicU64,
+    state: Mutex<FrontierState>,
+}
+
+struct FrontierState {
+    frontier: u64,
+    pending: BTreeSet<u64>,
+}
+
+impl StableFrontier {
+    pub fn new(start: u64) -> Self {
+        StableFrontier {
+            stable: AtomicU64::new(start),
+            state: Mutex::new(FrontierState {
+                frontier: start,
+                pending: BTreeSet::new(),
+            }),
+        }
+    }
+
+    /// Marks `seq` applied-and-stable, advancing the contiguous frontier.
+    pub fn record(&self, seq: u64) {
+        let new_frontier = {
+            let mut st = self.state.lock();
+            let inner = &mut *st;
+            if seq <= inner.frontier {
+                return;
+            }
+            inner.pending.insert(seq);
+            let mut advanced = false;
+            while inner.pending.remove(&(inner.frontier + 1)) {
+                inner.frontier += 1;
+                advanced = true;
+            }
+            if !advanced {
+                return;
+            }
+            inner.frontier
+        };
+        self.stable.fetch_max(new_frontier, Ordering::SeqCst);
+        treaty_sim::obs::gauge_set("store.stable_ts", new_frontier);
+    }
+
+    /// The current frontier.
+    pub fn get(&self) -> u64 {
+        self.stable.load(Ordering::SeqCst)
+    }
 }
 
 /// Engine statistics (monotonic counters).
@@ -142,7 +292,9 @@ pub(crate) struct StoreInner {
     next_file_id: AtomicU64,
     pub next_txid: AtomicU64,
     pub locks: LockTable,
-    pub prepared: Mutex<HashMap<GlobalTxId, PreparedState>>,
+    pub prepared: PreparedTable,
+    /// The stable read timestamp served to lock-free snapshot readers.
+    pub frontier: StableFrontier,
     commit_lock: FiberMutex,
     commit_queue: Mutex<Vec<CommitReq>>,
     /// (manifest counter that must stabilize, path) — deferred deletions.
@@ -225,7 +377,8 @@ impl TreatyStore {
                 next_file_id: AtomicU64::new(1),
                 next_txid: AtomicU64::new(1),
                 locks: LockTable::new(env.config.lock_shards, env.config.lock_timeout),
-                prepared: Mutex::new(HashMap::new()),
+                prepared: PreparedTable::new(PREPARED_STRIPES),
+                frontier: StableFrontier::new(0),
                 commit_lock: FiberMutex::new(),
                 commit_queue: Mutex::new(Vec::new()),
                 pending_gc: Mutex::new(Vec::new()),
@@ -310,6 +463,14 @@ impl TreatyStore {
         self.inner.locks.timeouts()
     }
 
+    /// Number of keys currently held in the 2PC lock table, across all
+    /// stripes. The snapshot-read fault cell asserts this returns to zero
+    /// after a crash mid read-only transaction: the lock-free path has no
+    /// locks to leak.
+    pub fn locked_keys(&self) -> usize {
+        self.inner.locks.locked_keys()
+    }
+
     // ---- read path ---------------------------------------------------------
 
     pub(crate) fn get_visible(&self, key: &[u8], snapshot: SeqNum) -> Result<Option<Vec<u8>>> {
@@ -388,6 +549,55 @@ impl TreatyStore {
             }
         }
         Ok(0)
+    }
+
+    // ---- snapshot reads (lock-free MVCC, read-only transactions) -----------
+
+    /// The node's stable read timestamp: the highest version every commit
+    /// at or below which is applied and durability-protected. Snapshot
+    /// reads at this timestamp are consistent without any locking.
+    pub fn stable_ts(&self) -> SeqNum {
+        self.inner.frontier.get()
+    }
+
+    /// Lock-free snapshot read of `key` at version `ts`: serves from the
+    /// MemTable backlog and the copy-on-write level snapshots, verifying
+    /// block integrity exactly like locked reads — but never touching the
+    /// lock table.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::SnapshotStale`] when `ts` runs ahead of this node's
+    /// stable timestamp (the caller refreshes and retries);
+    /// [`StoreError::SnapshotInDoubt`] when an undecided prepared
+    /// transaction writes `key` (its commit may already be visible on
+    /// another shard, so reading around it could tear a transaction);
+    /// plus the usual integrity errors from storage verification.
+    pub fn snapshot_get(&self, key: &[u8], ts: SeqNum) -> Result<Option<Vec<u8>>> {
+        let stable = self.inner.frontier.get();
+        if ts > stable {
+            return Err(StoreError::SnapshotStale { stable });
+        }
+        if self.inner.prepared.overlaps(key) {
+            return Err(StoreError::SnapshotInDoubt);
+        }
+        self.get_visible(key, ts)
+    }
+
+    /// Validates that a snapshot read of `key` at `ts` is still the latest
+    /// word on that key: no newer committed version landed and no prepared
+    /// transaction is about to write it. Multi-shard read-only
+    /// transactions run this once per shard at the end; a `false` means
+    /// the snapshot may span a commit (torn read) and must retry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates integrity violations from the version lookup.
+    pub fn snapshot_validate(&self, key: &[u8], ts: SeqNum) -> Result<bool> {
+        if self.inner.prepared.overlaps(key) {
+            return Ok(false);
+        }
+        Ok(self.latest_seq(key)? <= ts)
     }
 
     // ---- commit path (group commit, §VII-B) --------------------------------
@@ -636,13 +846,8 @@ impl TreatyStore {
         // not prepares, which append through `wal_append` on whichever
         // generation is current — still the old one, which is only deleted
         // after the build's MANIFEST edits, so no record is lost.)
-        let prepared_snapshot: Vec<(GlobalTxId, Vec<WriteOp>)> = {
-            let prepared = self.inner.prepared.lock();
-            prepared
-                .iter()
-                .map(|(g, st)| (*g, st.writes.clone()))
-                .collect()
-        };
+        let prepared_snapshot: Vec<(GlobalTxId, Vec<WriteOp>)> =
+            self.inner.prepared.snapshot_writes();
         for (gtx, writes) in prepared_snapshot {
             let rec = serde_json::to_vec(&WalRecord::Prepare { gtx, writes }).unwrap();
             wal.append(&rec)?;
@@ -1210,7 +1415,10 @@ impl TreatyStore {
             next_file_id: AtomicU64::new(max_file_id + 1),
             next_txid: AtomicU64::new(next_txid),
             locks,
-            prepared: Mutex::new(prepared),
+            prepared: PreparedTable::from_map(PREPARED_STRIPES, prepared),
+            // Everything recovered was replayed from verified-fresh logs:
+            // the whole recovered history is stable.
+            frontier: StableFrontier::new(max_seq),
             commit_lock: FiberMutex::new(),
             commit_queue: Mutex::new(Vec::new()),
             pending_gc: Mutex::new(Vec::new()),
@@ -1281,6 +1489,94 @@ impl CompactCursor {
                 .unwrap_or_else(|a| (*a).clone())
                 .into_iter();
         }
+    }
+}
+
+#[cfg(test)]
+mod frontier_tests {
+    use super::*;
+
+    #[test]
+    fn frontier_advances_contiguously() {
+        let f = StableFrontier::new(0);
+        f.record(1);
+        assert_eq!(f.get(), 1);
+        // A gap parks the later seq.
+        f.record(3);
+        assert_eq!(f.get(), 1);
+        f.record(2);
+        assert_eq!(f.get(), 3);
+    }
+
+    #[test]
+    fn frontier_ignores_stale_and_duplicate_records() {
+        let f = StableFrontier::new(5);
+        f.record(3);
+        f.record(5);
+        assert_eq!(f.get(), 5);
+        f.record(6);
+        f.record(6);
+        assert_eq!(f.get(), 6);
+    }
+
+    #[test]
+    fn frontier_closes_long_out_of_order_run() {
+        let f = StableFrontier::new(0);
+        for seq in (1..=100u64).rev() {
+            f.record(seq);
+        }
+        assert_eq!(f.get(), 100);
+    }
+
+    #[test]
+    fn prepared_table_striping_distributes() {
+        let t = PreparedTable::new(PREPARED_STRIPES);
+        // One coordinator, consecutive sequence numbers — the worst case
+        // for a naive modulo. The mixer must still spread them.
+        for seq in 0..1024u64 {
+            t.insert(
+                GlobalTxId { node: 1, seq },
+                PreparedState {
+                    writes: Vec::new(),
+                    lock_owner: seq,
+                },
+            );
+        }
+        let sizes: Vec<usize> = (0..t.stripe_count()).map(|i| t.stripe_len(i)).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 1024);
+        let occupied = sizes.iter().filter(|s| **s > 0).count();
+        assert!(
+            occupied > PREPARED_STRIPES / 2,
+            "striping should occupy most stripes, got {occupied}"
+        );
+        let max = sizes.iter().max().copied().unwrap_or(0);
+        assert!(
+            max < 1024 / 8,
+            "no stripe should dominate: max stripe holds {max}"
+        );
+    }
+
+    #[test]
+    fn prepared_table_roundtrip_and_overlap() {
+        let t = PreparedTable::new(8);
+        let gtx = GlobalTxId { node: 2, seq: 7 };
+        t.insert(
+            gtx,
+            PreparedState {
+                writes: vec![WriteOp {
+                    key: b"a".to_vec(),
+                    value: Some(b"v".to_vec()),
+                }],
+                lock_owner: 1,
+            },
+        );
+        assert!(t.overlaps(b"a"));
+        assert!(!t.overlaps(b"b"));
+        assert_eq!(t.ids(), vec![gtx]);
+        assert_eq!(t.snapshot_writes().len(), 1);
+        assert!(t.remove(&gtx).is_some());
+        assert!(t.remove(&gtx).is_none());
+        assert!(!t.overlaps(b"a"));
     }
 }
 

@@ -73,6 +73,17 @@ pub enum StoreError {
     /// A 2PC-prepared transaction with this id does not exist.
     #[error("unknown prepared transaction")]
     UnknownPrepared,
+    /// A snapshot read asked for a timestamp ahead of this node's stable
+    /// read timestamp; the caller refreshes its snapshot and retries.
+    #[error("snapshot timestamp not yet stable (stable = {stable})")]
+    SnapshotStale {
+        /// The node's current stable read timestamp.
+        stable: u64,
+    },
+    /// A snapshot read hit a key an undecided prepared transaction is
+    /// about to write; the outcome is in doubt, so the read must retry.
+    #[error("snapshot read overlaps an in-doubt prepared transaction")]
+    SnapshotInDoubt,
 }
 
 impl From<std::io::Error> for StoreError {

@@ -137,6 +137,9 @@ impl LockTable {
     /// Returns [`StoreError::LockTimeout`] when the lock cannot be acquired
     /// in time.
     pub fn lock(&self, tx: TxId, key: &[u8], mode: LockMode) -> Result<()> {
+        // Every lock-table entry point counts: the snapshot-read tests
+        // assert read-only transactions leave this at zero.
+        treaty_sim::obs::counter_add("store.lock_acquire", 1);
         let shard = self.shard_of(key);
         // Fast path.
         if shard
@@ -175,6 +178,7 @@ impl LockTable {
     ///
     /// Returns [`StoreError::LockTimeout`] immediately when contended.
     pub fn try_lock(&self, tx: TxId, key: &[u8], mode: LockMode) -> Result<()> {
+        treaty_sim::obs::counter_add("store.lock_acquire", 1);
         let shard = self.shard_of(key);
         if shard
             .locks
@@ -223,6 +227,11 @@ impl LockTable {
     /// Total keys currently locked (test introspection).
     pub fn locked_keys(&self) -> usize {
         self.shards.iter().map(|s| s.locks.lock().len()).sum()
+    }
+
+    /// Locked-key count per shard (striping-distribution introspection).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.locks.lock().len()).collect()
     }
 }
 
@@ -354,5 +363,25 @@ mod tests {
         assert_eq!(t.locked_keys(), 1000);
         t.release(1, (0..1000u32).map(|i| format!("k{i}").into_bytes()));
         assert_eq!(t.locked_keys(), 0);
+    }
+
+    #[test]
+    fn striping_distributes_across_shards() {
+        let t = LockTable::new(64, 5 * MILLIS);
+        for i in 0..2048u32 {
+            t.lock(1, format!("user{i:010}").as_bytes(), LockMode::Exclusive)
+                .unwrap();
+        }
+        let sizes = t.shard_sizes();
+        assert_eq!(sizes.len(), 64);
+        assert_eq!(sizes.iter().sum::<usize>(), 2048);
+        // Hash striping over sha256 must not leave shards cold or let one
+        // shard dominate on sequential key names.
+        assert!(
+            sizes.iter().all(|s| *s > 0),
+            "every shard should hold keys: {sizes:?}"
+        );
+        let max = sizes.iter().max().copied().unwrap_or(0);
+        assert!(max < 2048 / 8, "no shard should dominate: max {max}");
     }
 }

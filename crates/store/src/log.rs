@@ -254,8 +254,18 @@ pub fn replay(env: &Env, name: &str, path: &Path, start: u64) -> Result<LogRepla
             torn_tail = true;
             break;
         }
-        let counter = u64::from_le_bytes(raw[pos..pos + 8].try_into().unwrap());
-        let len = u32::from_le_bytes(raw[pos + 8..pos + 12].try_into().unwrap()) as usize;
+        // Bounds were checked above, so the conversions cannot fail; a
+        // typed error keeps the recovery path panic-free regardless (L002).
+        let counter = u64::from_le_bytes(
+            raw[pos..pos + 8]
+                .try_into()
+                .map_err(|_| StoreError::Io(format!("log {name}: malformed frame header")))?,
+        );
+        let len = u32::from_le_bytes(
+            raw[pos + 8..pos + 12]
+                .try_into()
+                .map_err(|_| StoreError::Io(format!("log {name}: malformed frame header")))?,
+        ) as usize;
         if pos + HEADER_LEN + len + MAC_LEN > raw.len() {
             torn_tail = true;
             break;
@@ -342,146 +352,152 @@ mod tests {
     use super::*;
     use treaty_sim::SecurityProfile;
 
-    fn env(profile: SecurityProfile) -> (tempfile::TempDir, Arc<Env>) {
-        let dir = tempfile::tempdir().unwrap();
+    fn env(profile: SecurityProfile) -> Result<(tempfile::TempDir, Arc<Env>)> {
+        let dir = tempfile::tempdir()?;
         let env = Env::for_testing(profile, dir.path());
-        (dir, env)
+        Ok((dir, env))
     }
 
     #[test]
-    fn append_replay_roundtrip_all_profiles() {
+    fn append_replay_roundtrip_all_profiles() -> Result<()> {
         for profile in SecurityProfile::single_node_lineup() {
-            let (dir, env) = env(profile);
+            let (dir, env) = env(profile)?;
             let path = dir.path().join("wal-1");
-            let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0).unwrap();
+            let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0)?;
             for i in 0..10u32 {
-                w.append(format!("record-{i}").as_bytes()).unwrap();
+                w.append(format!("record-{i}").as_bytes())?;
             }
-            let replay = replay(&env, "wal-1", &path, 0).unwrap();
+            let replay = replay(&env, "wal-1", &path, 0)?;
             assert_eq!(replay.records.len(), 10, "{profile:?}");
             assert_eq!(replay.last_counter, 10);
             assert!(!replay.torn_tail);
             assert_eq!(replay.records[3].1, b"record-3");
         }
+        Ok(())
     }
 
     #[test]
-    fn batch_appends_are_sequential() {
-        let (dir, env) = env(SecurityProfile::treaty_full());
+    fn batch_appends_are_sequential() -> Result<()> {
+        let (dir, env) = env(SecurityProfile::treaty_full())?;
         let path = dir.path().join("wal-1");
-        let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0).unwrap();
-        let (first, last) = w
-            .append_batch(&[b"a".to_vec(), b"b".to_vec(), b"c".to_vec()])
-            .unwrap();
+        let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0)?;
+        let (first, last) = w.append_batch(&[b"a".to_vec(), b"b".to_vec(), b"c".to_vec()])?;
         assert_eq!((first, last), (1, 3));
-        let replay = replay(&env, "wal-1", &path, 0).unwrap();
+        let replay = replay(&env, "wal-1", &path, 0)?;
         assert_eq!(replay.records.len(), 3);
+        Ok(())
     }
 
     #[test]
-    fn encrypted_log_hides_payload() {
-        let (dir, env) = env(SecurityProfile::treaty_enc());
+    fn encrypted_log_hides_payload() -> Result<()> {
+        let (dir, env) = env(SecurityProfile::treaty_enc())?;
         let path = dir.path().join("wal-1");
-        let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0).unwrap();
-        w.append(b"secret-value-123").unwrap();
-        let raw = std::fs::read(&path).unwrap();
+        let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0)?;
+        w.append(b"secret-value-123")?;
+        let raw = std::fs::read(&path)?;
         assert!(!raw.windows(16).any(|w| w == b"secret-value-123"));
+        Ok(())
     }
 
     #[test]
-    fn unencrypted_log_exposes_payload() {
-        let (dir, env) = env(SecurityProfile::treaty_no_enc());
+    fn unencrypted_log_exposes_payload() -> Result<()> {
+        let (dir, env) = env(SecurityProfile::treaty_no_enc())?;
         let path = dir.path().join("wal-1");
-        let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0).unwrap();
-        w.append(b"visible-value-123").unwrap();
-        let raw = std::fs::read(&path).unwrap();
+        let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0)?;
+        w.append(b"visible-value-123")?;
+        let raw = std::fs::read(&path)?;
         assert!(raw.windows(17).any(|w| w == b"visible-value-123"));
+        Ok(())
     }
 
     #[test]
-    fn tampered_record_detected() {
-        let (dir, env) = env(SecurityProfile::treaty_full());
+    fn tampered_record_detected() -> Result<()> {
+        let (dir, env) = env(SecurityProfile::treaty_full())?;
         let path = dir.path().join("wal-1");
-        let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0).unwrap();
-        w.append(b"aaaa").unwrap();
-        w.append(b"bbbb").unwrap();
-        let mut raw = std::fs::read(&path).unwrap();
+        let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0)?;
+        w.append(b"aaaa")?;
+        w.append(b"bbbb")?;
+        let mut raw = std::fs::read(&path)?;
         raw[HEADER_LEN + 1] ^= 0x01; // first record's payload
-        std::fs::write(&path, &raw).unwrap();
+        std::fs::write(&path, &raw)?;
         let err = replay(&env, "wal-1", &path, 0).unwrap_err();
         assert!(matches!(err, StoreError::Integrity(_)), "{err:?}");
+        Ok(())
     }
 
     #[test]
-    fn deleted_record_detected_as_rollback() {
-        let (dir, env) = env(SecurityProfile::treaty_full());
+    fn deleted_record_detected_as_rollback() -> Result<()> {
+        let (dir, env) = env(SecurityProfile::treaty_full())?;
         let path = dir.path().join("wal-1");
-        let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0).unwrap();
-        w.append(b"aaaa").unwrap();
-        let first_len = std::fs::read(&path).unwrap().len();
-        w.append(b"bbbb").unwrap();
-        let raw = std::fs::read(&path).unwrap();
+        let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0)?;
+        w.append(b"aaaa")?;
+        let first_len = std::fs::read(&path)?.len();
+        w.append(b"bbbb")?;
+        let raw = std::fs::read(&path)?;
         // Remove the first record: the second now claims counter 2 first.
-        std::fs::write(&path, &raw[first_len..]).unwrap();
+        std::fs::write(&path, &raw[first_len..])?;
         let err = replay(&env, "wal-1", &path, 0).unwrap_err();
         assert!(matches!(err, StoreError::Rollback(_)), "{err:?}");
+        Ok(())
     }
 
     #[test]
-    fn torn_tail_is_tolerated() {
-        let (dir, env) = env(SecurityProfile::treaty_full());
+    fn torn_tail_is_tolerated() -> Result<()> {
+        let (dir, env) = env(SecurityProfile::treaty_full())?;
         let path = dir.path().join("wal-1");
-        let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0).unwrap();
-        w.append(b"complete-record").unwrap();
-        w.append(b"will-be-torn").unwrap();
-        let raw = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &raw[..raw.len() - 7]).unwrap();
-        let replay = replay(&env, "wal-1", &path, 0).unwrap();
+        let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0)?;
+        w.append(b"complete-record")?;
+        w.append(b"will-be-torn")?;
+        let raw = std::fs::read(&path)?;
+        std::fs::write(&path, &raw[..raw.len() - 7])?;
+        let replay = replay(&env, "wal-1", &path, 0)?;
         assert_eq!(replay.records.len(), 1);
         assert!(replay.torn_tail);
         assert_eq!(replay.last_counter, 1);
+        Ok(())
     }
 
     #[test]
-    fn freshness_detects_stale_log() {
-        let (dir, env) = env(SecurityProfile::treaty_full());
+    fn freshness_detects_stale_log() -> Result<()> {
+        let (dir, env) = env(SecurityProfile::treaty_full())?;
         let path = dir.path().join("wal-1");
-        let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0).unwrap();
-        let (_, last) = w.append_batch(&[b"a".to_vec(), b"b".to_vec()]).unwrap();
+        let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0)?;
+        let (_, last) = w.append_batch(&[b"a".to_vec(), b"b".to_vec()])?;
         // Force-stabilize via the backend directly (as commit would).
-        env.backend
-            .stabilize(&counter_id(&env, "wal-1"), last)
-            .unwrap();
+        env.backend.stabilize(&counter_id(&env, "wal-1"), last)?;
         // The log claims fewer records than were stabilized -> rollback.
         let err = verify_freshness(&env, "wal-1", last - 1).unwrap_err();
         assert!(matches!(err, StoreError::Rollback(_)));
-        verify_freshness(&env, "wal-1", last).unwrap();
+        verify_freshness(&env, "wal-1", last)?;
+        Ok(())
     }
 
     #[test]
-    fn replay_from_recovered_counter_offset() {
-        let (dir, env) = env(SecurityProfile::treaty_full());
+    fn replay_from_recovered_counter_offset() -> Result<()> {
+        let (dir, env) = env(SecurityProfile::treaty_full())?;
         let path = dir.path().join("wal-2");
         // A second-generation log whose counter continues from 100.
-        let w = LogWriter::open(Arc::clone(&env), "wal-2", &path, 100).unwrap();
-        w.append(b"x").unwrap();
-        let replay = replay(&env, "wal-2", &path, 100).unwrap();
+        let w = LogWriter::open(Arc::clone(&env), "wal-2", &path, 100)?;
+        w.append(b"x")?;
+        let replay = replay(&env, "wal-2", &path, 100)?;
         assert_eq!(replay.records[0].0, 101);
+        Ok(())
     }
 
     #[test]
-    fn rocksdb_profile_skips_protection_but_still_replays() {
-        let (dir, env) = env(SecurityProfile::rocksdb());
+    fn rocksdb_profile_skips_protection_but_still_replays() -> Result<()> {
+        let (dir, env) = env(SecurityProfile::rocksdb())?;
         let path = dir.path().join("wal-1");
-        let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0).unwrap();
-        w.append(b"plain").unwrap();
+        let w = LogWriter::open(Arc::clone(&env), "wal-1", &path, 0)?;
+        w.append(b"plain")?;
         // Tampering is NOT detected without authentication — that is the
         // point of the baseline.
-        let mut raw = std::fs::read(&path).unwrap();
+        let mut raw = std::fs::read(&path)?;
         raw[HEADER_LEN] ^= 0x01;
-        std::fs::write(&path, &raw).unwrap();
-        let replay = replay(&env, "wal-1", &path, 0).unwrap();
+        std::fs::write(&path, &raw)?;
+        let replay = replay(&env, "wal-1", &path, 0)?;
         assert_eq!(replay.records.len(), 1);
         assert_ne!(replay.records[0].1, b"plain");
+        Ok(())
     }
 }

@@ -197,15 +197,16 @@ fn decode_records(mut buf: &[u8]) -> Result<Vec<SsRecord>> {
         if buf.len() < 4 {
             return Err(bad());
         }
-        let klen = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        let klen = u32::from_le_bytes(buf[..4].try_into().map_err(|_| bad())?) as usize;
         buf = &buf[4..];
         if buf.len() < klen + 13 {
             return Err(bad());
         }
         let key = buf[..klen].to_vec();
-        let seq = u64::from_le_bytes(buf[klen..klen + 8].try_into().unwrap());
+        let seq = u64::from_le_bytes(buf[klen..klen + 8].try_into().map_err(|_| bad())?);
         let kind = buf[klen + 8];
-        let vlen = u32::from_le_bytes(buf[klen + 9..klen + 13].try_into().unwrap()) as usize;
+        let vlen =
+            u32::from_le_bytes(buf[klen + 9..klen + 13].try_into().map_err(|_| bad())?) as usize;
         buf = &buf[klen + 13..];
         if buf.len() < vlen {
             return Err(bad());
@@ -316,7 +317,10 @@ pub fn build(
         filter,
     };
 
-    let meta_plain = serde_json::to_vec(&meta).expect("meta serializes");
+    // A typed error instead of a panic: builds run on the commit path's
+    // background maintenance, which must never unwind (L002).
+    let meta_plain = serde_json::to_vec(&meta)
+        .map_err(|e| StoreError::Io(format!("sstable meta does not serialize: {e}")))?;
     let (meta_stored, meta_digest) = protect_block(env, file_id, META_BLOCK_NO, &meta_plain);
     file.write_all(meta_stored.as_slice())?;
     file.write_all(&meta_digest)?;
@@ -365,8 +369,9 @@ impl SsTable {
         let mut tail = [0u8; 16];
         file.seek(SeekFrom::End(-16))?;
         file.read_exact(&mut tail)?;
-        let meta_len = u64::from_le_bytes(tail[..8].try_into().unwrap());
-        let magic = u64::from_le_bytes(tail[8..].try_into().unwrap());
+        let footer_err = || StoreError::Integrity("sstable footer malformed".into());
+        let meta_len = u64::from_le_bytes(tail[..8].try_into().map_err(|_| footer_err())?);
+        let magic = u64::from_le_bytes(tail[8..].try_into().map_err(|_| footer_err())?);
         if magic != MAGIC {
             return Err(StoreError::Integrity("bad sstable magic".into()));
         }
@@ -644,40 +649,44 @@ mod tests {
             .collect()
     }
 
-    fn build_one(profile: SecurityProfile, n: u64) -> (tempfile::TempDir, Arc<Env>, SsTable) {
-        let dir = tempfile::tempdir().unwrap();
+    fn build_one(
+        profile: SecurityProfile,
+        n: u64,
+    ) -> Result<(tempfile::TempDir, Arc<Env>, SsTable)> {
+        let dir = tempfile::tempdir()?;
         let env = Env::for_testing(profile, dir.path());
         let path = dir.path().join(file_name(1));
-        build(&env, &path, 1, &entries(n)).unwrap();
-        let table = SsTable::open(Arc::clone(&env), &path).unwrap();
-        (dir, env, table)
+        build(&env, &path, 1, &entries(n))?;
+        let table = SsTable::open(Arc::clone(&env), &path)?;
+        Ok((dir, env, table))
     }
 
     #[test]
-    fn build_open_get_roundtrip_all_profiles() {
+    fn build_open_get_roundtrip_all_profiles() -> Result<()> {
         for profile in SecurityProfile::single_node_lineup() {
-            let (_d, _e, t) = build_one(profile, 200);
+            let (_d, _e, t) = build_one(profile, 200)?;
             assert_eq!(t.meta().entries, 200);
             assert!(
                 t.meta().blocks.len() > 1,
                 "{profile:?}: want multiple blocks"
             );
-            let v = t.get(b"key-00011", SeqNum::MAX).unwrap();
+            let v = t.get(b"key-00011", SeqNum::MAX)?;
             assert_eq!(
                 v,
                 Some(Some(format!("value-11-{}", "x".repeat(50)).into_bytes()))
             );
             // Tombstone.
-            assert_eq!(t.get(b"key-00003", SeqNum::MAX).unwrap(), Some(None));
+            assert_eq!(t.get(b"key-00003", SeqNum::MAX)?, Some(None));
             // Missing.
-            assert_eq!(t.get(b"key-99999", SeqNum::MAX).unwrap(), None);
-            assert_eq!(t.get(b"aaaa", SeqNum::MAX).unwrap(), None);
+            assert_eq!(t.get(b"key-99999", SeqNum::MAX)?, None);
+            assert_eq!(t.get(b"aaaa", SeqNum::MAX)?, None);
         }
+        Ok(())
     }
 
     #[test]
-    fn snapshot_filters_versions() {
-        let dir = tempfile::tempdir().unwrap();
+    fn snapshot_filters_versions() -> Result<()> {
+        let dir = tempfile::tempdir()?;
         let env = Env::for_testing(SecurityProfile::treaty_full(), dir.path());
         let path = dir.path().join(file_name(2));
         let rows = vec![
@@ -685,112 +694,119 @@ mod tests {
             (b"k".to_vec(), 5, Some(b"v5".to_vec())),
             (b"k".to_vec(), 1, Some(b"v1".to_vec())),
         ];
-        build(&env, &path, 2, &rows).unwrap();
-        let t = SsTable::open(env, &path).unwrap();
-        assert_eq!(
-            t.get(b"k", SeqNum::MAX).unwrap(),
-            Some(Some(b"v9".to_vec()))
-        );
-        assert_eq!(t.get(b"k", 6).unwrap(), Some(Some(b"v5".to_vec())));
-        assert_eq!(t.get(b"k", 4).unwrap(), Some(Some(b"v1".to_vec())));
-        assert_eq!(t.get(b"k", 0).unwrap(), None);
-        assert_eq!(t.latest_seq_of(b"k").unwrap(), Some(9));
+        build(&env, &path, 2, &rows)?;
+        let t = SsTable::open(env, &path)?;
+        assert_eq!(t.get(b"k", SeqNum::MAX)?, Some(Some(b"v9".to_vec())));
+        assert_eq!(t.get(b"k", 6)?, Some(Some(b"v5".to_vec())));
+        assert_eq!(t.get(b"k", 4)?, Some(Some(b"v1".to_vec())));
+        assert_eq!(t.get(b"k", 0)?, None);
+        assert_eq!(t.latest_seq_of(b"k")?, Some(9));
+        Ok(())
     }
 
     #[test]
-    fn encrypted_table_hides_keys_and_values() {
-        let (_d, _e, t) = build_one(SecurityProfile::treaty_enc(), 50);
-        let raw = std::fs::read(t.path()).unwrap();
+    fn encrypted_table_hides_keys_and_values() -> Result<()> {
+        let (_d, _e, t) = build_one(SecurityProfile::treaty_enc(), 50)?;
+        let raw = std::fs::read(t.path())?;
         assert!(!raw.windows(9).any(|w| w == b"key-00010"));
         assert!(!raw.windows(8).any(|w| w == b"value-10"));
+        Ok(())
     }
 
     #[test]
-    fn tampered_block_detected() {
+    fn tampered_block_detected() -> Result<()> {
         for profile in [
             SecurityProfile::treaty_no_enc(),
             SecurityProfile::treaty_enc(),
         ] {
-            let (_d, _e, t) = build_one(profile, 100);
-            let mut raw = std::fs::read(t.path()).unwrap();
+            let (_d, _e, t) = build_one(profile, 100)?;
+            let mut raw = std::fs::read(t.path())?;
             raw[10] ^= 0x01; // inside block 0
-            std::fs::write(t.path(), &raw).unwrap();
+            std::fs::write(t.path(), &raw)?;
             let err = t.get(b"key-00000", SeqNum::MAX).unwrap_err();
             assert!(matches!(err, StoreError::Integrity(_)), "{profile:?}");
         }
+        Ok(())
     }
 
     #[test]
-    fn tampered_footer_detected_at_open() {
-        let (_d, env, t) = build_one(SecurityProfile::treaty_full(), 100);
-        let mut raw = std::fs::read(t.path()).unwrap();
+    fn tampered_footer_detected_at_open() -> Result<()> {
+        let (_d, env, t) = build_one(SecurityProfile::treaty_full(), 100)?;
+        let mut raw = std::fs::read(t.path())?;
         let mid = raw.len() - 100; // inside the sealed meta
         raw[mid] ^= 0x01;
-        std::fs::write(t.path(), &raw).unwrap();
+        std::fs::write(t.path(), &raw)?;
         let err = SsTable::open(env, t.path()).unwrap_err();
         assert!(matches!(err, StoreError::Integrity(_)));
+        Ok(())
     }
 
     #[test]
-    fn baseline_profile_accepts_tampering() {
-        let (_d, _e, t) = build_one(SecurityProfile::rocksdb(), 100);
-        let mut raw = std::fs::read(t.path()).unwrap();
+    fn baseline_profile_accepts_tampering() -> Result<()> {
+        let (_d, _e, t) = build_one(SecurityProfile::rocksdb(), 100)?;
+        let mut raw = std::fs::read(t.path())?;
         raw[10] ^= 0x01;
-        std::fs::write(t.path(), &raw).unwrap();
+        std::fs::write(t.path(), &raw)?;
         // No authentication: the corrupted data is served or misparsed,
         // but no *detection* happens. (Exactly the baseline's weakness.)
         let _ = t.get(b"key-00000", SeqNum::MAX);
+        Ok(())
     }
 
     #[test]
-    fn scan_all_returns_everything_in_order() {
-        let (_d, _e, t) = build_one(SecurityProfile::treaty_full(), 150);
-        let all = t.scan_all().unwrap();
+    fn scan_all_returns_everything_in_order() -> Result<()> {
+        let (_d, _e, t) = build_one(SecurityProfile::treaty_full(), 150)?;
+        let all = t.scan_all()?;
         assert_eq!(all.len(), 150);
         let mut sorted = all.clone();
         sorted.sort_by(|a, b| a.key.cmp(&b.key));
         assert_eq!(all, sorted);
+        Ok(())
     }
 
     #[test]
-    fn covers_respects_key_range() {
-        let (_d, _e, t) = build_one(SecurityProfile::treaty_full(), 10);
+    fn covers_respects_key_range() -> Result<()> {
+        let (_d, _e, t) = build_one(SecurityProfile::treaty_full(), 10)?;
         assert!(t.covers(b"key-00000"));
         assert!(t.covers(b"key-00009"));
         assert!(!t.covers(b"key-99999"));
         assert!(!t.covers(b"a"));
+        Ok(())
     }
 
     #[test]
-    fn tampered_filter_bytes_detected() {
+    fn tampered_filter_bytes_detected() -> Result<()> {
         // Authentication-only mode stores the footer as plaintext JSON
         // pinned by an HMAC, so the serialized filter is findable on disk.
         // Flipping one of its bits must fail verification at open: the
         // filter is integrity-covered exactly like the block digests.
-        let (_d, env, t) = build_one(SecurityProfile::treaty_no_enc(), 100);
-        let mut raw = std::fs::read(t.path()).unwrap();
+        let (_d, env, t) = build_one(SecurityProfile::treaty_no_enc(), 100)?;
+        let mut raw = std::fs::read(t.path())?;
         let pos = raw
             .windows(6)
             .position(|w| w == b"\"bits\"")
-            .expect("footer must hold the serialized filter");
+            .ok_or_else(|| {
+                StoreError::Integrity("footer must hold the serialized filter".into())
+            })?;
         raw[pos + 10] ^= 0x01; // inside the filter's bit array
-        std::fs::write(t.path(), &raw).unwrap();
+        std::fs::write(t.path(), &raw)?;
         let err = SsTable::open(env, t.path()).unwrap_err();
         assert!(matches!(err, StoreError::Integrity(_)));
+        Ok(())
     }
 
     #[test]
-    fn bloom_negative_skips_block_reads() {
-        let (_d, env, t) = build_one(SecurityProfile::treaty_full(), 200);
+    fn bloom_negative_skips_block_reads() -> Result<()> {
+        let (_d, env, t) = build_one(SecurityProfile::treaty_full(), 200)?;
         let cache = env
             .block_cache
             .as_ref()
-            .expect("tiny config enables the cache");
+            .ok_or_else(|| StoreError::Io("tiny config enables the cache".into()))?;
         let (h0, m0) = (cache.hits(), cache.misses());
         for i in 0..50 {
             // In the table's key range but never inserted.
             let key = format!("key-00{i:03}x").into_bytes();
-            assert_eq!(t.get(&key, SeqNum::MAX).unwrap(), None);
+            assert_eq!(t.get(&key, SeqNum::MAX)?, None);
         }
         assert!(
             env.read_stats.bloom_negatives() >= 40,
@@ -803,59 +819,76 @@ mod tests {
             blocks_read <= 10,
             "filtered probes must not read blocks ({blocks_read} reads for 50 probes)"
         );
+        Ok(())
+    }
+
+    /// Body of `cache_hit_charges_less_than_miss`, split out so the fiber
+    /// closure can propagate errors instead of panicking (L002).
+    fn cache_probe(path_buf: &Path) -> Result<()> {
+        let env = Env::for_testing(SecurityProfile::treaty_full(), path_buf);
+        let path = path_buf.join(file_name(1));
+        build(&env, &path, 1, &entries(100))?;
+        let t = SsTable::open(Arc::clone(&env), &path)?;
+        let t0 = treaty_sim::runtime::now();
+        assert!(t.get(b"key-00010", SeqNum::MAX)?.is_some());
+        let miss_ns = treaty_sim::runtime::now() - t0;
+        let t1 = treaty_sim::runtime::now();
+        assert!(t.get(b"key-00010", SeqNum::MAX)?.is_some());
+        let hit_ns = treaty_sim::runtime::now() - t1;
+        let cache = env
+            .block_cache
+            .as_ref()
+            .ok_or_else(|| StoreError::Io("tiny config enables the cache".into()))?;
+        assert!(cache.hits() >= 1 && cache.misses() >= 1);
+        assert!(
+            hit_ns < miss_ns,
+            "a cache hit ({hit_ns} ns) must charge strictly less than the miss path ({miss_ns} ns)"
+        );
+        Ok(())
     }
 
     #[test]
-    fn cache_hit_charges_less_than_miss() {
-        let dir = tempfile::tempdir().unwrap();
+    fn cache_hit_charges_less_than_miss() -> Result<()> {
+        let dir = tempfile::tempdir()?;
         let path_buf = dir.path().to_path_buf();
+        let res = Arc::new(parking_lot::Mutex::new(None));
+        let res2 = Arc::clone(&res);
         treaty_sched::block_on(move || {
-            let env = Env::for_testing(SecurityProfile::treaty_full(), &path_buf);
-            let path = path_buf.join(file_name(1));
-            build(&env, &path, 1, &entries(100)).unwrap();
-            let t = SsTable::open(Arc::clone(&env), &path).unwrap();
-            let t0 = treaty_sim::runtime::now();
-            assert!(t.get(b"key-00010", SeqNum::MAX).unwrap().is_some());
-            let miss_ns = treaty_sim::runtime::now() - t0;
-            let t1 = treaty_sim::runtime::now();
-            assert!(t.get(b"key-00010", SeqNum::MAX).unwrap().is_some());
-            let hit_ns = treaty_sim::runtime::now() - t1;
-            let cache = env.block_cache.as_ref().unwrap();
-            assert!(cache.hits() >= 1 && cache.misses() >= 1);
-            assert!(
-                hit_ns < miss_ns,
-                "a cache hit ({hit_ns} ns) must charge strictly less than the miss path ({miss_ns} ns)"
-            );
+            *res2.lock() = Some(cache_probe(&path_buf));
         });
+        let taken = res.lock().take();
+        taken.ok_or_else(|| StoreError::Io("probe never ran".into()))?
     }
 
     #[test]
-    fn disabling_the_cache_still_reads_correctly() {
-        let dir = tempfile::tempdir().unwrap();
+    fn disabling_the_cache_still_reads_correctly() -> Result<()> {
+        let dir = tempfile::tempdir()?;
         let mut config = crate::env::EngineConfig::tiny();
         config.block_cache_bytes = 0;
         config.bloom_bits_per_key = 0;
         let env = Env::for_testing_with(SecurityProfile::treaty_full(), dir.path(), config);
         assert!(env.block_cache.is_none());
         let path = dir.path().join(file_name(1));
-        build(&env, &path, 1, &entries(50)).unwrap();
-        let t = SsTable::open(Arc::clone(&env), &path).unwrap();
+        build(&env, &path, 1, &entries(50))?;
+        let t = SsTable::open(Arc::clone(&env), &path)?;
         assert!(t.meta().filter.is_none());
-        let v = t.get(b"key-00011", SeqNum::MAX).unwrap();
+        let v = t.get(b"key-00011", SeqNum::MAX)?;
         assert_eq!(
             v,
             Some(Some(format!("value-11-{}", "x".repeat(50)).into_bytes()))
         );
+        Ok(())
     }
 
     #[test]
-    fn wrong_file_name_rejected() {
-        let (_d, env, t) = build_one(SecurityProfile::treaty_full(), 10);
+    fn wrong_file_name_rejected() -> Result<()> {
+        let (_d, env, t) = build_one(SecurityProfile::treaty_full(), 10)?;
         let renamed = t.path().with_file_name(file_name(999));
-        std::fs::rename(t.path(), &renamed).unwrap();
+        std::fs::rename(t.path(), &renamed)?;
         // The adversary renamed sst-000001 to sst-000999 (e.g. to swap
         // tables): open must fail because the sealed meta pins the id.
         let err = SsTable::open(env, &renamed).unwrap_err();
         assert!(matches!(err, StoreError::Integrity(_)));
+        Ok(())
     }
 }

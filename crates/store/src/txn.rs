@@ -355,7 +355,7 @@ impl EngineTxn for Txn {
             .filter(|k| !write_keys.contains(k))
             .cloned()
             .collect();
-        self.store.inner.prepared.lock().insert(
+        self.store.inner.prepared.insert(
             gtx,
             PreparedState {
                 writes,
@@ -400,6 +400,9 @@ impl EngineTxn for Txn {
         self.release_locks();
         self.state = TxnState::Finished;
         wal.stabilize(counter)?;
+        // Applied and stabilized: this version joins the lock-free
+        // snapshot-read frontier.
+        self.store.inner.frontier.record(seq);
         Ok(CommitInfo {
             seq,
             wal_counter: counter,
@@ -472,6 +475,27 @@ pub trait TxnEngine: Send + Sync {
 
     /// Transactions prepared but undecided (asked during recovery).
     fn prepared_txns(&self) -> Vec<GlobalTxId>;
+
+    /// The engine's stable read timestamp — the newest version lock-free
+    /// snapshot reads may serve (see `TreatyStore::stable_ts`).
+    fn stable_ts(&self) -> SeqNum;
+
+    /// Lock-free snapshot read at `ts` (see `TreatyStore::snapshot_get`).
+    ///
+    /// # Errors
+    ///
+    /// `SnapshotStale` / `SnapshotInDoubt` retry signals, or integrity
+    /// violations.
+    fn snapshot_get(&self, key: &[u8], ts: SeqNum) -> Result<Option<Vec<u8>>>;
+
+    /// Whether a snapshot read of `key` at `ts` is still current — no
+    /// newer committed version, no overlapping in-doubt prepare (see
+    /// `TreatyStore::snapshot_validate`).
+    ///
+    /// # Errors
+    ///
+    /// Integrity violations from the version lookup.
+    fn snapshot_validate(&self, key: &[u8], ts: SeqNum) -> Result<bool>;
 }
 
 impl TxnEngine for TreatyStore {
@@ -483,7 +507,7 @@ impl TxnEngine for TreatyStore {
         if treaty_sim::runtime::in_fiber() {
             treaty_sim::runtime::set_tag("e:commit_prepared");
         }
-        let st = match self.inner.prepared.lock().remove(&gtx) {
+        let st = match self.inner.prepared.remove(&gtx) {
             Some(st) => st,
             None => return Ok(()), // already decided: ignore (§VI)
         };
@@ -499,13 +523,18 @@ impl TxnEngine for TreatyStore {
             .release(st.lock_owner, st.writes.iter().map(|w| w.key.clone()));
         applied?;
         // The commit decision's rollback protection is the coordinator's
-        // Clog; the participant need not wait here (§V-A).
+        // Clog; the participant need not wait here (§V-A). The version is
+        // nonetheless snapshot-stable already: the prepare record was
+        // stabilized before this participant ACKed its vote, so the write
+        // set survives any rollback, and the decision is Clog-protected
+        // at the coordinator.
+        self.inner.frontier.record(seq);
         self.inner.stats.commits.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     fn abort_prepared(&self, gtx: GlobalTxId) -> Result<()> {
-        let st = match self.inner.prepared.lock().remove(&gtx) {
+        let st = match self.inner.prepared.remove(&gtx) {
             Some(st) => st,
             None => return Ok(()),
         };
@@ -522,7 +551,19 @@ impl TxnEngine for TreatyStore {
     }
 
     fn prepared_txns(&self) -> Vec<GlobalTxId> {
-        self.inner.prepared.lock().keys().copied().collect()
+        self.inner.prepared.ids()
+    }
+
+    fn stable_ts(&self) -> SeqNum {
+        TreatyStore::stable_ts(self)
+    }
+
+    fn snapshot_get(&self, key: &[u8], ts: SeqNum) -> Result<Option<Vec<u8>>> {
+        TreatyStore::snapshot_get(self, key, ts)
+    }
+
+    fn snapshot_validate(&self, key: &[u8], ts: SeqNum) -> Result<bool> {
+        TreatyStore::snapshot_validate(self, key, ts)
     }
 }
 
@@ -657,6 +698,33 @@ impl TxnEngine for SharedNullEngine {
 
     fn prepared_txns(&self) -> Vec<GlobalTxId> {
         self.shared.inner.prepared.lock().keys().copied().collect()
+    }
+
+    fn stable_ts(&self) -> SeqNum {
+        // No versioning, no durability: everything committed is readable.
+        SeqNum::MAX
+    }
+
+    fn snapshot_get(&self, key: &[u8], _ts: SeqNum) -> Result<Option<Vec<u8>>> {
+        let e = &self.shared.inner;
+        let in_doubt = e
+            .prepared
+            .lock()
+            .values()
+            .any(|(_, writes)| writes.iter().any(|w| w.key == key));
+        if in_doubt {
+            return Err(StoreError::SnapshotInDoubt);
+        }
+        Ok(e.data.lock().get(key).cloned())
+    }
+
+    fn snapshot_validate(&self, key: &[u8], _ts: SeqNum) -> Result<bool> {
+        let e = &self.shared.inner;
+        Ok(!e
+            .prepared
+            .lock()
+            .values()
+            .any(|(_, writes)| writes.iter().any(|w| w.key == key)))
     }
 }
 

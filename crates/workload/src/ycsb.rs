@@ -62,6 +62,18 @@ impl YcsbConfig {
     pub fn balanced() -> Self {
         Self::paper_base(50)
     }
+
+    /// Standard YCSB-B (95 %R): the read-mostly mix the snapshot-read
+    /// path (`--read-snapshot`, DESIGN.md §12) is built for.
+    pub fn ycsb_b() -> Self {
+        Self::paper_base(95)
+    }
+
+    /// Standard YCSB-C (100 %R): every transaction is read-only, so with
+    /// `--read-snapshot` the lock table goes completely silent.
+    pub fn ycsb_c() -> Self {
+        Self::paper_base(100)
+    }
 }
 
 /// A single operation.

@@ -432,3 +432,105 @@ fn fault_matrix_holds_recovery_oracle() {
 fn fault_matrix_is_deterministic() {
     assert_eq!(run_matrix(), run_matrix());
 }
+
+/// The read-only fault cell: a participant dies *inside* the snapshot-read
+/// handler (`part.snapshot_read`). Snapshot reads hold no 2PC state — no
+/// prepares, no coordinator entry, and zero lock-table traffic — so the
+/// crash must leak nothing: recovery re-drives zero transactions, every
+/// lock table drains to empty, and the seeded data reads back intact on
+/// both the snapshot and the locking path.
+fn run_snapshot_read_cell() -> String {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let plan = crashpoint::install();
+        let mut cluster = Cluster::start(options(&path)).unwrap();
+        let keys: Vec<Vec<u8>> = key_per_node(&cluster).into_values().collect();
+
+        // Seed every shard; acked, so it must survive the episode.
+        let client = cluster.client();
+        let mut tx = client.begin(COORD);
+        for k in &keys {
+            tx.put(k, b"stable-value").expect("seed write failed");
+        }
+        tx.commit().expect("seed commit failed");
+        sleep(50 * MILLIS);
+
+        // Arm: the participant crashes mid read-only transaction.
+        plan.arm(FaultSchedule::new().crash_at("part.snapshot_read", PART, 1));
+        let acked = match client.snapshot_read(&keys) {
+            Ok(_) => 'C', // the burst raced the crash and still answered
+            Err(TreatyError::Net(_)) => 'U',
+            Err(TreatyError::Rejected(_)) => 'R',
+            Err(e) => panic!("unexpected snapshot failure mode: {e}"),
+        };
+
+        sleep(SECONDS);
+        let fired = plan.fired();
+        assert_eq!(fired.len(), 1, "expected exactly one crash, got {fired:?}");
+        assert_eq!(fired[0].point, "part.snapshot_read");
+        assert_eq!(fired[0].node, PART);
+        let fired_at = fired[0].at;
+
+        cluster.crash_node((PART - 1) as usize);
+        cluster.restart_node((PART - 1) as usize).unwrap();
+        let rec = cluster.resolve_recovered();
+        assert_eq!(rec.failed, 0, "recovery re-drive failed: {rec:?}");
+        assert_eq!(
+            (rec.re_decided, rec.resolved),
+            (0, 0),
+            "a crash mid read-only txn must leave nothing in flight: {rec:?}"
+        );
+
+        // Nothing leaked: every lock table is empty, no prepared txns.
+        for i in 0..cluster.node_endpoints().len() {
+            if let Some(store) = cluster.store(i) {
+                assert_eq!(
+                    store.locked_keys(),
+                    0,
+                    "node {}: snapshot-read crash leaked locks",
+                    i + 1
+                );
+                assert!(
+                    store.prepared_txns().is_empty(),
+                    "node {}: snapshot-read crash leaked prepared state",
+                    i + 1
+                );
+            }
+        }
+
+        // The acked seed reads back on both paths after recovery.
+        let reader = cluster.client();
+        let snap = reader.snapshot_read(&keys).expect("post-recovery snapshot");
+        assert!(
+            snap.iter()
+                .all(|v| v.as_deref() == Some(&b"stable-value"[..])),
+            "seeded data lost across the read-only crash: {snap:?}"
+        );
+        let mut tx = reader.begin(COORD);
+        for (k, sv) in keys.iter().zip(&snap) {
+            assert_eq!(tx.get(k).expect("locked read"), *sv);
+        }
+        tx.commit().expect("locked verify commit");
+
+        format!(
+            "part.snapshot_read crash=n{PART} fired@{fired_at} acked={acked} \
+             rec={}/{}/{}",
+            rec.re_decided, rec.resolved, rec.failed,
+        )
+    })
+}
+
+/// A node crash mid read-only snapshot transaction leaks no locks, leaves
+/// recovery with nothing to re-drive, and produces a byte-identical
+/// transcript across runs — the read path is invisible to recovery.
+#[test]
+fn snapshot_read_crash_leaks_no_locks_and_recovery_is_unchanged() {
+    let t1 = run_snapshot_read_cell();
+    println!("{t1}");
+    assert_eq!(
+        t1,
+        run_snapshot_read_cell(),
+        "snapshot-read fault cell must be deterministic"
+    );
+}
