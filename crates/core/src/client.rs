@@ -188,7 +188,7 @@ impl TreatyClient {
 /// (stale timestamp, in-doubt prepare, failed validation) rather than a
 /// hard error.
 fn snapshot_retryable(e: &TreatyError) -> bool {
-    matches!(e, TreatyError::Rejected(reason) if reason.starts_with("snapshot"))
+    matches!(e, TreatyError::SnapshotRetry(_))
 }
 
 /// An interactive distributed transaction.
@@ -428,10 +428,10 @@ impl SnapshotTxn<'_> {
     ///
     /// # Errors
     ///
-    /// [`TreatyError::Rejected`] with a `snapshot …` reason when a shard
-    /// rejects the snapshot (stale timestamp or in-doubt prepare — the
-    /// caller retries with a fresh transaction, which
-    /// [`TreatyClient::snapshot_read`] automates), or network errors.
+    /// [`TreatyError::SnapshotRetry`] when a shard rejects the snapshot
+    /// (stale timestamp or in-doubt prepare — the caller retries with a
+    /// fresh transaction, which [`TreatyClient::snapshot_read`]
+    /// automates), or network errors.
     pub fn get_many(&mut self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
         if keys.is_empty() {
             return Ok(Vec::new());
@@ -450,9 +450,12 @@ impl SnapshotTxn<'_> {
         // Fan out: every shard's request leaves in one burst.
         let mut pending: Vec<(EndpointId, Vec<usize>, PendingReply)> = Vec::new();
         for (owner, (shard_keys, slots)) in by_shard {
-            let ts = self.pinned.get(&owner).copied().unwrap_or(0);
+            // `None` until this shard pins: an explicit option rather than
+            // a `0` sentinel, so a shard whose stable frontier is 0 pins
+            // exactly once like any other (two reads in one transaction
+            // must never re-pin the same shard at a newer timestamp).
             let req_msg = SnapshotReadReq {
-                ts,
+                ts: self.pinned.get(&owner).copied(),
                 keys: shard_keys,
             };
             let meta = self.meta();
@@ -490,13 +493,13 @@ impl SnapshotTxn<'_> {
                     }
                 }
                 Some(SnapshotReadReply::Stale { stable_ts }) => {
-                    reject.get_or_insert(TreatyError::Rejected(format!(
-                        "snapshot stale at shard {owner} (stable {stable_ts})"
+                    reject.get_or_insert(TreatyError::SnapshotRetry(format!(
+                        "stale at shard {owner} (stable {stable_ts})"
                     )));
                 }
                 Some(SnapshotReadReply::InDoubt { .. }) => {
-                    reject.get_or_insert(TreatyError::Rejected(format!(
-                        "snapshot in doubt at shard {owner}"
+                    reject.get_or_insert(TreatyError::SnapshotRetry(format!(
+                        "in doubt at shard {owner}"
                     )));
                 }
                 None => {
@@ -519,8 +522,8 @@ impl SnapshotTxn<'_> {
     ///
     /// # Errors
     ///
-    /// [`TreatyError::Rejected`] with a `snapshot …` reason when
-    /// validation fails (retry with a fresh snapshot), or network errors.
+    /// [`TreatyError::SnapshotRetry`] when validation fails (retry with
+    /// a fresh snapshot), or network errors.
     pub fn finish(mut self) -> Result<()> {
         if self.pinned.len() <= 1 {
             return Ok(());
@@ -559,8 +562,8 @@ impl SnapshotTxn<'_> {
             match decode::<SnapshotValidateReply>(&bytes) {
                 Some(SnapshotValidateReply::Ok) => {}
                 Some(SnapshotValidateReply::Fail { .. }) => {
-                    reject.get_or_insert(TreatyError::Rejected(format!(
-                        "snapshot validation failed at shard {owner}"
+                    reject.get_or_insert(TreatyError::SnapshotRetry(format!(
+                        "validation failed at shard {owner}"
                     )));
                 }
                 None => {

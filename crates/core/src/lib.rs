@@ -52,6 +52,14 @@ pub enum TreatyError {
     /// transaction, …).
     #[error("rejected: {0}")]
     Rejected(String),
+    /// A snapshot read could not be served at the requested timestamp —
+    /// stale timestamp, in-doubt prepare, or failed end-of-transaction
+    /// validation. Always retryable: refresh the snapshot and try again
+    /// ([`TreatyClient::snapshot_read`](client::TreatyClient::snapshot_read)
+    /// automates the loop). A typed variant so retry classification never
+    /// depends on matching formatted message strings.
+    #[error("snapshot retry: {0}")]
+    SnapshotRetry(String),
 }
 
 impl From<treaty_net::NetError> for TreatyError {

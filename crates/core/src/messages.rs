@@ -143,9 +143,12 @@ pub enum CommitResult {
 /// Client → shard snapshot-read request (read-only transactions).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SnapshotReadReq {
-    /// Snapshot timestamp pinned at this shard; `0` asks the shard to pin
-    /// its current stable read timestamp and report it back.
-    pub ts: u64,
+    /// Snapshot timestamp pinned at this shard; `None` asks the shard to
+    /// pin its current stable read timestamp and report it back. (An
+    /// explicit option, not a `0` sentinel: `0` is a legitimate stable
+    /// timestamp on a fresh shard, and conflating the two let one
+    /// transaction re-pin the same shard at two different timestamps.)
+    pub ts: Option<u64>,
     /// Keys to read, all owned by this shard.
     pub keys: Vec<Vec<u8>>,
 }
@@ -156,7 +159,7 @@ pub enum SnapshotReadReply {
     /// The reads, served lock-free at `ts`.
     Values {
         /// The snapshot timestamp actually used (echoed, or freshly
-        /// pinned when the request carried `0`).
+        /// pinned when the request carried no timestamp).
         ts: u64,
         /// One value per requested key, in request order.
         values: Vec<Option<Vec<u8>>>,
@@ -243,11 +246,13 @@ mod tests {
 
     #[test]
     fn snapshot_payloads_roundtrip() {
-        let req = SnapshotReadReq {
-            ts: 0,
-            keys: vec![b"a".to_vec(), b"b".to_vec()],
-        };
-        assert_eq!(decode::<SnapshotReadReq>(&encode(&req)), Some(req));
+        for ts in [None, Some(0), Some(7)] {
+            let req = SnapshotReadReq {
+                ts,
+                keys: vec![b"a".to_vec(), b"b".to_vec()],
+            };
+            assert_eq!(decode::<SnapshotReadReq>(&encode(&req)), Some(req));
+        }
         for reply in [
             SnapshotReadReply::Values {
                 ts: 7,

@@ -896,12 +896,12 @@ impl TreatyNode {
 
     /// Serves a lock-free snapshot read: every key is read at the
     /// requested timestamp straight off the MVCC read path — no 2PC state,
-    /// no coordinator, and zero lock-table traffic. A timestamp of `0`
-    /// pins this shard's current stable read timestamp and reports it
-    /// back; a timestamp ahead of the stable frontier is rejected as
-    /// stale, and a key an undecided prepared transaction is about to
-    /// write is rejected as in-doubt — both make the client retry with a
-    /// refreshed snapshot.
+    /// no coordinator, and zero lock-table traffic. An unpinned request
+    /// (`ts: None`) pins this shard's current stable read timestamp and
+    /// reports it back; a timestamp ahead of the stable frontier is
+    /// rejected as stale, and a key an undecided prepared transaction is
+    /// about to write is rejected as in-doubt — both make the client
+    /// retry with a refreshed snapshot.
     fn handle_snapshot_read(
         self: &Arc<Self>,
         meta: TxMeta,
@@ -918,7 +918,7 @@ impl TreatyNode {
         treaty_sim::crashpoint::hit("part.snapshot_read");
         let stable = self.engine.stable_ts();
         treaty_sim::obs::gauge_set("store.stable_ts", stable);
-        let ts = if req_msg.ts == 0 { stable } else { req_msg.ts };
+        let ts = req_msg.ts.unwrap_or(stable);
         let mut values = Vec::with_capacity(req_msg.keys.len());
         for key in &req_msg.keys {
             match self.engine.snapshot_get(key, ts) {

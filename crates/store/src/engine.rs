@@ -68,6 +68,12 @@ pub(crate) enum WalRecord {
 pub(crate) struct PreparedState {
     pub writes: Vec<WriteOp>,
     pub lock_owner: TxId,
+    /// A decision (commit or abort) is in flight for this transaction.
+    /// The entry stays in the table — and its keys stay in-doubt for
+    /// `overlaps` — until the decision's writes are applied, so snapshot
+    /// validation can never pass in the window between "decided" and
+    /// "visible" (that window includes WAL I/O and fiber yields).
+    pub deciding: bool,
 }
 
 /// Stripe count for [`PreparedTable`]. Prepared transactions are few but
@@ -80,6 +86,12 @@ pub(crate) const PREPARED_STRIPES: usize = 64;
 /// contend on the same mutex.
 pub(crate) struct PreparedTable {
     stripes: Vec<Mutex<HashMap<GlobalTxId, PreparedState>>>,
+    /// Striped index of in-doubt keys → how many prepared transactions
+    /// write them, maintained on insert/remove so `overlaps` — called per
+    /// key on the lock-free snapshot read and validate paths — is one
+    /// hash lookup under one stripe mutex instead of a scan of every
+    /// prepared write set under all 64.
+    key_index: Vec<Mutex<HashMap<UserKey, usize>>>,
 }
 
 impl PreparedTable {
@@ -87,6 +99,7 @@ impl PreparedTable {
         assert!(stripes > 0);
         PreparedTable {
             stripes: (0..stripes).map(|_| Mutex::new(HashMap::new())).collect(),
+            key_index: (0..stripes).map(|_| Mutex::new(HashMap::new())).collect(),
         }
     }
 
@@ -113,12 +126,77 @@ impl PreparedTable {
         &self.stripes[self.stripe_index(gtx)]
     }
 
+    fn key_stripe(&self, key: &[u8]) -> &Mutex<HashMap<UserKey, usize>> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.key_index[(h.finish() % self.key_index.len() as u64) as usize]
+    }
+
+    /// Counts `writes`' keys into the in-doubt index. Runs *before* the
+    /// entry is published so the index over-approximates: a key is never
+    /// missing from it while its transaction is visible in a stripe.
+    fn index_add(&self, writes: &[WriteOp]) {
+        for w in writes {
+            *self.key_stripe(&w.key).lock().entry(w.key.clone()).or_insert(0) += 1;
+        }
+    }
+
+    /// Uncounts `writes`' keys; runs *after* the entry left its stripe.
+    fn index_remove(&self, writes: &[WriteOp]) {
+        for w in writes {
+            let mut m = self.key_stripe(&w.key).lock();
+            if let Some(c) = m.get_mut(&w.key) {
+                *c -= 1;
+                if *c == 0 {
+                    m.remove(&w.key);
+                }
+            }
+        }
+    }
+
     pub fn insert(&self, gtx: GlobalTxId, st: PreparedState) {
-        self.stripe(&gtx).lock().insert(gtx, st);
+        self.index_add(&st.writes);
+        if let Some(old) = self.stripe(&gtx).lock().insert(gtx, st) {
+            self.index_remove(&old.writes);
+        }
     }
 
     pub fn remove(&self, gtx: &GlobalTxId) -> Option<PreparedState> {
-        self.stripe(gtx).lock().remove(gtx)
+        let st = self.stripe(gtx).lock().remove(gtx);
+        if let Some(st) = &st {
+            self.index_remove(&st.writes);
+        }
+        st
+    }
+
+    /// Claims a prepared transaction for its 2PC decision: marks it
+    /// `deciding` and returns a copy of its state, leaving the entry in
+    /// the table (and its keys in-doubt) until [`PreparedTable::finish_decide`].
+    /// Returns `None` if the transaction is unknown or already claimed —
+    /// decisions are idempotent, so callers treat that as "nothing to do".
+    pub fn begin_decide(&self, gtx: &GlobalTxId) -> Option<(Vec<WriteOp>, TxId)> {
+        let mut stripe = self.stripe(gtx).lock();
+        let st = stripe.get_mut(gtx)?;
+        if st.deciding {
+            return None;
+        }
+        st.deciding = true;
+        Some((st.writes.clone(), st.lock_owner))
+    }
+
+    /// Releases a claim after a failed decision attempt (WAL append
+    /// error), so recovery can retry the decision later.
+    pub fn cancel_decide(&self, gtx: &GlobalTxId) {
+        if let Some(st) = self.stripe(gtx).lock().get_mut(gtx) {
+            st.deciding = false;
+        }
+    }
+
+    /// Completes a decision: the writes are applied (or the abort is
+    /// logged), so the entry — and its keys' in-doubt status — can go.
+    pub fn finish_decide(&self, gtx: &GlobalTxId) {
+        self.remove(gtx);
     }
 
     pub fn ids(&self) -> Vec<GlobalTxId> {
@@ -140,13 +218,10 @@ impl PreparedTable {
             .collect()
     }
 
-    /// Whether any prepared (in-doubt) transaction writes `key`.
+    /// Whether any prepared (in-doubt) transaction writes `key` — one
+    /// striped hash lookup against the maintained key index.
     pub fn overlaps(&self, key: &[u8]) -> bool {
-        self.stripes.iter().any(|s| {
-            s.lock()
-                .values()
-                .any(|st| st.writes.iter().any(|w| w.key == key))
-        })
+        self.key_stripe(key).lock().contains_key(key)
     }
 
     pub fn stripe_count(&self) -> usize {
@@ -1365,6 +1440,7 @@ impl TreatyStore {
                             PreparedState {
                                 writes,
                                 lock_owner: owner,
+                                deciding: false,
                             },
                         );
                     }
@@ -1539,6 +1615,7 @@ mod frontier_tests {
                 PreparedState {
                     writes: Vec::new(),
                     lock_owner: seq,
+                    deciding: false,
                 },
             );
         }
@@ -1568,6 +1645,7 @@ mod frontier_tests {
                     value: Some(b"v".to_vec()),
                 }],
                 lock_owner: 1,
+                deciding: false,
             },
         );
         assert!(t.overlaps(b"a"));
@@ -1577,6 +1655,70 @@ mod frontier_tests {
         assert!(t.remove(&gtx).is_some());
         assert!(t.remove(&gtx).is_none());
         assert!(!t.overlaps(b"a"));
+    }
+
+    #[test]
+    fn overlaps_counts_shared_keys_across_transactions() {
+        let t = PreparedTable::new(8);
+        let w = |k: &[u8]| {
+            vec![WriteOp {
+                key: k.to_vec(),
+                value: Some(b"v".to_vec()),
+            }]
+        };
+        let a = GlobalTxId { node: 1, seq: 1 };
+        let b = GlobalTxId { node: 1, seq: 2 };
+        t.insert(
+            a,
+            PreparedState {
+                writes: w(b"k"),
+                lock_owner: 1,
+                deciding: false,
+            },
+        );
+        t.insert(
+            b,
+            PreparedState {
+                writes: w(b"k"),
+                lock_owner: 2,
+                deciding: false,
+            },
+        );
+        // Two in-doubt writers: removing one must leave the key in doubt.
+        t.remove(&a);
+        assert!(t.overlaps(b"k"));
+        t.remove(&b);
+        assert!(!t.overlaps(b"k"));
+    }
+
+    #[test]
+    fn decide_claim_keeps_keys_in_doubt_until_finished() {
+        let t = PreparedTable::new(8);
+        let gtx = GlobalTxId { node: 3, seq: 1 };
+        t.insert(
+            gtx,
+            PreparedState {
+                writes: vec![WriteOp {
+                    key: b"k".to_vec(),
+                    value: Some(b"v".to_vec()),
+                }],
+                lock_owner: 9,
+                deciding: false,
+            },
+        );
+        let (writes, owner) = t.begin_decide(&gtx).expect("first claim wins");
+        assert_eq!(owner, 9);
+        assert_eq!(writes.len(), 1);
+        // Mid-decision: a duplicate decision is a no-op, but the key is
+        // still in doubt for snapshot reads and validation.
+        assert!(t.begin_decide(&gtx).is_none());
+        assert!(t.overlaps(b"k"));
+        // A failed attempt un-claims so recovery can retry.
+        t.cancel_decide(&gtx);
+        assert!(t.begin_decide(&gtx).is_some());
+        t.finish_decide(&gtx);
+        assert!(!t.overlaps(b"k"));
+        assert!(t.begin_decide(&gtx).is_none());
     }
 }
 

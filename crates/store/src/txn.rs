@@ -360,6 +360,7 @@ impl EngineTxn for Txn {
             PreparedState {
                 writes,
                 lock_owner: self.id,
+                deciding: false,
             },
         );
         self.store.inner.locks.release(self.id, read_only);
@@ -393,16 +394,25 @@ impl EngineTxn for Txn {
         let seq = self.store.inner.seq.fetch_add(1, Ordering::SeqCst) + 1;
         let (seq, counter, wal) = match self.store.commit_writes(seq, &writes) {
             Ok(x) => x,
-            Err(e) => return Err(self.abort_with(e)),
+            Err(e) => {
+                // The seq is allocated but the commit failed: fill its
+                // hole so the contiguous stable frontier is not frozen
+                // forever by the leaked number (which would silently pin
+                // every future snapshot read to the pre-failure state).
+                self.store.inner.frontier.record(seq);
+                return Err(self.abort_with(e));
+            }
         };
         // Conflicting transactions are ordered by the WAL; locks can drop
         // before stabilization (the paper exploits exactly this window).
         self.release_locks();
         self.state = TxnState::Finished;
-        wal.stabilize(counter)?;
-        // Applied and stabilized: this version joins the lock-free
-        // snapshot-read frontier.
+        let stabilized = wal.stabilize(counter);
+        // Recorded even if stabilization failed: the writes are already
+        // applied and visible to locked reads, so snapshot parity holds
+        // either way, and skipping the record would wedge the frontier.
         self.store.inner.frontier.record(seq);
+        stabilized?;
         Ok(CommitInfo {
             seq,
             wal_counter: counter,
@@ -507,45 +517,68 @@ impl TxnEngine for TreatyStore {
         if treaty_sim::runtime::in_fiber() {
             treaty_sim::runtime::set_tag("e:commit_prepared");
         }
-        let st = match self.inner.prepared.remove(&gtx) {
-            Some(st) => st,
-            None => return Ok(()), // already decided: ignore (§VI)
+        // Claim, don't remove: until `finish_decide` below, the entry keeps
+        // the write set's keys in-doubt for `overlaps`, so a concurrent
+        // snapshot validation cannot pass in the window between this
+        // decision and its writes becoming visible (the WAL append and the
+        // apply both yield). Without that hold, a multi-shard read-only
+        // transaction that saw the commit on one shard could validate
+        // cleanly here and tear the snapshot.
+        let (writes, lock_owner) = match self.inner.prepared.begin_decide(&gtx) {
+            Some(x) => x,
+            None => return Ok(()), // already decided or deciding: ignore (§VI)
         };
         let seq = self.inner.seq.fetch_add(1, Ordering::SeqCst) + 1;
-        let _ = self.wal_append(&WalRecord::Decide {
+        if let Err(e) = self.wal_append(&WalRecord::Decide {
             gtx,
             commit: true,
             seq,
-        })?;
-        let applied = self.apply_decided(seq, &st.writes);
+        }) {
+            // Un-claim so recovery can retry the decision, and fill the
+            // leaked seq's hole — nothing is visible at it, and the stable
+            // frontier only advances contiguously.
+            self.inner.prepared.cancel_decide(&gtx);
+            self.inner.frontier.record(seq);
+            return Err(e);
+        }
+        let applied = self.apply_decided(seq, &writes);
+        self.inner.prepared.finish_decide(&gtx);
         self.inner
             .locks
-            .release(st.lock_owner, st.writes.iter().map(|w| w.key.clone()));
-        applied?;
+            .release(lock_owner, writes.iter().map(|w| w.key.clone()));
         // The commit decision's rollback protection is the coordinator's
         // Clog; the participant need not wait here (§V-A). The version is
         // nonetheless snapshot-stable already: the prepare record was
         // stabilized before this participant ACKed its vote, so the write
         // set survives any rollback, and the decision is Clog-protected
-        // at the coordinator.
+        // at the coordinator. Recorded even if the apply's flush dispatch
+        // failed — the writes are in the MemTable at `seq` regardless, and
+        // skipping the record would wedge the contiguous frontier forever.
         self.inner.frontier.record(seq);
+        applied?;
         self.inner.stats.commits.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     fn abort_prepared(&self, gtx: GlobalTxId) -> Result<()> {
-        let st = match self.inner.prepared.remove(&gtx) {
-            Some(st) => st,
+        let (writes, lock_owner) = match self.inner.prepared.begin_decide(&gtx) {
+            Some(x) => x,
             None => return Ok(()),
         };
-        self.wal_append(&WalRecord::Decide {
+        if let Err(e) = self.wal_append(&WalRecord::Decide {
             gtx,
             commit: false,
             seq: 0,
-        })?;
+        }) {
+            // Keep the entry (and its locks) so recovery can retry; the
+            // old remove-first ordering leaked the locks forever here.
+            self.inner.prepared.cancel_decide(&gtx);
+            return Err(e);
+        }
+        self.inner.prepared.finish_decide(&gtx);
         self.inner
             .locks
-            .release(st.lock_owner, st.writes.iter().map(|w| w.key.clone()));
+            .release(lock_owner, writes.iter().map(|w| w.key.clone()));
         self.inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
