@@ -1,0 +1,10 @@
+//! L009 canary fixture, file B: takes `beta` then `alpha` — the
+//! reverse of `cycle_a.rs`, completing the lock-order cycle the L009
+//! canary test asserts on (with file:line witnesses in both files).
+
+fn take_beta_then_alpha(&self) {
+    let b = self.beta.lock();
+    let a = self.alpha.lock();
+    drop(a);
+    drop(b);
+}

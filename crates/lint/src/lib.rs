@@ -39,9 +39,31 @@
 //!   unregistered point would silently never fire, so a fault-matrix cell
 //!   that claims to cover it would test nothing.
 //!
+//! On top of the line rules sits a **function-scope concurrency
+//! analyzer** ([`analyzer`], [`registry`]) with four more rules:
+//!
+//! * **L007 — no guard live across a yield point.** The cooperative
+//!   fiber runtime runs one fiber at a time; a `MutexGuard` held across
+//!   `sleep`/`park`/`yield_now`/an RPC round trip deadlocks the node if
+//!   the next fiber touches the same lock. Fiber-aware locks
+//!   (`FiberMutex`) are exempt — being held across yields is their job.
+//! * **L008 — no guard live across `crashpoint::hit`.** `CrashUnwind`
+//!   unwinds the fiber at the crash site, poisoning any std `Mutex` held
+//!   there and silently breaking crash → heal → restart. Audited
+//!   exceptions carry `// LINT-CRASH-SAFE: <reason>` (the L004 pattern).
+//! * **L009 — no lock-order cycles.** Intra-function "acquire A while
+//!   holding B" edges, keyed by [`registry::LOCK_REGISTRY`] classes, are
+//!   merged into a global graph; any cycle is reported in full with a
+//!   file:line witness per edge.
+//! * **L010 — every `.lock()` site resolves through the registry** in
+//!   crates/{core,store,sim,net}, so L009's graph can never silently
+//!   miss an edge (the L006 pattern).
+//!
 //! Violations are diffed against a committed `lint-baseline.json` ratchet:
 //! new violations fail the build; fixed violations must be removed from
 //! the baseline (`--update-baseline`), so the count only goes down.
+//! Baseline entries for L007–L010 must carry a `justification` string —
+//! the ratchet rejects justification-free debt for the new rules.
 //!
 //! The crate has no dependencies by design — it is a hand-rolled lexer,
 //! not a parser, which is exactly enough for token-level rules and keeps
@@ -50,6 +72,11 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub mod analyzer;
+pub mod registry;
+
+pub use analyzer::{analyze_file, analyze_file_with, lock_graph_violations, FileAnalysis, LockEdge};
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +89,24 @@ pub struct Violation {
     pub line: usize,
     /// Trimmed source line (raw, pre-scrub) for the report.
     pub snippet: String,
+    /// Lock class involved (L007–L009), if any.
+    pub lock: Option<String>,
+    /// Human-readable explanation; empty for the line rules.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Constructor for the line rules (no lock class, no detail).
+    fn basic(rule: &'static str, file: &str, line: usize, snippet: String) -> Self {
+        Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            snippet,
+            lock: None,
+            detail: String::new(),
+        }
+    }
 }
 
 impl fmt::Display for Violation {
@@ -70,19 +115,30 @@ impl fmt::Display for Violation {
             f,
             "{} {}:{}: {}",
             self.rule, self.file, self.line, self.snippet
-        )
+        )?;
+        if !self.detail.is_empty() {
+            write!(f, " [{}]", self.detail)?;
+        }
+        Ok(())
     }
 }
 
 /// All rule ids, in report order.
-pub const RULES: [(&str, &str); 6] = [
+pub const RULES: [(&str, &str); 10] = [
     ("L001", "enclave-only crypto primitives"),
     ("L002", "no panics on 2PC commit/recovery path"),
     ("L003", "deterministic time/randomness"),
     ("L004", "auditable HostBytes declassification"),
     ("L005", "no secrets in format/trace payloads"),
     ("L006", "crash points unique and registered"),
+    ("L007", "no guard live across a yield point"),
+    ("L008", "no guard live across crashpoint::hit"),
+    ("L009", "no lock-order cycles"),
+    ("L010", "every .lock() resolves through LOCK_REGISTRY"),
 ];
+
+/// Rules whose baseline entries must carry a `justification` string.
+pub const JUSTIFICATION_REQUIRED: [&str; 4] = ["L007", "L008", "L009", "L010"];
 
 // ---------------------------------------------------------------------------
 // Source scrubbing
@@ -372,12 +428,7 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Violation> {
         for (n, line) in lines.iter().enumerate() {
             for tok in L001_TOKENS {
                 for _ in ident_occurrences(line, tok) {
-                    out.push(Violation {
-                        rule: "L001",
-                        file: file.to_string(),
-                        line: n + 1,
-                        snippet: snippet(n),
-                    });
+                    out.push(Violation::basic("L001", file, n + 1, snippet(n)));
                 }
             }
         }
@@ -397,12 +448,7 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Violation> {
                 hits += 1;
             }
             for _ in 0..hits {
-                out.push(Violation {
-                    rule: "L002",
-                    file: file.to_string(),
-                    line: n + 1,
-                    snippet: snippet(n),
-                });
+                out.push(Violation::basic("L002", file, n + 1, snippet(n)));
             }
         }
     }
@@ -417,12 +463,7 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Violation> {
                     .iter()
                     .any(|tok| !ident_occurrences(line, tok).is_empty());
             if hit {
-                out.push(Violation {
-                    rule: "L003",
-                    file: file.to_string(),
-                    line: n + 1,
-                    snippet: snippet(n),
-                });
+                out.push(Violation::basic("L003", file, n + 1, snippet(n)));
             }
         }
     }
@@ -443,12 +484,7 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Violation> {
                 .iter()
                 .any(|t| !ident_occurrences(raw, t).is_empty())
             {
-                out.push(Violation {
-                    rule: "L005",
-                    file: file.to_string(),
-                    line: n + 1,
-                    snippet: snippet(n),
-                });
+                out.push(Violation::basic("L005", file, n + 1, snippet(n)));
             }
         }
     }
@@ -464,12 +500,7 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Violation> {
                     .iter()
                     .any(|l| l.contains(DECLASSIFY_MARKER));
                 if !marked {
-                    out.push(Violation {
-                        rule: "L004",
-                        file: file.to_string(),
-                        line: n + 1,
-                        snippet: snippet(n),
-                    });
+                    out.push(Violation::basic("L004", file, n + 1, snippet(n)));
                 }
             }
         }
@@ -536,12 +567,12 @@ pub fn lint_crash_points(sources: &[(String, String)]) -> Vec<Violation> {
     let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
     for (name, line) in &registry {
         if seen.insert(name.as_str(), *line).is_some() {
-            out.push(Violation {
-                rule: "L006",
-                file: CRASHPOINT_REGISTRY.to_string(),
-                line: *line,
-                snippet: format!("duplicate crash point {name:?} in ALL_POINTS"),
-            });
+            out.push(Violation::basic(
+                "L006",
+                CRASHPOINT_REGISTRY,
+                *line,
+                format!("duplicate crash point {name:?} in ALL_POINTS"),
+            ));
         }
     }
     let names: std::collections::BTreeSet<&str> =
@@ -567,25 +598,57 @@ pub fn lint_crash_points(sources: &[(String, String)]) -> Vec<Violation> {
                     .and_then(|a| a.find('"').map(|close| &a[..close]))
                     .is_some_and(|name| names.contains(name));
                 if !registered {
-                    out.push(Violation {
-                        rule: "L006",
-                        file: file.clone(),
-                        line: n + 1,
-                        snippet: {
-                            let mut s = raw.trim().to_string();
-                            if s.len() > 120 {
-                                s.truncate(117);
-                                s.push_str("...");
-                            }
-                            s
-                        },
-                    });
+                    out.push(Violation::basic("L006", file, n + 1, {
+                        let mut s = raw.trim().to_string();
+                        if s.len() > 120 {
+                            s.truncate(117);
+                            s.push_str("...");
+                        }
+                        s
+                    }));
                 }
                 rest = &rest[pos + L006_CALL.len()..];
             }
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// L007–L010 — function-scope concurrency analysis (cross-file for L009)
+// ---------------------------------------------------------------------------
+
+/// Runs the concurrency analyzer (L007/L008/L010 per file, L009 over the
+/// merged lock-order graph) with an explicit registry and rule set.
+/// Only files inside the analyzer scope passed in `files` are examined;
+/// callers filter scope (production: [`registry::in_scope`]).
+pub fn lint_concurrency_with(
+    files: &[(String, String)],
+    specs: &[registry::LockSpec],
+    rules: &[&str],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut edges = Vec::new();
+    for (file, source) in files {
+        let fa = analyzer::analyze_file_with(file, source, specs, rules);
+        out.extend(fa.violations);
+        edges.extend(fa.edges);
+    }
+    if rules.contains(&"L009") {
+        out.extend(analyzer::lock_graph_violations(&edges));
+    }
+    out
+}
+
+/// Production entry point: all four concurrency rules over the files in
+/// [`registry::ANALYZER_SCOPE_PREFIXES`], using [`registry::LOCK_REGISTRY`].
+pub fn lint_concurrency(files: &[(String, String)]) -> Vec<Violation> {
+    let scoped: Vec<(String, String)> = files
+        .iter()
+        .filter(|(f, _)| registry::in_scope(f))
+        .cloned()
+        .collect();
+    lint_concurrency_with(&scoped, registry::LOCK_REGISTRY, &["L007", "L008", "L009", "L010"])
 }
 
 // ---------------------------------------------------------------------------
@@ -645,6 +708,7 @@ pub fn run(root: &Path) -> std::io::Result<(Vec<Violation>, usize)> {
         all.extend(lint_source(rel, source));
     }
     all.extend(lint_crash_points(&sources));
+    all.extend(lint_concurrency(&sources));
     Ok((all, scanned))
 }
 
@@ -652,12 +716,25 @@ pub fn run(root: &Path) -> std::io::Result<(Vec<Violation>, usize)> {
 // Baseline ratchet
 // ---------------------------------------------------------------------------
 
-/// Violation counts per rule per file: the ratchet state.
-pub type Baseline = BTreeMap<String, BTreeMap<String, usize>>;
+/// Violation counts per rule per file, as observed on the working tree.
+pub type Counts = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// One committed baseline entry: an accepted violation count, plus — for
+/// L007–L010 — the mandatory justification for carrying the debt.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Accepted violation count.
+    pub count: usize,
+    /// Why this debt is acceptable (required for L007–L010).
+    pub justification: Option<String>,
+}
+
+/// The committed ratchet state: rule → file → entry.
+pub type Baseline = BTreeMap<String, BTreeMap<String, BaselineEntry>>;
 
 /// Aggregates violations into ratchet counts.
-pub fn to_counts(violations: &[Violation]) -> Baseline {
-    let mut b: Baseline = BTreeMap::new();
+pub fn to_counts(violations: &[Violation]) -> Counts {
+    let mut b: Counts = BTreeMap::new();
     for v in violations {
         *b.entry(v.rule.to_string())
             .or_default()
@@ -665,6 +742,24 @@ pub fn to_counts(violations: &[Violation]) -> Baseline {
             .or_insert(0) += 1;
     }
     b
+}
+
+/// Builds a baseline from current counts, carrying forward justifications
+/// from `old` where the (rule, file) key persists.
+pub fn counts_to_baseline(counts: &Counts, old: &Baseline) -> Baseline {
+    let mut out: Baseline = BTreeMap::new();
+    for (rule, files) in counts {
+        for (file, &count) in files {
+            let justification = old
+                .get(rule)
+                .and_then(|m| m.get(file))
+                .and_then(|e| e.justification.clone());
+            out.entry(rule.clone())
+                .or_default()
+                .insert(file.clone(), BaselineEntry { count, justification });
+        }
+    }
+    out
 }
 
 /// One ratchet discrepancy.
@@ -687,19 +782,32 @@ pub struct Ratchet {
     pub regressions: Vec<RatchetEntry>,
     /// current < baseline: the baseline is stale and must be shrunk.
     pub stale: Vec<RatchetEntry>,
+    /// (rule, file) baseline entries for L007–L010 that lack the
+    /// mandatory justification string; the build fails.
+    pub unjustified: Vec<(String, String)>,
 }
 
 impl Ratchet {
-    /// True when the working tree matches the baseline exactly.
+    /// True when the working tree matches the baseline exactly and all
+    /// new-rule debt is justified.
     pub fn is_clean(&self) -> bool {
-        self.regressions.is_empty() && self.stale.is_empty()
+        self.regressions.is_empty() && self.stale.is_empty() && self.unjustified.is_empty()
     }
 }
 
-/// Diffs `current` against `baseline` over the union of (rule, file) keys.
-pub fn ratchet(current: &Baseline, baseline: &Baseline) -> Ratchet {
+/// Diffs `current` against `baseline` over the union of (rule, file) keys,
+/// and flags L007–L010 baseline entries that carry no justification.
+pub fn ratchet(current: &Counts, baseline: &Baseline) -> Ratchet {
     let mut keys: Vec<(String, String)> = Vec::new();
-    for (rule, files) in current.iter().chain(baseline.iter()) {
+    for (rule, files) in current {
+        for file in files.keys() {
+            let k = (rule.clone(), file.clone());
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+    }
+    for (rule, files) in baseline {
         for file in files.keys() {
             let k = (rule.clone(), file.clone());
             if !keys.contains(&k) {
@@ -708,13 +816,15 @@ pub fn ratchet(current: &Baseline, baseline: &Baseline) -> Ratchet {
         }
     }
     keys.sort();
-    let count = |b: &Baseline, rule: &str, file: &str| -> usize {
-        b.get(rule).and_then(|m| m.get(file)).copied().unwrap_or(0)
-    };
     let mut out = Ratchet::default();
     for (rule, file) in keys {
-        let cur = count(current, &rule, &file);
-        let base = count(baseline, &rule, &file);
+        let cur = current
+            .get(&rule)
+            .and_then(|m| m.get(&file))
+            .copied()
+            .unwrap_or(0);
+        let base_entry = baseline.get(&rule).and_then(|m| m.get(&file));
+        let base = base_entry.map(|e| e.count).unwrap_or(0);
         let entry = RatchetEntry {
             rule: rule.clone(),
             file: file.clone(),
@@ -726,12 +836,36 @@ pub fn ratchet(current: &Baseline, baseline: &Baseline) -> Ratchet {
         } else if cur < base {
             out.stale.push(entry);
         }
+        if JUSTIFICATION_REQUIRED.contains(&rule.as_str()) {
+            if let Some(e) = base_entry {
+                if e.justification.as_deref().map(str::trim).unwrap_or("").is_empty() {
+                    out.unjustified.push((rule.clone(), file.clone()));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Escapes a string for embedding in the baseline JSON.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
     }
     out
 }
 
 /// Renders the baseline as stable, pretty-printed JSON (sorted keys,
-/// trailing newline), so updates produce minimal diffs.
+/// trailing newline), so updates produce minimal diffs. Entries without a
+/// justification render as a bare count; justified entries render as
+/// `{"count": N, "justification": "..."}`.
 pub fn render_baseline(b: &Baseline) -> String {
     let mut s = String::from("{\n");
     let mut first_rule = true;
@@ -745,12 +879,19 @@ pub fn render_baseline(b: &Baseline) -> String {
         first_rule = false;
         s.push_str(&format!("  \"{rule}\": {{\n"));
         let mut first_file = true;
-        for (file, count) in files {
+        for (file, entry) in files {
             if !first_file {
                 s.push_str(",\n");
             }
             first_file = false;
-            s.push_str(&format!("    \"{file}\": {count}"));
+            match &entry.justification {
+                Some(j) => s.push_str(&format!(
+                    "    \"{file}\": {{\"count\": {}, \"justification\": \"{}\"}}",
+                    entry.count,
+                    json_escape(j)
+                )),
+                None => s.push_str(&format!("    \"{file}\": {}", entry.count)),
+            }
         }
         s.push_str("\n  }");
     }
@@ -758,9 +899,75 @@ pub fn render_baseline(b: &Baseline) -> String {
     s
 }
 
-/// Parses the baseline JSON (an object of objects of non-negative
-/// integers). Hand-rolled so the crate stays dependency-free; rejects
-/// anything outside that exact shape.
+/// Renders violations plus ratchet status as machine-readable JSON for
+/// the CLI's `--format json` (consumed by the CI annotation artifact).
+pub fn render_diagnostics_json(violations: &[Violation], scanned: usize, r: &Ratchet) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"scanned\": {scanned},\n"));
+    s.push_str(&format!("  \"clean\": {},\n", r.is_clean()));
+    s.push_str("  \"diagnostics\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {");
+        s.push_str(&format!("\"rule\": \"{}\", ", v.rule));
+        s.push_str(&format!("\"file\": \"{}\", ", json_escape(&v.file)));
+        s.push_str(&format!("\"line\": {}, ", v.line));
+        match &v.lock {
+            Some(l) => s.push_str(&format!("\"lock\": \"{}\", ", json_escape(l))),
+            None => s.push_str("\"lock\": null, "),
+        }
+        s.push_str(&format!("\"detail\": \"{}\"}}", json_escape(&v.detail)));
+    }
+    if !violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+    let entries = |list: &[RatchetEntry]| -> String {
+        let mut out = String::from("[");
+        for (i, e) in list.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"current\": {}, \"baseline\": {}}}",
+                e.rule,
+                json_escape(&e.file),
+                e.current,
+                e.baseline
+            ));
+        }
+        if !list.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push(']');
+        out
+    };
+    s.push_str(&format!("  \"regressions\": {},\n", entries(&r.regressions)));
+    s.push_str(&format!("  \"stale\": {},\n", entries(&r.stale)));
+    s.push_str("  \"unjustified\": [");
+    for (i, (rule, file)) in r.unjustified.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\"}}",
+            rule,
+            json_escape(file)
+        ));
+    }
+    if !r.unjustified.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Parses the baseline JSON: an object of objects whose values are either
+/// a bare count (`3`) or an entry object
+/// (`{"count": 3, "justification": "..."}`). Hand-rolled so the crate
+/// stays dependency-free; rejects anything outside that shape.
 pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
     let mut p = JsonParser {
         bytes: text.as_bytes(),
@@ -791,8 +998,15 @@ pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
                     p.skip_ws();
                     p.expect(b':')?;
                     p.skip_ws();
-                    let n = p.number()?;
-                    files.insert(file, n);
+                    let entry = if p.peek() == Some(b'{') {
+                        p.entry_object()?
+                    } else {
+                        BaselineEntry {
+                            count: p.number()?,
+                            justification: None,
+                        }
+                    };
+                    files.insert(file, entry);
                     p.skip_ws();
                     match p.next() {
                         Some(b',') => continue,
@@ -858,6 +1072,8 @@ impl JsonParser<'_> {
                     Some(b'"') => out.push(b'"'),
                     Some(b'\\') => out.push(b'\\'),
                     Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b't') => out.push(b'\t'),
                     other => return Err(format!("unsupported escape {other:?}")),
                 },
                 Some(b) => out.push(b),
@@ -866,6 +1082,41 @@ impl JsonParser<'_> {
         }
         String::from_utf8(out).map_err(|e| e.to_string())
     }
+    /// Parses `{"count": N, "justification": "..."}` (either key
+    /// optional order; `count` mandatory).
+    fn entry_object(&mut self) -> Result<BaselineEntry, String> {
+        self.expect(b'{')?;
+        let mut count: Option<usize> = None;
+        let mut justification: Option<String> = None;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+        } else {
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                match key.as_str() {
+                    "count" => count = Some(self.number()?),
+                    "justification" => justification = Some(self.string()?),
+                    other => return Err(format!("unknown baseline entry key {other:?}")),
+                }
+                self.skip_ws();
+                match self.next() {
+                    Some(b',') => continue,
+                    Some(b'}') => break,
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+        Ok(BaselineEntry {
+            count: count.ok_or("baseline entry object missing \"count\"")?,
+            justification,
+        })
+    }
+
     fn number(&mut self) -> Result<usize, String> {
         let start = self.pos;
         while self.peek().map(|b| b.is_ascii_digit()).unwrap_or(false) {
@@ -1072,35 +1323,21 @@ mod tests {
     #[test]
     fn baseline_roundtrip_and_ratchet() {
         let violations = vec![
-            Violation {
-                rule: "L002",
-                file: "crates/store/src/log.rs".into(),
-                line: 1,
-                snippet: "x".into(),
-            },
-            Violation {
-                rule: "L002",
-                file: "crates/store/src/log.rs".into(),
-                line: 2,
-                snippet: "y".into(),
-            },
+            Violation::basic("L002", "crates/store/src/log.rs", 1, "x".into()),
+            Violation::basic("L002", "crates/store/src/log.rs", 2, "y".into()),
         ];
         let counts = to_counts(&violations);
-        let text = render_baseline(&counts);
+        let baseline = counts_to_baseline(&counts, &Baseline::new());
+        let text = render_baseline(&baseline);
         let parsed = parse_baseline(&text).unwrap();
-        assert_eq!(parsed, counts);
+        assert_eq!(parsed, baseline);
 
         // Identical counts: clean.
         assert!(ratchet(&counts, &parsed).is_clean());
 
         // One more violation: a regression.
         let mut more = violations.clone();
-        more.push(Violation {
-            rule: "L002",
-            file: "crates/store/src/log.rs".into(),
-            line: 3,
-            snippet: "z".into(),
-        });
+        more.push(Violation::basic("L002", "crates/store/src/log.rs", 3, "z".into()));
         let r = ratchet(&to_counts(&more), &parsed);
         assert_eq!(r.regressions.len(), 1);
         assert_eq!(r.regressions[0].current, 3);
@@ -1110,6 +1347,100 @@ mod tests {
         let r = ratchet(&to_counts(&violations[..1].to_vec()), &parsed);
         assert_eq!(r.stale.len(), 1);
         assert!(r.regressions.is_empty());
+    }
+
+    #[test]
+    fn baseline_justifications_roundtrip_and_ratchet_rejects_missing() {
+        // A justified L007 entry survives render → parse and is clean.
+        let text = concat!(
+            "{\n",
+            "  \"L007\": {\n",
+            "    \"crates/core/src/node.rs\": {\"count\": 1, ",
+            "\"justification\": \"stats guard audited: drained before park\"}\n",
+            "  }\n",
+            "}\n",
+        );
+        let parsed = parse_baseline(text).unwrap();
+        assert_eq!(
+            parsed["L007"]["crates/core/src/node.rs"].count, 1
+        );
+        assert_eq!(render_baseline(&parsed), text);
+
+        let mut counts = Counts::new();
+        counts
+            .entry("L007".into())
+            .or_default()
+            .insert("crates/core/src/node.rs".into(), 1);
+        assert!(ratchet(&counts, &parsed).is_clean());
+
+        // The same entry as a bare count is rejected: L007–L010 debt
+        // must carry a justification.
+        let bare = "{\n  \"L007\": {\n    \"crates/core/src/node.rs\": 1\n  }\n}\n";
+        let parsed = parse_baseline(bare).unwrap();
+        let r = ratchet(&counts, &parsed);
+        assert!(!r.is_clean());
+        assert_eq!(
+            r.unjustified,
+            vec![("L007".to_string(), "crates/core/src/node.rs".to_string())]
+        );
+
+        // Old rules never require a justification.
+        let old = "{\n  \"L002\": {\n    \"crates/store/src/log.rs\": 2\n  }\n}\n";
+        let parsed = parse_baseline(old).unwrap();
+        let mut counts = Counts::new();
+        counts
+            .entry("L002".into())
+            .or_default()
+            .insert("crates/store/src/log.rs".into(), 2);
+        assert!(ratchet(&counts, &parsed).is_clean());
+
+        // counts_to_baseline carries justifications forward.
+        let mut old_b = Baseline::new();
+        old_b.entry("L008".into()).or_default().insert(
+            "crates/store/src/engine.rs".into(),
+            BaselineEntry {
+                count: 3,
+                justification: Some("audited".into()),
+            },
+        );
+        let mut counts = Counts::new();
+        counts
+            .entry("L008".into())
+            .or_default()
+            .insert("crates/store/src/engine.rs".into(), 2);
+        let b = counts_to_baseline(&counts, &old_b);
+        let e = &b["L008"]["crates/store/src/engine.rs"];
+        assert_eq!(e.count, 2);
+        assert_eq!(e.justification.as_deref(), Some("audited"));
+    }
+
+    #[test]
+    fn diagnostics_json_carries_rule_file_line_lock_detail() {
+        let v = vec![Violation {
+            rule: "L007",
+            file: "crates/core/src/node.rs".into(),
+            line: 42,
+            snippet: "runtime::sleep(5);".into(),
+            lock: Some("core.node.stats".into()),
+            detail: "guard `s` crosses \"sleep\"".into(),
+        }];
+        let mut r = Ratchet::default();
+        r.unjustified
+            .push(("L008".to_string(), "crates/store/src/engine.rs".to_string()));
+        let out = render_diagnostics_json(&v, 37, &r);
+        assert!(out.contains("\"scanned\": 37"), "{out}");
+        assert!(out.contains("\"clean\": false"), "{out}");
+        assert!(out.contains("\"rule\": \"L007\""), "{out}");
+        assert!(out.contains("\"file\": \"crates/core/src/node.rs\""), "{out}");
+        assert!(out.contains("\"line\": 42"), "{out}");
+        assert!(out.contains("\"lock\": \"core.node.stats\""), "{out}");
+        assert!(out.contains("crosses \\\"sleep\\\""), "{out}");
+        assert!(out.contains("\"unjustified\""), "{out}");
+
+        // No lock class renders as JSON null; an empty report is clean.
+        let v = vec![Violation::basic("L002", "a.rs", 1, "x".into())];
+        assert!(render_diagnostics_json(&v, 1, &Ratchet::default()).contains("\"lock\": null"));
+        assert!(render_diagnostics_json(&[], 0, &Ratchet::default()).contains("\"clean\": true"));
     }
 
     #[test]
@@ -1136,9 +1467,10 @@ mod tests {
         let r = ratchet(&to_counts(&violations), &baseline);
         assert!(
             r.is_clean(),
-            "lint ratchet violated.\nregressions (fix them): {:#?}\nstale (run treaty-lint --update-baseline): {:#?}",
+            "lint ratchet violated.\nregressions (fix them): {:#?}\nstale (run treaty-lint --update-baseline): {:#?}\nunjustified L007-L010 baseline entries (add a justification string): {:#?}",
             r.regressions,
-            r.stale
+            r.stale,
+            r.unjustified
         );
     }
 }

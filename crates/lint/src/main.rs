@@ -2,25 +2,35 @@
 //!
 //! ```text
 //! treaty-lint [--root PATH] [--baseline PATH] [--update-baseline]
+//!             [--format text|json]
 //! ```
 //!
 //! Scans the workspace, prints a per-rule summary, and diffs the counts
-//! against the committed `lint-baseline.json` ratchet. Exit status:
+//! against the committed `lint-baseline.json` ratchet. With
+//! `--format json` the report is a single machine-readable object
+//! (`{scanned, clean, diagnostics: [{rule, file, line, lock, detail}],
+//! regressions, stale, unjustified}`) for CI annotation; the text output
+//! is unchanged by default. Exit status:
 //!
 //! * `0` — counts match the baseline exactly,
-//! * `1` — new violations (fix the code) or a stale baseline (re-run with
-//!   `--update-baseline` to tighten it),
+//! * `1` — new violations (fix the code), a stale baseline (re-run with
+//!   `--update-baseline` to tighten it), or an L007–L010 baseline entry
+//!   with no justification string,
 //! * `2` — usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use treaty_lint::{parse_baseline, ratchet, render_baseline, run, to_counts, RULES};
+use treaty_lint::{
+    counts_to_baseline, parse_baseline, ratchet, render_baseline, render_diagnostics_json, run,
+    to_counts, Baseline, JUSTIFICATION_REQUIRED, RULES,
+};
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut baseline_path: Option<PathBuf> = None;
     let mut update = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -33,6 +43,11 @@ fn main() -> ExitCode {
                 None => return usage("--baseline needs a path"),
             },
             "--update-baseline" => update = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                _ => return usage("--format needs `text` or `json`"),
+            },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument: {other}")),
         }
@@ -48,17 +63,25 @@ fn main() -> ExitCode {
     };
     let current = to_counts(&violations);
 
-    println!(
-        "treaty-lint: scanned {scanned} files under {}",
-        root.display()
-    );
-    for (rule, desc) in RULES {
-        let total: usize = current.get(rule).map(|m| m.values().sum()).unwrap_or(0);
-        println!("  {rule} ({desc}): {total} violation(s)");
+    if !json {
+        println!(
+            "treaty-lint: scanned {scanned} files under {}",
+            root.display()
+        );
+        for (rule, desc) in RULES {
+            let total: usize = current.get(rule).map(|m| m.values().sum()).unwrap_or(0);
+            println!("  {rule} ({desc}): {total} violation(s)");
+        }
     }
 
     if update {
-        if let Err(e) = std::fs::write(&baseline_path, render_baseline(&current)) {
+        // Carry existing justifications forward where the key persists.
+        let old: Baseline = std::fs::read_to_string(&baseline_path)
+            .ok()
+            .and_then(|text| parse_baseline(&text).ok())
+            .unwrap_or_default();
+        let next = counts_to_baseline(&current, &old);
+        if let Err(e) = std::fs::write(&baseline_path, render_baseline(&next)) {
             eprintln!(
                 "treaty-lint: writing {} failed: {e}",
                 baseline_path.display()
@@ -66,6 +89,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!("baseline written to {}", baseline_path.display());
+        for (rule, files) in &next {
+            if !JUSTIFICATION_REQUIRED.contains(&rule.as_str()) {
+                continue;
+            }
+            for (file, entry) in files {
+                if entry.justification.is_none() {
+                    println!(
+                        "  NOTE: {rule} {file} needs a \"justification\" string \
+                         (edit {} by hand) or the ratchet will fail",
+                        baseline_path.display()
+                    );
+                }
+            }
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -90,6 +127,14 @@ fn main() -> ExitCode {
     };
 
     let diff = ratchet(&current, &baseline);
+    if json {
+        print!("{}", render_diagnostics_json(&violations, scanned, &diff));
+        return if diff.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
     if diff.is_clean() {
         println!("OK: no new violations; baseline is tight.");
         return ExitCode::SUCCESS;
@@ -105,7 +150,7 @@ fn main() -> ExitCode {
                 .iter()
                 .filter(|v| v.rule == e.rule && v.file == e.file)
             {
-                eprintln!("    {}:{}: {}", v.file, v.line, v.snippet);
+                eprintln!("    {v}");
             }
         }
     }
@@ -119,6 +164,13 @@ fn main() -> ExitCode {
             );
         }
     }
+    if !diff.unjustified.is_empty() {
+        eprintln!("\nUNJUSTIFIED baseline debt (L007–L010 entries must carry a");
+        eprintln!("\"justification\" string in lint-baseline.json):");
+        for (rule, file) in &diff.unjustified {
+            eprintln!("  {rule} {file}");
+        }
+    }
     ExitCode::from(1)
 }
 
@@ -126,7 +178,9 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("treaty-lint: {err}");
     }
-    eprintln!("usage: treaty-lint [--root PATH] [--baseline PATH] [--update-baseline]");
+    eprintln!(
+        "usage: treaty-lint [--root PATH] [--baseline PATH] [--update-baseline] [--format text|json]"
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

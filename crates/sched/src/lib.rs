@@ -487,6 +487,12 @@ impl FiberMutex {
 }
 
 /// RAII guard for [`FiberMutex`].
+///
+/// Unlike a std `MutexGuard`, dropping during an unwind releases the
+/// lock cleanly — there is no poisoning. Crash-point unwinding
+/// (`CrashUnwind`) therefore cannot wedge a `FiberMutex`, which is the
+/// contract the `LINT-CRASH-SAFE` audit markers (lint rule L008) rely
+/// on; do not add poisoning here without revisiting those markers.
 #[must_use = "the lock is released when the guard is dropped"]
 #[derive(Debug)]
 pub struct FiberMutexGuard<'a> {

@@ -562,6 +562,12 @@ pub fn now() -> Nanos {
 /// Spawns a new fiber. The returned [`FiberId`] can be passed to [`unpark`]
 /// and [`join`].
 ///
+/// Spawning does **not** yield: the caller keeps running and the new
+/// fiber starts at the next scheduling point. The concurrency lint's
+/// yield-point vocabulary (rule L007) depends on this — if spawning ever
+/// starts parking the caller, add it to `FREE_YIELDS` in
+/// `crates/lint/src/registry.rs`.
+///
 /// # Panics
 ///
 /// Panics when called outside a fiber.

@@ -202,15 +202,16 @@ impl PreparedTable {
     pub fn ids(&self) -> Vec<GlobalTxId> {
         self.stripes
             .iter()
-            .flat_map(|s| s.lock().keys().copied().collect::<Vec<_>>())
+            .flat_map(|stripe| stripe.lock().keys().copied().collect::<Vec<_>>())
             .collect()
     }
 
     pub fn snapshot_writes(&self) -> Vec<(GlobalTxId, Vec<WriteOp>)> {
         self.stripes
             .iter()
-            .flat_map(|s| {
-                s.lock()
+            .flat_map(|stripe| {
+                stripe
+                    .lock()
                     .iter()
                     .map(|(g, st)| (*g, st.writes.clone()))
                     .collect::<Vec<_>>()
@@ -1062,6 +1063,8 @@ impl TreatyStore {
         if let Some(work) = work {
             // Rotated but unbuilt: the covered WAL generations are still
             // live in the MANIFEST, so a crash here loses nothing.
+            // LINT-CRASH-SAFE: maintenance_lock is a FiberMutex; its guard
+            // unlocks on unwind (no poisoning), so CrashUnwind releases it.
             treaty_sim::crashpoint::hit("store.bg_flush_start");
             self.build_flush(&work)?;
             let depth = {
@@ -1074,6 +1077,8 @@ impl TreatyStore {
             return Ok(true);
         }
         if self.compaction_due() {
+            // LINT-CRASH-SAFE: maintenance_lock is a FiberMutex; its guard
+            // unlocks on unwind (no poisoning), so CrashUnwind releases it.
             treaty_sim::crashpoint::hit("store.bg_compact_start");
             self.maybe_compact()?;
             self.gc();
