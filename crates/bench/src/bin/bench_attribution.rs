@@ -1,0 +1,136 @@
+//! Critical-path tail-latency attribution + live introspection
+//! (DESIGN.md §14).
+//!
+//! Runs a distributed YCSB mix on a 3-node `treaty_full` cluster with the
+//! whole observability stack armed — trace sink, windowed time series and
+//! flight recorder — then:
+//!
+//! - extracts every committed transaction's critical path and attributes
+//!   it to the closed category set (lock-wait, clog-durability, network,
+//!   store-read/write, tee, queueing, other), aggregated per latency
+//!   bucket with slow-transaction exemplars;
+//! - polls every node live over the fabric with `OBS_SNAPSHOT` and
+//!   renders the `treaty-top` dashboard;
+//! - leaves flight-recorder dumps (SLO breaches plus the end-of-run
+//!   checkpoint) under `--flight-dir`.
+//!
+//! Writes a machine-readable summary to `results/BENCH_attribution.json`
+//! (override with `--out FILE`) and gates on the acceptance bars: the
+//! attribution must explain ≥ 95% of every committed transaction's
+//! measured latency, and the tail (≥ p99) bucket must name a dominant
+//! category.
+
+use treaty_bench::{run_attribution_experiment, RunConfig};
+use treaty_sim::{SecurityProfile, MILLIS};
+use treaty_workload::YcsbConfig;
+
+fn main() {
+    let clients: usize = std::env::args()
+        .skip_while(|a| a != "--clients")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    let txns: usize = std::env::args()
+        .skip_while(|a| a != "--txns")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let slo_ms: u64 = std::env::args()
+        .skip_while(|a| a != "--slo-ms")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    let out: std::path::PathBuf = std::env::args()
+        .skip_while(|a| a != "--out")
+        .nth(1)
+        .map(Into::into)
+        .unwrap_or_else(|| "results/BENCH_attribution.json".into());
+    let flight_dir: std::path::PathBuf = std::env::args()
+        .skip_while(|a| a != "--flight-dir")
+        .nth(1)
+        .map(Into::into)
+        .unwrap_or_else(|| "results/flight_recorder".into());
+
+    let mut ycsb = YcsbConfig::balanced();
+    ycsb.keys = 400;
+    let cfg = RunConfig {
+        txns_per_client: txns,
+        ..RunConfig::distributed_ycsb(SecurityProfile::treaty_full(), ycsb, clients)
+    };
+    println!(
+        "Tail-latency attribution — distributed YCSB, {clients} clients x {txns} txns, \
+         SLO {slo_ms} ms (virtual)\n"
+    );
+    let run = run_attribution_experiment(cfg, Some(slo_ms * MILLIS), Some(flight_dir.clone()));
+
+    treaty_bench::print_row(&run.stats, None);
+    println!();
+    println!("{}", run.report.render());
+    println!("{}", run.top);
+    println!(
+        "slo: {} of {} committed txns breached {} ms; {} flight dumps under {}",
+        run.slo_breaches,
+        run.stats.committed,
+        slo_ms,
+        run.flight_dumps.len(),
+        flight_dir.display(),
+    );
+
+    let attribution: serde_json::Value =
+        serde_json::from_str(&run.report.to_json()).expect("attribution JSON parses");
+    let report = serde_json::json!({
+        "bench": "attribution",
+        "workload": "ycsb balanced (50%R), 3 nodes, treaty_full",
+        "clients": clients,
+        "txns_per_client": txns,
+        "committed": run.stats.committed,
+        "aborted": run.stats.aborted,
+        "p50_latency_ns": run.stats.p50_latency_ns,
+        "p99_latency_ns": run.stats.p99_latency_ns,
+        "slo_ns": slo_ms * MILLIS,
+        "slo_breaches": run.slo_breaches,
+        "coverage_bp": run.report.coverage_bp(),
+        "min_coverage_bp": run.report.min_coverage_bp(),
+        "p99_dominant": run.report.p99_dominant().map(|c| c.name()),
+        "attribution": attribution,
+        "snapshots": run.snapshots,
+        "flight_dumps": run.flight_dumps
+            .iter()
+            .map(|p| p.display().to_string())
+            .collect::<Vec<_>>(),
+    });
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("results directory");
+        }
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&report).expect("serialize report"),
+    )
+    .expect("write BENCH_attribution.json");
+    println!("-> {}", out.display());
+
+    // Acceptance gates.
+    assert!(run.stats.committed > 0, "run must commit transactions");
+    assert!(
+        run.report.min_coverage_bp() >= 9_500,
+        "attribution must explain >= 95% of every committed transaction's \
+         measured latency (min {} bp)",
+        run.report.min_coverage_bp(),
+    );
+    let dominant = run
+        .report
+        .p99_dominant()
+        .expect("tail bucket names a dominant category");
+    println!("p99 dominated by: {}", dominant.name());
+    assert!(
+        !run.snapshots.is_empty()
+            && run.snapshots.iter().map(|r| r.committed).sum::<u64>() == run.stats.committed,
+        "live OBS_SNAPSHOT coordinator counts must add up to the run total"
+    );
+    assert!(
+        !run.flight_dumps.is_empty(),
+        "armed flight recorder must leave at least the end-of-run checkpoint"
+    );
+}

@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use treaty_core::messages::ObsSnapshotReply;
 use treaty_core::{Cluster, ClusterOptions, DistTxn};
 use treaty_sched::block_on;
 use treaty_sim::runtime::{self, join, spawn};
@@ -971,6 +972,295 @@ pub fn write_trace_artifact(path: &std::path::Path, cfg: RunConfig) {
     println!("{}", trace.metrics);
 }
 
+// ---- tail-latency attribution + treaty-top (DESIGN.md §14) -------------------
+
+/// Width of one windowed time-series bucket in the attribution runner.
+pub const SERIES_WINDOW: Nanos = 5 * treaty_sim::MILLIS;
+
+/// Outcome of [`run_attribution_experiment`]: the critical-path
+/// attribution report, the usual trace artifacts, the windowed time-series
+/// rendering, one live `OBS_SNAPSHOT` reply per node (polled over the
+/// fabric after the measured window), the rendered `treaty-top` dashboard,
+/// and any flight-recorder dumps written along the way.
+///
+/// Everything except `flight_dumps` paths derives from the virtual clock,
+/// so two runs with the same config are byte-identical.
+#[derive(Debug, Clone)]
+pub struct AttributionRun {
+    /// Overall run stats.
+    pub stats: BenchStats,
+    /// Per-transaction critical-path attribution.
+    pub report: treaty_obs::AttributionReport,
+    /// Chrome trace + phase breakdown + metrics snapshot.
+    pub trace: TraceReport,
+    /// Rendered windowed time series (virtual-time buckets).
+    pub series: String,
+    /// One `OBS_SNAPSHOT` reply per node, in endpoint order.
+    pub snapshots: Vec<ObsSnapshotReply>,
+    /// Rendered `treaty-top` dashboard over `snapshots`.
+    pub top: String,
+    /// Committed transactions whose measured latency exceeded the SLO.
+    pub slo_breaches: u64,
+    /// Flight-recorder dump files under the flight directory, sorted.
+    pub flight_dumps: Vec<std::path::PathBuf>,
+}
+
+/// Renders the `treaty-top` live-cluster dashboard from one round of
+/// `OBS_SNAPSHOT` replies: MVCC frontier, queue depths, backpressure,
+/// prepared-table occupancy and cache hit rate per node. Integer-only
+/// (hit rate in hundredths of a percent), so the rendering is
+/// deterministic.
+pub fn treaty_top(snapshots: &[ObsSnapshotReply]) -> String {
+    use std::fmt::Write as _;
+    let now = snapshots.iter().map(|r| r.ts).max().unwrap_or(0);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "treaty-top — {} nodes @ {} ns (virtual)",
+        snapshots.len(),
+        now
+    );
+    let _ = writeln!(
+        s,
+        "{:>4} {:>12} {:>5} {:>5} {:>4} {:>8} {:>8} {:>7} {:>9} {:>8} {:>7}",
+        "node",
+        "stable_ts",
+        "decq",
+        "flush",
+        "bp",
+        "prepared",
+        "commit",
+        "abort",
+        "part_ops",
+        "retries",
+        "cache%"
+    );
+    for r in snapshots {
+        let fetches = r.block_cache_hits + r.block_cache_misses;
+        let hit_bp = if fetches == 0 {
+            0
+        } else {
+            r.block_cache_hits * 10_000 / fetches
+        };
+        let bp = match r.backpressure {
+            0 => "ok",
+            1 => "slow",
+            _ => "stop",
+        };
+        let _ = writeln!(
+            s,
+            "{:>4} {:>12} {:>5} {:>5} {:>4} {:>8} {:>8} {:>7} {:>9} {:>8} {:>4}.{:02}",
+            r.node,
+            r.stable_ts,
+            r.decision_queue_depth,
+            r.flush_backlog,
+            bp,
+            r.prepared_txns,
+            r.committed,
+            r.aborted,
+            r.participant_ops,
+            r.decision_retries,
+            hit_bp / 100,
+            hit_bp % 100,
+        );
+    }
+    s
+}
+
+/// Runs `cfg` with the full observability stack armed: tracing hub,
+/// windowed time series, and (when `flight_dir` is given) the
+/// flight recorder. Committed transactions slower than `slo_ns` trigger an
+/// `slo.breach` flight dump; a `run.complete` checkpoint dump is always
+/// written at the end of an armed run so the artifact exists even on a
+/// clean run. After the measured window every node is polled live over
+/// the fabric with `OBS_SNAPSHOT` and the replies rendered as
+/// `treaty-top`.
+///
+/// # Panics
+///
+/// Panics if the cluster fails to boot, a node fails to answer the
+/// introspection RPC, or the simulation errors.
+pub fn run_attribution_experiment(
+    cfg: RunConfig,
+    slo_ns: Option<Nanos>,
+    flight_dir: Option<std::path::PathBuf>,
+) -> AttributionRun {
+    let label = cfg.profile.label().to_string();
+    let out: Arc<Mutex<Option<AttributionRun>>> = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    let dir = tempfile::tempdir().expect("bench tempdir");
+    let path = dir.path().to_path_buf();
+
+    block_on(move || {
+        let obs = treaty_obs::Obs::with_default_cap();
+        obs.metrics().enable_series(SERIES_WINDOW, 4096);
+        if let Some(dir) = &flight_dir {
+            std::fs::create_dir_all(dir).expect("flight directory");
+            obs.configure_flight(dir, 512);
+        }
+        treaty_sim::obs::install(&obs);
+        let mut options = ClusterOptions::new(cfg.profile, path);
+        options.nodes = cfg.nodes;
+        options.txn_mode = cfg.txn_mode;
+        options.durable = cfg.durable;
+        options.seed = cfg.seed;
+        options.engine_config = EngineConfig::default();
+        if !cfg.block_cache {
+            options.engine_config.block_cache_bytes = 0;
+        }
+        options.sync_decisions = cfg.sync_decisions;
+        options.engine_config.inline_maintenance = cfg.inline_maintenance;
+        let cluster = Arc::new(Cluster::start(options).expect("cluster boots"));
+
+        // Load phase (unmeasured).
+        if cfg.durable {
+            match &cfg.workload {
+                Workload::Ycsb(ycsb) => {
+                    let mut seeder = YcsbGenerator::new(*ycsb, cfg.seed);
+                    let rows: Vec<_> = YcsbGenerator::all_keys(ycsb)
+                        .map(|k| (k, seeder.next_value()))
+                        .collect();
+                    preload(&cluster, rows);
+                }
+                Workload::Tpcc(tpcc) => {
+                    preload(&cluster, TpccGenerator::initial_rows(tpcc));
+                }
+                Workload::Social(social) => {
+                    let rows: Vec<_> = SocialGenerator::all_keys(social)
+                        .map(|k| (k, vec![b'i'; social.value_size]))
+                        .collect();
+                    preload(&cluster, rows);
+                }
+            }
+        }
+
+        // Measured window.
+        let t0 = runtime::now();
+        let committed = Arc::new(AtomicU64::new(0));
+        let aborted = Arc::new(AtomicU64::new(0));
+        let breaches = Arc::new(AtomicU64::new(0));
+        let hist = Arc::new(Mutex::new(Histogram::new()));
+        let mut handles = Vec::new();
+        for c in 0..cfg.clients {
+            let cluster = Arc::clone(&cluster);
+            let committed = Arc::clone(&committed);
+            let aborted = Arc::clone(&aborted);
+            let breaches = Arc::clone(&breaches);
+            let hist = Arc::clone(&hist);
+            let cfg = cfg.clone();
+            handles.push(spawn(move || {
+                runtime::set_tag("bench-client");
+                let client = cluster.client();
+                let coordinator = 1 + (c % cfg.nodes) as u32;
+                let mut ycsb = match &cfg.workload {
+                    Workload::Ycsb(y) => Some(YcsbGenerator::new(*y, cfg.seed ^ (c as u64 + 1))),
+                    _ => None,
+                };
+                let mut tpcc = match &cfg.workload {
+                    Workload::Tpcc(t) => Some(TpccGenerator::new(*t, cfg.seed ^ (c as u64 + 1))),
+                    _ => None,
+                };
+                let mut social = match &cfg.workload {
+                    Workload::Social(s) => {
+                        Some(SocialGenerator::new(*s, cfg.seed ^ (c as u64 + 1)))
+                    }
+                    _ => None,
+                };
+                for _ in 0..cfg.txns_per_client {
+                    let start = runtime::now();
+                    let mut txn = client.begin(coordinator);
+                    let body = {
+                        let mut kv = DistKv { txn: &mut txn };
+                        match (&mut ycsb, &mut tpcc, &mut social) {
+                            (Some(g), _, _) => g.run_txn(&mut kv),
+                            (_, Some(g), _) => g.run_txn(&mut kv).map(|_| ()),
+                            (_, _, Some(g)) => g.run_txn(&mut kv),
+                            _ => unreachable!(),
+                        }
+                    };
+                    let ok = body.is_ok() && txn.commit().is_ok();
+                    let elapsed = runtime::now() - start;
+                    if ok {
+                        committed.fetch_add(1, Ordering::Relaxed);
+                        hist.lock().record(elapsed);
+                        treaty_sim::obs::hist_record("client.txn_latency_ns", elapsed);
+                        if slo_ns.is_some_and(|slo| elapsed > slo) {
+                            breaches.fetch_add(1, Ordering::Relaxed);
+                            treaty_sim::obs::counter_add("client.slo_breaches", 1);
+                            treaty_sim::obs::flight_dump(
+                                "slo.breach",
+                                "committed transaction exceeded the latency SLO",
+                            );
+                        }
+                    } else {
+                        aborted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            join(h);
+        }
+        let duration = runtime::now() - t0;
+
+        // Live introspection: every node answers OBS_SNAPSHOT over the
+        // fabric (this is the treaty-top poll, not a local peek).
+        let client = cluster.client();
+        let mut snapshots = Vec::new();
+        for ep in cluster.node_endpoints() {
+            snapshots.push(client.obs_snapshot(ep).expect("OBS_SNAPSHOT reply"));
+        }
+
+        // End-of-run checkpoint, so an armed recorder always leaves at
+        // least one dump even when nothing breached.
+        treaty_sim::obs::flight_dump("run.complete", "end-of-run checkpoint");
+
+        let stats = BenchStats::from_histogram(
+            label,
+            cfg.clients,
+            committed.load(Ordering::Relaxed),
+            aborted.load(Ordering::Relaxed),
+            duration.max(1),
+            &mut hist.lock(),
+        );
+        absorb_cluster_stats(&obs, &cluster, cfg.nodes);
+        let events = obs.events();
+        let dropped = obs.dropped();
+        let report = treaty_obs::attribute(&events, dropped);
+        let trace = TraceReport {
+            chrome_json: treaty_obs::chrome_trace_json_with_meta(&events, dropped),
+            phase_breakdown: treaty_obs::export::phase_breakdown_with_drops(&events, dropped),
+            metrics: obs.metrics().snapshot().render(),
+        };
+        let series = obs
+            .metrics()
+            .series_snapshot()
+            .map(|s| s.render())
+            .unwrap_or_default();
+        let mut flight_dumps = Vec::new();
+        if let Some(dir) = &flight_dir {
+            if let Ok(rd) = std::fs::read_dir(dir) {
+                flight_dumps.extend(rd.flatten().map(|e| e.path()));
+            }
+            flight_dumps.sort();
+        }
+        let top = treaty_top(&snapshots);
+        *out2.lock() = Some(AttributionRun {
+            stats,
+            report,
+            trace,
+            series,
+            snapshots,
+            top,
+            slo_breaches: breaches.load(Ordering::Relaxed),
+            flight_dumps,
+        });
+    });
+
+    let result = out.lock().take().expect("attribution run produced a report");
+    result
+}
+
 // ---- reporting helpers ---------------------------------------------------------
 
 /// Formats a slowdown factor like the paper's figures.
@@ -1091,6 +1381,46 @@ mod tests {
         let (stats, report) = run_snapshot_experiment(cfg);
         assert!(stats.committed > 0);
         assert!(report.readonly.committed > 0, "feed loads must commit");
+    }
+
+    #[test]
+    fn attribution_runner_smoke() {
+        let mut ycsb = YcsbConfig::balanced();
+        ycsb.keys = 200;
+        let cfg = RunConfig {
+            clients: 4,
+            txns_per_client: 3,
+            ..RunConfig::distributed_ycsb(SecurityProfile::treaty_full(), ycsb, 4)
+        };
+        let dir = tempfile::tempdir().unwrap();
+        // SLO of 1 ns: every commit breaches, exercising the dump path.
+        let run = run_attribution_experiment(cfg, Some(1), Some(dir.path().to_path_buf()));
+        assert!(run.stats.committed > 0);
+        assert_eq!(
+            run.report.txns.len() as u64,
+            run.stats.committed,
+            "one attribution per committed transaction"
+        );
+        assert!(
+            run.report.min_coverage_bp() >= 9_500,
+            "attribution must explain >= 95% of every committed txn \
+             (min {} bp)",
+            run.report.min_coverage_bp()
+        );
+        assert!(run.report.p99_dominant().is_some());
+        assert_eq!(run.snapshots.len(), 3, "every node answers OBS_SNAPSHOT");
+        let committed: u64 = run.snapshots.iter().map(|r| r.committed).sum();
+        assert_eq!(
+            committed, run.stats.committed,
+            "live coordinator counts must add up to the run total"
+        );
+        assert_eq!(run.slo_breaches, run.stats.committed);
+        assert!(
+            !run.flight_dumps.is_empty(),
+            "breaches + end-of-run checkpoint must leave dumps"
+        );
+        assert!(run.top.contains("treaty-top"));
+        assert!(run.series.contains("window"), "series rendering present");
     }
 
     #[test]

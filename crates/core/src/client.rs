@@ -11,8 +11,8 @@ use treaty_sim::Nanos;
 use treaty_store::GlobalTxId;
 
 use crate::messages::{
-    decode, encode, req, CommitResult, Op, OpResult, SnapshotReadReply, SnapshotReadReq,
-    SnapshotValidateReply, SnapshotValidateReq,
+    decode, encode, req, CommitResult, ObsSnapshotReply, Op, OpResult, SnapshotReadReply,
+    SnapshotReadReq, SnapshotValidateReply, SnapshotValidateReq,
 };
 use crate::shard::ShardMap;
 use crate::{Result, TreatyError};
@@ -108,6 +108,11 @@ impl TreatyClient {
             seq,
             op_seq: 1,
             finished: false,
+            begin_ts: if treaty_sim::runtime::in_fiber() {
+                treaty_sim::runtime::now()
+            } else {
+                0
+            },
         }
     }
 
@@ -178,6 +183,29 @@ impl TreatyClient {
         )))
     }
 
+    /// Fetches a live introspection snapshot from `node` (queue depths,
+    /// stable frontier, backpressure, cache hit rates) — the data source
+    /// behind the `treaty-top` cluster dashboard.
+    ///
+    /// # Errors
+    ///
+    /// Network errors, or [`TreatyError::Rejected`] on a malformed reply.
+    pub fn obs_snapshot(&self, node: EndpointId) -> Result<ObsSnapshotReply> {
+        let local = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let meta = TxMeta {
+            node_id: self.client_id as u64,
+            tx_id: ((self.client_id as u64) << 32) | local as u64,
+            op_id: 1,
+            kind: MsgKind::TxnGet,
+        };
+        let (_, bytes) = self
+            .rpc
+            .call(node, req::OBS_SNAPSHOT, &meta, &[])
+            .map_err(|e| TreatyError::Net(e.to_string()))?;
+        decode::<ObsSnapshotReply>(&bytes)
+            .ok_or_else(|| TreatyError::Rejected("malformed obs snapshot reply".into()))
+    }
+
     /// Disconnects.
     pub fn disconnect(&self) {
         self.rpc.stop();
@@ -202,6 +230,9 @@ pub struct DistTxn<'a> {
     seq: u64,
     op_seq: u64,
     finished: bool,
+    /// Virtual time `begin` was called — the client-measured latency
+    /// anchor reported on the `client.committed` trace instant.
+    begin_ts: Nanos,
 }
 
 impl std::fmt::Debug for DistTxn<'_> {
@@ -343,7 +374,18 @@ impl<'a> DistTxn<'a> {
             }
         };
         match decode::<CommitResult>(&bytes) {
-            Some(CommitResult::Committed) => Ok(()),
+            Some(CommitResult::Committed) => {
+                // Emitted inside the client.commit span: the attribution
+                // walker keys committed transactions (and their measured
+                // begin->ack latency) off this instant.
+                let elapsed = if treaty_sim::runtime::in_fiber() {
+                    treaty_sim::runtime::now().saturating_sub(self.begin_ts)
+                } else {
+                    0
+                };
+                treaty_sim::obs::instant("client.committed", &[("elapsed_ns", elapsed)]);
+                Ok(())
+            }
             Some(CommitResult::Aborted { reason }) => Err(TreatyError::Aborted(self.gtx(), reason)),
             None => Err(TreatyError::Rejected("malformed commit reply".into())),
         }

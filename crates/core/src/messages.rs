@@ -19,6 +19,10 @@ pub mod req {
     /// Client → shard: end-of-transaction snapshot validation (multi-shard
     /// read-only transactions only).
     pub const SNAPSHOT_VALIDATE: u8 = 5;
+    /// Anyone → node: live introspection snapshot (queue depths, stable
+    /// frontier, backpressure, cache hit rates). Read-only; serves the
+    /// `treaty-top` dashboard.
+    pub const OBS_SNAPSHOT: u8 = 6;
     /// Coordinator → participant: one operation.
     pub const PEER_OP: u8 = 10;
     /// Coordinator → participant: 2PC prepare.
@@ -199,6 +203,39 @@ pub enum SnapshotValidateReply {
         /// The first key that failed validation.
         key: Vec<u8>,
     },
+}
+
+/// Node → caller live introspection snapshot ([`req::OBS_SNAPSHOT`]).
+/// Every field is read from the node's live structures at serve time —
+/// this is the `treaty-top` data source, not a post-run artifact.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsSnapshotReply {
+    /// The answering node's endpoint.
+    pub node: u32,
+    /// Virtual time the snapshot was taken.
+    pub ts: u64,
+    /// The shard's stable read timestamp (MVCC frontier).
+    pub stable_ts: u64,
+    /// Decisions durably logged but not yet dispatched (phase-2 queue).
+    pub decision_queue_depth: u64,
+    /// Memtables sealed and waiting for the flush daemon.
+    pub flush_backlog: u64,
+    /// Commit backpressure: 0 = clear, 1 = throttled, 2 = stalled.
+    pub backpressure: u8,
+    /// Prepared-table occupancy (in-doubt transactions held).
+    pub prepared_txns: u64,
+    /// Transactions committed at this node (coordinator count).
+    pub committed: u64,
+    /// Transactions aborted at this node.
+    pub aborted: u64,
+    /// Participant operations served.
+    pub participant_ops: u64,
+    /// Phase-2 decision dispatch retries.
+    pub decision_retries: u64,
+    /// Trusted block-cache hits.
+    pub block_cache_hits: u64,
+    /// Trusted block-cache misses.
+    pub block_cache_misses: u64,
 }
 
 /// Encodes any of the protocol payloads.

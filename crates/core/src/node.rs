@@ -21,8 +21,8 @@ use treaty_store::{EngineTxn, GlobalTxId, StoreError, TxnEngine, TxnMode};
 
 use crate::clog::Clog;
 use crate::messages::{
-    decode, encode, req, CommitResult, Op, OpResult, PeerMsg, PeerReply, SnapshotReadReply,
-    SnapshotReadReq, SnapshotValidateReply, SnapshotValidateReq,
+    decode, encode, req, CommitResult, ObsSnapshotReply, Op, OpResult, PeerMsg, PeerReply,
+    SnapshotReadReply, SnapshotReadReq, SnapshotValidateReply, SnapshotValidateReq,
 };
 use crate::shard::ShardMap;
 
@@ -359,6 +359,45 @@ impl TreatyNode {
             false,
             Arc::new(move |_src, meta, payload| me.handle_peer(meta, payload)),
         );
+        let me = Arc::clone(self);
+        self.rpc.register_handler(
+            req::OBS_SNAPSHOT,
+            false,
+            Arc::new(move |_src, meta, _| me.handle_obs_snapshot(meta)),
+        );
+    }
+
+    /// Serves [`req::OBS_SNAPSHOT`]: a live read of this node's queue
+    /// depths, MVCC frontier, backpressure and cache counters. Read-only
+    /// and replay-exempt — the `treaty-top` dashboard polls it.
+    fn handle_obs_snapshot(self: &Arc<Self>, meta: TxMeta) -> Option<(TxMeta, Vec<u8>)> {
+        treaty_sim::runtime::set_tag("h:obs_snapshot");
+        treaty_sim::obs::set_node(self.endpoint);
+        let stats = *self.stats.lock();
+        let engine = self.engine.introspect();
+        let reply = ObsSnapshotReply {
+            node: self.endpoint,
+            ts: treaty_sim::runtime::now(),
+            stable_ts: self.engine.stable_ts(),
+            decision_queue_depth: self.decision_queue.lock().len() as u64,
+            flush_backlog: engine.flush_backlog,
+            backpressure: engine.backpressure,
+            prepared_txns: self.engine.prepared_txns().len() as u64,
+            committed: stats.committed,
+            aborted: stats.aborted,
+            participant_ops: stats.participant_ops,
+            decision_retries: stats.decision_retries,
+            block_cache_hits: engine.block_cache_hits,
+            block_cache_misses: engine.block_cache_misses,
+        };
+        treaty_sim::obs::counter_add("core.obs_snapshots_served", 1);
+        Some((
+            TxMeta {
+                kind: MsgKind::Ack,
+                ..meta
+            },
+            encode(&reply),
+        ))
     }
 
     fn gtx_for_client(&self, meta: &TxMeta) -> GlobalTxId {
@@ -1174,6 +1213,10 @@ impl TreatyNode {
                         treaty_sim::obs::instant(
                             "2pc.recovery_redrive_failed",
                             &[("coordinator", u64::from(self.endpoint))],
+                        );
+                        treaty_sim::obs::flight_dump(
+                            "recovery.redrive_failed",
+                            "re-drive could not make a decision durable",
                         );
                     }
                 }

@@ -100,7 +100,7 @@ pub struct Rpc {
     next_rpc_id: AtomicU64,
     pending: Mutex<HashMap<u64, PendingSlot>>,
     handlers: Mutex<HashMap<u8, Arc<HandlerEntry>>>,
-    workers: Mutex<HashMap<(EndpointId, u64), Sender<Datagram>>>,
+    workers: Mutex<HashMap<(EndpointId, u64), Sender<(Nanos, Datagram)>>>,
     /// Memoized responses for at-most-once execution. `None` marks a
     /// request still executing; payloads are `Arc`-shared so duplicate
     /// hits resend without copying the buffer.
@@ -370,6 +370,7 @@ impl Rpc {
 
     fn dispatch_loop(self: Arc<Self>) {
         runtime::set_tag("rpc-dispatcher");
+        treaty_sim::obs::set_node(self.id);
         loop {
             if self.stopped.load(Ordering::SeqCst) {
                 return;
@@ -399,6 +400,10 @@ impl Rpc {
 
     fn route_request(self: &Arc<Self>, dg: Datagram) {
         let key = (dg.src, dg.session);
+        // Arrival stamp: the span the worker later opens reports the time
+        // the request sat in this queue as `queue_ns` — the attribution
+        // walker's queueing category.
+        let arrived = runtime::now();
         let mut workers = self.workers.lock();
         let tx = workers.entry(key).or_insert_with(|| {
             let (tx, rx) = Channel::pair();
@@ -407,25 +412,26 @@ impl Rpc {
             runtime::spawn_daemon(move || me.worker_loop(key, rx));
             tx
         });
-        if let Err(dg) = tx.send(dg) {
+        if let Err((arrived, dg)) = tx.send((arrived, dg)) {
             // The worker retired between our lookup and the send; replace.
             let (tx, rx) = Channel::pair();
             let me = Arc::clone(self);
             runtime::spawn_daemon(move || me.worker_loop(key, rx));
-            let _ = tx.send(dg);
+            let _ = tx.send((arrived, dg));
             workers.insert(key, tx);
         }
     }
 
-    fn worker_loop(self: Arc<Self>, key: (EndpointId, u64), rx: Receiver<Datagram>) {
+    fn worker_loop(self: Arc<Self>, key: (EndpointId, u64), rx: Receiver<(Nanos, Datagram)>) {
         runtime::set_tag("rpc-worker");
+        treaty_sim::obs::set_node(self.id);
         loop {
             match rx.recv_timeout(treaty_sim::SECONDS) {
-                treaty_sched::RecvTimeout::Ok(dg) => {
+                treaty_sched::RecvTimeout::Ok((arrived, dg)) => {
                     if self.stopped.load(Ordering::SeqCst) {
                         return;
                     }
-                    self.handle_request(dg);
+                    self.handle_request(dg, arrived);
                 }
                 treaty_sched::RecvTimeout::Closed => return,
                 treaty_sched::RecvTimeout::TimedOut => {
@@ -444,7 +450,7 @@ impl Rpc {
                         }
                     };
                     match racing {
-                        Some(dg) => self.handle_request(dg),
+                        Some((arrived, dg)) => self.handle_request(dg, arrived),
                         None => return,
                     }
                 }
@@ -452,9 +458,11 @@ impl Rpc {
         }
     }
 
-    fn handle_request(self: &Arc<Self>, dg: Datagram) {
+    fn handle_request(self: &Arc<Self>, dg: Datagram, arrived: Nanos) {
         // Receiver CPU for taking delivery.
         runtime::set_tag("w:recv-charge");
+        let started = runtime::now();
+        let queue_ns = started.saturating_sub(arrived);
         self.charge(dg.receiver_cpu);
         runtime::set_tag("w:open");
         let (meta, payload) = match self.open_charged(&dg.wire) {
@@ -508,6 +516,21 @@ impl Rpc {
         self.counters
             .requests_handled
             .fetch_add(1, Ordering::Relaxed);
+        // The handler span: its self time is the shielded-boundary work
+        // this layer did (open/seal crypto, replay bookkeeping); the
+        // queue wait and boundary time before it opened ride along as
+        // args for the critical-path walker to split out. Transaction
+        // scope comes from the opened meta, so cross-node forests link.
+        let open_ns = runtime::now().saturating_sub(started);
+        let _txn = treaty_sim::obs::txn_scope(meta.tx_id);
+        let _span = treaty_sim::obs::span_with(
+            "rpc.handle",
+            &[
+                ("req", dg.req_type as u64),
+                ("queue_ns", queue_ns),
+                ("open_ns", open_ns),
+            ],
+        );
         runtime::set_tag("w:handler");
         let reply = (entry.handler)(dg.src, meta, payload);
         runtime::set_tag("w:post-handler");

@@ -33,16 +33,20 @@
 //! This crate has **zero dependencies** (std only) so it can sit underneath
 //! `treaty-sim` and keep compiling in registry-less environments.
 
+pub mod attribution;
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod tree;
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
-pub use export::{chrome_trace_json, phase_breakdown};
-pub use metrics::{HistSummary, MetricsRegistry, MetricsSnapshot};
-pub use tree::{build_forest, check_invariants, Span};
+pub use attribution::{attribute, AttributionReport, Category, TxnAttribution};
+pub use export::{chrome_trace_json, chrome_trace_json_with_meta, phase_breakdown};
+pub use flight::FlightDump;
+pub use metrics::{HistSummary, MetricsRegistry, MetricsSnapshot, SeriesSnapshot, WindowCell};
+pub use tree::{build_forest, build_forest_lossy, check_invariants, LossyForest, Span};
 
 /// Virtual nanoseconds — mirrors `treaty_sim::Nanos` without the dependency.
 pub type Nanos = u64;
@@ -104,6 +108,7 @@ struct TraceSink {
 pub struct Obs {
     sink: Mutex<TraceSink>,
     metrics: MetricsRegistry,
+    pub(crate) flight: Mutex<Option<flight::FlightState>>,
 }
 
 impl Obs {
@@ -117,6 +122,7 @@ impl Obs {
                 next_seq: 0,
             }),
             metrics: MetricsRegistry::new(),
+            flight: flight::new_state(),
         })
     }
 

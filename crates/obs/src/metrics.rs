@@ -95,6 +95,39 @@ pub struct HistSummary {
     pub p99: Nanos,
 }
 
+/// One fixed virtual-time window's worth of metric activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowCell {
+    /// Counter *deltas* within the window (not running totals).
+    pub counters: BTreeMap<String, u64>,
+    /// Last gauge value written within the window.
+    pub gauges: BTreeMap<String, u64>,
+    /// Per-histogram `(count, sum, max)` of samples within the window.
+    pub hists: BTreeMap<String, (u64, u128, Nanos)>,
+}
+
+#[derive(Debug)]
+struct SeriesState {
+    window_ns: Nanos,
+    max_windows: usize,
+    windows: BTreeMap<u64, WindowCell>,
+    evicted: u64,
+}
+
+impl SeriesState {
+    fn cell(&mut self, ts: Nanos) -> &mut WindowCell {
+        let idx = ts / self.window_ns;
+        if !self.windows.contains_key(&idx) {
+            self.windows.insert(idx, WindowCell::default());
+            while self.windows.len() > self.max_windows {
+                self.windows.pop_first();
+                self.evicted += 1;
+            }
+        }
+        self.windows.get_mut(&idx).expect("cell just inserted")
+    }
+}
+
 /// Named counters, gauges and histograms. All methods take `&self`; storage
 /// sits behind locks that are uncontended under the cooperative scheduler.
 #[derive(Debug, Default)]
@@ -102,6 +135,7 @@ pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, u64>>,
     hists: Mutex<BTreeMap<String, VtHistogram>>,
+    series: Mutex<Option<SeriesState>>,
 }
 
 impl MetricsRegistry {
@@ -143,6 +177,66 @@ impl MetricsRegistry {
     pub fn hist_record(&self, name: &str, v: Nanos) {
         let mut hists = self.hists.lock().expect("hist map poisoned");
         hists.entry(name.to_string()).or_default().record(v);
+    }
+
+    /// Turns on windowed time-series collection: the `*_at` recording
+    /// variants additionally bucket activity into fixed `window_ns`-wide
+    /// virtual-time windows, keeping at most `max_windows` (oldest evicted
+    /// and counted). Windows deliver the data for throughput-vs-latency
+    /// curves: counter deltas, last gauge value and histogram
+    /// `(count, sum, max)` per window.
+    pub fn enable_series(&self, window_ns: Nanos, max_windows: usize) {
+        let mut series = self.series.lock().expect("series poisoned");
+        *series = Some(SeriesState {
+            window_ns: window_ns.max(1),
+            max_windows: max_windows.max(1),
+            windows: BTreeMap::new(),
+            evicted: 0,
+        });
+    }
+
+    /// [`Self::counter_add`] that also feeds the time series at `ts`.
+    pub fn counter_add_at(&self, name: &str, ts: Nanos, v: u64) {
+        self.counter_add(name, v);
+        let mut series = self.series.lock().expect("series poisoned");
+        if let Some(s) = series.as_mut() {
+            let cell = s.cell(ts);
+            let c = cell.counters.entry(name.to_string()).or_insert(0);
+            *c = c.saturating_add(v);
+        }
+    }
+
+    /// [`Self::gauge_set`] that also feeds the time series at `ts`.
+    pub fn gauge_set_at(&self, name: &str, ts: Nanos, v: u64) {
+        self.gauge_set(name, v);
+        let mut series = self.series.lock().expect("series poisoned");
+        if let Some(s) = series.as_mut() {
+            s.cell(ts).gauges.insert(name.to_string(), v);
+        }
+    }
+
+    /// [`Self::hist_record`] that also feeds the time series at `ts`.
+    pub fn hist_record_at(&self, name: &str, ts: Nanos, v: Nanos) {
+        self.hist_record(name, v);
+        let mut series = self.series.lock().expect("series poisoned");
+        if let Some(s) = series.as_mut() {
+            let cell = s.cell(ts);
+            let h = cell.hists.entry(name.to_string()).or_insert((0, 0, 0));
+            h.0 += 1;
+            h.1 += v as u128;
+            h.2 = h.2.max(v);
+        }
+    }
+
+    /// Snapshot of the time series; `None` unless [`Self::enable_series`]
+    /// was called.
+    pub fn series_snapshot(&self) -> Option<SeriesSnapshot> {
+        let series = self.series.lock().expect("series poisoned");
+        series.as_ref().map(|s| SeriesSnapshot {
+            window_ns: s.window_ns,
+            evicted: s.evicted,
+            windows: s.windows.iter().map(|(k, v)| (*k, v.clone())).collect(),
+        })
     }
 
     /// Deterministic point-in-time snapshot of everything.
@@ -202,6 +296,85 @@ impl MetricsSnapshot {
     }
 }
 
+/// Deterministic snapshot of the windowed time series.
+#[derive(Debug, Clone)]
+pub struct SeriesSnapshot {
+    /// Window width on the virtual clock.
+    pub window_ns: Nanos,
+    /// Windows evicted because `max_windows` was exceeded.
+    pub evicted: u64,
+    /// `(window index, activity)` ascending; window `i` covers
+    /// `[i * window_ns, (i + 1) * window_ns)`.
+    pub windows: Vec<(u64, WindowCell)>,
+}
+
+impl SeriesSnapshot {
+    /// Fixed-width text render (byte-deterministic).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "time series: window={}ns, {} windows, {} evicted\n",
+            self.window_ns,
+            self.windows.len(),
+            self.evicted
+        ));
+        for (idx, cell) in &self.windows {
+            out.push_str(&format!("window {idx} [{}ns..{}ns):\n", idx * self.window_ns, (idx + 1) * self.window_ns));
+            for (k, v) in &cell.counters {
+                out.push_str(&format!("  +{k:<43} {v:>14}\n"));
+            }
+            for (k, v) in &cell.gauges {
+                out.push_str(&format!("  ={k:<43} {v:>14}\n"));
+            }
+            for (k, (n, sum, max)) in &cell.hists {
+                let mean = if *n == 0 { 0 } else { (sum / *n as u128) as u64 };
+                out.push_str(&format!("  ~{k:<43} n={n} mean={mean} max={max}\n"));
+            }
+        }
+        out
+    }
+
+    /// Deterministic JSON export (integers only).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"window_ns\":{},\"evicted\":{},\"windows\":[",
+            self.window_ns, self.evicted
+        ));
+        for (i, (idx, cell)) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"index\":{idx},\"counters\":{{"));
+            for (j, (k, v)) in cell.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{k}\":{v}"));
+            }
+            out.push_str("},\"gauges\":{");
+            for (j, (k, v)) in cell.gauges.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{k}\":{v}"));
+            }
+            out.push_str("},\"hists\":{");
+            for (j, (k, (n, sum, max))) in cell.hists.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\"{k}\":{{\"count\":{n},\"sum\":{sum},\"max\":{max}}}"
+                ));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +423,53 @@ mod tests {
         r.counter_add("mid", 1);
         let keys: Vec<_> = r.snapshot().counters.keys().cloned().collect();
         assert_eq!(keys, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn series_windows_bucket_by_virtual_time() {
+        let r = MetricsRegistry::new();
+        r.enable_series(1_000, 16);
+        r.counter_add_at("tx", 100, 1);
+        r.counter_add_at("tx", 900, 2);
+        r.counter_add_at("tx", 1_500, 5);
+        r.gauge_set_at("depth", 950, 7);
+        r.gauge_set_at("depth", 990, 9);
+        r.hist_record_at("lat", 2_200, 40);
+        r.hist_record_at("lat", 2_300, 60);
+        let s = r.series_snapshot().expect("series enabled");
+        assert_eq!(s.window_ns, 1_000);
+        assert_eq!(s.windows.len(), 3);
+        assert_eq!(s.windows[0].0, 0);
+        assert_eq!(s.windows[0].1.counters["tx"], 3, "window 0 delta");
+        assert_eq!(s.windows[0].1.gauges["depth"], 9, "last write in window");
+        assert_eq!(s.windows[1].1.counters["tx"], 5);
+        assert_eq!(s.windows[2].1.hists["lat"], (2, 100, 60));
+        // The `_at` variants still feed the cumulative registry.
+        assert_eq!(r.counter("tx"), 8);
+        assert_eq!(r.snapshot().hists["lat"].count, 2);
+    }
+
+    #[test]
+    fn series_evicts_oldest_windows() {
+        let r = MetricsRegistry::new();
+        r.enable_series(10, 2);
+        r.counter_add_at("c", 5, 1);
+        r.counter_add_at("c", 15, 1);
+        r.counter_add_at("c", 25, 1);
+        let s = r.series_snapshot().unwrap();
+        assert_eq!(s.evicted, 1);
+        assert_eq!(s.windows.len(), 2);
+        assert_eq!(s.windows[0].0, 1, "window 0 was evicted");
+        assert_eq!(s.to_json(), r.series_snapshot().unwrap().to_json());
+        assert!(s.to_json().contains("\"evicted\":1"));
+    }
+
+    #[test]
+    fn series_disabled_by_default() {
+        let r = MetricsRegistry::new();
+        r.counter_add_at("c", 5, 1);
+        assert!(r.series_snapshot().is_none());
+        assert_eq!(r.counter("c"), 1, "cumulative path still records");
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub struct Span {
     pub start: Nanos,
     /// Virtual exit time.
     pub end: Nanos,
+    /// Numeric payload from the enter (or instant) event.
+    pub args: Vec<(&'static str, u64)>,
     /// Properly nested children, in start order.
     pub children: Vec<Span>,
 }
@@ -79,6 +81,7 @@ pub fn build_forest(events: &[TraceEvent]) -> Result<Vec<Span>, String> {
                     txn: e.txn,
                     start: e.ts,
                     end: e.ts,
+                    args: e.args.clone(),
                     children: Vec::new(),
                 },
             }),
@@ -109,6 +112,7 @@ pub fn build_forest(events: &[TraceEvent]) -> Result<Vec<Span>, String> {
                     txn: e.txn,
                     start: e.ts,
                     end: e.ts,
+                    args: e.args.clone(),
                     children: Vec::new(),
                 };
                 match stack.last_mut() {
@@ -128,6 +132,120 @@ pub fn build_forest(events: &[TraceEvent]) -> Result<Vec<Span>, String> {
         }
     }
     Ok(roots)
+}
+
+/// A span forest rebuilt best-effort from a trace that may have lost its
+/// oldest events to the ring buffer ([`crate::Obs::dropped`]).
+///
+/// Where [`build_forest`] hard-errors on the first inconsistency, this
+/// builder degrades: exits whose enters were evicted are skipped and
+/// counted, spans still open at the end of the trace are closed at the
+/// fiber's last-seen timestamp, and the whole result carries an explicit
+/// `truncated` marker so downstream reports can say so instead of failing.
+#[derive(Debug, Clone)]
+pub struct LossyForest {
+    /// Partial per-txn span trees, best effort.
+    pub roots: Vec<Span>,
+    /// True when any repair was applied (or the caller reported drops).
+    pub truncated: bool,
+    /// Exit events without a matching open span (enter evicted).
+    pub orphan_exits: u64,
+    /// Spans force-closed at end of trace (exit evicted or never recorded).
+    pub unclosed_spans: u64,
+    /// Events skipped for non-monotone timestamps within a fiber.
+    pub skipped_events: u64,
+}
+
+/// Rebuilds the span forest tolerantly; never errors. `dropped` is the
+/// ring-buffer drop count from [`crate::Obs::dropped`] — a nonzero value
+/// marks the result truncated even when every retained event still pairs.
+pub fn build_forest_lossy(events: &[TraceEvent], dropped: u64) -> LossyForest {
+    let mut stacks: BTreeMap<(u32, u64), Vec<Frame>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(u32, u64), Nanos> = BTreeMap::new();
+    let mut roots: Vec<Span> = Vec::new();
+    let mut orphan_exits = 0u64;
+    let mut skipped_events = 0u64;
+
+    for e in events {
+        let key = (e.node, e.fiber);
+        if last_ts.get(&key).is_some_and(|&prev| e.ts < prev) {
+            skipped_events += 1;
+            continue;
+        }
+        last_ts.insert(key, e.ts);
+        let stack = stacks.entry(key).or_default();
+        match e.kind {
+            EventKind::Enter => stack.push(Frame {
+                span: Span {
+                    phase: e.phase,
+                    node: e.node,
+                    fiber: e.fiber,
+                    txn: e.txn,
+                    start: e.ts,
+                    end: e.ts,
+                    args: e.args.clone(),
+                    children: Vec::new(),
+                },
+            }),
+            EventKind::Exit => {
+                if stack.last().is_some_and(|f| f.span.phase == e.phase) {
+                    let mut frame = stack.pop().expect("matched above");
+                    frame.span.end = e.ts;
+                    match stack.last_mut() {
+                        Some(parent) => parent.span.children.push(frame.span),
+                        None => roots.push(frame.span),
+                    }
+                } else {
+                    // The matching enter fell out of the ring buffer.
+                    orphan_exits += 1;
+                }
+            }
+            EventKind::Instant => {
+                let leaf = Span {
+                    phase: e.phase,
+                    node: e.node,
+                    fiber: e.fiber,
+                    txn: e.txn,
+                    start: e.ts,
+                    end: e.ts,
+                    args: e.args.clone(),
+                    children: Vec::new(),
+                };
+                match stack.last_mut() {
+                    Some(parent) => parent.span.children.push(leaf),
+                    None => roots.push(leaf),
+                }
+            }
+        }
+    }
+
+    // Close anything still open at the fiber's last-seen timestamp so the
+    // partial tree stays well-nested (children never escape parents).
+    let mut unclosed_spans = 0u64;
+    for ((node, fiber), stack) in stacks {
+        let end = last_ts.get(&(node, fiber)).copied().unwrap_or(0);
+        let mut pending: Option<Span> = None;
+        for mut frame in stack.into_iter().rev() {
+            unclosed_spans += 1;
+            frame.span.end = end;
+            if let Some(child) = pending.take() {
+                frame.span.children.push(child);
+            }
+            pending = Some(frame.span);
+        }
+        if let Some(span) = pending {
+            roots.push(span);
+        }
+    }
+    roots.sort_by_key(|s| (s.start, s.node, s.fiber));
+
+    LossyForest {
+        roots,
+        truncated: dropped > 0 || orphan_exits > 0 || unclosed_spans > 0 || skipped_events > 0,
+        orphan_exits,
+        unclosed_spans,
+        skipped_events,
+    }
 }
 
 fn check_nesting(span: &Span) -> Result<(), String> {
@@ -228,6 +346,57 @@ mod tests {
     fn detects_unclosed_span() {
         let events = vec![e(0, 10, 0, EventKind::Enter, "a")];
         assert!(build_forest(&events).unwrap_err().contains("unclosed span"));
+    }
+
+    #[test]
+    fn lossy_skips_orphan_exits_and_marks_truncated() {
+        // The enter for the first exit fell out of the ring buffer.
+        let events = vec![
+            e(0, 10, 0, EventKind::Exit, "evicted"),
+            e(1, 11, 0, EventKind::Enter, "a"),
+            e(2, 12, 0, EventKind::Exit, "a"),
+        ];
+        let lossy = build_forest_lossy(&events, 5);
+        assert!(lossy.truncated);
+        assert_eq!(lossy.orphan_exits, 1);
+        assert_eq!(lossy.roots.len(), 1);
+        assert_eq!(lossy.roots[0].phase, "a");
+    }
+
+    #[test]
+    fn lossy_closes_unclosed_spans_at_last_seen_ts() {
+        let events = vec![
+            e(0, 10, 0, EventKind::Enter, "outer"),
+            e(1, 12, 0, EventKind::Enter, "inner"),
+            e(2, 15, 0, EventKind::Instant, "mark"),
+        ];
+        let lossy = build_forest_lossy(&events, 0);
+        assert!(lossy.truncated);
+        assert_eq!(lossy.unclosed_spans, 2);
+        assert_eq!(lossy.roots.len(), 1);
+        let outer = &lossy.roots[0];
+        assert_eq!(outer.phase, "outer");
+        assert_eq!(outer.end, 15, "closed at the fiber's last timestamp");
+        assert_eq!(outer.children.len(), 1);
+        assert_eq!(outer.children[0].phase, "inner");
+        assert_eq!(outer.children[0].children[0].phase, "mark");
+    }
+
+    #[test]
+    fn lossy_matches_strict_on_clean_traces() {
+        let events = vec![
+            e(0, 10, 0, EventKind::Enter, "2pc.commit"),
+            e(1, 12, 0, EventKind::Enter, "2pc.prepare"),
+            e(2, 20, 0, EventKind::Exit, "2pc.prepare"),
+            e(3, 30, 0, EventKind::Exit, "2pc.commit"),
+        ];
+        let strict = build_forest(&events).unwrap();
+        let lossy = build_forest_lossy(&events, 0);
+        assert!(!lossy.truncated);
+        assert_eq!(lossy.roots.len(), strict.len());
+        assert_eq!(lossy.roots[0].count(), strict[0].count());
+        // A reported drop count alone marks the result truncated.
+        assert!(build_forest_lossy(&events, 1).truncated);
     }
 
     #[test]

@@ -321,6 +321,10 @@ pub fn hit(point: &'static str) {
                 .unwrap_or(u64::MAX);
             crate::obs::counter_add("crash.fired", 1);
             crate::obs::instant("crash.fired", &[("node", node as u64), ("point", idx)]);
+            // Post-mortem before the handler runs: the flight recorder
+            // snapshots the node's last trace window while it still shows
+            // the path into the crash.
+            crate::obs::flight_dump("crash.fired", point);
             if let Some(handler) = handler {
                 handler();
             }

@@ -117,25 +117,37 @@ pub fn instant(phase: &'static str, args: &[(&'static str, u64)]) {
     }
 }
 
-/// Adds `v` to registry counter `name`. No-op without a hub.
-pub fn counter_add(name: &str, v: u64) {
-    if let Some((obs, ..)) = runtime::obs_ctx() {
-        obs.metrics().counter_add(name, v);
-    }
-}
-
-/// Sets registry gauge `name`. No-op without a hub.
-pub fn gauge_set(name: &str, v: u64) {
-    if let Some((obs, ..)) = runtime::obs_ctx() {
-        obs.metrics().gauge_set(name, v);
-    }
-}
-
-/// Records a virtual-time sample into registry histogram `name`. No-op
+/// Adds `v` to registry counter `name`, stamped with the virtual clock so
+/// it also lands in the windowed time series when one is enabled. No-op
 /// without a hub.
+pub fn counter_add(name: &str, v: u64) {
+    if let Some((obs, now, ..)) = runtime::obs_ctx() {
+        obs.metrics().counter_add_at(name, now, v);
+    }
+}
+
+/// Sets registry gauge `name` (virtual-time stamped; see [`counter_add`]).
+/// No-op without a hub.
+pub fn gauge_set(name: &str, v: u64) {
+    if let Some((obs, now, ..)) = runtime::obs_ctx() {
+        obs.metrics().gauge_set_at(name, now, v);
+    }
+}
+
+/// Records a virtual-time sample into registry histogram `name`
+/// (virtual-time stamped; see [`counter_add`]). No-op without a hub.
 pub fn hist_record(name: &str, v: u64) {
-    if let Some((obs, ..)) = runtime::obs_ctx() {
-        obs.metrics().hist_record(name, v);
+    if let Some((obs, now, ..)) = runtime::obs_ctx() {
+        obs.metrics().hist_record_at(name, now, v);
+    }
+}
+
+/// Writes a flight-recorder post-mortem for the current fiber's node at
+/// the current virtual time. No-op without a hub, when the recorder is
+/// unarmed, or on I/O failure — callable from crash handlers.
+pub fn flight_dump(reason: &str, detail: &str) {
+    if let Some((obs, now, node, ..)) = runtime::obs_ctx() {
+        let _ = obs.flight_dump(node, now, reason, detail);
     }
 }
 
@@ -258,6 +270,51 @@ mod tests {
         let snap = obs.metrics().snapshot();
         assert_eq!(snap.counters["store.block_cache.hit"], 3);
         assert_eq!(snap.hists["2pc.prepare"].count, 1);
+    }
+
+    #[test]
+    fn glue_metrics_feed_the_time_series() {
+        let obs = Obs::with_default_cap();
+        obs.metrics().enable_series(1_000, 64);
+        let obs2 = Arc::clone(&obs);
+        Sim::new()
+            .run(move || {
+                install(&obs2);
+                counter_add("txn.committed", 1);
+                sleep(1_500);
+                counter_add("txn.committed", 2);
+                gauge_set("queue.depth", 4);
+            })
+            .unwrap();
+        let series = obs.metrics().series_snapshot().expect("series enabled");
+        assert_eq!(series.windows.len(), 2);
+        assert_eq!(series.windows[0].1.counters["txn.committed"], 1);
+        assert_eq!(series.windows[1].1.counters["txn.committed"], 2);
+        assert_eq!(series.windows[1].1.gauges["queue.depth"], 4);
+    }
+
+    #[test]
+    fn glue_flight_dump_writes_for_current_node() {
+        let dir = std::env::temp_dir().join(format!("treaty-glue-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let obs = Obs::with_default_cap();
+        obs.configure_flight(&dir, 8);
+        let obs2 = Arc::clone(&obs);
+        Sim::new()
+            .run(move || {
+                install(&obs2);
+                set_node(2);
+                instant("store.flush", &[]);
+                flight_dump("slo.breach", "p99 over budget");
+            })
+            .unwrap();
+        let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(entries.len(), 1);
+        let body =
+            std::fs::read_to_string(entries[0].as_ref().unwrap().path()).unwrap();
+        assert!(body.contains("\"reason\": \"slo.breach\""));
+        assert!(body.contains("\"node\": 2"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

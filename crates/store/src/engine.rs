@@ -296,6 +296,21 @@ impl StableFrontier {
     }
 }
 
+/// Live engine introspection served over the OBS_SNAPSHOT RPC: the
+/// write-path backlog and backpressure state plus cache hit rates, read
+/// from the live structures at serve time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineIntrospection {
+    /// Memtables sealed and waiting for the flush daemon.
+    pub flush_backlog: u64,
+    /// Commit backpressure: 0 = clear, 1 = throttled, 2 = stalled.
+    pub backpressure: u8,
+    /// Trusted block-cache hits.
+    pub block_cache_hits: u64,
+    /// Trusted block-cache misses.
+    pub block_cache_misses: u64,
+}
+
 /// Engine statistics (monotonic counters).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -545,6 +560,29 @@ impl TreatyStore {
     /// locks to leak.
     pub fn locked_keys(&self) -> usize {
         self.inner.locks.locked_keys()
+    }
+
+    /// Memtables sealed and waiting for the flush daemon — the write-path
+    /// backlog the OBS_SNAPSHOT introspection RPC reports live.
+    pub fn flush_backlog_len(&self) -> usize {
+        self.inner.flush_backlog.lock().len()
+    }
+
+    /// Current commit-backpressure level without paying the stall:
+    /// 0 = clear, 1 = past the slowdown trigger, 2 = past the stop
+    /// trigger. Uses the same pressure definition as `commit_backpressure`
+    /// (flush backlog plus L0 file count).
+    pub fn backpressure_level(&self) -> u8 {
+        let cfg = &self.inner.env.config;
+        let pressure =
+            self.inner.flush_backlog.lock().len() + self.inner.levels.read()[0].len();
+        if pressure >= cfg.l0_stop_trigger {
+            2
+        } else if pressure >= cfg.l0_slowdown_trigger {
+            1
+        } else {
+            0
+        }
     }
 
     // ---- read path ---------------------------------------------------------

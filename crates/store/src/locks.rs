@@ -151,7 +151,11 @@ impl LockTable {
         {
             return Ok(());
         }
-        // Contended: wait with a deadline (fiber context required).
+        // Contended: wait with a deadline (fiber context required). The
+        // span makes blocked time first-class in the trace — the
+        // critical-path walker's lock-wait category reads it directly.
+        let _span = treaty_sim::obs::span("store.lock_wait");
+        treaty_sim::obs::counter_add("store.lock_contended", 1);
         let deadline = runtime::now().saturating_add(self.timeout);
         loop {
             let now = runtime::now();

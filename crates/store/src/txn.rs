@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use crate::engine::{PreparedState, TreatyStore, WalRecord};
+use crate::engine::{EngineIntrospection, PreparedState, TreatyStore, WalRecord};
 use crate::locks::{LockMode, LockTable};
 use crate::memtable::{SeqNum, UserKey};
 use crate::{Result, StoreError};
@@ -506,6 +506,12 @@ pub trait TxnEngine: Send + Sync {
     ///
     /// Integrity violations from the version lookup.
     fn snapshot_validate(&self, key: &[u8], ts: SeqNum) -> Result<bool>;
+
+    /// Live introspection for the OBS_SNAPSHOT RPC. Defaults to zeroes so
+    /// engines without a write path (test doubles) serve empty snapshots.
+    fn introspect(&self) -> EngineIntrospection {
+        EngineIntrospection::default()
+    }
 }
 
 impl TxnEngine for TreatyStore {
@@ -597,6 +603,16 @@ impl TxnEngine for TreatyStore {
 
     fn snapshot_validate(&self, key: &[u8], ts: SeqNum) -> Result<bool> {
         TreatyStore::snapshot_validate(self, key, ts)
+    }
+
+    fn introspect(&self) -> EngineIntrospection {
+        let stats = self.stats();
+        EngineIntrospection {
+            flush_backlog: self.flush_backlog_len() as u64,
+            backpressure: self.backpressure_level(),
+            block_cache_hits: stats.block_cache_hits,
+            block_cache_misses: stats.block_cache_misses,
+        }
     }
 }
 

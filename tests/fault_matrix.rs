@@ -534,3 +534,64 @@ fn snapshot_read_crash_leaks_no_locks_and_recovery_is_unchanged() {
         "snapshot-read fault cell must be deterministic"
     );
 }
+
+/// The flight recorder rides the fault matrix: an armed crash leaves one
+/// parseable post-mortem dump naming the fired point, carrying the
+/// crashed node's recent trace events and the counter snapshot.
+#[test]
+fn armed_crash_leaves_a_parseable_flight_dump() {
+    let cluster_dir = tempfile::tempdir().unwrap();
+    let flight_dir = tempfile::tempdir().unwrap();
+    let flight = flight_dir.path().join("dumps");
+    let flight2 = flight.clone();
+    let path = cluster_dir.path().to_path_buf();
+    block_on(move || {
+        let obs = treaty::obs::Obs::with_default_cap();
+        obs.configure_flight(&flight2, 128);
+        treaty::sim::obs::install(&obs);
+        let plan = crashpoint::install();
+        let cluster = Cluster::start(options(&path)).unwrap();
+        let keys: Vec<Vec<u8>> = key_per_node(&cluster).into_values().collect();
+        let client = cluster.client();
+
+        // Unarmed seed commit, then let the pipelined tail drain.
+        let mut tx = client.begin(COORD);
+        for k in &keys {
+            tx.put(k, b"seed").unwrap();
+        }
+        tx.commit().expect("seed commit");
+        sleep(50 * MILLIS);
+
+        plan.arm(FaultSchedule::new().crash_at("coord.after_votes", COORD, 1));
+        let mut tx = client.begin(COORD);
+        for k in &keys {
+            tx.put(k, b"doomed").unwrap();
+        }
+        let _ = tx.commit(); // the coordinator crashes mid-2PC
+        sleep(100 * MILLIS);
+        assert_eq!(plan.fired().len(), 1, "armed crash must fire");
+        treaty::sim::obs::uninstall();
+    });
+
+    let mut dumps: Vec<_> = std::fs::read_dir(&flight)
+        .expect("flight directory written")
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    dumps.sort();
+    assert_eq!(dumps.len(), 1, "one crash, one dump: {dumps:?}");
+    let body = std::fs::read_to_string(&dumps[0]).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&body).expect("dump is valid JSON");
+    assert_eq!(v["flight_dump"]["reason"], "crash.fired");
+    assert_eq!(v["flight_dump"]["detail"], "coord.after_votes");
+    assert_eq!(v["flight_dump"]["node"], u64::from(COORD));
+    let events = v["events"].as_array().expect("events array");
+    assert!(!events.is_empty(), "dump carries the node's recent events");
+    assert!(
+        events
+            .iter()
+            .all(|e| e["seq"].is_u64() && e["phase"].is_string()),
+        "every dumped event is well-formed"
+    );
+    assert_eq!(v["counters"]["crash.fired"], 1);
+}
