@@ -1,0 +1,130 @@
+//! YCSB-E: authenticated range scans, locking vs snapshot (DESIGN.md §15).
+//!
+//! Runs the YCSB-E mix (95 % range scans, 5 % inserts, zipfian scan start
+//! keys) on a 3-node cluster twice: once in locking mode (scans run 2PC
+//! with next-key locks — serializable, phantom-free) and once with
+//! `--read-snapshot` semantics (pure-scan transactions take the lock-free
+//! snapshot path at the shard-stable timestamp). Both variants draw
+//! identical transaction streams from the same seed, so the output is
+//! byte-identical across runs with the same seed.
+//!
+//! Writes a machine-readable summary to `results/BENCH_scan.json`
+//! (override with `--out FILE`).
+
+use treaty_bench::{print_row, run_snapshot_experiment, RunConfig, SnapshotReport, Workload};
+use treaty_sim::{BenchStats, SecurityProfile};
+use treaty_workload::YcsbConfig;
+
+fn run_variant(
+    ycsb: YcsbConfig,
+    read_snapshot: bool,
+    clients: usize,
+    txns: usize,
+) -> (BenchStats, SnapshotReport) {
+    let mut cfg = RunConfig::distributed_ycsb(SecurityProfile::treaty_full(), ycsb, clients);
+    cfg.txns_per_client = txns;
+    cfg.read_snapshot = read_snapshot;
+    run_snapshot_experiment(cfg)
+}
+
+fn row_json(name: &str, overall: &BenchStats, report: &SnapshotReport) -> serde_json::Value {
+    serde_json::json!({
+        "variant": name,
+        "committed": overall.committed,
+        "aborted": overall.aborted,
+        "tps": overall.tps(),
+        "p50_latency_ns": overall.p50_latency_ns,
+        "p99_latency_ns": overall.p99_latency_ns,
+        "scans_readonly": {
+            "committed": report.readonly.committed,
+            "aborted": report.readonly.aborted,
+            "mean_latency_ns": report.readonly.mean_latency_ns,
+            "p50_latency_ns": report.readonly.p50_latency_ns,
+            "p99_latency_ns": report.readonly.p99_latency_ns,
+        },
+        "snapshot_scans": report.snapshot_scans,
+        "snapshot_reads": report.snapshot_reads,
+        "stale_rejects": report.stale_rejects,
+        "indoubt_rejects": report.indoubt_rejects,
+        "client_retries": report.client_retries,
+        "lock_acquires": report.lock_acquires,
+    })
+}
+
+fn main() {
+    let clients: usize = std::env::args()
+        .skip_while(|a| a != "--clients")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    let txns: usize = std::env::args()
+        .skip_while(|a| a != "--txns")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    let out: std::path::PathBuf = std::env::args()
+        .skip_while(|a| a != "--out")
+        .nth(1)
+        .map(Into::into)
+        .unwrap_or_else(|| "results/BENCH_scan.json".into());
+
+    let mut ycsb = YcsbConfig::ycsb_e();
+    ycsb.keys = 400;
+    println!(
+        "YCSB-E authenticated range scans — 95% scan / 5% insert, zipfian, 3 nodes, \
+         {clients} clients x {txns} txns\n"
+    );
+
+    let (mut lock, lock_report) = run_variant(ycsb, false, clients, txns);
+    lock.label = "ycsb-e locking (next-key locks)".into();
+    print_row(&lock, None);
+    let (mut snap, snap_report) = run_variant(ycsb, true, clients, txns);
+    snap.label = "ycsb-e snapshot scans".into();
+    print_row(&snap, Some(lock.tps()));
+
+    println!(
+        "  scan p50 {:.3} ms (locking) vs {:.3} ms (snapshot); p99 {:.3} ms vs {:.3} ms",
+        lock_report.readonly.p50_latency_ns as f64 / 1e6,
+        snap_report.readonly.p50_latency_ns as f64 / 1e6,
+        lock_report.readonly.p99_latency_ns as f64 / 1e6,
+        snap_report.readonly.p99_latency_ns as f64 / 1e6,
+    );
+    println!(
+        "  snapshot path: {} scans served, {} stale rejects, {} in-doubt rejects, {} client retries",
+        snap_report.snapshot_scans,
+        snap_report.stale_rejects,
+        snap_report.indoubt_rejects,
+        snap_report.client_retries,
+    );
+
+    let report = serde_json::json!({
+        "bench": "ycsb_e_scans",
+        "workload": "ycsb-e (95% scan / 5% insert, zipfian theta 0.99), 3 nodes, treaty_full",
+        "clients": clients,
+        "txns_per_client": txns,
+        "rows": [
+            row_json("ycsb_e_locking", &lock, &lock_report),
+            row_json("ycsb_e_snapshot", &snap, &snap_report),
+        ],
+    });
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("results directory");
+        }
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&report).expect("serialize report"),
+    )
+    .expect("write BENCH_scan.json");
+    println!("-> {}", out.display());
+
+    assert!(
+        lock_report.lock_acquires > 0,
+        "locking mode must take next-key locks for scans"
+    );
+    assert!(
+        snap_report.snapshot_scans > 0,
+        "snapshot mode must actually serve lock-free scans"
+    );
+}

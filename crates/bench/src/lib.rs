@@ -16,9 +16,10 @@ use treaty_sched::block_on;
 use treaty_sim::runtime::{self, join, spawn};
 use treaty_sim::{BenchStats, CostModel, Histogram, Nanos, SecurityProfile, TeeMode, Transport};
 use treaty_store::{EngineConfig, TxnMode};
+use treaty_workload::ycsb::KEY_SPACE_END;
 use treaty_workload::{
     KvTxn, SocialConfig, SocialGenerator, SocialTxn, TpccConfig, TpccGenerator, YcsbConfig,
-    YcsbGenerator, YcsbOpKind,
+    YcsbGenerator, YcsbOp, YcsbOpKind,
 };
 
 /// Adapter: a distributed client transaction as a workload target.
@@ -32,6 +33,14 @@ impl KvTxn for DistKv<'_, '_> {
     }
     fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), String> {
         self.txn.put(key, value).map_err(|e| e.to_string())
+    }
+    fn scan(
+        &mut self,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, String> {
+        self.txn.scan(start, end, limit).map_err(|e| e.to_string())
     }
 }
 
@@ -182,6 +191,11 @@ pub struct AccelReport {
     pub bloom_negatives: u64,
     /// Lookups the filters let through although the key was absent.
     pub bloom_false_positives: u64,
+    /// Point lookups rejected by SSTable fence keys (key outside the
+    /// table's `[min, max]` span) without touching a block.
+    pub fence_gap_rejects: u64,
+    /// Range scans served by the authenticated merge iterator.
+    pub scans: u64,
 }
 
 impl AccelReport {
@@ -396,6 +410,8 @@ fn run_experiment_inner(
                 accel.block_cache_misses += es.block_cache_misses;
                 accel.bloom_negatives += es.bloom_negatives;
                 accel.bloom_false_positives += es.bloom_false_positives;
+                accel.fence_gap_rejects += es.fence_gap_rejects;
+                accel.scans += es.scans;
             }
         }
         let trace_report = obs.as_ref().map(|obs| {
@@ -442,6 +458,8 @@ fn absorb_cluster_stats(obs: &Arc<treaty_obs::Obs>, cluster: &Cluster, nodes: us
             engine.block_cache_misses += es.block_cache_misses;
             engine.bloom_negatives += es.bloom_negatives;
             engine.bloom_false_positives += es.bloom_false_positives;
+            engine.fence_gap_rejects += es.fence_gap_rejects;
+            engine.scans += es.scans;
         }
     }
     m.gauge_set("core.nodes.committed", node_totals.0);
@@ -460,6 +478,8 @@ fn absorb_cluster_stats(obs: &Arc<treaty_obs::Obs>, cluster: &Cluster, nodes: us
     m.gauge_set("store.block_cache.misses", engine.block_cache_misses);
     m.gauge_set("store.bloom.negatives", engine.bloom_negatives);
     m.gauge_set("store.bloom.false_positives", engine.bloom_false_positives);
+    m.gauge_set("store.fence_gap_rejects", engine.fence_gap_rejects);
+    m.gauge_set("store.scans", engine.scans);
     let fs = cluster.fabric().stats();
     m.gauge_set("fabric.sent", fs.sent);
     m.gauge_set("fabric.delivered", fs.delivered);
@@ -482,6 +502,8 @@ pub struct SnapshotReport {
     pub readonly: BenchStats,
     /// Server-side lock-free snapshot reads served.
     pub snapshot_reads: u64,
+    /// Server-side lock-free snapshot range scans served.
+    pub snapshot_scans: u64,
     /// Snapshot reads rejected because the requested timestamp outran the
     /// shard's stable read timestamp.
     pub stale_rejects: u64,
@@ -602,13 +624,16 @@ pub fn run_snapshot_experiment(cfg: RunConfig) -> (BenchStats, SnapshotReport) {
                     _ => None,
                 };
                 for _ in 0..cfg.txns_per_client {
-                    // Classify the next transaction: `Some(keys)` = pure
-                    // read, `None` = runs the regular mixed path below.
-                    let read_set: Option<Vec<Vec<u8>>> = match (&mut ycsb, &mut social) {
+                    // Classify the next transaction: `Some(ops)` = pure
+                    // read (point gets and/or range scans), `None` = runs
+                    // the regular mixed path below.
+                    let read_set: Option<Vec<YcsbOp>> = match (&mut ycsb, &mut social) {
                         (Some(g), _) => {
                             let ops = g.next_txn();
-                            if ops.iter().all(|op| op.kind == YcsbOpKind::Read) {
-                                Some(ops.into_iter().map(|op| op.key).collect())
+                            if ops.iter().all(|op| {
+                                matches!(op.kind, YcsbOpKind::Read | YcsbOpKind::Scan { .. })
+                            }) {
+                                Some(ops)
                             } else {
                                 // Mixed: run it inline, drawing values in
                                 // the same order as `run_txn` would.
@@ -618,10 +643,13 @@ pub fn run_snapshot_experiment(cfg: RunConfig) -> (BenchStats, SnapshotReport) {
                                 for op in ops {
                                     let r = match op.kind {
                                         YcsbOpKind::Read => txn.get(&op.key).map(|_| ()),
-                                        YcsbOpKind::Update => {
+                                        YcsbOpKind::Update | YcsbOpKind::Insert => {
                                             let v = g.next_value();
                                             txn.put(&op.key, &v)
                                         }
+                                        YcsbOpKind::Scan { len } => txn
+                                            .scan(&op.key, KEY_SPACE_END, len as usize)
+                                            .map(|_| ()),
                                     };
                                     if r.is_err() {
                                         body = r;
@@ -634,7 +662,14 @@ pub fn run_snapshot_experiment(cfg: RunConfig) -> (BenchStats, SnapshotReport) {
                             }
                         }
                         (_, Some(g)) => match g.next_txn() {
-                            SocialTxn::LoadFeed { keys } => Some(keys),
+                            SocialTxn::LoadFeed { keys } => Some(
+                                keys.into_iter()
+                                    .map(|key| YcsbOp {
+                                        key,
+                                        kind: YcsbOpKind::Read,
+                                    })
+                                    .collect(),
+                            ),
                             SocialTxn::Post { key, value } => {
                                 let start = runtime::now();
                                 let mut txn = client.begin(coordinator);
@@ -647,13 +682,19 @@ pub fn run_snapshot_experiment(cfg: RunConfig) -> (BenchStats, SnapshotReport) {
                     };
                     let start = runtime::now();
                     let ok = match read_set {
-                        Some(keys) if cfg.read_snapshot => client.snapshot_read(&keys).is_ok(),
-                        Some(keys) => {
+                        Some(ops) if cfg.read_snapshot => snapshot_readonly_txn(&client, &ops),
+                        Some(ops) => {
                             // Locking ablation: identical reads through 2PC.
                             let mut txn = client.begin(coordinator);
                             let mut body = Ok(());
-                            for key in &keys {
-                                if let Err(e) = txn.get(key) {
+                            for op in &ops {
+                                let r = match op.kind {
+                                    YcsbOpKind::Scan { len } => txn
+                                        .scan(&op.key, KEY_SPACE_END, len as usize)
+                                        .map(|_| ()),
+                                    _ => txn.get(&op.key).map(|_| ()),
+                                };
+                                if let Err(e) = r {
                                     body = Err(e);
                                     break;
                                 }
@@ -713,6 +754,7 @@ pub fn run_snapshot_experiment(cfg: RunConfig) -> (BenchStats, SnapshotReport) {
         let report = SnapshotReport {
             readonly,
             snapshot_reads: m.counter("core.snapshot_reads"),
+            snapshot_scans: m.counter("core.snapshot_scans"),
             stale_rejects: m.counter("core.snapshot_stale_reject"),
             indoubt_rejects: m.counter("core.snapshot_indoubt_reject"),
             client_retries: m.counter("client.snapshot_retries"),
@@ -725,6 +767,42 @@ pub fn run_snapshot_experiment(cfg: RunConfig) -> (BenchStats, SnapshotReport) {
 
     let result = out.lock().take().expect("experiment produced stats");
     result
+}
+
+/// Runs one pure-read transaction (point gets and range scans) on the
+/// lock-free snapshot path, retrying with a fresh snapshot on
+/// [`treaty_core::TreatyError::SnapshotRetry`] — the same policy as
+/// `TreatyClient::snapshot_read`, but spanning gets *and* scans in one
+/// consistent snapshot.
+fn snapshot_readonly_txn(client: &treaty_core::TreatyClient, ops: &[YcsbOp]) -> bool {
+    const ATTEMPTS: u32 = 8;
+    for attempt in 0..ATTEMPTS {
+        let outcome = (|| {
+            let mut txn = client.begin_read_only()?;
+            for op in ops {
+                match op.kind {
+                    YcsbOpKind::Scan { len } => {
+                        txn.scan(&op.key, KEY_SPACE_END, len as usize)?;
+                    }
+                    _ => {
+                        txn.get(&op.key)?;
+                    }
+                }
+            }
+            txn.finish()
+        })();
+        match outcome {
+            Ok(()) => return true,
+            Err(treaty_core::TreatyError::SnapshotRetry(_)) => {
+                treaty_sim::obs::counter_add("client.snapshot_retries", 1);
+                if treaty_sim::runtime::in_fiber() {
+                    treaty_sim::runtime::sleep((u64::from(attempt) + 1) * treaty_sim::MILLIS / 4);
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    false
 }
 
 /// Shared bookkeeping for one finished transaction in the snapshot runner.
@@ -1275,12 +1353,14 @@ pub fn slowdown(baseline_tps: f64, tps: f64) -> f64 {
 /// Prints the read-acceleration line shown under a stats row.
 pub fn print_accel(a: &AccelReport) {
     println!(
-        "      block cache {:>7} hits / {:>7} misses ({:>5.1}% hit rate)   bloom {:>7} filtered, {:>5} false positives",
+        "      block cache {:>7} hits / {:>7} misses ({:>5.1}% hit rate)   bloom {:>7} filtered, {:>5} false positives, {:>5} fence-gap rejects   scans {:>6}",
         a.block_cache_hits,
         a.block_cache_misses,
         a.hit_rate() * 100.0,
         a.bloom_negatives,
         a.bloom_false_positives,
+        a.fence_gap_rejects,
+        a.scans,
     );
 }
 
@@ -1363,6 +1443,47 @@ mod tests {
             "expected some pure-read transactions"
         );
         assert!(report.snapshot_reads > 0);
+    }
+
+    #[test]
+    fn ycsb_e_locking_smoke() {
+        let mut ycsb = YcsbConfig::ycsb_e();
+        ycsb.keys = 150;
+        let cfg = RunConfig {
+            clients: 3,
+            txns_per_client: 3,
+            ..RunConfig::distributed_ycsb(SecurityProfile::treaty_full(), ycsb, 3)
+        };
+        let (stats, report) = run_snapshot_experiment(cfg);
+        assert!(stats.committed > 0);
+        // Locking mode: scans go through 2PC with next-key locks, never
+        // the lock-free snapshot path.
+        assert_eq!(report.snapshot_scans, 0);
+        assert!(
+            report.lock_acquires > 0,
+            "locking-mode scans must take locks"
+        );
+    }
+
+    #[test]
+    fn ycsb_e_snapshot_smoke() {
+        let mut ycsb = YcsbConfig::ycsb_e();
+        ycsb.keys = 150;
+        let mut cfg = RunConfig {
+            clients: 3,
+            txns_per_client: 3,
+            ..RunConfig::distributed_ycsb(SecurityProfile::treaty_full(), ycsb, 3)
+        };
+        cfg.read_snapshot = true;
+        let (stats, report) = run_snapshot_experiment(cfg);
+        assert!(stats.committed > 0);
+        // 95 % of YCSB-E transactions are pure scans; they must ride the
+        // snapshot path and register server-side.
+        assert!(
+            report.readonly.committed > 0,
+            "scan transactions must commit on the snapshot path"
+        );
+        assert!(report.snapshot_scans > 0, "server must serve snapshot scans");
     }
 
     #[test]

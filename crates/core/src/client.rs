@@ -12,7 +12,8 @@ use treaty_store::GlobalTxId;
 
 use crate::messages::{
     decode, encode, req, CommitResult, ObsSnapshotReply, Op, OpResult, SnapshotReadReply,
-    SnapshotReadReq, SnapshotValidateReply, SnapshotValidateReq,
+    SnapshotReadReq, SnapshotScanReply, SnapshotScanReq, SnapshotValidateReply,
+    SnapshotValidateReq,
 };
 use crate::shard::ShardMap;
 use crate::{Result, TreatyError};
@@ -143,6 +144,7 @@ impl TreatyClient {
             op_seq: 1,
             pinned: HashMap::new(),
             validate_set: HashMap::new(),
+            validate_spans: HashMap::new(),
         })
     }
 
@@ -180,6 +182,46 @@ impl TreatyClient {
         }
         Err(TreatyError::Rejected(format!(
             "snapshot read gave up after {ATTEMPTS} attempts: {last}"
+        )))
+    }
+
+    /// One-shot snapshot range scan with the staleness/retry protocol
+    /// built in (the scan analogue of [`TreatyClient::snapshot_read`]):
+    /// runs a read-only transaction — the scan fans out to every shard and
+    /// the finish round validates the scanned spans — retrying on stale,
+    /// in-doubt or failed-validation rejections up to a bounded number of
+    /// attempts.
+    ///
+    /// # Errors
+    ///
+    /// Network errors, or [`TreatyError::Rejected`] when the retry budget
+    /// is exhausted (a pathologically write-hot span).
+    pub fn snapshot_scan(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        const ATTEMPTS: u32 = 8;
+        let mut last = String::new();
+        for attempt in 0..ATTEMPTS {
+            let mut txn = self.begin_read_only()?;
+            match txn.scan(start, end, limit) {
+                Ok(entries) => match txn.finish() {
+                    Ok(()) => return Ok(entries),
+                    Err(e) if snapshot_retryable(&e) => last = e.to_string(),
+                    Err(e) => return Err(e),
+                },
+                Err(e) if snapshot_retryable(&e) => last = e.to_string(),
+                Err(e) => return Err(e),
+            }
+            treaty_sim::obs::counter_add("client.snapshot_retries", 1);
+            if treaty_sim::runtime::in_fiber() {
+                treaty_sim::runtime::sleep((u64::from(attempt) + 1) * treaty_sim::MILLIS / 4);
+            }
+        }
+        Err(TreatyError::Rejected(format!(
+            "snapshot scan gave up after {ATTEMPTS} attempts: {last}"
         )))
     }
 
@@ -281,7 +323,7 @@ impl<'a> DistTxn<'a> {
         }
     }
 
-    fn run_op(&mut self, op: Op) -> Result<Option<Vec<u8>>> {
+    fn run_op_raw(&mut self, op: Op) -> Result<OpResult> {
         if self.finished {
             return Err(TreatyError::Rejected("transaction finished".into()));
         }
@@ -301,15 +343,22 @@ impl<'a> DistTxn<'a> {
             }
         };
         match decode::<OpResult>(&bytes) {
-            Some(OpResult::Ok { value }) => Ok(value),
             Some(OpResult::Err { reason }) => {
                 self.finished = true;
                 Err(TreatyError::Aborted(self.gtx(), reason))
             }
+            Some(result) => Ok(result),
             None => {
                 self.finished = true;
                 Err(TreatyError::Rejected("malformed coordinator reply".into()))
             }
+        }
+    }
+
+    fn run_op(&mut self, op: Op) -> Result<Option<Vec<u8>>> {
+        match self.run_op_raw(op)? {
+            OpResult::Ok { value } => Ok(value),
+            _ => Err(TreatyError::Rejected("unexpected reply shape".into())),
         }
     }
 
@@ -343,6 +392,46 @@ impl<'a> DistTxn<'a> {
     /// See [`DistTxn::get`].
     pub fn delete(&mut self, key: &[u8]) -> Result<()> {
         self.run_op(Op::Delete { key: key.to_vec() })?;
+        Ok(())
+    }
+
+    /// Transactional range scan of `[start, end)`, serializable via
+    /// next-key locking on every shard (no phantoms). Returns up to
+    /// `limit` pairs in ascending key order (`0` = unbounded); the
+    /// coordinator fans the span out to every shard and merges.
+    ///
+    /// # Errors
+    ///
+    /// See [`DistTxn::get`].
+    pub fn scan(
+        &mut self,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        match self.run_op_raw(Op::Scan {
+            start: start.to_vec(),
+            end: end.to_vec(),
+            limit: limit as u64,
+        })? {
+            OpResult::Entries { entries } => Ok(entries),
+            _ => Err(TreatyError::Rejected("unexpected scan reply shape".into())),
+        }
+    }
+
+    /// Transactional range delete of `[start, end)`: every shard buffers a
+    /// multi-version range tombstone over its slice, visible (to this
+    /// transaction immediately, to others at commit) as the whole span
+    /// being deleted.
+    ///
+    /// # Errors
+    ///
+    /// See [`DistTxn::get`].
+    pub fn delete_range(&mut self, start: &[u8], end: &[u8]) -> Result<()> {
+        self.run_op(Op::RangeDelete {
+            start: start.to_vec(),
+            end: end.to_vec(),
+        })?;
         Ok(())
     }
 
@@ -431,6 +520,9 @@ pub struct SnapshotTxn<'a> {
     pinned: HashMap<EndpointId, u64>,
     /// Keys read per shard, for the validation round.
     validate_set: HashMap<EndpointId, Vec<Vec<u8>>>,
+    /// Spans scanned per shard, validated wholesale at finish (per-key
+    /// validation cannot see keys inserted into a span — the phantom).
+    validate_spans: HashMap<EndpointId, Vec<(Vec<u8>, Vec<u8>)>>,
 }
 
 impl std::fmt::Debug for SnapshotTxn<'_> {
@@ -557,10 +649,97 @@ impl SnapshotTxn<'_> {
         }
     }
 
+    /// Scans `[start, end)` at the snapshot. Keys are hash-partitioned, so
+    /// the span fans out to every shard (each pinning its stable timestamp
+    /// on first contact) and the sorted, disjoint slices merge into one
+    /// result before the limit applies. The span joins the validation set:
+    /// [`SnapshotTxn::finish`] proves no key in it — including keys
+    /// *inserted* after the scan — changed past the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`SnapshotTxn::get_many`].
+    pub fn scan(
+        &mut self,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let _txn = treaty_sim::obs::txn_scope(self.seq);
+        let _span =
+            treaty_sim::obs::span_with("client.snapshot_scan", &[("limit", limit as u64)]);
+        let nodes: Vec<EndpointId> = self.shards.nodes().to_vec();
+        let mut pending: Vec<(EndpointId, PendingReply)> = Vec::with_capacity(nodes.len());
+        for &owner in &nodes {
+            let req_msg = SnapshotScanReq {
+                ts: self.pinned.get(&owner).copied(),
+                start: start.to_vec(),
+                end: end.to_vec(),
+                limit: limit as u64,
+            };
+            let meta = self.meta();
+            pending.push((
+                owner,
+                self.client.rpc.enqueue_request(
+                    owner,
+                    req::SNAPSHOT_SCAN,
+                    &meta,
+                    &encode(&req_msg),
+                ),
+            ));
+        }
+        self.client.rpc.tx_burst();
+        let mut slices: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::with_capacity(nodes.len());
+        let mut reject: Option<TreatyError> = None;
+        for (owner, p) in pending {
+            let (_, bytes) = match p.wait() {
+                Ok(x) => x,
+                Err(e) => return Err(TreatyError::Net(e.to_string())),
+            };
+            match decode::<SnapshotScanReply>(&bytes) {
+                Some(SnapshotScanReply::Entries { ts, entries }) => {
+                    self.pinned.insert(owner, ts);
+                    self.validate_spans
+                        .entry(owner)
+                        .or_default()
+                        .push((start.to_vec(), end.to_vec()));
+                    slices.push(entries);
+                }
+                Some(SnapshotScanReply::Stale { stable_ts }) => {
+                    reject.get_or_insert(TreatyError::SnapshotRetry(format!(
+                        "stale at shard {owner} (stable {stable_ts})"
+                    )));
+                }
+                Some(SnapshotScanReply::InDoubt) => {
+                    reject.get_or_insert(TreatyError::SnapshotRetry(format!(
+                        "in doubt at shard {owner}"
+                    )));
+                }
+                None => {
+                    return Err(TreatyError::Rejected(
+                        "malformed snapshot scan reply".into(),
+                    ));
+                }
+            }
+        }
+        if let Some(e) = reject {
+            return Err(e);
+        }
+        // Shards own disjoint key sets: concatenate-and-sort is a true
+        // merge with no duplicates to resolve.
+        let mut merged: Vec<(Vec<u8>, Vec<u8>)> = slices.concat();
+        merged.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        if limit > 0 {
+            merged.truncate(limit);
+        }
+        Ok(merged)
+    }
+
     /// Finishes the transaction. Single-shard snapshots are consistent by
     /// construction; multi-shard snapshots run one validation round per
     /// shard (again concurrently) proving no commit or prepare slipped
-    /// between the per-shard timestamps.
+    /// between the per-shard timestamps — per-key for point reads, span
+    /// checks for scans.
     ///
     /// # Errors
     ///
@@ -575,14 +754,20 @@ impl SnapshotTxn<'_> {
             "client.snapshot_validate",
             &[("shards", self.pinned.len() as u64)],
         );
-        let work: Vec<(EndpointId, u64, Vec<Vec<u8>>)> = self
-            .validate_set
-            .drain()
-            .filter_map(|(owner, keys)| self.pinned.get(&owner).map(|ts| (owner, *ts, keys)))
-            .collect();
+        let mut work: HashMap<EndpointId, (Vec<Vec<u8>>, Vec<(Vec<u8>, Vec<u8>)>)> =
+            HashMap::new();
+        for (owner, keys) in self.validate_set.drain() {
+            work.entry(owner).or_default().0 = keys;
+        }
+        for (owner, spans) in self.validate_spans.drain() {
+            work.entry(owner).or_default().1 = spans;
+        }
         let mut pending: Vec<(EndpointId, PendingReply)> = Vec::new();
-        for (owner, ts, keys) in work {
-            let req_msg = SnapshotValidateReq { ts, keys };
+        for (owner, (keys, spans)) in work {
+            let Some(&ts) = self.pinned.get(&owner) else {
+                continue;
+            };
+            let req_msg = SnapshotValidateReq { ts, keys, spans };
             let meta = self.meta();
             pending.push((
                 owner,

@@ -19,6 +19,9 @@ pub mod req {
     /// Client → shard: end-of-transaction snapshot validation (multi-shard
     /// read-only transactions only).
     pub const SNAPSHOT_VALIDATE: u8 = 5;
+    /// Client → shard: lock-free snapshot range scan over this shard's
+    /// slice of the key space (read-only transactions).
+    pub const SNAPSHOT_SCAN: u8 = 7;
     /// Anyone → node: live introspection snapshot (queue depths, stable
     /// frontier, backpressure, cache hit rates). Read-only; serves the
     /// `treaty-top` dashboard.
@@ -55,14 +58,39 @@ pub enum Op {
         /// Key to delete.
         key: Vec<u8>,
     },
+    /// Range scan of `[start, end)`. Keys are hash-partitioned, so the
+    /// coordinator fans this out to every shard and merges by key.
+    Scan {
+        /// First key of the span (inclusive).
+        start: Vec<u8>,
+        /// End of the span (exclusive).
+        end: Vec<u8>,
+        /// Maximum pairs to return (`0` = unbounded).
+        limit: u64,
+    },
+    /// Range delete of `[start, end)` — fanned out to every shard; each
+    /// buffers a multi-version range tombstone over its slice.
+    RangeDelete {
+        /// First key of the span (inclusive).
+        start: Vec<u8>,
+        /// End of the span (exclusive).
+        end: Vec<u8>,
+    },
 }
 
 impl Op {
-    /// The key this operation touches.
+    /// The key this operation touches; for range operations, the span's
+    /// start (they are routed by fan-out, not by this anchor).
     pub fn key(&self) -> &[u8] {
         match self {
             Op::Get { key } | Op::Put { key, .. } | Op::Delete { key } => key,
+            Op::Scan { start, .. } | Op::RangeDelete { start, .. } => start,
         }
+    }
+
+    /// Whether this operation spans the whole key space (fan-out routing).
+    pub fn is_range(&self) -> bool {
+        matches!(self, Op::Scan { .. } | Op::RangeDelete { .. })
     }
 }
 
@@ -73,6 +101,12 @@ pub enum OpResult {
     Ok {
         /// Value read, if this was a get.
         value: Option<Vec<u8>>,
+    },
+    /// Success of an [`Op::Scan`]: the visible pairs of one shard's slice
+    /// of the span, sorted by key.
+    Entries {
+        /// `(key, value)` pairs in ascending key order.
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
     },
     /// The operation failed and the transaction aborted.
     Err {
@@ -182,6 +216,44 @@ pub enum SnapshotReadReply {
     },
 }
 
+/// Client → shard snapshot-scan request (read-only transactions): scan
+/// `[start, end)` lock-free at the shard's stable timestamp. Keys are
+/// hash-partitioned, so the client fans this out to every shard and
+/// merges the sorted slices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotScanReq {
+    /// Snapshot timestamp pinned at this shard; `None` asks the shard to
+    /// pin its current stable read timestamp and report it back.
+    pub ts: Option<u64>,
+    /// First key of the span (inclusive).
+    pub start: Vec<u8>,
+    /// End of the span (exclusive).
+    pub end: Vec<u8>,
+    /// Maximum pairs this shard should return (`0` = unbounded).
+    pub limit: u64,
+}
+
+/// Shard → client snapshot-scan reply.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SnapshotScanReply {
+    /// This shard's slice of the span, served lock-free at `ts`.
+    Entries {
+        /// The snapshot timestamp actually used.
+        ts: u64,
+        /// `(key, value)` pairs in ascending key order.
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    /// The requested timestamp runs ahead of this shard's stable read
+    /// timestamp; retry with a refreshed snapshot.
+    Stale {
+        /// The shard's current stable read timestamp.
+        stable_ts: u64,
+    },
+    /// The span overlaps an undecided prepared transaction; its outcome
+    /// may already be visible elsewhere, so the snapshot must retry.
+    InDoubt,
+}
+
 /// Client → shard end-of-transaction validation for multi-shard read-only
 /// transactions: "are these reads at `ts` still the latest word?"
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -190,6 +262,13 @@ pub struct SnapshotValidateReq {
     pub ts: u64,
     /// The keys read from this shard.
     pub keys: Vec<Vec<u8>>,
+    /// Spans scanned from this shard (`[start, end)` pairs). Per-key
+    /// validation cannot see a key *inserted* into a scanned span after
+    /// the read, so spans are validated wholesale: any version, tombstone
+    /// or in-doubt prepare newer than `ts` inside a span fails the
+    /// snapshot. Defaulted so old clients keep decoding.
+    #[serde(default)]
+    pub spans: Vec<(Vec<u8>, Vec<u8>)>,
 }
 
 /// Shard → client validation reply.
@@ -270,6 +349,52 @@ mod tests {
     }
 
     #[test]
+    fn range_op_roundtrip() {
+        let scan = Op::Scan {
+            start: b"a".to_vec(),
+            end: b"m".to_vec(),
+            limit: 10,
+        };
+        let rdel = Op::RangeDelete {
+            start: b"a".to_vec(),
+            end: b"m".to_vec(),
+        };
+        for op in [scan, rdel] {
+            assert_eq!(decode::<Op>(&encode(&op)), Some(op.clone()));
+            assert_eq!(op.key(), b"a");
+            assert!(op.is_range());
+        }
+        let res = OpResult::Entries {
+            entries: vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), b"2".to_vec())],
+        };
+        assert_eq!(decode::<OpResult>(&encode(&res)), Some(res));
+    }
+
+    #[test]
+    fn snapshot_scan_roundtrip() {
+        let req = SnapshotScanReq {
+            ts: Some(7),
+            start: b"a".to_vec(),
+            end: b"m".to_vec(),
+            limit: 0,
+        };
+        assert_eq!(decode::<SnapshotScanReq>(&encode(&req)), Some(req));
+        for reply in [
+            SnapshotScanReply::Entries {
+                ts: 7,
+                entries: vec![(b"a".to_vec(), b"1".to_vec())],
+            },
+            SnapshotScanReply::Stale { stable_ts: 3 },
+            SnapshotScanReply::InDoubt,
+        ] {
+            assert_eq!(
+                decode::<SnapshotScanReply>(&encode(&reply)),
+                Some(reply.clone())
+            );
+        }
+    }
+
+    #[test]
     fn peer_msg_roundtrip() {
         let gtx = GlobalTxId { node: 1, seq: 2 };
         let m = PeerMsg::Prepare { gtx };
@@ -306,8 +431,13 @@ mod tests {
         let val = SnapshotValidateReq {
             ts: 7,
             keys: vec![b"a".to_vec()],
+            spans: vec![(b"a".to_vec(), b"m".to_vec())],
         };
         assert_eq!(decode::<SnapshotValidateReq>(&encode(&val)), Some(val));
+        // Requests encoded before spans existed still decode (serde default).
+        let old: SnapshotValidateReq =
+            decode(br#"{"ts":7,"keys":[[97]]}"#).expect("span-less request decodes");
+        assert!(old.spans.is_empty());
         for reply in [
             SnapshotValidateReply::Ok,
             SnapshotValidateReply::Fail { key: b"a".to_vec() },

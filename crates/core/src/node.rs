@@ -22,7 +22,8 @@ use treaty_store::{EngineTxn, GlobalTxId, StoreError, TxnEngine, TxnMode};
 use crate::clog::Clog;
 use crate::messages::{
     decode, encode, req, CommitResult, ObsSnapshotReply, Op, OpResult, PeerMsg, PeerReply,
-    SnapshotReadReply, SnapshotReadReq, SnapshotValidateReply, SnapshotValidateReq,
+    SnapshotReadReply, SnapshotReadReq, SnapshotScanReply, SnapshotScanReq, SnapshotValidateReply,
+    SnapshotValidateReq,
 };
 use crate::shard::ShardMap;
 
@@ -331,6 +332,12 @@ impl TreatyNode {
         );
         let me = Arc::clone(self);
         self.rpc.register_handler(
+            req::SNAPSHOT_SCAN,
+            true,
+            Arc::new(move |_src, meta, payload| me.handle_snapshot_scan(meta, payload)),
+        );
+        let me = Arc::clone(self);
+        self.rpc.register_handler(
             req::PEER_OP,
             true,
             Arc::new(move |_src, meta, payload| me.handle_peer(meta, payload)),
@@ -433,14 +440,19 @@ impl TreatyNode {
         let _span = treaty_sim::obs::span("2pc.coordinate_op");
         let result = self.coordinate_op(gtx, op);
         let kind = match result {
-            OpResult::Ok { .. } => MsgKind::Ack,
             OpResult::Err { .. } => MsgKind::Nack,
+            _ => MsgKind::Ack,
         };
         Some((TxMeta { kind, ..meta }, encode(&result)))
     }
 
     fn coordinate_op(self: &Arc<Self>, gtx: GlobalTxId, op: Op) -> OpResult {
         treaty_sim::runtime::set_tag("h:coordinate_op");
+        if op.is_range() {
+            // Keys are hash-partitioned: a span has pieces on every shard,
+            // so range operations bypass single-owner routing entirely.
+            return self.coordinate_range_op(gtx, op);
+        }
         let owner = self.shard_map.owner(op.key());
         // Take the coordinator state out while we (potentially) block.
         let mut ctx = self.active_coord.lock().remove(&gtx).unwrap_or(CoordTxn {
@@ -471,6 +483,10 @@ impl TreatyNode {
                         reason: e.to_string(),
                     },
                 },
+                // Range operations never reach the single-owner path.
+                Op::Scan { .. } | Op::RangeDelete { .. } => OpResult::Err {
+                    reason: "range operation on point-op path".into(),
+                },
             }
         } else {
             if !ctx.remotes.contains(&owner) {
@@ -492,14 +508,114 @@ impl TreatyNode {
         };
 
         match result {
-            OpResult::Ok { .. } => {
-                self.active_coord.lock().insert(gtx, ctx);
-            }
             OpResult::Err { .. } => {
                 // The transaction is dead: abort everywhere, drop state.
                 self.abort_everywhere(gtx, ctx);
             }
+            _ => {
+                self.active_coord.lock().insert(gtx, ctx);
+            }
         }
+        result
+    }
+
+    /// Coordinates a range operation ([`Op::Scan`] / [`Op::RangeDelete`]).
+    /// Hash partitioning scatters a span's keys across every shard, so the
+    /// operation fans out to all peers in one burst (the local slice
+    /// overlaps the round trips), every peer joins the transaction's
+    /// participant set, and scan slices — sorted per shard over disjoint
+    /// key sets — merge into one sorted result before the limit applies.
+    fn coordinate_range_op(self: &Arc<Self>, gtx: GlobalTxId, op: Op) -> OpResult {
+        treaty_sim::runtime::set_tag("h:coordinate_range_op");
+        let mut ctx = self.active_coord.lock().remove(&gtx).unwrap_or(CoordTxn {
+            remotes: Vec::new(),
+            local: None,
+        });
+        let peers: Vec<EndpointId> = self
+            .shard_map
+            .nodes()
+            .iter()
+            .copied()
+            .filter(|n| *n != self.endpoint)
+            .collect();
+        for &p in &peers {
+            if !ctx.remotes.contains(&p) {
+                ctx.remotes.push(p);
+            }
+        }
+        let payload = encode(&PeerMsg::Op {
+            gtx,
+            op: op.clone(),
+        });
+        let mut pending: Vec<(EndpointId, PendingReply)> = Vec::with_capacity(peers.len());
+        for &p in &peers {
+            let meta = self.peer_meta(gtx, MsgKind::TxnPut);
+            pending.push((p, self.rpc.enqueue_request(p, req::PEER_OP, &meta, &payload)));
+        }
+        self.rpc.tx_burst();
+        treaty_sim::crashpoint::hit("coord.scan_fanout");
+
+        let local = ctx
+            .local
+            .get_or_insert_with(|| self.engine.begin_txn(self.txn_mode));
+        let mut slices: Vec<Vec<(Vec<u8>, Vec<u8>)>> = Vec::with_capacity(peers.len() + 1);
+        let mut failure: Option<String> = None;
+        let limit = match &op {
+            Op::Scan { start, end, limit } => {
+                match local.scan(start, end, *limit as usize) {
+                    Ok(entries) => slices.push(entries),
+                    Err(e) => failure = Some(format!("local scan: {e}")),
+                }
+                *limit as usize
+            }
+            Op::RangeDelete { start, end } => {
+                if let Err(e) = local.delete_range(start, end) {
+                    failure = Some(format!("local range delete: {e}"));
+                }
+                0
+            }
+            _ => {
+                failure = Some("point operation on range path".into());
+                0
+            }
+        };
+        // Collect every reply even after a failure: an abandoned
+        // `PendingReply` would leave the burst dangling mid-session.
+        for (p, pr) in pending {
+            match pr.wait() {
+                Ok((_, bytes)) => match decode::<PeerReply>(&bytes) {
+                    Some(PeerReply::OpDone(OpResult::Entries { entries })) => slices.push(entries),
+                    Some(PeerReply::OpDone(OpResult::Ok { .. })) => {}
+                    Some(PeerReply::OpDone(OpResult::Err { reason })) => {
+                        failure.get_or_insert(format!("participant {p}: {reason}"));
+                    }
+                    _ => {
+                        failure.get_or_insert(format!("participant {p} malformed reply"));
+                    }
+                },
+                Err(e) => {
+                    failure.get_or_insert(format!("participant {p}: {e}"));
+                }
+            }
+        }
+        if let Some(reason) = failure {
+            self.abort_everywhere(gtx, ctx);
+            return OpResult::Err { reason };
+        }
+
+        let result = if matches!(op, Op::Scan { .. }) {
+            // Shards own disjoint key sets, so concatenate-and-sort is a
+            // true k-way merge with no duplicates to resolve.
+            let mut merged: Vec<(Vec<u8>, Vec<u8>)> = slices.concat();
+            merged.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            if limit > 0 {
+                merged.truncate(limit);
+            }
+            OpResult::Entries { entries: merged }
+        } else {
+            OpResult::Ok { value: None }
+        };
+        self.active_coord.lock().insert(gtx, ctx);
         result
     }
 
@@ -997,6 +1113,68 @@ impl TreatyNode {
         ))
     }
 
+    /// Serves a lock-free snapshot range scan: this shard's slice of
+    /// `[start, end)` at the requested timestamp, straight off the
+    /// authenticated merge iterator — no 2PC state, no coordinator, and
+    /// zero lock-table traffic. Stale and in-doubt rejections mirror
+    /// [`TreatyNode::handle_snapshot_read`]; an integrity violation drops
+    /// the request so the client times out instead of silently retrying.
+    fn handle_snapshot_scan(
+        self: &Arc<Self>,
+        meta: TxMeta,
+        payload: Vec<u8>,
+    ) -> Option<(TxMeta, Vec<u8>)> {
+        treaty_sim::runtime::set_tag("h:snapshot_scan");
+        let req_msg: SnapshotScanReq = decode(&payload)?;
+        treaty_sim::obs::set_node(self.endpoint);
+        let _txn = treaty_sim::obs::txn_scope(meta.tx_id);
+        let _span = treaty_sim::obs::span_with("core.snapshot_scan", &[("limit", req_msg.limit)]);
+        treaty_sim::crashpoint::hit("part.snapshot_scan");
+        let stable = self.engine.stable_ts();
+        treaty_sim::obs::gauge_set("store.stable_ts", stable);
+        let ts = req_msg.ts.unwrap_or(stable);
+        match self.engine.snapshot_scan(
+            &req_msg.start,
+            &req_msg.end,
+            ts,
+            req_msg.limit as usize,
+        ) {
+            Ok(entries) => {
+                treaty_sim::obs::counter_add("core.snapshot_scans", 1);
+                Some((
+                    TxMeta {
+                        kind: MsgKind::Ack,
+                        ..meta
+                    },
+                    encode(&SnapshotScanReply::Entries { ts, entries }),
+                ))
+            }
+            Err(StoreError::SnapshotStale { stable }) => {
+                treaty_sim::obs::counter_add("core.snapshot_stale_reject", 1);
+                Some((
+                    TxMeta {
+                        kind: MsgKind::Nack,
+                        ..meta
+                    },
+                    encode(&SnapshotScanReply::Stale { stable_ts: stable }),
+                ))
+            }
+            Err(StoreError::SnapshotInDoubt) => {
+                treaty_sim::obs::counter_add("core.snapshot_indoubt_reject", 1);
+                Some((
+                    TxMeta {
+                        kind: MsgKind::Nack,
+                        ..meta
+                    },
+                    encode(&SnapshotScanReply::InDoubt),
+                ))
+            }
+            // Integrity violations must not be papered over with a retry
+            // signal: drop the request, the client times out.
+            Err(_) => None,
+        }
+    }
+
     /// End-of-transaction validation for multi-shard snapshot reads: the
     /// snapshot is consistent iff every key read from this shard at `ts`
     /// is still the latest word (no newer commit, no in-flight prepare).
@@ -1030,6 +1208,25 @@ impl TreatyNode {
                             ..meta
                         },
                         encode(&SnapshotValidateReply::Fail { key: key.clone() }),
+                    ));
+                }
+            }
+        }
+        // Scanned spans validate wholesale: per-key checks cannot see a key
+        // *inserted* into the span after the read (the phantom), so the
+        // engine checks the span's maximum version — point writes, range
+        // tombstones and in-doubt prepares alike — against `ts`.
+        for (start, end) in &req_msg.spans {
+            match self.engine.snapshot_validate_span(start, end, req_msg.ts) {
+                Ok(true) => {}
+                Ok(false) | Err(_) => {
+                    treaty_sim::obs::counter_add("core.snapshot_validate_fail", 1);
+                    return Some((
+                        TxMeta {
+                            kind: MsgKind::Nack,
+                            ..meta
+                        },
+                        encode(&SnapshotValidateReply::Fail { key: start.clone() }),
                     ));
                 }
             }
@@ -1085,13 +1282,31 @@ impl TreatyNode {
                             reason: e.to_string(),
                         },
                     },
+                    Op::Scan { start, end, limit } => {
+                        treaty_sim::crashpoint::hit("part.scan");
+                        match txn.scan(start, end, *limit as usize) {
+                            Ok(entries) => OpResult::Entries { entries },
+                            Err(e) => OpResult::Err {
+                                reason: e.to_string(),
+                            },
+                        }
+                    }
+                    Op::RangeDelete { start, end } => {
+                        treaty_sim::crashpoint::hit("part.range_delete");
+                        match txn.delete_range(start, end) {
+                            Ok(()) => OpResult::Ok { value: None },
+                            Err(e) => OpResult::Err {
+                                reason: e.to_string(),
+                            },
+                        }
+                    }
                 };
                 match &result {
-                    OpResult::Ok { .. } => {
-                        self.active_part.lock().insert(gtx, txn);
-                    }
                     OpResult::Err { .. } => {
                         // txn dropped -> rolled back; coordinator aborts.
+                    }
+                    _ => {
+                        self.active_part.lock().insert(gtx, txn);
                     }
                 }
                 PeerReply::OpDone(result)

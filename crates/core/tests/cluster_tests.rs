@@ -548,3 +548,151 @@ fn protocol_only_cluster_runs_without_storage() {
         assert_eq!(entries, 0, "protocol-only mode must not persist anything");
     });
 }
+
+// ---- authenticated range scans across shards (DESIGN.md §15) ----------------
+
+#[test]
+fn range_scan_merges_all_shards_in_order() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let cluster = Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
+        let client = cluster.client();
+        // Hash partitioning spreads consecutive keys across every node, so
+        // a contiguous scan exercises the full fan-out + merge.
+        let mut tx = client.begin(1);
+        for i in 0..40u32 {
+            tx.put(format!("scan-{i:03}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        tx.commit().unwrap();
+
+        let mut tx = client.begin(2);
+        let rows = tx.scan(b"scan-", b"scan-~", 0).unwrap();
+        assert_eq!(rows.len(), 40, "every shard's slice merged");
+        for (i, (k, v)) in rows.iter().enumerate() {
+            assert_eq!(k, format!("scan-{i:03}").as_bytes(), "global key order");
+            assert_eq!(v, format!("v{i}").as_bytes());
+        }
+        // Limit is applied after the merge, not per shard.
+        let capped = tx.scan(b"scan-", b"scan-~", 7).unwrap();
+        assert_eq!(capped.len(), 7);
+        assert_eq!(capped, rows[..7].to_vec());
+        tx.commit().unwrap();
+    });
+}
+
+#[test]
+fn range_delete_spans_every_shard_atomically() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let cluster = Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
+        let client = cluster.client();
+        let mut tx = client.begin(1);
+        for i in 0..30u32 {
+            tx.put(format!("rd-{i:03}").as_bytes(), b"doomed").unwrap();
+        }
+        tx.commit().unwrap();
+
+        // One transaction deletes the middle of the keyspace and rewrites
+        // one covered key; both effects commit atomically on every shard.
+        let mut tx = client.begin(3);
+        tx.delete_range(b"rd-010", b"rd-020").unwrap();
+        tx.put(b"rd-015", b"survivor").unwrap();
+        tx.commit().unwrap();
+
+        let mut tx = client.begin(2);
+        let rows = tx.scan(b"rd-", b"rd-~", 0).unwrap();
+        assert_eq!(rows.len(), 21, "20 outside the span + 1 rewritten");
+        assert_eq!(tx.get(b"rd-012").unwrap(), None);
+        assert_eq!(tx.get(b"rd-015").unwrap(), Some(b"survivor".to_vec()));
+        tx.commit().unwrap();
+    });
+}
+
+#[test]
+fn rolled_back_range_delete_leaves_no_trace() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let cluster = Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
+        let client = cluster.client();
+        let mut tx = client.begin(1);
+        for i in 0..10u32 {
+            tx.put(format!("rb-{i}").as_bytes(), b"keep").unwrap();
+        }
+        tx.commit().unwrap();
+
+        let mut tx = client.begin(1);
+        tx.delete_range(b"rb-", b"rb-~").unwrap();
+        tx.rollback().unwrap();
+
+        let mut tx = client.begin(2);
+        assert_eq!(tx.scan(b"rb-", b"rb-~", 0).unwrap().len(), 10);
+        tx.commit().unwrap();
+    });
+}
+
+#[test]
+fn snapshot_scan_sees_committed_prefix_consistently() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let cluster = Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
+        let client = cluster.client();
+        let mut tx = client.begin(1);
+        for i in 0..25u32 {
+            tx.put(format!("ss-{i:03}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        tx.commit().unwrap();
+
+        let rows = client.snapshot_scan(b"ss-", b"ss-~", 0).unwrap();
+        assert_eq!(rows.len(), 25, "lock-free scan sees all committed rows");
+        let locked = {
+            let mut tx = client.begin(2);
+            let r = tx.scan(b"ss-", b"ss-~", 0).unwrap();
+            tx.commit().unwrap();
+            r
+        };
+        assert_eq!(rows, locked, "snapshot and locking scans agree at rest");
+        let capped = client.snapshot_scan(b"ss-", b"ss-~", 5).unwrap();
+        assert_eq!(capped, rows[..5].to_vec());
+    });
+}
+
+#[test]
+fn scans_and_range_deletes_survive_cluster_restart() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let mut cluster = Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
+        {
+            let client = cluster.client();
+            let mut tx = client.begin(1);
+            for i in 0..20u32 {
+                tx.put(format!("dur-{i:02}").as_bytes(), b"v").unwrap();
+            }
+            tx.commit().unwrap();
+            let mut tx = client.begin(2);
+            tx.delete_range(b"dur-05", b"dur-15").unwrap();
+            tx.commit().unwrap();
+        }
+        for i in 0..3 {
+            cluster.crash_node(i);
+        }
+        for i in 0..3 {
+            cluster.restart_node(i).unwrap();
+        }
+        cluster.resolve_recovered();
+        let client = cluster.client();
+        let mut tx = client.begin(1);
+        let rows = tx.scan(b"dur-", b"dur-~", 0).unwrap();
+        assert_eq!(rows.len(), 10, "range tombstones must survive restart");
+        assert!(rows.iter().all(|(k, _)| {
+            k.as_slice() < b"dur-05" as &[u8] || k.as_slice() >= b"dur-15" as &[u8]
+        }));
+        tx.commit().unwrap();
+    });
+}

@@ -55,12 +55,16 @@ pub const ALL_POINTS: &[&str] = &[
     "coord.after_decision_send",
     "coord.before_client_reply",
     "coord.decision_queued",
+    "coord.scan_fanout",
     // Participant (treaty-core node.rs, peer handler).
     "part.before_prepare",
     "part.after_prepare",
     "part.after_commit_apply",
     "part.after_abort_apply",
     "part.snapshot_read",
+    "part.snapshot_scan",
+    "part.scan",
+    "part.range_delete",
     // Commit log (treaty-core clog.rs).
     "clog.decision_appended",
     // Storage engine (treaty-store txn.rs / engine.rs).

@@ -35,6 +35,7 @@ use crate::sstable::SsRecord;
 pub struct ReadAccelStats {
     pub(crate) bloom_negatives: AtomicU64,
     pub(crate) bloom_false_positives: AtomicU64,
+    pub(crate) fence_gap_rejects: AtomicU64,
 }
 
 impl ReadAccelStats {
@@ -43,9 +44,17 @@ impl ReadAccelStats {
         self.bloom_negatives.load(Ordering::Relaxed)
     }
 
-    /// Lookups a filter let through although the key was absent.
+    /// Lookups a filter let through although the key was absent — counted
+    /// only when a block was actually read and found not to hold the key.
     pub fn bloom_false_positives(&self) -> u64 {
         self.bloom_false_positives.load(Ordering::Relaxed)
+    }
+
+    /// Lookups rejected by the fence keys alone (`candidate_blocks`
+    /// returned the empty gap range): zero block I/O, and — unlike a
+    /// Bloom false positive — no statement about the filter at all.
+    pub fn fence_gap_rejects(&self) -> u64 {
+        self.fence_gap_rejects.load(Ordering::Relaxed)
     }
 }
 

@@ -26,8 +26,8 @@ use treaty_sched::FiberMutex;
 use crate::env::Env;
 use crate::locks::{LockTable, TxId};
 use crate::log::{self, LogWriter};
-use crate::memtable::{MemTable, SeqNum, UserKey};
-use crate::sstable::{self, SsRecord, SsTable};
+use crate::memtable::{MemCursor, MemTable, RangeTombstone, SeqNum, UserKey};
+use crate::sstable::{self, SsRecord, SsTable, TableCursor};
 use crate::txn::{GlobalTxId, Txn, TxnMode, TxnOptions, WriteOp};
 use crate::{Result, StoreError};
 
@@ -47,15 +47,26 @@ pub(crate) enum ManifestEdit {
 }
 
 /// WAL records.
+///
+/// `ranges` rides commits and prepares as `[start, end)` pairs — a range
+/// delete is one record-sized entry no matter how many keys it covers.
+/// `serde(default)` keeps WALs written before range deletes replayable.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) enum WalRecord {
     /// A committed transaction's writes.
-    Commit { seq: SeqNum, writes: Vec<WriteOp> },
+    Commit {
+        seq: SeqNum,
+        writes: Vec<WriteOp>,
+        #[serde(default)]
+        ranges: Vec<(UserKey, UserKey)>,
+    },
     /// A 2PC participant prepared this transaction (locks implied by the
     /// write set are re-acquired at recovery).
     Prepare {
         gtx: GlobalTxId,
         writes: Vec<WriteOp>,
+        #[serde(default)]
+        ranges: Vec<(UserKey, UserKey)>,
     },
     /// Decision for a previously prepared transaction.
     Decide {
@@ -67,6 +78,13 @@ pub(crate) enum WalRecord {
 
 pub(crate) struct PreparedState {
     pub writes: Vec<WriteOp>,
+    /// Buffered range deletes (`[start, end)`), sequenced at decide time.
+    pub ranges: Vec<(UserKey, UserKey)>,
+    /// Every key this transaction holds locked through the decision: the
+    /// write set plus the keys a pessimistic range delete locked (covered
+    /// keys and the next-key gap bound). Recovery re-acquires only the
+    /// write-set locks, so there this equals the write keys.
+    pub lock_keys: Vec<UserKey>,
     pub lock_owner: TxId,
     /// A decision (commit or abort) is in flight for this transaction.
     /// The entry stays in the table — and its keys stay in-doubt for
@@ -92,6 +110,18 @@ pub(crate) struct PreparedTable {
     /// hash lookup under one stripe mutex instead of a scan of every
     /// prepared write set under all 64.
     key_index: Vec<Mutex<HashMap<UserKey, usize>>>,
+    /// In-doubt range deletes `(owner, start, end)`. Prepared range
+    /// deletes are rare, so a flat read-mostly list beats striping; every
+    /// snapshot read consults it (usually an empty-slice scan).
+    ranges: RwLock<Vec<(GlobalTxId, UserKey, UserKey)>>,
+}
+
+/// What a 2PC decision needs from the prepared entry it claims.
+pub(crate) struct PreparedDecision {
+    pub writes: Vec<WriteOp>,
+    pub ranges: Vec<(UserKey, UserKey)>,
+    pub lock_keys: Vec<UserKey>,
+    pub lock_owner: TxId,
 }
 
 impl PreparedTable {
@@ -100,6 +130,7 @@ impl PreparedTable {
         PreparedTable {
             stripes: (0..stripes).map(|_| Mutex::new(HashMap::new())).collect(),
             key_index: (0..stripes).map(|_| Mutex::new(HashMap::new())).collect(),
+            ranges: RwLock::new(Vec::new()),
         }
     }
 
@@ -157,6 +188,13 @@ impl PreparedTable {
 
     pub fn insert(&self, gtx: GlobalTxId, st: PreparedState) {
         self.index_add(&st.writes);
+        {
+            let mut ranges = self.ranges.write();
+            ranges.retain(|(g, _, _)| *g != gtx);
+            for (s, e) in &st.ranges {
+                ranges.push((gtx, s.clone(), e.clone()));
+            }
+        }
         if let Some(old) = self.stripe(&gtx).lock().insert(gtx, st) {
             self.index_remove(&old.writes);
         }
@@ -166,6 +204,9 @@ impl PreparedTable {
         let st = self.stripe(gtx).lock().remove(gtx);
         if let Some(st) = &st {
             self.index_remove(&st.writes);
+            if !st.ranges.is_empty() {
+                self.ranges.write().retain(|(g, _, _)| g != gtx);
+            }
         }
         st
     }
@@ -175,14 +216,19 @@ impl PreparedTable {
     /// the table (and its keys in-doubt) until [`PreparedTable::finish_decide`].
     /// Returns `None` if the transaction is unknown or already claimed —
     /// decisions are idempotent, so callers treat that as "nothing to do".
-    pub fn begin_decide(&self, gtx: &GlobalTxId) -> Option<(Vec<WriteOp>, TxId)> {
+    pub fn begin_decide(&self, gtx: &GlobalTxId) -> Option<PreparedDecision> {
         let mut stripe = self.stripe(gtx).lock();
         let st = stripe.get_mut(gtx)?;
         if st.deciding {
             return None;
         }
         st.deciding = true;
-        Some((st.writes.clone(), st.lock_owner))
+        Some(PreparedDecision {
+            writes: st.writes.clone(),
+            ranges: st.ranges.clone(),
+            lock_keys: st.lock_keys.clone(),
+            lock_owner: st.lock_owner,
+        })
     }
 
     /// Releases a claim after a failed decision attempt (WAL append
@@ -206,23 +252,51 @@ impl PreparedTable {
             .collect()
     }
 
-    pub fn snapshot_writes(&self) -> Vec<(GlobalTxId, Vec<WriteOp>)> {
+    pub fn snapshot_writes(&self) -> Vec<(GlobalTxId, Vec<WriteOp>, Vec<(UserKey, UserKey)>)> {
         self.stripes
             .iter()
             .flat_map(|stripe| {
                 stripe
                     .lock()
                     .iter()
-                    .map(|(g, st)| (*g, st.writes.clone()))
+                    .map(|(g, st)| (*g, st.writes.clone(), st.ranges.clone()))
                     .collect::<Vec<_>>()
             })
             .collect()
     }
 
     /// Whether any prepared (in-doubt) transaction writes `key` — one
-    /// striped hash lookup against the maintained key index.
+    /// striped hash lookup against the maintained key index, plus a scan
+    /// of the (rare) in-doubt range deletes.
     pub fn overlaps(&self, key: &[u8]) -> bool {
-        self.key_stripe(key).lock().contains_key(key)
+        if self.key_stripe(key).lock().contains_key(key) {
+            return true;
+        }
+        self.ranges
+            .read()
+            .iter()
+            .any(|(_, s, e)| s.as_slice() <= key && key < e.as_slice())
+    }
+
+    /// Whether any prepared transaction writes a key inside `[start, end)`
+    /// or holds a range delete intersecting it. Used by snapshot scans:
+    /// a prepared *insert* into the span would be invisible to a per-key
+    /// check over the scan's results, so the whole span must be vetted.
+    pub fn overlaps_span(&self, start: &[u8], end: &[u8]) -> bool {
+        if self
+            .ranges
+            .read()
+            .iter()
+            .any(|(_, s, e)| s.as_slice() < end && e.as_slice() > start)
+        {
+            return true;
+        }
+        self.key_index.iter().any(|stripe| {
+            stripe
+                .lock()
+                .keys()
+                .any(|k| k.as_slice() >= start && k.as_slice() < end)
+        })
     }
 
     pub fn stripe_count(&self) -> usize {
@@ -338,6 +412,12 @@ pub struct EngineStats {
     pub bloom_negatives: u64,
     /// Lookups a Bloom filter let through although the key was absent.
     pub bloom_false_positives: u64,
+    /// Lookups rejected by fence keys alone (no block read, no Bloom
+    /// statement) — counted apart from false positives so the reported
+    /// FPR reflects the filter, not the index.
+    pub fence_gap_rejects: u64,
+    /// Range scans served (locked and snapshot).
+    pub scans: u64,
 }
 
 #[derive(Default)]
@@ -350,11 +430,14 @@ pub(crate) struct StatsCells {
     pub files_deleted: AtomicU64,
     pub group_commits: AtomicU64,
     pub grouped_txns: AtomicU64,
+    pub scans: AtomicU64,
 }
 
 struct CommitReq {
     record: Vec<u8>,
     writes: Vec<(UserKey, SeqNum, Option<Vec<u8>>)>,
+    /// Range deletes `(start, end, seq)` applied after the point writes.
+    ranges: Vec<(UserKey, UserKey, SeqNum)>,
     done: Arc<Mutex<Option<Result<(u64, Arc<LogWriter>)>>>>,
 }
 
@@ -405,6 +488,10 @@ pub(crate) struct StoreInner {
     maintenance_running: AtomicBool,
     /// Guards the background MANIFEST-stabilization fiber (one at a time).
     gc_stabilizing: AtomicBool,
+    /// Pessimistic scans currently holding next-key locks. Inserts only pay
+    /// the successor-lookup gap lock while this is non-zero, so workloads
+    /// that never scan keep their point-write fast path.
+    pub(crate) active_scans: AtomicU64,
     pub stats: StatsCells,
 }
 
@@ -479,6 +566,7 @@ impl TreatyStore {
                 maintenance_lock: FiberMutex::new(),
                 maintenance_running: AtomicBool::new(false),
                 gc_stabilizing: AtomicBool::new(false),
+                active_scans: AtomicU64::new(0),
                 stats: StatsCells::default(),
                 env,
             };
@@ -537,6 +625,8 @@ impl TreatyStore {
             block_cache_misses: cache_misses,
             bloom_negatives: env.read_stats.bloom_negatives(),
             bloom_false_positives: env.read_stats.bloom_false_positives(),
+            fence_gap_rejects: env.read_stats.fence_gap_rejects(),
+            scans: s.scans.load(Ordering::Relaxed),
         }
     }
 
@@ -604,27 +694,45 @@ impl TreatyStore {
         }
         // One refcount bump, not a deep copy of the level vectors.
         let levels = Arc::clone(&*self.inner.levels.read());
+        // Range tombstones shadow every strictly-older point version below
+        // them; `shadow` carries the newest covering tombstone seq seen so
+        // far down the descent. (MemTables resolve their own tombstones
+        // internally above — a covered key already returned `Some(None)`.)
+        let mut shadow: SeqNum = 0;
         // L0: newest first, tables overlap.
         let mut best: Option<(SeqNum, Option<Vec<u8>>)> = None;
         for t in &levels[0] {
+            if let Some(s) = t.covering_tombstone_seq(key, snapshot) {
+                shadow = shadow.max(s);
+            }
             if let Some((s, v)) = t.get_with_seq_public(key, snapshot)? {
                 if best.as_ref().map(|(bs, _)| s > *bs).unwrap_or(true) {
                     best = Some((s, v));
                 }
             }
         }
-        if let Some((_, v)) = best {
-            return Ok(v);
+        if let Some((s, v)) = best {
+            // Same-seq point writes beat the transaction's own range delete.
+            return Ok(if s >= shadow { v } else { None });
+        }
+        if shadow > 0 {
+            return Ok(None); // deleted: nothing older can outrank the tombstone
         }
         // Deeper levels: non-overlapping; first covering table decides.
         for level in &levels[1..] {
             for t in level {
                 if t.covers(key) {
-                    if let Some(v) = t.get(key, snapshot)? {
-                        return Ok(v);
+                    if let Some(s) = t.covering_tombstone_seq(key, snapshot) {
+                        shadow = shadow.max(s);
+                    }
+                    if let Some((s, v)) = t.get_with_seq_public(key, snapshot)? {
+                        return Ok(if s >= shadow { v } else { None });
                     }
                     break;
                 }
+            }
+            if shadow > 0 {
+                return Ok(None);
             }
         }
         Ok(None)
@@ -633,12 +741,26 @@ impl TreatyStore {
     /// The newest committed sequence for `key` (0 if the key has never been
     /// written) — the version OCC validation compares against.
     pub(crate) fn latest_seq(&self, key: &[u8]) -> Result<SeqNum> {
-        if let Some(s) = self.inner.mem.read().latest_seq_of(key) {
+        // A range delete is a version of every key it covers: OCC reads
+        // validated against this must conflict with a later covering
+        // tombstone, so each source reports max(point seq, tombstone seq).
+        let mem = self.inner.mem.read().clone();
+        let m = mem
+            .latest_seq_of(key)
+            .into_iter()
+            .chain(mem.covering_tombstone_seq(key, SeqNum::MAX))
+            .max();
+        if let Some(s) = m {
             return Ok(s);
         }
         let frozen: Vec<Arc<MemTable>> = self.inner.frozen.read().clone();
         for m in &frozen {
-            if let Some(s) = m.latest_seq_of(key) {
+            let s = m
+                .latest_seq_of(key)
+                .into_iter()
+                .chain(m.covering_tombstone_seq(key, SeqNum::MAX))
+                .max();
+            if let Some(s) = s {
                 return Ok(s);
             }
         }
@@ -648,6 +770,9 @@ impl TreatyStore {
             if let Some(s) = t.latest_seq_of(key)? {
                 best = best.max(s);
             }
+            if let Some(s) = t.covering_tombstone_seq(key, SeqNum::MAX) {
+                best = best.max(s);
+            }
         }
         if best > 0 {
             return Ok(best);
@@ -655,8 +780,12 @@ impl TreatyStore {
         for level in &levels[1..] {
             for t in level {
                 if t.covers(key) {
-                    if let Some(s) = t.latest_seq_of(key)? {
-                        return Ok(s);
+                    let mut found = t.latest_seq_of(key)?.unwrap_or(0);
+                    if let Some(s) = t.covering_tombstone_seq(key, SeqNum::MAX) {
+                        found = found.max(s);
+                    }
+                    if found > 0 {
+                        return Ok(found);
                     }
                     break;
                 }
@@ -714,6 +843,269 @@ impl TreatyStore {
         Ok(self.latest_seq(key)? <= ts)
     }
 
+    /// Whether a snapshot scan of `[start, end)` at `ts` is still current:
+    /// no key in the span has any newer version (point write, point delete
+    /// or range tombstone), and no undecided prepare touches the span. The
+    /// span analogue of [`TreatyStore::snapshot_validate`] — per-key
+    /// validation cannot catch a key *inserted* into a scanned span after
+    /// the snapshot (a phantom), so multi-shard snapshot scans validate
+    /// the span itself.
+    ///
+    /// # Errors
+    ///
+    /// Integrity violations from the span walk.
+    pub fn snapshot_validate_span(&self, start: &[u8], end: &[u8], ts: SeqNum) -> Result<bool> {
+        if self.inner.prepared.overlaps_span(start, end) {
+            return Ok(false);
+        }
+        let mut max_seq: SeqNum = 0;
+        self.merge_scan(start, Some(end), SeqNum::MAX, |_key, seq, _value, shadow| {
+            max_seq = max_seq.max(seq.max(shadow));
+            max_seq <= ts // the first newer version already decides
+        })?;
+        if max_seq > ts {
+            return Ok(false);
+        }
+        // A range tombstone over a currently-empty part of the span is a
+        // change too (it deleted what the snapshot saw) but surfaces no
+        // per-key shadow above — check the tombstones themselves.
+        Ok(self.max_span_tombstone_seq(start, end) <= ts)
+    }
+
+    /// The newest range-tombstone seq intersecting `[start, end)` across
+    /// every source (0 = none).
+    fn max_span_tombstone_seq(&self, start: &[u8], end: &[u8]) -> SeqNum {
+        let intersects =
+            |rt: &RangeTombstone| rt.end.as_slice() > start && rt.start.as_slice() < end;
+        let mut max_seq = 0;
+        let mem = self.inner.mem.read().clone();
+        for rt in mem.range_tombstones() {
+            if intersects(&rt) {
+                max_seq = max_seq.max(rt.seq);
+            }
+        }
+        for m in self.inner.frozen.read().iter() {
+            for rt in m.range_tombstones() {
+                if intersects(&rt) {
+                    max_seq = max_seq.max(rt.seq);
+                }
+            }
+        }
+        let levels = Arc::clone(&*self.inner.levels.read());
+        for t in levels.iter().flatten() {
+            for rt in &t.meta().range_tombstones {
+                if intersects(rt) {
+                    max_seq = max_seq.max(rt.seq);
+                }
+            }
+        }
+        max_seq
+    }
+
+    // ---- authenticated range scans (merge iterator, §V-B) ------------------
+
+    /// Scans `[start, end)` at `snapshot`, returning up to `limit` visible
+    /// key/value pairs in key order (`limit == 0` = unbounded). The merge
+    /// runs over the active MemTable, the frozen backlog and the COW level
+    /// snapshot through verified cursors: fence-key continuity makes a
+    /// spliced, truncated or reordered block range a
+    /// [`StoreError::Integrity`], and range tombstones from every source
+    /// shadow the strictly-older versions they cover.
+    ///
+    /// # Errors
+    ///
+    /// Integrity violations from block verification or cursor continuity
+    /// checks.
+    pub fn scan(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        snapshot: SeqNum,
+        limit: usize,
+    ) -> Result<Vec<(UserKey, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.merge_scan(start, Some(end), snapshot, |key, seq, value, shadow| {
+            // Same-seq point writes beat their transaction's range delete.
+            if seq >= shadow {
+                if let Some(v) = value {
+                    out.push((key, v));
+                }
+            }
+            limit == 0 || out.len() < limit
+        })?;
+        Ok(out)
+    }
+
+    /// Lock-free snapshot scan of `[start, end)` at version `ts` — the
+    /// range analogue of [`TreatyStore::snapshot_get`]. The whole span is
+    /// vetted against in-doubt prepares (a prepared *insert* into the span
+    /// would be invisible to any per-result check), before and after the
+    /// merge so a decision racing the scan cannot tear it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::SnapshotStale`] when `ts` runs ahead of the stable
+    /// frontier; [`StoreError::SnapshotInDoubt`] when an undecided prepare
+    /// touches the span; plus integrity errors from verification.
+    pub fn snapshot_scan(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        ts: SeqNum,
+        limit: usize,
+    ) -> Result<Vec<(UserKey, Vec<u8>)>> {
+        let stable = self.inner.frontier.get();
+        if ts > stable {
+            return Err(StoreError::SnapshotStale { stable });
+        }
+        if self.inner.prepared.overlaps_span(start, end) {
+            return Err(StoreError::SnapshotInDoubt);
+        }
+        let out = self.scan(start, end, ts, limit)?;
+        if self.inner.prepared.overlaps_span(start, end) {
+            return Err(StoreError::SnapshotInDoubt);
+        }
+        Ok(out)
+    }
+
+    /// The smallest user key `>= from` present in any source — live,
+    /// deleted or shadowed versions all count, because next-key locking
+    /// fences gaps on key *presence*, not visibility. `None` means the
+    /// store ends before `from` (callers lock the EOF sentinel instead).
+    ///
+    /// # Errors
+    ///
+    /// Integrity violations from block verification.
+    pub fn successor_key(&self, from: &[u8]) -> Result<Option<UserKey>> {
+        let mut found = None;
+        self.merge_scan(from, None, SeqNum::MAX, |key, _seq, _value, _shadow| {
+            found = Some(key);
+            false
+        })?;
+        Ok(found)
+    }
+
+    /// Every key *present* in `[start, end)` — visible, point-deleted or
+    /// tombstone-shadowed alike. Pessimistic range deletes X-lock this set
+    /// (plus the gap bound) so concurrent writers of any version of a
+    /// covered key serialize against the delete.
+    ///
+    /// # Errors
+    ///
+    /// Integrity violations from block verification.
+    pub(crate) fn keys_in_range(&self, start: &[u8], end: &[u8]) -> Result<Vec<UserKey>> {
+        let mut keys = Vec::new();
+        self.merge_scan(start, Some(end), SeqNum::MAX, |key, _seq, _value, _shadow| {
+            keys.push(key);
+            true
+        })?;
+        Ok(keys)
+    }
+
+    /// The k-way merge under scans: yields the newest version `<= snapshot`
+    /// of each key in `[start, end)` in key order, together with the
+    /// newest covering range-tombstone seq (0 = none), until `visit`
+    /// returns `false` or the span is exhausted.
+    fn merge_scan<F>(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        snapshot: SeqNum,
+        mut visit: F,
+    ) -> Result<()>
+    where
+        F: FnMut(UserKey, SeqNum, Option<Vec<u8>>, SeqNum) -> bool,
+    {
+        let _span = treaty_sim::obs::span("store.scan");
+        self.inner.stats.scans.fetch_add(1, Ordering::Relaxed);
+        // Pin a consistent view: Arc bumps, no copies. Tables retired by a
+        // racing compaction stay alive (and on disk — GC is
+        // stabilization-gated) until these references drop.
+        let mem = self.inner.mem.read().clone();
+        let frozen: Vec<Arc<MemTable>> = self.inner.frozen.read().clone();
+        let levels = Arc::clone(&*self.inner.levels.read());
+
+        // Range tombstones intersecting the span, from every source. Seqs
+        // are global, so one flat set shadows correctly across levels.
+        let in_span = |rt: &RangeTombstone| {
+            rt.seq <= snapshot
+                && rt.end.as_slice() > start
+                && end.map(|e| rt.start.as_slice() < e).unwrap_or(true)
+        };
+        let mut tombs: Vec<RangeTombstone> = Vec::new();
+        tombs.extend(mem.range_tombstones().into_iter().filter(in_span));
+        for m in &frozen {
+            tombs.extend(m.range_tombstones().into_iter().filter(in_span));
+        }
+
+        let mut sources: Vec<ScanSource<'_>> = Vec::new();
+        sources.push(ScanSource::Mem(mem.range_cursor(start, end)));
+        for m in &frozen {
+            sources.push(ScanSource::Mem(m.range_cursor(start, end)));
+        }
+        for t in levels.iter().flatten() {
+            let overlaps = t.meta().max_key.as_slice() >= start
+                && end.map(|e| t.meta().min_key.as_slice() < e).unwrap_or(true);
+            if !overlaps {
+                continue;
+            }
+            tombs.extend(
+                t.meta()
+                    .range_tombstones
+                    .iter()
+                    .filter(|rt| in_span(rt))
+                    .cloned(),
+            );
+            sources.push(ScanSource::Table(t.range_cursor(start)?));
+        }
+
+        let mut heads: Vec<Option<(UserKey, SeqNum, Option<Vec<u8>>)>> =
+            Vec::with_capacity(sources.len());
+        for src in &mut sources {
+            heads.push(refill(src, end, snapshot)?);
+        }
+        let mut last_key: Option<UserKey> = None;
+        loop {
+            // Smallest key wins; seq desc breaks ties so the first record
+            // of each key is its newest visible version.
+            let mut best: Option<usize> = None;
+            for (i, h) in heads.iter().enumerate() {
+                let Some((k, s, _)) = h else { continue };
+                let better = match best {
+                    None => true,
+                    Some(j) => {
+                        let (bk, bs, _) = heads[j].as_ref().expect("best head present");
+                        match k.cmp(bk) {
+                            std::cmp::Ordering::Less => true,
+                            std::cmp::Ordering::Greater => false,
+                            std::cmp::Ordering::Equal => s > bs,
+                        }
+                    }
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+            let Some(i) = best else { break };
+            let (key, seq, value) = heads[i].take().expect("selected head present");
+            heads[i] = refill(&mut sources[i], end, snapshot)?;
+            if last_key.as_ref() == Some(&key) {
+                continue; // older version of a key already decided
+            }
+            let shadow = tombs
+                .iter()
+                .filter(|rt| rt.covers(&key))
+                .map(|rt| rt.seq)
+                .max()
+                .unwrap_or(0);
+            last_key = Some(key.clone());
+            if !visit(key, seq, value, shadow) {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
     // ---- commit path (group commit, §VII-B) --------------------------------
 
     /// Durably commits a write set: WAL append (group-batched across
@@ -725,17 +1117,23 @@ impl TreatyStore {
         &self,
         seq: SeqNum,
         writes: &[WriteOp],
+        ranges: &[(UserKey, UserKey)],
     ) -> Result<(SeqNum, u64, Arc<LogWriter>)> {
         let record = serde_json::to_vec(&WalRecord::Commit {
             seq,
             writes: writes.to_vec(),
+            ranges: ranges.to_vec(),
         })
         .expect("wal record serializes");
         let applied: Vec<(UserKey, SeqNum, Option<Vec<u8>>)> = writes
             .iter()
             .map(|w| (w.key.clone(), seq, w.value.clone()))
             .collect();
-        let (counter, wal) = self.group_commit(record, applied)?;
+        let applied_ranges: Vec<(UserKey, UserKey, SeqNum)> = ranges
+            .iter()
+            .map(|(s, e)| (s.clone(), e.clone(), seq))
+            .collect();
+        let (counter, wal) = self.group_commit(record, applied, applied_ranges)?;
         // The commit is in the WAL and the MemTable but not yet acked to
         // the caller — recovery must replay it from the log alone.
         treaty_sim::crashpoint::hit("store.commit_logged");
@@ -747,6 +1145,7 @@ impl TreatyStore {
         &self,
         record: Vec<u8>,
         writes: Vec<(UserKey, SeqNum, Option<Vec<u8>>)>,
+        ranges: Vec<(UserKey, UserKey, SeqNum)>,
     ) -> Result<(u64, Arc<LogWriter>)> {
         if treaty_sim::runtime::in_fiber() {
             treaty_sim::runtime::set_tag("e:group_commit");
@@ -757,6 +1156,7 @@ impl TreatyStore {
         self.inner.commit_queue.lock().push(CommitReq {
             record,
             writes,
+            ranges,
             done: Arc::clone(&done),
         });
 
@@ -795,6 +1195,12 @@ impl TreatyStore {
                             None => mem.delete(key, *seq),
                         }
                     }
+                    // Same-seq point writes win over the transaction's own
+                    // range deletes (tombstones shadow strictly-older seqs
+                    // only), so apply order within the request is free.
+                    for (start, end, seq) in &req.ranges {
+                        mem.delete_range(start, end, *seq);
+                    }
                     let counter = first + i as u64;
                     if Arc::ptr_eq(&req.done, &done) {
                         my_result = Some(Ok((counter, Arc::clone(&wal))));
@@ -826,7 +1232,12 @@ impl TreatyStore {
 
     /// Applies a decided prepared transaction's writes to the MemTable and
     /// flushes if due (the WAL already carries its `Decide` record).
-    pub(crate) fn apply_decided(&self, seq: SeqNum, writes: &[WriteOp]) -> Result<()> {
+    pub(crate) fn apply_decided(
+        &self,
+        seq: SeqNum,
+        writes: &[WriteOp],
+        ranges: &[(UserKey, UserKey)],
+    ) -> Result<()> {
         let guard = self.inner.commit_lock.lock();
         let mem = self.inner.mem.read().clone();
         for w in writes {
@@ -834,6 +1245,9 @@ impl TreatyStore {
                 Some(v) => mem.put(&w.key, seq, v),
                 None => mem.delete(&w.key, seq),
             }
+        }
+        for (start, end) in ranges {
+            mem.delete_range(start, end, seq);
         }
         let r = self.maybe_flush_locked();
         drop(guard);
@@ -960,10 +1374,9 @@ impl TreatyStore {
         // not prepares, which append through `wal_append` on whichever
         // generation is current — still the old one, which is only deleted
         // after the build's MANIFEST edits, so no record is lost.)
-        let prepared_snapshot: Vec<(GlobalTxId, Vec<WriteOp>)> =
-            self.inner.prepared.snapshot_writes();
-        for (gtx, writes) in prepared_snapshot {
-            let rec = serde_json::to_vec(&WalRecord::Prepare { gtx, writes }).unwrap();
+        let prepared_snapshot = self.inner.prepared.snapshot_writes();
+        for (gtx, writes, ranges) in prepared_snapshot {
+            let rec = serde_json::to_vec(&WalRecord::Prepare { gtx, writes, ranges }).unwrap();
             wal.append(&rec)?;
         }
         *self.inner.wal.write() = wal;
@@ -983,9 +1396,10 @@ impl TreatyStore {
         }
         let _span = treaty_sim::obs::span("store.flush");
         let entries = work.frozen.freeze_entries()?;
+        let tombstones = work.frozen.range_tombstones();
         let file_id = self.inner.next_file_id.fetch_add(1, Ordering::SeqCst);
         let path = self.inner.env.dir.join(sstable::file_name(file_id));
-        sstable::build(&self.inner.env, &path, file_id, &entries)?;
+        sstable::build(&self.inner.env, &path, file_id, &entries, &tombstones)?;
         let table = Arc::new(SsTable::open(Arc::clone(&self.inner.env), &path)?);
         {
             let mut levels = self.inner.levels.write();
@@ -1237,12 +1651,33 @@ impl TreatyStore {
         for t in inputs_upper.iter().chain(inputs_lower.iter()) {
             cursors.push(CompactCursor::new(Arc::clone(t))?);
         }
+        // Range tombstones from every input ride the outputs (partitioned
+        // below) until the bottom level, where they — and the versions
+        // they shadow — are garbage-collected for good.
+        let mut tombs: Vec<RangeTombstone> = inputs_upper
+            .iter()
+            .chain(inputs_lower.iter())
+            .flat_map(|t| t.meta().range_tombstones.clone())
+            .collect();
+        tombs.sort_by(|a, b| (&a.start, &a.end, a.seq).cmp(&(&b.start, &b.end, b.seq)));
+        tombs.dedup();
 
-        // Write output tables, splitting at the size target.
+        // Write output tables, splitting at the size target. A size-full
+        // chunk is *parked* until the next key fixes its partition bound:
+        // each output carries only the tombstone fragments inside its
+        // partition of the key space, so output key ranges (which widen
+        // over tombstones) stay non-overlapping — the invariant deeper
+        // levels' first-covering-table reads rely on.
         let mut outputs = Vec::new();
         let mut chunk: Vec<(UserKey, SeqNum, Option<Vec<u8>>)> = Vec::new();
         let mut chunk_bytes = 0usize;
+        // Partition start of the accumulating chunk (`None` = unbounded:
+        // the first output also owns everything left of its first key).
+        let mut chunk_lo: Option<UserKey> = None;
+        let mut parked: Option<(Vec<(UserKey, SeqNum, Option<Vec<u8>>)>, Option<UserKey>)> = None;
+        let mut boundary_pending = false;
         let target = self.inner.env.config.sstable_bytes;
+        let live_tombs: Vec<RangeTombstone> = if bottom { Vec::new() } else { tombs.clone() };
         loop {
             // Smallest key across the cursor heads.
             let mut key: Option<UserKey> = None;
@@ -1254,6 +1689,16 @@ impl TreatyStore {
                 }
             }
             let Some(key) = key else { break };
+            if boundary_pending {
+                // This key opens a new partition; the parked chunk's span
+                // ends right before it.
+                if let Some((entries, lo)) = parked.take() {
+                    let frag = tomb_fragments(&live_tombs, lo.as_deref(), Some(&key));
+                    outputs.push(self.write_table(&entries, &frag)?);
+                }
+                chunk_lo = Some(key.clone());
+                boundary_pending = false;
+            }
             // Consume every version of `key`, keeping the newest. Strict
             // `>` so the earliest cursor — the newer level — wins seq ties.
             let mut best: Option<(SeqNum, Option<Vec<u8>>)> = None;
@@ -1266,19 +1711,39 @@ impl TreatyStore {
                 }
             }
             let (seq, value) = best.expect("some cursor headed this key");
-            if bottom && value.is_none() {
-                continue; // tombstone reached the bottom level: drop it
+            if bottom {
+                let shadow = tombs
+                    .iter()
+                    .filter(|rt| rt.covers(&key))
+                    .map(|rt| rt.seq)
+                    .max()
+                    .unwrap_or(0);
+                if value.is_none() || shadow > seq {
+                    continue; // (range-)deleted at the bottom level: drop it
+                }
             }
             chunk_bytes += key.len() + value.as_ref().map(|v| v.len()).unwrap_or(0) + 17;
             chunk.push((key, seq, value));
             if chunk_bytes >= target {
-                outputs.push(self.write_table(&chunk)?);
-                chunk.clear();
+                parked = Some((std::mem::take(&mut chunk), chunk_lo.take()));
                 chunk_bytes = 0;
+                boundary_pending = true;
             }
         }
+        if let Some((entries, lo)) = parked.take() {
+            // The merge ended with a chunk parked: it is the last output
+            // unless the open chunk reopened after it.
+            let hi = chunk.first().map(|e| e.0.clone());
+            let frag = tomb_fragments(&live_tombs, lo.as_deref(), hi.as_deref());
+            outputs.push(self.write_table(&entries, &frag)?);
+        }
         if !chunk.is_empty() {
-            outputs.push(self.write_table(&chunk)?);
+            let frag = tomb_fragments(&live_tombs, chunk_lo.as_deref(), None);
+            outputs.push(self.write_table(&chunk, &frag)?);
+        } else if outputs.is_empty() && !live_tombs.is_empty() {
+            // Every point version was consumed but undischarged tombstones
+            // must survive to shadow deeper levels: a tombstone-only table.
+            outputs.push(self.write_table(&[], &live_tombs)?);
         }
 
         // Publish: outputs into level+1, record edits, retire inputs.
@@ -1324,10 +1789,14 @@ impl TreatyStore {
         Ok(())
     }
 
-    fn write_table(&self, entries: &[(UserKey, SeqNum, Option<Vec<u8>>)]) -> Result<Arc<SsTable>> {
+    fn write_table(
+        &self,
+        entries: &[(UserKey, SeqNum, Option<Vec<u8>>)],
+        range_tombstones: &[RangeTombstone],
+    ) -> Result<Arc<SsTable>> {
         let file_id = self.inner.next_file_id.fetch_add(1, Ordering::SeqCst);
         let path = self.inner.env.dir.join(sstable::file_name(file_id));
-        sstable::build(&self.inner.env, &path, file_id, entries)?;
+        sstable::build(&self.inner.env, &path, file_id, entries, range_tombstones)?;
         Ok(Arc::new(SsTable::open(Arc::clone(&self.inner.env), &path)?))
     }
 
@@ -1457,7 +1926,7 @@ impl TreatyStore {
                 let rec: WalRecord = serde_json::from_slice(payload)
                     .map_err(|_| StoreError::Integrity("wal record does not parse".into()))?;
                 match rec {
-                    WalRecord::Commit { seq, writes } => {
+                    WalRecord::Commit { seq, writes, ranges } => {
                         max_seq = max_seq.max(seq);
                         for w in writes {
                             match w.value {
@@ -1465,10 +1934,18 @@ impl TreatyStore {
                                 None => mem.delete(&w.key, seq),
                             }
                         }
+                        for (start, end) in ranges {
+                            mem.delete_range(&start, &end, seq);
+                        }
                     }
-                    WalRecord::Prepare { gtx, writes } => {
+                    WalRecord::Prepare { gtx, writes, ranges } => {
                         let owner = next_txid;
                         next_txid += 1;
+                        // Recovery re-acquires the write-set locks only: the
+                        // gap/next-key locks a pessimistic range delete held
+                        // pre-crash are not logged, so phantom protection for
+                        // in-doubt ranges falls back to the prepared-range
+                        // index (overlaps_span) until the decision lands.
                         for w in &writes {
                             locks
                                 .try_lock(owner, &w.key, crate::locks::LockMode::Exclusive)
@@ -1478,10 +1955,14 @@ impl TreatyStore {
                                     )
                                 })?;
                         }
+                        let lock_keys: Vec<UserKey> =
+                            writes.iter().map(|w| w.key.clone()).collect();
                         prepared.insert(
                             gtx,
                             PreparedState {
                                 writes,
+                                ranges,
+                                lock_keys,
                                 lock_owner: owner,
                                 deciding: false,
                             },
@@ -1489,7 +1970,7 @@ impl TreatyStore {
                     }
                     WalRecord::Decide { gtx, commit, seq } => {
                         if let Some(st) = prepared.remove(&gtx) {
-                            locks.release(st.lock_owner, st.writes.iter().map(|w| w.key.clone()));
+                            locks.release(st.lock_owner, st.lock_keys.iter().cloned());
                             if commit {
                                 max_seq = max_seq.max(seq);
                                 for w in st.writes {
@@ -1497,6 +1978,9 @@ impl TreatyStore {
                                         Some(v) => mem.put(&w.key, seq, &v),
                                         None => mem.delete(&w.key, seq),
                                     }
+                                }
+                                for (start, end) in st.ranges {
+                                    mem.delete_range(&start, &end, seq);
                                 }
                             }
                         }
@@ -1547,6 +2031,7 @@ impl TreatyStore {
             maintenance_lock: FiberMutex::new(),
             maintenance_running: AtomicBool::new(false),
             gc_stabilizing: AtomicBool::new(false),
+            active_scans: AtomicU64::new(0),
             stats: StatsCells::default(),
             env,
         };
@@ -1554,6 +2039,72 @@ impl TreatyStore {
             inner: Arc::new(inner),
         })
     }
+}
+
+/// Clips `tombs` to the partition `[lo, hi)` (`None` = unbounded on that
+/// side), dropping fragments that come up empty. Compaction outputs each
+/// carry only their partition's fragments so the tombstone extents tile
+/// the key space without creating overlapping output tables.
+fn tomb_fragments(
+    tombs: &[RangeTombstone],
+    lo: Option<&[u8]>,
+    hi: Option<&[u8]>,
+) -> Vec<RangeTombstone> {
+    let mut out = Vec::new();
+    for rt in tombs {
+        let start = match lo {
+            Some(lo) if rt.start.as_slice() < lo => lo.to_vec(),
+            _ => rt.start.clone(),
+        };
+        let end = match hi {
+            Some(hi) if rt.end.as_slice() > hi => hi.to_vec(),
+            _ => rt.end.clone(),
+        };
+        if start < end {
+            out.push(RangeTombstone {
+                start,
+                end,
+                seq: rt.seq,
+            });
+        }
+    }
+    out
+}
+
+/// One input of the authenticated merge scan: a MemTable shard-merge
+/// cursor or a verified SSTable block cursor, unified behind one `next`.
+enum ScanSource<'a> {
+    Mem(MemCursor<'a>),
+    Table(TableCursor),
+}
+
+impl ScanSource<'_> {
+    fn next(&mut self) -> Result<Option<(UserKey, SeqNum, Option<Vec<u8>>)>> {
+        match self {
+            ScanSource::Mem(c) => c.next(),
+            ScanSource::Table(c) => Ok(c.next()?.map(|r| (r.key, r.seq, r.value))),
+        }
+    }
+}
+
+/// Pulls the next record ≤ `snapshot` and < `end` out of `src`; a record
+/// at or past `end` exhausts the source (cursors yield keys in order).
+fn refill(
+    src: &mut ScanSource<'_>,
+    end: Option<&[u8]>,
+    snapshot: SeqNum,
+) -> Result<Option<(UserKey, SeqNum, Option<Vec<u8>>)>> {
+    while let Some((key, seq, value)) = src.next()? {
+        if let Some(end) = end {
+            if key.as_slice() >= end {
+                return Ok(None);
+            }
+        }
+        if seq <= snapshot {
+            return Ok(Some((key, seq, value)));
+        }
+    }
+    Ok(None)
 }
 
 /// A streaming scan over one compaction input: holds one decoded block of

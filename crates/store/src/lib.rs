@@ -39,7 +39,7 @@ pub use bloom::BloomFilter;
 pub use cache::{BlockCache, ReadAccelStats};
 pub use engine::{EngineIntrospection, EngineStats, TreatyStore};
 pub use env::{EngineConfig, Env};
-pub use locks::{LockMode, LockTable};
+pub use locks::{LockMode, LockTable, EOF_SENTINEL};
 pub use txn::{
     CommitInfo, EngineTxn, GlobalTxId, NullEngine, SharedNullEngine, Txn, TxnEngine, TxnMode,
     TxnOptions,

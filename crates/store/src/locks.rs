@@ -22,6 +22,13 @@ use crate::{Result, StoreError};
 /// A lock owner: one transaction.
 pub type TxId = u64;
 
+/// The next-key lock target when a scan or range delete runs off the end
+/// of the key space: there is no "first existing key ≥ end" to lock, so
+/// the gap to infinity is fenced by this sentinel instead. It is a lock
+/// name only — never a stored key — and sorts above every workload key
+/// (workloads use short printable keys; `0xff` leads deliberately).
+pub const EOF_SENTINEL: &[u8] = b"\xff\xff\xff\xff__treaty_eof_sentinel";
+
 /// Requested lock strength.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LockMode {

@@ -18,8 +18,8 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use crate::engine::{EngineIntrospection, PreparedState, TreatyStore, WalRecord};
-use crate::locks::{LockMode, LockTable};
+use crate::engine::{EngineIntrospection, PreparedDecision, PreparedState, TreatyStore, WalRecord};
+use crate::locks::{LockMode, LockTable, EOF_SENTINEL};
 use crate::memtable::{SeqNum, UserKey};
 use crate::{Result, StoreError};
 
@@ -167,6 +167,17 @@ pub struct Txn {
     buffer: TxBuffer,
     locked: Vec<UserKey>,
     read_set: Vec<(UserKey, SeqNum)>,
+    /// Buffered range deletes, in buffer order.
+    ranges: Vec<(UserKey, UserKey)>,
+    /// Next-key / gap locks (scans, range deletes): the subset of `locked`
+    /// that must survive into the prepared record — releasing them at
+    /// prepare would let a phantom slip under an in-doubt predicate.
+    range_locked: Vec<UserKey>,
+    /// Scanned spans `(start, end, raw_limit, raw results)`, re-validated
+    /// at OCC commit by re-running the scan and comparing.
+    scan_set: Vec<(UserKey, UserKey, usize, Vec<(UserKey, Vec<u8>)>)>,
+    /// Whether this txn bumped the store's `active_scans` gauge.
+    scan_registered: bool,
     state: TxnState,
 }
 
@@ -190,6 +201,10 @@ impl Txn {
             buffer: TxBuffer::new(),
             locked: Vec::new(),
             read_set: Vec::new(),
+            ranges: Vec::new(),
+            range_locked: Vec::new(),
+            scan_set: Vec::new(),
+            scan_registered: false,
             state: TxnState::Active,
         }
     }
@@ -210,9 +225,46 @@ impl Txn {
         Ok(())
     }
 
+    /// Takes a next-key / gap lock: tracked in `range_locked` so it is
+    /// held through prepare until the 2PC decision.
+    fn lock_gap(&mut self, key: &[u8], mode: LockMode) -> Result<()> {
+        self.lock(key, mode)?;
+        if !self.range_locked.iter().any(|k| k == key) {
+            self.range_locked.push(key.to_vec());
+        }
+        Ok(())
+    }
+
+    /// Registers this txn on the store's `active_scans` gauge (once).
+    /// While the gauge is non-zero, point inserts pay the successor gap
+    /// lock that makes next-key locking airtight; the gauge drops when
+    /// the txn finishes or prepares (a prepared txn never reads again,
+    /// so a later insert serializes after its lock point regardless).
+    fn register_scan(&mut self) {
+        if !self.scan_registered {
+            self.scan_registered = true;
+            self.store
+                .inner
+                .active_scans
+                .fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn unregister_scan(&mut self) {
+        if self.scan_registered {
+            self.scan_registered = false;
+            self.store
+                .inner
+                .active_scans
+                .fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
     fn release_locks(&mut self) {
         let keys = std::mem::take(&mut self.locked);
+        self.range_locked.clear();
         self.store.inner.locks.release(self.id, keys);
+        self.unregister_scan();
     }
 
     fn abort_with(&mut self, err: StoreError) -> StoreError {
@@ -224,6 +276,58 @@ impl Txn {
             .aborts
             .fetch_add(1, Ordering::Relaxed);
         err
+    }
+
+    /// The key fencing the gap at/after `from`: the first key present at
+    /// or after it, or the EOF sentinel when the store ends first.
+    fn gap_bound(&self, from: &[u8]) -> Result<UserKey> {
+        Ok(self
+            .store
+            .successor_key(from)?
+            .unwrap_or_else(|| EOF_SENTINEL.to_vec()))
+    }
+
+    /// Overlays this txn's buffered writes and range deletes onto raw
+    /// store scan results, returning the merged view of `[start, end)`.
+    fn overlay_scan(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        raw: &[(UserKey, Vec<u8>)],
+        limit: usize,
+    ) -> Vec<(UserKey, Vec<u8>)> {
+        let mut view: std::collections::BTreeMap<UserKey, Vec<u8>> =
+            raw.iter().cloned().collect();
+        // Buffered range deletes shadow store state; buffered point writes
+        // are applied afterwards because `delete_range` already rewrote
+        // covered buffer entries, so the buffer is strictly newer.
+        for (s, e) in &self.ranges {
+            let doomed: Vec<UserKey> = view
+                .range(s.clone()..e.clone())
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in doomed {
+                view.remove(&k);
+            }
+        }
+        for op in self.buffer.to_ops() {
+            if op.key.as_slice() < start || op.key.as_slice() >= end {
+                continue;
+            }
+            match op.value {
+                Some(v) => {
+                    view.insert(op.key, v);
+                }
+                None => {
+                    view.remove(&op.key);
+                }
+            }
+        }
+        let mut out: Vec<(UserKey, Vec<u8>)> = view.into_iter().collect();
+        if limit > 0 {
+            out.truncate(limit);
+        }
+        out
     }
 }
 
@@ -249,6 +353,26 @@ pub trait EngineTxn: Send {
     ///
     /// Lock timeouts or use after finish.
     fn delete(&mut self, key: &[u8]) -> Result<()>;
+
+    /// Scans `[start, end)` transactionally (own writes overlaid), up to
+    /// `limit` pairs (`0` = unbounded). Pessimistic transactions take
+    /// next-key locks so the result set admits no phantoms; optimistic
+    /// transactions re-validate the span at commit.
+    ///
+    /// # Errors
+    ///
+    /// Lock timeouts, conflicts, integrity violations, or use after
+    /// finish.
+    fn scan(&mut self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(UserKey, Vec<u8>)>>;
+
+    /// Buffers a range delete of `[start, end)` — a predicate write: every
+    /// present *and future* key in the span up to this txn's commit seq is
+    /// deleted (multi-version range tombstone).
+    ///
+    /// # Errors
+    ///
+    /// Lock timeouts, integrity violations, or use after finish.
+    fn delete_range(&mut self, start: &[u8], end: &[u8]) -> Result<()>;
 
     /// 2PC phase one: durably prepares the transaction under `gtx`,
     /// holding its locks. After this returns the node guarantees it can
@@ -281,6 +405,16 @@ impl EngineTxn for Txn {
         if let Some(own) = self.buffer.get(key) {
             return Ok(own);
         }
+        // Covered by an own buffered range delete: gone. (A covered point
+        // write issued *after* the range delete would have hit the buffer
+        // above — `delete_range` rewrites the older covered entries.)
+        if self
+            .ranges
+            .iter()
+            .any(|(s, e)| s.as_slice() <= key && key < e.as_slice())
+        {
+            return Ok(None);
+        }
         match self.mode {
             TxnMode::Pessimistic => {
                 if let Err(e) = self.lock(key, LockMode::Shared) {
@@ -303,6 +437,27 @@ impl EngineTxn for Txn {
             if let Err(e) = self.lock(key, LockMode::Exclusive) {
                 return Err(self.abort_with(e));
             }
+            // Insert-side half of next-key locking, paid only while some
+            // scan is live: a brand-new key lands in a gap some scanner
+            // may have fenced, and the fence for any gap is the successor
+            // key — which that scanner S-locked. Colliding there is
+            // exactly the phantom being refused. Overwrites of a present
+            // key are fenced by the key's own X-lock above.
+            if self.store.inner.active_scans.load(Ordering::SeqCst) > 0 {
+                let succ = match self.store.successor_key(key) {
+                    Ok(s) => s,
+                    Err(e) => return Err(self.abort_with(e)),
+                };
+                match succ {
+                    Some(k) if k.as_slice() == key => {} // present: overwrite
+                    other => {
+                        let bound = other.unwrap_or_else(|| EOF_SENTINEL.to_vec());
+                        if let Err(e) = self.lock_gap(&bound, LockMode::Exclusive) {
+                            return Err(self.abort_with(e));
+                        }
+                    }
+                }
+            }
         }
         self.store
             .env()
@@ -322,6 +477,149 @@ impl EngineTxn for Txn {
         Ok(())
     }
 
+    fn scan(&mut self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(UserKey, Vec<u8>)>> {
+        self.check_active()?;
+        if start >= end {
+            return Ok(Vec::new());
+        }
+        // Own range deletes / writes can shrink or grow the view, so the
+        // raw fetch may only be limited when there is nothing to overlay.
+        let raw_limit = if limit > 0 && self.buffer.is_empty() && self.ranges.is_empty() {
+            limit
+        } else {
+            0
+        };
+        match self.mode {
+            TxnMode::Pessimistic => {
+                self.register_scan();
+                // Lock-then-verify: S-lock every key *present* in the span
+                // (deleted versions still fence gaps) plus the next key
+                // beyond it, then re-scan; a stable result proves the span
+                // was fully fenced before anything could slip in. Rounds
+                // only ever add locks (2PL never releases mid-txn), so the
+                // loop converges or conflicts out.
+                let mut raw = match self.store.scan(start, end, SeqNum::MAX, raw_limit) {
+                    Ok(r) => r,
+                    Err(e) => return Err(self.abort_with(e)),
+                };
+                let mut rounds = 0;
+                loop {
+                    // A truncated scan fences only what it returned: lock
+                    // up to just past the last returned key, not to `end`.
+                    let lock_end: UserKey =
+                        if raw_limit > 0 && raw.len() == raw_limit {
+                            let mut p = raw.last().expect("truncated scan non-empty").0.clone();
+                            p.push(0);
+                            p
+                        } else {
+                            end.to_vec()
+                        };
+                    let present = match self.store.keys_in_range(start, &lock_end) {
+                        Ok(p) => p,
+                        Err(e) => return Err(self.abort_with(e)),
+                    };
+                    for k in &present {
+                        if let Err(e) = self.lock_gap(k, LockMode::Shared) {
+                            return Err(self.abort_with(e));
+                        }
+                    }
+                    let bound = match self.gap_bound(&lock_end) {
+                        Ok(b) => b,
+                        Err(e) => return Err(self.abort_with(e)),
+                    };
+                    if let Err(e) = self.lock_gap(&bound, LockMode::Shared) {
+                        return Err(self.abort_with(e));
+                    }
+                    let again = match self.store.scan(start, end, SeqNum::MAX, raw_limit) {
+                        Ok(r) => r,
+                        Err(e) => return Err(self.abort_with(e)),
+                    };
+                    let present_again = match self.store.keys_in_range(start, &lock_end) {
+                        Ok(p) => p,
+                        Err(e) => return Err(self.abort_with(e)),
+                    };
+                    if again == raw && present_again == present {
+                        break;
+                    }
+                    raw = again;
+                    rounds += 1;
+                    if rounds > 16 {
+                        return Err(self.abort_with(StoreError::Conflict));
+                    }
+                }
+                Ok(self.overlay_scan(start, end, &raw, limit))
+            }
+            TxnMode::Optimistic => {
+                let raw = self.store.scan(start, end, SeqNum::MAX, raw_limit)?;
+                self.scan_set
+                    .push((start.to_vec(), end.to_vec(), raw_limit, raw.clone()));
+                Ok(self.overlay_scan(start, end, &raw, limit))
+            }
+        }
+    }
+
+    fn delete_range(&mut self, start: &[u8], end: &[u8]) -> Result<()> {
+        self.check_active()?;
+        if start >= end {
+            return Ok(());
+        }
+        if self.mode == TxnMode::Pessimistic {
+            self.register_scan();
+            // X-lock every present covered key plus the gap bound, then
+            // re-list to close the lock-acquisition race; a stable key
+            // list means no writer can slip a new key into the span
+            // before this txn's tombstone seq.
+            let mut covered = match self.store.keys_in_range(start, end) {
+                Ok(c) => c,
+                Err(e) => return Err(self.abort_with(e)),
+            };
+            let mut rounds = 0;
+            loop {
+                for k in &covered {
+                    if let Err(e) = self.lock_gap(k, LockMode::Exclusive) {
+                        return Err(self.abort_with(e));
+                    }
+                }
+                let bound = match self.gap_bound(end) {
+                    Ok(b) => b,
+                    Err(e) => return Err(self.abort_with(e)),
+                };
+                if let Err(e) = self.lock_gap(&bound, LockMode::Exclusive) {
+                    return Err(self.abort_with(e));
+                }
+                let again = match self.store.keys_in_range(start, end) {
+                    Ok(c) => c,
+                    Err(e) => return Err(self.abort_with(e)),
+                };
+                if again == covered {
+                    break;
+                }
+                covered = again;
+                rounds += 1;
+                if rounds > 16 {
+                    return Err(self.abort_with(StoreError::Conflict));
+                }
+            }
+        }
+        // The range supersedes older covered buffer entries — rewrite them
+        // to deletes so read-my-own-writes and the commit order stay
+        // consistent (a covered put issued *after* this call wins again,
+        // both in the buffer and at the store, where same-seq point
+        // writes beat the range tombstone).
+        let doomed: Vec<UserKey> = self
+            .buffer
+            .to_ops()
+            .into_iter()
+            .map(|w| w.key)
+            .filter(|k| k.as_slice() >= start && k.as_slice() < end)
+            .collect();
+        for k in doomed {
+            self.buffer.delete(&k);
+        }
+        self.ranges.push((start.to_vec(), end.to_vec()));
+        Ok(())
+    }
+
     fn prepare(&mut self, gtx: GlobalTxId) -> Result<()> {
         self.check_active()?;
         if self.mode == TxnMode::Optimistic {
@@ -330,9 +628,11 @@ impl EngineTxn for Txn {
             }
         }
         let writes = self.buffer.to_ops();
+        let ranges = self.ranges.clone();
         let (counter, wal) = match self.store.wal_append(&WalRecord::Prepare {
             gtx,
             writes: writes.clone(),
+            ranges: ranges.clone(),
         }) {
             Ok(c) => c,
             Err(e) => return Err(self.abort_with(e)),
@@ -343,28 +643,42 @@ impl EngineTxn for Txn {
             return Err(self.abort_with(e));
         }
         treaty_sim::crashpoint::hit("store.prepare_logged");
-        // Write locks move to the prepared record (same owner id) and are
-        // held until the decision. Read locks may release now: the growing
-        // phase is over and this transaction will never read again, so any
-        // later writer of those keys serializes after it.
-        let write_keys: std::collections::HashSet<&UserKey> =
-            writes.iter().map(|w| &w.key).collect();
+        // Write locks AND the next-key/gap locks of scans and range
+        // deletes move to the prepared record (same owner id) and are held
+        // until the decision — releasing a predicate fence here would let
+        // a phantom commit under an in-doubt scan. Plain read locks may
+        // release now: the growing phase is over and this transaction will
+        // never read again, so any later writer serializes after it.
+        let mut lock_keys: Vec<UserKey> = writes.iter().map(|w| w.key.clone()).collect();
+        for k in &self.range_locked {
+            if !lock_keys.iter().any(|l| l == k) {
+                lock_keys.push(k.clone());
+            }
+        }
+        let retained: std::collections::HashSet<&UserKey> = lock_keys.iter().collect();
         let read_only: Vec<UserKey> = self
             .locked
             .iter()
-            .filter(|k| !write_keys.contains(k))
+            .filter(|k| !retained.contains(k))
             .cloned()
             .collect();
         self.store.inner.prepared.insert(
             gtx,
             PreparedState {
                 writes,
+                ranges,
+                lock_keys,
                 lock_owner: self.id,
                 deciding: false,
             },
         );
         self.store.inner.locks.release(self.id, read_only);
         self.locked.clear();
+        self.range_locked.clear();
+        // A prepared txn never reads again, so later inserts serialize
+        // after its lock point even without the gauge; the retained gap
+        // locks still physically block them until the decision.
+        self.unregister_scan();
         self.state = TxnState::Prepared;
         Ok(())
     }
@@ -376,7 +690,7 @@ impl EngineTxn for Txn {
                 return Err(self.abort_with(e));
             }
         }
-        if self.buffer.is_empty() {
+        if self.buffer.is_empty() && self.ranges.is_empty() {
             // Read-only: nothing to log.
             self.release_locks();
             self.state = TxnState::Finished;
@@ -392,7 +706,7 @@ impl EngineTxn for Txn {
         }
         let writes = self.buffer.to_ops();
         let seq = self.store.inner.seq.fetch_add(1, Ordering::SeqCst) + 1;
-        let (seq, counter, wal) = match self.store.commit_writes(seq, &writes) {
+        let (seq, counter, wal) = match self.store.commit_writes(seq, &writes, &self.ranges) {
             Ok(x) => x,
             Err(e) => {
                 // The seq is allocated but the commit failed: fill its
@@ -435,7 +749,8 @@ impl EngineTxn for Txn {
 }
 
 impl Txn {
-    /// OCC validation: write set lockable, read versions unchanged.
+    /// OCC validation: write set lockable, read versions unchanged,
+    /// scanned spans unchanged, range-delete spans lockable.
     fn validate_optimistic(&mut self) -> Result<()> {
         let write_keys: Vec<UserKey> = self.buffer.to_ops().into_iter().map(|w| w.key).collect();
         for key in &write_keys {
@@ -446,9 +761,52 @@ impl Txn {
                 .map_err(|_| StoreError::Conflict)?;
             self.locked.push(key.clone());
         }
+        // Range deletes: X-lock every present covered key plus the gap
+        // bound, exactly as the pessimistic path does at execution time.
+        let ranges = self.ranges.clone();
+        for (s, e) in &ranges {
+            let mut targets = self.store.keys_in_range(s, e)?;
+            targets.push(self.gap_bound(e)?);
+            for k in targets {
+                self.store
+                    .inner
+                    .locks
+                    .try_lock(self.id, &k, LockMode::Exclusive)
+                    .map_err(|_| StoreError::Conflict)?;
+                self.locked.push(k);
+            }
+        }
+        // Inserts of brand-new keys while some scan is live: colliding on
+        // the successor's fence lock is a phantom being refused; an
+        // overwrite conflicts on the key's own X-lock above instead.
+        if !write_keys.is_empty() && self.store.inner.active_scans.load(Ordering::SeqCst) > 0 {
+            for key in &write_keys {
+                let succ = self.store.successor_key(key)?;
+                match succ {
+                    Some(k) if &k == key => {}
+                    other => {
+                        let bound = other.unwrap_or_else(|| EOF_SENTINEL.to_vec());
+                        self.store
+                            .inner
+                            .locks
+                            .try_lock(self.id, &bound, LockMode::Exclusive)
+                            .map_err(|_| StoreError::Conflict)?;
+                        self.locked.push(bound);
+                    }
+                }
+            }
+        }
         for (key, seen) in &self.read_set {
             let now = self.store.latest_seq(key)?;
             if now != *seen {
+                return Err(StoreError::Conflict);
+            }
+        }
+        // Scan re-validation: the raw span must read back identically —
+        // any slipped-in, removed or rewritten key is a conflict.
+        for (s, e, raw_limit, raw) in &self.scan_set {
+            let again = self.store.scan(s, e, SeqNum::MAX, *raw_limit)?;
+            if &again != raw {
                 return Err(StoreError::Conflict);
             }
         }
@@ -498,6 +856,22 @@ pub trait TxnEngine: Send + Sync {
     /// violations.
     fn snapshot_get(&self, key: &[u8], ts: SeqNum) -> Result<Option<Vec<u8>>>;
 
+    /// Lock-free snapshot scan of `[start, end)` at `ts` (see
+    /// `TreatyStore::snapshot_scan`), up to `limit` pairs (`0` =
+    /// unbounded).
+    ///
+    /// # Errors
+    ///
+    /// `SnapshotStale` / `SnapshotInDoubt` retry signals, or integrity
+    /// violations.
+    fn snapshot_scan(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        ts: SeqNum,
+        limit: usize,
+    ) -> Result<Vec<(UserKey, Vec<u8>)>>;
+
     /// Whether a snapshot read of `key` at `ts` is still current — no
     /// newer committed version, no overlapping in-doubt prepare (see
     /// `TreatyStore::snapshot_validate`).
@@ -506,6 +880,16 @@ pub trait TxnEngine: Send + Sync {
     ///
     /// Integrity violations from the version lookup.
     fn snapshot_validate(&self, key: &[u8], ts: SeqNum) -> Result<bool>;
+
+    /// Whether a snapshot scan of `[start, end)` at `ts` is still current —
+    /// no newer version of any key in the span, no key inserted into it,
+    /// no newer range tombstone over it, no overlapping in-doubt prepare
+    /// (see `TreatyStore::snapshot_validate_span`).
+    ///
+    /// # Errors
+    ///
+    /// Integrity violations from the span walk.
+    fn snapshot_validate_span(&self, start: &[u8], end: &[u8], ts: SeqNum) -> Result<bool>;
 
     /// Live introspection for the OBS_SNAPSHOT RPC. Defaults to zeroes so
     /// engines without a write path (test doubles) serve empty snapshots.
@@ -530,7 +914,12 @@ impl TxnEngine for TreatyStore {
         // apply both yield). Without that hold, a multi-shard read-only
         // transaction that saw the commit on one shard could validate
         // cleanly here and tear the snapshot.
-        let (writes, lock_owner) = match self.inner.prepared.begin_decide(&gtx) {
+        let PreparedDecision {
+            writes,
+            ranges,
+            lock_keys,
+            lock_owner,
+        } = match self.inner.prepared.begin_decide(&gtx) {
             Some(x) => x,
             None => return Ok(()), // already decided or deciding: ignore (§VI)
         };
@@ -547,11 +936,9 @@ impl TxnEngine for TreatyStore {
             self.inner.frontier.record(seq);
             return Err(e);
         }
-        let applied = self.apply_decided(seq, &writes);
+        let applied = self.apply_decided(seq, &writes, &ranges);
         self.inner.prepared.finish_decide(&gtx);
-        self.inner
-            .locks
-            .release(lock_owner, writes.iter().map(|w| w.key.clone()));
+        self.inner.locks.release(lock_owner, lock_keys);
         // The commit decision's rollback protection is the coordinator's
         // Clog; the participant need not wait here (§V-A). The version is
         // nonetheless snapshot-stable already: the prepare record was
@@ -567,7 +954,11 @@ impl TxnEngine for TreatyStore {
     }
 
     fn abort_prepared(&self, gtx: GlobalTxId) -> Result<()> {
-        let (writes, lock_owner) = match self.inner.prepared.begin_decide(&gtx) {
+        let PreparedDecision {
+            lock_keys,
+            lock_owner,
+            ..
+        } = match self.inner.prepared.begin_decide(&gtx) {
             Some(x) => x,
             None => return Ok(()),
         };
@@ -582,9 +973,7 @@ impl TxnEngine for TreatyStore {
             return Err(e);
         }
         self.inner.prepared.finish_decide(&gtx);
-        self.inner
-            .locks
-            .release(lock_owner, writes.iter().map(|w| w.key.clone()));
+        self.inner.locks.release(lock_owner, lock_keys);
         self.inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -601,8 +990,22 @@ impl TxnEngine for TreatyStore {
         TreatyStore::snapshot_get(self, key, ts)
     }
 
+    fn snapshot_scan(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        ts: SeqNum,
+        limit: usize,
+    ) -> Result<Vec<(UserKey, Vec<u8>)>> {
+        TreatyStore::snapshot_scan(self, start, end, ts, limit)
+    }
+
     fn snapshot_validate(&self, key: &[u8], ts: SeqNum) -> Result<bool> {
         TreatyStore::snapshot_validate(self, key, ts)
+    }
+
+    fn snapshot_validate_span(&self, start: &[u8], end: &[u8], ts: SeqNum) -> Result<bool> {
+        TreatyStore::snapshot_validate_span(self, start, end, ts)
     }
 
     fn introspect(&self) -> EngineIntrospection {
@@ -767,6 +1170,35 @@ impl TxnEngine for SharedNullEngine {
         Ok(e.data.lock().get(key).cloned())
     }
 
+    fn snapshot_scan(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        _ts: SeqNum,
+        limit: usize,
+    ) -> Result<Vec<(UserKey, Vec<u8>)>> {
+        let e = &self.shared.inner;
+        let in_doubt = e.prepared.lock().values().any(|(_, writes)| {
+            writes
+                .iter()
+                .any(|w| w.key.as_slice() >= start && w.key.as_slice() < end)
+        });
+        if in_doubt {
+            return Err(StoreError::SnapshotInDoubt);
+        }
+        let data = e.data.lock();
+        let mut out: Vec<(UserKey, Vec<u8>)> = data
+            .iter()
+            .filter(|(k, _)| k.as_slice() >= start && k.as_slice() < end)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        if limit > 0 {
+            out.truncate(limit);
+        }
+        Ok(out)
+    }
+
     fn snapshot_validate(&self, key: &[u8], _ts: SeqNum) -> Result<bool> {
         let e = &self.shared.inner;
         Ok(!e
@@ -774,6 +1206,17 @@ impl TxnEngine for SharedNullEngine {
             .lock()
             .values()
             .any(|(_, writes)| writes.iter().any(|w| w.key == key)))
+    }
+
+    fn snapshot_validate_span(&self, start: &[u8], end: &[u8], _ts: SeqNum) -> Result<bool> {
+        // No versioning: a span is current unless an in-doubt prepare
+        // touches it.
+        let e = &self.shared.inner;
+        Ok(!e.prepared.lock().values().any(|(_, writes)| {
+            writes
+                .iter()
+                .any(|w| w.key.as_slice() >= start && w.key.as_slice() < end)
+        }))
     }
 }
 
@@ -810,6 +1253,71 @@ impl EngineTxn for NullTxnOwned {
         e.locks.lock(self.id, key, LockMode::Exclusive)?;
         self.locked.push(key.to_vec());
         self.buffer.delete(key);
+        Ok(())
+    }
+
+    fn scan(&mut self, start: &[u8], end: &[u8], limit: usize) -> Result<Vec<(UserKey, Vec<u8>)>> {
+        if self.done {
+            return Err(StoreError::Finished);
+        }
+        // Protocol-evaluation engine: S-lock the result set plus the gap
+        // bound so concurrent writers conflict, overlay own writes.
+        let e = &self.engine.inner;
+        let mut view: std::collections::BTreeMap<UserKey, Vec<u8>> = {
+            let data = e.data.lock();
+            data.iter()
+                .filter(|(k, _)| k.as_slice() >= start && k.as_slice() < end)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
+        };
+        let mut fence: Vec<UserKey> = view.keys().cloned().collect();
+        fence.push(EOF_SENTINEL.to_vec());
+        for k in fence {
+            e.locks.lock(self.id, &k, LockMode::Shared)?;
+            self.locked.push(k);
+        }
+        for op in self.buffer.to_ops() {
+            if op.key.as_slice() < start || op.key.as_slice() >= end {
+                continue;
+            }
+            match op.value {
+                Some(v) => {
+                    view.insert(op.key, v);
+                }
+                None => {
+                    view.remove(&op.key);
+                }
+            }
+        }
+        let mut out: Vec<(UserKey, Vec<u8>)> = view.into_iter().collect();
+        if limit > 0 {
+            out.truncate(limit);
+        }
+        Ok(out)
+    }
+
+    fn delete_range(&mut self, start: &[u8], end: &[u8]) -> Result<()> {
+        if self.done {
+            return Err(StoreError::Finished);
+        }
+        // No versioning here: a range delete is the point deletes of every
+        // currently present covered key, under X-locks (plus the EOF
+        // sentinel standing in for the gap bound).
+        let e = &self.engine.inner;
+        let covered: Vec<UserKey> = {
+            let data = e.data.lock();
+            data.keys()
+                .filter(|k| k.as_slice() >= start && k.as_slice() < end)
+                .cloned()
+                .collect()
+        };
+        for k in covered {
+            e.locks.lock(self.id, &k, LockMode::Exclusive)?;
+            self.locked.push(k.clone());
+            self.buffer.delete(&k);
+        }
+        e.locks.lock(self.id, EOF_SENTINEL, LockMode::Exclusive)?;
+        self.locked.push(EOF_SENTINEL.to_vec());
         Ok(())
     }
 

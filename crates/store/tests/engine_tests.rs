@@ -733,3 +733,331 @@ fn background_maintenance_matches_inline_ablation() {
     };
     assert_eq!(run(false), run(true));
 }
+
+// ---- authenticated range scans & range deletes (§V-B, DESIGN.md §15) --------
+
+/// Scans the committed view of `[start, end)`.
+fn scan_committed(store: &TreatyStore, start: &[u8], end: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    store.scan(start, end, u64::MAX, 0).unwrap()
+}
+
+#[test]
+fn scan_merges_memtable_backlog_and_levels_in_order() {
+    let dir = tempfile::tempdir().unwrap();
+    let (_env, store) = open(SecurityProfile::treaty_full(), dir.path());
+    // Old generation: big values force flushes/compactions (tiny config).
+    for i in (0..80u32).step_by(2) {
+        put(
+            &store,
+            format!("s{i:03}").as_bytes(),
+            format!("disk-{i}-{}", "x".repeat(400)).as_bytes(),
+        );
+    }
+    store.flush().unwrap();
+    // Fresh generation: odd keys live only in the active memtable, and a
+    // few even keys get overwritten so the merge must prefer memtable
+    // versions over on-disk ones.
+    for i in (1..80u32).step_by(2) {
+        put(&store, format!("s{i:03}").as_bytes(), format!("mem-{i}").as_bytes());
+    }
+    put(&store, b"s010", b"rewritten");
+
+    let all = scan_committed(&store, b"s000", b"s999");
+    assert_eq!(all.len(), 80, "every key visible exactly once");
+    let keys: Vec<_> = all.iter().map(|(k, _)| k.clone()).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(keys, sorted, "merge must yield sorted, deduplicated keys");
+    let rewritten = all.iter().find(|(k, _)| k == b"s010").unwrap();
+    assert_eq!(rewritten.1, b"rewritten", "memtable version must win");
+
+    // Sub-range + limit.
+    let window = store.scan(b"s010", b"s020", u64::MAX, 4).unwrap();
+    assert_eq!(window.len(), 4);
+    assert!(window.first().unwrap().0 >= b"s010".to_vec());
+    assert!(window.last().unwrap().0 < b"s020".to_vec());
+}
+
+#[test]
+fn range_delete_shadows_survive_flush_compaction_and_recovery() {
+    let dir = tempfile::tempdir().unwrap();
+    let env = Env::for_testing(SecurityProfile::treaty_full(), dir.path());
+    {
+        let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+        for i in 0..60u32 {
+            put(
+                &store,
+                format!("r{i:03}").as_bytes(),
+                format!("v{i}-{}", "y".repeat(300)).as_bytes(),
+            );
+        }
+        let mut tx = store.begin_mode(TxnMode::Pessimistic);
+        tx.delete_range(b"r020", b"r040").unwrap();
+        tx.commit().unwrap();
+        // A later point write inside the deleted span resurrects that key
+        // only (newer version than the tombstone).
+        put(&store, b"r025", b"resurrected");
+
+        let live = scan_committed(&store, b"r000", b"r999");
+        assert_eq!(live.len(), 41, "40 survivors + 1 resurrected");
+        assert!(live.iter().all(|(k, _)| {
+            k.as_slice() < b"r020" as &[u8] || k.as_slice() >= b"r040" as &[u8] || k == b"r025"
+        }));
+        assert_eq!(store.get_committed(b"r030").unwrap(), None);
+        assert_eq!(
+            store.get_committed(b"r025").unwrap(),
+            Some(b"resurrected".to_vec())
+        );
+        // Tombstones must ride flushes and compactions.
+        store.flush().unwrap();
+        store.drain_maintenance().unwrap();
+        assert_eq!(scan_committed(&store, b"r000", b"r999").len(), 41);
+        assert_eq!(store.get_committed(b"r030").unwrap(), None);
+        // crash without shutdown
+    }
+    // Recovery must replay the range-tombstone WAL record.
+    let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+    let live = scan_committed(&store, b"r000", b"r999");
+    assert_eq!(live.len(), 41, "range delete lost across recovery");
+    assert_eq!(store.get_committed(b"r030").unwrap(), None);
+    assert_eq!(
+        store.get_committed(b"r025").unwrap(),
+        Some(b"resurrected".to_vec())
+    );
+}
+
+#[test]
+fn next_key_locking_blocks_phantom_inserts() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let env = Env::for_testing(SecurityProfile::treaty_full(), &path);
+        let store = TreatyStore::open(env).unwrap();
+        put(&store, b"p10", b"a");
+        put(&store, b"p30", b"b");
+
+        let mut scanner = store.begin_mode(TxnMode::Pessimistic);
+        let seen = scanner.scan(b"p00", b"p99", 0).unwrap();
+        assert_eq!(seen.len(), 2);
+
+        // A concurrent insert into the scanned span is a phantom: it must
+        // block on the gap fence (the successor's S-lock) and time out.
+        let store2 = store.clone();
+        let phantom = spawn(move || {
+            let mut t2 = store2.begin_mode(TxnMode::Pessimistic);
+            let err = t2.put(b"p20", b"phantom").unwrap_err();
+            assert_eq!(err, StoreError::LockTimeout, "phantom insert must block");
+        });
+        join(phantom);
+
+        // Re-scan inside the same transaction: the result set is unchanged
+        // (serializable — no phantom appeared).
+        assert_eq!(scanner.scan(b"p00", b"p99", 0).unwrap(), seen);
+        scanner.commit().unwrap();
+
+        // After the scanner commits, the same insert proceeds.
+        put(&store, b"p20", b"now-fine");
+        assert_eq!(
+            store.get_committed(b"p20").unwrap(),
+            Some(b"now-fine".to_vec())
+        );
+    });
+}
+
+#[test]
+fn range_delete_locks_out_concurrent_writers_in_span() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let env = Env::for_testing(SecurityProfile::treaty_full(), &path);
+        let store = TreatyStore::open(env).unwrap();
+        put(&store, b"d1", b"v");
+        put(&store, b"d5", b"v");
+
+        let mut deleter = store.begin_mode(TxnMode::Pessimistic);
+        deleter.delete_range(b"d0", b"d9").unwrap();
+
+        let store2 = store.clone();
+        let writer = spawn(move || {
+            let mut t2 = store2.begin_mode(TxnMode::Pessimistic);
+            // Covered present key: X-locked by the range delete.
+            let err = t2.put(b"d5", b"late").unwrap_err();
+            assert_eq!(err, StoreError::LockTimeout);
+        });
+        join(writer);
+        let store3 = store.clone();
+        let inserter = spawn(move || {
+            let mut t3 = store3.begin_mode(TxnMode::Pessimistic);
+            // Fresh key inside the span: caught by the gap fence.
+            let err = t3.put(b"d3", b"phantom").unwrap_err();
+            assert_eq!(err, StoreError::LockTimeout);
+        });
+        join(inserter);
+
+        deleter.commit().unwrap();
+        assert_eq!(scan_committed(&store, b"d0", b"d9"), vec![]);
+    });
+}
+
+#[test]
+fn optimistic_scan_aborts_on_phantom_at_validation() {
+    let dir = tempfile::tempdir().unwrap();
+    let (_env, store) = open(SecurityProfile::treaty_full(), dir.path());
+    put(&store, b"o10", b"a");
+
+    let mut reader = store.begin_mode(TxnMode::Optimistic);
+    assert_eq!(reader.scan(b"o00", b"o99", 0).unwrap().len(), 1);
+    reader.put(b"o-result", b"derived-from-scan").unwrap();
+
+    // A phantom lands in the scanned span before validation.
+    put(&store, b"o20", b"phantom");
+
+    assert_eq!(reader.commit().unwrap_err(), StoreError::Conflict);
+    assert_eq!(store.get_committed(b"o-result").unwrap(), None);
+}
+
+#[test]
+fn snapshot_scan_stale_indoubt_and_success() {
+    let dir = tempfile::tempdir().unwrap();
+    let (_env, store) = open(SecurityProfile::treaty_full(), dir.path());
+    for i in 0..10u32 {
+        put(&store, format!("q{i}").as_bytes(), b"v");
+    }
+    let stable = store.stable_ts();
+
+    // Happy path at the stable timestamp.
+    let rows = store.snapshot_scan(b"q0", b"q9z", stable, 0).unwrap();
+    assert_eq!(rows.len(), 10);
+
+    // A timestamp ahead of the stable frontier is refused, not guessed at.
+    assert!(matches!(
+        store.snapshot_scan(b"q0", b"q9z", stable + 1_000_000, 0),
+        Err(StoreError::SnapshotStale { .. })
+    ));
+
+    // An undecided prepare overlapping the span makes the scan in-doubt —
+    // a prepared *insert* would be invisible to any per-result check.
+    let gtx = GlobalTxId { node: 9, seq: 9 };
+    let mut tx = store.begin_mode(TxnMode::Pessimistic);
+    tx.put(b"q5x", b"prepared-insert").unwrap();
+    tx.prepare(gtx).unwrap();
+    assert!(matches!(
+        store.snapshot_scan(b"q0", b"q9z", stable, 0),
+        Err(StoreError::SnapshotInDoubt)
+    ));
+    // Span validation sees the same hazard.
+    assert!(!store.snapshot_validate_span(b"q0", b"q9z", stable).unwrap());
+    // Disjoint spans are unaffected.
+    assert!(store.snapshot_scan(b"z0", b"z9", stable, 0).unwrap().is_empty());
+
+    store.commit_prepared(gtx).unwrap();
+    let rows = store
+        .snapshot_scan(b"q0", b"q9z", store.stable_ts(), 0)
+        .unwrap();
+    assert_eq!(rows.len(), 11, "decided insert now visible");
+}
+
+#[test]
+fn scan_detects_spliced_truncated_and_reordered_blocks() {
+    // Three adversaries against the same flushed table: a bitflip inside a
+    // data block (splice), file truncation, and a coarse block reorder.
+    // Every one must surface as StoreError::Integrity on the scan path —
+    // never as silently missing or reordered rows.
+    let build = || {
+        let dir = tempfile::tempdir().unwrap();
+        let env = Env::for_testing(SecurityProfile::treaty_full(), dir.path());
+        {
+            let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+            for i in 0..60u32 {
+                put(&store, format!("t{i:02}").as_bytes(), &vec![b'x'; 500]);
+            }
+            store.flush().unwrap();
+        }
+        let mut ssts: Vec<_> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".sst"))
+            .map(|e| e.path())
+            .collect();
+        ssts.sort();
+        assert!(!ssts.is_empty(), "an sstable exists");
+        (dir, env, ssts)
+    };
+    let expect_integrity = |env: &Arc<Env>, what: &str| {
+        let outcome = TreatyStore::open(Arc::clone(env))
+            .and_then(|store| store.scan(b"t00", b"t99", u64::MAX, 0));
+        assert!(
+            matches!(outcome, Err(StoreError::Integrity(_))),
+            "{what}: expected Integrity, got {outcome:?}"
+        );
+    };
+
+    let (_d1, env, ssts) = build();
+    for sst in &ssts {
+        let mut raw = std::fs::read(sst).unwrap();
+        raw[10] ^= 0xFF;
+        std::fs::write(sst, &raw).unwrap();
+    }
+    expect_integrity(&env, "bitflipped block");
+
+    let (_d2, env, ssts) = build();
+    for sst in &ssts {
+        let raw = std::fs::read(sst).unwrap();
+        std::fs::write(sst, &raw[..raw.len() / 2]).unwrap();
+    }
+    expect_integrity(&env, "truncated file");
+
+    let (_d3, env, ssts) = build();
+    for sst in &ssts {
+        let raw = std::fs::read(sst).unwrap();
+        let mid = raw.len() / 4;
+        let mut reordered = raw[mid..2 * mid].to_vec();
+        reordered.extend_from_slice(&raw[..mid]);
+        reordered.extend_from_slice(&raw[2 * mid..]);
+        std::fs::write(sst, &reordered).unwrap();
+    }
+    expect_integrity(&env, "reordered blocks");
+}
+
+#[test]
+fn dropped_range_tombstone_detected_via_sealed_footer() {
+    // Range tombstones live in the sealed SSTable footer; an adversary who
+    // rewrites the footer to drop one (resurrecting deleted data) breaks
+    // the seal and must be detected.
+    let dir = tempfile::tempdir().unwrap();
+    let env = Env::for_testing(SecurityProfile::treaty_full(), dir.path());
+    {
+        let store = TreatyStore::open(Arc::clone(&env)).unwrap();
+        for i in 0..40u32 {
+            put(&store, format!("f{i:02}").as_bytes(), &vec![b'x'; 400]);
+        }
+        let mut tx = store.begin_mode(TxnMode::Pessimistic);
+        tx.delete_range(b"f10", b"f30").unwrap();
+        tx.commit().unwrap();
+        store.flush().unwrap();
+    }
+    // Tamper with the footer region (where the tombstone set is sealed).
+    let mut ssts: Vec<_> = std::fs::read_dir(dir.path())
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".sst"))
+        .map(|e| e.path())
+        .collect();
+    ssts.sort();
+    let mut tampered = false;
+    for sst in ssts {
+        let mut raw = std::fs::read(&sst).unwrap();
+        let n = raw.len();
+        raw[n - 9] ^= 0xFF;
+        std::fs::write(&sst, &raw).unwrap();
+        tampered = true;
+    }
+    assert!(tampered);
+    let outcome = TreatyStore::open(Arc::clone(&env))
+        .and_then(|store| store.scan(b"f00", b"f99", u64::MAX, 0));
+    assert!(
+        matches!(outcome, Err(StoreError::Integrity(_))),
+        "footer tampering must be detected, got {outcome:?}"
+    );
+}

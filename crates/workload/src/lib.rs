@@ -31,4 +31,21 @@ pub trait KvTxn {
     ///
     /// A human-readable reason; any error aborts the workload transaction.
     fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), String>;
+
+    /// Range-scans `[start, end)`, up to `limit` pairs (`0` = unbounded).
+    /// Defaulted so point-only adapters and mocks keep compiling; harnesses
+    /// running scan workloads (YCSB-E) override it.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason; any error aborts the workload transaction.
+    fn scan(
+        &mut self,
+        start: &[u8],
+        end: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, String> {
+        let _ = (start, end, limit);
+        Err("scan unsupported by this transaction adapter".into())
+    }
 }

@@ -34,6 +34,22 @@ pub struct YcsbConfig {
     pub keys: u64,
     /// Key-popularity distribution.
     pub distribution: Distribution,
+    /// Percentage of operations that are range scans (YCSB-E). Scans are
+    /// drawn before the read/update split: a roll under `scan_pct` scans,
+    /// one under `scan_pct + insert_pct` inserts, the rest read/update
+    /// per `read_pct`.
+    #[serde(default)]
+    pub scan_pct: u8,
+    /// Percentage of operations that insert fresh keys (YCSB-E).
+    #[serde(default)]
+    pub insert_pct: u8,
+    /// Scan lengths are uniform in `1..=max_scan_len` (YCSB default 100).
+    #[serde(default = "default_max_scan_len")]
+    pub max_scan_len: u64,
+}
+
+fn default_max_scan_len() -> u64 {
+    100
 }
 
 impl YcsbConfig {
@@ -45,6 +61,9 @@ impl YcsbConfig {
             value_size: 1000,
             keys: 10_000,
             distribution: Distribution::Uniform,
+            scan_pct: 0,
+            insert_pct: 0,
+            max_scan_len: default_max_scan_len(),
         }
     }
 
@@ -74,6 +93,19 @@ impl YcsbConfig {
     pub fn ycsb_c() -> Self {
         Self::paper_base(100)
     }
+
+    /// Standard YCSB-E (95 % scan / 5 % insert, zipfian start keys): the
+    /// short-ranges workload the authenticated merge iterator serves —
+    /// locking scans next-key-lock their spans; `--read-snapshot` scans go
+    /// lock-free through the MVCC read path.
+    pub fn ycsb_e() -> Self {
+        YcsbConfig {
+            scan_pct: 95,
+            insert_pct: 5,
+            distribution: Distribution::Zipfian { theta: 0.99 },
+            ..Self::paper_base(0)
+        }
+    }
 }
 
 /// A single operation.
@@ -92,7 +124,19 @@ pub enum YcsbOpKind {
     Read,
     /// Full-value update.
     Update,
+    /// Fresh-key insert (YCSB-E): the key lands above the loaded space.
+    Insert,
+    /// Range scan of `len` keys starting at the op's key (YCSB-E).
+    Scan {
+        /// Number of keys to scan.
+        len: u64,
+    },
 }
+
+/// Exclusive upper bound of the YCSB key space: every generated key is
+/// `user<digits>` and `'~' > '9'`, so scans bounded here cover the tail of
+/// the key space and stop at the length limit instead.
+pub const KEY_SPACE_END: &[u8] = b"user~";
 
 /// Standard YCSB zipfian generator (Gray et al.), deterministic.
 #[derive(Debug, Clone)]
@@ -182,6 +226,24 @@ impl YcsbGenerator {
     pub fn next_txn(&mut self) -> Vec<YcsbOp> {
         (0..self.cfg.ops_per_txn)
             .map(|_| {
+                let roll = self.rng.gen_range(0..100u8);
+                if roll < self.cfg.scan_pct {
+                    let len = self.rng.gen_range(1..=self.cfg.max_scan_len.max(1));
+                    return YcsbOp {
+                        key: self.next_key(),
+                        kind: YcsbOpKind::Scan { len },
+                    };
+                }
+                if roll < self.cfg.scan_pct.saturating_add(self.cfg.insert_pct) {
+                    // Fresh keys land uniformly above the loaded space;
+                    // re-inserting one is an idempotent upsert, like
+                    // YCSB's recycled insert key space.
+                    let idx = self.cfg.keys + self.rng.gen_range(0..self.cfg.keys.max(1));
+                    return YcsbOp {
+                        key: format!("user{idx:010}").into_bytes(),
+                        kind: YcsbOpKind::Insert,
+                    };
+                }
                 let kind = if self.rng.gen_range(0..100u8) < self.cfg.read_pct {
                     YcsbOpKind::Read
                 } else {
@@ -219,9 +281,12 @@ impl YcsbGenerator {
                 YcsbOpKind::Read => {
                     txn.get(&op.key)?;
                 }
-                YcsbOpKind::Update => {
+                YcsbOpKind::Update | YcsbOpKind::Insert => {
                     let v = self.next_value();
                     txn.put(&op.key, &v)?;
+                }
+                YcsbOpKind::Scan { len } => {
+                    txn.scan(&op.key, KEY_SPACE_END, len as usize)?;
                 }
             }
         }
@@ -322,6 +387,78 @@ mod tests {
         let keys: Vec<_> = YcsbGenerator::all_keys(&cfg).collect();
         assert_eq!(keys.len(), 5);
         assert_eq!(keys[0], b"user0000000000".to_vec());
+    }
+
+    #[test]
+    fn ycsb_e_mix_and_determinism() {
+        let mut a = YcsbGenerator::new(YcsbConfig::ycsb_e(), 11);
+        let mut b = YcsbGenerator::new(YcsbConfig::ycsb_e(), 11);
+        let (mut scans, mut inserts, mut total) = (0u32, 0u32, 0u32);
+        for _ in 0..500 {
+            let txn = a.next_txn();
+            assert_eq!(txn, b.next_txn());
+            for op in txn {
+                total += 1;
+                match op.kind {
+                    YcsbOpKind::Scan { len } => {
+                        scans += 1;
+                        assert!((1..=a.cfg.max_scan_len).contains(&len));
+                        assert!(op.key.as_slice() < KEY_SPACE_END);
+                    }
+                    YcsbOpKind::Insert => {
+                        inserts += 1;
+                        // Inserts land above the loaded space, below the
+                        // scan bound.
+                        let s = String::from_utf8(op.key.clone()).unwrap();
+                        let idx: u64 = s.strip_prefix("user").unwrap().parse().unwrap();
+                        assert!((a.cfg.keys..2 * a.cfg.keys).contains(&idx));
+                        assert!(op.key.as_slice() < KEY_SPACE_END);
+                    }
+                    _ => panic!("ycsb-e generates only scans and inserts"),
+                }
+            }
+        }
+        let scan_pct = scans * 100 / total;
+        assert!(
+            (90..=99).contains(&scan_pct),
+            "scan pct {scan_pct} ({scans} scans, {inserts} inserts)"
+        );
+        assert!(inserts > 0);
+    }
+
+    #[test]
+    fn run_txn_drives_scans_through_kv_txn() {
+        struct Mock {
+            scans: u32,
+            puts: u32,
+        }
+        impl crate::KvTxn for Mock {
+            fn get(&mut self, _: &[u8]) -> Result<Option<Vec<u8>>, String> {
+                Ok(None)
+            }
+            fn put(&mut self, _: &[u8], _: &[u8]) -> Result<(), String> {
+                self.puts += 1;
+                Ok(())
+            }
+            fn scan(
+                &mut self,
+                start: &[u8],
+                end: &[u8],
+                limit: usize,
+            ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, String> {
+                assert!(start < end);
+                assert!(limit >= 1);
+                self.scans += 1;
+                Ok(Vec::new())
+            }
+        }
+        let mut g = YcsbGenerator::new(YcsbConfig::ycsb_e(), 4);
+        let mut m = Mock { scans: 0, puts: 0 };
+        for _ in 0..20 {
+            g.run_txn(&mut m).unwrap();
+        }
+        assert!(m.scans > 0, "ycsb-e must scan");
+        assert_eq!((m.scans + m.puts) as usize, 200);
     }
 
     #[test]
