@@ -1,0 +1,193 @@
+//! Open-loop scale sweep (DESIGN.md §16, ROADMAP item 5): Poisson
+//! arrivals with zipfian multi-tenant hot keys, swept over cluster sizes
+//! and offered rates, with the deferred-write batching ablation on and
+//! off.
+//!
+//! For every cluster size the sweep walks the offered rate up, finds the
+//! saturation knee (the last rate where achieved/offered stays >= 0.9),
+//! and asserts that batching beats the unbatched ablation on both p50 and
+//! p99 at that knee. Writes `results/BENCH_scale.json` (override with
+//! `--out FILE`); runs are deterministic, so the artifact is
+//! byte-identical across same-seed invocations.
+//!
+//! `--smoke` shrinks the sweep to a 3-node, two-rate run for CI.
+
+use treaty_bench::{run_scale_experiment, ScalePoint, ScaleRunConfig};
+use treaty_workload::ScaleConfig;
+
+/// Achieved/offered ratio below which a rate counts as past saturation.
+const KNEE_RATIO: f64 = 0.9;
+
+fn point_json(p: &ScalePoint) -> serde_json::Value {
+    serde_json::json!({
+        "nodes": p.nodes,
+        "batching": p.batching,
+        "offered_tps": p.offered_tps,
+        "achieved_tps": p.achieved_tps,
+        "saturation": p.saturation(),
+        "committed": p.committed,
+        "aborted": p.aborted,
+        "p50_ns": p.p50_ns,
+        "p99_ns": p.p99_ns,
+        "mean_ns": p.mean_ns,
+        "duration_ns": p.duration_ns,
+        "messages_sent": p.messages_sent,
+    })
+}
+
+/// The knee of one batching variant's curve: the last offered rate that
+/// still kept up, or the first point when even that rate saturated.
+fn knee(points: &[ScalePoint]) -> &ScalePoint {
+    points
+        .iter()
+        .rev()
+        .find(|p| p.saturation() >= KNEE_RATIO)
+        .unwrap_or(&points[0])
+}
+
+fn run_curve(
+    nodes: usize,
+    rates: &[f64],
+    arrivals: usize,
+    batching: bool,
+    scale: &ScaleConfig,
+) -> Vec<ScalePoint> {
+    rates
+        .iter()
+        .map(|&offered| {
+            let mut cfg = ScaleRunConfig::point(nodes, offered, arrivals, batching);
+            cfg.scale = scale.clone();
+            let p = run_scale_experiment(cfg);
+            println!(
+                "  {:>3} nodes {:>9} {:>9.0} tps offered  {:>9.0} achieved ({:>5.2} sat)  p50 {:>8.3} ms  p99 {:>8.3} ms  {:>8} msgs",
+                p.nodes,
+                if p.batching { "batched" } else { "unbatched" },
+                p.offered_tps,
+                p.achieved_tps,
+                p.saturation(),
+                p.p50_ns as f64 / 1e6,
+                p.p99_ns as f64 / 1e6,
+                p.messages_sent,
+            );
+            p
+        })
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let out: std::path::PathBuf = std::env::args()
+        .skip_while(|a| a != "--out")
+        .nth(1)
+        .map(Into::into)
+        .unwrap_or_else(|| "results/BENCH_scale.json".into());
+
+    // Sweep shape: the full run walks 3 -> 16 -> 64 nodes; smoke keeps CI
+    // under a minute with a 3-node two-rate ablation.
+    let (node_counts, rates, arrivals, scale): (Vec<usize>, Vec<f64>, usize, ScaleConfig) =
+        if smoke {
+            (
+                vec![3],
+                vec![2_000.0, 8_000.0],
+                40,
+                ScaleConfig {
+                    tenants: 2,
+                    keys_per_tenant: 500,
+                    ..ScaleConfig::default()
+                },
+            )
+        } else {
+            (
+                vec![3, 16, 64],
+                vec![1_000.0, 4_000.0, 16_000.0, 64_000.0],
+                200,
+                ScaleConfig::default(),
+            )
+        };
+
+    println!(
+        "Open-loop scale sweep — {} arrivals/point, zipfian theta {}, {}% writes\n",
+        arrivals, scale.theta, scale.write_pct
+    );
+
+    let mut clusters = Vec::new();
+    for &nodes in &node_counts {
+        let batched = run_curve(nodes, &rates, arrivals, true, &scale);
+        let unbatched = run_curve(nodes, &rates, arrivals, false, &scale);
+        let kb = knee(&batched);
+        let ku = knee(&unbatched);
+        println!(
+            "  knee @ {nodes} nodes: batched {:.0} tps (p50 {:.3} ms, p99 {:.3} ms) vs unbatched {:.0} tps (p50 {:.3} ms, p99 {:.3} ms)\n",
+            kb.offered_tps,
+            kb.p50_ns as f64 / 1e6,
+            kb.p99_ns as f64 / 1e6,
+            ku.offered_tps,
+            ku.p50_ns as f64 / 1e6,
+            ku.p99_ns as f64 / 1e6,
+        );
+        clusters.push((nodes, batched, unbatched));
+    }
+
+    let report = serde_json::json!({
+        "bench": "open_loop_scale",
+        "workload": format!(
+            "multi-tenant zipfian, {} tenants x {} keys, theta {}, {}% writes, {} ops/txn",
+            scale.tenants, scale.keys_per_tenant, scale.theta, scale.write_pct, scale.ops_per_txn
+        ),
+        "arrivals_per_point": arrivals,
+        "knee_ratio": KNEE_RATIO,
+        "smoke": smoke,
+        "clusters": clusters.iter().map(|(nodes, batched, unbatched)| {
+            let kb = knee(batched);
+            let ku = knee(unbatched);
+            serde_json::json!({
+                "nodes": nodes,
+                "batched": batched.iter().map(point_json).collect::<Vec<_>>(),
+                "unbatched": unbatched.iter().map(point_json).collect::<Vec<_>>(),
+                "knee": {
+                    "batched": point_json(kb),
+                    "unbatched": point_json(ku),
+                    "batched_faster_p50": kb.p50_ns < ku.p50_ns,
+                    "batched_faster_p99": kb.p99_ns < ku.p99_ns,
+                },
+            })
+        }).collect::<Vec<_>>(),
+    });
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("results directory");
+        }
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&report).expect("serialize report"),
+    )
+    .expect("write BENCH_scale.json");
+    println!("-> {}", out.display());
+
+    // The ablation claim: at each cluster's saturation knee, deferred-write
+    // batching must beat the unbatched ablation on both p50 and p99. The
+    // knees are compared at the batched knee's offered rate when both
+    // curves measured it, falling back to per-curve knees otherwise.
+    for (nodes, batched, unbatched) in &clusters {
+        let kb = knee(batched);
+        let at_same_rate = unbatched
+            .iter()
+            .find(|p| p.offered_tps == kb.offered_tps)
+            .unwrap_or_else(|| knee(unbatched));
+        assert!(
+            kb.p50_ns < at_same_rate.p50_ns && kb.p99_ns < at_same_rate.p99_ns,
+            "{nodes} nodes: batching must beat the unbatched ablation at the knee \
+             (batched p50 {} p99 {} vs unbatched p50 {} p99 {})",
+            kb.p50_ns,
+            kb.p99_ns,
+            at_same_rate.p50_ns,
+            at_same_rate.p99_ns
+        );
+        assert!(
+            kb.messages_sent < at_same_rate.messages_sent,
+            "{nodes} nodes: batching must send fewer fabric messages at the knee"
+        );
+    }
+    println!("\nbatching beats the unbatched ablation at every cluster's knee");
+}

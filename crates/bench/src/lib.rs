@@ -18,8 +18,8 @@ use treaty_sim::{BenchStats, CostModel, Histogram, Nanos, SecurityProfile, TeeMo
 use treaty_store::{EngineConfig, TxnMode};
 use treaty_workload::ycsb::KEY_SPACE_END;
 use treaty_workload::{
-    KvTxn, SocialConfig, SocialGenerator, SocialTxn, TpccConfig, TpccGenerator, YcsbConfig,
-    YcsbGenerator, YcsbOp, YcsbOpKind,
+    KvTxn, PoissonArrivals, ScaleConfig, ScaleGenerator, SocialConfig, SocialGenerator, SocialTxn,
+    TpccConfig, TpccGenerator, YcsbConfig, YcsbGenerator, YcsbOp, YcsbOpKind,
 };
 
 /// Adapter: a distributed client transaction as a workload target.
@@ -1339,6 +1339,184 @@ pub fn run_attribution_experiment(
     result
 }
 
+// ---- open-loop scale harness (DESIGN.md §16, ROADMAP item 5) -----------------
+
+/// One point of the open-loop scale sweep: a fixed offered rate against a
+/// fixed cluster size, with deferred-write batching on or off.
+#[derive(Debug, Clone)]
+pub struct ScaleRunConfig {
+    /// System variant.
+    pub profile: SecurityProfile,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Offered arrival rate in transactions per second of virtual time.
+    pub offered_tps: f64,
+    /// Total transactions the arrival process injects.
+    pub arrivals: usize,
+    /// Deferred-write batching on the client ([`DistTxn::set_batching`]).
+    pub batching: bool,
+    /// Multi-tenant zipfian workload shape.
+    pub scale: ScaleConfig,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl ScaleRunConfig {
+    /// A sweep point with the default workload shape.
+    pub fn point(nodes: usize, offered_tps: f64, arrivals: usize, batching: bool) -> Self {
+        ScaleRunConfig {
+            profile: SecurityProfile::treaty_full(),
+            nodes,
+            offered_tps,
+            arrivals,
+            batching,
+            scale: ScaleConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Measured outcome of one [`run_scale_experiment`] point.
+///
+/// Latencies are *open-loop*: measured from each transaction's intended
+/// Poisson arrival time, so queueing delay under overload lands in p99
+/// instead of silently throttling the offered rate.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Whether deferred-write batching was on.
+    pub batching: bool,
+    /// Offered arrival rate (tps).
+    pub offered_tps: f64,
+    /// Achieved commit rate (tps) over the whole run including drain.
+    pub achieved_tps: f64,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted transactions.
+    pub aborted: u64,
+    /// Open-loop median latency.
+    pub p50_ns: Nanos,
+    /// Open-loop 99th-percentile latency.
+    pub p99_ns: Nanos,
+    /// Open-loop mean latency.
+    pub mean_ns: Nanos,
+    /// Virtual duration from first arrival to last completion.
+    pub duration_ns: Nanos,
+    /// Fabric messages sent during the measured window — the wire cost the
+    /// coalesced fan-out amortises.
+    pub messages_sent: u64,
+}
+
+impl ScalePoint {
+    /// Achieved/offered ratio; the saturation knee is the last sweep rate
+    /// where this stays ≥ 0.9.
+    pub fn saturation(&self) -> f64 {
+        if self.offered_tps <= 0.0 {
+            return 0.0;
+        }
+        self.achieved_tps / self.offered_tps
+    }
+}
+
+/// Runs one open-loop scale point: a Poisson arrival process injects
+/// `cfg.arrivals` transactions at `cfg.offered_tps` regardless of how fast
+/// earlier ones complete; each transaction runs in its own fiber against a
+/// round-robin coordinator. Latency is measured from the intended arrival
+/// time (queueing included), which is what makes the harness open-loop.
+///
+/// Fully deterministic per config: arrivals, workload, and the simulated
+/// cluster all derive from `cfg.seed`.
+///
+/// # Panics
+///
+/// Panics if the cluster fails to boot or the simulation errors.
+pub fn run_scale_experiment(cfg: ScaleRunConfig) -> ScalePoint {
+    let out: Arc<Mutex<Option<ScalePoint>>> = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    let dir = tempfile::tempdir().expect("bench tempdir");
+    let path = dir.path().to_path_buf();
+
+    block_on(move || {
+        let mut options = ClusterOptions::new(cfg.profile, path);
+        options.nodes = cfg.nodes;
+        options.txn_mode = TxnMode::Pessimistic;
+        options.seed = cfg.seed;
+        options.engine_config = EngineConfig::default();
+        let cluster = Arc::new(Cluster::start(options).expect("cluster boots"));
+
+        // Load phase (unmeasured): the hot head of every tenant's key
+        // space, so zipfian reads hit existing rows.
+        preload(&cluster, treaty_workload::scale::hot_rows(&cfg.scale, 64));
+
+        let sent_baseline = cluster.fabric().stats().sent;
+        let t0 = runtime::now();
+        let committed = Arc::new(AtomicU64::new(0));
+        let aborted = Arc::new(AtomicU64::new(0));
+        let hist = Arc::new(Mutex::new(Histogram::new()));
+        let mut arrivals = PoissonArrivals::new(cfg.offered_tps, cfg.seed ^ 0x5ca1e);
+        let mut handles = Vec::new();
+        let mut next = t0;
+        for i in 0..cfg.arrivals {
+            next += arrivals.next_gap();
+            let now = runtime::now();
+            if next > now {
+                runtime::sleep(next - now);
+            }
+            let intended = next;
+            let cluster = Arc::clone(&cluster);
+            let committed = Arc::clone(&committed);
+            let aborted = Arc::clone(&aborted);
+            let hist = Arc::clone(&hist);
+            let cfg = cfg.clone();
+            handles.push(spawn(move || {
+                runtime::set_tag("scale-client");
+                let client = cluster.client();
+                let coordinator = 1 + (i % cfg.nodes) as u32;
+                let mut gen = ScaleGenerator::new(cfg.scale.clone(), cfg.seed ^ (i as u64 + 1));
+                let mut txn = client.begin(coordinator);
+                txn.set_batching(cfg.batching);
+                let body = {
+                    let mut kv = DistKv { txn: &mut txn };
+                    gen.run_txn(&mut kv)
+                };
+                let ok = body.is_ok() && txn.commit().is_ok();
+                // Open-loop latency: completion minus *intended* arrival.
+                let elapsed = runtime::now() - intended;
+                if ok {
+                    committed.fetch_add(1, Ordering::Relaxed);
+                    hist.lock().record(elapsed);
+                } else {
+                    aborted.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            join(h);
+        }
+        let duration = (runtime::now() - t0).max(1);
+        let committed = committed.load(Ordering::Relaxed);
+        let messages_sent = cluster.fabric().stats().sent - sent_baseline;
+        let mut hist = hist.lock();
+        *out2.lock() = Some(ScalePoint {
+            nodes: cfg.nodes,
+            batching: cfg.batching,
+            offered_tps: cfg.offered_tps,
+            achieved_tps: committed as f64 * 1e9 / duration as f64,
+            committed,
+            aborted: aborted.load(Ordering::Relaxed),
+            p50_ns: hist.quantile(0.50),
+            p99_ns: hist.quantile(0.99),
+            mean_ns: hist.mean(),
+            duration_ns: duration,
+            messages_sent,
+        });
+    });
+
+    let result = out.lock().take().expect("scale run produced a point");
+    result
+}
+
 // ---- reporting helpers ---------------------------------------------------------
 
 /// Formats a slowdown factor like the paper's figures.
@@ -1542,6 +1720,46 @@ mod tests {
         );
         assert!(run.top.contains("treaty-top"));
         assert!(run.series.contains("window"), "series rendering present");
+    }
+
+    #[test]
+    fn scale_runner_smoke_batching_cuts_messages() {
+        let scale = ScaleConfig {
+            tenants: 2,
+            keys_per_tenant: 500,
+            write_pct: 100,
+            ..ScaleConfig::default()
+        };
+        let mut cfg = ScaleRunConfig::point(3, 5_000.0, 12, true);
+        cfg.scale = scale;
+        let batched = run_scale_experiment(cfg.clone());
+        cfg.batching = false;
+        let unbatched = run_scale_experiment(cfg);
+        assert!(batched.committed > 0, "batched run commits");
+        assert!(unbatched.committed > 0, "unbatched run commits");
+        // Pure-write transactions: batching ships one coalesced payload per
+        // shard instead of one round trip per op, so it must use strictly
+        // fewer fabric messages for the same transaction stream.
+        assert!(
+            batched.messages_sent < unbatched.messages_sent,
+            "batched {} vs unbatched {} messages",
+            batched.messages_sent,
+            unbatched.messages_sent
+        );
+    }
+
+    #[test]
+    fn scale_runner_is_deterministic() {
+        let mut cfg = ScaleRunConfig::point(3, 5_000.0, 8, true);
+        cfg.scale.keys_per_tenant = 200;
+        let a = run_scale_experiment(cfg.clone());
+        let b = run_scale_experiment(cfg);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.aborted, b.aborted);
+        assert_eq!(a.p50_ns, b.p50_ns);
+        assert_eq!(a.p99_ns, b.p99_ns);
+        assert_eq!(a.duration_ns, b.duration_ns);
+        assert_eq!(a.messages_sent, b.messages_sent);
     }
 
     #[test]

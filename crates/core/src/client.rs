@@ -11,9 +11,9 @@ use treaty_sim::Nanos;
 use treaty_store::GlobalTxId;
 
 use crate::messages::{
-    decode, encode, req, CommitResult, ObsSnapshotReply, Op, OpResult, SnapshotReadReply,
-    SnapshotReadReq, SnapshotScanReply, SnapshotScanReq, SnapshotValidateReply,
-    SnapshotValidateReq,
+    decode, encode, req, ClientCommitReq, CommitResult, ObsSnapshotReply, Op, OpResult,
+    SnapshotReadReply, SnapshotReadReq, SnapshotScanReply, SnapshotScanReq,
+    SnapshotValidateReply, SnapshotValidateReq, WriteCmd,
 };
 use crate::shard::ShardMap;
 use crate::{Result, TreatyError};
@@ -109,6 +109,8 @@ impl TreatyClient {
             seq,
             op_seq: 1,
             finished: false,
+            buffered: Vec::new(),
+            batching: true,
             begin_ts: if treaty_sim::runtime::in_fiber() {
                 treaty_sim::runtime::now()
             } else {
@@ -263,8 +265,13 @@ fn snapshot_retryable(e: &TreatyError) -> bool {
 
 /// An interactive distributed transaction.
 ///
-/// Created by [`TreatyClient::begin`]; ops execute immediately on the
-/// cluster (acquiring locks as they go), and [`DistTxn::commit`] runs the
+/// Created by [`TreatyClient::begin`]. Reads execute immediately on the
+/// cluster (acquiring locks as they go); blind writes are deferred — they
+/// append to a local buffer and cost nothing until a read must observe
+/// them (which flushes the buffer in one [`req::CLIENT_OP_BATCH`]) or the
+/// transaction commits (which ships the buffer in the
+/// [`req::CLIENT_COMMIT`] payload, where the coordinator piggybacks each
+/// shard's slice on its prepare message). [`DistTxn::commit`] runs the
 /// secure 2PC.
 pub struct DistTxn<'a> {
     client: &'a TreatyClient,
@@ -272,6 +279,12 @@ pub struct DistTxn<'a> {
     seq: u64,
     op_seq: u64,
     finished: bool,
+    /// Deferred writes in issue order, not yet shipped to the coordinator.
+    buffered: Vec<WriteCmd>,
+    /// Deferred-write batching on (the default). The off position is the
+    /// ablation: every put/delete goes back to an eager `CLIENT_OP` round
+    /// trip, as before PR 10.
+    batching: bool,
     /// Virtual time `begin` was called — the client-measured latency
     /// anchor reported on the `client.committed` trace instant.
     begin_ts: Nanos,
@@ -362,22 +375,91 @@ impl<'a> DistTxn<'a> {
         }
     }
 
-    /// Transactional read ([`TxnGet`](MsgKind::TxnGet)).
+    /// Turns deferred-write batching off (the ablation): every put/delete
+    /// reverts to an eager, individually-sealed `CLIENT_OP` round trip.
+    pub fn set_batching(&mut self, on: bool) {
+        self.batching = on;
+    }
+
+    /// Ships the deferred write buffer to the coordinator in one sealed
+    /// [`req::CLIENT_OP_BATCH`] message. A read that cannot be answered
+    /// from the buffer calls this first, so it observes its own writes.
+    fn flush_writes(&mut self) -> Result<()> {
+        if self.buffered.is_empty() {
+            return Ok(());
+        }
+        let writes = std::mem::take(&mut self.buffered);
+        let _txn = treaty_sim::obs::txn_scope(self.seq);
+        let _span = treaty_sim::obs::span_with(
+            "client.flush_writes",
+            &[("writes", writes.len() as u64)],
+        );
+        let meta = self.meta(MsgKind::TxnPut);
+        let payload = encode(&ClientCommitReq { writes });
+        let call = self
+            .client
+            .rpc
+            .call(self.coordinator, req::CLIENT_OP_BATCH, &meta, &payload);
+        let (_, bytes) = match call {
+            Ok(x) => x,
+            Err(e) => {
+                self.finished = true;
+                self.best_effort_rollback();
+                return Err(TreatyError::Net(e.to_string()));
+            }
+        };
+        match decode::<OpResult>(&bytes) {
+            Some(OpResult::Err { reason }) => {
+                self.finished = true;
+                Err(TreatyError::Aborted(self.gtx(), reason))
+            }
+            Some(_) => Ok(()),
+            None => {
+                self.finished = true;
+                Err(TreatyError::Rejected("malformed coordinator reply".into()))
+            }
+        }
+    }
+
+    /// Transactional read ([`TxnGet`](MsgKind::TxnGet)). A key the
+    /// transaction has a buffered write for is answered straight from the
+    /// buffer (read-your-writes, zero round trips); any other read first
+    /// flushes the buffer so the cluster-side transaction observes every
+    /// write issued before it.
     ///
     /// # Errors
     ///
     /// [`TreatyError::Aborted`] if the operation aborted the transaction
     /// (lock timeout, conflict), [`TreatyError::Net`] on network failure.
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        if self.finished {
+            return Err(TreatyError::Rejected("transaction finished".into()));
+        }
+        // Last buffered write to this key wins — including a buffered
+        // delete, which reads back as absent.
+        if let Some(cmd) = self.buffered.iter().rev().find(|c| c.key == key) {
+            treaty_sim::obs::counter_add("client.buffer_read_hits", 1);
+            return Ok(cmd.value.clone());
+        }
+        self.flush_writes()?;
         self.run_op(Op::Get { key: key.to_vec() })
     }
 
-    /// Transactional write.
+    /// Transactional write: appended to the local write buffer and free
+    /// until a read must observe it or the transaction commits.
     ///
     /// # Errors
     ///
     /// See [`DistTxn::get`].
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        if self.batching {
+            if self.finished {
+                return Err(TreatyError::Rejected("transaction finished".into()));
+            }
+            treaty_sim::obs::counter_add("client.buffered_writes", 1);
+            self.buffered.push(WriteCmd::put(key, value));
+            return Ok(());
+        }
         self.run_op(Op::Put {
             key: key.to_vec(),
             value: value.to_vec(),
@@ -385,12 +467,20 @@ impl<'a> DistTxn<'a> {
         Ok(())
     }
 
-    /// Transactional delete.
+    /// Transactional delete — buffered exactly like [`DistTxn::put`].
     ///
     /// # Errors
     ///
     /// See [`DistTxn::get`].
     pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        if self.batching {
+            if self.finished {
+                return Err(TreatyError::Rejected("transaction finished".into()));
+            }
+            treaty_sim::obs::counter_add("client.buffered_writes", 1);
+            self.buffered.push(WriteCmd::delete(key));
+            return Ok(());
+        }
         self.run_op(Op::Delete { key: key.to_vec() })?;
         Ok(())
     }
@@ -409,6 +499,9 @@ impl<'a> DistTxn<'a> {
         end: &[u8],
         limit: usize,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        // A span can overlap any buffered key: flush conservatively so the
+        // scan observes this transaction's own writes.
+        self.flush_writes()?;
         match self.run_op_raw(Op::Scan {
             start: start.to_vec(),
             end: end.to_vec(),
@@ -428,6 +521,9 @@ impl<'a> DistTxn<'a> {
     ///
     /// See [`DistTxn::get`].
     pub fn delete_range(&mut self, start: &[u8], end: &[u8]) -> Result<()> {
+        // Buffered writes inside the span must land first so the tombstone
+        // shadows them in issue order.
+        self.flush_writes()?;
         self.run_op(Op::RangeDelete {
             start: start.to_vec(),
             end: end.to_vec(),
@@ -448,11 +544,21 @@ impl<'a> DistTxn<'a> {
         self.finished = true;
         let _txn = treaty_sim::obs::txn_scope(self.seq);
         let _span = treaty_sim::obs::span("client.commit");
+        // Ship the deferred writes with the commit itself: the coordinator
+        // piggybacks each shard's slice on its prepare message, so a
+        // write-only transaction pays one round trip per shard, total.
+        let writes = std::mem::take(&mut self.buffered);
+        let payload = if writes.is_empty() {
+            Vec::new()
+        } else {
+            treaty_sim::obs::counter_add("client.shipped_commit_writes", writes.len() as u64);
+            encode(&ClientCommitReq { writes })
+        };
         let meta = self.meta(MsgKind::TxnCommit);
         let call = self
             .client
             .rpc
-            .call(self.coordinator, req::CLIENT_COMMIT, &meta, &[]);
+            .call(self.coordinator, req::CLIENT_COMMIT, &meta, &payload);
         let (_, bytes) = match call {
             Ok(x) => x,
             Err(e) => {
@@ -725,14 +831,9 @@ impl SnapshotTxn<'_> {
         if let Some(e) = reject {
             return Err(e);
         }
-        // Shards own disjoint key sets: concatenate-and-sort is a true
-        // merge with no duplicates to resolve.
-        let mut merged: Vec<(Vec<u8>, Vec<u8>)> = slices.concat();
-        merged.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-        if limit > 0 {
-            merged.truncate(limit);
-        }
-        Ok(merged)
+        // Shards own disjoint key sets: a true k-way merge over the sorted
+        // slices, early-exiting at the limit.
+        Ok(crate::node::merge_sorted_slices(slices, limit))
     }
 
     /// Finishes the transaction. Single-shard snapshots are consistent by

@@ -13,6 +13,10 @@ pub mod req {
     pub const CLIENT_COMMIT: u8 = 2;
     /// Client → coordinator: rollback.
     pub const CLIENT_ROLLBACK: u8 = 3;
+    /// Client → coordinator: flush of the client's deferred write buffer
+    /// (a read is about to need the writes visible). One sealed message
+    /// carries every buffered write instead of one `CLIENT_OP` each.
+    pub const CLIENT_OP_BATCH: u8 = 8;
     /// Client → shard: lock-free snapshot read (read-only transactions;
     /// no 2PC state, no coordinator).
     pub const SNAPSHOT_READ: u8 = 4;
@@ -28,6 +32,10 @@ pub mod req {
     pub const OBS_SNAPSHOT: u8 = 6;
     /// Coordinator → participant: one operation.
     pub const PEER_OP: u8 = 10;
+    /// Coordinator → participant: this shard's slice of a deferred write
+    /// batch — applied in one sealed message (one seal/unseal per shard
+    /// instead of per op).
+    pub const PEER_OP_BATCH: u8 = 15;
     /// Coordinator → participant: 2PC prepare.
     pub const PEER_PREPARE: u8 = 11;
     /// Coordinator → participant: 2PC commit.
@@ -94,6 +102,89 @@ impl Op {
     }
 }
 
+/// One deferred blind write: `Some(value)` is a put, `None` a delete.
+/// Clients buffer these locally ([`crate::DistTxn::put`] returns without
+/// touching the network) and ship them wholesale — on the first read that
+/// could observe them ([`req::CLIENT_OP_BATCH`]) or with the commit itself
+/// ([`req::CLIENT_COMMIT`] payload).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteCmd {
+    /// Key written.
+    pub key: Vec<u8>,
+    /// `Some` = put this value, `None` = delete the key.
+    pub value: Option<Vec<u8>>,
+}
+
+impl WriteCmd {
+    /// A buffered put.
+    pub fn put(key: &[u8], value: &[u8]) -> Self {
+        WriteCmd {
+            key: key.to_vec(),
+            value: Some(value.to_vec()),
+        }
+    }
+
+    /// A buffered delete.
+    pub fn delete(key: &[u8]) -> Self {
+        WriteCmd {
+            key: key.to_vec(),
+            value: None,
+        }
+    }
+}
+
+/// Client → coordinator payload of [`req::CLIENT_OP_BATCH`] and
+/// [`req::CLIENT_COMMIT`]: the deferred write buffer, in issue order.
+/// (An empty `CLIENT_COMMIT` payload still means "no shipped writes", so
+/// pre-batching clients keep working.)
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientCommitReq {
+    /// Buffered writes in the order the client issued them.
+    #[serde(default)]
+    pub writes: Vec<WriteCmd>,
+}
+
+/// Why one operation of a batch failed — typed, so a batch reply can say
+/// *which* op failed and *how* instead of first-error-wins prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailCode {
+    /// Lock acquisition timed out (contention / deadlock avoidance).
+    LockTimeout,
+    /// Optimistic validation conflict.
+    Conflict,
+    /// Integrity or freshness verification failed on persistent data.
+    Integrity,
+    /// The transaction was already finished on this participant.
+    Finished,
+    /// Anything else (I/O, stabilization, …) — see the reason string.
+    Other,
+}
+
+impl From<&treaty_store::StoreError> for FailCode {
+    fn from(e: &treaty_store::StoreError) -> Self {
+        use treaty_store::StoreError;
+        match e {
+            StoreError::LockTimeout => FailCode::LockTimeout,
+            StoreError::Conflict => FailCode::Conflict,
+            StoreError::Integrity(_) | StoreError::Rollback(_) => FailCode::Integrity,
+            StoreError::Finished => FailCode::Finished,
+            _ => FailCode::Other,
+        }
+    }
+}
+
+/// The failing operation of a batch: its position in the shipped write
+/// list, a typed code, and the engine's reason.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpFailure {
+    /// Index of the failing write within the batch this shard received.
+    pub index: u32,
+    /// Typed failure class.
+    pub code: FailCode,
+    /// Human-readable engine error.
+    pub reason: String,
+}
+
 /// Result of an [`Op`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OpResult {
@@ -125,10 +216,23 @@ pub enum PeerMsg {
         /// Operation.
         op: Op,
     },
-    /// Prepare `gtx` (phase one).
+    /// Apply this shard's slice of a deferred write batch inside `gtx`.
+    OpBatch {
+        /// Transaction id.
+        gtx: GlobalTxId,
+        /// The writes, in client issue order.
+        writes: Vec<WriteCmd>,
+    },
+    /// Prepare `gtx` (phase one). For write-only participants the
+    /// coordinator piggybacks their batch slice here, collapsing
+    /// execute+prepare into one round trip per shard.
     Prepare {
         /// Transaction id.
         gtx: GlobalTxId,
+        /// Deferred writes to apply before preparing (empty for a plain
+        /// prepare; defaulted so pre-batching encodings keep decoding).
+        #[serde(default)]
+        batch: Vec<WriteCmd>,
     },
     /// Commit `gtx` (phase two).
     Commit {
@@ -152,6 +256,13 @@ pub enum PeerMsg {
 pub enum PeerReply {
     /// Result of an [`PeerMsg::Op`].
     OpDone(OpResult),
+    /// Result of a [`PeerMsg::OpBatch`]: `None` = every write applied;
+    /// `Some` pinpoints the first failing write (the participant rolled
+    /// the whole batch back — all-or-nothing).
+    BatchDone {
+        /// The failing write, if any.
+        fail: Option<OpFailure>,
+    },
     /// Prepare vote.
     Vote {
         /// True = prepared and stabilized; false = abort.
@@ -397,8 +508,76 @@ mod tests {
     #[test]
     fn peer_msg_roundtrip() {
         let gtx = GlobalTxId { node: 1, seq: 2 };
-        let m = PeerMsg::Prepare { gtx };
+        let m = PeerMsg::Prepare {
+            gtx,
+            batch: Vec::new(),
+        };
         assert_eq!(decode::<PeerMsg>(&encode(&m)), Some(m));
+    }
+
+    #[test]
+    fn write_batch_payloads_roundtrip() {
+        let gtx = GlobalTxId { node: 1, seq: 2 };
+        let writes = vec![WriteCmd::put(b"a", b"1"), WriteCmd::delete(b"b")];
+        let shipped = ClientCommitReq {
+            writes: writes.clone(),
+        };
+        assert_eq!(decode::<ClientCommitReq>(&encode(&shipped)), Some(shipped));
+        let batch = PeerMsg::OpBatch {
+            gtx,
+            writes: writes.clone(),
+        };
+        assert_eq!(decode::<PeerMsg>(&encode(&batch)), Some(batch));
+        let piggyback = PeerMsg::Prepare { gtx, batch: writes };
+        assert_eq!(decode::<PeerMsg>(&encode(&piggyback)), Some(piggyback));
+        for fail in [
+            None,
+            Some(OpFailure {
+                index: 3,
+                code: FailCode::LockTimeout,
+                reason: "lock timeout on key".into(),
+            }),
+        ] {
+            let reply = PeerReply::BatchDone { fail };
+            assert_eq!(decode::<PeerReply>(&encode(&reply)), Some(reply.clone()));
+        }
+    }
+
+    #[test]
+    fn pre_batching_prepare_still_decodes() {
+        // Prepares encoded before the piggybacked batch existed carry no
+        // `batch` field; the serde default must keep them decoding.
+        let old: PeerMsg = decode(br#"{"Prepare":{"gtx":{"node":1,"seq":2}}}"#)
+            .expect("batch-less prepare decodes");
+        assert_eq!(
+            old,
+            PeerMsg::Prepare {
+                gtx: GlobalTxId { node: 1, seq: 2 },
+                batch: Vec::new(),
+            }
+        );
+        // An empty commit payload is not valid JSON for ClientCommitReq;
+        // the coordinator treats an empty payload as "no shipped writes"
+        // before decoding — but a writes-less object must also decode.
+        let bare: ClientCommitReq = decode(br#"{}"#).expect("writes-less commit decodes");
+        assert!(bare.writes.is_empty());
+    }
+
+    #[test]
+    fn fail_code_classifies_store_errors() {
+        use treaty_store::StoreError;
+        assert_eq!(FailCode::from(&StoreError::LockTimeout), FailCode::LockTimeout);
+        assert_eq!(FailCode::from(&StoreError::Conflict), FailCode::Conflict);
+        assert_eq!(
+            FailCode::from(&StoreError::Integrity("bad".into())),
+            FailCode::Integrity
+        );
+        assert_eq!(
+            FailCode::from(&StoreError::Rollback("stale".into())),
+            FailCode::Integrity
+        );
+        assert_eq!(FailCode::from(&StoreError::Finished), FailCode::Finished);
+        assert_eq!(FailCode::from(&StoreError::Io("disk".into())), FailCode::Other);
     }
 
     #[test]

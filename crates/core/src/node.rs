@@ -21,9 +21,9 @@ use treaty_store::{EngineTxn, GlobalTxId, StoreError, TxnEngine, TxnMode};
 
 use crate::clog::Clog;
 use crate::messages::{
-    decode, encode, req, CommitResult, ObsSnapshotReply, Op, OpResult, PeerMsg, PeerReply,
-    SnapshotReadReply, SnapshotReadReq, SnapshotScanReply, SnapshotScanReq, SnapshotValidateReply,
-    SnapshotValidateReq,
+    decode, encode, req, ClientCommitReq, CommitResult, ObsSnapshotReply, Op, OpFailure, OpResult,
+    PeerMsg, PeerReply, SnapshotReadReply, SnapshotReadReq, SnapshotScanReply, SnapshotScanReq,
+    SnapshotValidateReply, SnapshotValidateReq, WriteCmd,
 };
 use crate::shard::ShardMap;
 
@@ -185,6 +185,66 @@ struct CoordTxn {
     local: Option<Box<dyn EngineTxn>>,
 }
 
+/// Applies a deferred-write slice to an engine transaction in order,
+/// reporting the first failing write with its index and a typed code. The
+/// caller decides what to do with the transaction on failure (participants
+/// drop it — rollback — and vote no / reply with the failure).
+fn apply_write_slice(
+    txn: &mut dyn EngineTxn,
+    writes: &[WriteCmd],
+) -> std::result::Result<(), OpFailure> {
+    for (i, w) in writes.iter().enumerate() {
+        let r = match &w.value {
+            Some(v) => txn.put(&w.key, v),
+            None => txn.delete(&w.key),
+        };
+        if let Err(e) = r {
+            return Err(OpFailure {
+                index: i as u32,
+                code: (&e).into(),
+                reason: e.to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// True k-way merge of per-shard scan slices. Each slice is sorted and the
+/// shards own disjoint key sets, so a min-heap over the slice heads yields
+/// globally sorted output with no duplicates to resolve — and stops as
+/// soon as `limit` pairs are produced (`0` = unbounded) instead of
+/// materializing the full concatenation and truncating.
+pub(crate) fn merge_sorted_slices(
+    slices: Vec<Vec<(Vec<u8>, Vec<u8>)>>,
+    limit: usize,
+) -> Vec<(Vec<u8>, Vec<u8>)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let total: usize = slices.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<(Vec<u8>, Vec<u8>)>> =
+        slices.into_iter().map(Vec::into_iter).collect();
+    // Heap entries order by (key, value, source) — keys are disjoint
+    // across sources, so the key alone decides.
+    let mut heap: BinaryHeap<Reverse<(Vec<u8>, Vec<u8>, usize)>> =
+        BinaryHeap::with_capacity(iters.len());
+    for (i, it) in iters.iter_mut().enumerate() {
+        if let Some((k, v)) = it.next() {
+            heap.push(Reverse((k, v, i)));
+        }
+    }
+    let mut out = Vec::with_capacity(if limit > 0 { limit.min(total) } else { total });
+    while let Some(Reverse((k, v, i))) = heap.pop() {
+        out.push((k, v));
+        if limit > 0 && out.len() >= limit {
+            break;
+        }
+        if let Some((k, v)) = iters[i].next() {
+            heap.push(Reverse((k, v, i)));
+        }
+    }
+    out
+}
+
 /// One Treaty node.
 pub struct TreatyNode {
     endpoint: EndpointId,
@@ -308,9 +368,15 @@ impl TreatyNode {
         );
         let me = Arc::clone(self);
         self.rpc.register_handler(
+            req::CLIENT_OP_BATCH,
+            true,
+            Arc::new(move |src, meta, payload| me.handle_client_op_batch(src, meta, payload)),
+        );
+        let me = Arc::clone(self);
+        self.rpc.register_handler(
             req::CLIENT_COMMIT,
             true,
-            Arc::new(move |src, meta, _| me.handle_client_commit(src, meta)),
+            Arc::new(move |src, meta, payload| me.handle_client_commit(src, meta, payload)),
         );
         let me = Arc::clone(self);
         self.rpc.register_handler(
@@ -339,6 +405,12 @@ impl TreatyNode {
         let me = Arc::clone(self);
         self.rpc.register_handler(
             req::PEER_OP,
+            true,
+            Arc::new(move |_src, meta, payload| me.handle_peer(meta, payload)),
+        );
+        let me = Arc::clone(self);
+        self.rpc.register_handler(
+            req::PEER_OP_BATCH,
             true,
             Arc::new(move |_src, meta, payload| me.handle_peer(meta, payload)),
         );
@@ -604,14 +676,9 @@ impl TreatyNode {
         }
 
         let result = if matches!(op, Op::Scan { .. }) {
-            // Shards own disjoint key sets, so concatenate-and-sort is a
-            // true k-way merge with no duplicates to resolve.
-            let mut merged: Vec<(Vec<u8>, Vec<u8>)> = slices.concat();
-            merged.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-            if limit > 0 {
-                merged.truncate(limit);
+            OpResult::Entries {
+                entries: merge_sorted_slices(slices, limit),
             }
-            OpResult::Entries { entries: merged }
         } else {
             OpResult::Ok { value: None }
         };
@@ -619,15 +686,156 @@ impl TreatyNode {
         result
     }
 
+    /// Splits a shipped write set into the local slice and one slice per
+    /// remote shard, preserving client issue order within each slice. The
+    /// remote slices keep first-touch order so the fan-out is
+    /// deterministic (no hash-map iteration on the message path).
+    fn split_writes_by_shard(
+        &self,
+        writes: Vec<WriteCmd>,
+    ) -> (Vec<WriteCmd>, Vec<(EndpointId, Vec<WriteCmd>)>) {
+        let mut local: Vec<WriteCmd> = Vec::new();
+        let mut remote: Vec<(EndpointId, Vec<WriteCmd>)> = Vec::new();
+        for w in writes {
+            let owner = self.shard_map.owner(&w.key);
+            if owner == self.endpoint {
+                local.push(w);
+                continue;
+            }
+            match remote.iter_mut().find(|(p, _)| *p == owner) {
+                Some((_, slice)) => slice.push(w),
+                None => remote.push((owner, vec![w])),
+            }
+        }
+        (local, remote)
+    }
+
+    /// Serves [`req::CLIENT_OP_BATCH`]: the client's deferred write buffer,
+    /// flushed because a read is about to need it visible.
+    fn handle_client_op_batch(
+        self: &Arc<Self>,
+        _src: EndpointId,
+        meta: TxMeta,
+        payload: Vec<u8>,
+    ) -> Option<(TxMeta, Vec<u8>)> {
+        let shipped: ClientCommitReq = decode(&payload)?;
+        let gtx = self.gtx_for_client(&meta);
+        treaty_sim::obs::set_node(self.endpoint);
+        let _txn = treaty_sim::obs::txn_scope(gtx.seq);
+        let _span = treaty_sim::obs::span_with(
+            "2pc.coordinate_batch",
+            &[("writes", shipped.writes.len() as u64)],
+        );
+        let result = self.coordinate_write_batch(gtx, shipped.writes);
+        let kind = match result {
+            OpResult::Err { .. } => MsgKind::Nack,
+            _ => MsgKind::Ack,
+        };
+        Some((TxMeta { kind, ..meta }, encode(&result)))
+    }
+
+    /// Coordinates a shipped write set mid-transaction: the writes group
+    /// by owning shard, one [`req::PEER_OP_BATCH`] per shard leaves in a
+    /// single burst (one seal per shard instead of per op), and the local
+    /// slice applies while the round trips are in flight — mirroring
+    /// [`TreatyNode::coordinate_range_op`]. Every touched shard joins the
+    /// participant set.
+    fn coordinate_write_batch(self: &Arc<Self>, gtx: GlobalTxId, writes: Vec<WriteCmd>) -> OpResult {
+        treaty_sim::runtime::set_tag("h:coordinate_batch");
+        if writes.is_empty() {
+            return OpResult::Ok { value: None };
+        }
+        let mut ctx = self.active_coord.lock().remove(&gtx).unwrap_or(CoordTxn {
+            remotes: Vec::new(),
+            local: None,
+        });
+        let (local_writes, remote_slices) = self.split_writes_by_shard(writes);
+        let mut pending: Vec<(EndpointId, PendingReply)> = Vec::with_capacity(remote_slices.len());
+        for (owner, slice) in remote_slices {
+            if !ctx.remotes.contains(&owner) {
+                ctx.remotes.push(owner);
+            }
+            let meta = self.peer_meta(gtx, MsgKind::TxnPut);
+            let payload = encode(&PeerMsg::OpBatch { gtx, writes: slice });
+            pending.push((
+                owner,
+                self.rpc
+                    .enqueue_request(owner, req::PEER_OP_BATCH, &meta, &payload),
+            ));
+        }
+        self.rpc.tx_burst();
+        treaty_sim::crashpoint::hit("coord.batch_fanout");
+
+        let mut failure: Option<String> = None;
+        if !local_writes.is_empty() {
+            let local = ctx
+                .local
+                .get_or_insert_with(|| self.engine.begin_txn(self.txn_mode));
+            if let Err(f) = apply_write_slice(local.as_mut(), &local_writes) {
+                failure = Some(format!("local batch write {}: {}", f.index, f.reason));
+            }
+        }
+        // Collect every reply even after a failure: an abandoned
+        // `PendingReply` would leave the burst dangling mid-session.
+        for (p, pr) in pending {
+            match pr.wait() {
+                Ok((_, bytes)) => match decode::<PeerReply>(&bytes) {
+                    Some(PeerReply::BatchDone { fail: None }) => {}
+                    Some(PeerReply::BatchDone { fail: Some(f) }) => {
+                        treaty_sim::obs::counter_add("core.batch_op_failed", 1);
+                        failure.get_or_insert(format!(
+                            "participant {p} batch write {} ({:?}): {}",
+                            f.index, f.code, f.reason
+                        ));
+                    }
+                    _ => {
+                        failure.get_or_insert(format!("participant {p} malformed reply"));
+                    }
+                },
+                Err(e) => {
+                    failure.get_or_insert(format!("participant {p}: {e}"));
+                }
+            }
+        }
+        if let Some(reason) = failure {
+            self.abort_everywhere(gtx, ctx);
+            return OpResult::Err { reason };
+        }
+        treaty_sim::obs::counter_add("core.batched_writes", 1);
+        self.active_coord.lock().insert(gtx, ctx);
+        OpResult::Ok { value: None }
+    }
+
     fn handle_client_commit(
         self: &Arc<Self>,
         _src: EndpointId,
         meta: TxMeta,
+        payload: Vec<u8>,
     ) -> Option<(TxMeta, Vec<u8>)> {
         let gtx = self.gtx_for_client(&meta);
         treaty_sim::obs::set_node(self.endpoint);
         let _txn = treaty_sim::obs::txn_scope(gtx.seq);
         let _span = treaty_sim::obs::span("2pc.commit");
+        // Deferred writes shipped with the commit itself (empty payload =
+        // none; pre-batching clients keep working).
+        let shipped: Vec<WriteCmd> = if payload.is_empty() {
+            Vec::new()
+        } else {
+            match decode::<ClientCommitReq>(&payload) {
+                Some(r) => r.writes,
+                None => {
+                    return Some((
+                        TxMeta {
+                            kind: MsgKind::Nack,
+                            ..meta
+                        },
+                        encode(&CommitResult::Aborted {
+                            reason: "malformed commit payload".into(),
+                        }),
+                    ));
+                }
+            }
+        };
         let ctx = self.active_coord.lock().remove(&gtx);
         let result = match ctx {
             // No coordinator state: either a transaction we already aborted
@@ -636,8 +844,17 @@ impl TreatyNode {
             None if self.recently_aborted.lock().contains(&gtx) => CommitResult::Aborted {
                 reason: "transaction was aborted".into(),
             },
-            None => CommitResult::Committed, // empty transaction
-            Some(ctx) => self.run_two_phase_commit(gtx, ctx),
+            None if shipped.is_empty() => CommitResult::Committed, // empty transaction
+            None => self.commit_with_writes(
+                gtx,
+                CoordTxn {
+                    remotes: Vec::new(),
+                    local: None,
+                },
+                shipped,
+            ),
+            Some(ctx) if shipped.is_empty() => self.run_two_phase_commit(gtx, ctx, Vec::new()),
+            Some(ctx) => self.commit_with_writes(gtx, ctx, shipped),
         };
         match &result {
             CommitResult::Committed => {
@@ -681,8 +898,47 @@ impl TreatyNode {
         ))
     }
 
-    /// The secure two-phase commit of Fig. 2.
-    fn run_two_phase_commit(self: &Arc<Self>, gtx: GlobalTxId, mut ctx: CoordTxn) -> CommitResult {
+    /// Commits a transaction whose final deferred writes arrived with the
+    /// commit request itself. The local slice applies inline; each remote
+    /// shard's slice piggybacks on its prepare message, collapsing
+    /// execute+prepare into one round trip (one seal/unseal) per shard. A
+    /// shard that only ever received deferred writes therefore costs one
+    /// sealed message for all of phase one.
+    fn commit_with_writes(
+        self: &Arc<Self>,
+        gtx: GlobalTxId,
+        mut ctx: CoordTxn,
+        writes: Vec<WriteCmd>,
+    ) -> CommitResult {
+        let (local_writes, batches) = self.split_writes_by_shard(writes);
+        if !local_writes.is_empty() {
+            let local = ctx
+                .local
+                .get_or_insert_with(|| self.engine.begin_txn(self.txn_mode));
+            if let Err(f) = apply_write_slice(local.as_mut(), &local_writes) {
+                self.abort_everywhere(gtx, ctx);
+                return CommitResult::Aborted {
+                    reason: format!("local batch write {}: {}", f.index, f.reason),
+                };
+            }
+        }
+        for (owner, _) in &batches {
+            if !ctx.remotes.contains(owner) {
+                ctx.remotes.push(*owner);
+            }
+        }
+        self.run_two_phase_commit(gtx, ctx, batches)
+    }
+
+    /// The secure two-phase commit of Fig. 2. `batches` carries deferred
+    /// writes to piggyback on the prepare message per remote shard
+    /// (empty for the classic eager-execution path).
+    fn run_two_phase_commit(
+        self: &Arc<Self>,
+        gtx: GlobalTxId,
+        mut ctx: CoordTxn,
+        mut batches: Vec<(EndpointId, Vec<WriteCmd>)>,
+    ) -> CommitResult {
         treaty_sim::runtime::set_tag("h:2pc");
         // Fast path: single-participant transaction, local only (1PC).
         if ctx.remotes.is_empty() {
@@ -723,8 +979,13 @@ impl TreatyNode {
             // overlaps the network round trip.
             let mut pending: Vec<(EndpointId, PendingReply)> = Vec::new();
             for &r in &ctx.remotes {
+                let batch = batches
+                    .iter_mut()
+                    .find(|(p, _)| *p == r)
+                    .map(|(_, b)| std::mem::take(b))
+                    .unwrap_or_default();
                 let meta = self.peer_meta(gtx, MsgKind::TxnPrepare);
-                let msg = encode(&PeerMsg::Prepare { gtx });
+                let msg = encode(&PeerMsg::Prepare { gtx, batch });
                 pending.push((
                     r,
                     self.rpc.enqueue_request(r, req::PEER_PREPARE, &meta, &msg),
@@ -1248,7 +1509,8 @@ impl TreatyNode {
         treaty_sim::obs::set_node(self.endpoint);
         let (phase, gtx) = match &msg {
             PeerMsg::Op { gtx, .. } => ("2pc.participant.op", *gtx),
-            PeerMsg::Prepare { gtx } => ("2pc.participant.prepare", *gtx),
+            PeerMsg::OpBatch { gtx, .. } => ("2pc.participant.op_batch", *gtx),
+            PeerMsg::Prepare { gtx, .. } => ("2pc.participant.prepare", *gtx),
             PeerMsg::Commit { gtx } => ("2pc.participant.commit", *gtx),
             PeerMsg::Abort { gtx } => ("2pc.participant.abort", *gtx),
             PeerMsg::QueryDecision { gtx } => ("2pc.participant.query", *gtx),
@@ -1311,11 +1573,67 @@ impl TreatyNode {
                 }
                 PeerReply::OpDone(result)
             }
-            PeerMsg::Prepare { gtx } => {
+            PeerMsg::OpBatch { gtx, writes } => {
+                // This shard's slice of a deferred write batch: applied
+                // all-or-nothing in one sealed message. On the first
+                // failure the whole engine transaction rolls back and the
+                // reply pinpoints the failing write with a typed code.
+                self.stats.lock().participant_ops += writes.len() as u64;
+                let mut txn = self
+                    .active_part
+                    .lock()
+                    .remove(&gtx)
+                    .unwrap_or_else(|| self.engine.begin_txn(self.txn_mode));
+                let mut fail: Option<OpFailure> = None;
+                for (i, w) in writes.iter().enumerate() {
+                    let r = match &w.value {
+                        Some(v) => txn.put(&w.key, v),
+                        None => txn.delete(&w.key),
+                    };
+                    // A crash here is mid-apply: some writes landed in the
+                    // volatile engine transaction, none are prepared.
+                    treaty_sim::crashpoint::hit("part.batch_apply");
+                    if let Err(e) = r {
+                        fail = Some(OpFailure {
+                            index: i as u32,
+                            code: (&e).into(),
+                            reason: e.to_string(),
+                        });
+                        break;
+                    }
+                }
+                match fail {
+                    None => {
+                        self.active_part.lock().insert(gtx, txn);
+                        PeerReply::BatchDone { fail: None }
+                    }
+                    Some(f) => {
+                        // txn dropped -> rolled back; coordinator aborts.
+                        PeerReply::BatchDone { fail: Some(f) }
+                    }
+                }
+            }
+            PeerMsg::Prepare { gtx, batch } => {
                 treaty_sim::crashpoint::hit("part.before_prepare");
+                if !batch.is_empty() {
+                    self.stats.lock().participant_ops += batch.len() as u64;
+                }
                 let txn = self.active_part.lock().remove(&gtx);
+                // A piggybacked batch means this shard received deferred
+                // writes with the prepare itself (execute+prepare in one
+                // round trip) — begin the engine transaction here if the
+                // shard saw nothing earlier.
+                let txn = match txn {
+                    Some(t) => Some(t),
+                    None if batch.is_empty() => None,
+                    None => Some(self.engine.begin_txn(self.txn_mode)),
+                };
                 let yes = match txn {
-                    Some(mut txn) => txn.prepare(gtx).is_ok(),
+                    Some(mut txn) => match apply_write_slice(txn.as_mut(), &batch) {
+                        Ok(()) => txn.prepare(gtx).is_ok(),
+                        // txn dropped -> rolled back; vote no.
+                        Err(_) => false,
+                    },
                     // Recovery re-drive: still prepared from a past life?
                     None => self.engine.prepared_txns().contains(&gtx),
                 };
@@ -1394,7 +1712,12 @@ impl TreatyNode {
                 let mut all_yes = true;
                 for &r in &remotes {
                     let meta = self.peer_meta(gtx, MsgKind::TxnPrepare);
-                    let msg = encode(&PeerMsg::Prepare { gtx });
+                    // Re-drives never re-ship deferred writes: a batch that
+                    // reached prepare is already in the engine transaction.
+                    let msg = encode(&PeerMsg::Prepare {
+                        gtx,
+                        batch: Vec::new(),
+                    });
                     match self.rpc.call(r, req::PEER_PREPARE, &meta, &msg) {
                         Ok((_, bytes)) => match decode::<PeerReply>(&bytes) {
                             Some(PeerReply::Vote { yes }) => all_yes &= yes,
@@ -1468,5 +1791,51 @@ impl TreatyNode {
             }
         }
         outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::merge_sorted_slices;
+
+    fn e(k: &str) -> (Vec<u8>, Vec<u8>) {
+        (k.as_bytes().to_vec(), format!("v-{k}").into_bytes())
+    }
+
+    #[test]
+    fn merge_interleaves_disjoint_sorted_slices() {
+        let merged = merge_sorted_slices(
+            vec![
+                vec![e("a"), e("d"), e("g")],
+                vec![e("b"), e("e")],
+                vec![],
+                vec![e("c"), e("f"), e("h")],
+            ],
+            0,
+        );
+        let keys: Vec<&[u8]> = merged.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, [b"a", b"b", b"c", b"d", b"e", b"f", b"g", b"h"]);
+    }
+
+    #[test]
+    fn merge_stops_at_limit_without_draining() {
+        let merged = merge_sorted_slices(
+            vec![vec![e("a"), e("c"), e("e")], vec![e("b"), e("d"), e("f")]],
+            3,
+        );
+        let keys: Vec<&[u8]> = merged.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, [b"a", b"b", b"c"]);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        assert!(merge_sorted_slices(Vec::new(), 0).is_empty());
+        assert!(merge_sorted_slices(vec![vec![], vec![]], 5).is_empty());
+    }
+
+    #[test]
+    fn merge_single_slice_is_identity() {
+        let s = vec![e("a"), e("b"), e("c")];
+        assert_eq!(merge_sorted_slices(vec![s.clone()], 0), s);
     }
 }

@@ -662,6 +662,192 @@ fn snapshot_scan_sees_committed_prefix_consistently() {
     });
 }
 
+// ---- deferred-write batching (DESIGN.md §16) ---------------------------------
+
+/// `per_node` keys owned by each node, grouped deterministically.
+fn keys_per_owner(cluster: &Cluster, per_node: usize) -> HashMap<u32, Vec<Vec<u8>>> {
+    let mut found: HashMap<u32, Vec<Vec<u8>>> = HashMap::new();
+    let nodes = cluster.node_endpoints().len();
+    for i in 0..100_000u32 {
+        let k = format!("batch-{i}").into_bytes();
+        let owner = cluster.shard_map().owner(&k);
+        let bucket = found.entry(owner).or_default();
+        if bucket.len() < per_node {
+            bucket.push(k);
+        }
+        if found.len() == nodes && found.values().all(|b| b.len() == per_node) {
+            break;
+        }
+    }
+    found
+}
+
+#[test]
+fn read_your_writes_from_buffer_without_rpc() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let cluster = Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
+        let client = cluster.client();
+
+        let mut tx = client.begin(1);
+        let sent0 = cluster.fabric().stats().sent;
+        tx.put(b"ryw-a", b"v1").unwrap();
+        tx.put(b"ryw-a", b"v2").unwrap();
+        tx.put(b"ryw-b", b"w").unwrap();
+        // Reads of buffered keys are served locally: last write wins, and
+        // no RPC leaves the client.
+        assert_eq!(tx.get(b"ryw-a").unwrap(), Some(b"v2".to_vec()));
+        assert_eq!(tx.get(b"ryw-b").unwrap(), Some(b"w".to_vec()));
+        assert_eq!(
+            cluster.fabric().stats().sent,
+            sent0,
+            "buffered writes and buffer-hit reads must not touch the network"
+        );
+        // A read outside the buffer flushes it first.
+        assert_eq!(tx.get(b"ryw-missing").unwrap(), None);
+        assert!(cluster.fabric().stats().sent > sent0, "miss flushed the buffer");
+        tx.commit().unwrap();
+
+        let mut tx = client.begin(2);
+        assert_eq!(tx.get(b"ryw-a").unwrap(), Some(b"v2".to_vec()));
+        assert_eq!(tx.get(b"ryw-b").unwrap(), Some(b"w".to_vec()));
+        tx.commit().unwrap();
+    });
+}
+
+#[test]
+fn scan_flushes_buffered_writes_first() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let cluster = Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
+        let client = cluster.client();
+        let mut tx = client.begin(1);
+        tx.put(b"sfl-001", b"a").unwrap();
+        tx.put(b"sfl-002", b"b").unwrap();
+        // The scan overlaps the buffered span: it must see both writes,
+        // which forces a conservative flush before the fan-out.
+        let rows = tx.scan(b"sfl-", b"sfl-~", 0).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                (b"sfl-001".to_vec(), b"a".to_vec()),
+                (b"sfl-002".to_vec(), b"b".to_vec())
+            ]
+        );
+        tx.commit().unwrap();
+    });
+}
+
+#[test]
+fn delete_then_get_sees_the_buffered_tombstone() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let cluster = Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
+        let client = cluster.client();
+        let mut tx = client.begin(1);
+        tx.put(b"del-k", b"v").unwrap();
+        tx.commit().unwrap();
+
+        let mut tx = client.begin(2);
+        tx.delete(b"del-k").unwrap();
+        assert_eq!(
+            tx.get(b"del-k").unwrap(),
+            None,
+            "buffered delete must shadow the committed value"
+        );
+        tx.commit().unwrap();
+
+        let mut tx = client.begin(3);
+        assert_eq!(tx.get(b"del-k").unwrap(), None);
+        tx.commit().unwrap();
+    });
+}
+
+#[test]
+fn buffered_writes_abort_cleanly_on_conflict() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let cluster = Cluster::start(options(SecurityProfile::treaty_full(), &path)).unwrap();
+        let keys = keys_on_different_nodes(&cluster);
+        let client = cluster.client();
+
+        // Holder writes one of the keys eagerly so it holds the lock while
+        // the batched transaction commits.
+        let mut holder = client.begin(1);
+        holder.set_batching(false);
+        holder.put(&keys[0], b"held").unwrap();
+
+        // The buffered transaction never touched the network before commit;
+        // its shipped batch hits the held lock and the whole commit aborts.
+        let mut tx = client.begin(2);
+        for k in &keys {
+            tx.put(k, b"doomed").unwrap();
+        }
+        assert!(tx.commit().is_err(), "conflicting batch must abort");
+
+        holder.rollback().unwrap();
+
+        // All-or-nothing: no key of the aborted batch is visible.
+        let mut check = client.begin(3);
+        for k in &keys {
+            assert_eq!(check.get(k).unwrap(), None, "aborted write leaked");
+        }
+        check.commit().unwrap();
+    });
+}
+
+#[test]
+fn batched_commit_round_trips_scale_with_shards_not_writes() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let mut o = options(SecurityProfile::treaty_full(), &path);
+        // Inline decision delivery so every 2PC message is on the wire by
+        // the time commit() returns and the counters are deterministic.
+        o.sync_decisions = true;
+        let cluster = Cluster::start(o).unwrap();
+        let per_owner = keys_per_owner(&cluster, 2);
+        assert_eq!(per_owner.len(), 3);
+        let client = cluster.client();
+
+        let run = |keys: &[Vec<u8>], batching: bool| -> u64 {
+            let before = cluster.fabric().stats().sent;
+            let mut tx = client.begin(1);
+            tx.set_batching(batching);
+            for k in keys {
+                tx.put(k, b"v").unwrap();
+            }
+            tx.commit().unwrap();
+            cluster.fabric().stats().sent - before
+        };
+
+        // One write per shard (W = S = 3) vs two per shard (W = 6): the
+        // batched wire cost is a function of the shard count only.
+        let one_per_shard: Vec<Vec<u8>> =
+            per_owner.values().map(|b| b[0].clone()).collect();
+        let two_per_shard: Vec<Vec<u8>> =
+            per_owner.values().flat_map(|b| b.iter().cloned()).collect();
+        let batched_w3 = run(&one_per_shard, true);
+        let batched_w6 = run(&two_per_shard, true);
+        assert_eq!(
+            batched_w3, batched_w6,
+            "batched round trips must depend on shards, not writes"
+        );
+
+        // The unbatched ablation pays per write: strictly more messages for
+        // the same W = 6 transaction.
+        let unbatched_w6 = run(&two_per_shard, false);
+        assert!(
+            batched_w6 < unbatched_w6,
+            "batched {batched_w6} vs unbatched {unbatched_w6} messages"
+        );
+    });
+}
+
 #[test]
 fn scans_and_range_deletes_survive_cluster_restart() {
     let dir = tempfile::tempdir().unwrap();

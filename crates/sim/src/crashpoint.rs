@@ -56,8 +56,10 @@ pub const ALL_POINTS: &[&str] = &[
     "coord.before_client_reply",
     "coord.decision_queued",
     "coord.scan_fanout",
+    "coord.batch_fanout",
     // Participant (treaty-core node.rs, peer handler).
     "part.before_prepare",
+    "part.batch_apply",
     "part.after_prepare",
     "part.after_commit_apply",
     "part.after_abort_apply",

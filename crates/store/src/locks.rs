@@ -12,7 +12,6 @@ use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use treaty_crypto::hash;
 use treaty_sched::WaitQueue;
 use treaty_sim::{runtime, Nanos};
 
@@ -21,6 +20,22 @@ use crate::{Result, StoreError};
 
 /// A lock owner: one transaction.
 pub type TxId = u64;
+
+/// Cheap deterministic stripe hash: FNV-1a over the key bytes with a
+/// Fibonacci final mix (golden-ratio multiply) so sequential key suffixes
+/// still disperse across stripes. Stripe dispatch needs uniformity, not
+/// collision resistance — the previous implementation paid a full SHA-256
+/// per acquire *and* re-hashed every key again on release, pure waste on
+/// the hottest store lock path. Not dependent on the shard map's keyed
+/// hash: lock striping is node-local and needs no cross-node agreement.
+fn stripe_hash(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
 
 /// The next-key lock target when a scan or range delete runs off the end
 /// of the key space: there is no "first existing key ≥ end" to lock, so
@@ -129,10 +144,12 @@ impl LockTable {
         }
     }
 
+    fn shard_idx(&self, key: &[u8]) -> usize {
+        (stripe_hash(key) % self.shards.len() as u64) as usize
+    }
+
     fn shard_of(&self, key: &[u8]) -> &Shard {
-        let h = hash::sha256(key);
-        let idx = u64::from_le_bytes(h.0[8..16].try_into().unwrap()) % self.shards.len() as u64;
-        &self.shards[idx as usize]
+        &self.shards[self.shard_idx(key)]
     }
 
     /// Acquires `mode` on `key` for `tx`, waiting up to the configured
@@ -209,9 +226,7 @@ impl LockTable {
         // Group by shard to wake each shard once.
         let mut touched: Vec<usize> = Vec::new();
         for key in keys {
-            let h = hash::sha256(&key);
-            let idx = (u64::from_le_bytes(h.0[8..16].try_into().unwrap())
-                % self.shards.len() as u64) as usize;
+            let idx = self.shard_idx(&key);
             let shard = &self.shards[idx];
             let mut locks = shard.locks.lock();
             if let Some(kl) = locks.get_mut(&key) {
@@ -386,13 +401,36 @@ mod tests {
         let sizes = t.shard_sizes();
         assert_eq!(sizes.len(), 64);
         assert_eq!(sizes.iter().sum::<usize>(), 2048);
-        // Hash striping over sha256 must not leave shards cold or let one
-        // shard dominate on sequential key names.
+        // The FNV-1a/Fibonacci stripe hash must not leave shards cold or
+        // let one shard dominate on sequential key names.
         assert!(
             sizes.iter().all(|s| *s > 0),
             "every shard should hold keys: {sizes:?}"
         );
         let max = sizes.iter().max().copied().unwrap_or(0);
         assert!(max < 2048 / 8, "no shard should dominate: max {max}");
+    }
+
+    #[test]
+    fn stripe_hash_is_deterministic_and_spreads_tenant_prefixes() {
+        // Same key, same stripe — acquire and release must agree.
+        assert_eq!(stripe_hash(b"user42"), stripe_hash(b"user42"));
+        // Multi-tenant key spaces share long common prefixes; the stripe
+        // hash must still spread them (the scale workload's key shape).
+        let t = LockTable::new(64, 5 * MILLIS);
+        for tenant in 0..8u32 {
+            for i in 0..64u32 {
+                t.lock(
+                    1,
+                    format!("t{tenant:03}/user{i:010}").as_bytes(),
+                    LockMode::Exclusive,
+                )
+                .unwrap();
+            }
+        }
+        let sizes = t.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 512);
+        let max = sizes.iter().max().copied().unwrap_or(0);
+        assert!(max < 512 / 4, "tenant-prefixed keys must spread: {sizes:?}");
     }
 }

@@ -5,10 +5,12 @@
 //! generator drives single-node engine transactions and distributed
 //! client transactions.
 
+pub mod scale;
 pub mod social;
 pub mod tpcc;
 pub mod ycsb;
 
+pub use scale::{PoissonArrivals, ScaleConfig, ScaleGenerator};
 pub use social::{SocialConfig, SocialGenerator, SocialTxn};
 pub use tpcc::{TpccConfig, TpccGenerator, TpccTxn};
 pub use ycsb::{Distribution, YcsbConfig, YcsbGenerator, YcsbOp, YcsbOpKind};

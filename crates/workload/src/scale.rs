@@ -1,0 +1,254 @@
+//! Open-loop scale workload (ROADMAP item 5): multi-tenant key spaces
+//! with zipfian hot keys per tenant, plus the deterministic Poisson
+//! arrival process the open-loop bench driver schedules transactions
+//! with.
+//!
+//! Closed-loop clients hide saturation: a slow server slows its clients
+//! down, so offered load collapses exactly when the system is most
+//! interesting. The open-loop driver instead fixes the *arrival* rate —
+//! transactions arrive on a Poisson process whether or not earlier ones
+//! finished — and measures latency from the intended arrival time, so
+//! queueing delay shows up in p99 instead of silently throttling the
+//! workload.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::ycsb::Zipf;
+use crate::KvTxn;
+
+/// Configuration of the multi-tenant scale workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleConfig {
+    /// Independent tenants; each owns a disjoint key prefix.
+    pub tenants: u32,
+    /// Keys per tenant key space.
+    pub keys_per_tenant: u64,
+    /// Zipfian skew within a tenant (YCSB default 0.99). Low indices are
+    /// hot: index 0 is every tenant's hottest key.
+    pub theta: f64,
+    /// Operations per transaction.
+    pub ops_per_txn: usize,
+    /// Percentage of operations that are writes (the scale harness is
+    /// write-heavy by default: deferred-write batching is what it
+    /// measures).
+    pub write_pct: u8,
+    /// Value size in bytes.
+    pub value_size: usize,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            tenants: 4,
+            keys_per_tenant: 10_000,
+            theta: 0.99,
+            ops_per_txn: 8,
+            write_pct: 80,
+            value_size: 100,
+        }
+    }
+}
+
+/// The key of `(tenant, idx)`: tenant-prefixed so tenants partition the
+/// key space (`t007/user0000000042`).
+pub fn tenant_key(tenant: u32, idx: u64) -> Vec<u8> {
+    format!("t{tenant:03}/user{idx:010}").into_bytes()
+}
+
+/// The hottest `per_tenant` rows of every tenant, for preloading. Zipfian
+/// popularity concentrates on the low indices, so preloading a prefix of
+/// each tenant's key space covers nearly all read traffic.
+pub fn hot_rows(cfg: &ScaleConfig, per_tenant: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let per_tenant = per_tenant.min(cfg.keys_per_tenant);
+    let mut rows = Vec::with_capacity((cfg.tenants as u64 * per_tenant) as usize);
+    for tenant in 0..cfg.tenants {
+        for idx in 0..per_tenant {
+            rows.push((tenant_key(tenant, idx), vec![b'0'; cfg.value_size]));
+        }
+    }
+    rows
+}
+
+/// Deterministic generator of scale-workload transactions; distinct seeds
+/// give independent streams.
+#[derive(Debug, Clone)]
+pub struct ScaleGenerator {
+    cfg: ScaleConfig,
+    rng: ChaCha8Rng,
+    zipf: Zipf,
+}
+
+impl ScaleGenerator {
+    /// Creates a generator.
+    pub fn new(cfg: ScaleConfig, seed: u64) -> Self {
+        let zipf = Zipf::new(cfg.keys_per_tenant.max(1), cfg.theta);
+        ScaleGenerator {
+            cfg,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            zipf,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ScaleConfig {
+        &self.cfg
+    }
+
+    /// A workload value: mostly filler with a random tag so successive
+    /// writes are distinguishable.
+    pub fn next_value(&mut self) -> Vec<u8> {
+        let tag: u64 = self.rng.gen();
+        let mut v = vec![b'x'; self.cfg.value_size.max(8)];
+        v[..8].copy_from_slice(&tag.to_le_bytes());
+        v
+    }
+
+    /// Runs one transaction against `txn`: picks a tenant uniformly, then
+    /// `ops_per_txn` zipfian-hot operations inside that tenant's key
+    /// space, `write_pct`% of them blind writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first operation error (the transaction aborts).
+    pub fn run_txn(&mut self, txn: &mut impl KvTxn) -> Result<(), String> {
+        let tenant = self.rng.gen_range(0..self.cfg.tenants.max(1));
+        for _ in 0..self.cfg.ops_per_txn {
+            let idx = self.zipf.sample(&mut self.rng);
+            let key = tenant_key(tenant, idx);
+            if self.rng.gen_range(0..100u8) < self.cfg.write_pct {
+                let value = self.next_value();
+                txn.put(&key, &value)?;
+            } else {
+                txn.get(&key)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic Poisson arrival process: exponential inter-arrival gaps
+/// around a fixed offered rate, independent of how fast transactions
+/// complete (the open-loop property).
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rng: ChaCha8Rng,
+    mean_gap_ns: f64,
+}
+
+impl PoissonArrivals {
+    /// An arrival process offering `offered_tps` transactions per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offered_tps` is not strictly positive.
+    pub fn new(offered_tps: f64, seed: u64) -> Self {
+        assert!(offered_tps > 0.0, "offered rate must be positive");
+        PoissonArrivals {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            mean_gap_ns: 1e9 / offered_tps,
+        }
+    }
+
+    /// Nanoseconds until the next arrival (exponentially distributed).
+    pub fn next_gap(&mut self) -> u64 {
+        // 1 - u ∈ (0, 1]: ln never sees zero.
+        let u: f64 = self.rng.gen();
+        let gap = -self.mean_gap_ns * (1.0 - u).ln();
+        // Clamp to [1ns, 100×mean]: the exponential tail is unbounded but
+        // a single pathological gap would distort a finite run.
+        gap.clamp(1.0, self.mean_gap_ns * 100.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct MapTxn(HashMap<Vec<u8>, Vec<u8>>);
+
+    impl KvTxn for MapTxn {
+        fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, String> {
+            Ok(self.0.get(key).cloned())
+        }
+        fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), String> {
+            self.0.insert(key.to_vec(), value.to_vec());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn keys_are_tenant_prefixed_and_sortable() {
+        assert_eq!(tenant_key(7, 42), b"t007/user0000000042".to_vec());
+        assert!(tenant_key(1, 999) < tenant_key(2, 0));
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let cfg = ScaleConfig::default();
+        let mut a = ScaleGenerator::new(cfg.clone(), 7);
+        let mut b = ScaleGenerator::new(cfg, 7);
+        let mut ta = MapTxn(HashMap::new());
+        let mut tb = MapTxn(HashMap::new());
+        for _ in 0..20 {
+            a.run_txn(&mut ta).unwrap();
+            b.run_txn(&mut tb).unwrap();
+        }
+        assert_eq!(ta.0, tb.0);
+        assert!(!ta.0.is_empty());
+    }
+
+    #[test]
+    fn txns_stay_inside_one_tenant() {
+        let cfg = ScaleConfig {
+            tenants: 8,
+            ops_per_txn: 16,
+            write_pct: 100,
+            ..ScaleConfig::default()
+        };
+        let mut g = ScaleGenerator::new(cfg, 3);
+        for _ in 0..10 {
+            let mut t = MapTxn(HashMap::new());
+            g.run_txn(&mut t).unwrap();
+            let prefixes: std::collections::HashSet<Vec<u8>> =
+                t.0.keys().map(|k| k[..4].to_vec()).collect();
+            assert_eq!(prefixes.len(), 1, "one tenant per transaction");
+        }
+    }
+
+    #[test]
+    fn zipfian_concentrates_on_low_indices() {
+        let cfg = ScaleConfig {
+            tenants: 1,
+            write_pct: 100,
+            ..ScaleConfig::default()
+        };
+        let mut g = ScaleGenerator::new(cfg, 11);
+        let mut t = MapTxn(HashMap::new());
+        for _ in 0..200 {
+            g.run_txn(&mut t).unwrap();
+        }
+        // 1600 zipfian ops over 10k keys must revisit the hot head: far
+        // fewer distinct keys than ops.
+        assert!(t.0.len() < 800, "distinct keys: {}", t.0.len());
+        assert!(t.0.contains_key(&tenant_key(0, 0)), "hottest key touched");
+    }
+
+    #[test]
+    fn poisson_gaps_average_the_offered_rate() {
+        let mut p = PoissonArrivals::new(10_000.0, 5); // mean gap 100µs
+        let n = 4096u64;
+        let total: u64 = (0..n).map(|_| p.next_gap()).sum();
+        let mean = total / n;
+        assert!(
+            (50_000..200_000).contains(&mean),
+            "mean gap {mean}ns should be near 100µs"
+        );
+        // Deterministic per seed.
+        let mut q = PoissonArrivals::new(10_000.0, 5);
+        let again: u64 = (0..n).map(|_| q.next_gap()).sum();
+        assert_eq!(total, again);
+    }
+}

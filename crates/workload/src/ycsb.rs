@@ -140,7 +140,7 @@ pub const KEY_SPACE_END: &[u8] = b"user~";
 
 /// Standard YCSB zipfian generator (Gray et al.), deterministic.
 #[derive(Debug, Clone)]
-struct Zipf {
+pub(crate) struct Zipf {
     n: u64,
     theta: f64,
     alpha: f64,
@@ -149,7 +149,7 @@ struct Zipf {
 }
 
 impl Zipf {
-    fn new(n: u64, theta: f64) -> Self {
+    pub(crate) fn new(n: u64, theta: f64) -> Self {
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2, theta);
         Zipf {
@@ -174,7 +174,7 @@ impl Zipf {
         }
     }
 
-    fn sample(&self, rng: &mut ChaCha8Rng) -> u64 {
+    pub(crate) fn sample(&self, rng: &mut ChaCha8Rng) -> u64 {
         let u: f64 = rng.gen();
         let uz = u * self.zetan;
         if uz < 1.0 {

@@ -535,6 +535,222 @@ fn snapshot_read_crash_leaks_no_locks_and_recovery_is_unchanged() {
     );
 }
 
+/// The coalesced-fan-out fault cell: the coordinator dies at
+/// `coord.batch_fanout` — after the per-shard `PEER_OP_BATCH` burst left
+/// its endpoint, before any reply was drained or a prepare was sent. The
+/// shipped batch never reached the commit protocol (no Clog start, no
+/// prepares), so the participants' speculative applies hold only volatile
+/// locks: bouncing them (= session timeout) must shed everything, and the
+/// doomed writes must be visible nowhere.
+fn run_batch_fanout_cell() -> String {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let plan = crashpoint::install();
+        let mut cluster = Cluster::start(options(&path)).unwrap();
+        let keys: Vec<Vec<u8>> = key_per_node(&cluster).into_values().collect();
+
+        // Acked seed on every shard; must survive the episode.
+        let client = cluster.client();
+        let mut tx = client.begin(COORD);
+        for k in &keys {
+            tx.put(k, b"stable-value").expect("seed write failed");
+        }
+        tx.commit().expect("seed commit failed");
+        sleep(50 * MILLIS);
+
+        plan.arm(FaultSchedule::new().crash_at("coord.batch_fanout", COORD, 1));
+
+        // Doomed: buffered writes to all three shards, then a read outside
+        // the buffer — the conservative flush ships the batch and the
+        // coordinator dies mid fan-out.
+        let mut tx = client.begin(COORD);
+        for k in &keys {
+            tx.put(k, b"doomed").expect("buffered put never hits the wire");
+        }
+        let acked = match tx.get(b"batch-fanout-flush-trigger") {
+            Ok(_) => 'C',
+            Err(TreatyError::Aborted(..)) => 'A',
+            Err(TreatyError::Net(_)) => 'U',
+            Err(_) => 'R',
+        };
+
+        sleep(4 * SECONDS);
+        let fired = plan.fired();
+        assert_eq!(fired.len(), 1, "expected exactly one crash, got {fired:?}");
+        assert_eq!(fired[0].point, "coord.batch_fanout");
+        assert_eq!(fired[0].node, COORD);
+        let fired_at = fired[0].at;
+
+        // Restart the coordinator; bounce both participants too — their
+        // speculative batch applies never prepared, so their locks are
+        // volatile by design and a restart sheds them.
+        cluster.crash_node((COORD - 1) as usize);
+        cluster.restart_node((COORD - 1) as usize).unwrap();
+        for n in [PART, SPARE] {
+            cluster.crash_node((n - 1) as usize);
+            cluster.restart_node((n - 1) as usize).unwrap();
+        }
+        let rec = cluster.resolve_recovered();
+        assert_eq!(rec.failed, 0, "recovery re-drive failed: {rec:?}");
+        assert_eq!(
+            (rec.re_decided, rec.resolved),
+            (0, 0),
+            "a batch that never reached prepare must be invisible to recovery: {rec:?}"
+        );
+
+        // Nothing leaked and nothing is visible.
+        for i in 0..cluster.node_endpoints().len() {
+            if let Some(store) = cluster.store(i) {
+                assert_eq!(
+                    store.locked_keys(),
+                    0,
+                    "node {}: batch fan-out crash leaked locks",
+                    i + 1
+                );
+                assert!(
+                    store.prepared_txns().is_empty(),
+                    "node {}: batch fan-out crash leaked prepared state",
+                    i + 1
+                );
+            }
+        }
+        let reader = cluster.client();
+        let mut tx = reader.begin(SPARE);
+        for k in &keys {
+            assert_eq!(
+                tx.get(k).expect("post-recovery read"),
+                Some(b"stable-value".to_vec()),
+                "all-or-nothing violated: doomed batch write surfaced"
+            );
+        }
+        tx.commit().expect("verify commit");
+
+        format!(
+            "coord.batch_fanout crash=n{COORD} fired@{fired_at} acked={acked} \
+             rec={}/{}/{}",
+            rec.re_decided, rec.resolved, rec.failed,
+        )
+    })
+}
+
+/// A coordinator crash between the batch fan-out and the prepare phase
+/// leaves no prepared locks, nothing for recovery to re-drive, no doomed
+/// write visible anywhere — and the episode is byte-deterministic.
+#[test]
+fn batch_fanout_crash_is_invisible_after_recovery() {
+    let t1 = run_batch_fanout_cell();
+    println!("{t1}");
+    assert_eq!(
+        t1,
+        run_batch_fanout_cell(),
+        "batch fan-out fault cell must be deterministic"
+    );
+}
+
+/// The participant-side batching fault cell: `PART` dies at
+/// `part.batch_apply`, mid-way through applying a shipped `PEER_OP_BATCH`.
+/// The coordinator's reply drain fails, it aborts everywhere (freeing the
+/// other participant's speculative locks), and the client sees a clean
+/// abort: the batch is all-or-nothing — in this cell, "nothing".
+fn run_batch_apply_cell() -> String {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().to_path_buf();
+    block_on(move || {
+        let plan = crashpoint::install();
+        let mut cluster = Cluster::start(options(&path)).unwrap();
+        let keys: Vec<Vec<u8>> = key_per_node(&cluster).into_values().collect();
+
+        let client = cluster.client();
+        let mut tx = client.begin(COORD);
+        for k in &keys {
+            tx.put(k, b"stable-value").expect("seed write failed");
+        }
+        tx.commit().expect("seed commit failed");
+        sleep(50 * MILLIS);
+
+        plan.arm(FaultSchedule::new().crash_at("part.batch_apply", PART, 1));
+
+        // Doomed: buffered writes spanning all shards; the flush fans the
+        // batch out and PART dies while applying its slice.
+        let mut tx = client.begin(COORD);
+        for k in &keys {
+            tx.put(k, b"doomed").expect("buffered put never hits the wire");
+        }
+        let acked = match tx.get(b"batch-apply-flush-trigger") {
+            Ok(_) => 'C',
+            Err(TreatyError::Aborted(..)) => 'A',
+            Err(TreatyError::Net(_)) => 'U',
+            Err(_) => 'R',
+        };
+
+        sleep(4 * SECONDS);
+        let fired = plan.fired();
+        assert_eq!(fired.len(), 1, "expected exactly one crash, got {fired:?}");
+        assert_eq!(fired[0].point, "part.batch_apply");
+        assert_eq!(fired[0].node, PART);
+        let fired_at = fired[0].at;
+
+        cluster.crash_node((PART - 1) as usize);
+        cluster.restart_node((PART - 1) as usize).unwrap();
+        let rec = cluster.resolve_recovered();
+        assert_eq!(rec.failed, 0, "recovery re-drive failed: {rec:?}");
+        assert_eq!(
+            (rec.re_decided, rec.resolved),
+            (0, 0),
+            "a batch that never prepared must be invisible to recovery: {rec:?}"
+        );
+
+        // The coordinator's abort freed every speculative lock on the
+        // surviving nodes; the bounced participant shed its own.
+        for i in 0..cluster.node_endpoints().len() {
+            if let Some(store) = cluster.store(i) {
+                assert_eq!(
+                    store.locked_keys(),
+                    0,
+                    "node {}: mid-batch-apply crash leaked locks",
+                    i + 1
+                );
+                assert!(
+                    store.prepared_txns().is_empty(),
+                    "node {}: mid-batch-apply crash leaked prepared state",
+                    i + 1
+                );
+            }
+        }
+        let reader = cluster.client();
+        let mut tx = reader.begin(SPARE);
+        for k in &keys {
+            assert_eq!(
+                tx.get(k).expect("post-recovery read"),
+                Some(b"stable-value".to_vec()),
+                "all-or-nothing violated: doomed batch write surfaced"
+            );
+        }
+        tx.commit().expect("verify commit");
+
+        format!(
+            "part.batch_apply crash=n{PART} fired@{fired_at} acked={acked} \
+             rec={}/{}/{}",
+            rec.re_decided, rec.resolved, rec.failed,
+        )
+    })
+}
+
+/// A participant crash mid batch apply aborts the transaction cleanly:
+/// no lock or prepared-state leak on any node, the doomed writes are
+/// visible nowhere, and the episode is byte-deterministic.
+#[test]
+fn batch_apply_crash_aborts_cleanly_everywhere() {
+    let t1 = run_batch_apply_cell();
+    println!("{t1}");
+    assert_eq!(
+        t1,
+        run_batch_apply_cell(),
+        "batch apply fault cell must be deterministic"
+    );
+}
+
 /// The flight recorder rides the fault matrix: an armed crash leaves one
 /// parseable post-mortem dump naming the fired point, carrying the
 /// crashed node's recent trace events and the counter snapshot.
